@@ -1,0 +1,169 @@
+//! Content equality `=_c` (paper §8).
+//!
+//! The round-trip theorem states `g(f(X)) =_c X`: serializing the loaded
+//! tree gives back a document with the same *content* as the original,
+//! not necessarily the same bytes. Content equality abstracts from:
+//!
+//! * attribute order (§6.2 item 5.3.1's automorphism σ),
+//! * comments and processing instructions (not part of the §5 model),
+//! * ignorable whitespace between elements in element-only content,
+//! * lexical details the parser already erased (entity spelling, quote
+//!   style, CDATA vs text).
+//!
+//! Text inside mixed or simple content is compared exactly.
+
+use xmlparse::{Document, Element, Node};
+
+/// True when the two documents are content-equal.
+pub fn content_equal(a: &Document, b: &Document) -> bool {
+    content_diff(a, b).is_none()
+}
+
+/// Explain the first content difference, or `None` when `a =_c b`.
+/// The string names the path of the differing node.
+pub fn content_diff(a: &Document, b: &Document) -> Option<String> {
+    diff_element(a.root(), b.root(), &format!("/{}", a.root().name.local()))
+}
+
+/// The comparable children of an element: comments and PIs dropped,
+/// adjacent text merged, whitespace-only text dropped when the element
+/// has element children and no other text (element-only content).
+fn normalized_children(elem: &Element) -> Vec<Node> {
+    // First pass: drop non-content nodes, merge adjacent text.
+    let mut merged: Vec<Node> = Vec::new();
+    for child in &elem.children {
+        match child {
+            Node::Comment(_) | Node::ProcessingInstruction { .. } => {}
+            Node::Text(t) => {
+                if let Some(Node::Text(prev)) = merged.last_mut() {
+                    prev.push_str(t);
+                } else {
+                    merged.push(Node::Text(t.clone()));
+                }
+            }
+            Node::Element(e) => merged.push(Node::Element(e.clone())),
+        }
+    }
+    // Element-only content: every text is whitespace → drop them all.
+    let has_elements = merged.iter().any(|n| matches!(n, Node::Element(_)));
+    let all_text_ws = merged
+        .iter()
+        .all(|n| !matches!(n, Node::Text(t) if !t.chars().all(|c| matches!(c, ' '|'\t'|'\n'|'\r'))));
+    if has_elements && all_text_ws {
+        merged.retain(|n| matches!(n, Node::Element(_)));
+    }
+    merged
+}
+
+fn diff_element(a: &Element, b: &Element, path: &str) -> Option<String> {
+    if a.name != b.name {
+        return Some(format!("{path}: element name {} ≠ {}", a.name, b.name));
+    }
+    // Attributes as unordered name→value maps (σ-automorphism).
+    let mut aa: Vec<(String, &str)> =
+        a.attributes.iter().map(|x| (x.name.lexical().into_owned(), x.value.as_str())).collect();
+    let mut bb: Vec<(String, &str)> =
+        b.attributes.iter().map(|x| (x.name.lexical().into_owned(), x.value.as_str())).collect();
+    aa.sort();
+    bb.sort();
+    if aa != bb {
+        return Some(format!("{path}: attributes {aa:?} ≠ {bb:?}"));
+    }
+    let ca = normalized_children(a);
+    let cb = normalized_children(b);
+    if ca.len() != cb.len() {
+        return Some(format!("{path}: {} children ≠ {} children", ca.len(), cb.len()));
+    }
+    let mut sibling = std::collections::HashMap::new();
+    for (x, y) in ca.iter().zip(&cb) {
+        match (x, y) {
+            (Node::Text(t1), Node::Text(t2)) => {
+                if t1 != t2 {
+                    return Some(format!("{path}: text {t1:?} ≠ {t2:?}"));
+                }
+            }
+            (Node::Element(e1), Node::Element(e2)) => {
+                let n = sibling.entry(e1.name.lexical().into_owned()).or_insert(0usize);
+                *n += 1;
+                let sub = format!("{path}/{}[{}]", e1.name.local(), n);
+                if let Some(d) = diff_element(e1, e2, &sub) {
+                    return Some(d);
+                }
+            }
+            _ => return Some(format!("{path}: node kinds differ")),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eq(a: &str, b: &str) -> bool {
+        content_equal(&Document::parse(a).unwrap(), &Document::parse(b).unwrap())
+    }
+
+    #[test]
+    fn identical_documents_are_equal() {
+        assert!(eq("<a x='1'><b>t</b></a>", "<a x='1'><b>t</b></a>"));
+    }
+
+    #[test]
+    fn attribute_order_is_irrelevant() {
+        assert!(eq("<a x='1' y='2'/>", "<a y='2' x='1'/>"));
+    }
+
+    #[test]
+    fn attribute_values_matter() {
+        assert!(!eq("<a x='1'/>", "<a x='2'/>"));
+        assert!(!eq("<a x='1'/>", "<a/>"));
+    }
+
+    #[test]
+    fn comments_and_pis_are_ignored() {
+        assert!(eq("<a><!--c--><b/><?pi d?></a>", "<a><b/></a>"));
+    }
+
+    #[test]
+    fn layout_whitespace_is_ignored_in_element_content() {
+        assert!(eq("<a>\n  <b>t</b>\n  <c/>\n</a>", "<a><b>t</b><c/></a>"));
+    }
+
+    #[test]
+    fn text_in_mixed_content_is_significant() {
+        assert!(!eq("<a>x<b/>y</a>", "<a>x<b/>z</a>"));
+        assert!(!eq("<a> x </a>", "<a>x</a>")); // simple content: exact
+    }
+
+    #[test]
+    fn cdata_equals_text() {
+        assert!(eq("<a><![CDATA[x<y]]></a>", "<a>x&lt;y</a>"));
+    }
+
+    #[test]
+    fn entity_spelling_is_irrelevant() {
+        assert!(eq("<a>&#65;</a>", "<a>A</a>"));
+        assert!(eq("<a q='&quot;'/>", "<a q='\"'/>"));
+    }
+
+    #[test]
+    fn structural_differences_are_detected() {
+        assert!(!eq("<a><b/></a>", "<a><c/></a>"));
+        assert!(!eq("<a><b/></a>", "<a><b/><b/></a>"));
+        assert!(!eq("<a><b><c/></b></a>", "<a><b/><c/></a>"));
+    }
+
+    #[test]
+    fn diff_reports_the_offending_path() {
+        let a = Document::parse("<r><x><y>1</y></x><x><y>2</y></x></r>").unwrap();
+        let b = Document::parse("<r><x><y>1</y></x><x><y>XXX</y></x></r>").unwrap();
+        let d = content_diff(&a, &b).unwrap();
+        assert!(d.contains("/r/x[2]/y[1]"), "{d}");
+    }
+
+    #[test]
+    fn adjacent_text_created_by_comment_removal_merges() {
+        assert!(eq("<a>x<!--c-->y</a>", "<a>xy</a>"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Node identity constraints: `xs:ID` uniqueness and `xs:IDREF`
+//! resolution.
+//!
+//! The paper (§10) credits its internal model with making "node identity
+//! constraints" expressible — the aspect MSL leaves untreated. This
+//! module is that check, run as a document-wide post-pass over the
+//! loaded S-tree: every value typed `xs:ID` must be unique in the
+//! document, and every `xs:IDREF` value must equal some `xs:ID` value.
+
+use std::collections::HashMap;
+
+use xdm::{NodeId, NodeStore};
+use xstypes::{AtomicValue, Builtin};
+
+use crate::error::{Rule, ValidationError};
+
+/// Check the identity constraints over the tree rooted at `doc`.
+/// Returns the violations (empty = satisfied).
+pub fn check_identity(store: &NodeStore, doc: NodeId) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    // First pass: collect IDs with the node that declared each.
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let nodes = store.subtree(doc);
+    for &node in &nodes {
+        for value in id_values(store, node) {
+            if let Some(&first) = ids.get(&value) {
+                errors.push(ValidationError::new(
+                    Rule::IdUnique,
+                    node_path(store, node),
+                    format!(
+                        "ID {value:?} already declared at {}",
+                        node_path(store, first)
+                    ),
+                ));
+            } else {
+                ids.insert(value, node);
+            }
+        }
+    }
+    // Second pass: every IDREF must resolve.
+    for &node in &nodes {
+        for value in idref_values(store, node) {
+            if !ids.contains_key(&value) {
+                errors.push(ValidationError::new(
+                    Rule::IdRefTarget,
+                    node_path(store, node),
+                    format!("IDREF {value:?} matches no ID in the document"),
+                ));
+            }
+        }
+    }
+    errors
+}
+
+/// The `xs:ID`-typed atomic values carried by a node.
+fn id_values(store: &NodeStore, node: NodeId) -> Vec<String> {
+    typed_strings(store, node, Builtin::Id)
+}
+
+/// The `xs:IDREF`-typed atomic values carried by a node (IDREFS list
+/// items included — each list item is a separate atomic value).
+fn idref_values(store: &NodeStore, node: NodeId) -> Vec<String> {
+    typed_strings(store, node, Builtin::IdRef)
+}
+
+fn typed_strings(store: &NodeStore, node: NodeId, want: Builtin) -> Vec<String> {
+    store
+        .typed_value(node)
+        .into_iter()
+        .filter_map(|v| match v {
+            AtomicValue::String(s, b) if b == want => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A readable path for error messages (element names with positions).
+fn node_path(store: &NodeStore, node: NodeId) -> String {
+    let mut parts = Vec::new();
+    let mut cur = Some(node);
+    while let Some(n) = cur {
+        match store.node_kind(n) {
+            "document" => {}
+            "attribute" => parts.push(format!("@{}", store.node_name(n).unwrap_or("?"))),
+            "text" => parts.push("text()".to_string()),
+            _ => {
+                let name = store.node_name(n).unwrap_or("?");
+                let pos = store
+                    .parent(n)
+                    .map(|p| {
+                        store
+                            .children(p)
+                            .iter()
+                            .filter(|&&c| store.node_name(c) == store.node_name(n))
+                            .position(|&c| c == n)
+                            .map(|i| i + 1)
+                            .unwrap_or(1)
+                    })
+                    .unwrap_or(1);
+                parts.push(format!("{name}[{pos}]"));
+            }
+        }
+        cur = store.parent(n);
+    }
+    parts.reverse();
+    format!("/{}", parts.join("/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::{load_document_with, LoadOptions};
+    use xmlparse::Document;
+    use xsmodel::parse_schema_text;
+
+    const SCHEMA: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="Chapter">
+    <xs:sequence>
+      <xs:element name="title" type="xs:string"/>
+      <xs:element name="see" type="xs:IDREF" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:ID"/>
+  </xs:complexType>
+  <xs:element name="report">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="chapter" type="Chapter" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+    fn loaded(xml: &str) -> (NodeStore, NodeId) {
+        let schema = parse_schema_text(SCHEMA).unwrap();
+        let doc = Document::parse(xml).unwrap();
+        // Disable the loader's own identity pass so the checks here
+        // exercise `check_identity` in isolation.
+        let opts = LoadOptions { check_identity: false, ..LoadOptions::default() };
+        let l = load_document_with(&schema, &doc, &opts).unwrap();
+        (l.store, l.doc)
+    }
+
+    #[test]
+    fn loader_runs_the_identity_pass_by_default() {
+        let schema = parse_schema_text(SCHEMA).unwrap();
+        let doc = Document::parse(
+            r#"<report><chapter id="c"><title>a</title><see>ghost</see></chapter></report>"#,
+        )
+        .unwrap();
+        let errs = crate::load::load_document(&schema, &doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.rule == Rule::IdRefTarget));
+    }
+
+    #[test]
+    fn unique_ids_with_resolving_refs_pass() {
+        let (store, doc) = loaded(
+            r#"<report>
+                 <chapter id="c1"><title>Intro</title><see>c2</see></chapter>
+                 <chapter id="c2"><title>Body</title><see>c1</see><see>c2</see></chapter>
+               </report>"#,
+        );
+        assert!(check_identity(&store, doc).is_empty());
+    }
+
+    #[test]
+    fn duplicate_id_is_reported_with_both_paths() {
+        let (store, doc) = loaded(
+            r#"<report>
+                 <chapter id="dup"><title>a</title></chapter>
+                 <chapter id="dup"><title>b</title></chapter>
+               </report>"#,
+        );
+        let errs = check_identity(&store, doc);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].rule, Rule::IdUnique);
+        assert!(errs[0].message.contains("chapter[1]"), "{}", errs[0].message);
+        assert!(errs[0].path.contains("chapter[2]"), "{}", errs[0].path);
+    }
+
+    #[test]
+    fn dangling_idref_is_reported() {
+        let (store, doc) = loaded(
+            r#"<report>
+                 <chapter id="c1"><title>a</title><see>ghost</see></chapter>
+               </report>"#,
+        );
+        let errs = check_identity(&store, doc);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].rule, Rule::IdRefTarget);
+        assert!(errs[0].message.contains("ghost"));
+    }
+
+    #[test]
+    fn document_without_ids_passes_trivially() {
+        let (store, doc) =
+            loaded(r#"<report><chapter id="x"><title>t</title></chapter></report>"#);
+        assert!(check_identity(&store, doc).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! The state algebra of the paper's §6 and the round-trip theorem of §8.
+//!
+//! A database state is a many-sorted algebra whose carriers are node
+//! identifiers (provided by the `xdm` crate) and data-type values
+//! (provided by `xstypes`), and whose operations are the node accessors.
+//! This crate supplies the *dynamic* part of the model:
+//!
+//! * [`load_document`] — the function `f`: validate an XML document
+//!   against a document schema and build the corresponding S-tree with
+//!   all accessor values of §6.2 (type annotations, typed values, nilled
+//!   flags, text-node placement, attribute permutation σ);
+//! * [`serialize_tree`] — the function `g`: serialize an S-tree back to
+//!   an XML document;
+//! * [`content_equal`] — the equivalence `=_c`;
+//! * [`check_roundtrip`] — the §8 theorem `g(f(X)) =_c X`, executable;
+//! * [`ValidationError`]/[`Rule`] — violations, each citing the §6.2
+//!   requirement it breaks.
+//!
+//! ```
+//! use xmlparse::Document;
+//! use xsmodel::parse_schema_text;
+//! use algebra::{check_roundtrip, load_document};
+//!
+//! let schema = parse_schema_text(r#"
+//! <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+//!   <xs:element name="greeting" type="xs:string"/>
+//! </xs:schema>"#).unwrap();
+//!
+//! let xml = Document::parse("<greeting>hello</greeting>").unwrap();
+//! let loaded = load_document(&schema, &xml).unwrap();
+//! assert_eq!(loaded.store.string_value(loaded.doc), "hello");
+//! assert!(check_roundtrip(&schema, &xml).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+mod equality;
+mod error;
+mod identity;
+mod load;
+mod serialize;
+mod stream;
+mod theorem;
+
+pub use equality::{content_diff, content_equal};
+pub use identity::check_identity;
+pub use error::{Rule, ValidationError};
+pub use load::{load_document, load_document_with, validate, LoadOptions, LoadedDocument};
+pub use serialize::serialize_tree;
+pub use stream::{validate_streaming, validate_streaming_with};
+pub use theorem::{check_roundtrip, check_roundtrip_with, RoundTripFailure};

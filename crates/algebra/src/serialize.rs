@@ -1,0 +1,111 @@
+//! The serialization `g` of the paper's §8: from a document tree
+//! (S-tree) back to an XML document.
+//!
+//! `g` is a straightforward fold over the accessors: the document node's
+//! single element child becomes the root element; element nodes emit
+//! their `node-name`, their `attributes` (name and string value), and
+//! their `children` in order; text nodes emit their string value; a
+//! nilled element emits `xsi:nil="true"`.
+
+use xmlparse::{Attribute, Document, Element, Node, QName};
+use xdm::{NodeId, NodeKind, NodeStore};
+
+/// Serialize the S-tree rooted at the document node `doc` — the paper's
+/// function `g`.
+///
+/// # Panics
+/// If `doc` is not a document node or its tree shape violates §6.1 (the
+/// store's constructors make that impossible).
+pub fn serialize_tree(store: &NodeStore, doc: NodeId) -> Document {
+    assert_eq!(store.kind(doc), NodeKind::Document, "g applies to document nodes");
+    let children = store.children(doc);
+    assert_eq!(children.len(), 1, "§6.2 item 3: one element child");
+    let root = serialize_element(store, children[0]);
+    match store.base_uri(doc) {
+        Some(uri) => Document::from_root(root).with_base_uri(uri),
+        None => Document::from_root(root),
+    }
+}
+
+fn serialize_element(store: &NodeStore, id: NodeId) -> Element {
+    let name = store.node_name(id).expect("element nodes are named");
+    let mut elem = Element::new(QName::parse(name));
+    for &attr in store.attributes(id) {
+        let attr_name = store.node_name(attr).expect("attribute nodes are named");
+        elem.attributes.push(Attribute {
+            name: QName::parse(attr_name),
+            value: store.string_value(attr),
+        });
+    }
+    if store.nilled(id) == Some(true) {
+        elem.attributes.push(Attribute {
+            name: QName::prefixed("xsi", "nil"),
+            value: "true".to_string(),
+        });
+    }
+    for &child in store.children(id) {
+        match store.kind(child) {
+            NodeKind::Element => elem.children.push(Node::Element(serialize_element(store, child))),
+            NodeKind::Text => elem.children.push(Node::Text(store.string_value(child))),
+            NodeKind::Document | NodeKind::Attribute => {
+                unreachable!("§6.1: no document/attribute nodes among children")
+            }
+        }
+    }
+    elem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_hand_built_tree() {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let root = s.new_element(doc, "BookStore");
+        let book = s.new_element(root, "Book");
+        s.new_attribute(book, "id", "b1");
+        let title = s.new_element(book, "Title");
+        s.new_text(title, "Foundations of Databases");
+        let out = serialize_tree(&s, doc);
+        assert_eq!(
+            out.to_xml(),
+            r#"<BookStore><Book id="b1"><Title>Foundations of Databases</Title></Book></BookStore>"#
+        );
+    }
+
+    #[test]
+    fn nilled_elements_carry_xsi_nil() {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let root = s.new_element(doc, "Comment");
+        s.set_nilled(root, true);
+        let out = serialize_tree(&s, doc);
+        assert_eq!(out.to_xml(), r#"<Comment xsi:nil="true"/>"#);
+    }
+
+    #[test]
+    fn base_uri_survives() {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(Some("http://x/y.xml".into()));
+        s.new_element(doc, "r");
+        let out = serialize_tree(&s, doc);
+        assert_eq!(out.base_uri(), Some("http://x/y.xml"));
+    }
+
+    #[test]
+    fn special_characters_are_escaped_on_output() {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let root = s.new_element(doc, "r");
+        s.new_attribute(root, "q", "a\"<&");
+        s.new_text(root, "1 < 2 & 3");
+        let text = serialize_tree(&s, doc).to_xml();
+        assert_eq!(text, r#"<r q="a&quot;&lt;&amp;">1 &lt; 2 &amp; 3</r>"#);
+        // And it re-parses to the same values.
+        let parsed = Document::parse(&text).unwrap();
+        assert_eq!(parsed.root().attribute("q"), Some("a\"<&"));
+        assert_eq!(parsed.root().text_content(), "1 < 2 & 3");
+    }
+}

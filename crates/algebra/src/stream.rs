@@ -1,0 +1,498 @@
+//! Streaming validation: check a document against a schema straight off
+//! the pull-parser event stream, without building a DOM or an S-tree.
+//!
+//! This is the bulk-load path of a real store (Sedna validates while
+//! loading); it exercises exactly the same §6.2 rules as
+//! [`crate::load_document`] but keeps only a stack of open elements, so
+//! memory is O(depth × fan-out-names) instead of O(document).
+//!
+//! Intentional differences from the tree-building validator (documented
+//! because tests compare the two):
+//!
+//! * identity constraints (ID/IDREF) are document-wide and therefore not
+//!   checked here;
+//! * errors are reported in event order and validation stops early on
+//!   malformed XML.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use xmlparse::{Event, EventReader};
+use xsmodel::{
+    ComplexTypeDefinition, ContentModel, DocumentSchema, ElementDeclaration, MatchOutcome,
+};
+
+use crate::error::{Rule, ValidationError};
+use crate::load::LoadOptions;
+
+/// Validate `xml` against `schema` in one streaming pass. Returns the
+/// §6.2 violations (and a [`Rule::RootName`]-style XML error when the
+/// document is not even well-formed).
+pub fn validate_streaming(schema: &DocumentSchema, xml: &str) -> Vec<ValidationError> {
+    validate_streaming_with(schema, xml, &LoadOptions::default())
+}
+
+/// [`validate_streaming`] with explicit options (`check_identity` is
+/// ignored — identity is inherently non-streaming).
+pub fn validate_streaming_with(
+    schema: &DocumentSchema,
+    xml: &str,
+    options: &LoadOptions,
+) -> Vec<ValidationError> {
+    let mut v = StreamValidator {
+        schema,
+        options,
+        errors: Vec::new(),
+        stack: Vec::new(),
+        cm_cache: HashMap::new(),
+    };
+    let mut reader = EventReader::new(xml);
+    loop {
+        match reader.next_event() {
+            Err(e) => {
+                v.errors.push(ValidationError::new(
+                    Rule::RootName,
+                    "/",
+                    format!("document is not well-formed XML: {e}"),
+                ));
+                break;
+            }
+            Ok(Event::Eof) => break,
+            Ok(event) => {
+                if !v.handle(event) {
+                    break;
+                }
+            }
+        }
+    }
+    v.errors
+}
+
+/// One open element.
+struct Frame {
+    decl: ElementDeclaration,
+    path: String,
+    /// Child element names seen so far (matched at the close tag).
+    child_names: Vec<String>,
+    /// Declarations to validate children against, by position — filled
+    /// when the frame closes and the content model assigns them; during
+    /// the stream children are validated against a *pending* declaration
+    /// looked up eagerly (see `child_decl`).
+    text: String,
+    nilled: bool,
+    /// The compiled content model (complex content only).
+    content: Option<Rc<ContentModel>>,
+    mixed: bool,
+    simple: bool,
+    empty_content: bool,
+    seen_attrs: Vec<String>,
+}
+
+struct StreamValidator<'a> {
+    schema: &'a DocumentSchema,
+    options: &'a LoadOptions,
+    errors: Vec<ValidationError>,
+    stack: Vec<Frame>,
+    cm_cache: HashMap<usize, Rc<ContentModel>>,
+}
+
+impl<'a> StreamValidator<'a> {
+    fn err(&mut self, rule: Rule, path: &str, message: impl Into<String>) {
+        self.errors.push(ValidationError::new(rule, path, message));
+    }
+
+    /// Returns `false` to abort (unrecoverable mismatch).
+    fn handle(&mut self, event: Event) -> bool {
+        match event {
+            Event::StartElement { name, attributes, self_closing } => {
+                let decl = if self.stack.is_empty() {
+                    if name.local() != self.schema.root.name {
+                        self.err(
+                            Rule::RootName,
+                            "/",
+                            format!(
+                                "root element is <{}>, the schema declares <{}>",
+                                name.local(),
+                                self.schema.root.name
+                            ),
+                        );
+                        return false;
+                    }
+                    Some(self.schema.root.clone())
+                } else {
+                    self.child_decl(name.local())
+                };
+                let Some(decl) = decl else {
+                    // The frame-level content model check at close will
+                    // report the 5.4.2.3 violation; but without a
+                    // declaration we cannot descend — record and abort.
+                    let parent_path =
+                        self.stack.last().map(|f| f.path.clone()).unwrap_or_default();
+                    let frame = self.stack.last_mut().expect("non-root");
+                    frame.child_names.push(name.local().to_string());
+                    let expected = frame
+                        .content
+                        .as_ref()
+                        .map(|cm| {
+                            let names: Vec<&str> =
+                                frame.child_names.iter().map(String::as_str).collect();
+                            cm.expected_after(&names[..names.len() - 1]).join(", ")
+                        })
+                        .unwrap_or_default();
+                    self.err(
+                        Rule::R5423GroupMatch,
+                        &parent_path,
+                        format!(
+                            "child <{}> not admitted here, expected one of {{{expected}}}",
+                            name.local()
+                        ),
+                    );
+                    return false;
+                };
+                if let Some(parent) = self.stack.last_mut() {
+                    parent.child_names.push(name.local().to_string());
+                }
+                let path = match self.stack.last() {
+                    Some(p) => format!("{}/{}", p.path, decl.name),
+                    None => format!("/{}", decl.name),
+                };
+                let nil_requested = attributes.iter().any(|(n, v)| {
+                    n.prefix() == Some("xsi")
+                        && n.local() == "nil"
+                        && matches!(v.as_str(), "true" | "1")
+                });
+                if nil_requested && !decl.nillable {
+                    self.err(Rule::R6Nil, &path, "xsi:nil on a non-nillable declaration");
+                }
+                let frame = self.open_frame(decl, path, nil_requested, &attributes);
+                self.stack.push(frame);
+                if self_closing {
+                    self.close_top();
+                }
+                true
+            }
+            Event::EndElement { .. } => {
+                self.close_top();
+                true
+            }
+            Event::Text(t) => {
+                if let Some(frame) = self.stack.last_mut() {
+                    frame.text.push_str(&t);
+                    let whitespace_only =
+                        t.chars().all(|c| matches!(c, ' ' | '\t' | '\n' | '\r'));
+                    // Non-mixed element content admits no text (5.4.2.1);
+                    // whitespace-only runs are excused when the options
+                    // say so (pretty-printed input).
+                    let significant = !whitespace_only
+                        || !self.options.ignore_ignorable_whitespace;
+                    if !frame.simple && !frame.mixed && !frame.empty_content && significant {
+                        let path = frame.path.clone();
+                        self.err(
+                            Rule::R5421NoText,
+                            &path,
+                            format!("text {t:?} in non-mixed element content"),
+                        );
+                    }
+                }
+                true
+            }
+            Event::Comment(_) | Event::ProcessingInstruction { .. } => true,
+            Event::Eof => true,
+        }
+    }
+
+    /// The declaration a child element matches inside the current top
+    /// frame, determined incrementally from the content model.
+    fn child_decl(&mut self, child: &str) -> Option<ElementDeclaration> {
+        let frame = self.stack.last()?;
+        let cm = frame.content.clone()?;
+        // Element names within one group are distinct (§2), so the name
+        // identifies the declaration; whether the child is *admitted at
+        // this position* is checked wholesale at the closing tag.
+        cm.declarations().iter().find(|d| d.name == child).cloned()
+    }
+
+    fn open_frame(
+        &mut self,
+        decl: ElementDeclaration,
+        path: String,
+        nilled: bool,
+        attributes: &[(xmlparse::QName, String)],
+    ) -> Frame {
+        let mut frame = Frame {
+            path: path.clone(),
+            child_names: Vec::new(),
+            text: String::new(),
+            nilled,
+            content: None,
+            mixed: false,
+            simple: false,
+            empty_content: false,
+            seen_attrs: Vec::new(),
+            decl,
+        };
+        if let Some(ctd) = self.schema.complex_of(&frame.decl.ty) {
+            self.check_attributes(ctd, attributes, &path, &mut frame.seen_attrs);
+            match ctd {
+                ComplexTypeDefinition::SimpleContent { .. } => frame.simple = true,
+                ComplexTypeDefinition::ComplexContent { mixed, content, .. } => {
+                    frame.mixed = *mixed;
+                    if content.is_empty_content() {
+                        frame.empty_content = true;
+                    } else {
+                        let key = content as *const _ as usize;
+                        let cm = match self.cm_cache.get(&key) {
+                            Some(cm) => Some(Rc::clone(cm)),
+                            None => match ContentModel::compile(content) {
+                                Ok(cm) => {
+                                    let cm = Rc::new(cm);
+                                    self.cm_cache.insert(key, Rc::clone(&cm));
+                                    Some(cm)
+                                }
+                                Err(e) => {
+                                    self.err(Rule::R5423GroupMatch, &path, e.to_string());
+                                    None
+                                }
+                            },
+                        };
+                        frame.content = cm;
+                    }
+                }
+            }
+        } else if self.schema.simple_of(&frame.decl.ty).is_some() {
+            frame.simple = true;
+            for (name, _) in attributes {
+                if !matches!(name.prefix(), Some("xsi") | Some("xmlns")) && name.local() != "xmlns"
+                {
+                    self.err(
+                        Rule::R7NoOtherNodes,
+                        &path,
+                        format!("attribute {:?} on an element of simple type", name.lexical()),
+                    );
+                }
+            }
+        } else {
+            let name = frame.decl.ty.name().unwrap_or("<anonymous>");
+            self.err(Rule::TypeUsage, &path, format!("type {name:?} is not defined"));
+        }
+        frame
+    }
+
+    fn check_attributes(
+        &mut self,
+        ctd: &ComplexTypeDefinition,
+        attributes: &[(xmlparse::QName, String)],
+        path: &str,
+        seen: &mut Vec<String>,
+    ) {
+        let declared = ctd.attributes();
+        for (name, value) in attributes {
+            if matches!(name.prefix(), Some("xsi") | Some("xmlns")) || name.local() == "xmlns" {
+                continue;
+            }
+            let lex = name.lexical().into_owned();
+            match declared.get(&lex) {
+                None => {
+                    self.err(Rule::R7NoOtherNodes, path, format!("attribute {lex:?} not declared"))
+                }
+                Some(type_name) => {
+                    seen.push(lex.clone());
+                    match self.schema.simple_types.get(type_name) {
+                        Some(st) => {
+                            if let Err(e) = st.validate(value) {
+                                self.err(
+                                    Rule::R531Attributes,
+                                    path,
+                                    format!("attribute {lex:?}: {e}"),
+                                );
+                            }
+                        }
+                        None => self.err(
+                            Rule::TypeUsage,
+                            path,
+                            format!("attribute type {type_name:?} not defined"),
+                        ),
+                    }
+                }
+            }
+        }
+        if self.options.require_all_attributes {
+            for name in declared.keys() {
+                if !seen.contains(name) {
+                    self.err(
+                        Rule::R531Attributes,
+                        path,
+                        format!("declared attribute {name:?} is missing"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn close_top(&mut self) {
+        let frame = self.stack.pop().expect("balanced events");
+        let path = &frame.path;
+        if frame.nilled && frame.decl.nillable {
+            if !frame.child_names.is_empty() || !frame.text.trim().is_empty() {
+                self.err(Rule::R6Nil, path, "nilled element must have no content");
+            }
+            return;
+        }
+        if frame.simple {
+            if !frame.child_names.is_empty() {
+                self.err(
+                    Rule::R511SimpleValue,
+                    path,
+                    format!("element <{}> inside simple content", frame.child_names[0]),
+                );
+                return;
+            }
+            // Resolve the simple type (directly simple or simple content).
+            let st = match self.schema.complex_of(&frame.decl.ty) {
+                Some(ComplexTypeDefinition::SimpleContent { base, .. }) => {
+                    self.schema.simple_types.get(base)
+                }
+                _ => self.schema.simple_of(&frame.decl.ty),
+            };
+            if let Some(st) = st {
+                if let Err(e) = st.validate(&frame.text) {
+                    self.err(Rule::R511SimpleValue, path, e.to_string());
+                }
+            }
+            return;
+        }
+        if frame.empty_content {
+            if !frame.child_names.is_empty() {
+                self.err(
+                    Rule::R541EmptyContent,
+                    path,
+                    format!("element <{}> in empty content", frame.child_names[0]),
+                );
+            } else if !frame.mixed && !frame.text.trim().is_empty() {
+                self.err(Rule::R5421NoText, path, "text in empty non-mixed content");
+            }
+            return;
+        }
+        if let Some(cm) = &frame.content {
+            let names: Vec<&str> = frame.child_names.iter().map(String::as_str).collect();
+            if let MatchOutcome::Reject { position, expected } = cm.match_children(&names) {
+                let found = names
+                    .get(position)
+                    .map(|n| format!("<{n}>"))
+                    .unwrap_or_else(|| "end of content".to_string());
+                self.err(
+                    Rule::R5423GroupMatch,
+                    path,
+                    format!(
+                        "at child {position}: found {found}, expected one of {{{}}}",
+                        expected.join(", ")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsmodel::parse_schema_text;
+
+    const SCHEMA: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="Book">
+    <xs:sequence>
+      <xs:element name="title" type="xs:string"/>
+      <xs:element name="year" type="xs:gYear"/>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:NCName"/>
+  </xs:complexType>
+  <xs:element name="lib">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="book" type="Book" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+    fn stream_rules(xml: &str) -> Vec<Rule> {
+        let schema = parse_schema_text(SCHEMA).unwrap();
+        validate_streaming(&schema, xml).into_iter().map(|e| e.rule).collect()
+    }
+
+    #[test]
+    fn valid_documents_stream_clean() {
+        assert!(stream_rules(
+            r#"<lib><book id="b1"><title>T</title><year>2004</year></book></lib>"#
+        )
+        .is_empty());
+        assert!(stream_rules("<lib/>").is_empty());
+    }
+
+    #[test]
+    fn rule_violations_match_the_tree_validator() {
+        let schema = parse_schema_text(SCHEMA).unwrap();
+        let cases = [
+            r#"<lib><book id="b"><year>2004</year><title>T</title></book></lib>"#, // order
+            r#"<lib><book id="b"><title>T</title><year>MMXX</year></book></lib>"#, // value
+            r#"<lib><book id="two words"><title>T</title><year>2004</year></book></lib>"#, // attr value
+            r#"<lib><book><title>T</title><year>2004</year></book></lib>"#, // missing attr
+            r#"<lib><book id="b" extra="1"><title>T</title><year>2004</year></book></lib>"#, // extra attr
+            r#"<lib>text here</lib>"#,                                        // text
+            r#"<shop/>"#,                                                     // root
+        ];
+        for xml in cases {
+            let streamed: Vec<Rule> = validate_streaming(&schema, xml)
+                .into_iter()
+                .map(|e| e.rule)
+                .collect();
+            let treed: Vec<Rule> = match crate::load::load_document(
+                &schema,
+                &xmlparse::Document::parse(xml).unwrap(),
+            ) {
+                Ok(_) => Vec::new(),
+                Err(errs) => errs.into_iter().map(|e| e.rule).collect(),
+            };
+            assert!(!streamed.is_empty(), "stream missed: {xml}");
+            assert!(!treed.is_empty(), "tree missed: {xml}");
+            // The first reported rule agrees (orderings may differ later).
+            assert_eq!(streamed[0], treed[0], "{xml}");
+        }
+    }
+
+    #[test]
+    fn malformed_xml_is_reported() {
+        let rules = stream_rules("<lib><book></lib>");
+        assert!(!rules.is_empty());
+    }
+
+    #[test]
+    fn nil_handling() {
+        let schema = parse_schema_text(
+            r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+                 <xs:element name="c" type="xs:string" nillable="true"/>
+               </xs:schema>"#,
+        )
+        .unwrap();
+        assert!(validate_streaming(&schema, r#"<c xsi:nil="true"/>"#).is_empty());
+        let errs = validate_streaming(&schema, r#"<c xsi:nil="true">x</c>"#);
+        assert_eq!(errs[0].rule, Rule::R6Nil);
+    }
+
+    #[test]
+    fn streaming_agrees_with_tree_on_generated_corpora() {
+        // Larger agreement check lives in the integration suite; here a
+        // small smoke over a nested document.
+        let schema = parse_schema_text(SCHEMA).unwrap();
+        let mut xml = String::from("<lib>");
+        for i in 0..50 {
+            xml.push_str(&format!(
+                r#"<book id="b{i}"><title>t{i}</title><year>19{:02}</year></book>"#,
+                i % 100
+            ));
+        }
+        xml.push_str("</lib>");
+        assert!(validate_streaming(&schema, &xml).is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! The round-trip theorem of §8 as an executable check.
+//!
+//! > **Theorem.** For any document schema S, there is a function `f` that
+//! > maps a set of S-documents to a set of S-trees and a function `g`
+//! > that serializes an S-tree to an S-document such that
+//! > `g(f(X)) =_c X`.
+//!
+//! [`check_roundtrip`] runs `f` (load + validate), then `g` (serialize),
+//! then `=_c` (content equality), and additionally re-validates `g(f(X))`
+//! — the serialized output must itself be an S-document, which is the
+//! "maps … to a set of S-trees / S-documents" part of the statement.
+
+use std::fmt;
+
+use xmlparse::Document;
+use xsmodel::DocumentSchema;
+
+use crate::equality::content_diff;
+use crate::error::ValidationError;
+use crate::load::{load_document_with, LoadOptions};
+use crate::serialize::serialize_tree;
+
+/// Why a round trip failed.
+#[derive(Debug, Clone)]
+pub enum RoundTripFailure {
+    /// `X` is not an S-document: `f` is not applicable.
+    NotValid(Vec<ValidationError>),
+    /// `g(f(X))` failed to re-validate (would contradict the theorem).
+    OutputNotValid(Vec<ValidationError>),
+    /// `g(f(X)) ≠_c X` (would contradict the theorem); carries the diff.
+    NotContentEqual(String),
+}
+
+impl fmt::Display for RoundTripFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoundTripFailure::NotValid(errs) => {
+                write!(f, "input is not an S-document ({} violations)", errs.len())
+            }
+            RoundTripFailure::OutputNotValid(errs) => {
+                write!(f, "g(f(X)) is not an S-document ({} violations)", errs.len())
+            }
+            RoundTripFailure::NotContentEqual(diff) => write!(f, "g(f(X)) ≠_c X: {diff}"),
+        }
+    }
+}
+
+impl std::error::Error for RoundTripFailure {}
+
+/// Execute `g(f(X)) =_c X` for one document. On success returns the
+/// serialized `g(f(X))`.
+pub fn check_roundtrip(
+    schema: &DocumentSchema,
+    xml: &Document,
+) -> Result<Document, RoundTripFailure> {
+    check_roundtrip_with(schema, xml, &LoadOptions::default())
+}
+
+/// [`check_roundtrip`] with explicit load options.
+pub fn check_roundtrip_with(
+    schema: &DocumentSchema,
+    xml: &Document,
+    options: &LoadOptions,
+) -> Result<Document, RoundTripFailure> {
+    let loaded =
+        load_document_with(schema, xml, options).map_err(RoundTripFailure::NotValid)?;
+    let output = serialize_tree(&loaded.store, loaded.doc);
+    if let Err(errors) = load_document_with(schema, &output, options) {
+        return Err(RoundTripFailure::OutputNotValid(errors));
+    }
+    if let Some(diff) = content_diff(xml, &output) {
+        return Err(RoundTripFailure::NotContentEqual(diff));
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsmodel::parse_schema_text;
+
+    fn schema() -> DocumentSchema {
+        parse_schema_text(
+            r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="BookPublication">
+    <xsd:sequence>
+      <xsd:element name="Title" type="xsd:string"/>
+      <xsd:element name="Author" type="xsd:string" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:element name="BookStore">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="Book" type="BookPublication" minOccurs="0" maxOccurs="unbounded"/>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn theorem_holds_on_a_valid_document() {
+        let xml = Document::parse(
+            "<BookStore><Book><Title>T</Title><Author>A</Author><Author>B</Author></Book></BookStore>",
+        )
+        .unwrap();
+        let out = check_roundtrip(&schema(), &xml).unwrap();
+        assert!(crate::equality::content_equal(&xml, &out));
+    }
+
+    #[test]
+    fn theorem_holds_with_pretty_printed_input() {
+        let xml = Document::parse(
+            "<BookStore>\n  <Book>\n    <Title>T</Title>\n    <Author>A</Author>\n  </Book>\n</BookStore>",
+        )
+        .unwrap();
+        assert!(check_roundtrip(&schema(), &xml).is_ok());
+    }
+
+    #[test]
+    fn invalid_input_is_reported_as_not_valid() {
+        let xml = Document::parse("<BookStore><Book><Title>T</Title></Book></BookStore>").unwrap();
+        match check_roundtrip(&schema(), &xml) {
+            Err(RoundTripFailure::NotValid(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! E9 — ablation: block capacity (§9.2 design choice).
+//!
+//! Sedna fixes a block size; this ablation sweeps the descriptors-per-
+//! block capacity and measures its effect on materialization, schema-
+//! node scans, and mid-insertion (split frequency).
+
+use std::hint::black_box;
+
+use bench::build_library_tree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsdb::storage::XmlStorage;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E9_block_capacity");
+    let (store, doc) = build_library_tree(2_000, 1_000, 29);
+    for &capacity in &[4u16, 16, 64, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("materialize", capacity), &(), |b, _| {
+            b.iter(|| black_box(XmlStorage::from_tree_with_capacity(&store, doc, capacity)))
+        });
+        let xs = XmlStorage::from_tree_with_capacity(&store, doc, capacity);
+        let title_sn = xs.schema().resolve_path(&["library", "book", "title"]).unwrap();
+        g.bench_with_input(BenchmarkId::new("scan_titles", capacity), &(), |b, _| {
+            b.iter(|| black_box(xs.scan(title_sn).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("front_inserts", capacity), &(), |b, _| {
+            b.iter_with_setup(
+                || XmlStorage::from_tree_with_capacity(&store, doc, capacity),
+                |mut xs| {
+                    let lib = xs.children(xs.root())[0];
+                    for _ in 0..100 {
+                        black_box(xs.insert_element(lib, None, "book"));
+                    }
+                    xs
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

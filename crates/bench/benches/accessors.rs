@@ -1,0 +1,54 @@
+//! E8 — §9.2 sufficiency overhead: every accessor answered from node
+//! descriptors + schema nodes, versus the in-memory XDM tree.
+
+use std::hint::black_box;
+
+use bench::build_library_tree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsdb::storage::XmlStorage;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E8_accessors");
+    for &books in &[100usize, 1_000] {
+        let (store, doc) = build_library_tree(books, books / 2, 23);
+        let storage = XmlStorage::from_tree(&store, doc);
+        g.bench_with_input(BenchmarkId::new("xdm_sweep", books), &(), |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for n in store.subtree(doc) {
+                    acc += store.node_kind(n).len();
+                    acc += store.node_name(n).map_or(0, str::len);
+                    acc += store.children(n).len();
+                    acc += store.attributes(n).len();
+                    acc += usize::from(store.parent(n).is_some());
+                    acc += usize::from(store.nilled(n).unwrap_or(false));
+                }
+                black_box(acc)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("storage_sweep", books), &(), |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for p in storage.subtree(storage.root()) {
+                    acc += storage.node_kind(p).len();
+                    acc += storage.node_name(p).map_or(0, str::len);
+                    acc += storage.children(p).len();
+                    acc += storage.attributes(p).len();
+                    acc += usize::from(storage.parent(p).is_some());
+                    acc += usize::from(storage.nilled(p).unwrap_or(false));
+                }
+                black_box(acc)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("xdm_string_value", books), &(), |b, _| {
+            b.iter(|| black_box(store.string_value(doc).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("storage_string_value", books), &(), |b, _| {
+            b.iter(|| black_box(storage.string_value(storage.root()).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E4 — §9.3 claim: ancestor-descendant checks via labels versus an
+//! upward pointer walk.
+
+use std::hint::black_box;
+
+use bench::{build_library_tree, sample_pairs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsdb::storage::XmlStorage;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E4_ancestor");
+    for &books in &[100usize, 1_000, 10_000] {
+        let (store, doc) = build_library_tree(books, books / 2, 11);
+        let storage = XmlStorage::from_tree(&store, doc);
+        let pairs = sample_pairs(&store, doc, 10_000, 5);
+        let nodes = store.subtree(doc);
+        let descs = storage.subtree(storage.root());
+        let index_of: std::collections::HashMap<_, _> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let desc_pairs: Vec<_> = pairs
+            .iter()
+            .map(|&(a, b)| (descs[index_of[&a]], descs[index_of[&b]]))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("nid_labels", books), &(), |b, _| {
+            b.iter(|| {
+                for &(a, x) in &desc_pairs {
+                    black_box(storage.is_ancestor(a, x));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pointer_walk", books), &(), |b, _| {
+            b.iter(|| {
+                for &(a, x) in &pairs {
+                    black_box(store.is_ancestor(a, x));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E7 — descriptive-schema (DataGuide) construction cost and the
+//! schema-size/document-size ratio.
+
+use std::hint::black_box;
+
+use bench::build_library_tree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsdb::storage::DescriptiveSchema;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E7_dataguide");
+    for &books in &[100usize, 1_000, 10_000] {
+        let (store, doc) = build_library_tree(books, books / 2, 17);
+        let nodes = store.subtree(doc).len();
+        g.throughput(Throughput::Elements(nodes as u64));
+        g.bench_with_input(BenchmarkId::new("build", books), &(), |b, _| {
+            b.iter(|| black_box(DescriptiveSchema::build(&store, doc)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E3 — §9.3 claim: document-order comparison via numbering labels
+//! versus pointer traversal versus a precomputed rank index.
+
+use std::hint::black_box;
+
+use bench::{build_library_tree, sample_pairs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsdb::storage::XmlStorage;
+use xsdb::xdm::{cmp_document_order, DocumentOrderIndex};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E3_doc_order");
+    for &books in &[100usize, 1_000, 10_000] {
+        let (store, doc) = build_library_tree(books, books / 2, 7);
+        let storage = XmlStorage::from_tree(&store, doc);
+        let pairs = sample_pairs(&store, doc, 10_000, 3);
+        // Parallel arrays: node ids ↔ descriptor ptrs share subtree order.
+        let nodes = store.subtree(doc);
+        let descs = storage.subtree(storage.root());
+        let index_of: std::collections::HashMap<_, _> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let desc_pairs: Vec<_> = pairs
+            .iter()
+            .map(|&(a, b)| (descs[index_of[&a]], descs[index_of[&b]]))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("nid_labels", books), &(), |b, _| {
+            b.iter(|| {
+                for &(a, x) in &desc_pairs {
+                    black_box(storage.cmp_doc_order(a, x));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pointer_walk", books), &(), |b, _| {
+            b.iter(|| {
+                for &(a, x) in &pairs {
+                    black_box(cmp_document_order(&store, a, x));
+                }
+            })
+        });
+        let idx = DocumentOrderIndex::build(&store, doc);
+        g.bench_with_input(BenchmarkId::new("static_rank", books), &(), |b, _| {
+            b.iter(|| {
+                for &(a, x) in &pairs {
+                    black_box(idx.cmp(a, x));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E1 — Theorem §8: `g(f(X)) =_c X` round-trip throughput across
+//! document sizes and schema families.
+
+use std::hint::black_box;
+
+use bench::Family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsdb::{check_roundtrip, parse_schema_text, Document};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1_roundtrip");
+    for family in Family::ALL {
+        let schema = parse_schema_text(family.schema_text()).unwrap();
+        for &size in &[100usize, 1_000, 10_000] {
+            let xml = family.generate(size, 42);
+            let doc = Document::parse(&xml).unwrap();
+            g.throughput(Throughput::Elements(size as u64));
+            g.bench_with_input(
+                BenchmarkId::new(family.name(), size),
+                &doc,
+                |b, doc| b.iter(|| black_box(check_roundtrip(&schema, doc)).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

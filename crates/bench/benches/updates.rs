@@ -1,0 +1,71 @@
+//! E6 — Proposition 1: insertion cost under the Sedna numbering scheme
+//! (no relabeling) versus naive ordinal Dewey (cascading renumber).
+
+use std::hint::black_box;
+
+use bench::{build_library_tree, NaiveDewey};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsdb::storage::XmlStorage;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E6_updates");
+    for &siblings in &[100usize, 1_000] {
+        g.throughput(Throughput::Elements(siblings as u64));
+        // Front insertion: the adversarial case for ordinal Dewey.
+        g.bench_with_input(BenchmarkId::new("sedna_front", siblings), &(), |b, _| {
+            b.iter_with_setup(
+                || {
+                    let (store, doc) = build_library_tree(4, 0, 1);
+                    XmlStorage::from_tree(&store, doc)
+                },
+                |mut xs| {
+                    let lib = xs.children(xs.root())[0];
+                    for _ in 0..siblings {
+                        black_box(xs.insert_element(lib, None, "book"));
+                    }
+                    assert_eq!(xs.relabel_count(), 0);
+                    xs
+                },
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("dewey_front", siblings), &(), |b, _| {
+            b.iter_with_setup(NaiveDewey::new, |mut t| {
+                let root = t.root();
+                for _ in 0..siblings {
+                    black_box(t.insert_child(root, 0));
+                }
+                t
+            })
+        });
+        // Append: the friendly case for both.
+        g.bench_with_input(BenchmarkId::new("sedna_append", siblings), &(), |b, _| {
+            b.iter_with_setup(
+                || {
+                    let (store, doc) = build_library_tree(4, 0, 1);
+                    XmlStorage::from_tree(&store, doc)
+                },
+                |mut xs| {
+                    let lib = xs.children(xs.root())[0];
+                    let mut last = xs.children(lib).last().copied();
+                    for _ in 0..siblings {
+                        last = Some(black_box(xs.insert_element(lib, last, "book")));
+                    }
+                    xs
+                },
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("dewey_append", siblings), &(), |b, _| {
+            b.iter_with_setup(NaiveDewey::new, |mut t| {
+                let root = t.root();
+                for i in 0..siblings {
+                    black_box(t.insert_child(root, i));
+                }
+                t
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

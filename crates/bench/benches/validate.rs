@@ -1,0 +1,34 @@
+//! E2 — §6.2 validation (the function `f`) throughput across document
+//! sizes and schema families, plus the cost split of parse vs validate.
+
+use std::hint::black_box;
+
+use bench::Family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsdb::{load_document, parse_schema_text, Document};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E2_validate");
+    for family in Family::ALL {
+        let schema = parse_schema_text(family.schema_text()).unwrap();
+        for &size in &[100usize, 1_000, 10_000] {
+            let xml = family.generate(size, 42);
+            let doc = Document::parse(&xml).unwrap();
+            g.throughput(Throughput::Elements(size as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("load_{}", family.name()), size),
+                &doc,
+                |b, doc| b.iter(|| black_box(load_document(&schema, doc)).unwrap()),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("parse_{}", family.name()), size),
+                &xml,
+                |b, xml| b.iter(|| black_box(Document::parse(xml)).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E5 — §9.2 claim: schema-guided XPath versus naive traversal, on the
+//! same block storage and on the in-memory XDM tree.
+
+use std::hint::black_box;
+
+use bench::build_library_tree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsdb::storage::XmlStorage;
+use xsdb::xpath::{eval_guided, eval_naive, parse, XdmTree};
+
+const QUERIES: &[(&str, &str)] = &[
+    ("shallow", "/library/book/title"),
+    ("selective", "/library/paper/author"),
+    ("descendant", "//author"),
+    ("predicate", "/library/book[author='codd']/title"),
+    ("attribute", "/library/book/@id"),
+];
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E5_xpath");
+    for &books in &[100usize, 1_000, 10_000] {
+        // Papers are 5% of items: high selectivity for the paper queries.
+        let (store, doc) = build_library_tree(books, books / 20, 13);
+        let storage = XmlStorage::from_tree(&store, doc);
+        let tree = XdmTree { store: &store, doc };
+        for (label, q) in QUERIES {
+            let path = parse(q).unwrap();
+            g.bench_with_input(
+                BenchmarkId::new(format!("guided_{label}"), books),
+                &path,
+                |b, path| b.iter(|| black_box(eval_guided(&storage, path))),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("naive_storage_{label}"), books),
+                &path,
+                |b, path| b.iter(|| black_box(eval_naive(&&storage, path))),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("naive_xdm_{label}"), books),
+                &path,
+                |b, path| b.iter(|| black_box(eval_naive(&tree, path))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

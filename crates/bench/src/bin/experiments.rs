@@ -1,0 +1,468 @@
+//! The experiment driver: regenerates every table recorded in
+//! EXPERIMENTS.md (E1–E8) and prints them as aligned rows.
+//!
+//! Run with `cargo run -p bench --release --bin experiments`
+//! (optionally pass experiment ids, e.g. `e3 e6`, to run a subset).
+
+use std::time::Instant;
+
+use bench::{build_deep_tree, build_library_tree, sample_pairs, Family, NaiveDewey};
+use xsdb::storage::{DescriptiveSchema, XmlStorage};
+use xsdb::xdm::cmp_document_order;
+use xsdb::xpath::{eval_guided, eval_naive, parse, XdmTree};
+use xsdb::{check_roundtrip, load_document, parse_schema_text, Document};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+    println!("xsdb experiment suite — every table of EXPERIMENTS.md");
+    println!("(release-mode wall clock; see benches/ for the Criterion versions)");
+    if want("e1") {
+        e1_roundtrip();
+    }
+    if want("e2") {
+        e2_validate();
+    }
+    if want("e3") {
+        e3_doc_order();
+    }
+    if want("e4") {
+        e4_ancestor();
+    }
+    if want("e5") {
+        e5_xpath();
+    }
+    if want("e6") {
+        e6_updates();
+    }
+    if want("e7") {
+        e7_dataguide();
+    }
+    if want("e8") {
+        e8_accessors();
+    }
+    if want("e9") {
+        e9_block_capacity();
+    }
+}
+
+/// Time one closure, returning (result, seconds).
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Time `f` repeated until ≥ `min_runs` and ≥ 50 ms, returning seconds
+/// per run.
+fn per_run(min_runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut runs = 0usize;
+    let start = Instant::now();
+    while runs < min_runs || start.elapsed().as_secs_f64() < 0.05 {
+        f();
+        runs += 1;
+    }
+    start.elapsed().as_secs_f64() / runs as f64
+}
+
+fn tree_nodes(family: Family, size: usize) -> (xsdb::DocumentSchema, Document, usize) {
+    let schema = parse_schema_text(family.schema_text()).unwrap();
+    let xml = family.generate(size, 42);
+    let doc = Document::parse(&xml).unwrap();
+    let nodes = load_document(&schema, &doc).unwrap().store.len();
+    (schema, doc, nodes)
+}
+
+fn e1_roundtrip() {
+    println!("\n== E1: round-trip theorem g(f(X)) =_c X (§8) ==");
+    println!(
+        "{:<8} {:>9} {:>12} {:>14} {:>10}",
+        "family", "nodes", "ms/doc", "nodes/ms", "holds"
+    );
+    for family in Family::ALL {
+        for &size in &[100usize, 1_000, 10_000] {
+            let (schema, doc, nodes) = tree_nodes(family, size);
+            let ok = check_roundtrip(&schema, &doc).is_ok();
+            let secs = per_run(3, || {
+                check_roundtrip(&schema, &doc).unwrap();
+            });
+            println!(
+                "{:<8} {:>9} {:>12.3} {:>14.0} {:>10}",
+                family.name(),
+                nodes,
+                secs * 1e3,
+                nodes as f64 / (secs * 1e3),
+                ok
+            );
+        }
+    }
+}
+
+fn e2_validate() {
+    println!("\n== E2: §6.2 validation throughput (f without g) ==");
+    println!(
+        "{:<8} {:>9} {:>12} {:>12} {:>12} {:>14}",
+        "family", "nodes", "parse ms", "load ms", "stream ms", "knodes/s"
+    );
+    for family in Family::ALL {
+        for &size in &[100usize, 1_000, 10_000] {
+            let schema = parse_schema_text(family.schema_text()).unwrap();
+            let xml = family.generate(size, 42);
+            let doc = Document::parse(&xml).unwrap();
+            let nodes = load_document(&schema, &doc).unwrap().store.len();
+            let parse_s = per_run(3, || {
+                Document::parse(&xml).unwrap();
+            });
+            let load_s = per_run(3, || {
+                load_document(&schema, &doc).unwrap();
+            });
+            let stream_opts = xsdb::LoadOptions {
+                check_identity: false,
+                ..xsdb::LoadOptions::default()
+            };
+            assert!(xsdb::algebra::validate_streaming_with(&schema, &xml, &stream_opts)
+                .is_empty());
+            let stream_s = per_run(3, || {
+                xsdb::algebra::validate_streaming_with(&schema, &xml, &stream_opts);
+            });
+            println!(
+                "{:<8} {:>9} {:>12.3} {:>12.3} {:>12.3} {:>14.0}",
+                family.name(),
+                nodes,
+                parse_s * 1e3,
+                load_s * 1e3,
+                stream_s * 1e3,
+                nodes as f64 / load_s / 1e3,
+            );
+        }
+    }
+}
+
+fn e3_doc_order() {
+    println!("\n== E3: document order — nid labels vs pointer walk (§9.3) ==");
+    println!(
+        "{:<9} {:>9} {:>14} {:>14} {:>9}",
+        "books", "nodes", "labels ns/cmp", "walk ns/cmp", "speedup"
+    );
+    for &books in &[100usize, 1_000, 10_000, 100_000] {
+        let (store, doc) = build_library_tree(books, books / 2, 7);
+        let storage = XmlStorage::from_tree(&store, doc);
+        let pairs = sample_pairs(&store, doc, 10_000, 3);
+        let nodes = store.subtree(doc);
+        let descs = storage.subtree(storage.root());
+        let index_of: std::collections::HashMap<_, _> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let desc_pairs: Vec<_> =
+            pairs.iter().map(|&(a, b)| (descs[index_of[&a]], descs[index_of[&b]])).collect();
+        // Correctness cross-check before timing.
+        for (&(a, b), &(da, db)) in pairs.iter().zip(&desc_pairs) {
+            assert_eq!(cmp_document_order(&store, a, b), storage.cmp_doc_order(da, db));
+        }
+        let label_s = per_run(3, || {
+            for &(a, b) in &desc_pairs {
+                std::hint::black_box(storage.cmp_doc_order(a, b));
+            }
+        }) / desc_pairs.len() as f64;
+        let walk_s = per_run(3, || {
+            for &(a, b) in &pairs {
+                std::hint::black_box(cmp_document_order(&store, a, b));
+            }
+        }) / pairs.len() as f64;
+        println!(
+            "{:<9} {:>9} {:>14.1} {:>14.1} {:>8.1}x",
+            books,
+            nodes.len(),
+            label_s * 1e9,
+            walk_s * 1e9,
+            walk_s / label_s
+        );
+    }
+}
+
+fn e4_ancestor() {
+    println!("\n== E4: ancestor-descendant — nid labels vs upward walk (§9.3) ==");
+    println!(
+        "{:<16} {:>9} {:>14} {:>14} {:>9}",
+        "shape", "nodes", "labels ns/chk", "walk ns/chk", "speedup"
+    );
+    // Shallow library trees (depth ≈ 4) and deep chain trees (depth up
+    // to 500): the walk is O(depth), the label check O(label bytes).
+    let shapes: Vec<(String, xsdb::xdm::NodeStore, xsdb::xdm::NodeId)> = vec![
+        {
+            let (s, d) = build_library_tree(1_000, 500, 11);
+            ("library d≈4".to_string(), s, d)
+        },
+        {
+            let (s, d) = build_library_tree(100_000, 50_000, 11);
+            ("library(big) d≈4".to_string(), s, d)
+        },
+        {
+            let (s, d) = build_deep_tree(200, 50);
+            ("chains d=50".to_string(), s, d)
+        },
+        {
+            let (s, d) = build_deep_tree(50, 200);
+            ("chains d=200".to_string(), s, d)
+        },
+        {
+            let (s, d) = build_deep_tree(20, 500);
+            ("chains d=500".to_string(), s, d)
+        },
+    ];
+    for (label, store, doc) in &shapes {
+        let (store, doc) = (store, *doc);
+        let storage = XmlStorage::from_tree(store, doc);
+        let pairs = sample_pairs(store, doc, 10_000, 5);
+        let nodes = store.subtree(doc);
+        let descs = storage.subtree(storage.root());
+        let index_of: std::collections::HashMap<_, _> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let desc_pairs: Vec<_> =
+            pairs.iter().map(|&(a, b)| (descs[index_of[&a]], descs[index_of[&b]])).collect();
+        for (&(a, b), &(da, db)) in pairs.iter().zip(&desc_pairs) {
+            assert_eq!(store.is_ancestor(a, b), storage.is_ancestor(da, db));
+        }
+        let label_s = per_run(3, || {
+            for &(a, b) in &desc_pairs {
+                std::hint::black_box(storage.is_ancestor(a, b));
+            }
+        }) / desc_pairs.len() as f64;
+        let walk_s = per_run(3, || {
+            for &(a, b) in &pairs {
+                std::hint::black_box(store.is_ancestor(a, b));
+            }
+        }) / pairs.len() as f64;
+        println!(
+            "{:<16} {:>9} {:>14.1} {:>14.1} {:>8.1}x",
+            label,
+            nodes.len(),
+            label_s * 1e9,
+            walk_s * 1e9,
+            walk_s / label_s
+        );
+    }
+}
+
+fn e5_xpath() {
+    println!("\n== E5: XPath — schema-guided vs naive (§9.2) ==");
+    println!(
+        "{:<11} {:<9} {:>7} {:>13} {:>13} {:>13} {:>9}",
+        "query", "books", "hits", "guided µs", "naive-st µs", "naive-xdm µs", "speedup"
+    );
+    let queries: &[(&str, &str)] = &[
+        ("shallow", "/library/book/title"),
+        ("selective", "/library/paper/author"),
+        ("descendant", "//author"),
+        ("predicate", "/library/book[author='codd']/title"),
+        ("attribute", "/library/book/@id"),
+    ];
+    for &books in &[1_000usize, 10_000] {
+        let (store, doc) = build_library_tree(books, books / 20, 13);
+        let storage = XmlStorage::from_tree(&store, doc);
+        let tree = XdmTree { store: &store, doc };
+        for (label, q) in queries {
+            let path = parse(q).unwrap();
+            let hits = eval_guided(&storage, &path).len();
+            assert_eq!(hits, eval_naive(&&storage, &path).len(), "{q}");
+            let guided_s = per_run(3, || {
+                std::hint::black_box(eval_guided(&storage, &path));
+            });
+            let naive_st_s = per_run(3, || {
+                std::hint::black_box(eval_naive(&&storage, &path));
+            });
+            let naive_xdm_s = per_run(3, || {
+                std::hint::black_box(eval_naive(&tree, &path));
+            });
+            println!(
+                "{:<11} {:<9} {:>7} {:>13.1} {:>13.1} {:>13.1} {:>8.1}x",
+                label,
+                books,
+                hits,
+                guided_s * 1e6,
+                naive_st_s * 1e6,
+                naive_xdm_s * 1e6,
+                naive_st_s / guided_s
+            );
+        }
+    }
+}
+
+fn e6_updates() {
+    println!("\n== E6: updates — Sedna labels vs ordinal Dewey (Prop. 1) ==");
+    println!(
+        "{:<10} {:>8} {:>13} {:>13} {:>13} {:>13} {:>12}",
+        "pattern", "inserts", "sedna ms", "dewey ms", "sedna relbl", "dewey relbl", "max nid B"
+    );
+    for &(pattern, n) in &[("append", 1_000usize), ("front", 1_000), ("same-gap", 1_000)] {
+        // Sedna storage.
+        let (store, doc) = build_library_tree(4, 0, 1);
+        let mut xs = XmlStorage::from_tree(&store, doc);
+        let lib = xs.children(xs.root())[0];
+        let ((), sedna_s) = timed(|| match pattern {
+            "append" => {
+                let mut last = xs.children(lib).last().copied();
+                for _ in 0..n {
+                    last = Some(xs.insert_element(lib, last, "book"));
+                }
+            }
+            "front" => {
+                for _ in 0..n {
+                    xs.insert_element(lib, None, "book");
+                }
+            }
+            _ => {
+                let anchor = xs.children(lib)[0];
+                for _ in 0..n {
+                    xs.insert_element(lib, Some(anchor), "book");
+                }
+            }
+        });
+        assert_eq!(xs.check_invariants(), None);
+        let max_nid =
+            xs.subtree(xs.root()).into_iter().map(|p| xs.nid(p).byte_len()).max().unwrap();
+        // Ordinal Dewey baseline.
+        let mut dewey = NaiveDewey::new();
+        let root = dewey.root();
+        for i in 0..4 {
+            dewey.insert_child(root, i);
+        }
+        let ((), dewey_s) = timed(|| match pattern {
+            "append" => {
+                for i in 0..n {
+                    dewey.insert_child(root, 4 + i);
+                }
+            }
+            "front" => {
+                for _ in 0..n {
+                    dewey.insert_child(root, 0);
+                }
+            }
+            _ => {
+                for _ in 0..n {
+                    dewey.insert_child(root, 1);
+                }
+            }
+        });
+        println!(
+            "{:<10} {:>8} {:>13.2} {:>13.2} {:>13} {:>13} {:>12}",
+            pattern,
+            n,
+            sedna_s * 1e3,
+            dewey_s * 1e3,
+            xs.relabel_count(),
+            dewey.relabels,
+            max_nid
+        );
+    }
+}
+
+fn e7_dataguide() {
+    println!("\n== E7: descriptive schema (DataGuide) compression (§9.1) ==");
+    println!(
+        "{:<9} {:>10} {:>13} {:>13} {:>11}",
+        "books", "doc nodes", "schema nodes", "ratio", "build ms"
+    );
+    for &books in &[100usize, 1_000, 10_000, 100_000] {
+        let (store, doc) = build_library_tree(books, books / 2, 17);
+        let doc_nodes = store.subtree(doc).len();
+        let ((schema, _), secs) = timed(|| DescriptiveSchema::build(&store, doc));
+        println!(
+            "{:<9} {:>10} {:>13} {:>12.0}x {:>11.2}",
+            books,
+            doc_nodes,
+            schema.len(),
+            doc_nodes as f64 / schema.len() as f64,
+            secs * 1e3
+        );
+    }
+}
+
+fn e8_accessors() {
+    println!("\n== E8: accessor sweep — descriptors+schema vs XDM tree (§9.2) ==");
+    println!(
+        "{:<9} {:>9} {:>13} {:>13} {:>9}",
+        "books", "nodes", "storage ms", "xdm ms", "overhead"
+    );
+    for &books in &[100usize, 1_000, 10_000] {
+        let (store, doc) = build_library_tree(books, books / 2, 23);
+        let storage = XmlStorage::from_tree(&store, doc);
+        let sweep_store = || {
+            let mut acc = 0usize;
+            for p in storage.subtree(storage.root()) {
+                acc += storage.node_kind(p).len();
+                acc += storage.node_name(p).map_or(0, str::len);
+                acc += storage.children(p).len();
+                acc += storage.attributes(p).len();
+                acc += usize::from(storage.parent(p).is_some());
+            }
+            acc
+        };
+        let sweep_xdm = || {
+            let mut acc = 0usize;
+            for n in store.subtree(doc) {
+                acc += store.node_kind(n).len();
+                acc += store.node_name(n).map_or(0, str::len);
+                acc += store.children(n).len();
+                acc += store.attributes(n).len();
+                acc += usize::from(store.parent(n).is_some());
+            }
+            acc
+        };
+        assert_eq!(sweep_store(), sweep_xdm(), "accessor sufficiency");
+        let st_s = per_run(3, || {
+            std::hint::black_box(sweep_store());
+        });
+        let xd_s = per_run(3, || {
+            std::hint::black_box(sweep_xdm());
+        });
+        println!(
+            "{:<9} {:>9} {:>13.2} {:>13.2} {:>8.1}x",
+            books,
+            store.subtree(doc).len(),
+            st_s * 1e3,
+            xd_s * 1e3,
+            st_s / xd_s
+        );
+    }
+}
+
+fn e9_block_capacity() {
+    println!("\n== E9 (ablation): block capacity (§9.2 design choice) ==");
+    println!(
+        "{:<9} {:>8} {:>14} {:>12} {:>16}",
+        "capacity", "blocks", "materialize ms", "scan µs", "100 inserts ms"
+    );
+    let (store, doc) = build_library_tree(2_000, 1_000, 29);
+    for &capacity in &[4u16, 16, 64, 256, 1024] {
+        let build_s = per_run(3, || {
+            std::hint::black_box(XmlStorage::from_tree_with_capacity(&store, doc, capacity));
+        });
+        let xs = XmlStorage::from_tree_with_capacity(&store, doc, capacity);
+        let blocks = xs.block_count();
+        let title_sn = xs.schema().resolve_path(&["library", "book", "title"]).unwrap();
+        let scan_s = per_run(3, || {
+            std::hint::black_box(xs.scan(title_sn).len());
+        });
+        let mut insert_total = 0.0;
+        let runs = 3;
+        for _ in 0..runs {
+            let mut fresh = XmlStorage::from_tree_with_capacity(&store, doc, capacity);
+            let lib = fresh.children(fresh.root())[0];
+            let ((), t) = timed(|| {
+                for _ in 0..100 {
+                    fresh.insert_element(lib, None, "book");
+                }
+            });
+            assert_eq!(fresh.check_invariants(), None);
+            insert_total += t;
+        }
+        println!(
+            "{:<9} {:>8} {:>14.2} {:>12.1} {:>16.2}",
+            capacity,
+            blocks,
+            build_s * 1e3,
+            scan_s * 1e6,
+            insert_total / runs as f64 * 1e3
+        );
+    }
+}

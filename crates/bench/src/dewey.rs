@@ -1,0 +1,149 @@
+//! The naive-Dewey baseline for experiment E6.
+//!
+//! Classic Dewey labels (ref. 19 in the paper: Tatarinov et al.) use sibling
+//! *ordinals*: the label of the 3rd child of `1.2` is `1.2.3`. Insertion
+//! in the middle renumbers every following sibling — and transitively
+//! every node in their subtrees. The Sedna scheme (§9.3) replaces
+//! ordinals with gap-allocated components so that insertion touches no
+//! existing label (Proposition 1). This module implements the baseline so
+//! the relabeling cost can be measured against the Sedna scheme.
+
+/// A tree with ordinal Dewey labels that counts relabel operations.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveDewey {
+    parents: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    labels: Vec<Vec<u32>>,
+    /// Total number of label rewrites caused by inserts.
+    pub relabels: u64,
+}
+
+impl NaiveDewey {
+    /// A tree with just a root (label `[1]`).
+    pub fn new() -> Self {
+        NaiveDewey {
+            parents: vec![None],
+            children: vec![Vec::new()],
+            labels: vec![vec![1]],
+            relabels: 0,
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// The label of a node.
+    pub fn label(&self, node: usize) -> &[u32] {
+        &self.labels[node]
+    }
+
+    /// Children of a node.
+    pub fn children(&self, node: usize) -> &[usize] {
+        &self.children[node]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.parents.len() <= 1
+    }
+
+    /// Insert a new child of `parent` at position `pos` (0-based),
+    /// renumbering the displaced siblings and their subtrees.
+    /// Returns the new node.
+    pub fn insert_child(&mut self, parent: usize, pos: usize) -> usize {
+        let id = self.parents.len();
+        self.parents.push(Some(parent));
+        self.children.push(Vec::new());
+        let mut label = self.labels[parent].clone();
+        label.push(pos as u32 + 1);
+        self.labels.push(label);
+        let pos = pos.min(self.children[parent].len());
+        self.children[parent].insert(pos, id);
+        // Renumber every following sibling (ordinal changed) and its
+        // entire subtree (prefix changed).
+        let displaced: Vec<usize> = self.children[parent][pos + 1..].to_vec();
+        for (offset, sib) in displaced.into_iter().enumerate() {
+            let ordinal = (pos + 1 + offset) as u32 + 1;
+            let mut new_label = self.labels[parent].clone();
+            new_label.push(ordinal);
+            self.relabel_subtree(sib, new_label);
+        }
+        id
+    }
+
+    fn relabel_subtree(&mut self, node: usize, new_label: Vec<u32>) {
+        if self.labels[node] != new_label {
+            self.labels[node] = new_label.clone();
+            self.relabels += 1;
+        }
+        let kids = self.children[node].clone();
+        for (i, child) in kids.into_iter().enumerate() {
+            let mut l = new_label.clone();
+            l.push(i as u32 + 1);
+            self.relabel_subtree(child, l);
+        }
+    }
+
+    /// Document-order comparison on ordinal labels (same rule as §9.3).
+    pub fn cmp(&self, a: usize, b: usize) -> std::cmp::Ordering {
+        self.labels[a].cmp(&self.labels[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_do_not_relabel() {
+        let mut t = NaiveDewey::new();
+        for i in 0..10 {
+            t.insert_child(t.root(), i);
+        }
+        assert_eq!(t.relabels, 0);
+        assert_eq!(t.label(t.children(0)[9]), &[1, 10]);
+    }
+
+    #[test]
+    fn front_insert_relabels_all_siblings() {
+        let mut t = NaiveDewey::new();
+        for i in 0..10 {
+            t.insert_child(t.root(), i);
+        }
+        t.insert_child(t.root(), 0);
+        assert_eq!(t.relabels, 10);
+        assert_eq!(t.label(t.children(0)[0]), &[1, 1]);
+        assert_eq!(t.label(t.children(0)[10]), &[1, 11]);
+    }
+
+    #[test]
+    fn relabeling_cascades_into_subtrees() {
+        let mut t = NaiveDewey::new();
+        let a = t.insert_child(t.root(), 0);
+        let b = t.insert_child(t.root(), 1);
+        let under_b = t.insert_child(b, 0);
+        assert_eq!(t.label(under_b), &[1, 2, 1]);
+        let _ = a;
+        t.insert_child(t.root(), 0); // displaces a and b
+        // a relabeled, b relabeled, under_b relabeled.
+        assert_eq!(t.relabels, 3);
+        assert_eq!(t.label(under_b), &[1, 3, 1]);
+    }
+
+    #[test]
+    fn order_matches_insertion_structure() {
+        let mut t = NaiveDewey::new();
+        let a = t.insert_child(t.root(), 0);
+        let b = t.insert_child(t.root(), 1);
+        let mid = t.insert_child(t.root(), 1);
+        assert_eq!(t.cmp(a, mid), std::cmp::Ordering::Less);
+        assert_eq!(t.cmp(mid, b), std::cmp::Ordering::Less);
+    }
+}

@@ -1,0 +1,12 @@
+//! Benchmark harness support: deterministic workload generators and the
+//! naive-Dewey baseline. The Criterion benches in `benches/` and the
+//! `experiments` binary drive these to regenerate every row reported in
+//! EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod dewey;
+pub mod workload;
+
+pub use dewey::NaiveDewey;
+pub use workload::{build_deep_tree, build_library_tree, sample_pairs, Family};

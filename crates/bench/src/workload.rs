@@ -1,0 +1,352 @@
+//! Deterministic workload generators for the experiment suite
+//! (EXPERIMENTS.md). All generators are seeded, so every run measures
+//! the same inputs.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xsdb::xdm::{NodeId, NodeStore};
+
+/// The four schema families used across experiments E1/E2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Example 7 shape: one element with many flat record children.
+    Flat,
+    /// Deeply nested sections.
+    Deep,
+    /// Mixed content interleaving text and elements.
+    Mixed,
+    /// Repeated choice groups (Example 3 shape).
+    Choice,
+}
+
+impl Family {
+    /// All families.
+    pub const ALL: [Family; 4] = [Family::Flat, Family::Deep, Family::Mixed, Family::Choice];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Flat => "flat",
+            Family::Deep => "deep",
+            Family::Mixed => "mixed",
+            Family::Choice => "choice",
+        }
+    }
+
+    /// The XSD text for this family.
+    pub fn schema_text(self) -> &'static str {
+        match self {
+            Family::Flat => FLAT_XSD,
+            Family::Deep => DEEP_XSD,
+            Family::Mixed => MIXED_XSD,
+            Family::Choice => CHOICE_XSD,
+        }
+    }
+
+    /// Generate a valid document with roughly `target_nodes` tree nodes.
+    pub fn generate(self, target_nodes: usize, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        match self {
+            Family::Flat => gen_flat(target_nodes, &mut rng),
+            Family::Deep => gen_deep(target_nodes, &mut rng),
+            Family::Mixed => gen_mixed(target_nodes, &mut rng),
+            Family::Choice => gen_choice(target_nodes, &mut rng),
+        }
+    }
+}
+
+const FLAT_XSD: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="BookPublication">
+    <xs:sequence>
+      <xs:element name="Title" type="xs:string"/>
+      <xs:element name="Author" type="xs:string" maxOccurs="unbounded"/>
+      <xs:element name="Date" type="xs:gYear"/>
+      <xs:element name="ISBN" type="xs:string"/>
+      <xs:element name="Publisher" type="xs:string"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:element name="BookStore">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="Book" type="BookPublication" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+const DEEP_XSD: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="doc">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="section" type="Section" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:complexType name="Section">
+    <xs:sequence>
+      <xs:element name="heading" type="xs:string"/>
+      <xs:element name="section" type="Section" minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element name="para" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>"#;
+
+const MIXED_XSD: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="notes">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="note" minOccurs="0" maxOccurs="unbounded">
+          <xs:complexType mixed="true">
+            <xs:sequence>
+              <xs:element name="b" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+const CHOICE_XSD: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="stream">
+    <xs:complexType>
+      <xs:choice minOccurs="0" maxOccurs="unbounded">
+        <xs:element name="zero" type="xs:string"/>
+        <xs:element name="one" type="xs:string"/>
+        <xs:element name="pair">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="lo" type="xs:integer"/>
+              <xs:element name="hi" type="xs:integer"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:choice>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+fn word(rng: &mut StdRng) -> String {
+    const WORDS: &[&str] = &[
+        "database", "schema", "algebra", "node", "accessor", "document", "order", "tree",
+        "label", "block", "storage", "query", "element", "attribute", "model",
+    ];
+    WORDS[rng.random_range(0..WORDS.len())].to_string()
+}
+
+fn gen_flat(target: usize, rng: &mut StdRng) -> String {
+    // Each book contributes ~12 nodes (element + 5 fields + text + extra authors).
+    let books = (target / 12).max(1);
+    let mut out = String::from("<BookStore>");
+    for i in 0..books {
+        let authors = 1 + rng.random_range(0..3);
+        out.push_str("<Book>");
+        out.push_str(&format!("<Title>{} {} vol {}</Title>", word(rng), word(rng), i));
+        for _ in 0..authors {
+            out.push_str(&format!("<Author>{}</Author>", word(rng)));
+        }
+        out.push_str(&format!("<Date>{}</Date>", 1950 + rng.random_range(0..70)));
+        out.push_str(&format!(
+            "<ISBN>{}-{:03}-{:05}-{}</ISBN>",
+            rng.random_range(0..10),
+            rng.random_range(0..1000),
+            rng.random_range(0..100000),
+            rng.random_range(0..10)
+        ));
+        out.push_str(&format!("<Publisher>{}</Publisher>", word(rng)));
+        out.push_str("</Book>");
+    }
+    out.push_str("</BookStore>");
+    out
+}
+
+fn gen_deep(target: usize, rng: &mut StdRng) -> String {
+    let mut out = String::from("<doc>");
+    let mut budget = target as isize;
+    fn section(out: &mut String, depth: usize, budget: &mut isize, rng: &mut StdRng) {
+        *out += "<section>";
+        *out += &format!("<heading>{} {}</heading>", word(rng), depth);
+        *budget -= 4;
+        while *budget > 0 && depth < 40 && rng.random_bool(0.55) {
+            section(out, depth + 1, budget, rng);
+        }
+        let paras = rng.random_range(0..3);
+        for _ in 0..paras {
+            *out += &format!("<para>{} {}</para>", word(rng), word(rng));
+            *budget -= 2;
+        }
+        *out += "</section>";
+    }
+    while budget > 0 {
+        section(&mut out, 0, &mut budget, rng);
+    }
+    out.push_str("</doc>");
+    out
+}
+
+fn gen_mixed(target: usize, rng: &mut StdRng) -> String {
+    let notes = (target / 8).max(1);
+    let mut out = String::from("<notes>");
+    for _ in 0..notes {
+        out.push_str("<note>");
+        let runs = rng.random_range(1..4);
+        for _ in 0..runs {
+            out.push_str(&word(rng));
+            out.push(' ');
+            out.push_str(&format!("<b>{}</b>", word(rng)));
+            out.push(' ');
+            out.push_str(&word(rng));
+        }
+        out.push_str("</note>");
+    }
+    out.push_str("</notes>");
+    out
+}
+
+fn gen_choice(target: usize, rng: &mut StdRng) -> String {
+    let items = (target / 3).max(1);
+    let mut out = String::from("<stream>");
+    for _ in 0..items {
+        match rng.random_range(0..3) {
+            0 => out.push_str("<zero>z</zero>"),
+            1 => out.push_str("<one>o</one>"),
+            _ => out.push_str(&format!(
+                "<pair><lo>{}</lo><hi>{}</hi></pair>",
+                rng.random_range(0..100),
+                rng.random_range(100..200)
+            )),
+        }
+    }
+    out.push_str("</stream>");
+    out
+}
+
+/// Build a library-style XDM tree with `books` books and `papers` papers
+/// (the Example 8 shape scaled up). Returns the store and document node.
+pub fn build_library_tree(books: usize, papers: usize, seed: u64) -> (NodeStore, NodeId) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x11b);
+    let mut s = NodeStore::new();
+    let doc = s.new_document(Some("bench://library.xml".into()));
+    let lib = s.new_element(doc, "library");
+    for i in 0..books {
+        let book = s.new_element(lib, "book");
+        s.new_attribute(book, "id", format!("b{i}"));
+        let t = s.new_element(book, "title");
+        s.new_text(t, format!("{} {} {i}", word(&mut rng), word(&mut rng)));
+        for _ in 0..rng.random_range(1..4) {
+            let a = s.new_element(book, "author");
+            s.new_text(a, word(&mut rng));
+        }
+        if rng.random_bool(0.3) {
+            let issue = s.new_element(book, "issue");
+            let p = s.new_element(issue, "publisher");
+            s.new_text(p, word(&mut rng));
+            let y = s.new_element(issue, "year");
+            s.new_text(y, format!("{}", 1990 + rng.random_range(0..30)));
+        }
+    }
+    for i in 0..papers {
+        let paper = s.new_element(lib, "paper");
+        s.new_attribute(paper, "id", format!("p{i}"));
+        let t = s.new_element(paper, "title");
+        s.new_text(t, format!("{} {} {i}", word(&mut rng), word(&mut rng)));
+        let a = s.new_element(paper, "author");
+        s.new_text(a, word(&mut rng));
+    }
+    (s, doc)
+}
+
+/// Deterministic pseudo-random node pairs from a tree, for order/ancestor
+/// experiments.
+pub fn sample_pairs(store: &NodeStore, doc: NodeId, n: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let nodes = store.subtree(doc);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9a12);
+    (0..n)
+        .map(|_| {
+            (
+                nodes[rng.random_range(0..nodes.len())],
+                nodes[rng.random_range(0..nodes.len())],
+            )
+        })
+        .collect()
+}
+
+/// Build a deep chain-heavy tree: `chains` root children, each a chain of
+/// `depth` nested elements with a text leaf. Exercises O(depth) pointer
+/// walks against O(label) comparisons (experiments E3/E4).
+pub fn build_deep_tree(chains: usize, depth: usize) -> (NodeStore, NodeId) {
+    let mut s = NodeStore::new();
+    let doc = s.new_document(None);
+    let root = s.new_element(doc, "root");
+    for c in 0..chains {
+        let mut cur = s.new_element(root, "chain");
+        for d in 0..depth {
+            cur = s.new_element(cur, format!("level{}", d % 7));
+        }
+        s.new_text(cur, format!("leaf {c}"));
+    }
+    (s, doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsdb::{load_document, parse_schema_text, Document};
+
+    #[test]
+    fn every_family_generates_valid_documents() {
+        for family in Family::ALL {
+            let schema = parse_schema_text(family.schema_text()).unwrap();
+            for size in [50, 500] {
+                let xml = family.generate(size, 42);
+                let doc = Document::parse(&xml).unwrap_or_else(|e| {
+                    panic!("{} size {size}: {e}", family.name());
+                });
+                let loaded = load_document(&schema, &doc).unwrap_or_else(|errs| {
+                    panic!("{} size {size}: {:?}", family.name(), errs.first());
+                });
+                assert!(loaded.store.len() > 1);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in Family::ALL {
+            assert_eq!(family.generate(200, 7), family.generate(200, 7));
+            assert_ne!(family.generate(200, 7), family.generate(200, 8), "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn sizes_scale_roughly_with_target() {
+        let schema = parse_schema_text(Family::Flat.schema_text()).unwrap();
+        let small = Family::Flat.generate(100, 1);
+        let large = Family::Flat.generate(10_000, 1);
+        let ns = load_document(&schema, &Document::parse(&small).unwrap()).unwrap().store.len();
+        let nl = load_document(&schema, &Document::parse(&large).unwrap()).unwrap().store.len();
+        assert!(nl > ns * 20, "{ns} vs {nl}");
+    }
+
+    #[test]
+    fn library_tree_is_well_formed() {
+        let (store, doc) = build_library_tree(20, 10, 3);
+        assert!(xsdb::xdm::check_order_axioms(&store, doc).is_none());
+        let storage = xsdb::storage::XmlStorage::from_tree(&store, doc);
+        assert_eq!(storage.check_invariants(), None);
+    }
+
+    #[test]
+    fn pairs_are_deterministic_and_in_range() {
+        let (store, doc) = build_library_tree(5, 5, 1);
+        let a = sample_pairs(&store, doc, 100, 9);
+        let b = sample_pairs(&store, doc, 100, 9);
+        assert_eq!(a, b);
+        let nodes = store.subtree(doc);
+        assert!(a.iter().all(|(x, y)| nodes.contains(x) && nodes.contains(y)));
+    }
+}

@@ -1,0 +1,113 @@
+//! `xsdb` — command-line front door to the library.
+//!
+//! ```text
+//! xsdb validate  <schema.xsd> <doc.xml>          # §6.2 validation, rule-cited errors
+//! xsdb query     <schema.xsd> <doc.xml> <xpath>  # XPath string values
+//! xsdb xquery    <schema.xsd> <doc.xml> <flwor>  # FLWOR, serialized result
+//! xsdb roundtrip <schema.xsd> <doc.xml>          # check g(f(X)) =_c X (§8)
+//! xsdb inspect   <schema.xsd> <doc.xml>          # tree + descriptive-schema stats (§9)
+//! ```
+
+use std::process::ExitCode;
+
+use xsdb::storage::XmlStorage;
+use xsdb::xpath::XdmTree;
+use xsdb::{check_roundtrip, load_document, parse_schema_text, Document};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: xsdb <validate|query|xquery|roundtrip|inspect> <schema.xsd> <doc.xml> [expr]"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or_else(usage)?.as_str();
+    let schema_path = args.get(1).ok_or_else(usage)?;
+    let doc_path = args.get(2).ok_or_else(usage)?;
+    let schema_text = std::fs::read_to_string(schema_path)
+        .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+    let doc_text =
+        std::fs::read_to_string(doc_path).map_err(|e| format!("cannot read {doc_path}: {e}"))?;
+    let schema = parse_schema_text(&schema_text).map_err(|e| e.to_string())?;
+    let issues = xsdb::xsmodel::check(&schema);
+    if !issues.is_empty() {
+        let lines: Vec<String> = issues.iter().map(|i| format!("  {i}")).collect();
+        return Err(format!("schema is not well-formed:\n{}", lines.join("\n")));
+    }
+    let doc = Document::parse(&doc_text).map_err(|e| e.to_string())?;
+
+    match command {
+        "validate" => match load_document(&schema, &doc) {
+            Ok(loaded) => {
+                println!("valid: {} nodes", loaded.store.len());
+                Ok(())
+            }
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("{e}");
+                }
+                Err(format!("{} violation(s)", errors.len()))
+            }
+        },
+        "query" => {
+            let expr = args.get(3).ok_or_else(usage)?;
+            let loaded = load_document(&schema, &doc)
+                .map_err(|e| format!("document invalid: {}", e[0]))?;
+            let path = xsdb::xpath::parse(expr).map_err(|e| e.to_string())?;
+            let tree = XdmTree { store: &loaded.store, doc: loaded.doc };
+            for n in xsdb::xpath::eval_naive(&tree, &path) {
+                println!("{}", loaded.store.string_value(n));
+            }
+            Ok(())
+        }
+        "xquery" => {
+            let expr = args.get(3).ok_or_else(usage)?;
+            let loaded = load_document(&schema, &doc)
+                .map_err(|e| format!("document invalid: {}", e[0]))?;
+            let q = xsdb::xquery::parse_query(expr).map_err(|e| e.to_string())?;
+            let tree = XdmTree { store: &loaded.store, doc: loaded.doc };
+            let nodes = xsdb::xquery::evaluate(&tree, &q).map_err(|e| e.to_string())?;
+            println!("{}", xsdb::xquery::nodes_to_string(&nodes));
+            Ok(())
+        }
+        "roundtrip" => match check_roundtrip(&schema, &doc) {
+            Ok(_) => {
+                println!("g(f(X)) =_c X holds");
+                Ok(())
+            }
+            Err(e) => Err(format!("round trip failed: {e}")),
+        },
+        "inspect" => {
+            let loaded = load_document(&schema, &doc)
+                .map_err(|e| format!("document invalid: {}", e[0]))?;
+            let storage = XmlStorage::from_tree(&loaded.store, loaded.doc);
+            println!("document nodes:        {}", loaded.store.len());
+            println!("descriptive schema:    {} nodes", storage.schema().len());
+            println!(
+                "compression ratio:     {:.0}x",
+                loaded.store.len() as f64 / storage.schema().len() as f64
+            );
+            println!("storage blocks:        {}", storage.block_count());
+            let max_nid = storage
+                .subtree(storage.root())
+                .into_iter()
+                .map(|p| storage.nid(p).byte_len())
+                .max()
+                .unwrap_or(0);
+            println!("max label length:      {max_nid} bytes");
+            println!("string value (64B):    {:.64}", loaded.store.string_value(loaded.doc));
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}

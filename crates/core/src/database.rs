@@ -1,0 +1,674 @@
+//! The XML database: schemas, documents, queries, and updates, built on
+//! the state algebra.
+//!
+//! §6.1 opens: "Because of frequent insertion of new documents, updating
+//! existing documents and deleting obsolete documents, a database evolves
+//! through different database states. Each state can be formally
+//! represented as a many sorted algebra." [`Database`] is that evolving
+//! object: inserting a document runs `f` (validate + build the S-tree),
+//! reading one back runs `g`, and each stored document can additionally
+//! be *materialized* into the §9 block storage for schema-guided queries
+//! and label-based ordering.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use algebra::{load_document_with, serialize_tree, LoadOptions, LoadedDocument};
+use storage::XmlStorage;
+use xmlparse::Document;
+use xpath::{eval_guided, eval_naive, XdmTree};
+use xsmodel::DocumentSchema;
+
+use crate::error::DbError;
+
+/// One stored document: the logical S-tree plus an optional physical
+/// materialization.
+#[derive(Debug, Clone)]
+pub struct StoredDocument {
+    /// The schema it validated against.
+    pub schema_name: String,
+    /// The S-tree (node store + document node).
+    pub loaded: LoadedDocument,
+    /// §9 block storage, built on first use.
+    storage: Option<XmlStorage>,
+}
+
+impl StoredDocument {
+    /// The physical storage, if it has been materialized.
+    pub fn storage(&self) -> Option<&XmlStorage> {
+        self.storage.as_ref()
+    }
+}
+
+/// An XML database over the formal model.
+#[derive(Debug, Default)]
+pub struct Database {
+    schemas: BTreeMap<String, Arc<DocumentSchema>>,
+    documents: BTreeMap<String, StoredDocument>,
+    options: LoadOptions,
+}
+
+impl Database {
+    /// An empty database with paper-faithful validation options.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// An empty database with explicit [`LoadOptions`].
+    pub fn with_options(options: LoadOptions) -> Self {
+        Database { options, ..Database::default() }
+    }
+
+    // --------------------------------------------------------- schemas
+
+    /// Register a schema from XSD text. The schema is parsed (§2–3
+    /// abstract syntax) and checked for well-formedness before
+    /// registration.
+    pub fn register_schema_text(&mut self, name: &str, xsd: &str) -> Result<(), DbError> {
+        let schema = xsmodel::parse_schema_text(xsd)?;
+        self.register_schema(name, schema)
+    }
+
+    /// Register an already-built schema.
+    pub fn register_schema(&mut self, name: &str, schema: DocumentSchema) -> Result<(), DbError> {
+        if self.schemas.contains_key(name) {
+            return Err(DbError::DuplicateSchema(name.to_string()));
+        }
+        let issues = xsmodel::check(&schema);
+        if !issues.is_empty() {
+            return Err(DbError::SchemaNotWellFormed(issues));
+        }
+        self.schemas.insert(name.to_string(), Arc::new(schema));
+        Ok(())
+    }
+
+    /// Look up a registered schema.
+    pub fn schema(&self, name: &str) -> Option<&DocumentSchema> {
+        self.schemas.get(name).map(Arc::as_ref)
+    }
+
+    /// Names of all registered schemas.
+    pub fn schema_names(&self) -> impl Iterator<Item = &str> {
+        self.schemas.keys().map(String::as_str)
+    }
+
+    // ------------------------------------------------------- documents
+
+    /// Insert a document from XML text, validating it against the named
+    /// schema (the paper's `f`).
+    pub fn insert(&mut self, doc_name: &str, schema_name: &str, xml: &str) -> Result<(), DbError> {
+        let parsed = Document::parse(xml)?;
+        self.insert_document(doc_name, schema_name, &parsed)
+    }
+
+    /// Insert an already-parsed document.
+    pub fn insert_document(
+        &mut self,
+        doc_name: &str,
+        schema_name: &str,
+        xml: &Document,
+    ) -> Result<(), DbError> {
+        if self.documents.contains_key(doc_name) {
+            return Err(DbError::DuplicateDocument(doc_name.to_string()));
+        }
+        let schema = self
+            .schemas
+            .get(schema_name)
+            .ok_or_else(|| DbError::UnknownSchema(schema_name.to_string()))?;
+        let loaded =
+            load_document_with(schema, xml, &self.options).map_err(DbError::Invalid)?;
+        self.documents.insert(
+            doc_name.to_string(),
+            StoredDocument { schema_name: schema_name.to_string(), loaded, storage: None },
+        );
+        Ok(())
+    }
+
+    /// Validate text against a registered schema without storing it.
+    pub fn validate(
+        &self,
+        schema_name: &str,
+        xml: &str,
+    ) -> Result<Vec<algebra::ValidationError>, DbError> {
+        let schema = self
+            .schemas
+            .get(schema_name)
+            .ok_or_else(|| DbError::UnknownSchema(schema_name.to_string()))?;
+        let parsed = Document::parse(xml)?;
+        Ok(match load_document_with(schema, &parsed, &self.options) {
+            Ok(_) => Vec::new(),
+            Err(errs) => errs,
+        })
+    }
+
+    /// Access a stored document.
+    pub fn document(&self, name: &str) -> Option<&StoredDocument> {
+        self.documents.get(name)
+    }
+
+    /// Serialize a stored document back to XML text (the paper's `g`).
+    pub fn serialize(&self, name: &str) -> Result<String, DbError> {
+        let doc = self
+            .documents
+            .get(name)
+            .ok_or_else(|| DbError::UnknownDocument(name.to_string()))?;
+        Ok(serialize_tree(&doc.loaded.store, doc.loaded.doc).to_xml())
+    }
+
+    /// Pretty-printed serialization.
+    pub fn serialize_pretty(&self, name: &str) -> Result<String, DbError> {
+        let doc = self
+            .documents
+            .get(name)
+            .ok_or_else(|| DbError::UnknownDocument(name.to_string()))?;
+        Ok(serialize_tree(&doc.loaded.store, doc.loaded.doc).to_xml_pretty())
+    }
+
+    /// Delete a document. Returns `true` when it existed.
+    pub fn delete(&mut self, name: &str) -> bool {
+        self.documents.remove(name).is_some()
+    }
+
+    /// Names of all stored documents.
+    pub fn document_names(&self) -> impl Iterator<Item = &str> {
+        self.documents.keys().map(String::as_str)
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// True when no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    // --------------------------------------------------------- storage
+
+    /// Materialize a document into §9 block storage (idempotent) and
+    /// return it.
+    pub fn materialize(&mut self, name: &str) -> Result<&XmlStorage, DbError> {
+        let doc = self
+            .documents
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownDocument(name.to_string()))?;
+        if doc.storage.is_none() {
+            doc.storage = Some(XmlStorage::from_tree(&doc.loaded.store, doc.loaded.doc));
+        }
+        Ok(doc.storage.as_ref().expect("just materialized"))
+    }
+
+    // --------------------------------------------------------- updates
+
+    /// Node-level update: under every node selected by `parent_xpath`,
+    /// append a new element (optionally with text content). Returns how
+    /// many elements were inserted.
+    ///
+    /// Updates run on the §9 physical layer (materializing on first
+    /// use), never relabel (Proposition 1), and the logical S-tree is
+    /// refreshed from storage afterwards so queries and serialization
+    /// stay consistent. Like Sedna's untyped updates, the result is not
+    /// re-validated automatically — call [`Database::revalidate`] to
+    /// check it against the schema again.
+    pub fn update_insert_element(
+        &mut self,
+        doc_name: &str,
+        parent_xpath: &str,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<usize, DbError> {
+        let path = xpath::parse(parent_xpath)?;
+        self.materialize(doc_name)?;
+        let doc = self.documents.get_mut(doc_name).expect("materialized above");
+        let storage = doc.storage.as_mut().expect("materialized");
+        let parents = eval_guided(storage, &path);
+        for &parent in &parents {
+            let last = storage.children(parent).last().copied();
+            let new = storage.insert_element(parent, last, name);
+            if let Some(t) = text {
+                storage.insert_text(new, None, t);
+            }
+        }
+        let n = parents.len();
+        Self::refresh_logical(doc);
+        Ok(n)
+    }
+
+    /// Node-level update: delete every node selected by `xpath`
+    /// (subtrees included). Returns how many nodes were deleted.
+    pub fn update_delete(&mut self, doc_name: &str, xpath: &str) -> Result<usize, DbError> {
+        let path = xpath::parse(xpath)?;
+        self.materialize(doc_name)?;
+        let doc = self.documents.get_mut(doc_name).expect("materialized above");
+        let storage = doc.storage.as_mut().expect("materialized");
+        let victims = eval_guided(storage, &path);
+        let root_elem = storage.children(storage.root())[0];
+        let mut deleted = 0;
+        for &v in &victims {
+            if v == storage.root() || v == root_elem {
+                continue; // never delete the document or root element
+            }
+            storage.delete(v);
+            deleted += 1;
+        }
+        Self::refresh_logical(doc);
+        Ok(deleted)
+    }
+
+    /// Node-level update: set (insert or replace) an attribute on every
+    /// element selected by `xpath`. Returns how many elements were
+    /// touched.
+    pub fn update_set_attribute(
+        &mut self,
+        doc_name: &str,
+        xpath: &str,
+        name: &str,
+        value: &str,
+    ) -> Result<usize, DbError> {
+        let path = xpath::parse(xpath)?;
+        self.materialize(doc_name)?;
+        let doc = self.documents.get_mut(doc_name).expect("materialized above");
+        let storage = doc.storage.as_mut().expect("materialized");
+        let targets = eval_guided(storage, &path);
+        for &t in &targets {
+            storage.insert_attribute(t, name, value);
+        }
+        let n = targets.len();
+        Self::refresh_logical(doc);
+        Ok(n)
+    }
+
+    /// Node-level update: replace the text content of every element
+    /// selected by `xpath` with a single text node carrying `value`
+    /// (existing children are removed). Returns how many elements were
+    /// rewritten.
+    pub fn update_set_text(
+        &mut self,
+        doc_name: &str,
+        xpath: &str,
+        value: &str,
+    ) -> Result<usize, DbError> {
+        let path = xpath::parse(xpath)?;
+        self.materialize(doc_name)?;
+        let doc = self.documents.get_mut(doc_name).expect("materialized above");
+        let storage = doc.storage.as_mut().expect("materialized");
+        let targets: Vec<_> = eval_guided(storage, &path)
+            .into_iter()
+            .filter(|&t| storage.kind(t) == xdm::NodeKind::Element)
+            .collect();
+        for &t in &targets {
+            for c in storage.children(t) {
+                storage.delete(c);
+            }
+            storage.insert_text(t, None, value);
+        }
+        let n = targets.len();
+        Self::refresh_logical(doc);
+        Ok(n)
+    }
+
+    /// Re-run §6.2 validation of a stored document against its schema
+    /// (useful after node-level updates). Returns the violations.
+    pub fn revalidate(&self, doc_name: &str) -> Result<Vec<algebra::ValidationError>, DbError> {
+        let doc = self
+            .documents
+            .get(doc_name)
+            .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
+        let schema = self
+            .schemas
+            .get(&doc.schema_name)
+            .ok_or_else(|| DbError::UnknownSchema(doc.schema_name.clone()))?;
+        let xml = serialize_tree(&doc.loaded.store, doc.loaded.doc);
+        Ok(match load_document_with(schema, &xml, &self.options) {
+            Ok(_) => Vec::new(),
+            Err(errs) => errs,
+        })
+    }
+
+    /// Rebuild the logical S-tree from the (just-updated) storage.
+    fn refresh_logical(doc: &mut StoredDocument) {
+        let storage = doc.storage.as_ref().expect("caller materialized");
+        let (store, node) = crate::physical::storage_to_tree(storage);
+        doc.loaded = LoadedDocument { store, doc: node };
+    }
+
+    // --------------------------------------------------------- queries
+
+    /// Evaluate an XPath over a stored document, returning the string
+    /// values of the selected nodes. Uses the schema-guided engine when
+    /// the document is materialized, the naive engine otherwise.
+    pub fn query(&self, doc_name: &str, xpath: &str) -> Result<Vec<String>, DbError> {
+        let doc = self
+            .documents
+            .get(doc_name)
+            .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
+        let path = xpath::parse(xpath)?;
+        Ok(match &doc.storage {
+            Some(storage) => eval_guided(storage, &path)
+                .into_iter()
+                .map(|p| storage.string_value(p))
+                .collect(),
+            None => {
+                let tree = XdmTree { store: &doc.loaded.store, doc: doc.loaded.doc };
+                eval_naive(&tree, &path)
+                    .into_iter()
+                    .map(|n| doc.loaded.store.string_value(n))
+                    .collect()
+            }
+        })
+    }
+
+    /// Evaluate a FLWOR query (see the `xquery` crate) over a stored
+    /// document, returning the serialized result sequence. Runs over the
+    /// block storage when the document is materialized.
+    pub fn xquery(&self, doc_name: &str, query: &str) -> Result<String, DbError> {
+        let doc = self
+            .documents
+            .get(doc_name)
+            .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
+        let q = xquery::parse_query(query)?;
+        let nodes = match &doc.storage {
+            Some(storage) => xquery::evaluate(&storage, &q)?,
+            None => {
+                let tree = XdmTree { store: &doc.loaded.store, doc: doc.loaded.doc };
+                xquery::evaluate(&tree, &q)?
+            }
+        };
+        Ok(xquery::nodes_to_string(&nodes))
+    }
+
+    /// Evaluate an XPath returning the selected node ids on the logical
+    /// tree (naive engine).
+    pub fn query_nodes(
+        &self,
+        doc_name: &str,
+        xpath: &str,
+    ) -> Result<Vec<xdm::NodeId>, DbError> {
+        let doc = self
+            .documents
+            .get(doc_name)
+            .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
+        let path = xpath::parse(xpath)?;
+        let tree = XdmTree { store: &doc.loaded.store, doc: doc.loaded.doc };
+        Ok(eval_naive(&tree, &path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="BookPublication">
+    <xsd:sequence>
+      <xsd:element name="Title" type="xsd:string"/>
+      <xsd:element name="Author" type="xsd:string" maxOccurs="unbounded"/>
+      <xsd:element name="Date" type="xsd:gYear"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:element name="BookStore">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="Book" type="BookPublication" minOccurs="0" maxOccurs="unbounded"/>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>"#;
+
+    const DOC: &str = r#"
+<BookStore>
+  <Book><Title>Foundations of Databases</Title><Author>Abiteboul</Author><Author>Hull</Author><Date>1995</Date></Book>
+  <Book><Title>Transaction Processing</Title><Author>Gray</Author><Date>1993</Date></Book>
+</BookStore>"#;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.register_schema_text("books", SCHEMA).unwrap();
+        db.insert("store1", "books", DOC).unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let db = db();
+        assert_eq!(db.len(), 1);
+        let titles = db.query("store1", "/BookStore/Book/Title").unwrap();
+        assert_eq!(titles, ["Foundations of Databases", "Transaction Processing"]);
+        let authors = db.query("store1", "/BookStore/Book[Title='Transaction Processing']/Author").unwrap();
+        assert_eq!(authors, ["Gray"]);
+    }
+
+    #[test]
+    fn serialize_round_trips() {
+        let db = db();
+        let text = db.serialize("store1").unwrap();
+        let again = Document::parse(&text).unwrap();
+        let orig = Document::parse(DOC).unwrap();
+        assert!(algebra::content_equal(&orig, &again));
+    }
+
+    #[test]
+    fn invalid_documents_are_rejected() {
+        let mut db = db();
+        let err = db
+            .insert("bad", "books", "<BookStore><Book><Title>t</Title></Book></BookStore>")
+            .unwrap_err();
+        assert!(matches!(err, DbError::Invalid(_)));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let mut db = db();
+        assert!(matches!(db.insert("x", "nosuch", "<a/>"), Err(DbError::UnknownSchema(_))));
+        assert!(matches!(db.serialize("nosuch"), Err(DbError::UnknownDocument(_))));
+        assert!(matches!(db.query("nosuch", "/a"), Err(DbError::UnknownDocument(_))));
+    }
+
+    #[test]
+    fn duplicate_names_error() {
+        let mut db = db();
+        assert!(matches!(
+            db.register_schema_text("books", SCHEMA),
+            Err(DbError::DuplicateSchema(_))
+        ));
+        assert!(matches!(db.insert("store1", "books", DOC), Err(DbError::DuplicateDocument(_))));
+    }
+
+    #[test]
+    fn delete_documents() {
+        let mut db = db();
+        assert!(db.delete("store1"));
+        assert!(!db.delete("store1"));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn materialized_queries_agree_with_naive() {
+        let mut db = db();
+        let before = db.query("store1", "/BookStore/Book/Title").unwrap();
+        db.materialize("store1").unwrap();
+        let after = db.query("store1", "/BookStore/Book/Title").unwrap();
+        assert_eq!(before, after);
+        assert!(db.document("store1").unwrap().storage().is_some());
+    }
+
+    #[test]
+    fn validate_without_storing() {
+        let db = db();
+        assert!(db.validate("books", DOC).unwrap().is_empty());
+        let errs = db
+            .validate("books", "<BookStore><Book><Title>t</Title></Book></BookStore>")
+            .unwrap();
+        assert!(!errs.is_empty());
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn malformed_schema_is_rejected() {
+        let mut db = Database::new();
+        let err = db
+            .register_schema_text(
+                "bad",
+                r#"<xs:schema xmlns:xs="urn:x"><xs:element name="r" type="NoSuch"/></xs:schema>"#,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::SchemaNotWellFormed(_)));
+    }
+
+    #[test]
+    fn bad_xpath_is_reported() {
+        let db = db();
+        assert!(matches!(db.query("store1", "not a path"), Err(DbError::XPath(_))));
+    }
+
+    #[test]
+    fn query_nodes_returns_ids_in_document_order() {
+        let db = db();
+        let nodes = db.query_nodes("store1", "//Author").unwrap();
+        assert_eq!(nodes.len(), 3);
+        let store = &db.document("store1").unwrap().loaded.store;
+        for w in nodes.windows(2) {
+            assert_eq!(
+                xdm::cmp_document_order(store, w[0], w[1]),
+                std::cmp::Ordering::Less
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod update_tests {
+    use super::*;
+
+    const SCHEMA: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="list">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="item" minOccurs="0" maxOccurs="unbounded">
+          <xs:complexType mixed="true">
+            <xs:sequence/>
+            <xs:attribute name="state" type="xs:string"/>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+    fn db() -> Database {
+        let opts = LoadOptions { require_all_attributes: false, ..LoadOptions::default() };
+        let mut db = Database::with_options(opts);
+        db.register_schema_text("list", SCHEMA).unwrap();
+        db.insert("todo", "list", r#"<list><item state="open">first</item></list>"#).unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_element_updates_queries_and_serialization() {
+        let mut db = db();
+        let n = db.update_insert_element("todo", "/list", "item", Some("second")).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(db.query("todo", "/list/item").unwrap(), ["first", "second"]);
+        assert!(db.serialize("todo").unwrap().contains("<item>second</item>"));
+    }
+
+    #[test]
+    fn delete_removes_selected_subtrees() {
+        let mut db = db();
+        db.update_insert_element("todo", "/list", "item", Some("second")).unwrap();
+        let n = db.update_delete("todo", "/list/item[1]").unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(db.query("todo", "/list/item").unwrap(), ["second"]);
+    }
+
+    #[test]
+    fn delete_never_removes_the_root() {
+        let mut db = db();
+        assert_eq!(db.update_delete("todo", "/list").unwrap(), 0);
+        assert_eq!(db.query("todo", "/list/item").unwrap(), ["first"]);
+    }
+
+    #[test]
+    fn set_attribute_inserts_and_replaces() {
+        let mut db = db();
+        let n = db.update_set_attribute("todo", "/list/item", "state", "done").unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(db.query("todo", "/list/item/@state").unwrap(), ["done"]);
+        // Replacing again works and does not duplicate.
+        db.update_set_attribute("todo", "/list/item", "state", "archived").unwrap();
+        assert_eq!(db.query("todo", "/list/item/@state").unwrap(), ["archived"]);
+    }
+
+    #[test]
+    fn revalidate_after_schema_conforming_updates() {
+        let mut db = db();
+        db.update_insert_element("todo", "/list", "item", Some("x")).unwrap();
+        assert!(db.revalidate("todo").unwrap().is_empty());
+    }
+
+    #[test]
+    fn revalidate_detects_schema_violations_introduced_by_updates() {
+        let mut db = db();
+        // <list> allows only <item> children; inject a rogue element.
+        db.update_insert_element("todo", "/list", "rogue", None).unwrap();
+        let errs = db.revalidate("todo").unwrap();
+        assert!(errs.iter().any(|e| e.rule == algebra::Rule::R5423GroupMatch), "{errs:?}");
+    }
+
+    #[test]
+    fn updates_touch_many_nodes_at_once() {
+        let mut db = db();
+        for i in 0..5 {
+            db.update_insert_element("todo", "/list", "item", Some(&format!("t{i}"))).unwrap();
+        }
+        let n = db.update_set_attribute("todo", "/list/item", "state", "bulk").unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(db.query("todo", "/list/item[@state='bulk']").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn storage_invariants_hold_after_update_batches() {
+        let mut db = db();
+        for i in 0..30 {
+            db.update_insert_element("todo", "/list", "item", Some(&format!("v{i}"))).unwrap();
+        }
+        db.update_delete("todo", "/list/item[2]").unwrap();
+        let storage = db.document("todo").unwrap().storage().unwrap();
+        assert_eq!(storage.check_invariants(), None);
+        assert_eq!(storage.relabel_count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod set_text_tests {
+    use super::*;
+
+    #[test]
+    fn set_text_replaces_content() {
+        let mut db = Database::new();
+        db.register_schema_text(
+            "s",
+            r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+                 <xs:element name="r">
+                   <xs:complexType>
+                     <xs:sequence>
+                       <xs:element name="v" type="xs:string" maxOccurs="unbounded"/>
+                     </xs:sequence>
+                   </xs:complexType>
+                 </xs:element>
+               </xs:schema>"#,
+        )
+        .unwrap();
+        db.insert("d", "s", "<r><v>old1</v><v>old2</v></r>").unwrap();
+        let n = db.update_set_text("d", "/r/v", "new").unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.query("d", "/r/v").unwrap(), ["new", "new"]);
+        assert!(db.revalidate("d").unwrap().is_empty());
+        let storage = db.document("d").unwrap().storage().unwrap();
+        assert_eq!(storage.check_invariants(), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! Database-level errors.
+
+use std::fmt;
+
+use algebra::ValidationError;
+use xsmodel::SchemaIssue;
+
+/// Anything that can go wrong at the [`crate::Database`] surface.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DbError {
+    /// The XML text failed to parse.
+    Xml(xmlparse::Error),
+    /// The schema document failed to parse.
+    Schema(xsmodel::XsdError),
+    /// The schema parsed but is not well-formed (§2–3 requirements).
+    SchemaNotWellFormed(Vec<SchemaIssue>),
+    /// A schema name is already registered.
+    DuplicateSchema(String),
+    /// No schema registered under this name.
+    UnknownSchema(String),
+    /// A document name is already in the database.
+    DuplicateDocument(String),
+    /// No document stored under this name.
+    UnknownDocument(String),
+    /// The document failed §6.2 validation.
+    Invalid(Vec<ValidationError>),
+    /// An XPath expression failed to parse.
+    XPath(xpath::XPathError),
+    /// An XQuery expression failed to parse or evaluate.
+    XQuery(xquery::XQueryError),
+    /// Filesystem failure during save/load.
+    Io(std::io::Error),
+    /// A persisted database directory is structurally broken.
+    Corrupt(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Xml(e) => e.fmt(f),
+            DbError::Schema(e) => e.fmt(f),
+            DbError::SchemaNotWellFormed(issues) => {
+                write!(f, "schema is not well-formed: ")?;
+                for (i, issue) in issues.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    issue.fmt(f)?;
+                }
+                Ok(())
+            }
+            DbError::DuplicateSchema(n) => write!(f, "schema {n:?} is already registered"),
+            DbError::UnknownSchema(n) => write!(f, "no schema named {n:?}"),
+            DbError::DuplicateDocument(n) => write!(f, "document {n:?} already exists"),
+            DbError::UnknownDocument(n) => write!(f, "no document named {n:?}"),
+            DbError::Invalid(errs) => {
+                write!(f, "document is not schema-valid ({} violations): ", errs.len())?;
+                if let Some(first) = errs.first() {
+                    first.fmt(f)?;
+                }
+                Ok(())
+            }
+            DbError::XPath(e) => e.fmt(f),
+            DbError::XQuery(e) => e.fmt(f),
+            DbError::Io(e) => write!(f, "i/o error: {e}"),
+            DbError::Corrupt(what) => write!(f, "corrupt database directory: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<xmlparse::Error> for DbError {
+    fn from(e: xmlparse::Error) -> Self {
+        DbError::Xml(e)
+    }
+}
+
+impl From<xsmodel::XsdError> for DbError {
+    fn from(e: xsmodel::XsdError) -> Self {
+        DbError::Schema(e)
+    }
+}
+
+impl From<xpath::XPathError> for DbError {
+    fn from(e: xpath::XPathError) -> Self {
+        DbError::XPath(e)
+    }
+}
+
+impl From<xquery::XQueryError> for DbError {
+    fn from(e: xquery::XQueryError) -> Self {
+        DbError::XQuery(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DbError::UnknownSchema("s".into()).to_string().contains("\"s\""));
+        assert!(DbError::DuplicateDocument("d".into()).to_string().contains("already"));
+    }
+}

@@ -1,0 +1,62 @@
+//! **xsdb** — an XML database built on the formal model of XML Schema
+//! from Novak & Zamulin, *"A Formal Model of XML Schema"* (ICDE 2005).
+//!
+//! The library reproduces the paper end to end:
+//!
+//! | Paper | Crate |
+//! |---|---|
+//! | §2–3 abstract syntax of XML Schema | [`xsmodel`] |
+//! | §4 basic (simple) types | [`xstypes`] |
+//! | §5 XDM classes and accessors | [`xdm`] |
+//! | §6 state algebra and validity requirements | [`algebra`] |
+//! | §7 document order | [`xdm`] |
+//! | §8 round-trip theorem `g(f(X)) =_c X` | [`algebra::check_roundtrip`] |
+//! | §9 Sedna physical representation | [`storage`] |
+//! | §1/§11 "primitive facilities for a query language" | [`xpath`] |
+//!
+//! The [`Database`] type is the user-facing surface: register schemas,
+//! insert/validate/serialize/delete documents, run XPath queries, and
+//! materialize documents into block storage.
+//!
+//! # Quick start
+//!
+//! ```
+//! use xsdb::Database;
+//!
+//! let mut db = Database::new();
+//! db.register_schema_text("greetings", r#"
+//!   <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+//!     <xs:element name="greeting" type="xs:string"/>
+//!   </xs:schema>"#).unwrap();
+//! db.insert("hello", "greetings", "<greeting>hello world</greeting>").unwrap();
+//! assert_eq!(db.query("hello", "/greeting").unwrap(), ["hello world"]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod database;
+mod error;
+mod persist;
+mod physical;
+
+pub use database::{Database, StoredDocument};
+pub use error::DbError;
+pub use physical::{storage_roundtrip_agrees, storage_to_document, storage_to_tree};
+
+// Re-export the layer crates so a single dependency suffices downstream.
+pub use algebra;
+pub use storage;
+pub use xdm;
+pub use xmlparse;
+pub use xpath;
+pub use xquery;
+pub use xsmodel;
+pub use xstypes;
+
+// Convenience re-exports of the most used items.
+pub use algebra::{
+    check_roundtrip, content_diff, content_equal, load_document, serialize_tree, LoadOptions,
+    Rule, ValidationError,
+};
+pub use xmlparse::Document;
+pub use xsmodel::{parse_schema_text, DocumentSchema};

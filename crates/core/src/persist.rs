@@ -1,0 +1,232 @@
+//! Database persistence: save a [`Database`] to a directory and load it
+//! back.
+//!
+//! Layout:
+//!
+//! ```text
+//! <dir>/manifest.xml            — schema + document registry
+//! <dir>/schemas/<file>.xsd      — one XSD per schema (via xsmodel::write_schema)
+//! <dir>/documents/<file>.xml    — one XML file per document (via g)
+//! ```
+//!
+//! Loading replays registration and insertion, so every document is
+//! re-validated on the way in — a persisted database cannot smuggle an
+//! invalid document past `f`.
+
+use std::fs;
+use std::path::Path;
+
+use xmlparse::{Document, Element};
+
+use crate::database::Database;
+use crate::error::DbError;
+
+/// Encode an arbitrary name as a filesystem-safe file stem.
+fn file_stem(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+            out.push(c);
+        } else {
+            out.push_str(&format!("%{:04X}", c as u32));
+        }
+    }
+    out
+}
+
+impl Database {
+    /// Save schemas and documents under `dir` (created if needed).
+    pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), DbError> {
+        let dir = dir.as_ref();
+        let schemas_dir = dir.join("schemas");
+        let docs_dir = dir.join("documents");
+        fs::create_dir_all(&schemas_dir).map_err(DbError::Io)?;
+        fs::create_dir_all(&docs_dir).map_err(DbError::Io)?;
+
+        let mut manifest = Element::new("xsdb").with_attribute("version", "1");
+        for name in self.schema_names() {
+            let schema = self.schema(name).expect("listed");
+            let stem = file_stem(name);
+            fs::write(
+                schemas_dir.join(format!("{stem}.xsd")),
+                xsmodel::write_schema(schema),
+            )
+            .map_err(DbError::Io)?;
+            manifest.children.push(xmlparse::Node::Element(
+                Element::new("schema")
+                    .with_attribute("name", name)
+                    .with_attribute("file", format!("{stem}.xsd")),
+            ));
+        }
+        let doc_names: Vec<String> = self.document_names().map(str::to_string).collect();
+        for name in &doc_names {
+            let stored = self.document(name).expect("listed");
+            let stem = file_stem(name);
+            fs::write(docs_dir.join(format!("{stem}.xml")), self.serialize(name)?)
+                .map_err(DbError::Io)?;
+            manifest.children.push(xmlparse::Node::Element(
+                Element::new("document")
+                    .with_attribute("name", name.clone())
+                    .with_attribute("schema", stored.schema_name.clone())
+                    .with_attribute("file", format!("{stem}.xml")),
+            ));
+        }
+        fs::write(dir.join("manifest.xml"), Document::from_root(manifest).to_xml_pretty())
+            .map_err(DbError::Io)?;
+        Ok(())
+    }
+
+    /// Load a database previously written by [`Database::save_dir`].
+    /// Every document is re-validated against its schema.
+    pub fn load_dir(dir: impl AsRef<Path>) -> Result<Database, DbError> {
+        let dir = dir.as_ref();
+        let manifest_text =
+            fs::read_to_string(dir.join("manifest.xml")).map_err(DbError::Io)?;
+        let manifest = Document::parse(&manifest_text)?;
+        let mut db = Database::new();
+        for entry in manifest.root().children_named("schema") {
+            let name = entry
+                .attribute("name")
+                .ok_or_else(|| DbError::Corrupt("schema entry without name".into()))?;
+            let file = entry
+                .attribute("file")
+                .ok_or_else(|| DbError::Corrupt("schema entry without file".into()))?;
+            let xsd =
+                fs::read_to_string(dir.join("schemas").join(file)).map_err(DbError::Io)?;
+            db.register_schema_text(name, &xsd)?;
+        }
+        for entry in manifest.root().children_named("document") {
+            let name = entry
+                .attribute("name")
+                .ok_or_else(|| DbError::Corrupt("document entry without name".into()))?;
+            let schema = entry
+                .attribute("schema")
+                .ok_or_else(|| DbError::Corrupt("document entry without schema".into()))?;
+            let file = entry
+                .attribute("file")
+                .ok_or_else(|| DbError::Corrupt("document entry without file".into()))?;
+            let xml =
+                fs::read_to_string(dir.join("documents").join(file)).map_err(DbError::Io)?;
+            db.insert(name, schema, &xml)?;
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xsdb-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const SCHEMA: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="Year">
+    <xs:restriction base="xs:integer">
+      <xs:minInclusive value="1900"/>
+      <xs:maxInclusive value="2100"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:element name="log">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="entry" minOccurs="0" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="year" type="Year"/>
+              <xs:element name="text" type="xs:string"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let mut db = Database::new();
+        db.register_schema_text("log", SCHEMA).unwrap();
+        db.insert(
+            "journal",
+            "log",
+            "<log><entry><year>1995</year><text>hello</text></entry></log>",
+        )
+        .unwrap();
+        db.insert("empty", "log", "<log/>").unwrap();
+        db.save_dir(&dir).unwrap();
+
+        let restored = Database::load_dir(&dir).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(
+            restored.query("journal", "/log/entry/text").unwrap(),
+            ["hello"]
+        );
+        // User-defined simple types survived the schema round trip.
+        let errs = restored
+            .validate("log", "<log><entry><year>1850</year><text>x</text></entry></log>")
+            .unwrap();
+        assert!(!errs.is_empty(), "Year facet must survive persistence");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn awkward_names_are_encoded() {
+        let dir = temp_dir("names");
+        let mut db = Database::new();
+        db.register_schema_text("my schema/α", "<xs:schema xmlns:xs=\"urn:x\"><xs:element name=\"r\" type=\"xs:string\"/></xs:schema>").unwrap();
+        db.insert("doc:1 ☂", "my schema/α", "<r>ok</r>").unwrap();
+        db.save_dir(&dir).unwrap();
+        let restored = Database::load_dir(&dir).unwrap();
+        assert_eq!(restored.query("doc:1 ☂", "/r").unwrap(), ["ok"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loading_revalidates_documents() {
+        let dir = temp_dir("tamper");
+        let mut db = Database::new();
+        db.register_schema_text("log", SCHEMA).unwrap();
+        db.insert(
+            "j",
+            "log",
+            "<log><entry><year>2000</year><text>t</text></entry></log>",
+        )
+        .unwrap();
+        db.save_dir(&dir).unwrap();
+        // Corrupt the stored document: violates the Year facet.
+        let doc_path = dir.join("documents").join("j.xml");
+        let tampered = fs::read_to_string(&doc_path).unwrap().replace("2000", "1492");
+        fs::write(&doc_path, tampered).unwrap();
+        match Database::load_dir(&dir) {
+            Err(DbError::Invalid(errs)) => {
+                assert!(errs.iter().any(|e| e.rule == algebra::Rule::R511SimpleValue));
+            }
+            other => panic!("expected validation failure, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_is_an_io_error() {
+        let dir = temp_dir("missing");
+        assert!(matches!(Database::load_dir(&dir), Err(DbError::Io(_))));
+    }
+
+    #[test]
+    fn file_stem_is_stable_and_safe() {
+        assert_eq!(file_stem("plain-name_1"), "plain-name_1");
+        assert_eq!(file_stem("a b"), "a%0020b");
+        assert_eq!(file_stem("x/y"), "x%002Fy");
+        assert_ne!(file_stem("a b"), file_stem("a_b"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Data blocks and node descriptors (§9.2).
+//!
+//! The descriptive schema is the entry point to node storage: every
+//! schema node owns a bidirectional list of fixed-capacity blocks holding
+//! *node descriptors* — the physical representation of node instances.
+//! The §9.2 invariants implemented here:
+//!
+//! * descriptors are **partially ordered across blocks**: every
+//!   descriptor in block *i* precedes every descriptor in block *j* in
+//!   document order when *i* < *j* in the list;
+//! * descriptors **within a block are not ordered**; the document order
+//!   is reconstructed through short `next in block` / `prev in block`
+//!   pointers (2 bytes in Sedna — here a slot index);
+//! * a descriptor holds the parent / left-sibling / right-sibling
+//!   pointers, the `nid` numbering label (§9.3), and — for nodes that
+//!   can have children — pointers **only to the first child per schema
+//!   child** ("to save space … to speed up the XPath execution", §9.2);
+//! * every block's header points back to its schema node.
+//!
+//! Descriptors are addressed **indirectly**: a [`DescPtr`] is a stable
+//! id resolved through a location table, so block splits (which move
+//! descriptors between blocks) never invalidate a pointer — neither the
+//! ones inside other descriptors nor the ones a caller holds.
+
+use std::fmt;
+
+use xdm::NodeKind;
+
+use crate::descriptive::{DescriptiveSchema, SchemaNodeId};
+use crate::nid::Nid;
+
+/// A stable pointer to a node descriptor. Valid until the node is
+/// deleted; unaffected by block splits and unrelated updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DescPtr(pub(crate) u32);
+
+impl DescPtr {
+    /// The raw stable id.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for DescPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// The physical representation of one node instance.
+#[derive(Debug, Clone)]
+pub struct NodeDescriptor {
+    /// The descriptor's own stable id (back-reference for block scans).
+    pub(crate) id: DescPtr,
+    /// The numbering label (§9.3).
+    pub nid: Nid,
+    /// Parent pointer.
+    pub parent: Option<DescPtr>,
+    /// Previous sibling (same parent) in document order.
+    pub left_sibling: Option<DescPtr>,
+    /// Next sibling (same parent) in document order.
+    pub right_sibling: Option<DescPtr>,
+    /// Short pointer reconstructing document order inside the block.
+    pub(crate) next_in_block: Option<u16>,
+    /// Short pointer reconstructing document order inside the block.
+    pub(crate) prev_in_block: Option<u16>,
+    /// First child per schema child, indexed parallel to the schema
+    /// node's `children` list. Present only for element/document nodes.
+    pub(crate) first_child: Box<[Option<DescPtr>]>,
+    /// Text content ("text-enabled" nodes: text and attribute nodes).
+    pub(crate) text: Option<String>,
+    /// The `nilled` property (element nodes).
+    pub(crate) nilled: bool,
+}
+
+/// A fixed-capacity block of node descriptors.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Header: the schema node this block belongs to.
+    pub schema_node: SchemaNodeId,
+    /// Descriptor slots (`None` = free).
+    pub(crate) slots: Vec<Option<NodeDescriptor>>,
+    /// Head of the intra-block document-order chain.
+    pub(crate) first_slot: Option<u16>,
+    /// Tail of the intra-block document-order chain.
+    pub(crate) last_slot: Option<u16>,
+    /// Next block of the same schema node.
+    pub(crate) next_block: Option<u32>,
+    /// Previous block of the same schema node.
+    pub(crate) prev_block: Option<u32>,
+    /// Live descriptors.
+    pub(crate) count: usize,
+}
+
+impl Block {
+    pub(crate) fn new(schema_node: SchemaNodeId, capacity: u16) -> Self {
+        Block {
+            schema_node,
+            slots: (0..capacity).map(|_| None).collect(),
+            first_slot: None,
+            last_slot: None,
+            next_block: None,
+            prev_block: None,
+            count: 0,
+        }
+    }
+
+    /// Number of live descriptors.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no descriptor lives here.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// True when every slot is taken.
+    pub fn is_full(&self) -> bool {
+        self.count == self.slots.len()
+    }
+
+    pub(crate) fn free_slot(&self) -> Option<u16> {
+        self.slots.iter().position(|s| s.is_none()).map(|i| i as u16)
+    }
+
+    /// Descriptors in document order (following the short pointers).
+    pub fn iter_ordered(&self) -> BlockOrderIter<'_> {
+        BlockOrderIter { block: self, next: self.first_slot }
+    }
+
+    /// The largest nid in the block (document-order maximum), if any.
+    pub(crate) fn max_nid(&self) -> Option<&Nid> {
+        self.last_slot.map(|s| &self.slots[s as usize].as_ref().expect("chained slot").nid)
+    }
+
+    /// The smallest nid in the block, if any.
+    pub(crate) fn min_nid(&self) -> Option<&Nid> {
+        self.first_slot.map(|s| &self.slots[s as usize].as_ref().expect("chained slot").nid)
+    }
+}
+
+/// Iterator over a block's descriptors in document order.
+pub struct BlockOrderIter<'a> {
+    block: &'a Block,
+    next: Option<u16>,
+}
+
+impl<'a> Iterator for BlockOrderIter<'a> {
+    type Item = (DescPtr, &'a NodeDescriptor);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let slot = self.next?;
+        let desc = self.block.slots[slot as usize].as_ref().expect("chained slot is live");
+        self.next = desc.next_in_block;
+        Some((desc.id, desc))
+    }
+}
+
+/// All blocks, the per-schema-node block lists, and the indirection
+/// table from stable descriptor ids to (block, slot) locations.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTable {
+    pub(crate) blocks: Vec<Block>,
+    /// Per schema node: (first, last) block of its list.
+    pub(crate) lists: Vec<Option<(u32, u32)>>,
+    /// Stable id → current (block, slot); `None` after deletion.
+    pub(crate) locations: Vec<Option<(u32, u16)>>,
+}
+
+impl BlockTable {
+    pub(crate) fn ensure_schema_capacity(&mut self, schema: &DescriptiveSchema) {
+        if self.lists.len() < schema.len() {
+            self.lists.resize(schema.len(), None);
+        }
+    }
+
+    /// Mint a fresh stable id (location set when the descriptor lands).
+    pub(crate) fn mint_ptr(&mut self) -> DescPtr {
+        let id = u32::try_from(self.locations.len()).expect("descriptor id overflow");
+        self.locations.push(None);
+        DescPtr(id)
+    }
+
+    pub(crate) fn location(&self, p: DescPtr) -> (u32, u16) {
+        self.locations[p.0 as usize].expect("dangling descriptor pointer")
+    }
+
+    pub(crate) fn block(&self, i: u32) -> &Block {
+        &self.blocks[i as usize]
+    }
+
+    pub(crate) fn block_mut(&mut self, i: u32) -> &mut Block {
+        &mut self.blocks[i as usize]
+    }
+
+    pub(crate) fn desc(&self, p: DescPtr) -> &NodeDescriptor {
+        let (b, s) = self.location(p);
+        self.blocks[b as usize].slots[s as usize].as_ref().expect("live descriptor")
+    }
+
+    pub(crate) fn desc_mut(&mut self, p: DescPtr) -> &mut NodeDescriptor {
+        let (b, s) = self.location(p);
+        self.blocks[b as usize].slots[s as usize].as_mut().expect("live descriptor")
+    }
+
+    /// Kind of the node at `p` (from the block header's schema node).
+    pub(crate) fn kind_of(&self, p: DescPtr, schema: &DescriptiveSchema) -> NodeKind {
+        let (b, _) = self.location(p);
+        schema.node(self.blocks[b as usize].schema_node).kind
+    }
+
+    /// The schema node of the block currently hosting `p`.
+    pub(crate) fn schema_node_of(&self, p: DescPtr) -> SchemaNodeId {
+        let (b, _) = self.location(p);
+        self.blocks[b as usize].schema_node
+    }
+
+    /// Append a fresh block at the end of `schema_node`'s list.
+    pub(crate) fn append_block(&mut self, schema_node: SchemaNodeId, capacity: u16) -> u32 {
+        let idx = self.blocks.len() as u32;
+        let mut b = Block::new(schema_node, capacity);
+        match &mut self.lists[schema_node.index()] {
+            Some((_, last)) => {
+                b.prev_block = Some(*last);
+                self.blocks[*last as usize].next_block = Some(idx);
+                self.blocks.push(b);
+                *last = idx;
+            }
+            slot @ None => {
+                self.blocks.push(b);
+                *slot = Some((idx, idx));
+            }
+        }
+        idx
+    }
+
+    /// Insert a fresh block immediately after `after` in its list.
+    pub(crate) fn insert_block_after(&mut self, after: u32, capacity: u16) -> u32 {
+        let schema_node = self.blocks[after as usize].schema_node;
+        let idx = self.blocks.len() as u32;
+        let mut b = Block::new(schema_node, capacity);
+        b.prev_block = Some(after);
+        b.next_block = self.blocks[after as usize].next_block;
+        self.blocks.push(b);
+        if let Some(next) = self.blocks[idx as usize].next_block {
+            self.blocks[next as usize].prev_block = Some(idx);
+        } else if let Some((_, last)) = &mut self.lists[schema_node.index()] {
+            *last = idx;
+        }
+        self.blocks[after as usize].next_block = Some(idx);
+        idx
+    }
+
+    /// First block of a schema node's list.
+    pub(crate) fn first_block(&self, sn: SchemaNodeId) -> Option<u32> {
+        self.lists[sn.index()].map(|(first, _)| first)
+    }
+
+    /// Last block of a schema node's list.
+    pub(crate) fn last_block(&self, sn: SchemaNodeId) -> Option<u32> {
+        self.lists[sn.index()].map(|(_, last)| last)
+    }
+}

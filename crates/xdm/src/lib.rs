@@ -1,0 +1,33 @@
+//! The XQuery 1.0 / XPath 2.0 data model (XDM) of the paper's §5–7:
+//! a node store whose operations are the ten accessors, plus document
+//! order.
+//!
+//! * [`NodeStore`] is the carrier structure: disjoint classes of nodes
+//!   (document / element / attribute / text) with the accessors
+//!   `base-uri`, `node-kind`, `node-name`, `parent`, `string-value`,
+//!   `typed-value`, `type`, `children`, `attributes`, `nilled`.
+//! * [`cmp_document_order`] and [`DocumentOrderIndex`] implement the
+//!   total order `<<` of §7.
+//!
+//! ```
+//! use xdm::NodeStore;
+//!
+//! let mut store = NodeStore::new();
+//! let doc = store.new_document(Some("http://example.org/b.xml".into()));
+//! let bookstore = store.new_element(doc, "BookStore");
+//! let book = store.new_element(bookstore, "Book");
+//! let title = store.new_element(book, "Title");
+//! store.new_text(title, "Foundations of Databases");
+//!
+//! assert_eq!(store.node_kind(book), "element");
+//! assert_eq!(store.string_value(doc), "Foundations of Databases");
+//! assert_eq!(store.parent(book), Some(bookstore));
+//! ```
+
+#![warn(missing_docs)]
+
+mod node;
+mod order;
+
+pub use node::{NodeId, NodeKind, NodeStore};
+pub use order::{check_order_axioms, cmp_document_order, DocumentOrderIndex};

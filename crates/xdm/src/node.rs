@@ -1,0 +1,568 @@
+//! The node store: carriers of the state algebra (§6.1).
+//!
+//! A database state supplies each class with a set of node identifiers
+//! such that `A_Document`, `A_Element`, `A_Attribute`, `A_Text` are
+//! disjoint and `A_Node` is their union. Here the identifiers are arena
+//! indices ([`NodeId`]); disjointness is by construction — every node is
+//! minted with exactly one [`NodeKind`] that never changes.
+//!
+//! The per-kind accessor restrictions of §6.1 (a document node has empty
+//! `node-name`, `parent`, `type`, `attributes`, `nilled`; an attribute
+//! node has empty `children`, `attributes`, `nilled`; a text node has
+//! empty `node-name`, `children`, `attributes`, `nilled`) are likewise
+//! enforced by construction: the builder API only mints well-kinded
+//! nodes, and the accessors return the mandated empty sequences.
+
+use std::fmt;
+
+use xstypes::AtomicValue;
+
+/// A node identifier — the paper's "object identifier" for nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The disjoint node classes of §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The document information item.
+    Document,
+    /// An element information item.
+    Element,
+    /// An attribute.
+    Attribute,
+    /// Character data.
+    Text,
+}
+
+impl NodeKind {
+    /// The `node-kind` accessor's string value (§6.1).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeKind::Document => "document",
+            NodeKind::Element => "element",
+            NodeKind::Attribute => "attribute",
+            NodeKind::Text => "text",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    kind: NodeKind,
+    /// `node-name` (empty for document and text nodes).
+    name: Option<String>,
+    /// `parent` (empty for the document node).
+    parent: Option<NodeId>,
+    /// `children` (always empty for attribute and text nodes).
+    children: Vec<NodeId>,
+    /// `attributes` (only element nodes have any).
+    attributes: Vec<NodeId>,
+    /// `type` — the type annotation (a QName; empty for document nodes).
+    type_name: Option<String>,
+    /// Stored typed value (set by schema validation; when absent the
+    /// accessor falls back to `xdt:untypedAtomic` of the string value).
+    typed_value: Option<Vec<AtomicValue>>,
+    /// Own text content (text and attribute nodes).
+    content: String,
+    /// `nilled` (element nodes only).
+    nilled: Option<bool>,
+    /// `base-uri`.
+    base_uri: Option<String>,
+}
+
+/// An arena of nodes forming one or more document trees.
+///
+/// All accessors of the paper's §5 live here, taking the [`NodeId`] they
+/// are applied to — exactly the "many-sorted algebra whose operations are
+/// node accessors" of §6.1.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStore {
+    nodes: Vec<NodeData>,
+}
+
+impl NodeStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        NodeStore::default()
+    }
+
+    /// Number of nodes in the store.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes exist.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
+        self.nodes.push(data);
+        id
+    }
+
+    fn data(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
+    }
+
+    fn data_mut(&mut self, id: NodeId) -> &mut NodeData {
+        &mut self.nodes[id.index()]
+    }
+
+    // ------------------------------------------------------ constructors
+
+    /// Mint a document node.
+    pub fn new_document(&mut self, base_uri: Option<String>) -> NodeId {
+        self.push(NodeData {
+            kind: NodeKind::Document,
+            name: None,
+            parent: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+            type_name: None,
+            typed_value: None,
+            content: String::new(),
+            nilled: None,
+            base_uri,
+        })
+    }
+
+    /// Mint an element node under `parent` (a document or element node).
+    ///
+    /// The element inherits the parent's base URI (§6.2 item 4) and is
+    /// appended to the parent's `children`.
+    ///
+    /// # Panics
+    /// If `parent` is an attribute or text node (those have no children
+    /// by §6.1 — the violation is a programming error, not data error).
+    pub fn new_element(&mut self, parent: NodeId, name: impl Into<String>) -> NodeId {
+        let parent_kind = self.data(parent).kind;
+        assert!(
+            matches!(parent_kind, NodeKind::Document | NodeKind::Element),
+            "§6.1: only document and element nodes have children"
+        );
+        let base_uri = self.data(parent).base_uri.clone();
+        let id = self.push(NodeData {
+            kind: NodeKind::Element,
+            name: Some(name.into()),
+            parent: Some(parent),
+            children: Vec::new(),
+            attributes: Vec::new(),
+            type_name: Some("xs:anyType".to_string()),
+            typed_value: None,
+            content: String::new(),
+            nilled: Some(false),
+            base_uri,
+        });
+        self.data_mut(parent).children.push(id);
+        id
+    }
+
+    /// Mint an attribute node on an element.
+    pub fn new_attribute(
+        &mut self,
+        element: NodeId,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) -> NodeId {
+        assert!(
+            self.data(element).kind == NodeKind::Element,
+            "attributes attach to element nodes only"
+        );
+        let base_uri = self.data(element).base_uri.clone();
+        let id = self.push(NodeData {
+            kind: NodeKind::Attribute,
+            name: Some(name.into()),
+            parent: Some(element),
+            children: Vec::new(),
+            attributes: Vec::new(),
+            type_name: Some("xdt:untypedAtomic".to_string()),
+            typed_value: None,
+            content: value.into(),
+            nilled: None,
+            base_uri,
+        });
+        self.data_mut(element).attributes.push(id);
+        id
+    }
+
+    /// Mint a text node under an element (§6.2 items 5.1.1, 5.4.2.2: text
+    /// nodes carry type `xdt:untypedAtomic`).
+    pub fn new_text(&mut self, parent: NodeId, value: impl Into<String>) -> NodeId {
+        assert!(
+            self.data(parent).kind == NodeKind::Element,
+            "text nodes attach to element nodes"
+        );
+        let base_uri = self.data(parent).base_uri.clone();
+        let id = self.push(NodeData {
+            kind: NodeKind::Text,
+            name: None,
+            parent: Some(parent),
+            children: Vec::new(),
+            attributes: Vec::new(),
+            type_name: Some("xdt:untypedAtomic".to_string()),
+            typed_value: None,
+            content: value.into(),
+            nilled: None,
+            base_uri,
+        });
+        self.data_mut(parent).children.push(id);
+        id
+    }
+
+    // ---------------------------------------------------------- mutators
+
+    /// Annotate a node with its schema type (the `type` accessor value).
+    pub fn set_type(&mut self, id: NodeId, type_name: impl Into<String>) {
+        assert!(
+            self.data(id).kind != NodeKind::Document,
+            "§6.1: the document node's type accessor is the empty sequence"
+        );
+        self.data_mut(id).type_name = Some(type_name.into());
+    }
+
+    /// Store the typed value computed by validation.
+    pub fn set_typed_value(&mut self, id: NodeId, values: Vec<AtomicValue>) {
+        self.data_mut(id).typed_value = Some(values);
+    }
+
+    /// Set the `nilled` property of an element.
+    pub fn set_nilled(&mut self, id: NodeId, nilled: bool) {
+        assert!(self.data(id).kind == NodeKind::Element, "only elements can be nilled");
+        self.data_mut(id).nilled = Some(nilled);
+    }
+
+    // --------------------------------------------------------- accessors
+
+    /// `node-kind` — "document" | "element" | "attribute" | "text".
+    pub fn node_kind(&self, id: NodeId) -> &'static str {
+        self.data(id).kind.as_str()
+    }
+
+    /// The kind as an enum (not part of the paper's accessor list, but
+    /// the typed counterpart of `node-kind`).
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.data(id).kind
+    }
+
+    /// `node-name` — empty or one-element sequence.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        match self.data(id).kind {
+            NodeKind::Document | NodeKind::Text => None, // §6.1
+            _ => self.data(id).name.as_deref(),
+        }
+    }
+
+    /// `parent` — empty or one-element sequence.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).parent
+    }
+
+    /// `children` — empty for attribute and text nodes (§6.1).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        match self.data(id).kind {
+            NodeKind::Attribute | NodeKind::Text => &[],
+            _ => &self.data(id).children,
+        }
+    }
+
+    /// `attributes` — non-empty only for element nodes (§6.1).
+    pub fn attributes(&self, id: NodeId) -> &[NodeId] {
+        match self.data(id).kind {
+            NodeKind::Element => &self.data(id).attributes,
+            _ => &[],
+        }
+    }
+
+    /// `type` — the type annotation; empty for document nodes (§6.1).
+    pub fn type_name(&self, id: NodeId) -> Option<&str> {
+        match self.data(id).kind {
+            NodeKind::Document => None,
+            _ => self.data(id).type_name.as_deref(),
+        }
+    }
+
+    /// `nilled` — empty except for element nodes (§6.1).
+    pub fn nilled(&self, id: NodeId) -> Option<bool> {
+        match self.data(id).kind {
+            NodeKind::Element => self.data(id).nilled,
+            _ => None,
+        }
+    }
+
+    /// `base-uri`.
+    pub fn base_uri(&self, id: NodeId) -> Option<&str> {
+        self.data(id).base_uri.as_deref()
+    }
+
+    /// `string-value` (§6.2 item 1 and XDM §6.2.2): text and attribute
+    /// nodes yield their content; elements concatenate descendant text in
+    /// document order; the document node yields the string value of its
+    /// children.
+    pub fn string_value(&self, id: NodeId) -> String {
+        match self.data(id).kind {
+            NodeKind::Text | NodeKind::Attribute => self.data(id).content.clone(),
+            NodeKind::Element | NodeKind::Document => {
+                let mut out = String::new();
+                self.collect_text(id, &mut out);
+                out
+            }
+        }
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        for &child in &self.data(id).children {
+            match self.data(child).kind {
+                NodeKind::Text => out.push_str(&self.data(child).content),
+                NodeKind::Element => self.collect_text(child, out),
+                _ => {}
+            }
+        }
+    }
+
+    /// `typed-value` — `Seq(anyAtomicType)`. Nodes annotated by
+    /// validation return the stored sequence; otherwise the value is
+    /// `xdt:untypedAtomic` of the string value (XDM §6).
+    pub fn typed_value(&self, id: NodeId) -> Vec<AtomicValue> {
+        if let Some(v) = &self.data(id).typed_value {
+            return v.clone();
+        }
+        if self.nilled(id) == Some(true) {
+            return Vec::new();
+        }
+        vec![AtomicValue::Untyped(self.string_value(id))]
+    }
+
+    // ------------------------------------------------------- navigation
+
+    /// The attribute of `element` with the given name, if any.
+    pub fn attribute_named(&self, element: NodeId, name: &str) -> Option<NodeId> {
+        self.attributes(element)
+            .iter()
+            .copied()
+            .find(|&a| self.node_name(a) == Some(name))
+    }
+
+    /// Child *elements* only.
+    pub fn child_elements(&self, id: NodeId) -> Vec<NodeId> {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|&c| self.kind(c) == NodeKind::Element)
+            .collect()
+    }
+
+    /// All nodes of the subtree rooted at `id` in document order
+    /// (§7: node, then attributes, then child subtrees).
+    pub fn subtree(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.push_subtree(id, &mut out);
+        out
+    }
+
+    fn push_subtree(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        out.push(id);
+        for &a in self.attributes(id) {
+            out.push(a);
+        }
+        for &c in self.children(id) {
+            self.push_subtree(c, out);
+        }
+    }
+
+    /// The root of the tree containing `id`.
+    pub fn root_of(&self, id: NodeId) -> NodeId {
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            cur = p;
+        }
+        cur
+    }
+
+    /// Depth of `id` (root = 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// True when `ancestor` is a proper ancestor of `descendant`.
+    pub fn is_ancestor(&self, ancestor: NodeId, descendant: NodeId) -> bool {
+        let mut cur = self.parent(descendant);
+        while let Some(p) = cur {
+            if p == ancestor {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the paper's Example 7 instance:
+    /// `<BookStore><Book><Title>…</Title>…</Book></BookStore>`.
+    fn small_tree() -> (NodeStore, NodeId, NodeId, NodeId, NodeId) {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(Some("http://example.org/books.xml".into()));
+        let store = s.new_element(doc, "BookStore");
+        let book = s.new_element(store, "Book");
+        let title = s.new_element(book, "Title");
+        s.new_text(title, "Foundations of Databases");
+        (s, doc, store, book, title)
+    }
+
+    #[test]
+    fn kinds_are_disjoint_by_construction() {
+        let (s, doc, store, _, title) = small_tree();
+        assert_eq!(s.node_kind(doc), "document");
+        assert_eq!(s.node_kind(store), "element");
+        assert_eq!(s.node_kind(title), "element");
+        let text = s.children(title)[0];
+        assert_eq!(s.node_kind(text), "text");
+    }
+
+    #[test]
+    fn document_node_accessor_emptiness() {
+        // §6.1: node-name, parent, type, attributes, nilled empty.
+        let (s, doc, ..) = small_tree();
+        assert_eq!(s.node_name(doc), None);
+        assert_eq!(s.parent(doc), None);
+        assert_eq!(s.type_name(doc), None);
+        assert!(s.attributes(doc).is_empty());
+        assert_eq!(s.nilled(doc), None);
+    }
+
+    #[test]
+    fn text_node_accessor_emptiness() {
+        let (s, _, _, _, title) = small_tree();
+        let text = s.children(title)[0];
+        assert_eq!(s.node_name(text), None);
+        assert!(s.children(text).is_empty());
+        assert!(s.attributes(text).is_empty());
+        assert_eq!(s.nilled(text), None);
+        assert_eq!(s.type_name(text), Some("xdt:untypedAtomic"));
+    }
+
+    #[test]
+    fn attribute_node_accessor_emptiness() {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let e = s.new_element(doc, "e");
+        let a = s.new_attribute(e, "InStock", "true");
+        assert!(s.children(a).is_empty());
+        assert!(s.attributes(a).is_empty());
+        assert_eq!(s.nilled(a), None);
+        assert_eq!(s.node_name(a), Some("InStock"));
+        assert_eq!(s.parent(a), Some(e));
+    }
+
+    #[test]
+    fn string_value_concatenates_descendant_text() {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let root = s.new_element(doc, "a");
+        s.new_text(root, "1");
+        let b = s.new_element(root, "b");
+        s.new_text(b, "2");
+        s.new_text(root, "3");
+        assert_eq!(s.string_value(root), "123");
+        // §6.2 item 1: document's string value = its child's.
+        assert_eq!(s.string_value(doc), "123");
+    }
+
+    #[test]
+    fn base_uri_is_inherited() {
+        let (s, doc, store, book, _) = small_tree();
+        assert_eq!(s.base_uri(doc), Some("http://example.org/books.xml"));
+        assert_eq!(s.base_uri(store), s.base_uri(doc));
+        assert_eq!(s.base_uri(book), s.base_uri(doc));
+    }
+
+    #[test]
+    fn typed_value_defaults_to_untyped_atomic() {
+        let (s, _, _, _, title) = small_tree();
+        let tv = s.typed_value(title);
+        assert_eq!(tv.len(), 1);
+        assert_eq!(tv[0].canonical(), "Foundations of Databases");
+        assert_eq!(tv[0].type_of(), xstypes::Builtin::UntypedAtomic);
+    }
+
+    #[test]
+    fn stored_typed_value_wins() {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let e = s.new_element(doc, "n");
+        s.new_text(e, "42");
+        s.set_typed_value(
+            e,
+            vec![AtomicValue::parse_builtin("42", xstypes::Builtin::Integer).unwrap()],
+        );
+        let tv = s.typed_value(e);
+        assert!(matches!(tv[0], AtomicValue::Integer(42, _)));
+    }
+
+    #[test]
+    fn nilled_elements_have_empty_typed_value() {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let e = s.new_element(doc, "n");
+        s.set_nilled(e, true);
+        assert!(s.typed_value(e).is_empty());
+    }
+
+    #[test]
+    fn subtree_lists_document_order() {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let root = s.new_element(doc, "r");
+        let a = s.new_attribute(root, "x", "1");
+        let c1 = s.new_element(root, "c1");
+        let t = s.new_text(c1, "hi");
+        let c2 = s.new_element(root, "c2");
+        assert_eq!(s.subtree(doc), vec![doc, root, a, c1, t, c2]);
+    }
+
+    #[test]
+    fn navigation_helpers() {
+        let (s, doc, store, book, title) = small_tree();
+        assert_eq!(s.root_of(title), doc);
+        assert_eq!(s.depth(doc), 0);
+        assert_eq!(s.depth(title), 3);
+        assert!(s.is_ancestor(doc, title));
+        assert!(s.is_ancestor(store, book));
+        assert!(!s.is_ancestor(title, store));
+        assert!(!s.is_ancestor(title, title));
+    }
+
+    #[test]
+    #[should_panic(expected = "§6.1")]
+    fn text_nodes_cannot_have_children() {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let e = s.new_element(doc, "e");
+        let t = s.new_text(e, "x");
+        s.new_element(t, "nope");
+    }
+}

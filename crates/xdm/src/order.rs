@@ -1,0 +1,242 @@
+//! Document order (§7).
+//!
+//! The paper defines the total order `<<` on the nodes of a tree `s`:
+//!
+//! * the document node precedes its element child;
+//! * for any element node, its attributes come right after it, in their
+//!   `attributes` sequence order, followed by the subtrees of its
+//!   children, in their `children` sequence order.
+//!
+//! Two implementations are provided:
+//!
+//! * [`cmp_document_order`] — pointer-chasing comparison of two nodes by
+//!   walking to their common ancestor (no precomputation; this is the
+//!   baseline for experiment E3);
+//! * [`DocumentOrderIndex`] — a precomputed preorder rank (what a static
+//!   snapshot can afford; invalidated by updates, which is exactly the
+//!   problem the Sedna numbering scheme of §9.3 solves).
+
+use std::cmp::Ordering;
+
+use crate::node::{NodeId, NodeStore};
+
+/// The position of a node within its parent: attributes order before
+/// children (§7: `end << and_1`, `and_k << end_1`).
+fn position_in_parent(store: &NodeStore, parent: NodeId, node: NodeId) -> (u8, usize) {
+    if let Some(i) = store.attributes(parent).iter().position(|&a| a == node) {
+        return (0, i);
+    }
+    if let Some(i) = store.children(parent).iter().position(|&c| c == node) {
+        return (1, i);
+    }
+    unreachable!("node {node} is not a child or attribute of {parent}")
+}
+
+/// Compare two nodes of the *same tree* in document order by walking
+/// ancestor chains. An ancestor precedes its descendants (`nd << end`).
+pub fn cmp_document_order(store: &NodeStore, a: NodeId, b: NodeId) -> Ordering {
+    if a == b {
+        return Ordering::Equal;
+    }
+    // Build root-to-node paths of (parent-relative) positions.
+    let path_a = path_from_root(store, a);
+    let path_b = path_from_root(store, b);
+    debug_assert_eq!(path_a.first().map(|p| p.0), path_b.first().map(|p| p.0), "same tree");
+    for i in 1..path_a.len().min(path_b.len()) {
+        let pa = position_in_parent(store, path_a[i - 1].0, path_a[i].0);
+        let pb = position_in_parent(store, path_b[i - 1].0, path_b[i].0);
+        match pa.cmp(&pb) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    // One path is a prefix of the other: the shallower node (ancestor)
+    // comes first.
+    path_a.len().cmp(&path_b.len())
+}
+
+fn path_from_root(store: &NodeStore, node: NodeId) -> Vec<(NodeId, ())> {
+    let mut path = vec![(node, ())];
+    let mut cur = node;
+    while let Some(p) = store.parent(cur) {
+        path.push((p, ()));
+        cur = p;
+    }
+    path.reverse();
+    path
+}
+
+/// A precomputed document-order rank for one tree.
+#[derive(Debug, Clone)]
+pub struct DocumentOrderIndex {
+    /// `rank[id.index()]` is the preorder rank, or `usize::MAX` for nodes
+    /// outside the indexed tree.
+    rank: Vec<usize>,
+    /// Nodes in document order.
+    sequence: Vec<NodeId>,
+}
+
+impl DocumentOrderIndex {
+    /// Index the tree rooted at `root`.
+    pub fn build(store: &NodeStore, root: NodeId) -> Self {
+        let sequence = store.subtree(root);
+        let mut rank = vec![usize::MAX; store.len()];
+        for (i, id) in sequence.iter().enumerate() {
+            rank[id.index()] = i;
+        }
+        DocumentOrderIndex { rank, sequence }
+    }
+
+    /// The rank of a node (0 = the root), if it is in the indexed tree.
+    pub fn rank(&self, id: NodeId) -> Option<usize> {
+        self.rank.get(id.index()).copied().filter(|&r| r != usize::MAX)
+    }
+
+    /// Compare two indexed nodes.
+    pub fn cmp(&self, a: NodeId, b: NodeId) -> Ordering {
+        self.rank(a).cmp(&self.rank(b))
+    }
+
+    /// The nodes in document order.
+    pub fn sequence(&self) -> &[NodeId] {
+        &self.sequence
+    }
+}
+
+/// Verify the §7 axioms on a tree; returns the first violated axiom as a
+/// string, or `None` when the order is correct. Used by tests and the
+/// validation harness.
+pub fn check_order_axioms(store: &NodeStore, root: NodeId) -> Option<String> {
+    let lt = |a, b| cmp_document_order(store, a, b) == Ordering::Less;
+    for node in store.subtree(root) {
+        // nd << its children and attributes.
+        let attrs = store.attributes(node);
+        for &a in attrs {
+            if !lt(node, a) {
+                return Some(format!("{node} must precede its attribute {a}"));
+            }
+        }
+        for w in attrs.windows(2) {
+            if !lt(w[0], w[1]) {
+                return Some(format!("attribute {} must precede {}", w[0], w[1]));
+            }
+        }
+        let children = store.children(node);
+        if let (Some(&last_attr), Some(&first_child)) = (attrs.last(), children.first()) {
+            if !lt(last_attr, first_child) {
+                return Some(format!("{last_attr} must precede first child {first_child}"));
+            }
+        }
+        for w in children.windows(2) {
+            // tree(end_j) << tree(end_{j+1}): every node of the first
+            // subtree precedes every node of the next.
+            let left = store.subtree(w[0]);
+            let right_root = w[1];
+            for &l in &left {
+                if !lt(l, right_root) {
+                    return Some(format!("{l} in tree({}) must precede tree({})", w[0], w[1]));
+                }
+            }
+        }
+        for &c in children {
+            if !lt(node, c) {
+                return Some(format!("{node} must precede its child {c}"));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> (NodeStore, NodeId) {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let root = s.new_element(doc, "library");
+        let b1 = s.new_element(root, "book");
+        s.new_attribute(b1, "id", "1");
+        let t1 = s.new_element(b1, "title");
+        s.new_text(t1, "AAA");
+        let b2 = s.new_element(root, "book");
+        s.new_attribute(b2, "id", "2");
+        let t2 = s.new_element(b2, "title");
+        s.new_text(t2, "BBB");
+        (s, doc)
+    }
+
+    #[test]
+    fn order_is_total_and_matches_preorder() {
+        let (s, doc) = tree();
+        let nodes = s.subtree(doc);
+        for i in 0..nodes.len() {
+            for j in 0..nodes.len() {
+                let expect = i.cmp(&j);
+                assert_eq!(
+                    cmp_document_order(&s, nodes[i], nodes[j]),
+                    expect,
+                    "{} vs {}",
+                    nodes[i],
+                    nodes[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axioms_hold_on_the_sample_tree() {
+        let (s, doc) = tree();
+        assert_eq!(check_order_axioms(&s, doc), None);
+    }
+
+    #[test]
+    fn document_precedes_everything() {
+        let (s, doc) = tree();
+        for n in s.subtree(doc).into_iter().skip(1) {
+            assert_eq!(cmp_document_order(&s, doc, n), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn attributes_precede_children() {
+        let (s, doc) = tree();
+        let root = s.children(doc)[0];
+        let b1 = s.child_elements(root)[0];
+        let attr = s.attributes(b1)[0];
+        let title = s.child_elements(b1)[0];
+        assert_eq!(cmp_document_order(&s, attr, title), Ordering::Less);
+        assert_eq!(cmp_document_order(&s, b1, attr), Ordering::Less);
+    }
+
+    #[test]
+    fn whole_subtree_precedes_next_sibling_tree() {
+        let (s, doc) = tree();
+        let root = s.children(doc)[0];
+        let books = s.child_elements(root);
+        let deep_text_of_first = s.subtree(books[0]).pop().unwrap();
+        assert_eq!(cmp_document_order(&s, deep_text_of_first, books[1]), Ordering::Less);
+    }
+
+    #[test]
+    fn index_agrees_with_pointer_comparison() {
+        let (s, doc) = tree();
+        let idx = DocumentOrderIndex::build(&s, doc);
+        let nodes = s.subtree(doc);
+        for &a in &nodes {
+            for &b in &nodes {
+                assert_eq!(idx.cmp(a, b), cmp_document_order(&s, a, b));
+            }
+        }
+        assert_eq!(idx.sequence().len(), nodes.len());
+        assert_eq!(idx.rank(doc), Some(0));
+    }
+
+    #[test]
+    fn index_reports_foreign_nodes_as_none() {
+        let (mut s, doc) = tree();
+        let idx = DocumentOrderIndex::build(&s, doc);
+        let other_doc = s.new_document(None);
+        assert_eq!(idx.rank(other_doc), None);
+    }
+}

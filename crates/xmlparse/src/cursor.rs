@@ -1,0 +1,192 @@
+//! A character cursor over the source text with line/column tracking.
+
+use crate::error::{Error, ErrorKind, Position, Result};
+
+/// Byte-oriented cursor that decodes UTF-8 lazily and tracks positions.
+pub(crate) struct Cursor<'a> {
+    src: &'a str,
+    /// Byte offset of the next character.
+    offset: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(src: &'a str) -> Self {
+        Cursor { src, offset: 0, line: 1, column: 1 }
+    }
+
+    /// The position of the next character to be read.
+    pub(crate) fn position(&self) -> Position {
+        Position { line: self.line, column: self.column }
+    }
+
+    /// True when all input has been consumed.
+    pub(crate) fn at_eof(&self) -> bool {
+        self.offset >= self.src.len()
+    }
+
+    /// The next character, without consuming it.
+    pub(crate) fn peek(&self) -> Option<char> {
+        self.src[self.offset..].chars().next()
+    }
+
+    /// The character after the next one, without consuming anything.
+    pub(crate) fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.offset..].chars();
+        it.next();
+        it.next()
+    }
+
+    /// Consume and return the next character.
+    pub(crate) fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.offset += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    /// Consume the next character, requiring it to be exactly `want`.
+    pub(crate) fn expect(&mut self, want: char) -> Result<()> {
+        match self.peek() {
+            Some(c) if c == want => {
+                self.bump();
+                Ok(())
+            }
+            Some(c) => Err(self.error(ErrorKind::UnexpectedChar(c))),
+            None => Err(self.error(ErrorKind::UnexpectedEof)),
+        }
+    }
+
+    /// Consume `literal` if the input starts with it; report success.
+    pub(crate) fn eat(&mut self, literal: &str) -> bool {
+        if self.src[self.offset..].starts_with(literal) {
+            for _ in literal.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume `literal` or fail with `UnexpectedChar`/`UnexpectedEof`.
+    pub(crate) fn expect_str(&mut self, literal: &str) -> Result<()> {
+        if self.eat(literal) {
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(c) => Err(self.error(ErrorKind::UnexpectedChar(c))),
+                None => Err(self.error(ErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    /// Skip XML whitespace (space, tab, CR, LF). Returns how many chars
+    /// were skipped.
+    pub(crate) fn skip_whitespace(&mut self) -> usize {
+        let mut n = 0;
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.bump();
+            n += 1;
+        }
+        n
+    }
+
+    /// Consume characters while `pred` holds and return the matched slice.
+    pub(crate) fn take_while(&mut self, pred: impl Fn(char) -> bool) -> &'a str {
+        let start = self.offset;
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        &self.src[start..self.offset]
+    }
+
+    /// Consume input until (not including) the first occurrence of
+    /// `delimiter`; the delimiter itself is consumed. Errors at EOF.
+    pub(crate) fn take_until(&mut self, delimiter: &str) -> Result<&'a str> {
+        let start = self.offset;
+        match self.src[self.offset..].find(delimiter) {
+            Some(rel) => {
+                let end = start + rel;
+                // Advance char by char to keep line/column accurate.
+                while self.offset < end + delimiter.len() {
+                    self.bump();
+                }
+                Ok(&self.src[start..end])
+            }
+            None => Err(self.error(ErrorKind::UnexpectedEof)),
+        }
+    }
+
+    /// Build an error at the current position.
+    pub(crate) fn error(&self, kind: ErrorKind) -> Error {
+        Error::new(kind, self.position())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_tracks_lines_and_columns() {
+        let mut c = Cursor::new("ab\ncd");
+        assert_eq!(c.position(), Position { line: 1, column: 1 });
+        c.bump();
+        c.bump();
+        assert_eq!(c.position(), Position { line: 1, column: 3 });
+        c.bump(); // newline
+        assert_eq!(c.position(), Position { line: 2, column: 1 });
+        c.bump();
+        assert_eq!(c.position(), Position { line: 2, column: 2 });
+    }
+
+    #[test]
+    fn eat_consumes_only_on_match() {
+        let mut c = Cursor::new("<!--x");
+        assert!(!c.eat("<!DOCTYPE"));
+        assert_eq!(c.position().column, 1);
+        assert!(c.eat("<!--"));
+        assert_eq!(c.peek(), Some('x'));
+    }
+
+    #[test]
+    fn take_until_consumes_delimiter() {
+        let mut c = Cursor::new("hello-->rest");
+        let got = c.take_until("-->").unwrap();
+        assert_eq!(got, "hello");
+        assert_eq!(c.peek(), Some('r'));
+    }
+
+    #[test]
+    fn take_until_errors_at_eof() {
+        let mut c = Cursor::new("no delimiter here");
+        assert!(c.take_until("-->").is_err());
+    }
+
+    #[test]
+    fn take_while_stops_at_predicate_boundary() {
+        let mut c = Cursor::new("abc123");
+        let got = c.take_while(|c| c.is_ascii_alphabetic());
+        assert_eq!(got, "abc");
+        assert_eq!(c.peek(), Some('1'));
+    }
+
+    #[test]
+    fn multibyte_characters_count_as_single_columns() {
+        let mut c = Cursor::new("éx");
+        c.bump();
+        assert_eq!(c.position().column, 2);
+        assert_eq!(c.peek(), Some('x'));
+    }
+}

@@ -1,0 +1,330 @@
+//! A lightweight owned DOM built on top of the pull parser.
+//!
+//! The paper's Section 8 theorem quantifies over *XML documents*; this
+//! module is their concrete representation: a [`Document`] owning a single
+//! root [`Element`], each element owning attributes and an ordered list of
+//! child [`Node`]s.
+
+use crate::error::Result;
+use crate::event::Event;
+use crate::parser::EventReader;
+use crate::qname::QName;
+use crate::writer::{WriteOptions, Writer};
+
+/// An attribute: a name/value pair. Values are stored unescaped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// The attribute name.
+    pub name: QName,
+    /// The attribute value (entities already expanded).
+    pub value: String,
+}
+
+/// A child of an element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// Character data (unescaped).
+    Text(String),
+    /// A comment (not part of the formal model; preserved for fidelity).
+    Comment(String),
+    /// A processing instruction.
+    ProcessingInstruction {
+        /// PI target.
+        target: String,
+        /// PI data.
+        data: String,
+    },
+}
+
+impl Node {
+    /// The contained element, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The contained text, if this node is character data.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// An element: a name, attributes in document order, and children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// The element name.
+    pub name: QName,
+    /// Attributes in the order they appeared.
+    pub attributes: Vec<Attribute>,
+    /// Children in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// A new element with no attributes or children.
+    pub fn new(name: impl Into<QName>) -> Self {
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder-style: add an attribute.
+    pub fn with_attribute(mut self, name: impl Into<QName>, value: impl Into<String>) -> Self {
+        self.attributes.push(Attribute { name: name.into(), value: value.into() });
+        self
+    }
+
+    /// Builder-style: add a child element.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder-style: add a text child.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Look up an attribute value by lexical name.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        let want = QName::parse(name);
+        self.attributes.iter().find(|a| a.name == want).map(|a| a.value.as_str())
+    }
+
+    /// Iterate over child elements only.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// First child element with the given local name.
+    pub fn child(&self, local: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name.local() == local)
+    }
+
+    /// All child elements with the given local name.
+    pub fn children_named<'a>(&'a self, local: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name.local() == local)
+    }
+
+    /// The concatenation of all descendant text, in document order.
+    ///
+    /// This is the `string-value` of an element node in the sense of the
+    /// XDM (used by the paper's Section 6.2, item 4).
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        for child in &self.children {
+            match child {
+                Node::Text(t) => out.push_str(t),
+                Node::Element(e) => e.collect_text(out),
+                Node::Comment(_) | Node::ProcessingInstruction { .. } => {}
+            }
+        }
+    }
+
+    /// Number of nodes (elements + texts) in this subtree, including self.
+    pub fn subtree_size(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(|c| match c {
+                Node::Element(e) => e.subtree_size(),
+                Node::Text(_) => 1,
+                _ => 0,
+            })
+            .sum::<usize>()
+    }
+}
+
+/// A parsed XML document: one root element (the paper's Section 3 model
+/// permits exactly one element child of the document item).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    root: Element,
+    /// Optional base URI attached when loading from a known location.
+    base_uri: Option<String>,
+}
+
+impl Document {
+    /// Wrap an element as a document root.
+    pub fn from_root(root: Element) -> Self {
+        Document { root, base_uri: None }
+    }
+
+    /// Parse a document from text.
+    pub fn parse(src: &str) -> Result<Self> {
+        let mut reader = EventReader::new(src);
+        let mut stack: Vec<Element> = Vec::new();
+        let mut root: Option<Element> = None;
+        loop {
+            match reader.next_event()? {
+                Event::StartElement { name, attributes, self_closing } => {
+                    let elem = Element {
+                        name,
+                        attributes: attributes
+                            .into_iter()
+                            .map(|(name, value)| Attribute { name, value })
+                            .collect(),
+                        children: Vec::new(),
+                    };
+                    if self_closing {
+                        match stack.last_mut() {
+                            Some(parent) => parent.children.push(Node::Element(elem)),
+                            None => root = Some(elem),
+                        }
+                    } else {
+                        stack.push(elem);
+                    }
+                }
+                Event::EndElement { .. } => {
+                    let done = stack.pop().expect("reader guarantees balance");
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(Node::Element(done)),
+                        None => root = Some(done),
+                    }
+                }
+                Event::Text(t) => {
+                    if let Some(parent) = stack.last_mut() {
+                        // Merge adjacent text produced by CDATA boundaries.
+                        if let Some(Node::Text(prev)) = parent.children.last_mut() {
+                            prev.push_str(&t);
+                        } else {
+                            parent.children.push(Node::Text(t));
+                        }
+                    }
+                }
+                Event::Comment(c) => {
+                    if let Some(parent) = stack.last_mut() {
+                        parent.children.push(Node::Comment(c));
+                    }
+                    // Comments outside the root are dropped.
+                }
+                Event::ProcessingInstruction { target, data } => {
+                    if let Some(parent) = stack.last_mut() {
+                        parent.children.push(Node::ProcessingInstruction { target, data });
+                    }
+                }
+                Event::Eof => break,
+            }
+        }
+        Ok(Document { root: root.expect("reader guarantees a root"), base_uri: None })
+    }
+
+    /// The root element.
+    pub fn root(&self) -> &Element {
+        &self.root
+    }
+
+    /// Mutable access to the root element.
+    pub fn root_mut(&mut self) -> &mut Element {
+        &mut self.root
+    }
+
+    /// Consume the document and return its root.
+    pub fn into_root(self) -> Element {
+        self.root
+    }
+
+    /// The document's base URI, if one was attached.
+    pub fn base_uri(&self) -> Option<&str> {
+        self.base_uri.as_deref()
+    }
+
+    /// Attach a base URI (builder style).
+    pub fn with_base_uri(mut self, uri: impl Into<String>) -> Self {
+        self.base_uri = Some(uri.into());
+        self
+    }
+
+    /// Serialize compactly (no added whitespace).
+    pub fn to_xml(&self) -> String {
+        let mut w = Writer::new(WriteOptions::compact());
+        w.write_document(self);
+        w.finish()
+    }
+
+    /// Serialize with indentation.
+    pub fn to_xml_pretty(&self) -> String {
+        let mut w = Writer::new(WriteOptions::pretty());
+        w.write_document(self);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_builds_nested_structure() {
+        let doc = Document::parse("<a><b>1</b><b>2</b><c/></a>").unwrap();
+        let a = doc.root();
+        assert_eq!(a.children.len(), 3);
+        assert_eq!(a.children_named("b").count(), 2);
+        assert_eq!(a.child("c").unwrap().children.len(), 0);
+    }
+
+    #[test]
+    fn attribute_lookup_by_lexical_name() {
+        let doc = Document::parse(r#"<a xsd:x="1" y="2"/>"#).unwrap();
+        assert_eq!(doc.root().attribute("xsd:x"), Some("1"));
+        assert_eq!(doc.root().attribute("y"), Some("2"));
+        assert_eq!(doc.root().attribute("x"), None);
+    }
+
+    #[test]
+    fn text_content_concatenates_descendants() {
+        let doc = Document::parse("<a>1<b>2<c>3</c></b>4</a>").unwrap();
+        assert_eq!(doc.root().text_content(), "1234");
+    }
+
+    #[test]
+    fn comments_do_not_contribute_to_text_content() {
+        let doc = Document::parse("<a>x<!-- no -->y</a>").unwrap();
+        assert_eq!(doc.root().text_content(), "xy");
+    }
+
+    #[test]
+    fn cdata_merges_with_adjacent_text() {
+        let doc = Document::parse("<a>x<![CDATA[y]]>z</a>").unwrap();
+        assert_eq!(doc.root().children.len(), 1);
+        assert_eq!(doc.root().children[0].as_text(), Some("xyz"));
+    }
+
+    #[test]
+    fn builder_api_constructs_equivalent_documents() {
+        let built = Document::from_root(
+            Element::new("a")
+                .with_attribute("x", "1")
+                .with_child(Element::new("b").with_text("hi")),
+        );
+        let parsed = Document::parse(r#"<a x="1"><b>hi</b></a>"#).unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn subtree_size_counts_elements_and_texts() {
+        let doc = Document::parse("<a>t<b><c/></b></a>").unwrap();
+        // a, text, b, c
+        assert_eq!(doc.root().subtree_size(), 4);
+    }
+
+    #[test]
+    fn to_xml_round_trips_through_parse() {
+        let src = r#"<a x="1&amp;2"><b>hi &lt;there&gt;</b><c/></a>"#;
+        let doc = Document::parse(src).unwrap();
+        let emitted = doc.to_xml();
+        let again = Document::parse(&emitted).unwrap();
+        assert_eq!(doc, again);
+    }
+}

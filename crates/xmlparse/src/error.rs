@@ -1,0 +1,142 @@
+//! Error reporting for the XML parser.
+
+use std::fmt;
+
+/// A line/column position in the source text (1-based, in characters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (counted in Unicode scalar values).
+    pub column: u32,
+}
+
+impl Position {
+    /// The start of the document.
+    pub const START: Position = Position { line: 1, column: 1 };
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar(char),
+    /// An element name in a closing tag did not match the open element.
+    MismatchedTag {
+        /// Name of the element that is currently open.
+        expected: String,
+        /// Name found in the closing tag.
+        found: String,
+    },
+    /// A closing tag appeared with no element open.
+    UnmatchedClosingTag(String),
+    /// The document ended with elements still open.
+    UnclosedElement(String),
+    /// An entity reference that is not predefined and not a char reference.
+    UnknownEntity(String),
+    /// A character reference that does not denote a valid XML character.
+    InvalidCharRef(String),
+    /// The same attribute name appeared twice in one start tag.
+    DuplicateAttribute(String),
+    /// A name token was empty or started with an invalid character.
+    InvalidName(String),
+    /// The document has no root element, or text outside the root.
+    NoRootElement,
+    /// More than one top-level element.
+    MultipleRoots,
+    /// Malformed XML declaration or processing instruction.
+    BadProcessingInstruction,
+    /// `--` inside a comment, or a malformed comment.
+    BadComment,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "closing tag </{found}> does not match open element <{expected}>")
+            }
+            ErrorKind::UnmatchedClosingTag(name) => {
+                write!(f, "closing tag </{name}> with no element open")
+            }
+            ErrorKind::UnclosedElement(name) => {
+                write!(f, "element <{name}> is never closed")
+            }
+            ErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};"),
+            ErrorKind::InvalidCharRef(text) => {
+                write!(f, "character reference &#{text}; is not a valid XML character")
+            }
+            ErrorKind::DuplicateAttribute(name) => {
+                write!(f, "attribute {name:?} appears more than once")
+            }
+            ErrorKind::InvalidName(name) => write!(f, "invalid XML name {name:?}"),
+            ErrorKind::NoRootElement => write!(f, "document has no root element"),
+            ErrorKind::MultipleRoots => write!(f, "document has more than one root element"),
+            ErrorKind::BadProcessingInstruction => {
+                write!(f, "malformed processing instruction or XML declaration")
+            }
+            ErrorKind::BadComment => write!(f, "malformed comment"),
+        }
+    }
+}
+
+/// A parse error together with the position where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// The classification of the failure.
+    pub kind: ErrorKind,
+    /// Where in the input the failure was detected.
+    pub position: Position,
+}
+
+impl Error {
+    pub(crate) fn new(kind: ErrorKind, position: Position) -> Self {
+        Error { kind, position }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}: {}", self.position, self.kind)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_displays_line_colon_column() {
+        let p = Position { line: 3, column: 17 };
+        assert_eq!(p.to_string(), "3:17");
+    }
+
+    #[test]
+    fn error_display_mentions_position_and_kind() {
+        let e = Error::new(ErrorKind::UnexpectedEof, Position::START);
+        assert_eq!(e.to_string(), "XML parse error at 1:1: unexpected end of input");
+    }
+
+    #[test]
+    fn mismatched_tag_display_names_both_tags() {
+        let e = ErrorKind::MismatchedTag { expected: "a".into(), found: "b".into() };
+        assert!(e.to_string().contains("</b>"));
+        assert!(e.to_string().contains("<a>"));
+    }
+}

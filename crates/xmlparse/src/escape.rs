@@ -1,0 +1,170 @@
+//! Entity escaping and unescaping.
+
+use std::borrow::Cow;
+
+/// Replace the characters that are never allowed in character data.
+///
+/// `<` and `&` must be escaped in text content; `>` is escaped as well for
+/// robustness (required only in `]]>`).
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    escape_with(text, |c| matches!(c, '<' | '>' | '&'))
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+pub fn escape_attribute(text: &str) -> Cow<'_, str> {
+    escape_with(text, |c| matches!(c, '<' | '>' | '&' | '"' | '\n' | '\t' | '\r'))
+}
+
+fn escape_with(text: &str, needs_escape: impl Fn(char) -> bool) -> Cow<'_, str> {
+    if !text.chars().any(&needs_escape) {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len() + 8);
+    for c in text.chars() {
+        if needs_escape(c) {
+            match c {
+                '<' => out.push_str("&lt;"),
+                '>' => out.push_str("&gt;"),
+                '&' => out.push_str("&amp;"),
+                '"' => out.push_str("&quot;"),
+                '\'' => out.push_str("&apos;"),
+                other => {
+                    out.push_str("&#");
+                    out.push_str(&(other as u32).to_string());
+                    out.push(';');
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve a single entity name (the text between `&` and `;`).
+///
+/// Returns `None` for anything that is neither predefined nor a valid
+/// character reference.
+pub(crate) fn resolve_entity(name: &str) -> Option<char> {
+    match name {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "apos" => Some('\''),
+        "quot" => Some('"'),
+        _ => {
+            let rest = name.strip_prefix('#')?;
+            let code = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X'))
+            {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                rest.parse::<u32>().ok()?
+            };
+            let c = char::from_u32(code)?;
+            is_xml_char(c).then_some(c)
+        }
+    }
+}
+
+/// True for characters permitted by the XML 1.0 `Char` production.
+pub(crate) fn is_xml_char(c: char) -> bool {
+    matches!(c,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+/// Expand all entity and character references in `text`.
+///
+/// Unknown entities are left intact (the streaming parser reports them as
+/// errors before this is reached; this lenient helper is exposed for users
+/// unescaping attribute values captured from other sources).
+pub fn unescape(text: &str) -> Cow<'_, str> {
+    if !text.contains('&') {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        match after.find(';') {
+            Some(semi) => {
+                let name = &after[..semi];
+                match resolve_entity(name) {
+                    Some(c) => out.push(c),
+                    None => {
+                        out.push('&');
+                        out.push_str(name);
+                        out.push(';');
+                    }
+                }
+                rest = &after[semi + 1..];
+            }
+            None => {
+                out.push('&');
+                rest = after;
+            }
+        }
+    }
+    out.push_str(rest);
+    Cow::Owned(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_leaves_clean_text_borrowed() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_text_replaces_markup_characters() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn escape_attribute_handles_quotes_and_whitespace_controls() {
+        assert_eq!(escape_attribute("a\"b\nc"), "a&quot;b&#10;c");
+    }
+
+    #[test]
+    fn resolve_predefined_entities() {
+        assert_eq!(resolve_entity("lt"), Some('<'));
+        assert_eq!(resolve_entity("gt"), Some('>'));
+        assert_eq!(resolve_entity("amp"), Some('&'));
+        assert_eq!(resolve_entity("apos"), Some('\''));
+        assert_eq!(resolve_entity("quot"), Some('"'));
+    }
+
+    #[test]
+    fn resolve_decimal_and_hex_char_refs() {
+        assert_eq!(resolve_entity("#65"), Some('A'));
+        assert_eq!(resolve_entity("#x41"), Some('A'));
+        assert_eq!(resolve_entity("#x1F600"), Some('😀'));
+    }
+
+    #[test]
+    fn reject_invalid_char_refs() {
+        assert_eq!(resolve_entity("#0"), None); // NUL is not an XML char
+        assert_eq!(resolve_entity("#xD800"), None); // surrogate
+        assert_eq!(resolve_entity("#junk"), None);
+        assert_eq!(resolve_entity("nbsp"), None); // not predefined in XML
+    }
+
+    #[test]
+    fn unescape_round_trips_escape() {
+        let original = "x < y && z > \"q\" 'a'";
+        assert_eq!(unescape(&escape_text(original)), original);
+        assert_eq!(unescape(&escape_attribute(original)), original);
+    }
+
+    #[test]
+    fn unescape_leaves_unknown_entities_verbatim() {
+        assert_eq!(unescape("a&nbsp;b"), "a&nbsp;b");
+        assert_eq!(unescape("dangling &amp"), "dangling &amp");
+    }
+}

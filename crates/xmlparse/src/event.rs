@@ -1,0 +1,47 @@
+//! Pull-parser events.
+
+use crate::qname::QName;
+
+/// One syntactic event produced by [`crate::EventReader`].
+///
+/// Text content is delivered with entity and character references already
+/// expanded; CDATA sections are delivered as ordinary [`Event::Text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="v" …>` — `self_closing` is true for `<name …/>`,
+    /// in which case no matching [`Event::EndElement`] follows.
+    StartElement {
+        /// The element name.
+        name: QName,
+        /// Attributes in document order, values unescaped.
+        attributes: Vec<(QName, String)>,
+        /// Whether the tag was `<name/>`.
+        self_closing: bool,
+    },
+    /// `</name>` (also emitted, synthetically, after a self-closing tag is
+    /// *not*; callers branch on `self_closing`).
+    EndElement {
+        /// The element name.
+        name: QName,
+    },
+    /// Character data (entity references expanded, CDATA merged in).
+    Text(String),
+    /// `<!-- … -->` with the delimiters stripped.
+    Comment(String),
+    /// `<?target data?>`.
+    ProcessingInstruction {
+        /// The PI target (e.g. `xml-stylesheet`).
+        target: String,
+        /// Everything between the target and `?>`, trimmed of leading space.
+        data: String,
+    },
+    /// End of the document.
+    Eof,
+}
+
+impl Event {
+    /// True for events that carry no document content (comments, PIs).
+    pub fn is_ignorable(&self) -> bool {
+        matches!(self, Event::Comment(_) | Event::ProcessingInstruction { .. })
+    }
+}

@@ -1,0 +1,49 @@
+//! Self-contained XML 1.0 parser, lightweight DOM, and serializer.
+//!
+//! This crate is the lowest substrate of the reproduction of *"A Formal
+//! Model of XML Schema"* (Novak & Zamulin, ICDE 2005). Everything above it
+//! — the XML Schema front-end, the data-model loader `f` and the serializer
+//! `g` of the paper's Section 8 — consumes or produces the [`Document`]
+//! tree defined here.
+//!
+//! The supported language is the subset of XML 1.0 needed by the paper:
+//!
+//! * elements with attributes (single- or double-quoted),
+//! * character data, CDATA sections, comments, processing instructions,
+//! * the XML declaration and a skipped-over `<!DOCTYPE …>`,
+//! * the five predefined entities and decimal/hex character references.
+//!
+//! Namespace *syntax* (`prefix:local` names, `xmlns` attributes) is parsed
+//! into [`QName`] values, but no URI resolution is performed — the formal
+//! model of the paper works with qualified names as pairs.
+//!
+//! # Quick start
+//!
+//! ```
+//! use xmlparse::Document;
+//!
+//! let doc = Document::parse("<a x='1'>hi<b/></a>").unwrap();
+//! let root = doc.root();
+//! assert_eq!(root.name.local(), "a");
+//! assert_eq!(root.attribute("x"), Some("1"));
+//! assert_eq!(doc.to_xml(), "<a x=\"1\">hi<b/></a>");
+//! ```
+
+#![warn(missing_docs)]
+
+mod cursor;
+mod dom;
+mod error;
+mod escape;
+mod event;
+mod parser;
+mod qname;
+mod writer;
+
+pub use dom::{Attribute, Document, Element, Node};
+pub use error::{Error, ErrorKind, Position, Result};
+pub use escape::{escape_attribute, escape_text, unescape};
+pub use event::Event;
+pub use parser::EventReader;
+pub use qname::{is_valid_name, QName};
+pub use writer::{WriteOptions, Writer};

@@ -1,0 +1,517 @@
+//! The streaming (pull) parser.
+
+use crate::cursor::Cursor;
+use crate::error::{ErrorKind, Position, Result};
+use crate::escape::{is_xml_char, resolve_entity};
+use crate::event::Event;
+use crate::qname::{is_name_char, is_name_start, QName};
+
+/// A pull parser producing [`Event`]s from an XML string.
+///
+/// The reader enforces well-formedness: tag balance, attribute uniqueness,
+/// entity validity, and a single root element. The XML declaration and a
+/// `<!DOCTYPE …>` (including a bracketed internal subset) before the root
+/// are consumed silently.
+///
+/// ```
+/// use xmlparse::{Event, EventReader};
+///
+/// let mut r = EventReader::new("<a>hi</a>");
+/// assert!(matches!(r.next_event().unwrap(), Event::StartElement { .. }));
+/// assert!(matches!(r.next_event().unwrap(), Event::Text(t) if t == "hi"));
+/// assert!(matches!(r.next_event().unwrap(), Event::EndElement { .. }));
+/// assert!(matches!(r.next_event().unwrap(), Event::Eof));
+/// ```
+pub struct EventReader<'a> {
+    cursor: Cursor<'a>,
+    /// Stack of open element names (lexical form, for tag matching).
+    open: Vec<QName>,
+    /// Whether the single root element has been seen and closed.
+    root_closed: bool,
+    /// Whether any root element has started.
+    root_seen: bool,
+    prolog_done: bool,
+}
+
+impl<'a> EventReader<'a> {
+    /// Create a reader over `src`.
+    pub fn new(src: &'a str) -> Self {
+        EventReader {
+            cursor: Cursor::new(src),
+            open: Vec::new(),
+            root_closed: false,
+            root_seen: false,
+            prolog_done: false,
+        }
+    }
+
+    /// The position of the next unread character (for error reporting).
+    pub fn position(&self) -> Position {
+        self.cursor.position()
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Pull the next event.
+    pub fn next_event(&mut self) -> Result<Event> {
+        if !self.prolog_done {
+            self.skip_prolog()?;
+            self.prolog_done = true;
+        }
+        loop {
+            if self.open.is_empty() {
+                // Between/after root: only whitespace, comments, PIs allowed.
+                self.cursor.skip_whitespace();
+                if self.cursor.at_eof() {
+                    if !self.root_seen {
+                        return Err(self.cursor.error(ErrorKind::NoRootElement));
+                    }
+                    return Ok(Event::Eof);
+                }
+            }
+            match self.cursor.peek() {
+                None => {
+                    let name = self.open.last().expect("checked above").clone();
+                    return Err(self
+                        .cursor
+                        .error(ErrorKind::UnclosedElement(name.lexical().into_owned())));
+                }
+                Some('<') => match self.cursor.peek2() {
+                    Some('/') => return self.parse_end_tag(),
+                    Some('!') => {
+                        if let Some(ev) = self.parse_bang()? {
+                            return Ok(ev);
+                        }
+                        // CDATA handled inside text; loop for comments at top level.
+                    }
+                    Some('?') => return self.parse_pi(),
+                    _ => return self.parse_start_tag(),
+                },
+                Some(_) => {
+                    if self.open.is_empty() {
+                        return Err(self.cursor.error(if self.root_seen {
+                            ErrorKind::MultipleRoots
+                        } else {
+                            ErrorKind::NoRootElement
+                        }));
+                    }
+                    return self.parse_text();
+                }
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<()> {
+        loop {
+            self.cursor.skip_whitespace();
+            if self.cursor.eat("<?xml") {
+                // XML declaration: skip to ?>
+                self.cursor.take_until("?>")?;
+            } else if self.cursor.eat("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_doctype(&mut self) -> Result<()> {
+        // Consume until the matching '>' while honouring an optional
+        // bracketed internal subset.
+        let mut bracket_depth = 0usize;
+        loop {
+            match self.cursor.bump() {
+                Some('[') => bracket_depth += 1,
+                Some(']') => bracket_depth = bracket_depth.saturating_sub(1),
+                Some('>') if bracket_depth == 0 => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.cursor.error(ErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<QName> {
+        let start_pos = self.cursor.position();
+        match self.cursor.peek() {
+            Some(c) if is_name_start(c) && c != ':' => {}
+            Some(c) => {
+                return Err(crate::error::Error::new(
+                    ErrorKind::InvalidName(c.to_string()),
+                    start_pos,
+                ))
+            }
+            None => return Err(self.cursor.error(ErrorKind::UnexpectedEof)),
+        }
+        let raw = self.cursor.take_while(is_name_char);
+        if raw.bytes().filter(|&b| b == b':').count() > 1 || raw.ends_with(':') {
+            return Err(crate::error::Error::new(ErrorKind::InvalidName(raw.to_string()), start_pos));
+        }
+        Ok(QName::parse(raw))
+    }
+
+    fn parse_start_tag(&mut self) -> Result<Event> {
+        self.cursor.expect('<')?;
+        let name = self.parse_name()?;
+        let mut attributes: Vec<(QName, String)> = Vec::new();
+        loop {
+            let skipped = self.cursor.skip_whitespace();
+            match self.cursor.peek() {
+                Some('>') => {
+                    self.cursor.bump();
+                    if self.open.is_empty() {
+                        if self.root_seen {
+                            return Err(self.cursor.error(ErrorKind::MultipleRoots));
+                        }
+                        self.root_seen = true;
+                    }
+                    self.open.push(name.clone());
+                    return Ok(Event::StartElement { name, attributes, self_closing: false });
+                }
+                Some('/') => {
+                    self.cursor.bump();
+                    self.cursor.expect('>')?;
+                    if self.open.is_empty() {
+                        if self.root_seen {
+                            return Err(self.cursor.error(ErrorKind::MultipleRoots));
+                        }
+                        self.root_seen = true;
+                        self.root_closed = true;
+                    }
+                    return Ok(Event::StartElement { name, attributes, self_closing: true });
+                }
+                Some(c) if is_name_start(c) => {
+                    if skipped == 0 && !attributes.is_empty() {
+                        return Err(self.cursor.error(ErrorKind::UnexpectedChar(c)));
+                    }
+                    let (aname, avalue) = self.parse_attribute()?;
+                    if attributes.iter().any(|(n, _)| *n == aname) {
+                        return Err(self
+                            .cursor
+                            .error(ErrorKind::DuplicateAttribute(aname.lexical().into_owned())));
+                    }
+                    attributes.push((aname, avalue));
+                }
+                Some(c) => return Err(self.cursor.error(ErrorKind::UnexpectedChar(c))),
+                None => return Err(self.cursor.error(ErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_attribute(&mut self) -> Result<(QName, String)> {
+        let name = self.parse_name()?;
+        self.cursor.skip_whitespace();
+        self.cursor.expect('=')?;
+        self.cursor.skip_whitespace();
+        let quote = match self.cursor.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => return Err(self.cursor.error(ErrorKind::UnexpectedChar(c))),
+            None => return Err(self.cursor.error(ErrorKind::UnexpectedEof)),
+        };
+        let mut value = String::new();
+        loop {
+            match self.cursor.peek() {
+                Some(c) if c == quote => {
+                    self.cursor.bump();
+                    break;
+                }
+                Some('<') => return Err(self.cursor.error(ErrorKind::UnexpectedChar('<'))),
+                Some('&') => {
+                    value.push(self.parse_reference()?);
+                }
+                Some('\n' | '\t' | '\r') => {
+                    // Attribute-value normalization: whitespace → space.
+                    self.cursor.bump();
+                    value.push(' ');
+                }
+                Some(c) => {
+                    self.cursor.bump();
+                    value.push(c);
+                }
+                None => return Err(self.cursor.error(ErrorKind::UnexpectedEof)),
+            }
+        }
+        Ok((name, value))
+    }
+
+    fn parse_reference(&mut self) -> Result<char> {
+        let pos = self.cursor.position();
+        self.cursor.expect('&')?;
+        let name = self.cursor.take_while(|c| c != ';' && c != '<' && c != '&' && c != '>');
+        if self.cursor.peek() != Some(';') {
+            return Err(crate::error::Error::new(ErrorKind::UnknownEntity(name.to_string()), pos));
+        }
+        self.cursor.bump();
+        resolve_entity(name).ok_or_else(|| {
+            let kind = if name.starts_with('#') {
+                ErrorKind::InvalidCharRef(name.trim_start_matches('#').to_string())
+            } else {
+                ErrorKind::UnknownEntity(name.to_string())
+            };
+            crate::error::Error::new(kind, pos)
+        })
+    }
+
+    fn parse_end_tag(&mut self) -> Result<Event> {
+        self.cursor.expect_str("</")?;
+        let name = self.parse_name()?;
+        self.cursor.skip_whitespace();
+        self.cursor.expect('>')?;
+        match self.open.pop() {
+            Some(expected) if expected == name => {
+                if self.open.is_empty() {
+                    self.root_closed = true;
+                }
+                Ok(Event::EndElement { name })
+            }
+            Some(expected) => Err(self.cursor.error(ErrorKind::MismatchedTag {
+                expected: expected.lexical().into_owned(),
+                found: name.lexical().into_owned(),
+            })),
+            None => Err(self
+                .cursor
+                .error(ErrorKind::UnmatchedClosingTag(name.lexical().into_owned()))),
+        }
+    }
+
+    /// Parse `<!…` constructs. Returns `Ok(None)` when the construct is a
+    /// comment outside the root (simply skipped by the caller's loop… no —
+    /// comments are real events, so this returns them); `None` is reserved
+    /// for constructs merged into other events.
+    fn parse_bang(&mut self) -> Result<Option<Event>> {
+        if self.cursor.eat("<!--") {
+            let body = self.cursor.take_until("-->")?;
+            if body.contains("--") {
+                return Err(self.cursor.error(ErrorKind::BadComment));
+            }
+            return Ok(Some(Event::Comment(body.to_string())));
+        }
+        if self.cursor.eat("<![CDATA[") {
+            if self.open.is_empty() {
+                return Err(self.cursor.error(if self.root_seen {
+                    ErrorKind::MultipleRoots
+                } else {
+                    ErrorKind::NoRootElement
+                }));
+            }
+            let body = self.cursor.take_until("]]>")?;
+            return Ok(Some(Event::Text(body.to_string())));
+        }
+        Err(self.cursor.error(ErrorKind::UnexpectedChar('!')))
+    }
+
+    fn parse_pi(&mut self) -> Result<Event> {
+        self.cursor.expect_str("<?")?;
+        let target = self.parse_name()?;
+        if target.lexical().eq_ignore_ascii_case("xml") {
+            return Err(self.cursor.error(ErrorKind::BadProcessingInstruction));
+        }
+        self.cursor.skip_whitespace();
+        let data = self.cursor.take_until("?>")?;
+        Ok(Event::ProcessingInstruction {
+            target: target.lexical().into_owned(),
+            data: data.to_string(),
+        })
+    }
+
+    fn parse_text(&mut self) -> Result<Event> {
+        let mut text = String::new();
+        loop {
+            match self.cursor.peek() {
+                Some('<') => {
+                    // CDATA merges into the running text.
+                    if self.cursor.peek2() == Some('!') {
+                        // Look ahead without a full clone: try to eat CDATA.
+                        if self.cursor.eat("<![CDATA[") {
+                            let body = self.cursor.take_until("]]>")?;
+                            text.push_str(body);
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                Some('&') => text.push(self.parse_reference()?),
+                Some(c) if is_xml_char(c) => {
+                    self.cursor.bump();
+                    text.push(c);
+                }
+                Some(c) => return Err(self.cursor.error(ErrorKind::UnexpectedChar(c))),
+                None => break, // error reported by the main loop
+            }
+        }
+        Ok(Event::Text(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Result<Vec<Event>> {
+        let mut r = EventReader::new(src);
+        let mut out = Vec::new();
+        loop {
+            let e = r.next_event()?;
+            let done = matches!(e, Event::Eof);
+            out.push(e);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_document() {
+        let evs = events("<a/>").unwrap();
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(&evs[0], Event::StartElement { self_closing: true, .. }));
+    }
+
+    #[test]
+    fn nested_elements_balance() {
+        let evs = events("<a><b><c/></b></a>").unwrap();
+        let starts = evs.iter().filter(|e| matches!(e, Event::StartElement { .. })).count();
+        assert_eq!(starts, 3);
+    }
+
+    #[test]
+    fn attributes_are_parsed_in_order_with_unescaping() {
+        let evs = events(r#"<a x="1" y='2 &amp; 3'/>"#).unwrap();
+        match &evs[0] {
+            Event::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].0.local(), "x");
+                assert_eq!(attributes[0].1, "1");
+                assert_eq!(attributes[1].1, "2 & 3");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_value_whitespace_is_normalized() {
+        let evs = events("<a x=\"l1\nl2\tl3\"/>").unwrap();
+        match &evs[0] {
+            Event::StartElement { attributes, .. } => assert_eq!(attributes[0].1, "l1 l2 l3"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = events(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn text_with_entities_and_cdata() {
+        let evs = events("<a>x &lt; y<![CDATA[ <raw> ]]>z</a>").unwrap();
+        match &evs[1] {
+            Event::Text(t) => assert_eq!(t, "x < y <raw> z"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = events("<a></b>").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unclosed_root_errors() {
+        let err = events("<a><b></b>").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::UnclosedElement(n) if n == "a"));
+    }
+
+    #[test]
+    fn stray_close_errors() {
+        let err = events("</a>").unwrap_err();
+        // At top level a '</' with nothing open:
+        assert!(matches!(err.kind, ErrorKind::UnmatchedClosingTag(_)));
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let err = events("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::MultipleRoots));
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        let err = events("   ").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::NoRootElement));
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        let err = events("hello").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::NoRootElement));
+    }
+
+    #[test]
+    fn xml_declaration_and_doctype_skipped() {
+        let src = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE a [ <!ELEMENT a ANY> ]>\n<a/>";
+        let evs = events(src).unwrap();
+        assert!(matches!(&evs[0], Event::StartElement { name, .. } if name.local() == "a"));
+    }
+
+    #[test]
+    fn comments_and_pis_are_events() {
+        let evs = events("<!-- before --><a><?pi data?></a><!-- after -->").unwrap();
+        assert!(matches!(&evs[0], Event::Comment(c) if c == " before "));
+        assert!(
+            matches!(&evs[2], Event::ProcessingInstruction { target, data } if target == "pi" && data == "data")
+        );
+        assert!(matches!(&evs[4], Event::Comment(c) if c == " after "));
+    }
+
+    #[test]
+    fn double_hyphen_in_comment_rejected() {
+        let err = events("<a><!-- x -- y --></a>").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::BadComment));
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        let err = events("<a>&nope;</a>").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::UnknownEntity(n) if n == "nope"));
+    }
+
+    #[test]
+    fn invalid_char_ref_rejected() {
+        let err = events("<a>&#0;</a>").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::InvalidCharRef(_)));
+    }
+
+    #[test]
+    fn prefixed_names_parse_into_qnames() {
+        let evs = events("<xsd:schema xmlns:xsd=\"urn:x\"/>").unwrap();
+        match &evs[0] {
+            Event::StartElement { name, attributes, .. } => {
+                assert_eq!(name.prefix(), Some("xsd"));
+                assert_eq!(name.local(), "schema");
+                assert_eq!(attributes[0].0.prefix(), Some("xmlns"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn names_with_two_colons_rejected() {
+        assert!(events("<a:b:c/>").is_err());
+    }
+
+    #[test]
+    fn lt_in_attribute_value_rejected() {
+        assert!(events("<a x=\"<\"/>").is_err());
+    }
+
+    #[test]
+    fn error_positions_point_at_the_problem() {
+        let err = events("<a>\n  &bad;</a>").unwrap_err();
+        assert_eq!(err.position.line, 2);
+        assert_eq!(err.position.column, 3);
+    }
+}

@@ -1,0 +1,163 @@
+//! Qualified names.
+//!
+//! The paper's abstract syntax has one predefined syntactic type `Name`
+//! (Section 2), used as element, attribute, and type names. Real XML
+//! documents spell names as `prefix:local`; the formal model treats them as
+//! opaque qualified names, which is what [`QName`] provides.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// A qualified XML name: an optional prefix and a local part.
+///
+/// Ordering and equality are lexicographic over `(prefix, local)`, which is
+/// all the formal model requires of the syntactic type `Name`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    prefix: Option<Box<str>>,
+    local: Box<str>,
+}
+
+impl QName {
+    /// A name with no prefix.
+    pub fn local_only(local: impl Into<String>) -> Self {
+        QName { prefix: None, local: local.into().into_boxed_str() }
+    }
+
+    /// A name with an explicit prefix.
+    pub fn prefixed(prefix: impl Into<String>, local: impl Into<String>) -> Self {
+        QName {
+            prefix: Some(prefix.into().into_boxed_str()),
+            local: local.into().into_boxed_str(),
+        }
+    }
+
+    /// Split a lexical `prefix:local` form. More than one colon is kept in
+    /// the local part verbatim (the parser rejects such names earlier).
+    pub fn parse(lexical: &str) -> Self {
+        match lexical.split_once(':') {
+            Some((p, l)) if !p.is_empty() && !l.is_empty() => QName::prefixed(p, l),
+            _ => QName::local_only(lexical),
+        }
+    }
+
+    /// The prefix, if any.
+    pub fn prefix(&self) -> Option<&str> {
+        self.prefix.as_deref()
+    }
+
+    /// The local part.
+    pub fn local(&self) -> &str {
+        &self.local
+    }
+
+    /// The lexical form, allocating only when a prefix is present.
+    pub fn lexical(&self) -> Cow<'_, str> {
+        match &self.prefix {
+            Some(p) => Cow::Owned(format!("{p}:{}", self.local)),
+            None => Cow::Borrowed(&self.local),
+        }
+    }
+
+    /// True when this name has the given prefix (or no prefix for `None`).
+    pub fn has_prefix(&self, prefix: Option<&str>) -> bool {
+        self.prefix.as_deref() == prefix
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = &self.prefix {
+            write!(f, "{p}:")?;
+        }
+        f.write_str(&self.local)
+    }
+}
+
+impl From<&str> for QName {
+    fn from(s: &str) -> Self {
+        QName::parse(s)
+    }
+}
+
+impl From<String> for QName {
+    fn from(s: String) -> Self {
+        QName::parse(&s)
+    }
+}
+
+/// True if `c` may start an XML name.
+pub(crate) fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+/// True if `c` may continue an XML name.
+pub(crate) fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_numeric() || c == '-' || c == '.' || c == '\u{B7}'
+}
+
+/// True if `s` is a syntactically valid XML name.
+pub fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_name_start(c) => chars.all(is_name_char),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_splits_on_single_colon() {
+        let q = QName::parse("xsd:element");
+        assert_eq!(q.prefix(), Some("xsd"));
+        assert_eq!(q.local(), "element");
+    }
+
+    #[test]
+    fn parse_without_colon_is_local_only() {
+        let q = QName::parse("Book");
+        assert_eq!(q.prefix(), None);
+        assert_eq!(q.local(), "Book");
+    }
+
+    #[test]
+    fn parse_with_empty_prefix_keeps_whole_as_local() {
+        let q = QName::parse(":oops");
+        assert_eq!(q.prefix(), None);
+        assert_eq!(q.local(), ":oops");
+    }
+
+    #[test]
+    fn display_round_trips_lexical_form() {
+        assert_eq!(QName::parse("a:b").to_string(), "a:b");
+        assert_eq!(QName::parse("b").to_string(), "b");
+    }
+
+    #[test]
+    fn lexical_borrows_when_unprefixed() {
+        let q = QName::local_only("x");
+        assert!(matches!(q.lexical(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn ordering_is_by_prefix_then_local() {
+        let a = QName::local_only("z");
+        let b = QName::prefixed("a", "a");
+        // None sorts before Some.
+        assert!(a < b);
+    }
+
+    #[test]
+    fn name_validity() {
+        assert!(is_valid_name("Book"));
+        assert!(is_valid_name("_x-1.y"));
+        assert!(is_valid_name("xsd:element"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("1abc"));
+        assert!(!is_valid_name("-a"));
+        assert!(!is_valid_name("a b"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests: any generated DOM serializes to text that parses back
+//! to the identical DOM, in both compact and pretty modes (modulo the
+//! layout whitespace pretty mode inserts).
+
+use proptest::prelude::*;
+use xmlparse::{Document, Element, Node};
+
+/// Strategy for XML names (restricted alphabet keeps shrinking readable).
+fn name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.-]{0,8}".prop_map(|s| s)
+}
+
+/// Strategy for text content, including characters that need escaping.
+fn text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            8 => proptest::char::range('a', 'z').prop_map(|c| c.to_string()),
+            1 => Just("<".to_string()),
+            1 => Just(">".to_string()),
+            1 => Just("&".to_string()),
+            1 => Just("\"".to_string()),
+            1 => Just("'".to_string()),
+            1 => Just(" ".to_string()),
+            1 => Just("é".to_string()),
+            1 => Just("🦀".to_string()),
+        ],
+        1..12,
+    )
+    .prop_map(|v| v.concat())
+}
+
+fn attr_value() -> impl Strategy<Value = String> {
+    text()
+}
+
+/// Recursive element strategy.
+fn element(depth: u32) -> BoxedStrategy<Element> {
+    if depth == 0 {
+        (name(), proptest::collection::vec((name(), attr_value()), 0..3))
+            .prop_map(|(n, attrs)| {
+                let mut e = Element::new(n);
+                for (an, av) in dedup_names(attrs) {
+                    e = e.with_attribute(an, av);
+                }
+                e
+            })
+            .boxed()
+    } else {
+        (
+            name(),
+            proptest::collection::vec((name(), attr_value()), 0..3),
+            proptest::collection::vec(
+                prop_oneof![
+                    3 => element(depth - 1).prop_map(Node::Element),
+                    2 => text().prop_map(Node::Text),
+                ],
+                0..4,
+            ),
+        )
+            .prop_map(|(n, attrs, children)| {
+                let mut e = Element::new(n);
+                for (an, av) in dedup_names(attrs) {
+                    e = e.with_attribute(an, av);
+                }
+                // Merge adjacent text (the parser always merges, so the
+                // generated DOM must be in merged normal form to compare).
+                for child in children {
+                    match (&child, e.children.last_mut()) {
+                        (Node::Text(t), Some(Node::Text(prev))) => prev.push_str(t),
+                        _ => e.children.push(child),
+                    }
+                }
+                e
+            })
+            .boxed()
+    }
+}
+
+fn dedup_names(attrs: Vec<(String, String)>) -> Vec<(String, String)> {
+    let mut seen = std::collections::HashSet::new();
+    attrs.into_iter().filter(|(n, _)| seen.insert(n.clone())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compact_serialization_roundtrips(root in element(3)) {
+        let doc = Document::from_root(root);
+        let text = doc.to_xml();
+        let parsed = Document::parse(&text)
+            .unwrap_or_else(|e| panic!("emitted unparseable XML: {e}\n{text}"));
+        prop_assert_eq!(&doc, &parsed);
+    }
+
+    #[test]
+    fn pretty_serialization_preserves_content(root in element(3)) {
+        let doc = Document::from_root(root);
+        let pretty = doc.to_xml_pretty();
+        let parsed = Document::parse(&pretty)
+            .unwrap_or_else(|e| panic!("emitted unparseable XML: {e}\n{pretty}"));
+        // Pretty mode may add layout whitespace between element-only
+        // children; compare with the compact forms of both after a
+        // whitespace-insensitive normalization: names, attributes, and
+        // non-whitespace text must survive.
+        prop_assert_eq!(doc.root().name.lexical(), parsed.root().name.lexical());
+        prop_assert_eq!(
+            collect_text(doc.root()),
+            collect_text(parsed.root())
+        );
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(input in "[ -~]{0,80}") {
+        let _ = Document::parse(&input); // Ok or Err, never panic
+    }
+
+    #[test]
+    fn parse_never_panics_on_tag_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b x='1'>".to_string()),
+                Just("</b>".to_string()),
+                Just("<c/>".to_string()),
+                Just("text".to_string()),
+                Just("&amp;".to_string()),
+                Just("&bad;".to_string()),
+                Just("<!--c-->".to_string()),
+                Just("<![CDATA[x]]>".to_string()),
+                Just("<?pi d?>".to_string()),
+            ],
+            0..12,
+        )
+    ) {
+        let input = parts.concat();
+        let _ = Document::parse(&input);
+    }
+}
+
+/// Significant (non-layout) text of a subtree, in document order.
+fn collect_text(e: &Element) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(e: &Element, out: &mut Vec<String>) {
+        for c in &e.children {
+            match c {
+                Node::Text(t) if !t.trim().is_empty() => out.push(t.clone()),
+                Node::Element(sub) => walk(sub, out),
+                _ => {}
+            }
+        }
+    }
+    walk(e, &mut out);
+    out
+}

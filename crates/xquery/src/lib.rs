@@ -1,0 +1,204 @@
+//! FLWOR queries over the formal model — the continuation the paper's
+//! §11 announces: "the presented semantics may help in defining a simple
+//! semantics of a data manipulation language like XQuery. We intend to
+//! proceed with this work."
+//!
+//! The subset: `for $v in <path>`, any number of `let $x := $v/path`
+//! bindings, conjunctive `where` conditions (existence and general
+//! comparisons), `order by … [descending]`, and `return` items — element
+//! constructors with `{…}` interpolation, variable paths, or string
+//! literals. Evaluation reads documents exclusively through the paper's
+//! §5 accessors ([`xpath::TreeAccess`]), so the same query runs over the
+//! in-memory XDM tree and the §9 block storage.
+//!
+//! ```
+//! use xdm::NodeStore;
+//! use xpath::XdmTree;
+//! use xquery::{evaluate, nodes_to_string, parse_query};
+//!
+//! let mut s = NodeStore::new();
+//! let doc = s.new_document(None);
+//! let lib = s.new_element(doc, "library");
+//! for (title, author) in [("B-trees", "Bayer"), ("Relations", "Codd")] {
+//!     let book = s.new_element(lib, "book");
+//!     let t = s.new_element(book, "title");
+//!     s.new_text(t, title);
+//!     let a = s.new_element(book, "author");
+//!     s.new_text(a, author);
+//! }
+//!
+//! let q = parse_query(
+//!     r#"for $b in /library/book where $b/author = "Codd"
+//!        return <hit>{$b/title/text()}</hit>"#,
+//! ).unwrap();
+//! let result = evaluate(&XdmTree { store: &s, doc }, &q).unwrap();
+//! assert_eq!(nodes_to_string(&result), "<hit>Relations</hit>");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod eval;
+mod parser;
+
+pub use ast::{
+    Condition, Constructor, Content, Flwor, Item, OrderBy, Query, TemplatePart, VarPath,
+};
+pub use eval::{evaluate, nodes_to_string};
+pub use parser::{parse_query, XQueryError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::XmlStorage;
+    use xdm::{NodeId, NodeStore};
+    use xpath::XdmTree;
+
+    fn library() -> (NodeStore, NodeId) {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let lib = s.new_element(doc, "library");
+        let data = [
+            ("Foundations of Databases", "Abiteboul", "1995", "b1"),
+            ("A Relational Model", "Codd", "1970", "b2"),
+            ("The Complexity of Relational Query Languages", "Codd", "1982", "b3"),
+            ("Transaction Processing", "Gray", "1993", "b4"),
+        ];
+        for (title, author, year, id) in data {
+            let book = s.new_element(lib, "book");
+            s.new_attribute(book, "id", id);
+            let t = s.new_element(book, "title");
+            s.new_text(t, title);
+            let a = s.new_element(book, "author");
+            s.new_text(a, author);
+            let y = s.new_element(book, "year");
+            s.new_text(y, year);
+        }
+        (s, doc)
+    }
+
+    fn run(q: &str) -> String {
+        let (s, doc) = library();
+        let query = parse_query(q).unwrap();
+        let out = evaluate(&XdmTree { store: &s, doc }, &query).unwrap();
+        nodes_to_string(&out)
+    }
+
+    #[test]
+    fn filter_and_construct() {
+        let got = run(
+            r#"for $b in /library/book where $b/author = "Codd"
+               return <hit>{$b/title/text()}</hit>"#,
+        );
+        assert_eq!(
+            got,
+            "<hit>A Relational Model</hit><hit>The Complexity of Relational Query Languages</hit>"
+        );
+    }
+
+    #[test]
+    fn let_bindings_and_attribute_templates() {
+        let got = run(
+            r#"for $b in /library/book
+               let $t := $b/title
+               where $b/year > "1990"
+               return <book id="{$b/@id}" title="{$t}"/>"#,
+        );
+        assert_eq!(
+            got,
+            r#"<book id="b1" title="Foundations of Databases"/><book id="b4" title="Transaction Processing"/>"#
+        );
+    }
+
+    #[test]
+    fn order_by_ascending_and_descending() {
+        let got = run(
+            "for $b in /library/book order by $b/year return <y>{$b/year/text()}</y>",
+        );
+        assert_eq!(got, "<y>1970</y><y>1982</y><y>1993</y><y>1995</y>");
+        let got = run(
+            "for $b in /library/book order by $b/year descending return <y>{$b/year/text()}</y>",
+        );
+        assert_eq!(got, "<y>1995</y><y>1993</y><y>1982</y><y>1970</y>");
+    }
+
+    #[test]
+    fn numeric_ordering_is_numeric_not_lexicographic() {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let root = s.new_element(doc, "ns");
+        for v in ["10", "9", "100"] {
+            let n = s.new_element(root, "n");
+            s.new_text(n, v);
+        }
+        let q = parse_query("for $n in /ns/n order by $n return $n/text()").unwrap();
+        let out = evaluate(&XdmTree { store: &s, doc }, &q).unwrap();
+        assert_eq!(nodes_to_string(&out), "910100");
+    }
+
+    #[test]
+    fn deep_copy_of_elements() {
+        let got = run(r#"for $b in /library/book where $b/@id = "b2" return $b"#);
+        assert_eq!(
+            got,
+            r#"<book id="b2"><title>A Relational Model</title><author>Codd</author><year>1970</year></book>"#
+        );
+    }
+
+    #[test]
+    fn string_literal_and_mixed_construction() {
+        let got = run(
+            r#"for $b in /library/book where $b/@id = "b4"
+               return <r>by {$b/author/text()}!</r>"#,
+        );
+        assert_eq!(got, "<r>by Gray!</r>");
+    }
+
+    #[test]
+    fn conjunction_in_where() {
+        let got = run(
+            r#"for $b in /library/book
+               where $b/author = "Codd" and $b/year < "1975"
+               return $b/@id"#,
+        );
+        assert_eq!(got, "b2");
+    }
+
+    #[test]
+    fn existence_condition() {
+        let got = run("for $b in /library/book where $b/isbn return $b/@id");
+        assert_eq!(got, "");
+    }
+
+    #[test]
+    fn path_query_copies_nodes() {
+        let got = run("/library/book[2]/title");
+        assert_eq!(got, "<title>A Relational Model</title>");
+    }
+
+    #[test]
+    fn same_query_over_block_storage() {
+        let (s, doc) = library();
+        let storage = XmlStorage::from_tree(&s, doc);
+        let q = parse_query(
+            r#"for $b in /library/book where $b/author = "Codd"
+               order by $b/year descending
+               return <hit year="{$b/year}">{$b/title/text()}</hit>"#,
+        )
+        .unwrap();
+        let via_xdm = evaluate(&XdmTree { store: &s, doc }, &q).unwrap();
+        let via_storage = evaluate(&&storage, &q).unwrap();
+        assert_eq!(nodes_to_string(&via_xdm), nodes_to_string(&via_storage));
+        assert_eq!(
+            nodes_to_string(&via_storage),
+            "<hit year=\"1982\">The Complexity of Relational Query Languages</hit><hit year=\"1970\">A Relational Model</hit>"
+        );
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let (s, doc) = library();
+        let q = parse_query("for $b in /library/book return $nope").unwrap();
+        assert!(evaluate(&XdmTree { store: &s, doc }, &q).is_err());
+    }
+}

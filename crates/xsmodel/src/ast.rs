@@ -1,0 +1,458 @@
+//! The abstract syntax of XML Schema, following the paper's Section 2–3
+//! constructions literally.
+//!
+//! The paper builds the syntax from type constructors (`Tuple`, `Pair`,
+//! `Union`, `Seq`, `FM`, `Enumeration`); each becomes a Rust struct or
+//! enum here:
+//!
+//! ```text
+//! ElementDeclaration = Tuple(ElemName, Type, RepetitionFactor, NillIndicator)
+//! RepetitionFactor   = Pair(Minimum, Maximum)
+//! Maximum            = Union(NatNumber, {"unbounded"})
+//! GroupDefinition    = Tuple(Seq(LocalGroupDefinition), CombinationFactor, RepetitionFactor)
+//! AttributeDeclarations = FM(AttrName, SimpleTypeName)
+//! ```
+//!
+//! Per the paper's footnotes 1–2, a local group definition may itself be a
+//! nested group; [`Particle`] models that generalization.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use xstypes::SimpleType;
+
+/// Element, attribute and type names (the paper's syntactic type `Name`).
+pub type Name = String;
+
+/// `Maximum = Union(NatNumber, {"unbounded"})`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Maximum {
+    /// At most this many occurrences.
+    Bounded(u32),
+    /// `maxOccurs="unbounded"`.
+    Unbounded,
+}
+
+impl Maximum {
+    /// True when `n` does not exceed the maximum.
+    pub fn admits(self, n: u32) -> bool {
+        match self {
+            Maximum::Bounded(m) => n <= m,
+            Maximum::Unbounded => true,
+        }
+    }
+}
+
+impl fmt::Display for Maximum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Maximum::Bounded(n) => write!(f, "{n}"),
+            Maximum::Unbounded => f.write_str("unbounded"),
+        }
+    }
+}
+
+/// `RepetitionFactor = Pair(Minimum, Maximum)` — how many items with this
+/// declaration a document may have (`minOccurs`/`maxOccurs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepetitionFactor {
+    /// `minOccurs`.
+    pub min: u32,
+    /// `maxOccurs`.
+    pub max: Maximum,
+}
+
+impl RepetitionFactor {
+    /// The XSD default `(1, 1)`.
+    pub const ONCE: RepetitionFactor = RepetitionFactor { min: 1, max: Maximum::Bounded(1) };
+
+    /// `(0, unbounded)`.
+    pub const ANY: RepetitionFactor = RepetitionFactor { min: 0, max: Maximum::Unbounded };
+
+    /// `(0, 1)`.
+    pub const OPTIONAL: RepetitionFactor = RepetitionFactor { min: 0, max: Maximum::Bounded(1) };
+
+    /// Construct a bounded factor.
+    pub fn new(min: u32, max: u32) -> Self {
+        RepetitionFactor { min, max: Maximum::Bounded(max) }
+    }
+
+    /// Construct `(min, unbounded)`.
+    pub fn at_least(min: u32) -> Self {
+        RepetitionFactor { min, max: Maximum::Unbounded }
+    }
+
+    /// A factor is coherent when `min ≤ max`.
+    pub fn is_coherent(&self) -> bool {
+        match self.max {
+            Maximum::Bounded(m) => self.min <= m,
+            Maximum::Unbounded => true,
+        }
+    }
+}
+
+impl Default for RepetitionFactor {
+    fn default() -> Self {
+        RepetitionFactor::ONCE
+    }
+}
+
+/// `Type = Union(TypeName, AnonymousTypeDefinition)`.
+///
+/// A type in an element declaration is either a reference by name (to a
+/// predefined simple type or to a complex type definition in the schema's
+/// `ctd` set) or an inline anonymous definition (third declaration in the
+/// paper's Example 1).
+#[derive(Debug, Clone)]
+pub enum Type {
+    /// Reference to a named type (simple or complex).
+    Named(Name),
+    /// An anonymous complex type defined inline.
+    AnonymousComplex(Box<ComplexTypeDefinition>),
+    /// An anonymous simple type defined inline (an extension over the
+    /// paper, which assumes all simple types are named).
+    AnonymousSimple(Arc<SimpleType>),
+}
+
+impl Type {
+    /// The referenced name, when the type is a reference.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Type::Named(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// `ElementDeclaration = Tuple(ElemName, Type, RepetitionFactor,
+/// NillIndicator)`.
+#[derive(Debug, Clone)]
+pub struct ElementDeclaration {
+    /// The element name.
+    pub name: Name,
+    /// The element's type.
+    pub ty: Type,
+    /// How many occurrences are allowed where the declaration is used.
+    pub repetition: RepetitionFactor,
+    /// `NillIndicator` — whether the element may carry `xsi:nil="true"`.
+    pub nillable: bool,
+}
+
+impl ElementDeclaration {
+    /// A `(1,1)`, non-nillable declaration of a named type.
+    pub fn new(name: impl Into<Name>, type_name: impl Into<Name>) -> Self {
+        ElementDeclaration {
+            name: name.into(),
+            ty: Type::Named(type_name.into()),
+            repetition: RepetitionFactor::ONCE,
+            nillable: false,
+        }
+    }
+
+    /// Builder-style: set the repetition factor.
+    pub fn with_repetition(mut self, rf: RepetitionFactor) -> Self {
+        self.repetition = rf;
+        self
+    }
+
+    /// Builder-style: mark nillable.
+    pub fn nillable(mut self) -> Self {
+        self.nillable = true;
+        self
+    }
+}
+
+/// `CombinationFactor = Enumeration("sequence", "choice")`, extended
+/// with the *all option definition* of the paper's footnote 2 (the
+/// `Interleave` constructor of §2): members appear in any order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombinationFactor {
+    /// Children must appear in declaration order.
+    Sequence,
+    /// Exactly one alternative appears (per repetition of the group).
+    Choice,
+    /// Each member appears per its own `(min, max)`, in any order
+    /// (`xsd:all`; XSD 1.0 restricts member maxOccurs to 1).
+    All,
+}
+
+/// One local group definition: an element declaration or (footnote 1) a
+/// nested group.
+#[derive(Debug, Clone)]
+pub enum Particle {
+    /// A local element declaration.
+    Element(ElementDeclaration),
+    /// A nested group definition.
+    Group(GroupDefinition),
+}
+
+impl Particle {
+    /// The contained element declaration, if this particle is one.
+    pub fn as_element(&self) -> Option<&ElementDeclaration> {
+        match self {
+            Particle::Element(e) => Some(e),
+            Particle::Group(_) => None,
+        }
+    }
+}
+
+/// `GroupDefinition = Tuple(Seq(LocalGroupDefinition), CombinationFactor,
+/// RepetitionFactor)`.
+///
+/// A group with an empty particle sequence has the *empty content*; its
+/// combination and repetition factors are then meaningless (paper §2).
+#[derive(Debug, Clone)]
+pub struct GroupDefinition {
+    /// The local group definitions.
+    pub particles: Vec<Particle>,
+    /// Sequence or choice.
+    pub combination: CombinationFactor,
+    /// Repetition of the whole group.
+    pub repetition: RepetitionFactor,
+}
+
+impl GroupDefinition {
+    /// The empty-content group.
+    pub fn empty() -> Self {
+        GroupDefinition {
+            particles: Vec::new(),
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        }
+    }
+
+    /// A `(1,1)` sequence of the given element declarations.
+    pub fn sequence(elements: Vec<ElementDeclaration>) -> Self {
+        GroupDefinition {
+            particles: elements.into_iter().map(Particle::Element).collect(),
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        }
+    }
+
+    /// A `(1,1)` choice of the given element declarations.
+    pub fn choice(elements: Vec<ElementDeclaration>) -> Self {
+        GroupDefinition {
+            particles: elements.into_iter().map(Particle::Element).collect(),
+            combination: CombinationFactor::Choice,
+            repetition: RepetitionFactor::ONCE,
+        }
+    }
+
+    /// A `(1,1)` all-group (any order) of the given element declarations
+    /// (footnote 2's *all option definition*).
+    pub fn all(elements: Vec<ElementDeclaration>) -> Self {
+        GroupDefinition {
+            particles: elements.into_iter().map(Particle::Element).collect(),
+            combination: CombinationFactor::All,
+            repetition: RepetitionFactor::ONCE,
+        }
+    }
+
+    /// Builder-style: set the group repetition.
+    pub fn with_repetition(mut self, rf: RepetitionFactor) -> Self {
+        self.repetition = rf;
+        self
+    }
+
+    /// True for the empty content model.
+    pub fn is_empty_content(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    /// Iterate over every element declaration in the group, recursively.
+    pub fn element_declarations(&self) -> Vec<&ElementDeclaration> {
+        let mut out = Vec::new();
+        fn walk<'a>(g: &'a GroupDefinition, out: &mut Vec<&'a ElementDeclaration>) {
+            for p in &g.particles {
+                match p {
+                    Particle::Element(e) => out.push(e),
+                    Particle::Group(sub) => walk(sub, out),
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// `AttributeDeclarations = FM(AttrName, SimpleTypeName)` — a finite
+/// mapping, represented as an ordered map to keep declaration order
+/// canonical.
+pub type AttributeDeclarations = BTreeMap<Name, Name>;
+
+/// A complex type definition: simple content (a simple type extended with
+/// attributes, paper Example 5) or complex content (element declarations
+/// and/or attributes, with a mixed indicator, Example 6).
+#[derive(Debug, Clone)]
+pub enum ComplexTypeDefinition {
+    /// `SimpleContentDefinition = Pair(SimpleTypeName, AttributeDeclarations)`.
+    SimpleContent {
+        /// The simple type of the character content.
+        base: Name,
+        /// The attributes.
+        attributes: AttributeDeclarations,
+    },
+    /// `ComplexContentDefinition` — `(mid, leds, atds)`, `(mid, leds)`, or
+    /// `(mid, atds)`.
+    ComplexContent {
+        /// `MixedIndicator` — text nodes may interleave child elements.
+        mixed: bool,
+        /// Local element declarations; `GroupDefinition::empty()` models
+        /// the empty content.
+        content: GroupDefinition,
+        /// The attributes.
+        attributes: AttributeDeclarations,
+    },
+}
+
+impl ComplexTypeDefinition {
+    /// The attribute declarations of either variant.
+    pub fn attributes(&self) -> &AttributeDeclarations {
+        match self {
+            ComplexTypeDefinition::SimpleContent { attributes, .. }
+            | ComplexTypeDefinition::ComplexContent { attributes, .. } => attributes,
+        }
+    }
+
+    /// An empty, non-mixed complex-content type.
+    pub fn empty() -> Self {
+        ComplexTypeDefinition::ComplexContent {
+            mixed: false,
+            content: GroupDefinition::empty(),
+            attributes: AttributeDeclarations::new(),
+        }
+    }
+}
+
+/// `DocumentSchema = Interleave(GlobElementDeclaration,
+/// ComplexTypeDefinitionSet)` (paper §3): one global element declaration
+/// plus a set of named complex type definitions.
+#[derive(Debug, Clone)]
+pub struct DocumentSchema {
+    /// The single global element declaration; every valid document's root
+    /// element has this name.
+    pub root: ElementDeclaration,
+    /// `ctd` — the named complex type definitions.
+    pub complex_types: BTreeMap<Name, ComplexTypeDefinition>,
+    /// Named simple types visible to this schema (built-ins plus any the
+    /// schema document defined) — the paper assumes these predefined.
+    pub simple_types: xstypes::TypeRegistry,
+}
+
+impl DocumentSchema {
+    /// A schema with only the global element declaration and built-in
+    /// simple types.
+    pub fn new(root: ElementDeclaration) -> Self {
+        DocumentSchema {
+            root,
+            complex_types: BTreeMap::new(),
+            simple_types: xstypes::TypeRegistry::with_builtins(),
+        }
+    }
+
+    /// Builder-style: add a named complex type.
+    pub fn with_complex_type(mut self, name: impl Into<Name>, def: ComplexTypeDefinition) -> Self {
+        self.complex_types.insert(name.into(), def);
+        self
+    }
+
+    /// Resolve a [`Type`] to a complex type definition, if it denotes one.
+    pub fn complex_of<'a>(&'a self, ty: &'a Type) -> Option<&'a ComplexTypeDefinition> {
+        match ty {
+            Type::Named(n) => self.complex_types.get(n),
+            Type::AnonymousComplex(def) => Some(def),
+            Type::AnonymousSimple(_) => None,
+        }
+    }
+
+    /// Resolve a [`Type`] to a simple type definition, if it denotes one.
+    pub fn simple_of(&self, ty: &Type) -> Option<std::sync::Arc<SimpleType>> {
+        match ty {
+            Type::Named(n) => {
+                if self.complex_types.contains_key(n) {
+                    None
+                } else {
+                    self.simple_types.get(n)
+                }
+            }
+            Type::AnonymousSimple(st) => Some(std::sync::Arc::clone(st)),
+            Type::AnonymousComplex(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetition_defaults_and_coherence() {
+        assert_eq!(RepetitionFactor::default(), RepetitionFactor::ONCE);
+        assert!(RepetitionFactor::new(0, 5).is_coherent());
+        assert!(!RepetitionFactor::new(5, 2).is_coherent());
+        assert!(RepetitionFactor::at_least(100).is_coherent());
+    }
+
+    #[test]
+    fn maximum_admits() {
+        assert!(Maximum::Bounded(3).admits(3));
+        assert!(!Maximum::Bounded(3).admits(4));
+        assert!(Maximum::Unbounded.admits(u32::MAX));
+        assert_eq!(Maximum::Unbounded.to_string(), "unbounded");
+    }
+
+    #[test]
+    fn group_builders() {
+        let g = GroupDefinition::sequence(vec![
+            ElementDeclaration::new("B", "xs:string"),
+            ElementDeclaration::new("C", "xs:string"),
+        ]);
+        assert_eq!(g.combination, CombinationFactor::Sequence);
+        assert_eq!(g.element_declarations().len(), 2);
+        assert!(!g.is_empty_content());
+        assert!(GroupDefinition::empty().is_empty_content());
+    }
+
+    #[test]
+    fn nested_groups_flatten_in_declaration_listing() {
+        let inner = GroupDefinition::choice(vec![
+            ElementDeclaration::new("zero", "xs:string"),
+            ElementDeclaration::new("one", "xs:string"),
+        ]);
+        let outer = GroupDefinition {
+            particles: vec![
+                Particle::Element(ElementDeclaration::new("head", "xs:string")),
+                Particle::Group(inner),
+            ],
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let names: Vec<_> = outer.element_declarations().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["head", "zero", "one"]);
+    }
+
+    #[test]
+    fn schema_resolves_named_types() {
+        let schema = DocumentSchema::new(ElementDeclaration::new("Root", "T"))
+            .with_complex_type("T", ComplexTypeDefinition::empty());
+        assert!(schema.complex_of(&Type::Named("T".into())).is_some());
+        assert!(schema.complex_of(&Type::Named("xs:string".into())).is_none());
+        assert!(schema.simple_of(&Type::Named("xs:string".into())).is_some());
+        // A name bound to a complex type does not resolve as simple.
+        assert!(schema.simple_of(&Type::Named("T".into())).is_none());
+    }
+
+    #[test]
+    fn example_1_of_the_paper() {
+        // <xsd:element name="Comment" type="xsd:string" nillable="true"/>
+        let comment = ElementDeclaration::new("Comment", "xsd:string").nillable();
+        // <xsd:element name="Book" minOccurs="0" maxOccurs="1000" type="BookPublication"/>
+        let book = ElementDeclaration::new("Book", "BookPublication")
+            .with_repetition(RepetitionFactor::new(0, 1000));
+        assert!(comment.nillable);
+        assert!(!book.nillable);
+        assert_eq!(book.repetition.max, Maximum::Bounded(1000));
+    }
+}

@@ -1,0 +1,795 @@
+//! Content-model compilation: a [`GroupDefinition`] becomes a finite
+//! automaton over element names.
+//!
+//! The paper's §6.2 items 5.4.2.3 define validity of an element sequence
+//! against a group definition declaratively (subsequences `ss_1 … ss_k`,
+//! one per group repetition, each split per the combination factor). The
+//! executable counterpart is a Thompson-style NFA:
+//!
+//! * an element declaration with repetition `(min, max)` compiles to
+//!   `min` mandatory copies followed by `max − min` optional ones (or a
+//!   Kleene loop when `max` is `unbounded`);
+//! * a `sequence` group concatenates its particles, a `choice` group
+//!   alternates them; the group's own repetition wraps the fragment;
+//! * matching is NFA simulation — linear in input, no backtracking — and
+//!   reconstructs *which element declaration matched each child*, which
+//!   the validator needs to recurse with the right type (§6.2 item
+//!   5.4.2.3: "…satisfies the requirements starting from item 4, assuming
+//!   that el = el_q and T = T_q").
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::{ElementDeclaration, GroupDefinition, Maximum, Particle};
+
+/// A compiled content model.
+#[derive(Debug, Clone)]
+pub struct ContentModel {
+    program: Vec<Inst>,
+    decls: Vec<ElementDeclaration>,
+    /// For an `xsd:all` content model (footnote 2): per-member
+    /// `(name, decl index, min, max)` matched by counting, since the NFA
+    /// encoding of all permutations would be factorial.
+    all_members: Option<Vec<AllMember>>,
+}
+
+#[derive(Debug, Clone)]
+struct AllMember {
+    name: String,
+    decl: usize,
+    min: u32,
+    max: crate::ast::Maximum,
+}
+
+#[derive(Debug, Clone)]
+enum Inst {
+    /// Consume one child element with this name; `decl` indexes
+    /// [`ContentModel::decls`]. Falls through to `pc + 1`.
+    Elem { name: String, decl: usize },
+    Split(usize, usize),
+    Jump(usize),
+    Match,
+}
+
+/// Content models whose bounded-repetition expansion exceeds this limit
+/// are rejected at compile time rather than silently truncated.
+const MAX_PROGRAM: usize = 1_000_000;
+
+/// Error compiling a content model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentModelError {
+    /// Explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for ContentModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot compile content model: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ContentModelError {}
+
+/// The outcome of matching a child-element sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// The sequence is valid; `assignments[i]` is the index (into
+    /// [`ContentModel::declarations`]) of the element declaration that
+    /// licensed child `i`.
+    Accept {
+        /// Declaration index per input child.
+        assignments: Vec<usize>,
+    },
+    /// The sequence is invalid.
+    Reject {
+        /// Index of the first child that could not be matched (equal to
+        /// the input length when the input is a valid prefix that ends
+        /// too early).
+        position: usize,
+        /// Element names that would have been acceptable at `position`.
+        expected: Vec<String>,
+    },
+}
+
+impl ContentModel {
+    /// Compile a group definition.
+    pub fn compile(group: &GroupDefinition) -> Result<ContentModel, ContentModelError> {
+        let mut cm = ContentModel { program: Vec::new(), decls: Vec::new(), all_members: None };
+        if group.combination == crate::ast::CombinationFactor::All && !group.is_empty_content() {
+            cm.compile_all(group)?;
+            return Ok(cm);
+        }
+        cm.emit_group(group)?;
+        cm.program.push(Inst::Match);
+        Ok(cm)
+    }
+
+    /// Compile an `xsd:all` group (XSD 1.0 restrictions: the all-group is
+    /// the whole content, members are element declarations, the group
+    /// itself occurs at most once).
+    fn compile_all(&mut self, group: &GroupDefinition) -> Result<(), ContentModelError> {
+        if matches!(group.repetition.max, crate::ast::Maximum::Bounded(m) if m > 1)
+            || matches!(group.repetition.max, crate::ast::Maximum::Unbounded)
+        {
+            return Err(ContentModelError {
+                reason: "an all-group may occur at most once (XSD 1.0)".to_string(),
+            });
+        }
+        let group_optional = group.repetition.min == 0;
+        let mut members = Vec::new();
+        for particle in &group.particles {
+            let Particle::Element(decl) = particle else {
+                return Err(ContentModelError {
+                    reason: "all-groups may contain only element declarations".to_string(),
+                });
+            };
+            let idx = self.decls.len();
+            self.decls.push(decl.clone());
+            members.push(AllMember {
+                name: decl.name.clone(),
+                decl: idx,
+                // An optional all-group makes every member optional when
+                // absent; we model that in match_children.
+                min: decl.repetition.min,
+                max: decl.repetition.max,
+            });
+        }
+        let _ = group_optional; // handled in match_children via empty input
+        self.all_members = Some(members);
+        Ok(())
+    }
+
+    /// The element declarations referenced by match assignments.
+    pub fn declarations(&self) -> &[ElementDeclaration] {
+        &self.decls
+    }
+
+    /// Number of compiled instructions (for size/ablation reporting).
+    pub fn program_len(&self) -> usize {
+        self.program.len()
+    }
+
+    fn guard(&self) -> Result<(), ContentModelError> {
+        if self.program.len() > MAX_PROGRAM {
+            Err(ContentModelError {
+                reason: format!("expansion exceeds {MAX_PROGRAM} instructions"),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn emit_group(&mut self, group: &GroupDefinition) -> Result<(), ContentModelError> {
+        if group.is_empty_content() {
+            return Ok(()); // empty content matches only the empty sequence
+        }
+        let rf = group.repetition;
+        self.emit_repeated(rf.min, rf.max, &mut |cm| cm.emit_body(group))
+    }
+
+    fn emit_body(&mut self, group: &GroupDefinition) -> Result<(), ContentModelError> {
+        match group.combination {
+            crate::ast::CombinationFactor::All => Err(ContentModelError {
+                reason: "an all-group must be the whole content model (XSD 1.0)".to_string(),
+            }),
+            crate::ast::CombinationFactor::Sequence => {
+                for p in &group.particles {
+                    self.emit_particle(p)?;
+                }
+                Ok(())
+            }
+            crate::ast::CombinationFactor::Choice => {
+                let mut jump_sites = Vec::new();
+                let n = group.particles.len();
+                for (i, p) in group.particles.iter().enumerate() {
+                    let last = i + 1 == n;
+                    if last {
+                        self.emit_particle(p)?;
+                    } else {
+                        let split_at = self.program.len();
+                        self.program.push(Inst::Split(0, 0));
+                        let body = self.program.len();
+                        self.emit_particle(p)?;
+                        jump_sites.push(self.program.len());
+                        self.program.push(Inst::Jump(0));
+                        let next = self.program.len();
+                        self.program[split_at] = Inst::Split(body, next);
+                    }
+                }
+                let end = self.program.len();
+                for site in jump_sites {
+                    self.program[site] = Inst::Jump(end);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn emit_particle(&mut self, particle: &Particle) -> Result<(), ContentModelError> {
+        match particle {
+            Particle::Element(decl) => {
+                let idx = self.decls.len();
+                self.decls.push(decl.clone());
+                let name = decl.name.clone();
+                let rf = decl.repetition;
+                self.emit_repeated(rf.min, rf.max, &mut |cm| {
+                    cm.program.push(Inst::Elem { name: name.clone(), decl: idx });
+                    Ok(())
+                })
+            }
+            Particle::Group(sub) => self.emit_group(sub),
+        }
+    }
+
+    /// Emit `min` mandatory copies of `body`, then `max − min` optional
+    /// ones (bounded) or an optional Kleene loop (unbounded).
+    fn emit_repeated(
+        &mut self,
+        min: u32,
+        max: Maximum,
+        body: &mut dyn FnMut(&mut Self) -> Result<(), ContentModelError>,
+    ) -> Result<(), ContentModelError> {
+        for _ in 0..min {
+            body(self)?;
+            self.guard()?;
+        }
+        match max {
+            Maximum::Bounded(max) => {
+                let mut split_sites = Vec::new();
+                for _ in min..max {
+                    let at = self.program.len();
+                    split_sites.push(at);
+                    self.program.push(Inst::Split(0, 0));
+                    let b = self.program.len();
+                    body(self)?;
+                    self.program[at] = Inst::Split(b, 0); // end patched below
+                    self.guard()?;
+                }
+                let end = self.program.len();
+                for site in split_sites {
+                    if let Inst::Split(b, _) = self.program[site] {
+                        self.program[site] = Inst::Split(b, end);
+                    }
+                }
+                Ok(())
+            }
+            Maximum::Unbounded => {
+                let split_at = self.program.len();
+                self.program.push(Inst::Split(0, 0));
+                let b = self.program.len();
+                body(self)?;
+                self.program.push(Inst::Jump(split_at));
+                let end = self.program.len();
+                self.program[split_at] = Inst::Split(b, end);
+                self.guard()
+            }
+        }
+    }
+
+    /// True when the name sequence is in the content model's language.
+    pub fn accepts(&self, names: &[&str]) -> bool {
+        matches!(self.match_children(names), MatchOutcome::Accept { .. })
+    }
+
+    /// Match a child-name sequence, reconstructing per-child declaration
+    /// assignments on success and the failure frontier on rejection.
+    pub fn match_children(&self, names: &[&str]) -> MatchOutcome {
+        if let Some(members) = &self.all_members {
+            return self.match_all(members, names);
+        }
+        self.match_nfa(names)
+    }
+
+    /// Counting matcher for `xsd:all`: any order, each member within its
+    /// own occurrence bounds.
+    fn match_all(&self, members: &[AllMember], names: &[&str]) -> MatchOutcome {
+        let mut counts = vec![0u32; members.len()];
+        let mut assignments = Vec::with_capacity(names.len());
+        for (position, name) in names.iter().enumerate() {
+            match members.iter().position(|m| m.name == *name) {
+                None => {
+                    return MatchOutcome::Reject {
+                        position,
+                        expected: members
+                            .iter()
+                            .filter(|m| {
+                                let i = members.iter().position(|x| x.name == m.name).unwrap();
+                                m.max.admits(counts[i] + 1)
+                            })
+                            .map(|m| m.name.clone())
+                            .collect(),
+                    }
+                }
+                Some(i) => {
+                    counts[i] += 1;
+                    if !members[i].max.admits(counts[i]) {
+                        return MatchOutcome::Reject {
+                            position,
+                            expected: members
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, m)| m.max.admits(counts[*j] + 1))
+                                .map(|(_, m)| m.name.clone())
+                                .collect(),
+                        };
+                    }
+                    assignments.push(members[i].decl);
+                }
+            }
+        }
+        // Empty content satisfies an optional all-group trivially; a
+        // non-empty prefix must satisfy every member's minimum.
+        let unmet: Vec<String> = members
+            .iter()
+            .enumerate()
+            .filter(|(i, m)| counts[*i] < m.min)
+            .map(|(_, m)| m.name.clone())
+            .collect();
+        if !unmet.is_empty() && !names.is_empty() {
+            return MatchOutcome::Reject { position: names.len(), expected: unmet };
+        }
+        if names.is_empty() && members.iter().any(|m| m.min > 0) {
+            // Only acceptable when the group itself is optional — the
+            // caller models that by an empty-content alternative; be
+            // conservative and reject, reporting the required members.
+            return MatchOutcome::Reject {
+                position: 0,
+                expected: members.iter().filter(|m| m.min > 0).map(|m| m.name.clone()).collect(),
+            };
+        }
+        MatchOutcome::Accept { assignments }
+    }
+
+    fn match_nfa(&self, names: &[&str]) -> MatchOutcome {
+        // Threads: (pc, reverse history of decl indices).
+        type History = Option<Rc<HNode>>;
+        struct HNode {
+            decl: usize,
+            prev: History,
+        }
+        let mut current: Vec<(usize, History)> = Vec::new();
+        let mut on_current = vec![false; self.program.len()];
+        let mut next: Vec<(usize, History)> = Vec::new();
+        let mut on_next = vec![false; self.program.len()];
+
+        fn add(
+            program: &[Inst],
+            list: &mut Vec<(usize, History)>,
+            seen: &mut [bool],
+            pc: usize,
+            hist: History,
+        ) {
+            if seen[pc] {
+                return;
+            }
+            seen[pc] = true;
+            match program[pc] {
+                Inst::Jump(t) => add(program, list, seen, t, hist),
+                Inst::Split(a, b) => {
+                    add(program, list, seen, a, hist.clone());
+                    add(program, list, seen, b, hist);
+                }
+                _ => list.push((pc, hist)),
+            }
+        }
+
+        add(&self.program, &mut current, &mut on_current, 0, None);
+        for (i, name) in names.iter().enumerate() {
+            if current.is_empty() {
+                return MatchOutcome::Reject { position: i, expected: Vec::new() };
+            }
+            next.clear();
+            on_next.iter_mut().for_each(|b| *b = false);
+            let mut matched_any = false;
+            for (pc, hist) in current.drain(..) {
+                if let Inst::Elem { name: want, decl } = &self.program[pc] {
+                    if want == name {
+                        matched_any = true;
+                        let hist = Some(Rc::new(HNode { decl: *decl, prev: hist }));
+                        add(&self.program, &mut next, &mut on_next, pc + 1, hist);
+                    }
+                }
+            }
+            if !matched_any {
+                // Rebuild the expected set from the (now drained) set: we
+                // need the frontier before the drain; recompute instead.
+                let expected = self.expected_after(&names[..i]);
+                return MatchOutcome::Reject { position: i, expected };
+            }
+            std::mem::swap(&mut current, &mut next);
+            std::mem::swap(&mut on_current, &mut on_next);
+        }
+        // Prefer an accepting thread.
+        for (pc, hist) in &current {
+            if matches!(self.program[*pc], Inst::Match) {
+                let mut assignments = Vec::with_capacity(names.len());
+                let mut cursor = hist.clone();
+                while let Some(node) = cursor {
+                    assignments.push(node.decl);
+                    cursor = node.prev.clone();
+                }
+                assignments.reverse();
+                return MatchOutcome::Accept { assignments };
+            }
+        }
+        MatchOutcome::Reject {
+            position: names.len(),
+            expected: current
+                .iter()
+                .filter_map(|(pc, _)| match &self.program[*pc] {
+                    Inst::Elem { name, .. } => Some(name.clone()),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// The set of element names acceptable after consuming `prefix`.
+    pub fn expected_after(&self, prefix: &[&str]) -> Vec<String> {
+        if let Some(members) = &self.all_members {
+            let mut counts = vec![0u32; members.len()];
+            for name in prefix {
+                if let Some(i) = members.iter().position(|m| m.name == *name) {
+                    counts[i] += 1;
+                }
+            }
+            let mut out: Vec<String> = members
+                .iter()
+                .enumerate()
+                .filter(|(i, m)| m.max.admits(counts[*i] + 1))
+                .map(|(_, m)| m.name.clone())
+                .collect();
+            out.sort();
+            out
+        } else {
+            self.expected_after_nfa(prefix)
+        }
+    }
+
+    fn expected_after_nfa(&self, prefix: &[&str]) -> Vec<String> {
+        // Re-simulate without history (cheap; used only on error paths).
+        let mut current: Vec<usize> = Vec::new();
+        let mut seen = vec![false; self.program.len()];
+        fn add(program: &[Inst], list: &mut Vec<usize>, seen: &mut [bool], pc: usize) {
+            if seen[pc] {
+                return;
+            }
+            seen[pc] = true;
+            match program[pc] {
+                Inst::Jump(t) => add(program, list, seen, t),
+                Inst::Split(a, b) => {
+                    add(program, list, seen, a);
+                    add(program, list, seen, b);
+                }
+                _ => list.push(pc),
+            }
+        }
+        add(&self.program, &mut current, &mut seen, 0);
+        for name in prefix {
+            let mut next = Vec::new();
+            let mut seen_next = vec![false; self.program.len()];
+            for pc in current {
+                if let Inst::Elem { name: want, .. } = &self.program[pc] {
+                    if want == name {
+                        add(&self.program, &mut next, &mut seen_next, pc + 1);
+                    }
+                }
+            }
+            current = next;
+        }
+        let mut expected: Vec<String> = current
+            .into_iter()
+            .filter_map(|pc| match &self.program[pc] {
+                Inst::Elem { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        expected.sort();
+        expected.dedup();
+        expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CombinationFactor, ElementDeclaration, GroupDefinition, RepetitionFactor};
+
+    fn eld(name: &str) -> ElementDeclaration {
+        ElementDeclaration::new(name, "xs:string")
+    }
+
+    fn compile(g: &GroupDefinition) -> ContentModel {
+        ContentModel::compile(g).unwrap()
+    }
+
+    #[test]
+    fn example_2_sequence() {
+        // <xsd:sequence><B/><C/></xsd:sequence>
+        let cm = compile(&GroupDefinition::sequence(vec![eld("B"), eld("C")]));
+        assert!(cm.accepts(&["B", "C"]));
+        assert!(!cm.accepts(&["C", "B"]));
+        assert!(!cm.accepts(&["B"]));
+        assert!(!cm.accepts(&["B", "C", "C"]));
+        assert!(!cm.accepts(&[]));
+    }
+
+    #[test]
+    fn example_3_choice_repeated() {
+        // <xsd:choice minOccurs="0" maxOccurs="unbounded"><zero/><one/></xsd:choice>
+        let g = GroupDefinition::choice(vec![eld("zero"), eld("one")])
+            .with_repetition(RepetitionFactor::at_least(0));
+        let cm = compile(&g);
+        assert!(cm.accepts(&[]));
+        assert!(cm.accepts(&["zero"]));
+        assert!(cm.accepts(&["one", "zero", "one", "one"]));
+        assert!(!cm.accepts(&["two"]));
+    }
+
+    #[test]
+    fn empty_content_matches_only_empty() {
+        let cm = compile(&GroupDefinition::empty());
+        assert!(cm.accepts(&[]));
+        assert!(!cm.accepts(&["X"]));
+    }
+
+    #[test]
+    fn element_repetition_bounds() {
+        let g = GroupDefinition::sequence(vec![
+            eld("A").with_repetition(RepetitionFactor::new(2, 4)),
+        ]);
+        let cm = compile(&g);
+        assert!(!cm.accepts(&["A"]));
+        assert!(cm.accepts(&["A", "A"]));
+        assert!(cm.accepts(&["A", "A", "A", "A"]));
+        assert!(!cm.accepts(&["A", "A", "A", "A", "A"]));
+    }
+
+    #[test]
+    fn optional_element_in_sequence() {
+        let g = GroupDefinition::sequence(vec![
+            eld("A"),
+            eld("B").with_repetition(RepetitionFactor::OPTIONAL),
+            eld("C"),
+        ]);
+        let cm = compile(&g);
+        assert!(cm.accepts(&["A", "C"]));
+        assert!(cm.accepts(&["A", "B", "C"]));
+        assert!(!cm.accepts(&["A", "B", "B", "C"]));
+    }
+
+    #[test]
+    fn group_repetition_wraps_sequence() {
+        // (A B){2,3}
+        let g = GroupDefinition::sequence(vec![eld("A"), eld("B")])
+            .with_repetition(RepetitionFactor::new(2, 3));
+        let cm = compile(&g);
+        assert!(!cm.accepts(&["A", "B"]));
+        assert!(cm.accepts(&["A", "B", "A", "B"]));
+        assert!(cm.accepts(&["A", "B", "A", "B", "A", "B"]));
+        assert!(!cm.accepts(&["A", "B", "A"]));
+    }
+
+    #[test]
+    fn nested_groups() {
+        // head (zero | one)+
+        let inner = GroupDefinition::choice(vec![eld("zero"), eld("one")])
+            .with_repetition(RepetitionFactor::at_least(1));
+        let g = GroupDefinition {
+            particles: vec![Particle::Element(eld("head")), Particle::Group(inner)],
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let cm = compile(&g);
+        assert!(cm.accepts(&["head", "zero"]));
+        assert!(cm.accepts(&["head", "one", "zero"]));
+        assert!(!cm.accepts(&["head"]));
+        assert!(!cm.accepts(&["zero"]));
+    }
+
+    #[test]
+    fn assignments_identify_declarations() {
+        let g = GroupDefinition::choice(vec![eld("zero"), eld("one")])
+            .with_repetition(RepetitionFactor::at_least(0));
+        let cm = compile(&g);
+        match cm.match_children(&["one", "zero", "one"]) {
+            MatchOutcome::Accept { assignments } => {
+                let names: Vec<_> =
+                    assignments.iter().map(|&i| cm.declarations()[i].name.as_str()).collect();
+                assert_eq!(names, ["one", "zero", "one"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reject_reports_position_and_expectations() {
+        let cm = compile(&GroupDefinition::sequence(vec![eld("B"), eld("C")]));
+        match cm.match_children(&["B", "X"]) {
+            MatchOutcome::Reject { position, expected } => {
+                assert_eq!(position, 1);
+                assert_eq!(expected, ["C"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Premature end: position == len, expected lists the next names.
+        match cm.match_children(&["B"]) {
+            MatchOutcome::Reject { position, expected } => {
+                assert_eq!(position, 1);
+                assert_eq!(expected, ["C"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expected_at_start() {
+        let g = GroupDefinition::sequence(vec![
+            eld("A").with_repetition(RepetitionFactor::OPTIONAL),
+            eld("B"),
+        ]);
+        let cm = compile(&g);
+        assert_eq!(cm.expected_after(&[]), ["A", "B"]);
+    }
+
+    #[test]
+    fn large_bounded_repetition_compiles() {
+        // The paper's Example 6 uses maxOccurs="1000".
+        let g = GroupDefinition::sequence(vec![
+            eld("Book").with_repetition(RepetitionFactor::new(0, 1000)),
+        ]);
+        let cm = compile(&g);
+        let thousand: Vec<&str> = std::iter::repeat_n("Book", 1000).collect();
+        assert!(cm.accepts(&thousand));
+        let over: Vec<&str> = std::iter::repeat_n("Book", 1001).collect();
+        assert!(!cm.accepts(&over));
+    }
+
+    #[test]
+    fn absurd_expansion_is_rejected_at_compile_time() {
+        // 100000 × 100000 copies.
+        let inner = GroupDefinition::sequence(vec![
+            eld("X").with_repetition(RepetitionFactor::new(100_000, 100_000)),
+        ])
+        .with_repetition(RepetitionFactor::new(100_000, 100_000));
+        assert!(ContentModel::compile(&inner).is_err());
+    }
+
+    #[test]
+    fn choice_between_groups_sharing_names() {
+        // (A B) | (A C) — same first element in both alternatives.
+        let g = GroupDefinition {
+            particles: vec![
+                Particle::Group(GroupDefinition::sequence(vec![eld("A"), eld("B")])),
+                Particle::Group(GroupDefinition::sequence(vec![eld("A"), eld("C")])),
+            ],
+            combination: CombinationFactor::Choice,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let cm = compile(&g);
+        assert!(cm.accepts(&["A", "B"]));
+        assert!(cm.accepts(&["A", "C"]));
+        assert!(!cm.accepts(&["A"]));
+    }
+}
+
+#[cfg(test)]
+mod all_group_tests {
+    use super::*;
+    use crate::ast::{ElementDeclaration, GroupDefinition, RepetitionFactor};
+
+    fn eld(name: &str) -> ElementDeclaration {
+        ElementDeclaration::new(name, "xs:string")
+    }
+
+    #[test]
+    fn all_group_accepts_any_permutation() {
+        let cm = ContentModel::compile(&GroupDefinition::all(vec![
+            eld("a"),
+            eld("b"),
+            eld("c"),
+        ]))
+        .unwrap();
+        for perm in [
+            ["a", "b", "c"],
+            ["a", "c", "b"],
+            ["b", "a", "c"],
+            ["b", "c", "a"],
+            ["c", "a", "b"],
+            ["c", "b", "a"],
+        ] {
+            assert!(cm.accepts(&perm), "{perm:?}");
+        }
+    }
+
+    #[test]
+    fn all_group_rejects_duplicates_and_missing() {
+        let cm =
+            ContentModel::compile(&GroupDefinition::all(vec![eld("a"), eld("b")])).unwrap();
+        assert!(!cm.accepts(&["a", "a"]));
+        assert!(!cm.accepts(&["a"]));
+        assert!(!cm.accepts(&["a", "b", "b"]));
+        assert!(!cm.accepts(&["x"]));
+    }
+
+    #[test]
+    fn all_group_optional_members() {
+        let cm = ContentModel::compile(&GroupDefinition::all(vec![
+            eld("a"),
+            eld("b").with_repetition(RepetitionFactor::OPTIONAL),
+        ]))
+        .unwrap();
+        assert!(cm.accepts(&["a"]));
+        assert!(cm.accepts(&["a", "b"]));
+        assert!(cm.accepts(&["b", "a"]));
+        assert!(!cm.accepts(&["b"]));
+        assert!(!cm.accepts(&[]));
+    }
+
+    #[test]
+    fn all_group_assignments_track_declarations() {
+        let cm =
+            ContentModel::compile(&GroupDefinition::all(vec![eld("a"), eld("b")])).unwrap();
+        match cm.match_children(&["b", "a"]) {
+            MatchOutcome::Accept { assignments } => {
+                let names: Vec<_> =
+                    assignments.iter().map(|&i| cm.declarations()[i].name.as_str()).collect();
+                assert_eq!(names, ["b", "a"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_group_reject_reports_expectations() {
+        let cm =
+            ContentModel::compile(&GroupDefinition::all(vec![eld("a"), eld("b")])).unwrap();
+        match cm.match_children(&["a"]) {
+            MatchOutcome::Reject { position, expected } => {
+                assert_eq!(position, 1);
+                assert_eq!(expected, ["b"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match cm.match_children(&["a", "a"]) {
+            MatchOutcome::Reject { position, expected } => {
+                assert_eq!(position, 1);
+                assert_eq!(expected, ["b"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expected_after_respects_consumed_members() {
+        let cm = ContentModel::compile(&GroupDefinition::all(vec![
+            eld("a"),
+            eld("b"),
+            eld("c"),
+        ]))
+        .unwrap();
+        assert_eq!(cm.expected_after(&[]), ["a", "b", "c"]);
+        assert_eq!(cm.expected_after(&["b"]), ["a", "c"]);
+        assert_eq!(cm.expected_after(&["b", "a"]), ["c"]);
+    }
+
+    #[test]
+    fn repeated_all_group_is_rejected_at_compile_time() {
+        let g = GroupDefinition::all(vec![eld("a")])
+            .with_repetition(RepetitionFactor::at_least(0));
+        assert!(ContentModel::compile(&g).is_err());
+        let g2 = GroupDefinition::all(vec![eld("a")]).with_repetition(RepetitionFactor::new(2, 2));
+        assert!(ContentModel::compile(&g2).is_err());
+    }
+
+    #[test]
+    fn nested_all_group_is_rejected() {
+        let inner = GroupDefinition::all(vec![eld("a")]);
+        let outer = GroupDefinition {
+            particles: vec![Particle::Group(inner)],
+            combination: crate::ast::CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        };
+        assert!(ContentModel::compile(&outer).is_err());
+    }
+}

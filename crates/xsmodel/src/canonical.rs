@@ -1,0 +1,410 @@
+//! Canonical forms of content models — the simplification pass the
+//! paper's reference 15 (Novak & Kuznetsov, *"Canonical Forms of XML
+//! Schemas"*, 2003) applies to schemas before reasoning about them.
+//!
+//! [`canonicalize_group`] rewrites a [`GroupDefinition`] into an
+//! acceptance-equivalent simpler form. Every rewrite is *language
+//! preserving* (tested by exhaustive string enumeration against the
+//! compiled automata):
+//!
+//! 1. **ε-elimination** — empty-content subgroups contribute nothing to
+//!    a sequence and are dropped; a choice consisting solely of empty
+//!    groups collapses to the empty group.
+//! 2. **Singleton unwrapping** — a `(1,1)` group with one particle is
+//!    that particle; a `(m,n)` group around a single `(1,1)` particle
+//!    transfers its repetition onto the particle (safe exactly because
+//!    one factor is `(1,1)`).
+//! 3. **Flattening** — a `(1,1)` sequence nested directly in a sequence
+//!    splices its particles in place; likewise a `(1,1)` choice in a
+//!    choice.
+//! 4. **Repetition fusion** — nested repetitions multiply when one of
+//!    the classic safety conditions holds (one side `(1,1)`, or the
+//!    inner is `(0,∞)`/`(1,∞)` star-like).
+
+use crate::ast::{CombinationFactor, GroupDefinition, Maximum, Particle, RepetitionFactor};
+
+/// Rewrite a group definition into canonical form. The result accepts
+/// exactly the same child-element sequences.
+pub fn canonicalize_group(group: &GroupDefinition) -> GroupDefinition {
+    let mut current = group.clone();
+    // Iterate to a fixpoint; each pass strictly shrinks or leaves the
+    // tree unchanged, so this terminates.
+    for _ in 0..64 {
+        let next = pass(&current);
+        if same_shape(&next, &current) {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+/// One bottom-up simplification pass.
+fn pass(group: &GroupDefinition) -> GroupDefinition {
+    // Canonicalize children first.
+    let mut particles: Vec<Particle> = Vec::with_capacity(group.particles.len());
+    for p in &group.particles {
+        match p {
+            Particle::Element(e) => particles.push(Particle::Element(e.clone())),
+            Particle::Group(sub) => {
+                let sub = pass(sub);
+                // Rule 1: ε subgroups vanish from sequences; in a choice
+                // an empty alternative makes the whole group optional,
+                // which we encode by keeping it only when it changes the
+                // language (min > 0 on the remaining branch handling is
+                // out of scope for the simple pass — keep it then).
+                if sub.is_empty_content() {
+                    match group.combination {
+                        CombinationFactor::Sequence | CombinationFactor::All => continue,
+                        CombinationFactor::Choice => {
+                            particles.push(Particle::Group(sub));
+                            continue;
+                        }
+                    }
+                }
+                // Rule 3: splice same-kind (1,1) subgroups.
+                if sub.repetition == RepetitionFactor::ONCE
+                    && sub.combination == group.combination
+                    && group.combination != CombinationFactor::All
+                {
+                    particles.extend(sub.particles);
+                    continue;
+                }
+                // Rule 2b: (m,n) group around a single (1,1) element.
+                if sub.particles.len() == 1 {
+                    if let Particle::Element(e) = &sub.particles[0] {
+                        if e.repetition == RepetitionFactor::ONCE {
+                            let mut e = e.clone();
+                            e.repetition = sub.repetition;
+                            particles.push(Particle::Element(e));
+                            continue;
+                        }
+                        // Rule 4: fuse repetitions when safe.
+                        if let Some(fused) = fuse(e.repetition, sub.repetition) {
+                            let mut e = e.clone();
+                            e.repetition = fused;
+                            particles.push(Particle::Element(e));
+                            continue;
+                        }
+                    }
+                }
+                particles.push(Particle::Group(sub));
+            }
+        }
+    }
+    let mut out = GroupDefinition {
+        particles,
+        combination: group.combination,
+        repetition: group.repetition,
+    };
+    // Rule 2a: a (1,1) singleton group that wraps a single group unwraps.
+    if out.repetition == RepetitionFactor::ONCE && out.particles.len() == 1 {
+        if let Particle::Group(inner) = &out.particles[0] {
+            return inner.clone();
+        }
+    }
+    // A choice or all-group of exactly one particle behaves as a sequence.
+    if out.particles.len() <= 1 && out.combination != CombinationFactor::Sequence {
+        out.combination = CombinationFactor::Sequence;
+    }
+    out
+}
+
+/// Fuse `inner` repetition inside an `outer` group repetition into one
+/// factor, when provably language-preserving.
+fn fuse(inner: RepetitionFactor, outer: RepetitionFactor) -> Option<RepetitionFactor> {
+    // One side (1,1): plain multiplication (the other side).
+    if inner == RepetitionFactor::ONCE {
+        return Some(outer);
+    }
+    if outer == RepetitionFactor::ONCE {
+        return Some(inner);
+    }
+    // Star-like inner (0,∞): outer (0,m) or (1,m) → (0,∞) / language is
+    // {0} ∪ anything ≥ 0 = (0,∞) when outer.min ≤ 1.
+    if inner.min == 0 && inner.max == Maximum::Unbounded && outer.min <= 1 {
+        return Some(RepetitionFactor::ANY);
+    }
+    // Plus-like inner (1,∞) with outer (1,m): any count ≥ 1 reachable.
+    if inner.min == 1 && inner.max == Maximum::Unbounded && outer.min == 1 {
+        return Some(RepetitionFactor::at_least(1));
+    }
+    // (0,1) inner with outer (0,n)/(1,n): counts 0..n.
+    if inner.min == 0 && inner.max == Maximum::Bounded(1) {
+        if let Maximum::Bounded(n) = outer.max {
+            if outer.min <= 1 {
+                return Some(RepetitionFactor::new(0, n));
+            }
+        }
+        if outer.max == Maximum::Unbounded && outer.min <= 1 {
+            return Some(RepetitionFactor::ANY);
+        }
+    }
+    None
+}
+
+/// Structural equality good enough for fixpoint detection.
+fn same_shape(a: &GroupDefinition, b: &GroupDefinition) -> bool {
+    if a.combination != b.combination
+        || a.repetition != b.repetition
+        || a.particles.len() != b.particles.len()
+    {
+        return false;
+    }
+    a.particles.iter().zip(&b.particles).all(|(x, y)| match (x, y) {
+        (Particle::Element(e1), Particle::Element(e2)) => {
+            e1.name == e2.name && e1.repetition == e2.repetition
+        }
+        (Particle::Group(g1), Particle::Group(g2)) => same_shape(g1, g2),
+        _ => false,
+    })
+}
+
+/// Count the particles (elements + group nodes) in a group tree — the
+/// size metric canonicalization reduces.
+pub fn group_size(group: &GroupDefinition) -> usize {
+    1 + group
+        .particles
+        .iter()
+        .map(|p| match p {
+            Particle::Element(_) => 1,
+            Particle::Group(g) => group_size(g),
+        })
+        .sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ElementDeclaration;
+    use crate::automaton::ContentModel;
+
+    fn eld(name: &str) -> ElementDeclaration {
+        ElementDeclaration::new(name, "xs:string")
+    }
+
+    /// Exhaustively verify language equality over all strings up to
+    /// `max_len` over the group's alphabet.
+    fn assert_equivalent(original: &GroupDefinition, canonical: &GroupDefinition, max_len: usize) {
+        let a = ContentModel::compile(original).unwrap();
+        let b = ContentModel::compile(canonical).unwrap();
+        let mut alphabet: Vec<String> = original
+            .element_declarations()
+            .iter()
+            .map(|e| e.name.clone())
+            .collect();
+        alphabet.sort();
+        alphabet.dedup();
+        // Enumerate all strings of length ≤ max_len.
+        let mut frontier: Vec<Vec<&str>> = vec![Vec::new()];
+        while let Some(s) = frontier.pop() {
+            let accepts_a = a.accepts(&s);
+            let accepts_b = b.accepts(&s);
+            assert_eq!(accepts_a, accepts_b, "disagree on {s:?}");
+            if s.len() < max_len {
+                for sym in &alphabet {
+                    let mut t = s.clone();
+                    t.push(sym);
+                    frontier.push(t);
+                }
+            }
+        }
+    }
+
+    fn check(original: GroupDefinition, max_len: usize) -> GroupDefinition {
+        let canonical = canonicalize_group(&original);
+        assert_equivalent(&original, &canonical, max_len);
+        assert!(
+            group_size(&canonical) <= group_size(&original),
+            "canonicalization must not grow the tree"
+        );
+        canonical
+    }
+
+    #[test]
+    fn nested_singleton_sequences_unwrap() {
+        // seq[ seq[ seq[ a ] ] ] → a's flat sequence.
+        let g = GroupDefinition::sequence(vec![]);
+        let inner = GroupDefinition::sequence(vec![eld("a")]);
+        let mid = GroupDefinition { particles: vec![Particle::Group(inner)], ..g.clone() };
+        let outer = GroupDefinition { particles: vec![Particle::Group(mid)], ..g };
+        let canonical = check(outer.clone(), 3);
+        assert_eq!(group_size(&canonical), 2); // one group node + one element
+    }
+
+    #[test]
+    fn sequences_flatten() {
+        let inner = GroupDefinition::sequence(vec![eld("b"), eld("c")]);
+        let outer = GroupDefinition {
+            particles: vec![Particle::Element(eld("a")), Particle::Group(inner)],
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let canonical = check(outer, 4);
+        assert_eq!(canonical.particles.len(), 3);
+        assert!(canonical.particles.iter().all(|p| matches!(p, Particle::Element(_))));
+    }
+
+    #[test]
+    fn choices_flatten() {
+        let inner = GroupDefinition::choice(vec![eld("b"), eld("c")]);
+        let outer = GroupDefinition {
+            particles: vec![Particle::Element(eld("a")), Particle::Group(inner)],
+            combination: CombinationFactor::Choice,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let canonical = check(outer, 3);
+        assert_eq!(canonical.particles.len(), 3);
+    }
+
+    #[test]
+    fn empty_groups_vanish_from_sequences() {
+        let outer = GroupDefinition {
+            particles: vec![
+                Particle::Group(GroupDefinition::empty()),
+                Particle::Element(eld("a")),
+                Particle::Group(GroupDefinition::empty()),
+            ],
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let canonical = check(outer, 3);
+        assert_eq!(canonical.particles.len(), 1);
+    }
+
+    #[test]
+    fn group_repetition_transfers_to_singleton_element() {
+        let inner = GroupDefinition::sequence(vec![eld("a")])
+            .with_repetition(RepetitionFactor::new(2, 5));
+        let outer = GroupDefinition {
+            particles: vec![Particle::Group(inner)],
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let canonical = check(outer, 7);
+        match &canonical.particles[0] {
+            Particle::Element(e) => assert_eq!(e.repetition, RepetitionFactor::new(2, 5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_fusion() {
+        // ( a* ){0,3} ≡ a*
+        let inner = GroupDefinition::sequence(vec![
+            eld("a").with_repetition(RepetitionFactor::ANY),
+        ])
+        .with_repetition(RepetitionFactor::new(0, 3));
+        let outer = GroupDefinition {
+            particles: vec![Particle::Group(inner)],
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let canonical = check(outer, 6);
+        match &canonical.particles[0] {
+            Particle::Element(e) => assert_eq!(e.repetition, RepetitionFactor::ANY),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plus_fusion() {
+        // ( a+ ){1,4} ≡ a+
+        let inner = GroupDefinition::sequence(vec![
+            eld("a").with_repetition(RepetitionFactor::at_least(1)),
+        ])
+        .with_repetition(RepetitionFactor::new(1, 4));
+        let outer = GroupDefinition {
+            particles: vec![Particle::Group(inner)],
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let canonical = check(outer, 6);
+        match &canonical.particles[0] {
+            Particle::Element(e) => assert_eq!(e.repetition, RepetitionFactor::at_least(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optional_fusion() {
+        // ( a? ){0,3} ≡ a{0,3}
+        let inner = GroupDefinition::sequence(vec![
+            eld("a").with_repetition(RepetitionFactor::OPTIONAL),
+        ])
+        .with_repetition(RepetitionFactor::new(0, 3));
+        let outer = GroupDefinition {
+            particles: vec![Particle::Group(inner)],
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let canonical = check(outer, 5);
+        match &canonical.particles[0] {
+            Particle::Element(e) => assert_eq!(e.repetition, RepetitionFactor::new(0, 3)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsafe_fusion_is_not_applied() {
+        // ( a{2,2} ){0,1}: counts {0, 2} — must NOT fuse to a{0,2}.
+        let inner = GroupDefinition::sequence(vec![
+            eld("a").with_repetition(RepetitionFactor::new(2, 2)),
+        ])
+        .with_repetition(RepetitionFactor::OPTIONAL);
+        let outer = GroupDefinition {
+            particles: vec![Particle::Group(inner)],
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        };
+        // check() itself proves language preservation; also assert the
+        // canonical form still rejects a single "a".
+        let canonical = check(outer, 4);
+        let cm = ContentModel::compile(&canonical).unwrap();
+        assert!(cm.accepts(&[]));
+        assert!(!cm.accepts(&["a"]));
+        assert!(cm.accepts(&["a", "a"]));
+    }
+
+    #[test]
+    fn mixed_nesting_canonicalizes_and_preserves_language() {
+        // seq[ choice[ seq[a b] seq[a c] ]{0,2}  d? ]
+        let alt1 = GroupDefinition::sequence(vec![eld("a"), eld("b")]);
+        let alt2 = GroupDefinition::sequence(vec![eld("a"), eld("c")]);
+        let choice = GroupDefinition {
+            particles: vec![Particle::Group(alt1), Particle::Group(alt2)],
+            combination: CombinationFactor::Choice,
+            repetition: RepetitionFactor::new(0, 2),
+        };
+        let outer = GroupDefinition {
+            particles: vec![
+                Particle::Group(choice),
+                Particle::Element(eld("d").with_repetition(RepetitionFactor::OPTIONAL)),
+            ],
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        };
+        check(outer, 5);
+    }
+
+    #[test]
+    fn all_groups_pass_through_untouched() {
+        let g = GroupDefinition::all(vec![eld("x"), eld("y")]);
+        let canonical = check(g.clone(), 3);
+        assert_eq!(canonical.combination, CombinationFactor::All);
+        assert_eq!(canonical.particles.len(), 2);
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let inner = GroupDefinition::sequence(vec![eld("b"), eld("c")]);
+        let outer = GroupDefinition {
+            particles: vec![Particle::Element(eld("a")), Particle::Group(inner)],
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let once = canonicalize_group(&outer);
+        let twice = canonicalize_group(&once);
+        assert!(same_shape(&once, &twice));
+    }
+}

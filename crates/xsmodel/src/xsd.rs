@@ -1,0 +1,587 @@
+//! The XSD front-end: parse a real `<xsd:schema>` document into the
+//! abstract syntax of [`crate::ast`].
+//!
+//! This is the concrete syntax the paper's examples are written in; the
+//! mapping follows the correspondences spelled out in §2–3 (e.g. the
+//! `RepetitionFactor` "is indicated by the pair (minOccurs, maxOccurs)").
+//!
+//! Supported constructs: `xsd:schema`, global/local `xsd:element`,
+//! `xsd:complexType` (named and anonymous, `mixed`), `xsd:sequence`,
+//! `xsd:choice` (both nestable), `xsd:attribute`, `xsd:simpleContent`
+//! with `xsd:extension`, and `xsd:simpleType` with `xsd:restriction`
+//! (all common facets), `xsd:list`, and `xsd:union`. Any element prefix
+//! is accepted; the local names select the construct.
+
+use std::fmt;
+use std::sync::Arc;
+
+use xmlparse::{Document, Element};
+use xstypes::{AtomicValue, Facet, Regex, SimpleType, TypeRegistry, WhiteSpace};
+
+use crate::ast::{
+    AttributeDeclarations, ComplexTypeDefinition, DocumentSchema, ElementDeclaration,
+    GroupDefinition, Maximum, Particle, RepetitionFactor, Type,
+};
+
+/// Error turning a schema document into the abstract syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XsdError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl XsdError {
+    fn new(message: impl Into<String>) -> Self {
+        XsdError { message: message.into() }
+    }
+}
+
+impl fmt::Display for XsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid schema document: {}", self.message)
+    }
+}
+
+impl std::error::Error for XsdError {}
+
+/// Parse a schema document from XSD text.
+pub fn parse_schema_text(text: &str) -> Result<DocumentSchema, XsdError> {
+    let doc = Document::parse(text).map_err(|e| XsdError::new(e.to_string()))?;
+    parse_schema(&doc)
+}
+
+/// Parse a schema from an already-parsed XSD document.
+pub fn parse_schema(doc: &Document) -> Result<DocumentSchema, XsdError> {
+    let root = doc.root();
+    if root.name.local() != "schema" {
+        return Err(XsdError::new(format!(
+            "root element is <{}>, expected <schema>",
+            root.name
+        )));
+    }
+    let mut simple_types = TypeRegistry::with_builtins();
+    register_simple_types(root, &mut simple_types)?;
+
+    let mut complex_types = std::collections::BTreeMap::new();
+    for ct in root.children_named("complexType") {
+        let name = ct
+            .attribute("name")
+            .ok_or_else(|| XsdError::new("global complexType requires a name"))?;
+        let def = parse_complex_type(ct, &simple_types)?;
+        if complex_types.insert(name.to_string(), def).is_some() {
+            return Err(XsdError::new(format!("duplicate complexType {name:?}")));
+        }
+    }
+
+    let mut globals = root.children_named("element");
+    let global = globals
+        .next()
+        .ok_or_else(|| XsdError::new("schema has no global element declaration"))?;
+    if globals.next().is_some() {
+        return Err(XsdError::new(
+            "this model permits exactly one global element declaration (§3)",
+        ));
+    }
+    let root_decl = parse_element(global, &simple_types)?;
+
+    Ok(DocumentSchema { root: root_decl, complex_types, simple_types })
+}
+
+/// Register named simple types, iterating to a fixpoint so definitions may
+/// reference each other in any order.
+fn register_simple_types(root: &Element, registry: &mut TypeRegistry) -> Result<(), XsdError> {
+    let pending: Vec<&Element> = root.children_named("simpleType").collect();
+    let mut remaining = pending;
+    loop {
+        let before = remaining.len();
+        let mut next = Vec::new();
+        for st in remaining {
+            let name = st
+                .attribute("name")
+                .ok_or_else(|| XsdError::new("global simpleType requires a name"))?;
+            match parse_simple_type(st, registry) {
+                Ok(ty) => {
+                    if !registry.register(name, ty) {
+                        return Err(XsdError::new(format!("duplicate simpleType {name:?}")));
+                    }
+                }
+                Err(_) => next.push(st),
+            }
+        }
+        if next.is_empty() {
+            return Ok(());
+        }
+        if next.len() == before {
+            // No progress: a real error. Surface the first one.
+            let st = next[0];
+            let name = st.attribute("name").unwrap_or("<unnamed>");
+            return parse_simple_type(st, registry).map(drop).map_err(|e| {
+                XsdError::new(format!("simpleType {name:?}: {}", e.message))
+            });
+        }
+        remaining = next;
+    }
+}
+
+fn parse_simple_type(
+    st: &Element,
+    registry: &TypeRegistry,
+) -> Result<Arc<SimpleType>, XsdError> {
+    let name = st.attribute("name").map(str::to_string);
+    if let Some(restriction) = st.child("restriction") {
+        let base_name = restriction
+            .attribute("base")
+            .ok_or_else(|| XsdError::new("restriction requires a base"))?;
+        let base = registry
+            .get(base_name)
+            .ok_or_else(|| XsdError::new(format!("unknown base type {base_name:?}")))?;
+        let facets = parse_facets(restriction, &base)?;
+        return Ok(SimpleType::restriction(name, base, facets));
+    }
+    if let Some(list) = st.child("list") {
+        let item = if let Some(item_name) = list.attribute("itemType") {
+            registry
+                .get(item_name)
+                .ok_or_else(|| XsdError::new(format!("unknown itemType {item_name:?}")))?
+        } else if let Some(inner) = list.child("simpleType") {
+            parse_simple_type(inner, registry)?
+        } else {
+            return Err(XsdError::new("list requires itemType or a nested simpleType"));
+        };
+        return Ok(SimpleType::list(name, item, Vec::new()));
+    }
+    if let Some(union) = st.child("union") {
+        let mut members: Vec<Arc<SimpleType>> = Vec::new();
+        if let Some(member_names) = union.attribute("memberTypes") {
+            for m in member_names.split_whitespace() {
+                members.push(
+                    registry
+                        .get(m)
+                        .ok_or_else(|| XsdError::new(format!("unknown member type {m:?}")))?,
+                );
+            }
+        }
+        for inner in union.children_named("simpleType") {
+            members.push(parse_simple_type(inner, registry)?);
+        }
+        if members.is_empty() {
+            return Err(XsdError::new("union requires at least one member type"));
+        }
+        return Ok(SimpleType::union(name, members));
+    }
+    Err(XsdError::new("simpleType requires restriction, list, or union"))
+}
+
+fn parse_facets(restriction: &Element, base: &SimpleType) -> Result<Vec<Facet>, XsdError> {
+    let mut facets = Vec::new();
+    let mut enumeration: Vec<AtomicValue> = Vec::new();
+    for child in restriction.child_elements() {
+        let facet_name = child.name.local();
+        if facet_name == "annotation" {
+            continue;
+        }
+        let value = child
+            .attribute("value")
+            .ok_or_else(|| XsdError::new(format!("facet {facet_name} requires a value")))?;
+        let typed = |v: &str| -> Result<AtomicValue, XsdError> {
+            base.validate(v)
+                .map_err(|e| XsdError::new(format!("facet {facet_name}: {e}")))?
+                .into_iter()
+                .next()
+                .ok_or_else(|| XsdError::new(format!("facet {facet_name}: empty typed value")))
+        };
+        let parse_u64 = |v: &str| -> Result<u64, XsdError> {
+            v.trim()
+                .parse()
+                .map_err(|_| XsdError::new(format!("facet {facet_name}: {v:?} is not a number")))
+        };
+        match facet_name {
+            "length" => facets.push(Facet::Length(parse_u64(value)?)),
+            "minLength" => facets.push(Facet::MinLength(parse_u64(value)?)),
+            "maxLength" => facets.push(Facet::MaxLength(parse_u64(value)?)),
+            "totalDigits" => facets.push(Facet::TotalDigits(parse_u64(value)? as u32)),
+            "fractionDigits" => facets.push(Facet::FractionDigits(parse_u64(value)? as u32)),
+            "pattern" => facets.push(Facet::Pattern(
+                Regex::compile(value).map_err(|e| XsdError::new(e.to_string()))?,
+            )),
+            "enumeration" => enumeration.push(typed(value)?),
+            "whiteSpace" => facets.push(Facet::WhiteSpace(
+                WhiteSpace::by_name(value)
+                    .ok_or_else(|| XsdError::new(format!("bad whiteSpace {value:?}")))?,
+            )),
+            "minInclusive" => facets.push(Facet::MinInclusive(typed(value)?)),
+            "minExclusive" => facets.push(Facet::MinExclusive(typed(value)?)),
+            "maxInclusive" => facets.push(Facet::MaxInclusive(typed(value)?)),
+            "maxExclusive" => facets.push(Facet::MaxExclusive(typed(value)?)),
+            other => return Err(XsdError::new(format!("unsupported facet {other:?}"))),
+        }
+    }
+    if !enumeration.is_empty() {
+        facets.push(Facet::Enumeration(enumeration));
+    }
+    Ok(facets)
+}
+
+fn parse_occurs(elem: &Element) -> Result<RepetitionFactor, XsdError> {
+    let min = match elem.attribute("minOccurs") {
+        Some(v) => v
+            .parse::<u32>()
+            .map_err(|_| XsdError::new(format!("bad minOccurs {v:?}")))?,
+        None => 1,
+    };
+    let max = match elem.attribute("maxOccurs") {
+        Some("unbounded") => Maximum::Unbounded,
+        Some(v) => Maximum::Bounded(
+            v.parse::<u32>().map_err(|_| XsdError::new(format!("bad maxOccurs {v:?}")))?,
+        ),
+        None => Maximum::Bounded(1),
+    };
+    Ok(RepetitionFactor { min, max })
+}
+
+fn parse_element(
+    elem: &Element,
+    registry: &TypeRegistry,
+) -> Result<ElementDeclaration, XsdError> {
+    let name = elem
+        .attribute("name")
+        .ok_or_else(|| XsdError::new("element declaration requires a name"))?;
+    let repetition = parse_occurs(elem)?;
+    let nillable = matches!(elem.attribute("nillable"), Some("true" | "1"));
+    let ty = if let Some(type_name) = elem.attribute("type") {
+        Type::Named(type_name.to_string())
+    } else if let Some(ct) = elem.child("complexType") {
+        Type::AnonymousComplex(Box::new(parse_complex_type(ct, registry)?))
+    } else if let Some(st) = elem.child("simpleType") {
+        Type::AnonymousSimple(parse_simple_type(st, registry)?)
+    } else {
+        // XSD default: xs:anyType; our restricted model treats it as string.
+        Type::Named("xs:string".to_string())
+    };
+    Ok(ElementDeclaration { name: name.to_string(), ty, repetition, nillable })
+}
+
+fn parse_complex_type(
+    ct: &Element,
+    registry: &TypeRegistry,
+) -> Result<ComplexTypeDefinition, XsdError> {
+    let mixed = matches!(ct.attribute("mixed"), Some("true" | "1"));
+    if let Some(sc) = ct.child("simpleContent") {
+        let ext = sc
+            .child("extension")
+            .ok_or_else(|| XsdError::new("simpleContent requires an extension"))?;
+        let base = ext
+            .attribute("base")
+            .ok_or_else(|| XsdError::new("extension requires a base"))?;
+        let attributes = parse_attributes(ext)?;
+        return Ok(ComplexTypeDefinition::SimpleContent {
+            base: base.to_string(),
+            attributes,
+        });
+    }
+    let content = if let Some(group) =
+        ct.child("sequence").or_else(|| ct.child("choice")).or_else(|| ct.child("all"))
+    {
+        parse_group(group, registry)?
+    } else {
+        GroupDefinition::empty()
+    };
+    let attributes = parse_attributes(ct)?;
+    Ok(ComplexTypeDefinition::ComplexContent { mixed, content, attributes })
+}
+
+fn parse_attributes(parent: &Element) -> Result<AttributeDeclarations, XsdError> {
+    let mut attrs = AttributeDeclarations::new();
+    for a in parent.children_named("attribute") {
+        let name = a
+            .attribute("name")
+            .ok_or_else(|| XsdError::new("attribute declaration requires a name"))?;
+        let ty = a.attribute("type").unwrap_or("xs:string");
+        if attrs.insert(name.to_string(), ty.to_string()).is_some() {
+            return Err(XsdError::new(format!("duplicate attribute {name:?}")));
+        }
+    }
+    Ok(attrs)
+}
+
+fn parse_group(group: &Element, registry: &TypeRegistry) -> Result<GroupDefinition, XsdError> {
+    let combination = match group.name.local() {
+        "sequence" => crate::ast::CombinationFactor::Sequence,
+        "choice" => crate::ast::CombinationFactor::Choice,
+        "all" => crate::ast::CombinationFactor::All,
+        other => return Err(XsdError::new(format!("unsupported group kind {other:?}"))),
+    };
+    let repetition = parse_occurs(group)?;
+    let mut particles = Vec::new();
+    for child in group.child_elements() {
+        match child.name.local() {
+            "element" => particles.push(Particle::Element(parse_element(child, registry)?)),
+            "sequence" | "choice" | "all" => {
+                particles.push(Particle::Group(parse_group(child, registry)?))
+            }
+            "annotation" => {}
+            other => return Err(XsdError::new(format!("unsupported particle {other:?}"))),
+        }
+    }
+    Ok(GroupDefinition { particles, combination, repetition })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wellformed;
+
+    /// The paper's Example 7, verbatim (modulo whitespace).
+    pub const EXAMPLE_7: &str = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+            targetNamespace="http://www.books.org"
+            xmlns="http://www.books.org"
+            elementFormDefault="qualified">
+  <xsd:complexType name="BookPublication">
+    <xsd:sequence>
+      <xsd:element name="Title" type="xsd:string"/>
+      <xsd:element name="Author" type="xsd:string"/>
+      <xsd:element name="Date" type="xsd:string"/>
+      <xsd:element name="ISBN" type="xsd:string"/>
+      <xsd:element name="Publisher" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:element name="BookStore">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="Book" type="BookPublication" maxOccurs="unbounded"/>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>"#;
+
+    #[test]
+    fn example_7_parses() {
+        let schema = parse_schema_text(EXAMPLE_7).unwrap();
+        assert_eq!(schema.root.name, "BookStore");
+        assert!(schema.complex_types.contains_key("BookPublication"));
+        let ct = &schema.complex_types["BookPublication"];
+        match ct {
+            ComplexTypeDefinition::ComplexContent { mixed, content, attributes } => {
+                assert!(!mixed);
+                assert!(attributes.is_empty());
+                assert_eq!(content.element_declarations().len(), 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(wellformed::check(&schema).is_empty());
+    }
+
+    #[test]
+    fn example_5_simple_content() {
+        let text = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Priced">
+    <xsd:simpleContent>
+      <xsd:extension base="xsd:decimal">
+        <xsd:attribute name="currency" type="xsd:string"/>
+      </xsd:extension>
+    </xsd:simpleContent>
+  </xsd:complexType>
+  <xsd:element name="Price" type="Priced"/>
+</xsd:schema>"#;
+        let schema = parse_schema_text(text).unwrap();
+        match &schema.complex_types["Priced"] {
+            ComplexTypeDefinition::SimpleContent { base, attributes } => {
+                assert_eq!(base, "xsd:decimal");
+                assert_eq!(attributes.get("currency").map(String::as_str), Some("xsd:string"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(wellformed::check(&schema).is_empty());
+    }
+
+    #[test]
+    fn example_6_mixed_with_attributes() {
+        let text = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="Reviewed">
+    <xsd:complexType mixed="true">
+      <xsd:sequence>
+        <xsd:element name="Book" minOccurs="0" maxOccurs="1000"/>
+      </xsd:sequence>
+      <xsd:attribute name="InStock" type="xsd:boolean"/>
+      <xsd:attribute name="Reviewer" type="xsd:string"/>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>"#;
+        let schema = parse_schema_text(text).unwrap();
+        match &schema.root.ty {
+            Type::AnonymousComplex(def) => match def.as_ref() {
+                ComplexTypeDefinition::ComplexContent { mixed, content, attributes } => {
+                    assert!(*mixed);
+                    assert_eq!(attributes.len(), 2);
+                    let decls = content.element_declarations();
+                    assert_eq!(decls[0].repetition, RepetitionFactor::new(0, 1000));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn choice_groups_parse() {
+        let text = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="bits">
+    <xs:complexType>
+      <xs:choice minOccurs="0" maxOccurs="unbounded">
+        <xs:element name="zero" type="xs:string"/>
+        <xs:element name="one" type="xs:string"/>
+      </xs:choice>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+        let schema = parse_schema_text(text).unwrap();
+        match &schema.root.ty {
+            Type::AnonymousComplex(def) => match def.as_ref() {
+                ComplexTypeDefinition::ComplexContent { content, .. } => {
+                    assert_eq!(content.combination, crate::ast::CombinationFactor::Choice);
+                    assert_eq!(content.repetition, RepetitionFactor::at_least(0));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_type_restriction_with_facets() {
+        let text = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="Percent">
+    <xs:restriction base="xs:integer">
+      <xs:minInclusive value="0"/>
+      <xs:maxInclusive value="100"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:element name="score" type="Percent"/>
+</xs:schema>"#;
+        let schema = parse_schema_text(text).unwrap();
+        let t = schema.simple_types.get("Percent").unwrap();
+        assert!(t.validate("55").is_ok());
+        assert!(t.validate("101").is_err());
+    }
+
+    #[test]
+    fn simple_types_resolve_out_of_order() {
+        let text = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="SmallPercent">
+    <xs:restriction base="Percent">
+      <xs:maxInclusive value="10"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:simpleType name="Percent">
+    <xs:restriction base="xs:integer">
+      <xs:minInclusive value="0"/>
+      <xs:maxInclusive value="100"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:element name="score" type="SmallPercent"/>
+</xs:schema>"#;
+        let schema = parse_schema_text(text).unwrap();
+        let t = schema.simple_types.get("SmallPercent").unwrap();
+        assert!(t.validate("5").is_ok());
+        assert!(t.validate("11").is_err());
+    }
+
+    #[test]
+    fn list_and_union_types() {
+        let text = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="Ints">
+    <xs:list itemType="xs:integer"/>
+  </xs:simpleType>
+  <xs:simpleType name="IntOrName">
+    <xs:union memberTypes="xs:integer xs:NCName"/>
+  </xs:simpleType>
+  <xs:element name="data" type="Ints"/>
+</xs:schema>"#;
+        let schema = parse_schema_text(text).unwrap();
+        assert_eq!(schema.simple_types.get("Ints").unwrap().validate("1 2 3").unwrap().len(), 3);
+        assert!(schema.simple_types.get("IntOrName").unwrap().validate("foo").is_ok());
+    }
+
+    #[test]
+    fn enumeration_facet() {
+        let text = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="Size">
+    <xs:restriction base="xs:token">
+      <xs:enumeration value="S"/>
+      <xs:enumeration value="M"/>
+      <xs:enumeration value="L"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:element name="size" type="Size"/>
+</xs:schema>"#;
+        let schema = parse_schema_text(text).unwrap();
+        let t = schema.simple_types.get("Size").unwrap();
+        assert!(t.validate("M").is_ok());
+        assert!(t.validate("XL").is_err());
+    }
+
+    #[test]
+    fn pattern_facet() {
+        let text = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="Isbn">
+    <xs:restriction base="xs:string">
+      <xs:pattern value="\d-\d{3}-\d{5}-\d"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:element name="isbn" type="Isbn"/>
+</xs:schema>"#;
+        let schema = parse_schema_text(text).unwrap();
+        let t = schema.simple_types.get("Isbn").unwrap();
+        assert!(t.validate("0-201-53771-0").is_ok());
+        assert!(t.validate("bogus").is_err());
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse_schema_text("<notschema/>")
+            .unwrap_err()
+            .to_string()
+            .contains("expected <schema>"));
+        let no_global = "<xs:schema xmlns:xs=\"urn:x\"/>";
+        assert!(parse_schema_text(no_global).unwrap_err().message.contains("no global element"));
+        let two_globals = r#"
+<xs:schema xmlns:xs="urn:x">
+  <xs:element name="a" type="xs:string"/>
+  <xs:element name="b" type="xs:string"/>
+</xs:schema>"#;
+        assert!(parse_schema_text(two_globals).unwrap_err().message.contains("exactly one"));
+    }
+
+    #[test]
+    fn nillable_and_defaults() {
+        let text = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Comment" type="xs:string" nillable="true"/>
+</xs:schema>"#;
+        let schema = parse_schema_text(text).unwrap();
+        assert!(schema.root.nillable);
+        assert_eq!(schema.root.repetition, RepetitionFactor::ONCE);
+    }
+
+    #[test]
+    fn unknown_base_type_is_an_error() {
+        let text = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="T">
+    <xs:restriction base="NoSuch"><xs:minLength value="1"/></xs:restriction>
+  </xs:simpleType>
+  <xs:element name="e" type="T"/>
+</xs:schema>"#;
+        let err = parse_schema_text(text).unwrap_err();
+        assert!(err.message.contains("NoSuch"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Binary value spaces: `xs:hexBinary` and `xs:base64Binary` codecs.
+//!
+//! Both types share the value space of octet sequences; only the lexical
+//! mapping differs. Both codecs are implemented here from scratch.
+
+use std::fmt;
+
+/// Error decoding a binary lexical form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryError {
+    /// The type the input failed to parse as.
+    pub expected: &'static str,
+    /// Why it failed.
+    pub reason: String,
+}
+
+impl fmt::Display for BinaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}: {}", self.expected, self.reason)
+    }
+}
+
+impl std::error::Error for BinaryError {}
+
+/// Decode `xs:hexBinary` (even number of hex digits, case-insensitive).
+pub fn decode_hex(s: &str) -> Result<Vec<u8>, BinaryError> {
+    let err = |reason: &str| BinaryError { expected: "xs:hexBinary", reason: reason.to_string() };
+    if !s.len().is_multiple_of(2) {
+        return Err(err("odd number of hex digits"));
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = hex_val(pair[0]).ok_or_else(|| err("non-hex character"))?;
+        let lo = hex_val(pair[1]).ok_or_else(|| err("non-hex character"))?;
+        out.push(hi << 4 | lo);
+    }
+    Ok(out)
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Encode to the canonical (uppercase) `xs:hexBinary` form.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap().to_ascii_uppercase());
+        out.push(char::from_digit((b & 0xF) as u32, 16).unwrap().to_ascii_uppercase());
+    }
+    out
+}
+
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+fn b64_val(b: u8) -> Option<u8> {
+    match b {
+        b'A'..=b'Z' => Some(b - b'A'),
+        b'a'..=b'z' => Some(b - b'a' + 26),
+        b'0'..=b'9' => Some(b - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decode `xs:base64Binary`. Per XSD, embedded whitespace is allowed and
+/// ignored; padding must be exact.
+pub fn decode_base64(s: &str) -> Result<Vec<u8>, BinaryError> {
+    let err =
+        |reason: &str| BinaryError { expected: "xs:base64Binary", reason: reason.to_string() };
+    let compact: Vec<u8> = s.bytes().filter(|b| !b" \t\r\n".contains(b)).collect();
+    if !compact.len().is_multiple_of(4) {
+        return Err(err("length not a multiple of 4"));
+    }
+    let mut out = Vec::with_capacity(compact.len() / 4 * 3);
+    for (i, chunk) in compact.chunks_exact(4).enumerate() {
+        let last = (i + 1) * 4 == compact.len();
+        let pad = chunk.iter().filter(|&&b| b == b'=').count();
+        if pad > 0 && !last {
+            return Err(err("padding before the end"));
+        }
+        match pad {
+            0 => {
+                let v: Vec<u8> = chunk
+                    .iter()
+                    .map(|&b| b64_val(b))
+                    .collect::<Option<_>>()
+                    .ok_or_else(|| err("invalid character"))?;
+                out.push(v[0] << 2 | v[1] >> 4);
+                out.push(v[1] << 4 | v[2] >> 2);
+                out.push(v[2] << 6 | v[3]);
+            }
+            1 => {
+                if chunk[3] != b'=' {
+                    return Err(err("misplaced padding"));
+                }
+                let a = b64_val(chunk[0]).ok_or_else(|| err("invalid character"))?;
+                let b = b64_val(chunk[1]).ok_or_else(|| err("invalid character"))?;
+                let c = b64_val(chunk[2]).ok_or_else(|| err("invalid character"))?;
+                if c & 0b11 != 0 {
+                    return Err(err("non-zero trailing bits"));
+                }
+                out.push(a << 2 | b >> 4);
+                out.push(b << 4 | c >> 2);
+            }
+            2 => {
+                if &chunk[2..] != b"==" {
+                    return Err(err("misplaced padding"));
+                }
+                let a = b64_val(chunk[0]).ok_or_else(|| err("invalid character"))?;
+                let b = b64_val(chunk[1]).ok_or_else(|| err("invalid character"))?;
+                if b & 0b1111 != 0 {
+                    return Err(err("non-zero trailing bits"));
+                }
+                out.push(a << 2 | b >> 4);
+            }
+            _ => return Err(err("too much padding")),
+        }
+    }
+    Ok(out)
+}
+
+/// Encode to the canonical `xs:base64Binary` form (no line breaks).
+pub fn encode_base64(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = b0 << 16 | b1 << 8 | b2;
+        out.push(B64_ALPHABET[(triple >> 18 & 0x3F) as usize] as char);
+        out.push(B64_ALPHABET[(triple >> 12 & 0x3F) as usize] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(triple >> 6 & 0x3F) as usize] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 { B64_ALPHABET[(triple & 0x3F) as usize] as char } else { '=' });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let data = [0x00, 0xFF, 0x12, 0xAB];
+        let enc = encode_hex(&data);
+        assert_eq!(enc, "00FF12AB");
+        assert_eq!(decode_hex(&enc).unwrap(), data);
+        assert_eq!(decode_hex("00ff12ab").unwrap(), data); // lowercase ok
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert!(decode_hex("0").is_err());
+        assert!(decode_hex("0G").is_err());
+        assert!(decode_hex("0x12").is_err());
+    }
+
+    #[test]
+    fn base64_round_trip_all_pad_lengths() {
+        for data in [&b""[..], b"f", b"fo", b"foo", b"foob", b"fooba", b"foobar"] {
+            let enc = encode_base64(data);
+            assert_eq!(decode_base64(&enc).unwrap(), data, "{enc}");
+        }
+        assert_eq!(encode_base64(b"foobar"), "Zm9vYmFy");
+        assert_eq!(encode_base64(b"foob"), "Zm9vYg==");
+    }
+
+    #[test]
+    fn base64_ignores_whitespace() {
+        assert_eq!(decode_base64("Zm9v\n YmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn base64_rejects_bad_input() {
+        assert!(decode_base64("Zm9").is_err()); // bad length
+        assert!(decode_base64("Zm==9vYmFy").is_err()); // interior padding
+        assert!(decode_base64("Z===").is_err());
+        assert!(decode_base64("Zm9$").is_err());
+        // Non-canonical trailing bits must be rejected.
+        assert!(decode_base64("Zm9vYh==").is_err());
+    }
+
+    #[test]
+    fn base64_random_round_trip() {
+        // Deterministic pseudo-random bytes.
+        let mut state = 0x12345678u32;
+        let data: Vec<u8> = (0..1000)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 24) as u8
+            })
+            .collect();
+        assert_eq!(decode_base64(&encode_base64(&data)).unwrap(), data);
+    }
+}

@@ -1,0 +1,708 @@
+//! Date, time and duration value spaces (`xs:date`, `xs:time`,
+//! `xs:dateTime`, the Gregorian fragments `xs:gYear`(`Month`)…, and
+//! `xs:duration`).
+//!
+//! Values are compared on a normalized timeline. A value may carry an
+//! explicit timezone offset; per XSD Part 2 the comparison of a zoned and
+//! an unzoned value is *partial* — this module follows the specification
+//! and returns `None` for incomparable pairs.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// A timezone offset in minutes from UTC (`Z` is offset 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Timezone(pub i16);
+
+impl Timezone {
+    /// UTC.
+    pub const UTC: Timezone = Timezone(0);
+}
+
+/// A Gregorian date/time, the value space shared by the date/time types.
+///
+/// Fields not present in a narrower type (`xs:date` has no time of day,
+/// `xs:gYear` has neither month nor day) are zeroed; the [`DateTimeKind`]
+/// recorded alongside in [`crate::value::AtomicValue`] governs the lexical
+/// form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DateTime {
+    /// Year (may be negative; no year 0 in XSD 1.0, handled in parsing).
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day 1–31.
+    pub day: u8,
+    /// Hour 0–23.
+    pub hour: u8,
+    /// Minute 0–59.
+    pub minute: u8,
+    /// Second 0–59.
+    pub second: u8,
+    /// Nanoseconds within the second.
+    pub nanosecond: u32,
+    /// Optional timezone.
+    pub timezone: Option<Timezone>,
+}
+
+/// Which date/time type a [`DateTime`] value belongs to (governs lexical
+/// form and which fields are significant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DateTimeKind {
+    /// `xs:dateTime` — all fields.
+    DateTime,
+    /// `xs:date` — year, month, day.
+    Date,
+    /// `xs:time` — hour, minute, second.
+    Time,
+    /// `xs:gYearMonth`.
+    GYearMonth,
+    /// `xs:gYear`.
+    GYear,
+    /// `xs:gMonthDay`.
+    GMonthDay,
+    /// `xs:gDay`.
+    GDay,
+    /// `xs:gMonth`.
+    GMonth,
+}
+
+/// Error parsing a date/time or duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DateTimeError {
+    /// The offending lexical form.
+    pub lexical: String,
+    /// The type it failed to parse as.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for DateTimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} is not a valid {}", self.lexical, self.expected)
+    }
+}
+
+impl std::error::Error for DateTimeError {}
+
+fn err(lexical: &str, expected: &'static str) -> DateTimeError {
+    DateTimeError { lexical: lexical.to_string(), expected }
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Parse a fixed-width digit run.
+fn digits(s: &str, n: usize) -> Option<(u32, &str)> {
+    if s.len() < n || !s.as_bytes()[..n].iter().all(u8::is_ascii_digit) {
+        return None;
+    }
+    Some((s[..n].parse().ok()?, &s[n..]))
+}
+
+fn parse_timezone(s: &str) -> Option<(Option<Timezone>, &str)> {
+    if let Some(rest) = s.strip_prefix('Z') {
+        return Some((Some(Timezone::UTC), rest));
+    }
+    if let Some(sign) = s.chars().next().filter(|c| *c == '+' || *c == '-') {
+        let body = &s[1..];
+        let (h, body) = digits(body, 2)?;
+        let body = body.strip_prefix(':')?;
+        let (m, rest) = digits(body, 2)?;
+        if h > 14 || m > 59 || (h == 14 && m != 0) {
+            return None;
+        }
+        let total = (h * 60 + m) as i16;
+        return Some((Some(Timezone(if sign == '-' { -total } else { total })), rest));
+    }
+    Some((None, s))
+}
+
+impl DateTime {
+    /// Parse per the [`DateTimeKind`]'s lexical space.
+    pub fn parse(s: &str, kind: DateTimeKind) -> Result<Self, DateTimeError> {
+        let name = kind_name(kind);
+        let e = || err(s, name);
+        let mut dt = DateTime {
+            year: 1,
+            month: 1,
+            day: 1,
+            hour: 0,
+            minute: 0,
+            second: 0,
+            nanosecond: 0,
+            timezone: None,
+        };
+        let mut rest = s;
+        // Date portion.
+        match kind {
+            DateTimeKind::DateTime | DateTimeKind::Date => {
+                rest = dt.parse_year_into(rest).ok_or_else(e)?;
+                rest = rest.strip_prefix('-').ok_or_else(e)?;
+                let (m, r) = digits(rest, 2).ok_or_else(e)?;
+                rest = r.strip_prefix('-').ok_or_else(e)?;
+                let (d, r) = digits(rest, 2).ok_or_else(e)?;
+                rest = r;
+                dt.month = m as u8;
+                dt.day = d as u8;
+            }
+            DateTimeKind::GYearMonth => {
+                rest = dt.parse_year_into(rest).ok_or_else(e)?;
+                rest = rest.strip_prefix('-').ok_or_else(e)?;
+                let (m, r) = digits(rest, 2).ok_or_else(e)?;
+                rest = r;
+                dt.month = m as u8;
+            }
+            DateTimeKind::GYear => {
+                rest = dt.parse_year_into(rest).ok_or_else(e)?;
+            }
+            DateTimeKind::GMonthDay => {
+                rest = rest.strip_prefix("--").ok_or_else(e)?;
+                let (m, r) = digits(rest, 2).ok_or_else(e)?;
+                rest = r.strip_prefix('-').ok_or_else(e)?;
+                let (d, r) = digits(rest, 2).ok_or_else(e)?;
+                rest = r;
+                dt.month = m as u8;
+                dt.day = d as u8;
+            }
+            DateTimeKind::GDay => {
+                rest = rest.strip_prefix("---").ok_or_else(e)?;
+                let (d, r) = digits(rest, 2).ok_or_else(e)?;
+                rest = r;
+                dt.day = d as u8;
+            }
+            DateTimeKind::GMonth => {
+                rest = rest.strip_prefix("--").ok_or_else(e)?;
+                let (m, r) = digits(rest, 2).ok_or_else(e)?;
+                rest = r;
+                dt.month = m as u8;
+            }
+            DateTimeKind::Time => {}
+        }
+        // Time portion.
+        match kind {
+            DateTimeKind::DateTime => {
+                rest = rest.strip_prefix('T').ok_or_else(e)?;
+                rest = dt.parse_time_into(rest).ok_or_else(e)?;
+            }
+            DateTimeKind::Time => {
+                rest = dt.parse_time_into(rest).ok_or_else(e)?;
+            }
+            _ => {}
+        }
+        let (tz, rest) = parse_timezone(rest).ok_or_else(e)?;
+        if !rest.is_empty() {
+            return Err(e());
+        }
+        dt.timezone = tz;
+        // Range checks.
+        let month_ok = matches!(kind, DateTimeKind::Time | DateTimeKind::GYear | DateTimeKind::GDay)
+            || (1..=12).contains(&dt.month);
+        let day_relevant = matches!(
+            kind,
+            DateTimeKind::DateTime | DateTimeKind::Date | DateTimeKind::GMonthDay | DateTimeKind::GDay
+        );
+        let day_ok = !day_relevant
+            || (dt.day >= 1
+                && dt.day
+                    <= if matches!(kind, DateTimeKind::GDay) {
+                        31
+                    } else {
+                        days_in_month(dt.year, dt.month)
+                    });
+        if !month_ok || !day_ok || dt.hour > 24 {
+            return Err(e());
+        }
+        if dt.hour == 24 {
+            // 24:00:00 is end-of-day; only valid with zero minutes/seconds.
+            if dt.minute != 0 || dt.second != 0 || dt.nanosecond != 0 {
+                return Err(e());
+            }
+        }
+        Ok(dt)
+    }
+
+    fn parse_year_into<'a>(&mut self, s: &'a str) -> Option<&'a str> {
+        let (negative, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let len = body.bytes().take_while(u8::is_ascii_digit).count();
+        if len < 4 || (len > 4 && body.starts_with('0')) {
+            return None;
+        }
+        let year: i32 = body[..len].parse().ok()?;
+        if year == 0 && negative {
+            return None;
+        }
+        self.year = if negative { -year } else { year };
+        Some(&body[len..])
+    }
+
+    fn parse_time_into<'a>(&mut self, s: &'a str) -> Option<&'a str> {
+        let (h, rest) = digits(s, 2)?;
+        let rest = rest.strip_prefix(':')?;
+        let (m, rest) = digits(rest, 2)?;
+        let rest = rest.strip_prefix(':')?;
+        let (sec, mut rest) = digits(rest, 2)?;
+        if m > 59 || sec > 59 {
+            return None;
+        }
+        self.hour = h as u8;
+        self.minute = m as u8;
+        self.second = sec as u8;
+        if let Some(frac) = rest.strip_prefix('.') {
+            let len = frac.bytes().take_while(u8::is_ascii_digit).count();
+            if len == 0 {
+                return None;
+            }
+            let mut nanos: u64 = 0;
+            for (i, b) in frac.as_bytes()[..len].iter().enumerate() {
+                if i < 9 {
+                    nanos = nanos * 10 + (b - b'0') as u64;
+                }
+            }
+            for _ in len..9 {
+                nanos *= 10;
+            }
+            self.nanosecond = nanos.min(999_999_999) as u32;
+            rest = &frac[len..];
+        }
+        Some(rest)
+    }
+
+    /// Seconds-on-timeline key (timezone applied when present). Used for
+    /// ordering; pairs with one zoned and one unzoned operand compare as
+    /// `None` per the XSD partial order.
+    fn timeline_key(&self) -> (i64, u32) {
+        // Days since a proleptic epoch, computed without chrono.
+        let mut days: i64 = 0;
+        let y = self.year as i64;
+        // Days contributed by whole years since year 1.
+        let (from, to) = if y >= 1 { (1, y) } else { (y, 1) };
+        let mut acc: i64 = 0;
+        for year in from..to {
+            let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+            acc += if leap { 366 } else { 365 };
+        }
+        days += if y >= 1 { acc } else { -acc };
+        for m in 1..self.month {
+            days += days_in_month(self.year, m) as i64;
+        }
+        days += (self.day as i64).saturating_sub(1);
+        let mut secs = days * 86_400
+            + self.hour as i64 * 3600
+            + self.minute as i64 * 60
+            + self.second as i64;
+        if let Some(Timezone(offset)) = self.timezone {
+            secs -= offset as i64 * 60;
+        }
+        (secs, self.nanosecond)
+    }
+
+    /// XSD partial order: `None` when exactly one operand has a timezone
+    /// and the values are within the ±14h ambiguity window.
+    pub fn partial_cmp_xsd(&self, other: &DateTime) -> Option<Ordering> {
+        let a = self.timeline_key();
+        let b = other.timeline_key();
+        if self.timezone.is_some() == other.timezone.is_some() {
+            return Some(a.cmp(&b));
+        }
+        // One zoned, one not: comparable only when more than 14h apart.
+        const WINDOW: i64 = 14 * 3600;
+        if a.0 + WINDOW < b.0 {
+            Some(Ordering::Less)
+        } else if b.0 + WINDOW < a.0 {
+            Some(Ordering::Greater)
+        } else {
+            None
+        }
+    }
+
+    /// Canonical lexical form for the given kind.
+    pub fn canonical(&self, kind: DateTimeKind) -> String {
+        let mut out = String::new();
+        let push_year = |out: &mut String, y: i32| {
+            if y < 0 {
+                out.push('-');
+            }
+            out.push_str(&format!("{:04}", y.abs()));
+        };
+        match kind {
+            DateTimeKind::DateTime => {
+                push_year(&mut out, self.year);
+                out.push_str(&format!("-{:02}-{:02}T", self.month, self.day));
+                self.push_time(&mut out);
+            }
+            DateTimeKind::Date => {
+                push_year(&mut out, self.year);
+                out.push_str(&format!("-{:02}-{:02}", self.month, self.day));
+            }
+            DateTimeKind::Time => self.push_time(&mut out),
+            DateTimeKind::GYearMonth => {
+                push_year(&mut out, self.year);
+                out.push_str(&format!("-{:02}", self.month));
+            }
+            DateTimeKind::GYear => push_year(&mut out, self.year),
+            DateTimeKind::GMonthDay => out.push_str(&format!("--{:02}-{:02}", self.month, self.day)),
+            DateTimeKind::GDay => out.push_str(&format!("---{:02}", self.day)),
+            DateTimeKind::GMonth => out.push_str(&format!("--{:02}", self.month)),
+        }
+        match self.timezone {
+            Some(Timezone(0)) => out.push('Z'),
+            Some(Timezone(offset)) => {
+                let sign = if offset < 0 { '-' } else { '+' };
+                let a = offset.abs();
+                out.push_str(&format!("{sign}{:02}:{:02}", a / 60, a % 60));
+            }
+            None => {}
+        }
+        out
+    }
+
+    fn push_time(&self, out: &mut String) {
+        out.push_str(&format!("{:02}:{:02}:{:02}", self.hour, self.minute, self.second));
+        if self.nanosecond != 0 {
+            let frac = format!("{:09}", self.nanosecond);
+            out.push('.');
+            out.push_str(frac.trim_end_matches('0'));
+        }
+    }
+}
+
+fn kind_name(kind: DateTimeKind) -> &'static str {
+    match kind {
+        DateTimeKind::DateTime => "xs:dateTime",
+        DateTimeKind::Date => "xs:date",
+        DateTimeKind::Time => "xs:time",
+        DateTimeKind::GYearMonth => "xs:gYearMonth",
+        DateTimeKind::GYear => "xs:gYear",
+        DateTimeKind::GMonthDay => "xs:gMonthDay",
+        DateTimeKind::GDay => "xs:gDay",
+        DateTimeKind::GMonth => "xs:gMonth",
+    }
+}
+
+/// The `xs:duration` value space: a (months, seconds) pair. XSD durations
+/// mix a year/month part and a day/time part; the two do not reduce to one
+/// another, making the order partial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Duration {
+    /// Total months (years × 12 + months), signed.
+    pub months: i64,
+    /// Total seconds of the day/time part, signed.
+    pub seconds: i64,
+    /// Nanoseconds (same sign as `seconds`, magnitude < 1e9).
+    pub nanoseconds: i32,
+}
+
+impl Duration {
+    /// Parse the `PnYnMnDTnHnMnS` lexical form.
+    pub fn parse(s: &str) -> Result<Self, DateTimeError> {
+        let e = || err(s, "xs:duration");
+        let (negative, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let body = body.strip_prefix('P').ok_or_else(e)?;
+        let (date_part, time_part) = match body.split_once('T') {
+            Some((d, t)) => {
+                if t.is_empty() {
+                    return Err(e());
+                }
+                (d, t)
+            }
+            None => (body, ""),
+        };
+        if date_part.is_empty() && time_part.is_empty() {
+            return Err(e());
+        }
+        let mut months: i64 = 0;
+        let mut seconds: i64 = 0;
+        let mut nanos: i64 = 0;
+        let mut any = false;
+
+        // Date designators: Y M D in order.
+        let mut rest = date_part;
+        for (designator, factor) in [('Y', 12i64), ('M', 1), ('D', 0)] {
+            if let Some(pos) = rest.find(designator) {
+                let digits_str = &rest[..pos];
+                if digits_str.is_empty() || !digits_str.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(e());
+                }
+                let n: i64 = digits_str.parse().map_err(|_| e())?;
+                if designator == 'D' {
+                    seconds += n * 86_400;
+                } else {
+                    months += n * factor;
+                }
+                rest = &rest[pos + 1..];
+                any = true;
+            }
+        }
+        if !rest.is_empty() {
+            return Err(e());
+        }
+        // Time designators: H M S in order; S may carry a fraction.
+        let mut rest = time_part;
+        for (designator, factor) in [('H', 3600i64), ('M', 60), ('S', 1)] {
+            if let Some(pos) = rest.find(designator) {
+                let num = &rest[..pos];
+                if designator == 'S' {
+                    let (int_part, frac_part) = match num.split_once('.') {
+                        Some((i, f)) => (i, f),
+                        None => (num, ""),
+                    };
+                    if int_part.is_empty() && frac_part.is_empty() {
+                        return Err(e());
+                    }
+                    if !int_part.bytes().all(|b| b.is_ascii_digit())
+                        || !frac_part.bytes().all(|b| b.is_ascii_digit())
+                    {
+                        return Err(e());
+                    }
+                    if !int_part.is_empty() {
+                        seconds += int_part.parse::<i64>().map_err(|_| e())?;
+                    }
+                    let mut ns: i64 = 0;
+                    for (i, b) in frac_part.bytes().enumerate() {
+                        if i < 9 {
+                            ns = ns * 10 + (b - b'0') as i64;
+                        }
+                    }
+                    for _ in frac_part.len()..9 {
+                        ns *= 10;
+                    }
+                    nanos = ns.min(999_999_999);
+                } else {
+                    if num.is_empty() || !num.bytes().all(|b| b.is_ascii_digit()) {
+                        return Err(e());
+                    }
+                    seconds += num.parse::<i64>().map_err(|_| e())? * factor;
+                }
+                rest = &rest[pos + 1..];
+                any = true;
+            }
+        }
+        if !rest.is_empty() || !any {
+            return Err(e());
+        }
+        let sign = if negative { -1 } else { 1 };
+        Ok(Duration {
+            months: sign * months,
+            seconds: sign * seconds,
+            nanoseconds: (sign * nanos) as i32,
+        })
+    }
+
+    /// XSD partial order on durations: defined only when the month parts
+    /// and second parts agree in direction (per spec, durations are
+    /// compared by adding to four reference dateTimes; this equivalent
+    /// formulation suffices because our value space is already (months,
+    /// seconds)).
+    pub fn partial_cmp_xsd(&self, other: &Duration) -> Option<Ordering> {
+        let m = self.months.cmp(&other.months);
+        let s = (self.seconds, self.nanoseconds).cmp(&(other.seconds, other.nanoseconds));
+        match (m, s) {
+            (Ordering::Equal, o) => Some(o),
+            (o, Ordering::Equal) => Some(o),
+            (a, b) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Canonical `PnYnMnDTnHnMnS` form.
+    pub fn canonical(&self) -> String {
+        if self.months == 0 && self.seconds == 0 && self.nanoseconds == 0 {
+            return "PT0S".to_string();
+        }
+        let negative = self.months < 0 || self.seconds < 0 || self.nanoseconds < 0;
+        let months = self.months.unsigned_abs();
+        let seconds = self.seconds.unsigned_abs();
+        let nanos = self.nanoseconds.unsigned_abs();
+        let mut out = String::new();
+        if negative {
+            out.push('-');
+        }
+        out.push('P');
+        let (years, months) = (months / 12, months % 12);
+        if years > 0 {
+            out.push_str(&format!("{years}Y"));
+        }
+        if months > 0 {
+            out.push_str(&format!("{months}M"));
+        }
+        let (days, rem) = (seconds / 86_400, seconds % 86_400);
+        let (hours, rem) = (rem / 3600, rem % 3600);
+        let (mins, secs) = (rem / 60, rem % 60);
+        if days > 0 {
+            out.push_str(&format!("{days}D"));
+        }
+        if hours > 0 || mins > 0 || secs > 0 || nanos > 0 {
+            out.push('T');
+            if hours > 0 {
+                out.push_str(&format!("{hours}H"));
+            }
+            if mins > 0 {
+                out.push_str(&format!("{mins}M"));
+            }
+            if secs > 0 || nanos > 0 {
+                if nanos > 0 {
+                    let frac = format!("{nanos:09}");
+                    out.push_str(&format!("{secs}.{}S", frac.trim_end_matches('0')));
+                } else {
+                    out.push_str(&format!("{secs}S"));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromStr for Duration {
+    type Err = DateTimeError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Duration::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dt(s: &str) -> DateTime {
+        DateTime::parse(s, DateTimeKind::DateTime).unwrap()
+    }
+
+    #[test]
+    fn parse_datetime_variants() {
+        let v = dt("2004-07-15T12:30:45Z");
+        assert_eq!((v.year, v.month, v.day), (2004, 7, 15));
+        assert_eq!((v.hour, v.minute, v.second), (12, 30, 45));
+        assert_eq!(v.timezone, Some(Timezone::UTC));
+
+        let v = dt("2004-02-29T00:00:00.125-05:30");
+        assert_eq!(v.nanosecond, 125_000_000);
+        assert_eq!(v.timezone, Some(Timezone(-330)));
+
+        let v = dt("2004-01-01T00:00:00");
+        assert_eq!(v.timezone, None);
+    }
+
+    #[test]
+    fn reject_bad_datetimes() {
+        for bad in [
+            "2004-13-01T00:00:00",
+            "2003-02-29T00:00:00", // not a leap year
+            "2004-07-15",          // missing time
+            "2004-07-15T25:00:00",
+            "2004-07-15T12:60:00",
+            "04-07-15T00:00:00", // 2-digit year
+            "2004-07-15T12:00:00+15:00",
+        ] {
+            assert!(DateTime::parse(bad, DateTimeKind::DateTime).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn parse_narrow_kinds() {
+        assert!(DateTime::parse("2004-07-15", DateTimeKind::Date).is_ok());
+        assert!(DateTime::parse("12:30:00", DateTimeKind::Time).is_ok());
+        assert!(DateTime::parse("2004-07", DateTimeKind::GYearMonth).is_ok());
+        assert!(DateTime::parse("2004", DateTimeKind::GYear).is_ok());
+        assert!(DateTime::parse("--07-15", DateTimeKind::GMonthDay).is_ok());
+        assert!(DateTime::parse("---15", DateTimeKind::GDay).is_ok());
+        assert!(DateTime::parse("--07", DateTimeKind::GMonth).is_ok());
+        // Cross-kind confusion must fail.
+        assert!(DateTime::parse("2004-07-15", DateTimeKind::GYear).is_err());
+        assert!(DateTime::parse("--07", DateTimeKind::GMonthDay).is_err());
+    }
+
+    #[test]
+    fn negative_years_are_supported() {
+        let v = DateTime::parse("-0044-03-15", DateTimeKind::Date).unwrap();
+        assert_eq!(v.year, -44);
+        assert_eq!(v.canonical(DateTimeKind::Date), "-0044-03-15");
+    }
+
+    #[test]
+    fn ordering_respects_timezones() {
+        let a = dt("2004-07-15T12:00:00Z");
+        let b = dt("2004-07-15T14:00:00+03:00"); // = 11:00Z
+        assert_eq!(a.partial_cmp_xsd(&b), Some(Ordering::Greater));
+        let c = dt("2004-07-15T12:00:00Z");
+        assert_eq!(a.partial_cmp_xsd(&c), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn zoned_vs_unzoned_is_partial() {
+        let zoned = dt("2004-07-15T12:00:00Z");
+        let unzoned = dt("2004-07-15T12:00:00");
+        assert_eq!(zoned.partial_cmp_xsd(&unzoned), None);
+        let far = dt("2004-07-17T12:00:00");
+        assert_eq!(zoned.partial_cmp_xsd(&far), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn canonical_forms() {
+        assert_eq!(dt("2004-07-15T12:30:45Z").canonical(DateTimeKind::DateTime), "2004-07-15T12:30:45Z");
+        assert_eq!(
+            dt("2004-07-15T12:30:45.500+01:00").canonical(DateTimeKind::DateTime),
+            "2004-07-15T12:30:45.5+01:00"
+        );
+    }
+
+    #[test]
+    fn parse_durations() {
+        let d = Duration::parse("P1Y2M3DT4H5M6.5S").unwrap();
+        assert_eq!(d.months, 14);
+        assert_eq!(d.seconds, 3 * 86400 + 4 * 3600 + 5 * 60 + 6);
+        assert_eq!(d.nanoseconds, 500_000_000);
+        assert_eq!(Duration::parse("-P1D").unwrap().seconds, -86400);
+        assert_eq!(Duration::parse("PT0S").unwrap(), Duration { months: 0, seconds: 0, nanoseconds: 0 });
+    }
+
+    #[test]
+    fn reject_bad_durations() {
+        for bad in ["P", "PT", "1Y", "P1S", "P1YT", "PY", "P-1Y", "P1.5Y", ""] {
+            assert!(Duration::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn duration_canonical() {
+        assert_eq!(Duration::parse("P0Y").unwrap().canonical(), "PT0S");
+        assert_eq!(Duration::parse("P13M").unwrap().canonical(), "P1Y1M");
+        assert_eq!(Duration::parse("PT90M").unwrap().canonical(), "PT1H30M");
+        assert_eq!(Duration::parse("-P1DT0.25S").unwrap().canonical(), "-P1DT0.25S");
+    }
+
+    #[test]
+    fn duration_partial_order() {
+        let a = Duration::parse("P1M").unwrap();
+        let b = Duration::parse("P30D").unwrap();
+        assert_eq!(a.partial_cmp_xsd(&b), None); // classic incomparable pair
+        let c = Duration::parse("P2M").unwrap();
+        assert_eq!(a.partial_cmp_xsd(&c), Some(Ordering::Less));
+        let d = Duration::parse("P1M1D").unwrap();
+        assert_eq!(a.partial_cmp_xsd(&d), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn hour_24_only_at_exact_midnight() {
+        assert!(DateTime::parse("2004-07-15T24:00:00", DateTimeKind::DateTime).is_ok());
+        assert!(DateTime::parse("2004-07-15T24:00:01", DateTimeKind::DateTime).is_err());
+    }
+}

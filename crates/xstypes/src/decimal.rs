@@ -1,0 +1,296 @@
+//! A fixed-point decimal number, the value space of `xs:decimal`.
+//!
+//! XML Schema decimals are arbitrary-precision in principle; this
+//! implementation holds an `i128` coefficient and a decimal scale, which
+//! covers 38 significant digits — far beyond the 18 digits `totalDigits`
+//! guarantees portable processors must support (XSD Part 2, §5.4).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// A decimal number `coefficient × 10^(−scale)`, normalized so that the
+/// coefficient has no trailing zeros (unless the value is zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decimal {
+    coefficient: i128,
+    scale: u8,
+}
+
+/// Error parsing or constructing a [`Decimal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecimalError {
+    /// Not a valid decimal lexical form.
+    Lexical(String),
+    /// More significant digits than the implementation can hold.
+    Overflow(String),
+}
+
+impl fmt::Display for DecimalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecimalError::Lexical(s) => write!(f, "{s:?} is not a valid xs:decimal"),
+            DecimalError::Overflow(s) => write!(f, "decimal {s:?} exceeds 38 digits"),
+        }
+    }
+}
+
+impl std::error::Error for DecimalError {}
+
+impl Decimal {
+    /// Zero.
+    pub const ZERO: Decimal = Decimal { coefficient: 0, scale: 0 };
+    /// One.
+    pub const ONE: Decimal = Decimal { coefficient: 1, scale: 0 };
+
+    /// Build from an integer.
+    pub fn from_i128(v: i128) -> Self {
+        Decimal { coefficient: v, scale: 0 }.normalized()
+    }
+
+    /// Build from a coefficient and scale: `coefficient × 10^(−scale)`.
+    pub fn from_parts(coefficient: i128, scale: u8) -> Self {
+        Decimal { coefficient, scale }.normalized()
+    }
+
+    fn normalized(mut self) -> Self {
+        while self.scale > 0 && self.coefficient % 10 == 0 {
+            self.coefficient /= 10;
+            self.scale -= 1;
+        }
+        if self.coefficient == 0 {
+            self.scale = 0;
+        }
+        self
+    }
+
+    /// True when the value is an integer (scale zero after normalization).
+    pub fn is_integer(&self) -> bool {
+        self.scale == 0
+    }
+
+    /// The value as `i128` if it is an integer.
+    pub fn as_i128(&self) -> Option<i128> {
+        self.is_integer().then_some(self.coefficient)
+    }
+
+    /// The value as `f64` (may lose precision; used for float promotion).
+    pub fn to_f64(&self) -> f64 {
+        self.coefficient as f64 / 10f64.powi(self.scale as i32)
+    }
+
+    /// Number of significant decimal digits (`totalDigits` facet).
+    pub fn total_digits(&self) -> u32 {
+        let mut c = self.coefficient.unsigned_abs();
+        if c == 0 {
+            return 1;
+        }
+        let mut digits = 0;
+        while c > 0 {
+            c /= 10;
+            digits += 1;
+        }
+        digits
+    }
+
+    /// Number of fractional digits (`fractionDigits` facet).
+    pub fn fraction_digits(&self) -> u32 {
+        self.scale as u32
+    }
+
+    /// True when negative.
+    pub fn is_negative(&self) -> bool {
+        self.coefficient < 0
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, other: Decimal) -> Option<Decimal> {
+        let (a, b, scale) = Self::align(self, other)?;
+        Some(Decimal { coefficient: a.checked_add(b)?, scale }.normalized())
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, other: Decimal) -> Option<Decimal> {
+        let (a, b, scale) = Self::align(self, other)?;
+        Some(Decimal { coefficient: a.checked_sub(b)?, scale }.normalized())
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> Decimal {
+        Decimal { coefficient: -self.coefficient, scale: self.scale }
+    }
+
+    fn align(a: Decimal, b: Decimal) -> Option<(i128, i128, u8)> {
+        let scale = a.scale.max(b.scale);
+        let ac = a.coefficient.checked_mul(10i128.checked_pow((scale - a.scale) as u32)?)?;
+        let bc = b.coefficient.checked_mul(10i128.checked_pow((scale - b.scale) as u32)?)?;
+        Some((ac, bc, scale))
+    }
+}
+
+impl PartialOrd for Decimal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Decimal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match Self::align(*self, *other) {
+            Some((a, b, _)) => a.cmp(&b),
+            // Alignment overflow: compare via sign, then magnitude order.
+            None => {
+                let sa = self.coefficient.signum();
+                let sb = other.coefficient.signum();
+                if sa != sb {
+                    return sa.cmp(&sb);
+                }
+                // Same sign; compare as f64 (adequate for pathological cases).
+                self.to_f64().partial_cmp(&other.to_f64()).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+}
+
+impl FromStr for Decimal {
+    type Err = DecimalError;
+
+    /// Parse the XSD lexical form: optional sign, digits, optional
+    /// fraction. No exponent (that is `xs:float`/`xs:double`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lex = || DecimalError::Lexical(s.to_string());
+        let body = s.trim();
+        if body.is_empty() {
+            return Err(lex());
+        }
+        let (negative, body) = match body.as_bytes()[0] {
+            b'+' => (false, &body[1..]),
+            b'-' => (true, &body[1..]),
+            _ => (false, body),
+        };
+        let (int_part, frac_part) = match body.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (body, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return Err(lex());
+        }
+        if !int_part.bytes().all(|b| b.is_ascii_digit())
+            || !frac_part.bytes().all(|b| b.is_ascii_digit())
+        {
+            return Err(lex());
+        }
+        // Strip trailing zeros of the fraction before scaling.
+        let frac_trimmed = frac_part.trim_end_matches('0');
+        if frac_trimmed.len() > u8::MAX as usize {
+            return Err(DecimalError::Overflow(s.to_string()));
+        }
+        let mut coefficient: i128 = 0;
+        for b in int_part.bytes().chain(frac_trimmed.bytes()) {
+            coefficient = coefficient
+                .checked_mul(10)
+                .and_then(|c| c.checked_add((b - b'0') as i128))
+                .ok_or_else(|| DecimalError::Overflow(s.to_string()))?;
+        }
+        if negative {
+            coefficient = -coefficient;
+        }
+        Ok(Decimal { coefficient, scale: frac_trimmed.len() as u8 }.normalized())
+    }
+}
+
+impl fmt::Display for Decimal {
+    /// The XSD *canonical* form: no leading `+`, no leading zeros, a
+    /// fraction only when nonzero.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scale == 0 {
+            return write!(f, "{}", self.coefficient);
+        }
+        let negative = self.coefficient < 0;
+        let digits = self.coefficient.unsigned_abs().to_string();
+        let scale = self.scale as usize;
+        if negative {
+            f.write_str("-")?;
+        }
+        if digits.len() > scale {
+            let (int_part, frac_part) = digits.split_at(digits.len() - scale);
+            write!(f, "{int_part}.{frac_part}")
+        } else {
+            write!(f, "0.{}{}", "0".repeat(scale - digits.len()), digits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Decimal {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_canonical_forms() {
+        assert_eq!(d("3.14").to_string(), "3.14");
+        assert_eq!(d("+003.1400").to_string(), "3.14");
+        assert_eq!(d("-0.5").to_string(), "-0.5");
+        assert_eq!(d("42").to_string(), "42");
+        assert_eq!(d(".5").to_string(), "0.5");
+        assert_eq!(d("5.").to_string(), "5");
+        assert_eq!(d("0.000").to_string(), "0");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "+", ".", "1.2.3", "1e5", "abc", "--1", "1 2"] {
+            assert!(bad.parse::<Decimal>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn equality_ignores_lexical_representation() {
+        assert_eq!(d("1.0"), d("1"));
+        assert_eq!(d("0.10"), d(".1"));
+        assert_eq!(d("-0"), d("0"));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(d("1.5") < d("1.50001"));
+        assert!(d("-2") < d("-1.999"));
+        assert!(d("10") > d("9.999999"));
+        assert!(d("0.3") > d("0.29"));
+    }
+
+    #[test]
+    fn digit_counting_facets() {
+        assert_eq!(d("123.45").total_digits(), 5);
+        assert_eq!(d("123.45").fraction_digits(), 2);
+        assert_eq!(d("0").total_digits(), 1);
+        assert_eq!(d("0.001").total_digits(), 1);
+        assert_eq!(d("0.001").fraction_digits(), 3);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(d("1.5").checked_add(d("2.25")).unwrap(), d("3.75"));
+        assert_eq!(d("1").checked_sub(d("0.999")).unwrap(), d("0.001"));
+        assert_eq!(d("5").neg(), d("-5"));
+    }
+
+    #[test]
+    fn integer_detection() {
+        assert!(d("5").is_integer());
+        assert!(d("5.0").is_integer());
+        assert!(!d("5.5").is_integer());
+        assert_eq!(d("-17").as_i128(), Some(-17));
+        assert_eq!(d("1.5").as_i128(), None);
+    }
+
+    #[test]
+    fn overflow_is_reported_not_wrapped() {
+        let huge = "9".repeat(50);
+        assert!(matches!(huge.parse::<Decimal>(), Err(DecimalError::Overflow(_))));
+    }
+}

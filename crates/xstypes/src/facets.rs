@@ -1,0 +1,260 @@
+//! Constraining facets (XSD Part 2 §4.3) applied during derivation by
+//! restriction.
+
+use std::fmt;
+
+use crate::regex::Regex;
+use crate::value::AtomicValue;
+use crate::whitespace::WhiteSpace;
+
+/// One constraining facet.
+#[derive(Debug, Clone)]
+pub enum Facet {
+    /// Exact length (characters for strings, octets for binary).
+    Length(u64),
+    /// Minimum length.
+    MinLength(u64),
+    /// Maximum length.
+    MaxLength(u64),
+    /// The value's (normalized) lexical form must match.
+    Pattern(Regex),
+    /// The value must equal one of these (value-space comparison).
+    Enumeration(Vec<AtomicValue>),
+    /// Whitespace handling override.
+    WhiteSpace(WhiteSpace),
+    /// Inclusive lower bound.
+    MinInclusive(AtomicValue),
+    /// Exclusive lower bound.
+    MinExclusive(AtomicValue),
+    /// Inclusive upper bound.
+    MaxInclusive(AtomicValue),
+    /// Exclusive upper bound.
+    MaxExclusive(AtomicValue),
+    /// Maximum number of significant decimal digits.
+    TotalDigits(u32),
+    /// Maximum number of fraction digits.
+    FractionDigits(u32),
+}
+
+impl Facet {
+    /// The facet name as spelled in schema documents.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Facet::Length(_) => "length",
+            Facet::MinLength(_) => "minLength",
+            Facet::MaxLength(_) => "maxLength",
+            Facet::Pattern(_) => "pattern",
+            Facet::Enumeration(_) => "enumeration",
+            Facet::WhiteSpace(_) => "whiteSpace",
+            Facet::MinInclusive(_) => "minInclusive",
+            Facet::MinExclusive(_) => "minExclusive",
+            Facet::MaxInclusive(_) => "maxInclusive",
+            Facet::MaxExclusive(_) => "maxExclusive",
+            Facet::TotalDigits(_) => "totalDigits",
+            Facet::FractionDigits(_) => "fractionDigits",
+        }
+    }
+}
+
+/// A facet the value failed to satisfy.
+#[derive(Debug, Clone)]
+pub struct FacetViolation {
+    /// The facet name.
+    pub facet: &'static str,
+    /// The offending (normalized) lexical form.
+    pub lexical: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for FacetViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value {:?} violates facet {}: {}", self.lexical, self.facet, self.detail)
+    }
+}
+
+impl std::error::Error for FacetViolation {}
+
+/// The length of a value for the length facets: characters for strings,
+/// octets for binary values. `None` for types where length is undefined.
+fn value_length(value: &AtomicValue) -> Option<u64> {
+    match value {
+        AtomicValue::String(s, _)
+        | AtomicValue::AnyUri(s)
+        | AtomicValue::Untyped(s)
+        | AtomicValue::QName(s)
+        | AtomicValue::Notation(s) => Some(s.chars().count() as u64),
+        AtomicValue::HexBinary(b) | AtomicValue::Base64Binary(b) => Some(b.len() as u64),
+        _ => None,
+    }
+}
+
+/// Check one facet against an atomic value and its normalized lexical form.
+pub fn check_facet(
+    facet: &Facet,
+    lexical: &str,
+    value: &AtomicValue,
+) -> Result<(), FacetViolation> {
+    let fail = |detail: String| FacetViolation {
+        facet: facet.name(),
+        lexical: lexical.to_string(),
+        detail,
+    };
+    match facet {
+        Facet::WhiteSpace(_) => Ok(()), // applied pre-parse, never fails
+        Facet::Length(n) => match value_length(value) {
+            Some(len) if len == *n => Ok(()),
+            Some(len) => Err(fail(format!("length {len} ≠ required {n}"))),
+            None => Ok(()),
+        },
+        Facet::MinLength(n) => match value_length(value) {
+            Some(len) if len >= *n => Ok(()),
+            Some(len) => Err(fail(format!("length {len} < minimum {n}"))),
+            None => Ok(()),
+        },
+        Facet::MaxLength(n) => match value_length(value) {
+            Some(len) if len <= *n => Ok(()),
+            Some(len) => Err(fail(format!("length {len} > maximum {n}"))),
+            None => Ok(()),
+        },
+        Facet::Pattern(re) => {
+            if re.is_match(lexical) {
+                Ok(())
+            } else {
+                Err(fail(format!("does not match pattern {:?}", re.pattern())))
+            }
+        }
+        Facet::Enumeration(allowed) => {
+            if allowed.iter().any(|a| a.eq_xsd(value)) {
+                Ok(())
+            } else {
+                let names: Vec<String> = allowed.iter().map(|a| a.canonical()).collect();
+                Err(fail(format!("not one of {{{}}}", names.join(", "))))
+            }
+        }
+        Facet::MinInclusive(bound) => {
+            match value.partial_cmp_xsd(bound) {
+                Some(std::cmp::Ordering::Less) | None => {
+                    Err(fail(format!("below minInclusive {}", bound.canonical())))
+                }
+                _ => Ok(()),
+            }
+        }
+        Facet::MinExclusive(bound) => match value.partial_cmp_xsd(bound) {
+            Some(std::cmp::Ordering::Greater) => Ok(()),
+            _ => Err(fail(format!("not above minExclusive {}", bound.canonical()))),
+        },
+        Facet::MaxInclusive(bound) => match value.partial_cmp_xsd(bound) {
+            Some(std::cmp::Ordering::Greater) | None => {
+                Err(fail(format!("above maxInclusive {}", bound.canonical())))
+            }
+            _ => Ok(()),
+        },
+        Facet::MaxExclusive(bound) => match value.partial_cmp_xsd(bound) {
+            Some(std::cmp::Ordering::Less) => Ok(()),
+            _ => Err(fail(format!("not below maxExclusive {}", bound.canonical()))),
+        },
+        Facet::TotalDigits(n) => match value.as_decimal() {
+            Some(d) if d.total_digits() <= *n => Ok(()),
+            Some(d) => Err(fail(format!("{} digits > totalDigits {n}", d.total_digits()))),
+            None => Ok(()),
+        },
+        Facet::FractionDigits(n) => match value.as_decimal() {
+            Some(d) if d.fraction_digits() <= *n => Ok(()),
+            Some(d) => {
+                Err(fail(format!("{} fraction digits > fractionDigits {n}", d.fraction_digits())))
+            }
+            None => Ok(()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::{Builtin, Primitive};
+
+    fn dec(s: &str) -> AtomicValue {
+        AtomicValue::parse_primitive(s, Primitive::Decimal).unwrap()
+    }
+
+    fn string(s: &str) -> AtomicValue {
+        AtomicValue::parse_primitive(s, Primitive::String).unwrap()
+    }
+
+    #[test]
+    fn length_facets_on_strings() {
+        let v = string("hello");
+        assert!(check_facet(&Facet::Length(5), "hello", &v).is_ok());
+        assert!(check_facet(&Facet::Length(4), "hello", &v).is_err());
+        assert!(check_facet(&Facet::MinLength(5), "hello", &v).is_ok());
+        assert!(check_facet(&Facet::MinLength(6), "hello", &v).is_err());
+        assert!(check_facet(&Facet::MaxLength(5), "hello", &v).is_ok());
+        assert!(check_facet(&Facet::MaxLength(4), "hello", &v).is_err());
+    }
+
+    #[test]
+    fn length_counts_characters_not_bytes() {
+        let v = string("éé");
+        assert!(check_facet(&Facet::Length(2), "éé", &v).is_ok());
+    }
+
+    #[test]
+    fn length_counts_octets_for_binary() {
+        let v = AtomicValue::parse_primitive("00FF", Primitive::HexBinary).unwrap();
+        assert!(check_facet(&Facet::Length(2), "00FF", &v).is_ok());
+    }
+
+    #[test]
+    fn range_facets_on_decimals() {
+        let five = dec("5");
+        assert!(check_facet(&Facet::MinInclusive(dec("5")), "5", &five).is_ok());
+        assert!(check_facet(&Facet::MinExclusive(dec("5")), "5", &five).is_err());
+        assert!(check_facet(&Facet::MaxInclusive(dec("5")), "5", &five).is_ok());
+        assert!(check_facet(&Facet::MaxExclusive(dec("5")), "5", &five).is_err());
+        assert!(check_facet(&Facet::MinInclusive(dec("4.9")), "5", &five).is_ok());
+        assert!(check_facet(&Facet::MaxInclusive(dec("4.9")), "5", &five).is_err());
+    }
+
+    #[test]
+    fn digit_facets() {
+        let v = dec("123.45");
+        assert!(check_facet(&Facet::TotalDigits(5), "123.45", &v).is_ok());
+        assert!(check_facet(&Facet::TotalDigits(4), "123.45", &v).is_err());
+        assert!(check_facet(&Facet::FractionDigits(2), "123.45", &v).is_ok());
+        assert!(check_facet(&Facet::FractionDigits(1), "123.45", &v).is_err());
+    }
+
+    #[test]
+    fn pattern_facet() {
+        let re = Regex::compile(r"\d{3}").unwrap();
+        let v = string("123");
+        assert!(check_facet(&Facet::Pattern(re.clone()), "123", &v).is_ok());
+        assert!(check_facet(&Facet::Pattern(re), "12a", &string("12a")).is_err());
+    }
+
+    #[test]
+    fn enumeration_compares_in_value_space() {
+        let allowed = vec![dec("1.0"), dec("2.0")];
+        assert!(check_facet(&Facet::Enumeration(allowed.clone()), "1", &dec("1")).is_ok());
+        assert!(check_facet(&Facet::Enumeration(allowed), "3", &dec("3")).is_err());
+    }
+
+    #[test]
+    fn range_facet_on_dates() {
+        let lo = AtomicValue::parse_builtin("2000-01-01", Builtin::Primitive(Primitive::Date))
+            .unwrap();
+        let v = AtomicValue::parse_builtin("2004-06-15", Builtin::Primitive(Primitive::Date))
+            .unwrap();
+        assert!(check_facet(&Facet::MinInclusive(lo.clone()), "2004-06-15", &v).is_ok());
+        assert!(check_facet(&Facet::MaxExclusive(lo), "2004-06-15", &v).is_err());
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let err = check_facet(&Facet::MaxLength(2), "abc", &string("abc")).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("maxLength"));
+        assert!(msg.contains("abc"));
+    }
+}

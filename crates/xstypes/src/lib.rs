@@ -1,0 +1,61 @@
+//! The simple type system of XML Schema Part 2 — the "Basic types" of the
+//! paper's Section 4.
+//!
+//! The crate provides, all implemented from scratch:
+//!
+//! * the built-in type hierarchy ([`Builtin`], [`Primitive`]) rooted at
+//!   `xs:anyType` with `xs:anySimpleType`, `xdt:anyAtomicType` and
+//!   `xdt:untypedAtomic` on its spine,
+//! * the value spaces: [`Decimal`], [`DateTime`]/[`Duration`], binary
+//!   codecs, floats with XSD lexical rules,
+//! * typed values ([`AtomicValue`]) with value-space equality and the XSD
+//!   partial orders,
+//! * constraining facets ([`Facet`]) including an XSD regular-expression
+//!   engine ([`Regex`]) for the `pattern` facet,
+//! * derivation by restriction, list and union types ([`SimpleType`]),
+//! * a [`TypeRegistry`] of named types.
+//!
+//! # Example
+//!
+//! ```
+//! use xstypes::{AtomicValue, Builtin, Facet, SimpleType, TypeRegistry};
+//!
+//! // The built-ins are predefined…
+//! let reg = TypeRegistry::with_builtins();
+//! let decimal = reg.get("xsd:decimal").unwrap();
+//! let vs = decimal.validate(" 3.140 ").unwrap();
+//! assert_eq!(vs[0].canonical(), "3.14");
+//!
+//! // …and user types derive from them by restriction.
+//! let price = SimpleType::restriction(
+//!     Some("Price".into()),
+//!     decimal,
+//!     vec![Facet::MinInclusive(AtomicValue::parse_builtin("0", Builtin::Integer).unwrap())],
+//! );
+//! assert!(price.validate("19.99").is_ok());
+//! assert!(price.validate("-1").is_err());
+//! ```
+
+#![warn(missing_docs)]
+
+mod binary;
+mod datetime;
+mod decimal;
+mod facets;
+mod name;
+mod regex;
+mod registry;
+mod simple;
+mod value;
+mod whitespace;
+
+pub use binary::{decode_base64, decode_hex, encode_base64, encode_hex, BinaryError};
+pub use datetime::{DateTime, DateTimeError, DateTimeKind, Duration, Timezone};
+pub use decimal::{Decimal, DecimalError};
+pub use facets::{check_facet, Facet, FacetViolation};
+pub use name::{Builtin, Primitive};
+pub use regex::{Regex, RegexError};
+pub use registry::TypeRegistry;
+pub use simple::{SimpleType, SimpleTypeError, Variety};
+pub use value::{builtin_whitespace, AtomicValue, ValueError};
+pub use whitespace::WhiteSpace;

@@ -1,0 +1,413 @@
+//! The built-in type hierarchy of XML Schema (paper §4).
+//!
+//! Simple types form a hierarchy resembling that of object-oriented
+//! languages: `xs:anyType` at the top, `xs:anySimpleType` below it,
+//! `xdt:anyAtomicType` as the base of the primitive atomic types, with
+//! `xdt:untypedAtomic` as its subtype. The 19 primitives of XSD Part 2 and
+//! the 25 built-in derived types hang off this spine.
+
+use std::fmt;
+
+/// The nineteen primitive types of XML Schema Part 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// `xs:string`
+    String,
+    /// `xs:boolean`
+    Boolean,
+    /// `xs:decimal`
+    Decimal,
+    /// `xs:float`
+    Float,
+    /// `xs:double`
+    Double,
+    /// `xs:duration`
+    Duration,
+    /// `xs:dateTime`
+    DateTime,
+    /// `xs:time`
+    Time,
+    /// `xs:date`
+    Date,
+    /// `xs:gYearMonth`
+    GYearMonth,
+    /// `xs:gYear`
+    GYear,
+    /// `xs:gMonthDay`
+    GMonthDay,
+    /// `xs:gDay`
+    GDay,
+    /// `xs:gMonth`
+    GMonth,
+    /// `xs:hexBinary`
+    HexBinary,
+    /// `xs:base64Binary`
+    Base64Binary,
+    /// `xs:anyURI`
+    AnyUri,
+    /// `xs:QName`
+    QName,
+    /// `xs:NOTATION`
+    Notation,
+}
+
+impl Primitive {
+    /// All primitives, in the order listed by XSD Part 2.
+    pub const ALL: [Primitive; 19] = [
+        Primitive::String,
+        Primitive::Boolean,
+        Primitive::Decimal,
+        Primitive::Float,
+        Primitive::Double,
+        Primitive::Duration,
+        Primitive::DateTime,
+        Primitive::Time,
+        Primitive::Date,
+        Primitive::GYearMonth,
+        Primitive::GYear,
+        Primitive::GMonthDay,
+        Primitive::GDay,
+        Primitive::GMonth,
+        Primitive::HexBinary,
+        Primitive::Base64Binary,
+        Primitive::AnyUri,
+        Primitive::QName,
+        Primitive::Notation,
+    ];
+
+    /// The qualified name, e.g. `xs:string`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Primitive::String => "xs:string",
+            Primitive::Boolean => "xs:boolean",
+            Primitive::Decimal => "xs:decimal",
+            Primitive::Float => "xs:float",
+            Primitive::Double => "xs:double",
+            Primitive::Duration => "xs:duration",
+            Primitive::DateTime => "xs:dateTime",
+            Primitive::Time => "xs:time",
+            Primitive::Date => "xs:date",
+            Primitive::GYearMonth => "xs:gYearMonth",
+            Primitive::GYear => "xs:gYear",
+            Primitive::GMonthDay => "xs:gMonthDay",
+            Primitive::GDay => "xs:gDay",
+            Primitive::GMonth => "xs:gMonth",
+            Primitive::HexBinary => "xs:hexBinary",
+            Primitive::Base64Binary => "xs:base64Binary",
+            Primitive::AnyUri => "xs:anyURI",
+            Primitive::QName => "xs:QName",
+            Primitive::Notation => "xs:NOTATION",
+        }
+    }
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Every built-in type: the three abstract spine types, `xdt:untypedAtomic`,
+/// the 19 primitives, and the built-in derived types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    // Spine.
+    /// `xs:anyType` — the base of all types (including complex types).
+    AnyType,
+    /// `xs:anySimpleType` — the base of all simple types.
+    AnySimpleType,
+    /// `xdt:anyAtomicType` — the base of all atomic types.
+    AnyAtomicType,
+    /// `xdt:untypedAtomic` — atomic values from schema-less data.
+    UntypedAtomic,
+    /// A primitive type.
+    Primitive(Primitive),
+    // String-derived.
+    /// `xs:normalizedString`
+    NormalizedString,
+    /// `xs:token`
+    Token,
+    /// `xs:language`
+    Language,
+    /// `xs:NMTOKEN`
+    NmToken,
+    /// `xs:Name`
+    Name,
+    /// `xs:NCName`
+    NcName,
+    /// `xs:ID`
+    Id,
+    /// `xs:IDREF`
+    IdRef,
+    /// `xs:ENTITY`
+    Entity,
+    // Decimal-derived integer chain.
+    /// `xs:integer`
+    Integer,
+    /// `xs:nonPositiveInteger`
+    NonPositiveInteger,
+    /// `xs:negativeInteger`
+    NegativeInteger,
+    /// `xs:long`
+    Long,
+    /// `xs:int`
+    Int,
+    /// `xs:short`
+    Short,
+    /// `xs:byte`
+    Byte,
+    /// `xs:nonNegativeInteger`
+    NonNegativeInteger,
+    /// `xs:unsignedLong`
+    UnsignedLong,
+    /// `xs:unsignedInt`
+    UnsignedInt,
+    /// `xs:unsignedShort`
+    UnsignedShort,
+    /// `xs:unsignedByte`
+    UnsignedByte,
+    /// `xs:positiveInteger`
+    PositiveInteger,
+}
+
+impl Builtin {
+    /// Every built-in type.
+    pub const ALL: [Builtin; 45] = [
+        Builtin::AnyType,
+        Builtin::AnySimpleType,
+        Builtin::AnyAtomicType,
+        Builtin::UntypedAtomic,
+        Builtin::Primitive(Primitive::String),
+        Builtin::Primitive(Primitive::Boolean),
+        Builtin::Primitive(Primitive::Decimal),
+        Builtin::Primitive(Primitive::Float),
+        Builtin::Primitive(Primitive::Double),
+        Builtin::Primitive(Primitive::Duration),
+        Builtin::Primitive(Primitive::DateTime),
+        Builtin::Primitive(Primitive::Time),
+        Builtin::Primitive(Primitive::Date),
+        Builtin::Primitive(Primitive::GYearMonth),
+        Builtin::Primitive(Primitive::GYear),
+        Builtin::Primitive(Primitive::GMonthDay),
+        Builtin::Primitive(Primitive::GDay),
+        Builtin::Primitive(Primitive::GMonth),
+        Builtin::Primitive(Primitive::HexBinary),
+        Builtin::Primitive(Primitive::Base64Binary),
+        Builtin::Primitive(Primitive::AnyUri),
+        Builtin::Primitive(Primitive::QName),
+        Builtin::Primitive(Primitive::Notation),
+        Builtin::NormalizedString,
+        Builtin::Token,
+        Builtin::Language,
+        Builtin::NmToken,
+        Builtin::Name,
+        Builtin::NcName,
+        Builtin::Id,
+        Builtin::IdRef,
+        Builtin::Entity,
+        Builtin::Integer,
+        Builtin::NonPositiveInteger,
+        Builtin::NegativeInteger,
+        Builtin::Long,
+        Builtin::Int,
+        Builtin::Short,
+        Builtin::Byte,
+        Builtin::NonNegativeInteger,
+        Builtin::UnsignedLong,
+        Builtin::UnsignedInt,
+        Builtin::UnsignedShort,
+        Builtin::UnsignedByte,
+        Builtin::PositiveInteger,
+    ];
+
+    /// The qualified name in the conventional `xs:`/`xdt:` prefixes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::AnyType => "xs:anyType",
+            Builtin::AnySimpleType => "xs:anySimpleType",
+            Builtin::AnyAtomicType => "xdt:anyAtomicType",
+            Builtin::UntypedAtomic => "xdt:untypedAtomic",
+            Builtin::Primitive(p) => p.name(),
+            Builtin::NormalizedString => "xs:normalizedString",
+            Builtin::Token => "xs:token",
+            Builtin::Language => "xs:language",
+            Builtin::NmToken => "xs:NMTOKEN",
+            Builtin::Name => "xs:Name",
+            Builtin::NcName => "xs:NCName",
+            Builtin::Id => "xs:ID",
+            Builtin::IdRef => "xs:IDREF",
+            Builtin::Entity => "xs:ENTITY",
+            Builtin::Integer => "xs:integer",
+            Builtin::NonPositiveInteger => "xs:nonPositiveInteger",
+            Builtin::NegativeInteger => "xs:negativeInteger",
+            Builtin::Long => "xs:long",
+            Builtin::Int => "xs:int",
+            Builtin::Short => "xs:short",
+            Builtin::Byte => "xs:byte",
+            Builtin::NonNegativeInteger => "xs:nonNegativeInteger",
+            Builtin::UnsignedLong => "xs:unsignedLong",
+            Builtin::UnsignedInt => "xs:unsignedInt",
+            Builtin::UnsignedShort => "xs:unsignedShort",
+            Builtin::UnsignedByte => "xs:unsignedByte",
+            Builtin::PositiveInteger => "xs:positiveInteger",
+        }
+    }
+
+    /// The immediate base type (`None` only for `xs:anyType`).
+    pub fn base(self) -> Option<Builtin> {
+        Some(match self {
+            Builtin::AnyType => return None,
+            Builtin::AnySimpleType => Builtin::AnyType,
+            Builtin::AnyAtomicType => Builtin::AnySimpleType,
+            Builtin::UntypedAtomic => Builtin::AnyAtomicType,
+            Builtin::Primitive(_) => Builtin::AnyAtomicType,
+            Builtin::NormalizedString => Builtin::Primitive(Primitive::String),
+            Builtin::Token => Builtin::NormalizedString,
+            Builtin::Language | Builtin::NmToken | Builtin::Name => Builtin::Token,
+            Builtin::NcName => Builtin::Name,
+            Builtin::Id | Builtin::IdRef | Builtin::Entity => Builtin::NcName,
+            Builtin::Integer => Builtin::Primitive(Primitive::Decimal),
+            Builtin::NonPositiveInteger | Builtin::Long | Builtin::NonNegativeInteger => {
+                Builtin::Integer
+            }
+            Builtin::NegativeInteger => Builtin::NonPositiveInteger,
+            Builtin::Int => Builtin::Long,
+            Builtin::Short => Builtin::Int,
+            Builtin::Byte => Builtin::Short,
+            Builtin::UnsignedLong | Builtin::PositiveInteger => Builtin::NonNegativeInteger,
+            Builtin::UnsignedInt => Builtin::UnsignedLong,
+            Builtin::UnsignedShort => Builtin::UnsignedInt,
+            Builtin::UnsignedByte => Builtin::UnsignedShort,
+        })
+    }
+
+    /// The primitive this type restricts, walking the derivation chain.
+    /// `None` for the spine types.
+    pub fn primitive(self) -> Option<Primitive> {
+        match self {
+            Builtin::Primitive(p) => Some(p),
+            other => other.base()?.primitive(),
+        }
+    }
+
+    /// Reflexive-transitive derivation check: is `self` derived from
+    /// `ancestor` (or equal to it)?
+    pub fn derives_from(self, ancestor: Builtin) -> bool {
+        if self == ancestor {
+            return true;
+        }
+        match self.base() {
+            Some(b) => b.derives_from(ancestor),
+            None => false,
+        }
+    }
+
+    /// Look up a built-in by name. Accepts `xs:`, `xsd:`, `xdt:`, or no
+    /// prefix, so schema documents with any conventional binding resolve.
+    pub fn by_name(name: &str) -> Option<Builtin> {
+        let local = name
+            .strip_prefix("xs:")
+            .or_else(|| name.strip_prefix("xsd:"))
+            .or_else(|| name.strip_prefix("xdt:"))
+            .unwrap_or(name);
+        Builtin::ALL.iter().copied().find(|b| {
+            let n = b.name();
+            let n_local = &n[n.find(':').map(|i| i + 1).unwrap_or(0)..];
+            n_local == local
+        })
+    }
+
+    /// True for the integer chain (used for range checks).
+    pub fn integer_bounds(self) -> Option<(Option<i128>, Option<i128>)> {
+        Some(match self {
+            Builtin::Integer => (None, None),
+            Builtin::NonPositiveInteger => (None, Some(0)),
+            Builtin::NegativeInteger => (None, Some(-1)),
+            Builtin::Long => (Some(i64::MIN as i128), Some(i64::MAX as i128)),
+            Builtin::Int => (Some(i32::MIN as i128), Some(i32::MAX as i128)),
+            Builtin::Short => (Some(i16::MIN as i128), Some(i16::MAX as i128)),
+            Builtin::Byte => (Some(i8::MIN as i128), Some(i8::MAX as i128)),
+            Builtin::NonNegativeInteger => (Some(0), None),
+            Builtin::UnsignedLong => (Some(0), Some(u64::MAX as i128)),
+            Builtin::UnsignedInt => (Some(0), Some(u32::MAX as i128)),
+            Builtin::UnsignedShort => (Some(0), Some(u16::MAX as i128)),
+            Builtin::UnsignedByte => (Some(0), Some(u8::MAX as i128)),
+            Builtin::PositiveInteger => (Some(1), None),
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_spine() {
+        assert_eq!(Builtin::AnyType.base(), None);
+        assert_eq!(Builtin::AnySimpleType.base(), Some(Builtin::AnyType));
+        assert_eq!(Builtin::AnyAtomicType.base(), Some(Builtin::AnySimpleType));
+        assert_eq!(Builtin::UntypedAtomic.base(), Some(Builtin::AnyAtomicType));
+    }
+
+    #[test]
+    fn every_type_reaches_any_type() {
+        for b in Builtin::ALL {
+            assert!(b.derives_from(Builtin::AnyType), "{b}");
+        }
+    }
+
+    #[test]
+    fn primitives_sit_under_any_atomic_type() {
+        for p in Primitive::ALL {
+            assert_eq!(Builtin::Primitive(p).base(), Some(Builtin::AnyAtomicType));
+        }
+    }
+
+    #[test]
+    fn string_chain() {
+        assert!(Builtin::Id.derives_from(Builtin::NcName));
+        assert!(Builtin::Id.derives_from(Builtin::Token));
+        assert!(Builtin::Id.derives_from(Builtin::Primitive(Primitive::String)));
+        assert!(!Builtin::Id.derives_from(Builtin::Primitive(Primitive::Decimal)));
+        assert_eq!(Builtin::Token.primitive(), Some(Primitive::String));
+    }
+
+    #[test]
+    fn integer_chain() {
+        assert!(Builtin::Byte.derives_from(Builtin::Integer));
+        assert!(Builtin::UnsignedByte.derives_from(Builtin::NonNegativeInteger));
+        assert_eq!(Builtin::Byte.primitive(), Some(Primitive::Decimal));
+        assert!(!Builtin::Long.derives_from(Builtin::NonNegativeInteger));
+    }
+
+    #[test]
+    fn lookup_accepts_common_prefixes() {
+        assert_eq!(Builtin::by_name("xs:string"), Some(Builtin::Primitive(Primitive::String)));
+        assert_eq!(Builtin::by_name("xsd:string"), Some(Builtin::Primitive(Primitive::String)));
+        assert_eq!(Builtin::by_name("string"), Some(Builtin::Primitive(Primitive::String)));
+        assert_eq!(Builtin::by_name("xdt:untypedAtomic"), Some(Builtin::UntypedAtomic));
+        assert_eq!(Builtin::by_name("xsd:unsignedShort"), Some(Builtin::UnsignedShort));
+        assert_eq!(Builtin::by_name("xs:nosuch"), None);
+    }
+
+    #[test]
+    fn all_names_round_trip_through_lookup() {
+        for b in Builtin::ALL {
+            assert_eq!(Builtin::by_name(b.name()), Some(b), "{b}");
+        }
+    }
+
+    #[test]
+    fn integer_bounds_match_rust_widths() {
+        assert_eq!(Builtin::Byte.integer_bounds(), Some((Some(-128), Some(127))));
+        assert_eq!(Builtin::UnsignedByte.integer_bounds(), Some((Some(0), Some(255))));
+        assert_eq!(Builtin::Primitive(Primitive::String).integer_bounds(), None);
+    }
+}

@@ -1,0 +1,648 @@
+//! A regular-expression engine for the XSD `pattern` facet.
+//!
+//! XML Schema regular expressions (XSD Part 2, Appendix F) are implicitly
+//! anchored: a value matches when the *entire* value is in the language.
+//! This engine supports the commonly used subset:
+//!
+//! * literals, `.` (any char except newline per XSD),
+//! * escapes: `\n \r \t \\ \| \. \- \^ \? \* \+ \{ \} \( \) \[ \]`,
+//! * character-class escapes `\d \D \w \W \s \S`,
+//! * character classes `[abc]`, ranges `[a-z]`, negation `[^…]`,
+//!   class escapes inside classes,
+//! * quantifiers `?`, `*`, `+`, `{n}`, `{n,}`, `{n,m}`,
+//! * grouping `(…)` and alternation `|`.
+//!
+//! Compilation is a Thompson construction; matching is NFA simulation in
+//! `O(states × input)` with no backtracking, so pathological patterns
+//! cannot blow up.
+
+use std::fmt;
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    program: Vec<Inst>,
+}
+
+/// Error compiling a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// The pattern source.
+    pub pattern: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pattern {:?}: {}", self.pattern, self.reason)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// One matchable unit.
+#[derive(Debug, Clone, PartialEq)]
+enum CharSet {
+    /// A single literal character.
+    Literal(char),
+    /// Any character except `\n` and `\r` (XSD `.`).
+    Dot,
+    /// A (possibly negated) union of ranges and class escapes.
+    Class { negated: bool, items: Vec<ClassItem> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ClassItem {
+    Char(char),
+    Range(char, char),
+    Digit(bool),  // \d (true) or \D (false)
+    Word(bool),   // \w / \W
+    Space(bool),  // \s / \S
+}
+
+impl CharSet {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            CharSet::Literal(l) => c == *l,
+            CharSet::Dot => c != '\n' && c != '\r',
+            CharSet::Class { negated, items } => {
+                let hit = items.iter().any(|item| item.matches(c));
+                hit != *negated
+            }
+        }
+    }
+}
+
+impl ClassItem {
+    fn matches(self, c: char) -> bool {
+        match self {
+            ClassItem::Char(l) => c == l,
+            ClassItem::Range(lo, hi) => (lo..=hi).contains(&c),
+            ClassItem::Digit(pos) => c.is_ascii_digit() == pos,
+            // XSD \w is "all minus punctuation/separator/other"; the usual
+            // practical reading (alphanumerics, marks, underscore) is used.
+            ClassItem::Word(pos) => (c.is_alphanumeric() || c == '_') == pos,
+            ClassItem::Space(pos) => matches!(c, ' ' | '\t' | '\n' | '\r') == pos,
+        }
+    }
+}
+
+/// NFA instructions (Thompson style).
+#[derive(Debug, Clone)]
+enum Inst {
+    Char(CharSet),
+    Split(usize, usize),
+    Jump(usize),
+    Match,
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+/// Pattern AST.
+#[derive(Debug)]
+enum Ast {
+    Empty,
+    Char(CharSet),
+    Concat(Vec<Ast>),
+    Alternate(Vec<Ast>),
+    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, reason: impl Into<String>) -> RegexError {
+        RegexError { pattern: self.pattern.to_string(), reason: reason.into() }
+    }
+
+    fn parse_alternation(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Ast::Alternate(branches) })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, RegexError> {
+        let mut parts = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().unwrap(),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, RegexError> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                (0, Some(1))
+            }
+            Some('*') => {
+                self.chars.next();
+                (0, None)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, None)
+            }
+            Some('{') => {
+                self.chars.next();
+                self.parse_bounds()?
+            }
+            _ => return Ok(atom),
+        };
+        if let Some(m) = max {
+            if m < min {
+                return Err(self.error("quantifier max below min"));
+            }
+        }
+        Ok(Ast::Repeat { node: Box::new(atom), min, max })
+    }
+
+    fn parse_bounds(&mut self) -> Result<(u32, Option<u32>), RegexError> {
+        let mut min_text = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                min_text.push(c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        if min_text.is_empty() {
+            return Err(self.error("expected digits in {n,m}"));
+        }
+        let min: u32 =
+            min_text.parse().map_err(|_| self.error("quantifier bound too large"))?;
+        match self.chars.next() {
+            Some('}') => Ok((min, Some(min))),
+            Some(',') => {
+                let mut max_text = String::new();
+                while let Some(&c) = self.chars.peek() {
+                    if c.is_ascii_digit() {
+                        max_text.push(c);
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if self.chars.next() != Some('}') {
+                    return Err(self.error("unterminated {n,m}"));
+                }
+                if max_text.is_empty() {
+                    Ok((min, None))
+                } else {
+                    let max =
+                        max_text.parse().map_err(|_| self.error("quantifier bound too large"))?;
+                    Ok((min, Some(max)))
+                }
+            }
+            _ => Err(self.error("unterminated {n,m}")),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, RegexError> {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alternation()?;
+                if self.chars.next() != Some(')') {
+                    return Err(self.error("unbalanced parenthesis"));
+                }
+                Ok(inner)
+            }
+            Some('[') => Ok(Ast::Char(self.parse_class()?)),
+            Some('.') => Ok(Ast::Char(CharSet::Dot)),
+            Some('\\') => Ok(Ast::Char(self.parse_escape()?)),
+            Some(c @ ('?' | '*' | '+' | '{')) => {
+                Err(self.error(format!("dangling quantifier {c:?}")))
+            }
+            Some(']') => Ok(Ast::Char(CharSet::Literal(']'))),
+            Some('}') => Ok(Ast::Char(CharSet::Literal('}'))),
+            Some(c) => Ok(Ast::Char(CharSet::Literal(c))),
+            None => Err(self.error("unexpected end of pattern")),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<CharSet, RegexError> {
+        let c = self.chars.next().ok_or_else(|| self.error("trailing backslash"))?;
+        let item = match c {
+            'n' => return Ok(CharSet::Literal('\n')),
+            'r' => return Ok(CharSet::Literal('\r')),
+            't' => return Ok(CharSet::Literal('\t')),
+            'd' => ClassItem::Digit(true),
+            'D' => ClassItem::Digit(false),
+            'w' => ClassItem::Word(true),
+            'W' => ClassItem::Word(false),
+            's' => ClassItem::Space(true),
+            'S' => ClassItem::Space(false),
+            '\\' | '|' | '.' | '-' | '^' | '?' | '*' | '+' | '{' | '}' | '(' | ')' | '[' | ']' => {
+                return Ok(CharSet::Literal(c))
+            }
+            other => return Err(self.error(format!("unknown escape \\{other}"))),
+        };
+        Ok(CharSet::Class { negated: false, items: vec![item] })
+    }
+
+    fn parse_class(&mut self) -> Result<CharSet, RegexError> {
+        let negated = if self.chars.peek() == Some(&'^') {
+            self.chars.next();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            match self.chars.next() {
+                None => return Err(self.error("unterminated character class")),
+                Some(']') if !items.is_empty() || negated => break,
+                Some(']') => break, // empty class `[]` — matches nothing
+                Some('\\') => {
+                    let set = self.parse_escape()?;
+                    match set {
+                        CharSet::Literal(l) => {
+                            // Possible range like \--z? XSD forbids; treat as char.
+                            items.push(ClassItem::Char(l));
+                        }
+                        CharSet::Class { items: sub, .. } => items.extend(sub),
+                        CharSet::Dot => items.push(ClassItem::Char('.')),
+                    }
+                }
+                Some(c) => {
+                    if self.chars.peek() == Some(&'-') {
+                        // Lookahead: range or literal '-' before ']'.
+                        self.chars.next();
+                        match self.chars.peek() {
+                            Some(&']') => {
+                                items.push(ClassItem::Char(c));
+                                items.push(ClassItem::Char('-'));
+                            }
+                            Some(&'\\') | Some(_) => {
+                                let hi = match self.chars.next() {
+                                    Some('\\') => match self.parse_escape()? {
+                                        CharSet::Literal(l) => l,
+                                        _ => {
+                                            return Err(
+                                                self.error("class escape cannot end a range")
+                                            )
+                                        }
+                                    },
+                                    Some(h) => h,
+                                    None => {
+                                        return Err(self.error("unterminated character class"))
+                                    }
+                                };
+                                if hi < c {
+                                    return Err(self.error("reversed range in class"));
+                                }
+                                items.push(ClassItem::Range(c, hi));
+                            }
+                            None => return Err(self.error("unterminated character class")),
+                        }
+                    } else {
+                        items.push(ClassItem::Char(c));
+                    }
+                }
+            }
+        }
+        Ok(CharSet::Class { negated, items })
+    }
+}
+
+// ------------------------------------------------------------- compiler
+
+/// Hard cap on compiled program size, so `{1000}{1000}` cannot explode.
+const MAX_PROGRAM: usize = 100_000;
+
+fn compile(ast: &Ast, program: &mut Vec<Inst>) -> Result<(), RegexError> {
+    if program.len() > MAX_PROGRAM {
+        return Err(RegexError {
+            pattern: String::new(),
+            reason: "pattern too large after expansion".to_string(),
+        });
+    }
+    match ast {
+        Ast::Empty => Ok(()),
+        Ast::Char(set) => {
+            program.push(Inst::Char(set.clone()));
+            Ok(())
+        }
+        Ast::Concat(parts) => {
+            for p in parts {
+                compile(p, program)?;
+            }
+            Ok(())
+        }
+        Ast::Alternate(branches) => {
+            // Chain of splits; patch jumps to the common end.
+            let mut jump_sites = Vec::new();
+            for (i, branch) in branches.iter().enumerate() {
+                let last = i + 1 == branches.len();
+                if last {
+                    compile(branch, program)?;
+                } else {
+                    let split_at = program.len();
+                    program.push(Inst::Split(0, 0)); // patched below
+                    let body_start = program.len();
+                    compile(branch, program)?;
+                    jump_sites.push(program.len());
+                    program.push(Inst::Jump(0)); // patched below
+                    let next_branch = program.len();
+                    program[split_at] = Inst::Split(body_start, next_branch);
+                }
+            }
+            let end = program.len();
+            for site in jump_sites {
+                program[site] = Inst::Jump(end);
+            }
+            Ok(())
+        }
+        Ast::Repeat { node, min, max } => {
+            // Mandatory copies.
+            for _ in 0..*min {
+                compile(node, program)?;
+                if program.len() > MAX_PROGRAM {
+                    return Err(RegexError {
+                        pattern: String::new(),
+                        reason: "pattern too large after expansion".to_string(),
+                    });
+                }
+            }
+            match max {
+                Some(m) => {
+                    // Optional copies: (node?){m-min}
+                    let mut split_sites = Vec::new();
+                    for _ in *min..*m {
+                        split_sites.push(program.len());
+                        program.push(Inst::Split(0, 0));
+                        let body = program.len();
+                        compile(node, program)?;
+                        let site = split_sites.last().copied().unwrap();
+                        program[site] = Inst::Split(body, 0); // end patched below
+                        if program.len() > MAX_PROGRAM {
+                            return Err(RegexError {
+                                pattern: String::new(),
+                                reason: "pattern too large after expansion".to_string(),
+                            });
+                        }
+                    }
+                    let end = program.len();
+                    for site in split_sites {
+                        if let Inst::Split(body, _) = program[site] {
+                            program[site] = Inst::Split(body, end);
+                        }
+                    }
+                    Ok(())
+                }
+                None => {
+                    // Kleene star over the remainder: split → body → jump back.
+                    let split_at = program.len();
+                    program.push(Inst::Split(0, 0));
+                    let body = program.len();
+                    compile(node, program)?;
+                    program.push(Inst::Jump(split_at));
+                    let end = program.len();
+                    program[split_at] = Inst::Split(body, end);
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+impl Regex {
+    /// Compile an XSD pattern.
+    pub fn compile(pattern: &str) -> Result<Regex, RegexError> {
+        let mut parser = Parser { chars: pattern.chars().peekable(), pattern };
+        let ast = parser.parse_alternation()?;
+        if parser.chars.next().is_some() {
+            return Err(parser.error("unbalanced parenthesis"));
+        }
+        let mut program = Vec::new();
+        compile(&ast, &mut program).map_err(|mut e| {
+            e.pattern = pattern.to_string();
+            e
+        })?;
+        program.push(Inst::Match);
+        Ok(Regex { pattern: pattern.to_string(), program })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// True when the *entire* input is in the pattern's language (XSD
+    /// anchoring semantics).
+    pub fn is_match(&self, input: &str) -> bool {
+        let mut current = SparseSet::new(self.program.len());
+        let mut next = SparseSet::new(self.program.len());
+        add_thread(&self.program, &mut current, 0);
+        for c in input.chars() {
+            if current.is_empty() {
+                return false;
+            }
+            next.clear();
+            for &pc in current.iter() {
+                if let Inst::Char(set) = &self.program[pc] {
+                    if set.matches(c) {
+                        add_thread(&self.program, &mut next, pc + 1);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        current.iter().any(|&pc| matches!(self.program[pc], Inst::Match))
+    }
+}
+
+fn add_thread(program: &[Inst], set: &mut SparseSet, pc: usize) {
+    if set.contains(pc) {
+        return;
+    }
+    match program[pc] {
+        Inst::Jump(t) => add_thread(program, set, t),
+        Inst::Split(a, b) => {
+            set.insert(pc);
+            add_thread(program, set, a);
+            add_thread(program, set, b);
+        }
+        _ => set.insert(pc),
+    }
+}
+
+/// Dense-membership sparse set for NFA simulation.
+struct SparseSet {
+    dense: Vec<usize>,
+    member: Vec<bool>,
+}
+
+impl SparseSet {
+    fn new(capacity: usize) -> Self {
+        SparseSet { dense: Vec::with_capacity(capacity), member: vec![false; capacity] }
+    }
+    fn insert(&mut self, v: usize) {
+        if !self.member[v] {
+            self.member[v] = true;
+            self.dense.push(v);
+        }
+    }
+    fn contains(&self, v: usize) -> bool {
+        self.member[v]
+    }
+    fn clear(&mut self) {
+        for &v in &self.dense {
+            self.member[v] = false;
+        }
+        self.dense.clear();
+    }
+    fn is_empty(&self) -> bool {
+        self.dense.is_empty()
+    }
+    fn iter(&self) -> std::slice::Iter<'_, usize> {
+        self.dense.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, input: &str) -> bool {
+        Regex::compile(pattern).unwrap().is_match(input)
+    }
+
+    #[test]
+    fn literals_are_anchored() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "xabc"));
+        assert!(!m("abc", "abcx"));
+        assert!(!m("abc", "ab"));
+    }
+
+    #[test]
+    fn dot_matches_any_but_newline() {
+        assert!(m("a.c", "abc"));
+        assert!(m("a.c", "a💡c"));
+        assert!(!m("a.c", "a\nc"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("a?", ""));
+        assert!(m("a?", "a"));
+        assert!(!m("a?", "aa"));
+        assert!(m("a*", ""));
+        assert!(m("a*", "aaaa"));
+        assert!(m("a+", "a"));
+        assert!(!m("a+", ""));
+        assert!(m("a{3}", "aaa"));
+        assert!(!m("a{3}", "aa"));
+        assert!(m("a{2,4}", "aaa"));
+        assert!(!m("a{2,4}", "aaaaa"));
+        assert!(m("a{2,}", "aaaaaaa"));
+        assert!(!m("a{2,}", "a"));
+    }
+
+    #[test]
+    fn alternation_and_grouping() {
+        assert!(m("cat|dog", "dog"));
+        assert!(m("(ab)+", "ababab"));
+        assert!(!m("(ab)+", "aba"));
+        assert!(m("a(b|c)d", "acd"));
+        assert!(m("(a|b)(c|d)", "bd"));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        assert!(m("[abc]+", "cab"));
+        assert!(!m("[abc]+", "abd"));
+        assert!(m("[a-z0-9]+", "q7w"));
+        assert!(m("[^0-9]+", "abc"));
+        assert!(!m("[^0-9]+", "a1"));
+        assert!(m("[-a]", "-")); // literal hyphen... leading
+        assert!(m("[a-]", "-")); // trailing hyphen
+    }
+
+    #[test]
+    fn class_escapes() {
+        assert!(m(r"\d{4}", "2004"));
+        assert!(!m(r"\d{4}", "20a4"));
+        assert!(m(r"\w+", "ab_1"));
+        assert!(!m(r"\w+", "a b"));
+        assert!(m(r"\s", " "));
+        assert!(m(r"[\d\s]+", "1 2 3"));
+        assert!(m(r"\D+", "abc"));
+        assert!(!m(r"\D+", "a1"));
+    }
+
+    #[test]
+    fn metachar_escapes() {
+        assert!(m(r"a\.b", "a.b"));
+        assert!(!m(r"a\.b", "axb"));
+        assert!(m(r"\(\)", "()"));
+        assert!(m(r"\\", "\\"));
+        assert!(m(r"a\{b", "a{b"));
+    }
+
+    #[test]
+    fn realistic_xsd_patterns() {
+        // ISBN-ish
+        let isbn = Regex::compile(r"\d{1,5}-\d{1,7}-\d{1,7}-[\dX]").unwrap();
+        assert!(isbn.is_match("0-201-53771-0"));
+        assert!(isbn.is_match("5-98-7654321-X"));
+        assert!(!isbn.is_match("020153771"));
+        // US zip
+        assert!(m(r"\d{5}(-\d{4})?", "12345"));
+        assert!(m(r"\d{5}(-\d{4})?", "12345-6789"));
+        assert!(!m(r"\d{5}(-\d{4})?", "1234"));
+        // Language code like en-US
+        assert!(m(r"[a-zA-Z]{1,8}(-[a-zA-Z0-9]{1,8})*", "en-US"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty() {
+        assert!(m("", ""));
+        assert!(!m("", "a"));
+    }
+
+    #[test]
+    fn compile_errors() {
+        for bad in ["(", "a)", "[a", "a{", "a{2", "a{2,1}", "*a", r"\q", "a|*"] {
+            assert!(Regex::compile(bad).is_err(), "{bad:?} should fail to compile");
+        }
+    }
+
+    #[test]
+    fn no_catastrophic_backtracking() {
+        // Classic exploder under a backtracking engine.
+        let r = Regex::compile("(a*)*b").unwrap_or_else(|_| Regex::compile("a*b").unwrap());
+        let input = "a".repeat(200);
+        assert!(!r.is_match(&input)); // returns promptly
+    }
+
+    #[test]
+    fn nested_quantifier_size_cap() {
+        assert!(Regex::compile("((((a{100}){100}){100}){100})").is_err());
+    }
+
+    #[test]
+    fn unicode_literals() {
+        assert!(m("é+", "ééé"));
+        assert!(m("[α-ω]+", "λγς"));
+        assert!(!m("[α-ω]+", "λόγος")); // 'ό' (U+03CC) is outside α..=ω
+    }
+}

@@ -1,0 +1,146 @@
+//! A registry of named simple types.
+//!
+//! The paper (§2) assumes "all simple types are predefined and have a
+//! name"; the registry holds those predefined types and also accepts
+//! user-defined restrictions/lists/unions registered by the schema
+//! front-end, which is a strict extension of the paper's model.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::name::Builtin;
+use crate::simple::SimpleType;
+
+/// Maps simple type names to definitions. Lookups accept the conventional
+/// prefixes (`xs:`, `xsd:`, `xdt:`) for built-ins.
+#[derive(Debug, Clone)]
+pub struct TypeRegistry {
+    by_name: HashMap<String, Arc<SimpleType>>,
+}
+
+impl TypeRegistry {
+    /// A registry pre-populated with every built-in simple type.
+    pub fn with_builtins() -> Self {
+        let mut by_name = HashMap::new();
+        for b in Builtin::ALL {
+            if matches!(b, Builtin::AnyType) {
+                continue; // not a *simple* type
+            }
+            by_name.insert(b.name().to_string(), SimpleType::builtin(b));
+        }
+        TypeRegistry { by_name }
+    }
+
+    /// Register a named type. Returns `false` (and leaves the registry
+    /// unchanged) when the name is already taken.
+    pub fn register(&mut self, name: impl Into<String>, ty: Arc<SimpleType>) -> bool {
+        let name = name.into();
+        if self.by_name.contains_key(&name) || self.resolve_builtin(&name).is_some() {
+            return false;
+        }
+        self.by_name.insert(name, ty);
+        true
+    }
+
+    /// Look up a type by name (built-in prefix aliases accepted).
+    pub fn get(&self, name: &str) -> Option<Arc<SimpleType>> {
+        if let Some(t) = self.by_name.get(name) {
+            return Some(Arc::clone(t));
+        }
+        self.resolve_builtin(name)
+    }
+
+    fn resolve_builtin(&self, name: &str) -> Option<Arc<SimpleType>> {
+        let b = Builtin::by_name(name)?;
+        if matches!(b, Builtin::AnyType) {
+            return None;
+        }
+        self.by_name.get(b.name()).map(Arc::clone)
+    }
+
+    /// True when `name` resolves to a simple type.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Number of registered named types.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// True when empty (never, in practice, given the built-ins).
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// Iterate over all (name, type) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<SimpleType>)> {
+        self.by_name.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl Default for TypeRegistry {
+    fn default() -> Self {
+        TypeRegistry::with_builtins()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facets::Facet;
+    use crate::name::Primitive;
+
+    #[test]
+    fn builtins_are_resolvable_under_aliases() {
+        let reg = TypeRegistry::with_builtins();
+        assert!(reg.contains("xs:string"));
+        assert!(reg.contains("xsd:string"));
+        assert!(reg.contains("string"));
+        assert!(reg.contains("xsd:boolean"));
+        assert!(reg.contains("xdt:untypedAtomic"));
+        assert!(!reg.contains("xs:anyType")); // complex, not simple
+        assert!(!reg.contains("madeUp"));
+    }
+
+    #[test]
+    fn user_types_register_and_resolve() {
+        let mut reg = TypeRegistry::with_builtins();
+        let t = SimpleType::restriction(
+            Some("Grade".into()),
+            SimpleType::builtin(Builtin::Integer),
+            vec![Facet::MaxInclusive(
+                crate::value::AtomicValue::parse_builtin("5", Builtin::Integer).unwrap(),
+            )],
+        );
+        assert!(reg.register("Grade", t));
+        assert!(reg.contains("Grade"));
+        assert!(reg.get("Grade").unwrap().validate("4").is_ok());
+        assert!(reg.get("Grade").unwrap().validate("6").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut reg = TypeRegistry::with_builtins();
+        let t = SimpleType::builtin(Builtin::Token);
+        assert!(reg.register("T", Arc::clone(&t)));
+        assert!(!reg.register("T", t));
+    }
+
+    #[test]
+    fn builtin_names_cannot_be_shadowed() {
+        let mut reg = TypeRegistry::with_builtins();
+        let t = SimpleType::builtin(Builtin::Token);
+        assert!(!reg.register("xsd:string", Arc::clone(&t)));
+        assert!(!reg.register("string", t));
+        // xs:string still validates as a string.
+        let got = reg.get("string").unwrap();
+        assert_eq!(got.builtin_base(), Some(Builtin::Primitive(Primitive::String)));
+    }
+
+    #[test]
+    fn registry_len_counts_builtins() {
+        let reg = TypeRegistry::with_builtins();
+        assert_eq!(reg.len(), Builtin::ALL.len() - 1); // minus anyType
+    }
+}

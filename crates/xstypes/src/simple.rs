@@ -1,0 +1,409 @@
+//! Simple type definitions: atomic, list, and union varieties, and the
+//! validation pipeline that turns a lexical form into a typed-value
+//! sequence (`Seq(anyAtomicType)`, paper §4–5).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::facets::{check_facet, Facet, FacetViolation};
+use crate::name::Builtin;
+use crate::value::{builtin_whitespace, AtomicValue, ValueError};
+use crate::whitespace::WhiteSpace;
+
+/// A simple type: an atomic type, a list type, a union type, or a type
+/// derived by restriction from another simple type (paper §4).
+#[derive(Debug, Clone)]
+pub struct SimpleType {
+    /// The type name; anonymous restrictions have none.
+    pub name: Option<String>,
+    /// The structure of the type.
+    pub variety: Variety,
+}
+
+/// The variety of a simple type.
+#[derive(Debug, Clone)]
+pub enum Variety {
+    /// A built-in atomic type (primitive or built-in restriction).
+    Builtin(Builtin),
+    /// Derived by restriction: base type plus extra facets.
+    Restriction {
+        /// The restricted base.
+        base: Arc<SimpleType>,
+        /// Facets added at this derivation step.
+        facets: Vec<Facet>,
+    },
+    /// A list of items of one simple type, separated by whitespace.
+    List {
+        /// The item type (must be atomic or union per XSD).
+        item: Arc<SimpleType>,
+        /// Facets on the list itself (length counts items).
+        facets: Vec<Facet>,
+    },
+    /// The union of several member types, tried in order.
+    Union {
+        /// Member types in declaration order.
+        members: Vec<Arc<SimpleType>>,
+    },
+}
+
+/// Validation failure for a simple type.
+#[derive(Debug, Clone)]
+pub enum SimpleTypeError {
+    /// The lexical form is not in any member's lexical space.
+    Value(ValueError),
+    /// A constraining facet was violated.
+    Facet(FacetViolation),
+    /// No member of a union accepted the value.
+    NoUnionMember {
+        /// The offending lexical form.
+        lexical: String,
+        /// The union type's name, if any.
+        type_name: Option<String>,
+    },
+}
+
+impl fmt::Display for SimpleTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimpleTypeError::Value(e) => e.fmt(f),
+            SimpleTypeError::Facet(e) => e.fmt(f),
+            SimpleTypeError::NoUnionMember { lexical, type_name } => write!(
+                f,
+                "{lexical:?} matches no member of union type {}",
+                type_name.as_deref().unwrap_or("<anonymous>")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimpleTypeError {}
+
+impl From<ValueError> for SimpleTypeError {
+    fn from(e: ValueError) -> Self {
+        SimpleTypeError::Value(e)
+    }
+}
+
+impl From<FacetViolation> for SimpleTypeError {
+    fn from(e: FacetViolation) -> Self {
+        SimpleTypeError::Facet(e)
+    }
+}
+
+impl SimpleType {
+    /// Wrap a built-in as a [`SimpleType`].
+    pub fn builtin(b: Builtin) -> Arc<SimpleType> {
+        Arc::new(SimpleType { name: Some(b.name().to_string()), variety: Variety::Builtin(b) })
+    }
+
+    /// A restriction of `base` with the given facets.
+    pub fn restriction(
+        name: Option<String>,
+        base: Arc<SimpleType>,
+        facets: Vec<Facet>,
+    ) -> Arc<SimpleType> {
+        Arc::new(SimpleType { name, variety: Variety::Restriction { base, facets } })
+    }
+
+    /// A list of `item`s.
+    pub fn list(name: Option<String>, item: Arc<SimpleType>, facets: Vec<Facet>) -> Arc<SimpleType> {
+        Arc::new(SimpleType { name, variety: Variety::List { item, facets } })
+    }
+
+    /// A union of `members`.
+    pub fn union(name: Option<String>, members: Vec<Arc<SimpleType>>) -> Arc<SimpleType> {
+        Arc::new(SimpleType { name, variety: Variety::Union { members } })
+    }
+
+    /// The effective whitespace facet (innermost override wins; built-ins
+    /// get their standard value; lists always collapse).
+    pub fn whitespace(&self) -> WhiteSpace {
+        match &self.variety {
+            Variety::Builtin(b) => builtin_whitespace(*b),
+            Variety::Restriction { base, facets } => facets
+                .iter()
+                .rev()
+                .find_map(|f| match f {
+                    Facet::WhiteSpace(ws) => Some(*ws),
+                    _ => None,
+                })
+                .unwrap_or_else(|| base.whitespace()),
+            Variety::List { .. } => WhiteSpace::Collapse,
+            Variety::Union { .. } => WhiteSpace::Collapse,
+        }
+    }
+
+    /// The built-in this type ultimately restricts (`None` for lists and
+    /// unions, whose nearest built-in ancestor is `xs:anySimpleType`).
+    pub fn builtin_base(&self) -> Option<Builtin> {
+        match &self.variety {
+            Variety::Builtin(b) => Some(*b),
+            Variety::Restriction { base, .. } => base.builtin_base(),
+            Variety::List { .. } | Variety::Union { .. } => None,
+        }
+    }
+
+    /// Validate a raw lexical form, producing the typed value sequence.
+    ///
+    /// Atomic types yield one value; list types yield one value per item;
+    /// union types yield whatever the first accepting member yields.
+    pub fn validate(&self, raw: &str) -> Result<Vec<AtomicValue>, SimpleTypeError> {
+        let ws = self.whitespace();
+        let lexical = ws.apply(raw);
+        self.validate_normalized(&lexical)
+    }
+
+    fn validate_normalized(&self, lexical: &str) -> Result<Vec<AtomicValue>, SimpleTypeError> {
+        match &self.variety {
+            Variety::Builtin(b) => {
+                // parse_builtin re-applies the builtin's whitespace; passing
+                // the already-normalized form is idempotent.
+                let v = AtomicValue::parse_builtin(lexical, *b)?;
+                Ok(vec![v])
+            }
+            Variety::Restriction { base, facets } => {
+                let values = base.validate_normalized(lexical)?;
+                // Facets added at this step apply to the value (atomic) or
+                // to the item sequence (when the base is a list).
+                if let Some(single) = values.first().filter(|_| values.len() == 1) {
+                    for facet in facets {
+                        check_facet(facet, lexical, single)?;
+                    }
+                } else {
+                    for facet in facets {
+                        check_list_facet(facet, lexical, &values)?;
+                    }
+                }
+                Ok(values)
+            }
+            Variety::List { item, facets } => {
+                let mut out = Vec::new();
+                for token in lexical.split(' ').filter(|t| !t.is_empty()) {
+                    let mut vs = item.validate(token)?;
+                    out.append(&mut vs);
+                }
+                for facet in facets {
+                    check_list_facet(facet, lexical, &out)?;
+                }
+                Ok(out)
+            }
+            Variety::Union { members } => {
+                for member in members {
+                    if let Ok(vs) = member.validate(lexical) {
+                        return Ok(vs);
+                    }
+                }
+                Err(SimpleTypeError::NoUnionMember {
+                    lexical: lexical.to_string(),
+                    type_name: self.name.clone(),
+                })
+            }
+        }
+    }
+}
+
+/// Length facets on a list count items, not characters; other facets apply
+/// item-wise only via the item type, so here we handle the list-level ones
+/// plus pattern/enumeration against the joined lexical form.
+fn check_list_facet(
+    facet: &Facet,
+    lexical: &str,
+    items: &[AtomicValue],
+) -> Result<(), FacetViolation> {
+    let fail = |detail: String| FacetViolation {
+        facet: facet.name(),
+        lexical: lexical.to_string(),
+        detail,
+    };
+    let n = items.len() as u64;
+    match facet {
+        Facet::Length(want) => {
+            if n == *want {
+                Ok(())
+            } else {
+                Err(fail(format!("list has {n} items, length requires {want}")))
+            }
+        }
+        Facet::MinLength(want) => {
+            if n >= *want {
+                Ok(())
+            } else {
+                Err(fail(format!("list has {n} items, minLength is {want}")))
+            }
+        }
+        Facet::MaxLength(want) => {
+            if n <= *want {
+                Ok(())
+            } else {
+                Err(fail(format!("list has {n} items, maxLength is {want}")))
+            }
+        }
+        Facet::Pattern(re) => {
+            if re.is_match(lexical) {
+                Ok(())
+            } else {
+                Err(fail(format!("does not match pattern {:?}", re.pattern())))
+            }
+        }
+        Facet::WhiteSpace(_) => Ok(()),
+        other => Err(fail(format!("facet {} does not apply to lists", other.name()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::Primitive;
+    use crate::regex::Regex;
+
+    fn xs(b: Builtin) -> Arc<SimpleType> {
+        SimpleType::builtin(b)
+    }
+
+    #[test]
+    fn builtin_atomic_validation() {
+        let t = xs(Builtin::Primitive(Primitive::Decimal));
+        let vs = t.validate(" 3.14 ").unwrap();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].canonical(), "3.14");
+        assert!(t.validate("abc").is_err());
+    }
+
+    #[test]
+    fn restriction_applies_facets() {
+        let t = SimpleType::restriction(
+            Some("Percent".into()),
+            xs(Builtin::Integer),
+            vec![
+                Facet::MinInclusive(AtomicValue::parse_builtin("0", Builtin::Integer).unwrap()),
+                Facet::MaxInclusive(AtomicValue::parse_builtin("100", Builtin::Integer).unwrap()),
+            ],
+        );
+        assert!(t.validate("50").is_ok());
+        assert!(t.validate("0").is_ok());
+        assert!(t.validate("100").is_ok());
+        assert!(t.validate("101").is_err());
+        assert!(t.validate("-1").is_err());
+    }
+
+    #[test]
+    fn nested_restriction_checks_every_level() {
+        let pct = SimpleType::restriction(
+            None,
+            xs(Builtin::Integer),
+            vec![Facet::MaxInclusive(AtomicValue::parse_builtin("100", Builtin::Integer).unwrap())],
+        );
+        let small_pct = SimpleType::restriction(
+            None,
+            pct,
+            vec![Facet::MaxInclusive(AtomicValue::parse_builtin("10", Builtin::Integer).unwrap())],
+        );
+        assert!(small_pct.validate("5").is_ok());
+        assert!(small_pct.validate("50").is_err()); // passes base, fails derived? no: fails derived max
+        assert!(small_pct.validate("500").is_err()); // fails base too
+    }
+
+    #[test]
+    fn pattern_restriction() {
+        let isbn = SimpleType::restriction(
+            Some("ISBN".into()),
+            xs(Builtin::Primitive(Primitive::String)),
+            vec![Facet::Pattern(Regex::compile(r"\d-\d{3}-\d{5}-\d").unwrap())],
+        );
+        assert!(isbn.validate("0-201-53771-0").is_ok());
+        assert!(isbn.validate("bogus").is_err());
+    }
+
+    #[test]
+    fn list_type_splits_and_types_items() {
+        let t = SimpleType::list(Some("Ints".into()), xs(Builtin::Integer), vec![]);
+        let vs = t.validate("  1 2   3 ").unwrap();
+        assert_eq!(vs.len(), 3);
+        assert_eq!(vs[1].canonical(), "2");
+        assert!(t.validate("1 x 3").is_err());
+    }
+
+    #[test]
+    fn empty_list_is_valid_and_empty() {
+        let t = SimpleType::list(None, xs(Builtin::Integer), vec![]);
+        assert_eq!(t.validate("   ").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn list_length_facets_count_items() {
+        let t = SimpleType::list(
+            None,
+            xs(Builtin::Integer),
+            vec![Facet::MinLength(2), Facet::MaxLength(3)],
+        );
+        assert!(t.validate("1").is_err());
+        assert!(t.validate("1 2").is_ok());
+        assert!(t.validate("1 2 3").is_ok());
+        assert!(t.validate("1 2 3 4").is_err());
+    }
+
+    #[test]
+    fn union_tries_members_in_order() {
+        let t = SimpleType::union(
+            Some("IntOrName".into()),
+            vec![xs(Builtin::Integer), xs(Builtin::NcName)],
+        );
+        let vs = t.validate("42").unwrap();
+        assert!(matches!(vs[0], AtomicValue::Integer(42, _)));
+        let vs = t.validate("foo").unwrap();
+        assert!(matches!(&vs[0], AtomicValue::String(s, _) if s == "foo"));
+        assert!(t.validate("p:q r").is_err());
+    }
+
+    #[test]
+    fn union_error_names_the_type() {
+        let t = SimpleType::union(Some("U".into()), vec![xs(Builtin::Integer)]);
+        let err = t.validate("x").unwrap_err();
+        assert!(err.to_string().contains('U'));
+    }
+
+    #[test]
+    fn whitespace_override_facet() {
+        let t = SimpleType::restriction(
+            None,
+            xs(Builtin::Primitive(Primitive::String)),
+            vec![Facet::WhiteSpace(WhiteSpace::Collapse)],
+        );
+        let vs = t.validate("  a   b ").unwrap();
+        assert_eq!(vs[0].canonical(), "a b");
+    }
+
+    #[test]
+    fn list_of_union() {
+        let member = SimpleType::union(None, vec![xs(Builtin::Integer), xs(Builtin::NcName)]);
+        let t = SimpleType::list(None, member, vec![]);
+        let vs = t.validate("1 two 3").unwrap();
+        assert_eq!(vs.len(), 3);
+        assert!(matches!(vs[0], AtomicValue::Integer(..)));
+        assert!(matches!(&vs[1], AtomicValue::String(..)));
+    }
+
+    #[test]
+    fn builtin_base_walks_restrictions() {
+        let t = SimpleType::restriction(None, xs(Builtin::Byte), vec![]);
+        assert_eq!(t.builtin_base(), Some(Builtin::Byte));
+        let l = SimpleType::list(None, xs(Builtin::Integer), vec![]);
+        assert_eq!(l.builtin_base(), None);
+    }
+
+    #[test]
+    fn enumeration_restriction() {
+        let t = SimpleType::restriction(
+            Some("Size".into()),
+            xs(Builtin::Token),
+            vec![Facet::Enumeration(vec![
+                AtomicValue::parse_builtin("S", Builtin::Token).unwrap(),
+                AtomicValue::parse_builtin("M", Builtin::Token).unwrap(),
+                AtomicValue::parse_builtin("L", Builtin::Token).unwrap(),
+            ])],
+        );
+        assert!(t.validate("M").is_ok());
+        assert!(t.validate(" L ").is_ok()); // token collapses
+        assert!(t.validate("XL").is_err());
+    }
+}

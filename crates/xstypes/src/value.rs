@@ -1,0 +1,595 @@
+//! Atomic values — the carrier of `xdt:anyAtomicType` in the state algebra.
+//!
+//! Every `typed-value` accessor in the data model returns a
+//! `Seq(anyAtomicType)` (paper §5); the items of those sequences are
+//! [`AtomicValue`]s. Equality and ordering follow the XSD value spaces:
+//! `1.0` equals `1` as a decimal, dateTime comparison is timezone-aware
+//! and partial, NaN is handled per XPath rules.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::binary::{decode_base64, decode_hex, encode_base64, encode_hex};
+use crate::datetime::{DateTime, DateTimeKind, Duration};
+use crate::decimal::Decimal;
+use crate::name::{Builtin, Primitive};
+use crate::whitespace::WhiteSpace;
+
+/// A single atomic value, tagged with enough type information to recover
+/// its dynamic type.
+#[derive(Debug, Clone)]
+pub enum AtomicValue {
+    /// `xs:string` and its derived types; the exact subtype is recorded.
+    String(String, Builtin),
+    /// `xs:boolean`.
+    Boolean(bool),
+    /// `xs:decimal` (non-integer lexicals or explicit decimals).
+    Decimal(Decimal),
+    /// The `xs:integer` chain; the exact subtype is recorded.
+    Integer(i128, Builtin),
+    /// `xs:float`.
+    Float(f32),
+    /// `xs:double`.
+    Double(f64),
+    /// `xs:duration`.
+    Duration(Duration),
+    /// The date/time family; the kind selects the lexical space.
+    DateTime(DateTime, DateTimeKind),
+    /// `xs:hexBinary`.
+    HexBinary(Vec<u8>),
+    /// `xs:base64Binary`.
+    Base64Binary(Vec<u8>),
+    /// `xs:anyURI` (kept lexically; no resolution is performed).
+    AnyUri(String),
+    /// `xs:QName` (lexical form; prefix resolution is out of scope).
+    QName(String),
+    /// `xs:NOTATION`.
+    Notation(String),
+    /// `xdt:untypedAtomic` — text with no schema type.
+    Untyped(String),
+}
+
+/// Error turning a lexical form into a typed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError {
+    /// The lexical input (after whitespace normalization).
+    pub lexical: String,
+    /// The target type name.
+    pub type_name: String,
+    /// Details.
+    pub reason: String,
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot interpret {:?} as {}: {}", self.lexical, self.type_name, self.reason)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+fn verr(lexical: &str, type_name: &str, reason: impl Into<String>) -> ValueError {
+    ValueError {
+        lexical: lexical.to_string(),
+        type_name: type_name.to_string(),
+        reason: reason.into(),
+    }
+}
+
+impl AtomicValue {
+    /// The dynamic type of this value.
+    pub fn type_of(&self) -> Builtin {
+        match self {
+            AtomicValue::String(_, b) => *b,
+            AtomicValue::Boolean(_) => Builtin::Primitive(Primitive::Boolean),
+            AtomicValue::Decimal(_) => Builtin::Primitive(Primitive::Decimal),
+            AtomicValue::Integer(_, b) => *b,
+            AtomicValue::Float(_) => Builtin::Primitive(Primitive::Float),
+            AtomicValue::Double(_) => Builtin::Primitive(Primitive::Double),
+            AtomicValue::Duration(_) => Builtin::Primitive(Primitive::Duration),
+            AtomicValue::DateTime(_, kind) => Builtin::Primitive(match kind {
+                DateTimeKind::DateTime => Primitive::DateTime,
+                DateTimeKind::Date => Primitive::Date,
+                DateTimeKind::Time => Primitive::Time,
+                DateTimeKind::GYearMonth => Primitive::GYearMonth,
+                DateTimeKind::GYear => Primitive::GYear,
+                DateTimeKind::GMonthDay => Primitive::GMonthDay,
+                DateTimeKind::GDay => Primitive::GDay,
+                DateTimeKind::GMonth => Primitive::GMonth,
+            }),
+            AtomicValue::HexBinary(_) => Builtin::Primitive(Primitive::HexBinary),
+            AtomicValue::Base64Binary(_) => Builtin::Primitive(Primitive::Base64Binary),
+            AtomicValue::AnyUri(_) => Builtin::Primitive(Primitive::AnyUri),
+            AtomicValue::QName(_) => Builtin::Primitive(Primitive::QName),
+            AtomicValue::Notation(_) => Builtin::Primitive(Primitive::Notation),
+            AtomicValue::Untyped(_) => Builtin::UntypedAtomic,
+        }
+    }
+
+    /// Parse a lexical form in the value space of `primitive`.
+    ///
+    /// The input must already be whitespace-normalized (see
+    /// [`WhiteSpace::apply`]); [`crate::SimpleType::validate`] does this.
+    pub fn parse_primitive(lexical: &str, primitive: Primitive) -> Result<AtomicValue, ValueError> {
+        let name = primitive.name();
+        match primitive {
+            Primitive::String => {
+                Ok(AtomicValue::String(lexical.to_string(), Builtin::Primitive(Primitive::String)))
+            }
+            Primitive::Boolean => match lexical {
+                "true" | "1" => Ok(AtomicValue::Boolean(true)),
+                "false" | "0" => Ok(AtomicValue::Boolean(false)),
+                _ => Err(verr(lexical, name, "expected true/false/1/0")),
+            },
+            Primitive::Decimal => lexical
+                .parse::<Decimal>()
+                .map(AtomicValue::Decimal)
+                .map_err(|e| verr(lexical, name, e.to_string())),
+            Primitive::Float => parse_xsd_float(lexical)
+                .map(|d| AtomicValue::Float(d as f32))
+                .ok_or_else(|| verr(lexical, name, "not a float")),
+            Primitive::Double => parse_xsd_float(lexical)
+                .map(AtomicValue::Double)
+                .ok_or_else(|| verr(lexical, name, "not a double")),
+            Primitive::Duration => Duration::parse(lexical)
+                .map(AtomicValue::Duration)
+                .map_err(|e| verr(lexical, name, e.to_string())),
+            Primitive::DateTime
+            | Primitive::Time
+            | Primitive::Date
+            | Primitive::GYearMonth
+            | Primitive::GYear
+            | Primitive::GMonthDay
+            | Primitive::GDay
+            | Primitive::GMonth => {
+                let kind = match primitive {
+                    Primitive::DateTime => DateTimeKind::DateTime,
+                    Primitive::Time => DateTimeKind::Time,
+                    Primitive::Date => DateTimeKind::Date,
+                    Primitive::GYearMonth => DateTimeKind::GYearMonth,
+                    Primitive::GYear => DateTimeKind::GYear,
+                    Primitive::GMonthDay => DateTimeKind::GMonthDay,
+                    Primitive::GDay => DateTimeKind::GDay,
+                    Primitive::GMonth => DateTimeKind::GMonth,
+                    _ => unreachable!(),
+                };
+                DateTime::parse(lexical, kind)
+                    .map(|dt| AtomicValue::DateTime(dt, kind))
+                    .map_err(|e| verr(lexical, name, e.to_string()))
+            }
+            Primitive::HexBinary => decode_hex(lexical)
+                .map(AtomicValue::HexBinary)
+                .map_err(|e| verr(lexical, name, e.to_string())),
+            Primitive::Base64Binary => decode_base64(lexical)
+                .map(AtomicValue::Base64Binary)
+                .map_err(|e| verr(lexical, name, e.to_string())),
+            Primitive::AnyUri => Ok(AtomicValue::AnyUri(lexical.to_string())),
+            Primitive::QName => {
+                if is_lexical_qname(lexical) {
+                    Ok(AtomicValue::QName(lexical.to_string()))
+                } else {
+                    Err(verr(lexical, name, "not a QName"))
+                }
+            }
+            Primitive::Notation => {
+                if is_lexical_qname(lexical) {
+                    Ok(AtomicValue::Notation(lexical.to_string()))
+                } else {
+                    Err(verr(lexical, name, "not a NOTATION"))
+                }
+            }
+        }
+    }
+
+    /// Parse a lexical form against any built-in type, applying that
+    /// type's whitespace facet and built-in restrictions.
+    pub fn parse_builtin(raw: &str, builtin: Builtin) -> Result<AtomicValue, ValueError> {
+        let ws = builtin_whitespace(builtin);
+        let lexical = ws.apply(raw);
+        let lexical = lexical.as_ref();
+        let name = builtin.name();
+        match builtin {
+            Builtin::AnyType | Builtin::AnySimpleType | Builtin::AnyAtomicType => {
+                Err(verr(lexical, name, "abstract type cannot be instantiated"))
+            }
+            Builtin::UntypedAtomic => Ok(AtomicValue::Untyped(raw.to_string())),
+            Builtin::Primitive(p) => AtomicValue::parse_primitive(lexical, p),
+            // String-derived types: check the extra lexical constraint.
+            Builtin::NormalizedString | Builtin::Token => {
+                Ok(AtomicValue::String(lexical.to_string(), builtin))
+            }
+            Builtin::Language => {
+                if is_language(lexical) {
+                    Ok(AtomicValue::String(lexical.to_string(), builtin))
+                } else {
+                    Err(verr(lexical, name, "not a language code"))
+                }
+            }
+            Builtin::NmToken => {
+                if !lexical.is_empty() && lexical.chars().all(is_name_char) {
+                    Ok(AtomicValue::String(lexical.to_string(), builtin))
+                } else {
+                    Err(verr(lexical, name, "not an NMTOKEN"))
+                }
+            }
+            Builtin::Name => {
+                if is_xml_name(lexical) {
+                    Ok(AtomicValue::String(lexical.to_string(), builtin))
+                } else {
+                    Err(verr(lexical, name, "not a Name"))
+                }
+            }
+            Builtin::NcName | Builtin::Id | Builtin::IdRef | Builtin::Entity => {
+                if is_xml_name(lexical) && !lexical.contains(':') {
+                    Ok(AtomicValue::String(lexical.to_string(), builtin))
+                } else {
+                    Err(verr(lexical, name, "not an NCName"))
+                }
+            }
+            // Integer chain.
+            _ => {
+                let (min, max) = builtin
+                    .integer_bounds()
+                    .ok_or_else(|| verr(lexical, name, "unhandled built-in"))?;
+                let decimal: Decimal =
+                    lexical.parse().map_err(|e: crate::decimal::DecimalError| {
+                        verr(lexical, name, e.to_string())
+                    })?;
+                // Integers must have no fraction part, and per the XSD
+                // lexical space, no decimal point at all.
+                if lexical.contains('.') {
+                    return Err(verr(lexical, name, "integer types allow no decimal point"));
+                }
+                let v = decimal
+                    .as_i128()
+                    .ok_or_else(|| verr(lexical, name, "not an integer"))?;
+                if min.is_some_and(|m| v < m) || max.is_some_and(|m| v > m) {
+                    return Err(verr(lexical, name, "out of range"));
+                }
+                Ok(AtomicValue::Integer(v, builtin))
+            }
+        }
+    }
+
+    /// XSD value equality (untyped compares as string).
+    pub fn eq_xsd(&self, other: &AtomicValue) -> bool {
+        self.partial_cmp_xsd(other) == Some(Ordering::Equal)
+    }
+
+    /// XSD value comparison. `None` when the values are incomparable
+    /// (different primitive families, NaN, zoned/unzoned date ambiguity).
+    pub fn partial_cmp_xsd(&self, other: &AtomicValue) -> Option<Ordering> {
+        use AtomicValue::*;
+        match (self, other) {
+            (String(a, _), String(b, _)) => Some(a.cmp(b)),
+            (Untyped(a), Untyped(b)) => Some(a.cmp(b)),
+            (String(a, _), Untyped(b)) | (Untyped(b), String(a, _)) => Some(a.cmp(b)),
+            (Boolean(a), Boolean(b)) => Some(a.cmp(b)),
+            // Numeric promotion: integer ⊂ decimal ⊂ (float, double).
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                if let (Some(x), Some(y)) = (a.as_decimal(), b.as_decimal()) {
+                    Some(x.cmp(&y))
+                } else {
+                    let x = a.as_f64()?;
+                    let y = b.as_f64()?;
+                    x.partial_cmp(&y)
+                }
+            }
+            (Duration(a), Duration(b)) => a.partial_cmp_xsd(b),
+            (DateTime(a, ka), DateTime(b, kb)) if ka == kb => a.partial_cmp_xsd(b),
+            (HexBinary(a), HexBinary(b)) | (Base64Binary(a), Base64Binary(b)) => Some(a.cmp(b)),
+            (HexBinary(a), Base64Binary(b)) | (Base64Binary(b), HexBinary(a)) => Some(a.cmp(b)),
+            (AnyUri(a), AnyUri(b)) => Some(a.cmp(b)),
+            (QName(a), QName(b)) | (Notation(a), Notation(b)) => {
+                if a == b {
+                    Some(Ordering::Equal)
+                } else {
+                    None // QNames support only equality
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            AtomicValue::Decimal(_)
+                | AtomicValue::Integer(..)
+                | AtomicValue::Float(_)
+                | AtomicValue::Double(_)
+        )
+    }
+
+    /// The value as a [`Decimal`] when it is one exactly.
+    pub fn as_decimal(&self) -> Option<Decimal> {
+        match self {
+            AtomicValue::Decimal(d) => Some(*d),
+            AtomicValue::Integer(i, _) => Some(Decimal::from_i128(*i)),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` for numeric comparison (lossy for big decimals).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AtomicValue::Decimal(d) => Some(d.to_f64()),
+            AtomicValue::Integer(i, _) => Some(*i as f64),
+            AtomicValue::Float(f) => Some(*f as f64),
+            AtomicValue::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// The canonical lexical representation (XSD Part 2 canonical forms).
+    pub fn canonical(&self) -> String {
+        match self {
+            AtomicValue::String(s, _)
+            | AtomicValue::AnyUri(s)
+            | AtomicValue::QName(s)
+            | AtomicValue::Notation(s)
+            | AtomicValue::Untyped(s) => s.clone(),
+            AtomicValue::Boolean(b) => b.to_string(),
+            AtomicValue::Decimal(d) => d.to_string(),
+            AtomicValue::Integer(i, _) => i.to_string(),
+            AtomicValue::Float(f) => canonical_float(*f as f64),
+            AtomicValue::Double(d) => canonical_float(*d),
+            AtomicValue::Duration(d) => d.canonical(),
+            AtomicValue::DateTime(dt, kind) => dt.canonical(*kind),
+            AtomicValue::HexBinary(b) => encode_hex(b),
+            AtomicValue::Base64Binary(b) => encode_base64(b),
+        }
+    }
+}
+
+impl fmt::Display for AtomicValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// Value-space equality per `eq_xsd` (used by collections in tests).
+impl PartialEq for AtomicValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.eq_xsd(other)
+    }
+}
+
+fn parse_xsd_float(s: &str) -> Option<f64> {
+    match s {
+        "NaN" => Some(f64::NAN),
+        "INF" | "+INF" => Some(f64::INFINITY),
+        "-INF" => Some(f64::NEG_INFINITY),
+        _ => {
+            // Rust's float grammar is a superset except it also accepts
+            // "inf"/"nan" spellings, which XSD forbids.
+            if s.is_empty()
+                || s.chars().any(|c| c.is_ascii_alphabetic() && !matches!(c, 'e' | 'E'))
+            {
+                return None;
+            }
+            s.parse::<f64>().ok()
+        }
+    }
+}
+
+fn canonical_float(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "INF".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-INF".to_string()
+    } else {
+        // XSD canonical form mantissa E exponent; a simple adequate form:
+        format!("{v}")
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_numeric() || c == '-' || c == '.' || c == '\u{B7}'
+}
+
+fn is_xml_name(s: &str) -> bool {
+    let mut cs = s.chars();
+    matches!(cs.next(), Some(c) if is_name_start(c)) && cs.all(is_name_char)
+}
+
+fn is_lexical_qname(s: &str) -> bool {
+    match s.split_once(':') {
+        Some((p, l)) => {
+            is_xml_name(p) && !p.contains(':') && is_xml_name(l) && !l.contains(':')
+        }
+        None => is_xml_name(s),
+    }
+}
+
+fn is_language(s: &str) -> bool {
+    let mut parts = s.split('-');
+    let first = match parts.next() {
+        Some(p) => p,
+        None => return false,
+    };
+    if first.is_empty()
+        || first.len() > 8
+        || !first.bytes().all(|b| b.is_ascii_alphabetic())
+    {
+        return false;
+    }
+    parts.all(|p| !p.is_empty() && p.len() <= 8 && p.bytes().all(|b| b.is_ascii_alphanumeric()))
+}
+
+/// The whitespace facet value each built-in type carries.
+pub fn builtin_whitespace(builtin: Builtin) -> WhiteSpace {
+    match builtin {
+        Builtin::Primitive(Primitive::String) | Builtin::UntypedAtomic => WhiteSpace::Preserve,
+        Builtin::NormalizedString => WhiteSpace::Replace,
+        _ => WhiteSpace::Collapse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pv(lex: &str, p: Primitive) -> AtomicValue {
+        AtomicValue::parse_primitive(lex, p).unwrap()
+    }
+
+    #[test]
+    fn boolean_lexical_space() {
+        assert_eq!(pv("true", Primitive::Boolean), AtomicValue::Boolean(true));
+        assert_eq!(pv("1", Primitive::Boolean), AtomicValue::Boolean(true));
+        assert_eq!(pv("0", Primitive::Boolean), AtomicValue::Boolean(false));
+        assert!(AtomicValue::parse_primitive("TRUE", Primitive::Boolean).is_err());
+    }
+
+    #[test]
+    fn decimal_value_equality_crosses_lexical_forms() {
+        assert!(pv("1.0", Primitive::Decimal).eq_xsd(&pv("1", Primitive::Decimal)));
+        assert!(!pv("1.0", Primitive::Decimal).eq_xsd(&pv("1.01", Primitive::Decimal)));
+    }
+
+    #[test]
+    fn numeric_promotion_compares_across_types() {
+        let i = AtomicValue::parse_builtin("5", Builtin::Integer).unwrap();
+        let d = pv("5.0", Primitive::Decimal);
+        let f = pv("5", Primitive::Double);
+        assert!(i.eq_xsd(&d));
+        assert!(d.eq_xsd(&f));
+        let bigger = pv("5.5", Primitive::Double);
+        assert_eq!(i.partial_cmp_xsd(&bigger), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn nan_compares_as_none() {
+        let nan = pv("NaN", Primitive::Double);
+        assert_eq!(nan.partial_cmp_xsd(&nan), None);
+        assert!(!nan.eq_xsd(&nan));
+    }
+
+    #[test]
+    fn infinities() {
+        assert_eq!(
+            pv("-INF", Primitive::Double).partial_cmp_xsd(&pv("INF", Primitive::Double)),
+            Some(Ordering::Less)
+        );
+        assert!(AtomicValue::parse_primitive("Infinity", Primitive::Double).is_err());
+        assert!(AtomicValue::parse_primitive("inf", Primitive::Double).is_err());
+    }
+
+    #[test]
+    fn cross_family_comparison_is_none() {
+        let s = pv("5", Primitive::String);
+        let n = pv("5", Primitive::Decimal);
+        assert_eq!(s.partial_cmp_xsd(&n), None);
+    }
+
+    #[test]
+    fn binary_types_share_a_value_space() {
+        let h = pv("666F6F", Primitive::HexBinary);
+        let b = pv("Zm9v", Primitive::Base64Binary);
+        assert!(h.eq_xsd(&b));
+    }
+
+    #[test]
+    fn integer_builtin_ranges_enforced() {
+        assert!(AtomicValue::parse_builtin("127", Builtin::Byte).is_ok());
+        assert!(AtomicValue::parse_builtin("128", Builtin::Byte).is_err());
+        assert!(AtomicValue::parse_builtin("-1", Builtin::NonNegativeInteger).is_err());
+        assert!(AtomicValue::parse_builtin("0", Builtin::PositiveInteger).is_err());
+        assert!(AtomicValue::parse_builtin("18446744073709551615", Builtin::UnsignedLong).is_ok());
+        assert!(AtomicValue::parse_builtin("18446744073709551616", Builtin::UnsignedLong).is_err());
+    }
+
+    #[test]
+    fn integer_rejects_decimal_point() {
+        assert!(AtomicValue::parse_builtin("1.0", Builtin::Integer).is_err());
+        assert!(AtomicValue::parse_builtin("1", Builtin::Integer).is_ok());
+    }
+
+    #[test]
+    fn whitespace_facets_apply_per_type() {
+        // Collapse for non-strings.
+        let v = AtomicValue::parse_builtin("  42  ", Builtin::Integer).unwrap();
+        assert_eq!(v.canonical(), "42");
+        // Preserve for xs:string.
+        let s = AtomicValue::parse_builtin(" a ", Builtin::Primitive(Primitive::String)).unwrap();
+        assert_eq!(s.canonical(), " a ");
+        // Replace for normalizedString.
+        let n = AtomicValue::parse_builtin("a\tb", Builtin::NormalizedString).unwrap();
+        assert_eq!(n.canonical(), "a b");
+        // Collapse for token.
+        let t = AtomicValue::parse_builtin("  a   b  ", Builtin::Token).unwrap();
+        assert_eq!(t.canonical(), "a b");
+    }
+
+    #[test]
+    fn name_like_builtins() {
+        assert!(AtomicValue::parse_builtin("foo", Builtin::NcName).is_ok());
+        assert!(AtomicValue::parse_builtin("p:foo", Builtin::NcName).is_err());
+        assert!(AtomicValue::parse_builtin("p:foo", Builtin::Name).is_ok());
+        assert!(AtomicValue::parse_builtin("-x", Builtin::NmToken).is_ok());
+        assert!(AtomicValue::parse_builtin("", Builtin::NmToken).is_err());
+        assert!(AtomicValue::parse_builtin("en-US", Builtin::Language).is_ok());
+        assert!(AtomicValue::parse_builtin("toolonglang", Builtin::Language).is_err());
+    }
+
+    #[test]
+    fn qname_values_support_equality_only() {
+        let a = pv("xs:foo", Primitive::QName);
+        let b = pv("xs:foo", Primitive::QName);
+        let c = pv("xs:bar", Primitive::QName);
+        assert!(a.eq_xsd(&b));
+        assert_eq!(a.partial_cmp_xsd(&c), None);
+        assert!(AtomicValue::parse_primitive("a:b:c", Primitive::QName).is_err());
+    }
+
+    #[test]
+    fn datetime_kinds_do_not_cross_compare() {
+        let d = pv("2004-07-15", Primitive::Date);
+        let g = pv("2004", Primitive::GYear);
+        assert_eq!(d.partial_cmp_xsd(&g), None);
+    }
+
+    #[test]
+    fn canonical_forms() {
+        assert_eq!(pv("00FF", Primitive::HexBinary).canonical(), "00FF");
+        assert_eq!(pv("+5.50", Primitive::Decimal).canonical(), "5.5");
+        assert_eq!(pv("true", Primitive::Boolean).canonical(), "true");
+        assert_eq!(
+            AtomicValue::parse_builtin("  P1Y13M  ", Builtin::Primitive(Primitive::Duration))
+                .unwrap()
+                .canonical(),
+            "P2Y1M"
+        );
+    }
+
+    #[test]
+    fn untyped_compares_with_string() {
+        let u = AtomicValue::Untyped("abc".into());
+        let s = pv("abc", Primitive::String);
+        assert!(u.eq_xsd(&s));
+    }
+
+    #[test]
+    fn abstract_types_cannot_be_instantiated() {
+        for t in [Builtin::AnyType, Builtin::AnySimpleType, Builtin::AnyAtomicType] {
+            assert!(AtomicValue::parse_builtin("x", t).is_err());
+        }
+    }
+
+    #[test]
+    fn type_of_reports_dynamic_type() {
+        assert_eq!(
+            AtomicValue::parse_builtin("5", Builtin::Byte).unwrap().type_of(),
+            Builtin::Byte
+        );
+        assert_eq!(pv("x", Primitive::String).type_of(), Builtin::Primitive(Primitive::String));
+        assert_eq!(AtomicValue::Untyped("x".into()).type_of(), Builtin::UntypedAtomic);
+    }
+}

@@ -1,0 +1,115 @@
+//! The `whiteSpace` facet: lexical pre-processing before validation.
+
+use std::borrow::Cow;
+
+/// The three whitespace-normalization modes of XSD Part 2 §4.3.6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WhiteSpace {
+    /// Keep the value exactly (only `xs:string` and `xdt:untypedAtomic`).
+    Preserve,
+    /// Replace each tab/CR/LF with a space (`xs:normalizedString`).
+    Replace,
+    /// Replace, then collapse runs of spaces and trim (everything else).
+    Collapse,
+}
+
+impl WhiteSpace {
+    /// Apply the normalization.
+    pub fn apply<'a>(self, s: &'a str) -> Cow<'a, str> {
+        match self {
+            WhiteSpace::Preserve => Cow::Borrowed(s),
+            WhiteSpace::Replace => {
+                if s.contains(['\t', '\n', '\r']) {
+                    Cow::Owned(
+                        s.chars().map(|c| if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c }).collect(),
+                    )
+                } else {
+                    Cow::Borrowed(s)
+                }
+            }
+            WhiteSpace::Collapse => {
+                let needs_work = s.starts_with([' ', '\t', '\n', '\r'])
+                    || s.ends_with([' ', '\t', '\n', '\r'])
+                    || s.contains(['\t', '\n', '\r'])
+                    || s.contains("  ");
+                if !needs_work {
+                    return Cow::Borrowed(s);
+                }
+                let mut out = String::with_capacity(s.len());
+                let mut in_space = true; // trims leading
+                for c in s.chars() {
+                    if matches!(c, ' ' | '\t' | '\n' | '\r') {
+                        if !in_space {
+                            out.push(' ');
+                            in_space = true;
+                        }
+                    } else {
+                        out.push(c);
+                        in_space = false;
+                    }
+                }
+                if out.ends_with(' ') {
+                    out.pop();
+                }
+                Cow::Owned(out)
+            }
+        }
+    }
+
+    /// Facet name as it appears in schema documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            WhiteSpace::Preserve => "preserve",
+            WhiteSpace::Replace => "replace",
+            WhiteSpace::Collapse => "collapse",
+        }
+    }
+
+    /// Parse the facet value.
+    pub fn by_name(s: &str) -> Option<WhiteSpace> {
+        match s {
+            "preserve" => Some(WhiteSpace::Preserve),
+            "replace" => Some(WhiteSpace::Replace),
+            "collapse" => Some(WhiteSpace::Collapse),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserve_is_identity() {
+        assert_eq!(WhiteSpace::Preserve.apply(" a\tb \n"), " a\tb \n");
+    }
+
+    #[test]
+    fn replace_maps_controls_to_spaces() {
+        assert_eq!(WhiteSpace::Replace.apply("a\tb\nc\rd"), "a b c d");
+        assert_eq!(WhiteSpace::Replace.apply("  a  "), "  a  ");
+    }
+
+    #[test]
+    fn collapse_trims_and_merges() {
+        assert_eq!(WhiteSpace::Collapse.apply("  a  \t b\n\nc  "), "a b c");
+        assert_eq!(WhiteSpace::Collapse.apply("abc"), "abc");
+        assert_eq!(WhiteSpace::Collapse.apply(""), "");
+        assert_eq!(WhiteSpace::Collapse.apply("   "), "");
+    }
+
+    #[test]
+    fn collapse_borrows_when_clean() {
+        assert!(matches!(WhiteSpace::Collapse.apply("a b c"), Cow::Borrowed(_)));
+        assert!(matches!(WhiteSpace::Collapse.apply(" a"), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for ws in [WhiteSpace::Preserve, WhiteSpace::Replace, WhiteSpace::Collapse] {
+            assert_eq!(WhiteSpace::by_name(ws.name()), Some(ws));
+        }
+        assert_eq!(WhiteSpace::by_name("trim"), None);
+    }
+}

@@ -1,0 +1,169 @@
+//! The paper's §9 walked through on Example 8: build the library
+//! document, print its descriptive schema (Example 8's right side), show
+//! the block layout and node descriptors (Examples 9–10), run
+//! schema-guided XPath, and demonstrate Proposition 1 — updates never
+//! relabel.
+//!
+//! Run with `cargo run --example library_storage`.
+
+use xsdb::storage::{DescPtr, XmlStorage};
+use xsdb::xdm::{NodeId, NodeKind, NodeStore};
+use xsdb::xpath::{eval_guided, parse};
+
+/// Build the Example 8 library as an XDM tree.
+fn build_library() -> (NodeStore, NodeId) {
+    let mut s = NodeStore::new();
+    let doc = s.new_document(Some("http://example.org/library.xml".into()));
+    let lib = s.new_element(doc, "library");
+
+    let book1 = s.new_element(lib, "book");
+    let t = s.new_element(book1, "title");
+    s.new_text(t, "Foundations of Databases");
+    for a in ["Abiteboul", "Hull", "Vianu"] {
+        let an = s.new_element(book1, "author");
+        s.new_text(an, a);
+    }
+
+    let book2 = s.new_element(lib, "book");
+    let t = s.new_element(book2, "title");
+    s.new_text(t, "An Introduction to Database Systems");
+    let an = s.new_element(book2, "author");
+    s.new_text(an, "Date");
+    let issue = s.new_element(book2, "issue");
+    let p = s.new_element(issue, "publisher");
+    s.new_text(p, "Addison-Wesley");
+    let y = s.new_element(issue, "year");
+    s.new_text(y, "2004");
+
+    for (title, author) in [
+        ("A Relational Model for Large Shared Data Banks", "Codd"),
+        ("The Complexity of Relational Query Languages", "Codd"),
+    ] {
+        let paper = s.new_element(lib, "paper");
+        let t = s.new_element(paper, "title");
+        s.new_text(t, title);
+        let a = s.new_element(paper, "author");
+        s.new_text(a, author);
+    }
+    (s, doc)
+}
+
+fn print_schema(storage: &XmlStorage) {
+    println!("descriptive schema ({} schema nodes):", storage.schema().len());
+    fn rec(storage: &XmlStorage, sn: xsdb::storage::SchemaNodeId, depth: usize) {
+        let node = storage.schema().node(sn);
+        let label = match (&node.name, node.kind) {
+            (Some(n), NodeKind::Attribute) => format!("@{n}"),
+            (Some(n), _) => n.clone(),
+            (None, NodeKind::Document) => "(document)".to_string(),
+            (None, NodeKind::Text) => "text()".to_string(),
+            (None, _) => "?".to_string(),
+        };
+        let instances = storage.scan(sn).len();
+        println!("  {:indent$}{label}  [{instances} instance(s)]", "", indent = depth * 2);
+        for &c in &node.children {
+            rec(storage, c, depth + 1);
+        }
+    }
+    rec(storage, storage.schema().root(), 0);
+}
+
+fn print_descriptor(storage: &XmlStorage, p: DescPtr) {
+    println!(
+        "  {p}: nid={:?} parent={} left={} right={}",
+        storage.nid(p),
+        opt(storage.parent(p)),
+        opt_sib(storage, p, true),
+        opt_sib(storage, p, false),
+    );
+}
+
+fn opt(p: Option<DescPtr>) -> String {
+    p.map(|p| p.to_string()).unwrap_or_else(|| "-".to_string())
+}
+
+fn opt_sib(storage: &XmlStorage, p: DescPtr, left: bool) -> String {
+    let sibs = storage
+        .parent(p)
+        .map(|par| storage.children(par))
+        .unwrap_or_default();
+    let i = sibs.iter().position(|&s| s == p);
+    match i {
+        Some(i) if left && i > 0 => sibs[i - 1].to_string(),
+        Some(i) if !left && i + 1 < sibs.len() => sibs[i + 1].to_string(),
+        _ => "-".to_string(),
+    }
+}
+
+fn main() {
+    let (store, doc) = build_library();
+    // Small blocks so the block structure is visible.
+    let mut storage = XmlStorage::from_tree_with_capacity(&store, doc, 4);
+    assert_eq!(storage.check_invariants(), None);
+
+    // §9.1: the descriptive schema.
+    print_schema(&storage);
+
+    // §9.2: blocks per schema node.
+    println!("\nblock layout: {} blocks for {} descriptors", storage.block_count(), storage.len());
+    let author_sn = storage.schema().resolve_path(&["library", "book", "author"]).unwrap();
+    println!("author descriptors in document order (Example 9's block list):");
+    for p in storage.scan(author_sn) {
+        print_descriptor(&storage, p);
+    }
+
+    // Schema-guided XPath (the §9.2 first-child-by-schema claim).
+    println!("\nschema-guided queries:");
+    for q in ["/library/book/title", "//author", "/library/paper[author='Codd']/title"] {
+        let hits = eval_guided(&storage, &parse(q).unwrap());
+        let values: Vec<String> = hits.iter().map(|&p| storage.string_value(p)).collect();
+        println!("  {q}");
+        for v in values {
+            println!("    → {v:?}");
+        }
+    }
+
+    // §9.3 / Proposition 1: labels answer structural relations, and
+    // updates never relabel.
+    let lib = storage.children(storage.root())[0];
+    let books = storage.children(lib);
+    println!("\nlabel-based relationship checks:");
+    let title1 = storage.children(books[0])[0];
+    println!(
+        "  library ancestor-of first title: {} (nids {:?} / {:?})",
+        storage.is_ancestor(lib, title1),
+        storage.nid(lib),
+        storage.nid(title1)
+    );
+    println!(
+        "  book1 << book2 in document order: {:?}",
+        storage.cmp_doc_order(books[0], books[1])
+    );
+
+    println!("\ninserting 100 books between the first two…");
+    let anchor = books[0];
+    for i in 0..100 {
+        let nb = storage.insert_element(lib, Some(anchor), "book");
+        let t = storage.insert_element(nb, None, "title");
+        storage.insert_text(t, None, format!("Inserted volume {i}"));
+    }
+    assert_eq!(storage.check_invariants(), None);
+    println!(
+        "  descriptors: {}, blocks: {}, relabeled existing nodes: {} (Proposition 1)",
+        storage.len(),
+        storage.block_count(),
+        storage.relabel_count()
+    );
+    assert_eq!(storage.relabel_count(), 0);
+
+    let titles = eval_guided(&storage, &parse("/library/book/title").unwrap());
+    println!("  titles now visible via the guided engine: {}", titles.len());
+    assert_eq!(titles.len(), 102);
+
+    println!("\ndeleting the first original book…");
+    storage.delete(books[0]);
+    assert_eq!(storage.check_invariants(), None);
+    let titles = eval_guided(&storage, &parse("/library/book/title").unwrap());
+    println!("  titles after delete: {}", titles.len());
+    assert_eq!(titles.len(), 101);
+}

@@ -1,0 +1,90 @@
+//! Quickstart: register the paper's Example 7 BookStore schema, insert a
+//! document, query it, and run the §8 round trip.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use xsdb::{check_roundtrip, content_equal, Database, Document};
+
+const BOOKSTORE_XSD: &str = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+            targetNamespace="http://www.books.org"
+            xmlns="http://www.books.org"
+            elementFormDefault="qualified">
+  <xsd:complexType name="BookPublication">
+    <xsd:sequence>
+      <xsd:element name="Title" type="xsd:string"/>
+      <xsd:element name="Author" type="xsd:string"/>
+      <xsd:element name="Date" type="xsd:gYear"/>
+      <xsd:element name="ISBN" type="xsd:string"/>
+      <xsd:element name="Publisher" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:element name="BookStore">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="Book" type="BookPublication" maxOccurs="unbounded"/>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>"#;
+
+const BOOKS_XML: &str = r#"
+<BookStore>
+  <Book>
+    <Title>My Life and Times</Title>
+    <Author>Paul McCartney</Author>
+    <Date>1998</Date>
+    <ISBN>1-56592-235-2</ISBN>
+    <Publisher>McMillin Publishing</Publisher>
+  </Book>
+  <Book>
+    <Title>Illusions: The Adventures of a Reluctant Messiah</Title>
+    <Author>Richard Bach</Author>
+    <Date>1977</Date>
+    <ISBN>0-440-34319-4</ISBN>
+    <Publisher>Dell Publishing Co.</Publisher>
+  </Book>
+</BookStore>"#;
+
+fn main() {
+    // 1. A database evolves through states (§6.1); start empty.
+    let mut db = Database::new();
+
+    // 2. Register the Example 7 schema. It is parsed into the §2–3
+    //    abstract syntax and checked for well-formedness.
+    db.register_schema_text("books", BOOKSTORE_XSD).expect("schema registers");
+    println!("registered schema 'books'");
+
+    // 3. Insert a document: this runs the paper's f — §6.2 validation
+    //    plus S-tree construction with type annotations and typed values.
+    db.insert("store", "books", BOOKS_XML).expect("document is valid");
+    println!("inserted document 'store'");
+
+    // 4. Query through the accessors.
+    let titles = db.query("store", "/BookStore/Book/Title").expect("query runs");
+    println!("titles: {titles:?}");
+    let y1977 = db
+        .query("store", "/BookStore/Book[Date='1977']/Author")
+        .expect("query runs");
+    println!("authors of 1977 books: {y1977:?}");
+
+    // 5. Serialize back (the paper's g)…
+    let text = db.serialize("store").expect("document exists");
+    println!("serialized: {} bytes", text.len());
+
+    // 6. …and check the §8 theorem explicitly: g(f(X)) =_c X.
+    let schema = db.schema("books").expect("registered");
+    let original = Document::parse(BOOKS_XML).expect("well-formed XML");
+    let roundtripped = check_roundtrip(schema, &original).expect("theorem holds");
+    assert!(content_equal(&original, &roundtripped));
+    println!("round-trip theorem: g(f(X)) =_c X ✓");
+
+    // 7. Invalid documents are rejected with rule citations.
+    let bad = "<BookStore><Book><Title>No author</Title></Book></BookStore>";
+    let violations = db.validate("books", bad).expect("schema known");
+    println!("violations for a bad document:");
+    for v in &violations {
+        println!("  {v}");
+    }
+    assert!(!violations.is_empty());
+}

@@ -1,0 +1,155 @@
+//! Accessor conformance matrix (§5/§6.1): for every node kind, the
+//! mandated-empty accessors are empty and the meaningful ones are
+//! populated — on the XDM arena, on the block storage, and on the tree
+//! rebuilt from storage.
+
+use xsdb::storage::XmlStorage;
+use xsdb::xdm::{NodeKind, NodeStore};
+use xsdb::{load_document, parse_schema_text, storage_to_tree, Document};
+
+const SCHEMA: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="order">
+    <xs:complexType mixed="true">
+      <xs:sequence>
+        <xs:element name="item" minOccurs="0" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="qty" type="xs:positiveInteger"/>
+            </xs:sequence>
+            <xs:attribute name="sku" type="xs:NCName"/>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+      <xs:attribute name="id" type="xs:ID"/>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+const DOC: &str =
+    r#"<order id="o1">note <item sku="a1"><qty>2</qty></item> done</order>"#;
+
+/// §6.1's per-kind emptiness table, checkable against any accessor facade.
+struct Accessors<'a> {
+    kind: NodeKind,
+    name: Option<&'a str>,
+    has_parent: bool,
+    children: usize,
+    attributes: usize,
+    type_name: Option<&'a str>,
+    nilled: Option<bool>,
+}
+
+fn check_61(a: &Accessors) {
+    match a.kind {
+        NodeKind::Document => {
+            assert_eq!(a.name, None, "document node-name must be empty");
+            assert!(!a.has_parent, "document parent must be empty");
+            assert_eq!(a.type_name, None, "document type must be empty");
+            assert_eq!(a.attributes, 0, "document attributes must be empty");
+            assert_eq!(a.nilled, None, "document nilled must be empty");
+        }
+        NodeKind::Element => {
+            assert!(a.name.is_some());
+            assert!(a.has_parent);
+            assert!(a.type_name.is_some());
+            assert!(a.nilled.is_some());
+        }
+        NodeKind::Attribute => {
+            assert!(a.name.is_some());
+            assert!(a.has_parent);
+            assert_eq!(a.children, 0, "attribute children must be empty");
+            assert_eq!(a.attributes, 0);
+            assert_eq!(a.nilled, None);
+        }
+        NodeKind::Text => {
+            assert_eq!(a.name, None, "text node-name must be empty");
+            assert!(a.has_parent);
+            assert_eq!(a.children, 0);
+            assert_eq!(a.attributes, 0);
+            assert_eq!(a.nilled, None);
+        }
+    }
+}
+
+fn sweep_store(store: &NodeStore, doc: xsdb::xdm::NodeId) -> usize {
+    let mut checked = 0;
+    for n in store.subtree(doc) {
+        check_61(&Accessors {
+            kind: store.kind(n),
+            name: store.node_name(n),
+            has_parent: store.parent(n).is_some(),
+            children: store.children(n).len(),
+            attributes: store.attributes(n).len(),
+            type_name: store.type_name(n),
+            nilled: store.nilled(n),
+        });
+        checked += 1;
+    }
+    checked
+}
+
+#[test]
+fn xdm_tree_satisfies_the_61_matrix() {
+    let schema = parse_schema_text(SCHEMA).unwrap();
+    let loaded = load_document(&schema, &Document::parse(DOC).unwrap()).unwrap();
+    let checked = sweep_store(&loaded.store, loaded.doc);
+    assert_eq!(checked, loaded.store.len());
+}
+
+#[test]
+fn block_storage_satisfies_the_61_matrix() {
+    let schema = parse_schema_text(SCHEMA).unwrap();
+    let loaded = load_document(&schema, &Document::parse(DOC).unwrap()).unwrap();
+    let xs = XmlStorage::from_tree(&loaded.store, loaded.doc);
+    let mut checked = 0;
+    for p in xs.subtree(xs.root()) {
+        check_61(&Accessors {
+            kind: xs.kind(p),
+            name: xs.node_name(p),
+            has_parent: xs.parent(p).is_some(),
+            children: xs.children(p).len(),
+            attributes: xs.attributes(p).len(),
+            type_name: xs.type_name(p),
+            nilled: xs.nilled(p),
+        });
+        checked += 1;
+    }
+    assert_eq!(checked, xs.len());
+}
+
+#[test]
+fn rebuilt_tree_satisfies_the_61_matrix() {
+    let schema = parse_schema_text(SCHEMA).unwrap();
+    let loaded = load_document(&schema, &Document::parse(DOC).unwrap()).unwrap();
+    let xs = XmlStorage::from_tree(&loaded.store, loaded.doc);
+    let (rebuilt, doc) = storage_to_tree(&xs);
+    let checked = sweep_store(&rebuilt, doc);
+    assert_eq!(checked, rebuilt.len());
+}
+
+#[test]
+fn typed_values_flow_through_all_three_facades() {
+    let schema = parse_schema_text(SCHEMA).unwrap();
+    let loaded = load_document(&schema, &Document::parse(DOC).unwrap()).unwrap();
+    // XDM: qty has a stored typed value from validation.
+    let order = loaded.root_element();
+    let item = loaded.store.child_elements(order)[0];
+    let qty = loaded.store.child_elements(item)[0];
+    let tv = loaded.store.typed_value(qty);
+    assert!(matches!(tv[0], xsdb::xstypes::AtomicValue::Integer(2, _)));
+    // Storage: recomputed from string value + schema type + registry.
+    let xs = XmlStorage::from_tree(&loaded.store, loaded.doc);
+    let registry = xsdb::xstypes::TypeRegistry::with_builtins();
+    let item_d = xs
+        .scan(xs.schema().resolve_path(&["order", "item"]).unwrap())
+        .into_iter()
+        .next()
+        .unwrap();
+    let qty_d = xs.children(item_d)[0];
+    let tv = xs.typed_value(qty_d, &registry);
+    assert!(matches!(tv[0], xsdb::xstypes::AtomicValue::Integer(2, _)));
+    // Mixed-content order element: untyped atomic of the string value.
+    let tv = xs.typed_value(xs.children(xs.root())[0], &registry);
+    assert!(matches!(&tv[0], xsdb::xstypes::AtomicValue::Untyped(s) if s.contains("note")));
+}

@@ -1,0 +1,137 @@
+//! End-to-end coverage for `xsd:all` (the paper's footnote 2 "all option
+//! definition" / the §2 `Interleave` constructor): XSD text → schema →
+//! validation → round trip.
+
+use xsdb::{check_roundtrip, load_document, parse_schema_text, Document, Rule};
+
+const SCHEMA: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="address">
+    <xs:complexType>
+      <xs:all>
+        <xs:element name="street" type="xs:string"/>
+        <xs:element name="city" type="xs:string"/>
+        <xs:element name="zip" type="xs:string"/>
+        <xs:element name="country" type="xs:string" minOccurs="0"/>
+      </xs:all>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+fn validate(xml: &str) -> Result<(), Vec<Rule>> {
+    let schema = parse_schema_text(SCHEMA).unwrap();
+    match load_document(&schema, &Document::parse(xml).unwrap()) {
+        Ok(_) => Ok(()),
+        Err(errs) => Err(errs.into_iter().map(|e| e.rule).collect()),
+    }
+}
+
+#[test]
+fn declaration_order_is_valid() {
+    assert_eq!(
+        validate(
+            "<address><street>5th Ave</street><city>NYC</city><zip>10001</zip></address>"
+        ),
+        Ok(())
+    );
+}
+
+#[test]
+fn any_permutation_is_valid() {
+    assert_eq!(
+        validate("<address><zip>10001</zip><street>5th Ave</street><city>NYC</city></address>"),
+        Ok(())
+    );
+    assert_eq!(
+        validate("<address><city>NYC</city><zip>10001</zip><street>5th Ave</street></address>"),
+        Ok(())
+    );
+}
+
+#[test]
+fn optional_member_may_be_anywhere_or_absent() {
+    assert_eq!(
+        validate(
+            "<address><country>US</country><zip>1</zip><street>s</street><city>c</city></address>"
+        ),
+        Ok(())
+    );
+    assert_eq!(
+        validate("<address><zip>1</zip><street>s</street><city>c</city></address>"),
+        Ok(())
+    );
+}
+
+#[test]
+fn missing_required_member_cites_5423() {
+    let rules =
+        validate("<address><street>s</street><city>c</city></address>").unwrap_err();
+    assert!(rules.contains(&Rule::R5423GroupMatch));
+}
+
+#[test]
+fn duplicate_member_cites_5423() {
+    let rules = validate(
+        "<address><zip>1</zip><zip>2</zip><street>s</street><city>c</city></address>",
+    )
+    .unwrap_err();
+    assert!(rules.contains(&Rule::R5423GroupMatch));
+}
+
+#[test]
+fn foreign_element_cites_5423() {
+    let rules = validate(
+        "<address><street>s</street><city>c</city><zip>1</zip><state>NY</state></address>",
+    )
+    .unwrap_err();
+    assert!(rules.contains(&Rule::R5423GroupMatch));
+}
+
+#[test]
+fn all_group_roundtrips_preserving_order() {
+    // g(f(X)) =_c X also for permuted all-content: the loaded tree keeps
+    // the *document's* order (children(end) reflects the instance).
+    let schema = parse_schema_text(SCHEMA).unwrap();
+    let xml = Document::parse(
+        "<address><zip>10001</zip><street>5th Ave</street><city>NYC</city></address>",
+    )
+    .unwrap();
+    let out = check_roundtrip(&schema, &xml).unwrap();
+    // Byte-level: the order of children survives.
+    assert_eq!(
+        out.to_xml(),
+        "<address><zip>10001</zip><street>5th Ave</street><city>NYC</city></address>"
+    );
+}
+
+#[test]
+fn typed_values_use_member_declarations() {
+    let schema = parse_schema_text(
+        r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="point">
+    <xs:complexType>
+      <xs:all>
+        <xs:element name="x" type="xs:integer"/>
+        <xs:element name="y" type="xs:integer"/>
+      </xs:all>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#,
+    )
+    .unwrap();
+    let xml = Document::parse("<point><y>2</y><x>1</x></point>").unwrap();
+    let loaded = load_document(&schema, &xml).unwrap();
+    let root = loaded.root_element();
+    let kids = loaded.store.child_elements(root);
+    // Document order: y first, then x — each typed by its own declaration.
+    assert_eq!(loaded.store.node_name(kids[0]), Some("y"));
+    assert!(matches!(
+        loaded.store.typed_value(kids[0])[0],
+        xsdb::xstypes::AtomicValue::Integer(2, _)
+    ));
+    assert!(matches!(
+        loaded.store.typed_value(kids[1])[0],
+        xsdb::xstypes::AtomicValue::Integer(1, _)
+    ));
+}

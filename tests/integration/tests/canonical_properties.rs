@@ -1,0 +1,94 @@
+//! Property test: canonicalization of random content models preserves
+//! the accepted language (checked by exhaustive enumeration of short
+//! strings) and never grows the tree.
+
+use proptest::prelude::*;
+use xsdb::xsmodel::{
+    canonicalize_group, group_size, CombinationFactor, ContentModel, ElementDeclaration,
+    GroupDefinition, Particle, RepetitionFactor,
+};
+
+fn repetition() -> impl Strategy<Value = RepetitionFactor> {
+    prop_oneof![
+        4 => Just(RepetitionFactor::ONCE),
+        2 => Just(RepetitionFactor::OPTIONAL),
+        2 => Just(RepetitionFactor::ANY),
+        1 => Just(RepetitionFactor::at_least(1)),
+        1 => (0u32..3, 0u32..3).prop_map(|(a, b)| RepetitionFactor::new(a.min(a + b), a + b)),
+    ]
+}
+
+fn element() -> impl Strategy<Value = Particle> {
+    (prop_oneof![Just("a"), Just("b"), Just("c")], repetition()).prop_map(|(name, rep)| {
+        Particle::Element(ElementDeclaration::new(name, "xs:string").with_repetition(rep))
+    })
+}
+
+fn group(depth: u32) -> BoxedStrategy<GroupDefinition> {
+    let leaf = (
+        proptest::collection::vec(element(), 0..3),
+        prop_oneof![Just(CombinationFactor::Sequence), Just(CombinationFactor::Choice)],
+        repetition(),
+    )
+        .prop_map(|(particles, combination, repetition)| GroupDefinition {
+            particles,
+            combination,
+            repetition,
+        });
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        (
+            proptest::collection::vec(
+                prop_oneof![3 => element(), 2 => group(depth - 1).prop_map(Particle::Group)],
+                0..3,
+            ),
+            prop_oneof![Just(CombinationFactor::Sequence), Just(CombinationFactor::Choice)],
+            repetition(),
+        )
+            .prop_map(|(particles, combination, repetition)| GroupDefinition {
+                particles,
+                combination,
+                repetition,
+            })
+            .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn canonicalization_preserves_the_language(g in group(2)) {
+        let canonical = canonicalize_group(&g);
+        prop_assert!(group_size(&canonical) <= group_size(&g));
+        let (Ok(a), Ok(b)) = (ContentModel::compile(&g), ContentModel::compile(&canonical))
+        else {
+            // Oversized expansions are rejected identically.
+            prop_assert!(
+                ContentModel::compile(&g).is_err() && ContentModel::compile(&canonical).is_err()
+            );
+            return Ok(());
+        };
+        // Enumerate all strings over {a, b, c} up to length 4.
+        let alphabet = ["a", "b", "c"];
+        let mut frontier: Vec<Vec<&str>> = vec![Vec::new()];
+        while let Some(s) = frontier.pop() {
+            prop_assert_eq!(a.accepts(&s), b.accepts(&s), "disagree on {:?}", s);
+            if s.len() < 4 {
+                for sym in alphabet {
+                    let mut t = s.clone();
+                    t.push(sym);
+                    frontier.push(t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent(g in group(2)) {
+        let once = canonicalize_group(&g);
+        let twice = canonicalize_group(&once);
+        prop_assert_eq!(group_size(&once), group_size(&twice));
+    }
+}

@@ -1,0 +1,311 @@
+//! Edge-case matrix across the stack: boundary values of the type
+//! system, parser corner cases, and unusual-but-legal schema shapes.
+
+use xsdb::xstypes::{AtomicValue, Builtin, Primitive};
+use xsdb::{load_document, parse_schema_text, Document, Rule};
+
+// ------------------------------------------------------------- types
+
+#[test]
+fn leap_year_rules() {
+    use xsdb::xstypes::{DateTime, DateTimeKind};
+    // Divisible by 4: leap.
+    assert!(DateTime::parse("2004-02-29", DateTimeKind::Date).is_ok());
+    // Divisible by 100: not leap.
+    assert!(DateTime::parse("1900-02-29", DateTimeKind::Date).is_err());
+    // Divisible by 400: leap.
+    assert!(DateTime::parse("2000-02-29", DateTimeKind::Date).is_ok());
+    // Ordinary year.
+    assert!(DateTime::parse("2003-02-29", DateTimeKind::Date).is_err());
+}
+
+#[test]
+fn gregorian_fragments_reject_out_of_range_fields() {
+    use xsdb::xstypes::{DateTime, DateTimeKind};
+    assert!(DateTime::parse("--13", DateTimeKind::GMonth).is_err());
+    assert!(DateTime::parse("--00", DateTimeKind::GMonth).is_err());
+    assert!(DateTime::parse("---32", DateTimeKind::GDay).is_err());
+    assert!(DateTime::parse("---00", DateTimeKind::GDay).is_err());
+    assert!(DateTime::parse("--02-30", DateTimeKind::GMonthDay).is_err());
+    assert!(DateTime::parse("--01-31", DateTimeKind::GMonthDay).is_ok());
+}
+
+#[test]
+fn timezone_boundaries() {
+    use xsdb::xstypes::{DateTime, DateTimeKind};
+    assert!(DateTime::parse("2004-01-01T00:00:00+14:00", DateTimeKind::DateTime).is_ok());
+    assert!(DateTime::parse("2004-01-01T00:00:00-14:00", DateTimeKind::DateTime).is_ok());
+    assert!(DateTime::parse("2004-01-01T00:00:00+14:01", DateTimeKind::DateTime).is_err());
+    assert!(DateTime::parse("2004-01-01T00:00:00+13:60", DateTimeKind::DateTime).is_err());
+}
+
+#[test]
+fn fractional_seconds_compare_correctly() {
+    use std::cmp::Ordering;
+    use xsdb::xstypes::{DateTime, DateTimeKind};
+    let a = DateTime::parse("2004-01-01T00:00:00.5Z", DateTimeKind::DateTime).unwrap();
+    let b = DateTime::parse("2004-01-01T00:00:00.25Z", DateTimeKind::DateTime).unwrap();
+    assert_eq!(a.partial_cmp_xsd(&b), Some(Ordering::Greater));
+    let c = DateTime::parse("2004-01-01T00:00:00.500Z", DateTimeKind::DateTime).unwrap();
+    assert_eq!(a.partial_cmp_xsd(&c), Some(Ordering::Equal));
+}
+
+#[test]
+fn duration_sign_handling() {
+    use xsdb::xstypes::Duration;
+    let neg = Duration::parse("-P1Y2M3DT4H").unwrap();
+    assert!(neg.months < 0 && neg.seconds < 0);
+    assert_eq!(neg.canonical(), "-P1Y2M3DT4H");
+    // -0 duration is the zero duration.
+    assert_eq!(Duration::parse("-PT0S").unwrap().canonical(), "PT0S");
+}
+
+#[test]
+fn unsigned_long_full_range() {
+    assert!(AtomicValue::parse_builtin("0", Builtin::UnsignedLong).is_ok());
+    let max = u64::MAX.to_string();
+    let v = AtomicValue::parse_builtin(&max, Builtin::UnsignedLong).unwrap();
+    assert_eq!(v.canonical(), max);
+}
+
+#[test]
+fn boolean_rejects_whitespace_variants_only_after_collapse() {
+    // Collapse runs first, so padded values are fine…
+    assert!(AtomicValue::parse_builtin("  true  ", Builtin::Primitive(Primitive::Boolean)).is_ok());
+    // …but interior garbage is not.
+    assert!(AtomicValue::parse_builtin("t r u e", Builtin::Primitive(Primitive::Boolean)).is_err());
+}
+
+#[test]
+fn float_special_values_compare_per_xpath() {
+    let inf = AtomicValue::parse_primitive("INF", Primitive::Float).unwrap();
+    let neg_inf = AtomicValue::parse_primitive("-INF", Primitive::Float).unwrap();
+    let zero = AtomicValue::parse_primitive("0", Primitive::Float).unwrap();
+    assert_eq!(inf.partial_cmp_xsd(&zero), Some(std::cmp::Ordering::Greater));
+    assert_eq!(neg_inf.partial_cmp_xsd(&zero), Some(std::cmp::Ordering::Less));
+    assert!(inf.eq_xsd(&inf));
+}
+
+#[test]
+fn decimal_extremes() {
+    use xsdb::xstypes::Decimal;
+    let big: Decimal = "9999999999999999999999999999999999999".parse().unwrap();
+    assert_eq!(big.total_digits(), 37);
+    let tiny: Decimal = "0.0000000000000000000000000000000000001".parse().unwrap();
+    assert_eq!(tiny.fraction_digits(), 37);
+    assert!(big > tiny);
+}
+
+// ------------------------------------------------------------ parser
+
+#[test]
+fn deeply_nested_documents_parse() {
+    let depth = 2_000;
+    let mut src = String::new();
+    for _ in 0..depth {
+        src.push_str("<d>");
+    }
+    src.push('x');
+    for _ in 0..depth {
+        src.push_str("</d>");
+    }
+    let doc = Document::parse(&src).unwrap();
+    assert_eq!(doc.root().text_content(), "x");
+}
+
+#[test]
+fn bom_less_unicode_content() {
+    let doc = Document::parse("<名前 属性=\"値\">日本語 🦀</名前>").unwrap();
+    assert_eq!(doc.root().name.local(), "名前");
+    assert_eq!(doc.root().attribute("属性"), Some("値"));
+    assert_eq!(doc.root().text_content(), "日本語 🦀");
+}
+
+#[test]
+fn crlf_and_tabs_in_text_are_preserved() {
+    let doc = Document::parse("<a>line1\r\n\tline2</a>").unwrap();
+    assert_eq!(doc.root().text_content(), "line1\r\n\tline2");
+}
+
+#[test]
+fn error_positions_are_precise() {
+    let err = Document::parse("<a>\n<b>\n  <c>oops</d>\n</b></a>").unwrap_err();
+    assert_eq!(err.position.line, 3);
+}
+
+#[test]
+fn huge_attribute_values_round_trip() {
+    let long = "v".repeat(100_000);
+    let src = format!("<a x=\"{long}\"/>");
+    let doc = Document::parse(&src).unwrap();
+    assert_eq!(doc.root().attribute("x").unwrap().len(), 100_000);
+    assert_eq!(Document::parse(&doc.to_xml()).unwrap(), doc);
+}
+
+// ------------------------------------------------------------ schema
+
+#[test]
+fn recursive_types_validate_to_any_depth() {
+    let schema = parse_schema_text(
+        r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="Tree">
+    <xs:sequence>
+      <xs:element name="leaf" type="xs:string" minOccurs="0"/>
+      <xs:element name="node" type="Tree" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:element name="node" type="Tree"/>
+</xs:schema>"#,
+    )
+    .unwrap();
+    let mut src = String::new();
+    for _ in 0..200 {
+        src.push_str("<node>");
+    }
+    src.push_str("<leaf>deep</leaf>");
+    for _ in 0..200 {
+        src.push_str("</node>");
+    }
+    let doc = Document::parse(&src).unwrap();
+    let loaded = load_document(&schema, &doc).unwrap();
+    assert_eq!(loaded.store.string_value(loaded.doc), "deep");
+}
+
+#[test]
+fn empty_document_against_optional_content() {
+    let schema = parse_schema_text(
+        r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="x" type="xs:string" minOccurs="0"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#,
+    )
+    .unwrap();
+    for doc in ["<r/>", "<r></r>", "<r><x/></r>", "<r><x>v</x></r>"] {
+        assert!(
+            load_document(&schema, &Document::parse(doc).unwrap()).is_ok(),
+            "{doc}"
+        );
+    }
+    let bad = Document::parse("<r><x/><x/></r>").unwrap();
+    assert!(load_document(&schema, &bad).is_err());
+}
+
+#[test]
+fn zero_max_occurs_forbids_the_element() {
+    let schema = parse_schema_text(
+        r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="never" type="xs:string" minOccurs="0" maxOccurs="0"/>
+        <xs:element name="ok" type="xs:string"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#,
+    )
+    .unwrap();
+    assert!(load_document(&schema, &Document::parse("<r><ok>1</ok></r>").unwrap()).is_ok());
+    let errs =
+        load_document(&schema, &Document::parse("<r><never>x</never><ok>1</ok></r>").unwrap())
+            .unwrap_err();
+    assert!(errs.iter().any(|e| e.rule == Rule::R5423GroupMatch));
+}
+
+#[test]
+fn anonymous_simple_type_inline_in_element() {
+    let schema = parse_schema_text(
+        r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="grade">
+    <xs:simpleType>
+      <xs:restriction base="xs:integer">
+        <xs:minInclusive value="1"/>
+        <xs:maxInclusive value="5"/>
+      </xs:restriction>
+    </xs:simpleType>
+  </xs:element>
+</xs:schema>"#,
+    )
+    .unwrap();
+    assert!(load_document(&schema, &Document::parse("<grade>3</grade>").unwrap()).is_ok());
+    let errs = load_document(&schema, &Document::parse("<grade>9</grade>").unwrap()).unwrap_err();
+    assert!(errs.iter().any(|e| e.rule == Rule::R511SimpleValue));
+}
+
+#[test]
+fn unicode_element_names_flow_through_the_whole_stack() {
+    let schema = parse_schema_text(
+        r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="文書">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="節" type="xs:string" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#,
+    )
+    .unwrap();
+    let doc = Document::parse("<文書><節>一</節><節>二</節></文書>").unwrap();
+    let loaded = load_document(&schema, &doc).unwrap();
+    let storage = xsdb::storage::XmlStorage::from_tree(&loaded.store, loaded.doc);
+    let hits = xsdb::xpath::eval_guided(&storage, &xsdb::xpath::parse("/文書/節").unwrap());
+    assert_eq!(hits.len(), 2);
+    assert_eq!(storage.string_value(hits[0]), "一");
+}
+
+#[test]
+fn whitespace_only_document_content_in_string_type() {
+    // xs:string preserves whitespace: a whitespace-only value is legal
+    // and survives the round trip exactly.
+    let schema = parse_schema_text(
+        r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+             <xs:element name="s" type="xs:string"/>
+           </xs:schema>"#,
+    )
+    .unwrap();
+    let doc = Document::parse("<s>   </s>").unwrap();
+    let loaded = load_document(&schema, &doc).unwrap();
+    assert_eq!(loaded.store.string_value(loaded.doc), "   ");
+    let out = xsdb::serialize_tree(&loaded.store, loaded.doc);
+    assert_eq!(out.to_xml(), "<s>   </s>");
+}
+
+#[test]
+fn deep_schema_validation_uses_one_content_model_per_type() {
+    // 500 siblings of a recursive type: the loader's cache must make
+    // this linear, not quadratic (completes instantly).
+    let schema = parse_schema_text(
+        r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="Item">
+    <xs:sequence><xs:element name="v" type="xs:integer"/></xs:sequence>
+  </xs:complexType>
+  <xs:element name="all">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="item" type="Item" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#,
+    )
+    .unwrap();
+    let mut src = String::from("<all>");
+    for i in 0..500 {
+        src.push_str(&format!("<item><v>{i}</v></item>"));
+    }
+    src.push_str("</all>");
+    let loaded = load_document(&schema, &Document::parse(&src).unwrap()).unwrap();
+    assert_eq!(loaded.store.len(), 1 + 1 + 500 * 3);
+}

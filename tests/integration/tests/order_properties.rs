@@ -1,0 +1,120 @@
+//! Property tests for §7 document order: the pointer-walk comparison,
+//! the precomputed rank index, and the §9.3 numbering labels must all
+//! realize the same total order, and that order must satisfy the §7
+//! axioms on every generated tree.
+
+use proptest::prelude::*;
+use xsdb::storage::XmlStorage;
+use xsdb::xdm::{check_order_axioms, cmp_document_order, DocumentOrderIndex, NodeId, NodeStore};
+
+/// A random tree description: a parent vector over element nodes plus
+/// per-node attribute/text counts.
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    /// parent[i] < i+1 indexes the parent of element i+1 (element 0 is
+    /// the root).
+    parents: Vec<usize>,
+    attrs: Vec<u8>,
+    texts: Vec<u8>,
+}
+
+fn tree_spec(max_elems: usize) -> impl Strategy<Value = TreeSpec> {
+    (1..max_elems).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<usize>> =
+            (1..n).map(|i| (0..i).boxed()).collect();
+        (parents, proptest::collection::vec(0u8..3, n), proptest::collection::vec(0u8..3, n))
+            .prop_map(|(parents, attrs, texts)| TreeSpec { parents, attrs, texts })
+    })
+}
+
+fn build(spec: &TreeSpec) -> (NodeStore, NodeId) {
+    let mut s = NodeStore::new();
+    let doc = s.new_document(None);
+    let n = spec.attrs.len();
+    let mut elems = Vec::with_capacity(n);
+    elems.push(s.new_element(doc, "e0"));
+    for (i, &p) in spec.parents.iter().enumerate() {
+        elems.push(s.new_element(elems[p], format!("e{}", i + 1)));
+    }
+    for (i, &e) in elems.iter().enumerate() {
+        for a in 0..spec.attrs[i] {
+            s.new_attribute(e, format!("a{a}"), format!("v{a}"));
+        }
+        for t in 0..spec.texts[i] {
+            s.new_text(e, format!("t{t}"));
+        }
+    }
+    (s, doc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn order_axioms_hold_on_random_trees(spec in tree_spec(24)) {
+        let (s, doc) = build(&spec);
+        prop_assert_eq!(check_order_axioms(&s, doc), None);
+    }
+
+    #[test]
+    fn three_order_implementations_agree(spec in tree_spec(16)) {
+        let (s, doc) = build(&spec);
+        let idx = DocumentOrderIndex::build(&s, doc);
+        let storage = XmlStorage::from_tree(&s, doc);
+        let nodes = s.subtree(doc);
+        let descs = storage.subtree(storage.root());
+        prop_assert_eq!(nodes.len(), descs.len());
+        for (i, &a) in nodes.iter().enumerate() {
+            for (j, &b) in nodes.iter().enumerate() {
+                let walk = cmp_document_order(&s, a, b);
+                prop_assert_eq!(walk, idx.cmp(a, b));
+                prop_assert_eq!(walk, storage.cmp_doc_order(descs[i], descs[j]));
+                // And the subtree sequence *is* the order.
+                prop_assert_eq!(walk, i.cmp(&j));
+            }
+        }
+    }
+
+    #[test]
+    fn labels_agree_with_pointers_on_ancestry(spec in tree_spec(16)) {
+        let (s, doc) = build(&spec);
+        let storage = XmlStorage::from_tree(&s, doc);
+        let nodes = s.subtree(doc);
+        let descs = storage.subtree(storage.root());
+        for (i, &a) in nodes.iter().enumerate() {
+            for (j, &b) in nodes.iter().enumerate() {
+                prop_assert_eq!(
+                    s.is_ancestor(a, b),
+                    storage.is_ancestor(descs[i], descs[j]),
+                    "nodes {} vs {}", i, j
+                );
+                let parent_truth = s.parent(b) == Some(a);
+                prop_assert_eq!(parent_truth, storage.is_parent(descs[i], descs[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_total_antisymmetric_transitive(spec in tree_spec(12)) {
+        let (s, doc) = build(&spec);
+        let nodes = s.subtree(doc);
+        use std::cmp::Ordering;
+        for &a in &nodes {
+            prop_assert_eq!(cmp_document_order(&s, a, a), Ordering::Equal);
+            for &b in &nodes {
+                let ab = cmp_document_order(&s, a, b);
+                let ba = cmp_document_order(&s, b, a);
+                prop_assert_eq!(ab, ba.reverse());
+                if a != b {
+                    prop_assert_ne!(ab, Ordering::Equal, "total on distinct nodes");
+                }
+                for &c in &nodes {
+                    let bc = cmp_document_order(&s, b, c);
+                    if ab == Ordering::Less && bc == Ordering::Less {
+                        prop_assert_eq!(cmp_document_order(&s, a, c), Ordering::Less);
+                    }
+                }
+            }
+        }
+    }
+}

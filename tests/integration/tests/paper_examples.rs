@@ -1,0 +1,275 @@
+//! The paper's own Examples 1–10, encoded as a conformance suite: each
+//! example becomes executable checks against the corresponding layer.
+
+use xsdb::storage::XmlStorage;
+use xsdb::xsmodel::{
+    CombinationFactor, ComplexTypeDefinition, ContentModel, Maximum, RepetitionFactor, Type,
+};
+use xsdb::{load_document, parse_schema_text, Document};
+
+/// Example 1: three element declarations — a nillable Comment, a Book
+/// with explicit (0,1000) occurrence, and an anonymous complex type.
+#[test]
+fn example_1_element_declarations() {
+    let schema = parse_schema_text(
+        r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="PurchaseOrder">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="Comment" type="xsd:string" nillable="true"/>
+        <xsd:element name="Book" type="xsd:string" minOccurs="0" maxOccurs="1000"/>
+        <xsd:element name="ShipTo">
+          <xsd:complexType>
+            <xsd:sequence>
+              <xsd:element name="name" type="xsd:string"/>
+            </xsd:sequence>
+          </xsd:complexType>
+        </xsd:element>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>"#,
+    )
+    .unwrap();
+    let ctd = schema.complex_of(&schema.root.ty).unwrap();
+    let ComplexTypeDefinition::ComplexContent { content, .. } = ctd else { panic!() };
+    let decls = content.element_declarations();
+    // First declaration: default (1,1), nillable (paper: "only the first
+    // element may have the nil value").
+    assert!(decls[0].nillable);
+    assert_eq!(decls[0].repetition, RepetitionFactor::ONCE);
+    // Second: explicit (0, 1000), not nillable.
+    assert!(!decls[1].nillable);
+    assert_eq!(decls[1].repetition.min, 0);
+    assert_eq!(decls[1].repetition.max, Maximum::Bounded(1000));
+    // Third: anonymous complex type.
+    assert!(matches!(decls[2].ty, Type::AnonymousComplex(_)));
+}
+
+/// Examples 2 and 3: a sequence group and a repeatable choice group.
+#[test]
+fn examples_2_and_3_groups() {
+    let schema = parse_schema_text(
+        r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Seq">
+    <xsd:sequence>
+      <xsd:element name="B" type="xsd:string"/>
+      <xsd:element name="C" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Bits">
+    <xsd:choice minOccurs="0" maxOccurs="unbounded">
+      <xsd:element name="zero" type="xsd:string"/>
+      <xsd:element name="one" type="xsd:string"/>
+    </xsd:choice>
+  </xsd:complexType>
+  <xsd:element name="x" type="Seq"/>
+</xsd:schema>"#,
+    )
+    .unwrap();
+    let ComplexTypeDefinition::ComplexContent { content: seq, .. } =
+        &schema.complex_types["Seq"]
+    else {
+        panic!()
+    };
+    assert_eq!(seq.combination, CombinationFactor::Sequence);
+    let cm = ContentModel::compile(seq).unwrap();
+    assert!(cm.accepts(&["B", "C"]));
+    assert!(!cm.accepts(&["C", "B"]));
+
+    let ComplexTypeDefinition::ComplexContent { content: bits, .. } =
+        &schema.complex_types["Bits"]
+    else {
+        panic!()
+    };
+    assert_eq!(bits.combination, CombinationFactor::Choice);
+    let cm = ContentModel::compile(bits).unwrap();
+    // "an ss associated with the group definition presented in Example 3
+    // may be empty or consist of any number of such subsequences".
+    assert!(cm.accepts(&[]));
+    assert!(cm.accepts(&["zero", "one", "one", "zero"]));
+}
+
+/// Examples 4–6: attributes, simple content, mixed complex content.
+#[test]
+fn examples_4_to_6_complex_types() {
+    let schema = parse_schema_text(
+        r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="PricedValue">
+    <xsd:simpleContent>
+      <xsd:extension base="xsd:decimal">
+        <xsd:attribute name="InStock" type="xsd:boolean"/>
+      </xsd:extension>
+    </xsd:simpleContent>
+  </xsd:complexType>
+  <xsd:element name="Shelf">
+    <xsd:complexType mixed="true">
+      <xsd:sequence>
+        <xsd:element name="Book" type="PricedValue" minOccurs="0" maxOccurs="1000"/>
+      </xsd:sequence>
+      <xsd:attribute name="InStock" type="xsd:boolean"/>
+      <xsd:attribute name="Reviewer" type="xsd:string"/>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>"#,
+    )
+    .unwrap();
+    // Example 5: "An element of this type may have a decimal value and an
+    // attribute."
+    let doc = Document::parse(
+        r#"<Shelf InStock="true" Reviewer="codd">shelf text <Book InStock="false">19.99</Book> more</Shelf>"#,
+    )
+    .unwrap();
+    let loaded = load_document(&schema, &doc).unwrap();
+    let shelf = loaded.root_element();
+    // Example 6: "Book elements can be interleaved by texts" — but the
+    // children of a Book may not (its content is simple).
+    let kinds: Vec<&str> =
+        loaded.store.children(shelf).iter().map(|&c| loaded.store.node_kind(c)).collect();
+    assert_eq!(kinds, ["text", "element", "text"]);
+    let book = loaded.store.child_elements(shelf)[0];
+    let tv = loaded.store.typed_value(book);
+    assert_eq!(tv[0].canonical(), "19.99");
+    assert_eq!(
+        tv[0].type_of(),
+        xsdb::xstypes::Builtin::Primitive(xsdb::xstypes::Primitive::Decimal)
+    );
+}
+
+/// Example 7: the BookStore schema — named and anonymous types, and the
+/// §6.2 tree shape the paper narrates for it.
+#[test]
+fn example_7_bookstore_tree_shape() {
+    let schema = parse_schema_text(
+        r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+            targetNamespace="http://www.books.org"
+            xmlns="http://www.books.org"
+            elementFormDefault="qualified">
+  <xsd:complexType name="BookPublication">
+    <xsd:sequence>
+      <xsd:element name="Title" type="xsd:string"/>
+      <xsd:element name="Author" type="xsd:string"/>
+      <xsd:element name="Date" type="xsd:string"/>
+      <xsd:element name="ISBN" type="xsd:string"/>
+      <xsd:element name="Publisher" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:element name="BookStore">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="Book" type="BookPublication" maxOccurs="unbounded"/>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>"#,
+    )
+    .unwrap();
+    let doc = Document::parse(
+        r#"<BookStore><Book><Title>T</Title><Author>A</Author><Date>D</Date><ISBN>I</ISBN><Publisher>P</Publisher></Book></BookStore>"#,
+    )
+    .unwrap();
+    let loaded = load_document(&schema, &doc).unwrap();
+    // §6.2 item 3: "a document node has only one child, an element node;
+    // it is the node with name BookStore".
+    assert_eq!(loaded.store.children(loaded.doc).len(), 1);
+    let root = loaded.root_element();
+    assert_eq!(loaded.store.node_name(root), Some("BookStore"));
+    // Item 4: type(end) = "xs:anyType" for the anonymous definition…
+    assert_eq!(loaded.store.type_name(root), Some("xs:anyType"));
+    // …and the named type for Book.
+    let book = loaded.store.child_elements(root)[0];
+    assert_eq!(loaded.store.type_name(book), Some("BookPublication"));
+    // 5.1.1: "a text node is associated with each of the element nodes
+    // with names Title, Author, Date, ISBN and Publisher".
+    for child in loaded.store.child_elements(book) {
+        let kids = loaded.store.children(child);
+        assert_eq!(kids.len(), 1);
+        assert_eq!(loaded.store.node_kind(kids[0]), "text");
+        assert_eq!(loaded.store.type_name(kids[0]), Some("xdt:untypedAtomic"));
+    }
+}
+
+/// Examples 8–10: the library document, its descriptive schema, and the
+/// node-descriptor claims of §9.2.
+#[test]
+fn examples_8_to_10_physical_layer() {
+    let mut s = xsdb::xdm::NodeStore::new();
+    let doc = s.new_document(None);
+    let lib = s.new_element(doc, "library");
+    for (titles, authors) in [
+        ("Foundations of Databases", vec!["Abiteboul", "Hull", "Vianu"]),
+        ("An Introduction to Database Systems", vec!["Date"]),
+    ] {
+        let book = s.new_element(lib, "book");
+        let t = s.new_element(book, "title");
+        s.new_text(t, titles);
+        for a in authors {
+            let an = s.new_element(book, "author");
+            s.new_text(an, a);
+        }
+    }
+    let issue = {
+        let book2 = s.child_elements(lib)[1];
+        let issue = s.new_element(book2, "issue");
+        let p = s.new_element(issue, "publisher");
+        s.new_text(p, "Addison-Wesley");
+        let y = s.new_element(issue, "year");
+        s.new_text(y, "2004");
+        issue
+    };
+    let _ = issue;
+    for (title, author) in [
+        ("A Relational Model for Large Shared Data Banks", "Codd"),
+        ("The Complexity of Relational Query Languages", "Codd"),
+    ] {
+        let paper = s.new_element(lib, "paper");
+        let t = s.new_element(paper, "title");
+        s.new_text(t, title);
+        let a = s.new_element(paper, "author");
+        s.new_text(a, author);
+    }
+    let xs = XmlStorage::from_tree(&s, doc);
+
+    // Example 8's point: "the descriptive schema element library has only
+    // two children" (book and paper) despite many instances.
+    let lib_sn = xs.schema().resolve_path(&["library"]).unwrap();
+    let element_children: Vec<&str> = xs
+        .schema()
+        .node(lib_sn)
+        .children
+        .iter()
+        .filter(|&&c| xs.schema().node(c).kind == xsdb::xdm::NodeKind::Element)
+        .map(|&c| xs.schema().node(c).name.as_deref().unwrap())
+        .collect();
+    assert_eq!(element_children, ["book", "paper"]);
+
+    // §9.2 (Example 10 discussion): the library node descriptor holds
+    // pointers only to the FIRST child book and FIRST child paper.
+    let lib_d = xs.children(xs.root())[0];
+    let books = xs.scan(xs.schema().resolve_path(&["library", "book"]).unwrap());
+    let papers = xs.scan(xs.schema().resolve_path(&["library", "paper"]).unwrap());
+    assert_eq!(books.len(), 2);
+    assert_eq!(papers.len(), 2);
+    // children() reconstructs all four children from the two pointers +
+    // sibling chains — "sufficient to produce the result of any accessor".
+    let children = xs.children(lib_d);
+    assert_eq!(children.len(), 4);
+    assert_eq!(children[0], books[0]);
+    assert_eq!(children[2], papers[0]);
+
+    // Example 9: descriptors of one schema node are reachable in document
+    // order through the block list.
+    let titles: Vec<String> = xs
+        .scan(xs.schema().resolve_path(&["library", "book", "title"]).unwrap())
+        .into_iter()
+        .map(|p| xs.string_value(p))
+        .collect();
+    assert_eq!(
+        titles,
+        ["Foundations of Databases", "An Introduction to Database Systems"]
+    );
+}

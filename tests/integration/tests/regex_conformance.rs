@@ -1,0 +1,126 @@
+//! Extra conformance tests for the XSD regular-expression engine: the
+//! pattern shapes that appear in real published schemas.
+
+use xsdb::xstypes::Regex;
+
+fn m(pattern: &str, input: &str) -> bool {
+    Regex::compile(pattern).unwrap().is_match(input)
+}
+
+#[test]
+fn language_codes_rfc3066_style() {
+    let p = r"[a-zA-Z]{1,8}(-[a-zA-Z0-9]{1,8})*";
+    assert!(m(p, "en"));
+    assert!(m(p, "en-US"));
+    assert!(m(p, "zh-Hant-TW"));
+    assert!(!m(p, "-en"));
+    assert!(!m(p, "en-"));
+    assert!(!m(p, "waytoolonglanguage"));
+}
+
+#[test]
+fn iso_dates_as_a_pattern() {
+    let p = r"\d{4}-\d{2}-\d{2}";
+    assert!(m(p, "2026-07-04"));
+    assert!(!m(p, "2026-7-4"));
+    assert!(!m(p, "2026-07-04T00:00:00"));
+}
+
+#[test]
+fn currency_amounts() {
+    let p = r"-?\d+(\.\d{1,2})?";
+    assert!(m(p, "0"));
+    assert!(m(p, "-12.50"));
+    assert!(m(p, "1999.9"));
+    assert!(!m(p, "12."));
+    assert!(!m(p, "12.345"));
+    assert!(!m(p, "+12"));
+}
+
+#[test]
+fn uuid_shape() {
+    let h = "[0-9a-fA-F]";
+    let p = format!("{h}{{8}}-{h}{{4}}-{h}{{4}}-{h}{{4}}-{h}{{12}}");
+    assert!(m(&p, "550e8400-e29b-41d4-a716-446655440000"));
+    assert!(!m(&p, "550e8400e29b41d4a716446655440000"));
+    assert!(!m(&p, "550e8400-e29b-41d4-a716-44665544000g"));
+}
+
+#[test]
+fn us_phone_numbers() {
+    let p = r"\(\d{3}\) \d{3}-\d{4}";
+    assert!(m(p, "(212) 555-0187"));
+    assert!(!m(p, "212-555-0187"));
+}
+
+#[test]
+fn optional_groups_nest() {
+    let p = "a(b(c)?)?d";
+    assert!(m(p, "ad"));
+    assert!(m(p, "abd"));
+    assert!(m(p, "abcd"));
+    assert!(!m(p, "acd"));
+}
+
+#[test]
+fn alternation_binds_weaker_than_concatenation() {
+    let p = "ab|cd";
+    assert!(m(p, "ab"));
+    assert!(m(p, "cd"));
+    assert!(!m(p, "ad"));
+    assert!(!m(p, "abcd"));
+}
+
+#[test]
+fn nested_alternation_with_quantifiers() {
+    let p = "((north|south)(east|west)?|center)";
+    for ok in ["north", "south", "northeast", "southwest", "center"] {
+        assert!(m(p, ok), "{ok}");
+    }
+    for bad in ["east", "northsouth", "centereast"] {
+        assert!(!m(p, bad), "{bad}");
+    }
+}
+
+#[test]
+fn character_class_subtleties() {
+    // ']' first in a class is a literal; '-' at edges is literal.
+    assert!(m(r"[\]]", "]"));
+    assert!(m("[a-c-]", "-"));
+    assert!(m("[-a-c]", "-"));
+    // '^' not at the start is literal.
+    assert!(m("[a^]", "^"));
+    // Escaped '-' inside a class.
+    assert!(m(r"[a\-z]", "-"));
+    assert!(m(r"[a\-z]", "a"));
+    assert!(!m(r"[a\-z]", "m")); // not a range when escaped
+}
+
+#[test]
+fn bounded_repeats_of_groups() {
+    let p = "(ab){2,3}";
+    assert!(!m(p, "ab"));
+    assert!(m(p, "abab"));
+    assert!(m(p, "ababab"));
+    assert!(!m(p, "abababab"));
+    assert!(!m(p, "aba"));
+}
+
+#[test]
+fn empty_alternative_branches() {
+    // (a|) matches "a" or "".
+    let p = "(a|)b";
+    assert!(m(p, "ab"));
+    assert!(m(p, "b"));
+    assert!(!m(p, "aab"));
+}
+
+#[test]
+fn long_inputs_run_in_linear_time() {
+    // 100k characters through a nontrivial automaton, promptly.
+    let p = Regex::compile(r"(\d|[a-f])*").unwrap();
+    let input: String = "deadbeef0123456789".repeat(6_000);
+    let start = std::time::Instant::now();
+    assert!(p.is_match(&input));
+    assert!(start.elapsed().as_secs_f64() < 2.0, "not linear");
+}

@@ -1,0 +1,109 @@
+//! Property test: writing a randomly generated schema to XSD text and
+//! parsing it back yields a schema accepting exactly the same documents
+//! (content models compared by exhaustive short-string enumeration).
+
+use proptest::prelude::*;
+use xsdb::xsmodel::{
+    parse_schema_text, write_schema, CombinationFactor, ComplexTypeDefinition, ContentModel,
+    DocumentSchema, ElementDeclaration, GroupDefinition, Particle, RepetitionFactor, Type,
+};
+
+fn repetition() -> impl Strategy<Value = RepetitionFactor> {
+    prop_oneof![
+        4 => Just(RepetitionFactor::ONCE),
+        2 => Just(RepetitionFactor::OPTIONAL),
+        2 => Just(RepetitionFactor::ANY),
+        1 => (1u32..3, 0u32..3).prop_map(|(a, b)| RepetitionFactor::new(a, a + b)),
+    ]
+}
+
+fn element() -> impl Strategy<Value = Particle> {
+    (prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")], repetition()).prop_map(
+        |(name, rep)| {
+            Particle::Element(
+                ElementDeclaration::new(name, "xs:string").with_repetition(rep),
+            )
+        },
+    )
+}
+
+fn distinct_names(particles: &[Particle]) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    particles.iter().all(|p| match p {
+        Particle::Element(e) => seen.insert(e.name.clone()),
+        Particle::Group(_) => true,
+    })
+}
+
+fn group(depth: u32) -> BoxedStrategy<GroupDefinition> {
+    let particle = if depth == 0 {
+        element().boxed()
+    } else {
+        prop_oneof![3 => element(), 1 => group(depth - 1).prop_map(Particle::Group)].boxed()
+    };
+    (
+        proptest::collection::vec(particle, 0..4),
+        prop_oneof![Just(CombinationFactor::Sequence), Just(CombinationFactor::Choice)],
+        repetition(),
+    )
+        .prop_filter("distinct element names per group (§2)", |(ps, _, _)| distinct_names(ps))
+        .prop_map(|(particles, combination, repetition)| GroupDefinition {
+            particles,
+            combination,
+            repetition,
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn written_schemas_reparse_to_the_same_language(content in group(2)) {
+        let schema = DocumentSchema::new(ElementDeclaration {
+            name: "root".into(),
+            ty: Type::AnonymousComplex(Box::new(ComplexTypeDefinition::ComplexContent {
+                mixed: false,
+                content: content.clone(),
+                attributes: Default::default(),
+            })),
+            repetition: RepetitionFactor::ONCE,
+            nillable: false,
+        });
+        let text = write_schema(&schema);
+        let reparsed = parse_schema_text(&text)
+            .unwrap_or_else(|e| panic!("unparseable output: {e}\n{text}"));
+        let original_content = match &schema.root.ty {
+            Type::AnonymousComplex(d) => match d.as_ref() {
+                ComplexTypeDefinition::ComplexContent { content, .. } => content,
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        };
+        let reparsed_content = match &reparsed.root.ty {
+            Type::AnonymousComplex(d) => match d.as_ref() {
+                ComplexTypeDefinition::ComplexContent { content, .. } => content,
+                _ => panic!("content variant changed"),
+            },
+            other => panic!("type shape changed: {other:?}"),
+        };
+        let (Ok(a), Ok(b)) = (
+            ContentModel::compile(original_content),
+            ContentModel::compile(reparsed_content),
+        ) else {
+            return Ok(());
+        };
+        let alphabet = ["a", "b", "c", "d"];
+        let mut frontier: Vec<Vec<&str>> = vec![Vec::new()];
+        while let Some(s) = frontier.pop() {
+            prop_assert_eq!(a.accepts(&s), b.accepts(&s), "disagree on {:?}\n{}", s, text);
+            if s.len() < 3 {
+                for sym in alphabet {
+                    let mut t = s.clone();
+                    t.push(sym);
+                    frontier.push(t);
+                }
+            }
+        }
+    }
+}

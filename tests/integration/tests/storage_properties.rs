@@ -1,0 +1,180 @@
+//! Property tests for the §9 storage engine under random update
+//! sequences: the §9.2 invariants hold at every step, Proposition 1's
+//! relabel count stays zero, and the materialized tree always agrees
+//! with a simple shadow model.
+
+use proptest::prelude::*;
+use xsdb::storage::{DescPtr, XmlStorage};
+use xsdb::xdm::NodeStore;
+
+/// A shadow model: children name lists per node, by insertion semantics.
+#[derive(Debug, Clone, Default)]
+struct Shadow {
+    /// Each node: (name, children indices).
+    names: Vec<String>,
+    children: Vec<Vec<usize>>,
+}
+
+impl Shadow {
+    fn insert(&mut self, parent: usize, after: Option<usize>, name: &str) -> usize {
+        let id = self.names.len();
+        self.names.push(name.to_string());
+        self.children.push(Vec::new());
+        let kids = &mut self.children[parent];
+        let pos = match after {
+            None => 0,
+            Some(a) => kids.iter().position(|&k| k == a).expect("sibling exists") + 1,
+        };
+        kids.insert(pos, id);
+        id
+    }
+
+    fn delete(&mut self, parent: usize, node: usize) {
+        // Children of `node` disappear with it (subtree delete).
+        self.children[parent].retain(|&k| k != node);
+    }
+}
+
+/// One random operation, in terms of indices into the live-node list.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert under live node `parent_idx`, after child number `after`
+    /// (modulo the child count + 1, 0 = first).
+    Insert { parent_sel: usize, after_sel: usize },
+    /// Delete the `victim_sel`-th live non-root node (if any).
+    Delete { victim_sel: usize },
+}
+
+fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0usize..1000, 0usize..1000)
+                .prop_map(|(parent_sel, after_sel)| Op::Insert { parent_sel, after_sel }),
+            1 => (0usize..1000).prop_map(|victim_sel| Op::Delete { victim_sel }),
+        ],
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_update_sequences_preserve_invariants(ops in ops(60), capacity in 2u16..8) {
+        // Seed storage: a root with two children.
+        let mut store = NodeStore::new();
+        let doc = store.new_document(None);
+        let root = store.new_element(doc, "root");
+        store.new_element(root, "n0");
+        store.new_element(root, "n1");
+        let mut xs = XmlStorage::from_tree_with_capacity(&store, doc, capacity);
+
+        let root_d = xs.children(xs.root())[0];
+        // Shadow: index 0 is the root; map shadow id → DescPtr.
+        let mut shadow = Shadow::default();
+        shadow.names.push("root".into());
+        shadow.children.push(Vec::new());
+        let mut ptr_of: Vec<DescPtr> = vec![root_d];
+        for (i, c) in xs.children(root_d).into_iter().enumerate() {
+            let id = shadow.insert(0, shadow.children[0].last().copied(), &format!("n{i}"));
+            ptr_of.push(c);
+            debug_assert_eq!(id, ptr_of.len() - 1);
+        }
+        let mut parent_of: Vec<usize> = vec![0, 0, 0];
+        let mut alive: Vec<usize> = vec![0, 1, 2];
+        let mut counter = 2;
+
+        for op in ops {
+            match op {
+                Op::Insert { parent_sel, after_sel } => {
+                    let parent = alive[parent_sel % alive.len()];
+                    let kids = shadow.children[parent].clone();
+                    let after = if kids.is_empty() {
+                        None
+                    } else {
+                        // 0 = first position, otherwise after child k.
+                        let sel = after_sel % (kids.len() + 1);
+                        if sel == 0 { None } else { Some(kids[sel - 1]) }
+                    };
+                    counter += 1;
+                    let name = format!("n{counter}");
+                    let id = shadow.insert(parent, after, &name);
+                    let p = xs.insert_element(
+                        ptr_of[parent],
+                        after.map(|a| ptr_of[a]),
+                        &name,
+                    );
+                    ptr_of.push(p);
+                    parent_of.push(parent);
+                    alive.push(id);
+                }
+                Op::Delete { victim_sel } => {
+                    if alive.len() <= 1 {
+                        continue;
+                    }
+                    let pos = 1 + victim_sel % (alive.len() - 1); // never the root
+                    let victim = alive[pos];
+                    let parent = parent_of[victim];
+                    // Skip if the parent is itself already deleted with it.
+                    if !alive.contains(&parent) {
+                        continue;
+                    }
+                    // Remove victim's whole subtree from `alive`.
+                    let mut stack = vec![victim];
+                    let mut doomed = Vec::new();
+                    while let Some(v) = stack.pop() {
+                        doomed.push(v);
+                        stack.extend(shadow.children[v].iter().copied());
+                    }
+                    xs.delete(ptr_of[victim]);
+                    shadow.delete(parent, victim);
+                    alive.retain(|a| !doomed.contains(a));
+                }
+            }
+            prop_assert_eq!(xs.check_invariants(), None);
+            prop_assert_eq!(xs.relabel_count(), 0, "Proposition 1");
+        }
+
+        // Final structural agreement: compare child-name sequences.
+        fn collect(shadow: &Shadow, id: usize, out: &mut Vec<String>) {
+            out.push(shadow.names[id].clone());
+            for &c in &shadow.children[id] {
+                collect(shadow, c, out);
+            }
+        }
+        fn collect_xs(xs: &XmlStorage, p: DescPtr, out: &mut Vec<String>) {
+            out.push(xs.node_name(p).unwrap_or("?").to_string());
+            for c in xs.children(p) {
+                collect_xs(xs, c, out);
+            }
+        }
+        let mut want = Vec::new();
+        collect(&shadow, 0, &mut want);
+        let mut got = Vec::new();
+        collect_xs(&xs, root_d, &mut got);
+        prop_assert_eq!(want, got);
+    }
+
+    /// Any tree materializes losslessly at any block capacity.
+    #[test]
+    fn materialization_is_capacity_independent(books in 1usize..30, capacity in 2u16..10) {
+        let (store, doc) = bench::build_library_tree(books, books / 2, 99);
+        let big = XmlStorage::from_tree_with_capacity(&store, doc, 512);
+        let small = XmlStorage::from_tree_with_capacity(&store, doc, capacity);
+        prop_assert_eq!(big.check_invariants(), None);
+        prop_assert_eq!(small.check_invariants(), None);
+        prop_assert_eq!(big.len(), small.len());
+        // Same document order sequence of (kind, name, value) triples.
+        let seq = |xs: &XmlStorage| -> Vec<(String, Option<String>, String)> {
+            xs.subtree(xs.root())
+                .into_iter()
+                .map(|p| (
+                    xs.node_kind(p).to_string(),
+                    xs.node_name(p).map(str::to_string),
+                    xs.string_value(p),
+                ))
+                .collect()
+        };
+        prop_assert_eq!(seq(&big), seq(&small));
+    }
+}

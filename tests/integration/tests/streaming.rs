@@ -1,0 +1,72 @@
+//! The streaming validator must agree with the tree-building validator
+//! on validity (modulo identity constraints, which streaming skips) over
+//! generated corpora and mutation-injected invalid documents.
+
+use bench::Family;
+use proptest::prelude::*;
+use xsdb::algebra::{validate_streaming_with, LoadOptions};
+use xsdb::{load_document, parse_schema_text, Document};
+
+fn opts() -> LoadOptions {
+    LoadOptions { check_identity: false, ..LoadOptions::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn agrees_on_valid_documents(size in 10usize..400, seed in 0u64..5000) {
+        for family in Family::ALL {
+            let schema = parse_schema_text(family.schema_text()).unwrap();
+            let xml = family.generate(size, seed);
+            let streamed = validate_streaming_with(&schema, &xml, &opts());
+            prop_assert!(streamed.is_empty(), "{}: {:?}", family.name(), streamed.first());
+        }
+    }
+
+    #[test]
+    fn agrees_on_mutated_documents(size in 20usize..200, seed in 0u64..5000, flip in 0usize..50) {
+        // Mutate a valid flat document by renaming one element — both
+        // validators must agree on the verdict.
+        let schema = parse_schema_text(Family::Flat.schema_text()).unwrap();
+        let xml = Family::Flat.generate(size, seed);
+        let mutated = {
+            // Rename the `flip`-th <Author> tag to <Writer>.
+            let mut count = 0;
+            let mut out = String::new();
+            let mut rest = xml.as_str();
+            loop {
+                match rest.find("<Author>") {
+                    Some(at) if count == flip => {
+                        out.push_str(&rest[..at]);
+                        out.push_str("<Writer>");
+                        rest = &rest[at + "<Author>".len()..];
+                        // Fix the matching close tag (next </Author>).
+                        if let Some(close) = rest.find("</Author>") {
+                            out.push_str(&rest[..close]);
+                            out.push_str("</Writer>");
+                            rest = &rest[close + "</Author>".len()..];
+                        }
+                        count += 1;
+                    }
+                    Some(at) => {
+                        out.push_str(&rest[..at + "<Author>".len()]);
+                        rest = &rest[at + "<Author>".len()..];
+                        count += 1;
+                    }
+                    None => {
+                        out.push_str(rest);
+                        break;
+                    }
+                }
+            }
+            out
+        };
+        let streamed_valid = validate_streaming_with(&schema, &mutated, &opts()).is_empty();
+        let treed_valid = match Document::parse(&mutated) {
+            Ok(doc) => load_document(&schema, &doc).is_ok(),
+            Err(_) => false,
+        };
+        prop_assert_eq!(streamed_valid, treed_valid, "disagree on mutated doc");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the §8 round-trip theorem: for every schema family
+//! and every generated S-document X, `g(f(X)) =_c X`, and `g(f(X))` is
+//! itself an S-document.
+
+use bench::Family;
+use proptest::prelude::*;
+use xsdb::{check_roundtrip, content_equal, load_document, parse_schema_text, Document};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_holds_on_flat_documents(size in 10usize..600, seed in 0u64..10_000) {
+        roundtrip_family(Family::Flat, size, seed);
+    }
+
+    #[test]
+    fn roundtrip_holds_on_deep_documents(size in 10usize..600, seed in 0u64..10_000) {
+        roundtrip_family(Family::Deep, size, seed);
+    }
+
+    #[test]
+    fn roundtrip_holds_on_mixed_documents(size in 10usize..600, seed in 0u64..10_000) {
+        roundtrip_family(Family::Mixed, size, seed);
+    }
+
+    #[test]
+    fn roundtrip_holds_on_choice_documents(size in 10usize..600, seed in 0u64..10_000) {
+        roundtrip_family(Family::Choice, size, seed);
+    }
+
+    /// f is deterministic: loading the same document twice produces trees
+    /// with identical accessor values (compared via serialization).
+    #[test]
+    fn f_is_deterministic(size in 10usize..300, seed in 0u64..10_000) {
+        let schema = parse_schema_text(Family::Flat.schema_text()).unwrap();
+        let xml = Document::parse(&Family::Flat.generate(size, seed)).unwrap();
+        let a = load_document(&schema, &xml).unwrap();
+        let b = load_document(&schema, &xml).unwrap();
+        let sa = xsdb::serialize_tree(&a.store, a.doc).to_xml();
+        let sb = xsdb::serialize_tree(&b.store, b.doc).to_xml();
+        prop_assert_eq!(sa, sb);
+    }
+
+    /// Serialization is a fixpoint: g(f(g(f(X)))) is byte-identical to
+    /// g(f(X)) — the canonical form stabilizes after one round.
+    #[test]
+    fn serialization_stabilizes(size in 10usize..300, seed in 0u64..10_000) {
+        let schema = parse_schema_text(Family::Mixed.schema_text()).unwrap();
+        let xml = Document::parse(&Family::Mixed.generate(size, seed)).unwrap();
+        let once = check_roundtrip(&schema, &xml).unwrap();
+        let twice = check_roundtrip(&schema, &once).unwrap();
+        prop_assert_eq!(once.to_xml(), twice.to_xml());
+    }
+}
+
+fn roundtrip_family(family: Family, size: usize, seed: u64) {
+    let schema = parse_schema_text(family.schema_text()).unwrap();
+    let xml = Document::parse(&family.generate(size, seed)).unwrap();
+    let out = check_roundtrip(&schema, &xml)
+        .unwrap_or_else(|e| panic!("{} size {size} seed {seed}: {e}", family.name()));
+    assert!(content_equal(&xml, &out));
+}
+
+/// The theorem respects the "set of S-trees" part: an *invalid* document
+/// is rejected by f, not silently round-tripped.
+#[test]
+fn invalid_documents_do_not_roundtrip() {
+    let schema = parse_schema_text(Family::Flat.schema_text()).unwrap();
+    let bad = Document::parse("<BookStore><Book><Title>t</Title></Book></BookStore>").unwrap();
+    assert!(check_roundtrip(&schema, &bad).is_err());
+}
+
+/// Content equality is an equivalence relation on the generated corpus.
+#[test]
+fn content_equality_is_an_equivalence() {
+    let docs: Vec<Document> = (0..8)
+        .map(|seed| Document::parse(&Family::Flat.generate(60, seed)).unwrap())
+        .collect();
+    for a in &docs {
+        assert!(content_equal(a, a), "reflexive");
+        for b in &docs {
+            assert_eq!(content_equal(a, b), content_equal(b, a), "symmetric");
+        }
+    }
+    // Distinct seeds give distinct content (sanity that =_c is not trivial).
+    assert!(!content_equal(&docs[0], &docs[1]));
+}

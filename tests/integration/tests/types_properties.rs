@@ -1,0 +1,167 @@
+//! Property tests on the simple type system (§4): lexical/value space
+//! laws that hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use xsdb::xstypes::{
+    decode_base64, decode_hex, encode_base64, encode_hex, AtomicValue, Builtin, Decimal,
+    Primitive, Regex, SimpleType, WhiteSpace,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Decimal: parse ∘ display is the identity on the value space.
+    #[test]
+    fn decimal_display_parse_roundtrip(c in -1_000_000_000i128..1_000_000_000, scale in 0u8..12) {
+        let d = Decimal::from_parts(c, scale);
+        let again: Decimal = d.to_string().parse().unwrap();
+        prop_assert_eq!(d, again);
+    }
+
+    /// Decimal ordering agrees with rational comparison via big-int
+    /// cross multiplication.
+    #[test]
+    fn decimal_order_matches_rationals(
+        c1 in -100_000i128..100_000, s1 in 0u8..6,
+        c2 in -100_000i128..100_000, s2 in 0u8..6,
+    ) {
+        let a = Decimal::from_parts(c1, s1);
+        let b = Decimal::from_parts(c2, s2);
+        // a = c1 / 10^s1, b = c2 / 10^s2 → compare c1·10^s2 vs c2·10^s1.
+        let lhs = c1 * 10i128.pow(s2 as u32);
+        let rhs = c2 * 10i128.pow(s1 as u32);
+        prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+    }
+
+    /// Decimal addition is commutative and subtraction is its inverse
+    /// (within non-overflowing ranges).
+    #[test]
+    fn decimal_arith_laws(
+        c1 in -1_000_000i128..1_000_000, s1 in 0u8..6,
+        c2 in -1_000_000i128..1_000_000, s2 in 0u8..6,
+    ) {
+        let a = Decimal::from_parts(c1, s1);
+        let b = Decimal::from_parts(c2, s2);
+        let ab = a.checked_add(b).unwrap();
+        let ba = b.checked_add(a).unwrap();
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.checked_sub(b).unwrap(), a);
+    }
+
+    /// Binary codecs: decode ∘ encode = id for arbitrary bytes.
+    #[test]
+    fn hex_and_base64_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(decode_hex(&encode_hex(&data)).unwrap(), data.clone());
+        prop_assert_eq!(decode_base64(&encode_base64(&data)).unwrap(), data);
+    }
+
+    /// Whitespace collapse is idempotent and its output is always clean.
+    #[test]
+    fn collapse_is_idempotent(s in "[ \\t\\n\\ra-z]{0,60}") {
+        let once = WhiteSpace::Collapse.apply(&s).into_owned();
+        let twice = WhiteSpace::Collapse.apply(&once).into_owned();
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(!once.starts_with(' ') && !once.ends_with(' '));
+        prop_assert!(!once.contains("  "));
+        prop_assert!(!once.contains(['\t', '\n', '\r']));
+    }
+
+    /// Replace preserves length exactly.
+    #[test]
+    fn replace_preserves_length(s in "[ \\t\\n\\ra-z]{0,60}") {
+        prop_assert_eq!(WhiteSpace::Replace.apply(&s).chars().count(), s.chars().count());
+    }
+
+    /// XSD regex anchoring: a literal alphanumeric pattern matches
+    /// exactly itself and nothing longer or shorter.
+    #[test]
+    fn literal_patterns_are_anchored(s in "[a-z0-9]{1,12}") {
+        let re = Regex::compile(&s).unwrap();
+        let longer_suffix = format!("{s}x");
+        let longer_prefix = format!("x{s}");
+        prop_assert!(re.is_match(&s));
+        prop_assert!(!re.is_match(&longer_suffix));
+        prop_assert!(!re.is_match(&longer_prefix));
+        prop_assert!(!re.is_match(&s[..s.len() - 1]));
+    }
+
+    /// `\d{n}` matches exactly n-digit strings.
+    #[test]
+    fn digit_run_pattern(n in 1usize..8, digits in "[0-9]{1,10}") {
+        let re = Regex::compile(&format!("\\d{{{n}}}")).unwrap();
+        prop_assert_eq!(re.is_match(&digits), digits.len() == n);
+    }
+
+    /// Integer values accepted by xs:integer equal their canonical form's
+    /// re-parse (lexical → value → canonical → value is stable).
+    #[test]
+    fn integer_canonical_stability(v in -1_000_000_000i64..1_000_000_000) {
+        let lex = format!("{v:+}"); // explicit sign form
+        let a = AtomicValue::parse_builtin(&lex, Builtin::Integer).unwrap();
+        let b = AtomicValue::parse_builtin(&a.canonical(), Builtin::Integer).unwrap();
+        prop_assert!(a.eq_xsd(&b));
+        prop_assert_eq!(a.canonical(), v.to_string());
+    }
+
+    /// Numeric promotion: an integer compares equal to the decimal with
+    /// the same value, and consistently with f64.
+    #[test]
+    fn numeric_promotion_consistency(v in -100_000i64..100_000) {
+        let i = AtomicValue::parse_builtin(&v.to_string(), Builtin::Integer).unwrap();
+        let d = AtomicValue::parse_primitive(&format!("{v}.0"), Primitive::Decimal).unwrap();
+        let f = AtomicValue::parse_primitive(&v.to_string(), Primitive::Double).unwrap();
+        prop_assert!(i.eq_xsd(&d));
+        prop_assert!(i.eq_xsd(&f));
+        prop_assert!(d.eq_xsd(&f));
+    }
+
+    /// Lists: item count equals whitespace-separated token count.
+    #[test]
+    fn list_item_count(items in proptest::collection::vec(-1000i32..1000, 0..20)) {
+        let t = SimpleType::list(None, SimpleType::builtin(Builtin::Integer), vec![]);
+        let lex = items.iter().map(i32::to_string).collect::<Vec<_>>().join("  ");
+        let vs = t.validate(&lex).unwrap();
+        prop_assert_eq!(vs.len(), items.len());
+        for (v, want) in vs.iter().zip(&items) {
+            prop_assert_eq!(v.canonical(), want.to_string());
+        }
+    }
+
+    /// Union picks the first accepting member, so every accepted lexical
+    /// is accepted by at least one member and rejected inputs by none.
+    #[test]
+    fn union_agrees_with_members(s in "[a-z0-9:. ]{0,12}") {
+        let int = SimpleType::builtin(Builtin::Integer);
+        let name = SimpleType::builtin(Builtin::NcName);
+        let u = SimpleType::union(None, vec![int.clone(), name.clone()]);
+        let by_union = u.validate(&s).is_ok();
+        let by_members = int.validate(&s).is_ok() || name.validate(&s).is_ok();
+        prop_assert_eq!(by_union, by_members);
+    }
+}
+
+/// The derivation hierarchy is a tree: unique root, acyclic, and
+/// `derives_from` is exactly reachability.
+#[test]
+fn hierarchy_is_a_tree() {
+    for b in Builtin::ALL {
+        // Walking up terminates at anyType within a small bound.
+        let mut cur = b;
+        let mut hops = 0;
+        while let Some(base) = cur.base() {
+            cur = base;
+            hops += 1;
+            assert!(hops < 10, "cycle at {b}");
+        }
+        assert_eq!(cur, Builtin::AnyType);
+    }
+    // derives_from is reflexive and antisymmetric.
+    for a in Builtin::ALL {
+        assert!(a.derives_from(a));
+        for b in Builtin::ALL {
+            if a != b {
+                assert!(!(a.derives_from(b) && b.derives_from(a)), "{a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! A table-driven matrix over the §6.2 requirements: for every rule, at
+//! least one document that violates exactly it and a near-miss that is
+//! valid. Exercises the full pipeline (XSD text → schema → validation).
+
+use xsdb::{load_document, parse_schema_text, Document, Rule};
+
+const SCHEMA: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="Grade">
+    <xs:restriction base="xs:integer">
+      <xs:minInclusive value="1"/>
+      <xs:maxInclusive value="5"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:complexType name="Course">
+    <xs:sequence>
+      <xs:element name="name" type="xs:string"/>
+      <xs:element name="grade" type="Grade" nillable="true"/>
+      <xs:element name="note" minOccurs="0">
+        <xs:complexType mixed="true">
+          <xs:sequence>
+            <xs:element name="em" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+          </xs:sequence>
+        </xs:complexType>
+      </xs:element>
+    </xs:sequence>
+    <xs:attribute name="code" type="xs:NCName"/>
+  </xs:complexType>
+  <xs:element name="transcript">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="course" type="Course" minOccurs="1" maxOccurs="10"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+fn check(xml: &str) -> Result<(), Vec<Rule>> {
+    let schema = parse_schema_text(SCHEMA).unwrap();
+    let doc = Document::parse(xml).unwrap();
+    match load_document(&schema, &doc) {
+        Ok(_) => Ok(()),
+        Err(errs) => Err(errs.into_iter().map(|e| e.rule).collect()),
+    }
+}
+
+fn course(inner: &str) -> String {
+    format!("<transcript>{inner}</transcript>")
+}
+
+const OK_COURSE: &str =
+    r#"<course code="cs101"><name>Databases</name><grade>5</grade></course>"#;
+
+#[test]
+fn baseline_document_is_valid() {
+    assert_eq!(check(&course(OK_COURSE)), Ok(()));
+}
+
+#[test]
+fn rule_root_name() {
+    let rules = check("<syllabus/>").unwrap_err();
+    assert_eq!(rules, vec![Rule::RootName]);
+}
+
+#[test]
+fn rule_5423_missing_required_child() {
+    let rules = check(&course(r#"<course code="c"><name>x</name></course>"#)).unwrap_err();
+    assert!(rules.contains(&Rule::R5423GroupMatch));
+}
+
+#[test]
+fn rule_5423_wrong_order() {
+    let rules =
+        check(&course(r#"<course code="c"><grade>3</grade><name>x</name></course>"#)).unwrap_err();
+    assert!(rules.contains(&Rule::R5423GroupMatch));
+}
+
+#[test]
+fn rule_5423_too_many_repetitions() {
+    let eleven = OK_COURSE.repeat(11);
+    let rules = check(&course(&eleven)).unwrap_err();
+    assert!(rules.contains(&Rule::R5423GroupMatch));
+    // Ten is fine.
+    assert_eq!(check(&course(&OK_COURSE.repeat(10))), Ok(()));
+}
+
+#[test]
+fn rule_511_value_not_in_lexical_space() {
+    let rules = check(&course(
+        r#"<course code="c"><name>x</name><grade>A+</grade></course>"#,
+    ))
+    .unwrap_err();
+    assert!(rules.contains(&Rule::R511SimpleValue));
+}
+
+#[test]
+fn rule_511_facet_violation() {
+    // 6 parses as integer but violates maxInclusive=5.
+    let rules = check(&course(
+        r#"<course code="c"><name>x</name><grade>6</grade></course>"#,
+    ))
+    .unwrap_err();
+    assert!(rules.contains(&Rule::R511SimpleValue));
+}
+
+#[test]
+fn rule_531_bad_attribute_value() {
+    // `code` is xs:NCName; "has space" is not.
+    let rules = check(&course(
+        r#"<course code="has space"><name>x</name><grade>3</grade></course>"#,
+    ))
+    .unwrap_err();
+    assert!(rules.contains(&Rule::R531Attributes));
+}
+
+#[test]
+fn rule_531_missing_attribute() {
+    let rules =
+        check(&course(r#"<course><name>x</name><grade>3</grade></course>"#)).unwrap_err();
+    assert!(rules.contains(&Rule::R531Attributes));
+}
+
+#[test]
+fn rule_7_undeclared_attribute() {
+    let rules = check(&course(
+        r#"<course code="c" extra="1"><name>x</name><grade>3</grade></course>"#,
+    ))
+    .unwrap_err();
+    assert!(rules.contains(&Rule::R7NoOtherNodes));
+}
+
+#[test]
+fn rule_6_nil_accepted_on_nillable() {
+    assert_eq!(
+        check(&course(
+            r#"<course code="c"><name>x</name><grade xsi:nil="true"/></course>"#
+        )),
+        Ok(())
+    );
+}
+
+#[test]
+fn rule_6_nil_with_content() {
+    let rules = check(&course(
+        r#"<course code="c"><name>x</name><grade xsi:nil="true">3</grade></course>"#,
+    ))
+    .unwrap_err();
+    assert!(rules.contains(&Rule::R6Nil));
+}
+
+#[test]
+fn rule_6_nil_on_non_nillable() {
+    let rules = check(&course(
+        r#"<course code="c"><name xsi:nil="true"/><grade>3</grade></course>"#,
+    ))
+    .unwrap_err();
+    assert!(rules.contains(&Rule::R6Nil));
+}
+
+#[test]
+fn rule_5421_text_in_element_content() {
+    let rules = check(&course(
+        r#"<course code="c">loose text<name>x</name><grade>3</grade></course>"#,
+    ))
+    .unwrap_err();
+    assert!(rules.contains(&Rule::R5421NoText));
+}
+
+#[test]
+fn mixed_content_is_allowed_where_declared() {
+    assert_eq!(
+        check(&course(
+            r#"<course code="c"><name>x</name><grade>3</grade><note>see <em>this</em> part</note></course>"#
+        )),
+        Ok(())
+    );
+}
+
+#[test]
+fn rule_511_simple_type_with_element_content() {
+    let rules = check(&course(
+        r#"<course code="c"><name><b>bold</b></name><grade>3</grade></course>"#,
+    ))
+    .unwrap_err();
+    assert!(rules.contains(&Rule::R511SimpleValue));
+}
+
+#[test]
+fn multiple_rules_reported_together() {
+    let rules = check(&course(
+        r#"<course code="c" extra="1"><name>x</name><grade>99</grade></course>"#,
+    ))
+    .unwrap_err();
+    assert!(rules.contains(&Rule::R7NoOtherNodes));
+    assert!(rules.contains(&Rule::R511SimpleValue));
+}
+
+#[test]
+fn typed_values_on_the_valid_document() {
+    let schema = parse_schema_text(SCHEMA).unwrap();
+    let doc = Document::parse(&course(OK_COURSE)).unwrap();
+    let loaded = load_document(&schema, &doc).unwrap();
+    let root = loaded.root_element();
+    let course_el = loaded.store.child_elements(root)[0];
+    let grade = loaded.store.child_elements(course_el)[1];
+    // Type annotation is the user-defined simple type name.
+    assert_eq!(loaded.store.type_name(grade), Some("Grade"));
+    let tv = loaded.store.typed_value(grade);
+    assert_eq!(tv.len(), 1);
+    assert_eq!(tv[0].canonical(), "5");
+    // Attribute annotation.
+    let attr = loaded.store.attribute_named(course_el, "code").unwrap();
+    assert_eq!(loaded.store.type_name(attr), Some("xs:NCName"));
+}

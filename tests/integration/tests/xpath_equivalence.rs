@@ -1,0 +1,92 @@
+//! The three query engines (naive over XDM, naive over storage, schema-
+//! guided over storage) must agree on every query over every generated
+//! document — including after random updates to the storage.
+
+use proptest::prelude::*;
+use xsdb::storage::XmlStorage;
+use xsdb::xpath::{eval_guided, eval_naive, parse, XdmTree};
+
+const QUERIES: &[&str] = &[
+    "/library/book/title",
+    "/library/book/author",
+    "/library/paper/author",
+    "//author",
+    "//title",
+    "//issue/year",
+    "/library/book/@id",
+    "/library/*[@id='b1']/title",
+    "/library/book[2]/title",
+    "/library/book[last()]/author",
+    "/library/book[issue]/title",
+    "/library/book[author]/title",
+    "/library/book/title/text()",
+    "/library/book/issue/..",
+    "/library/nosuch/path",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn engines_agree_on_generated_libraries(books in 1usize..40, seed in 0u64..1000) {
+        let (store, doc) = bench::build_library_tree(books, books / 2, seed);
+        let storage = XmlStorage::from_tree(&store, doc);
+        let tree = XdmTree { store: &store, doc };
+        for q in QUERIES {
+            let path = parse(q).unwrap();
+            let xdm: Vec<String> = eval_naive(&tree, &path)
+                .into_iter().map(|n| store.string_value(n)).collect();
+            let st: Vec<String> = eval_naive(&&storage, &path)
+                .into_iter().map(|p| storage.string_value(p)).collect();
+            let guided: Vec<String> = eval_guided(&storage, &path)
+                .into_iter().map(|p| storage.string_value(p)).collect();
+            prop_assert_eq!(&xdm, &st, "naive engines disagree on {}", q);
+            prop_assert_eq!(&st, &guided, "guided engine disagrees on {}", q);
+        }
+    }
+
+    #[test]
+    fn engines_agree_after_updates(
+        books in 1usize..15,
+        inserts in 0usize..25,
+        seed in 0u64..1000,
+    ) {
+        let (store, doc) = bench::build_library_tree(books, 2, seed);
+        let mut storage = XmlStorage::from_tree_with_capacity(&store, doc, 4);
+        let lib = storage.children(storage.root())[0];
+        for i in 0..inserts {
+            let book = storage.insert_element(lib, None, "book");
+            let title = storage.insert_element(book, None, "title");
+            storage.insert_text(title, None, format!("new {i}"));
+            let author = storage.insert_element(book, Some(title), "author");
+            storage.insert_text(author, None, "anon");
+        }
+        prop_assert_eq!(storage.check_invariants(), None);
+        for q in QUERIES {
+            let path = parse(q).unwrap();
+            let naive: Vec<String> = eval_naive(&&storage, &path)
+                .into_iter().map(|p| storage.string_value(p)).collect();
+            let guided: Vec<String> = eval_guided(&storage, &path)
+                .into_iter().map(|p| storage.string_value(p)).collect();
+            prop_assert_eq!(&naive, &guided, "engines disagree on {} after updates", q);
+        }
+    }
+
+    /// Results always come back in document order.
+    #[test]
+    fn results_are_in_document_order(books in 1usize..30, seed in 0u64..1000) {
+        let (store, doc) = bench::build_library_tree(books, books / 2, seed);
+        let storage = XmlStorage::from_tree(&store, doc);
+        for q in QUERIES {
+            let path = parse(q).unwrap();
+            let hits = eval_guided(&storage, &path);
+            for w in hits.windows(2) {
+                prop_assert_eq!(
+                    storage.cmp_doc_order(w[0], w[1]),
+                    std::cmp::Ordering::Less,
+                    "out of order for {}", q
+                );
+            }
+        }
+    }
+}
