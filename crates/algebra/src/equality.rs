@@ -46,9 +46,9 @@ fn normalized_children(elem: &Element) -> Vec<Node> {
     }
     // Element-only content: every text is whitespace → drop them all.
     let has_elements = merged.iter().any(|n| matches!(n, Node::Element(_)));
-    let all_text_ws = merged
-        .iter()
-        .all(|n| !matches!(n, Node::Text(t) if !t.chars().all(|c| matches!(c, ' '|'\t'|'\n'|'\r'))));
+    let all_text_ws = merged.iter().all(
+        |n| !matches!(n, Node::Text(t) if !t.chars().all(|c| matches!(c, ' '|'\t'|'\n'|'\r'))),
+    );
     if has_elements && all_text_ws {
         merged.retain(|n| matches!(n, Node::Element(_)));
     }

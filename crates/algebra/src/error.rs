@@ -76,7 +76,7 @@ impl fmt::Display for Rule {
 }
 
 /// A validation failure: the violated rule, where, and why.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValidationError {
     /// The violated requirement.
     pub rule: Rule,

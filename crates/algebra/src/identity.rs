@@ -27,10 +27,7 @@ pub fn check_identity(store: &NodeStore, doc: NodeId) -> Vec<ValidationError> {
                 errors.push(ValidationError::new(
                     Rule::IdUnique,
                     node_path(store, node),
-                    format!(
-                        "ID {value:?} already declared at {}",
-                        node_path(store, first)
-                    ),
+                    format!("ID {value:?} already declared at {}", node_path(store, first)),
                 ));
             } else {
                 ids.insert(value, node);
@@ -193,8 +190,7 @@ mod tests {
 
     #[test]
     fn document_without_ids_passes_trivially() {
-        let (store, doc) =
-            loaded(r#"<report><chapter id="x"><title>t</title></chapter></report>"#);
+        let (store, doc) = loaded(r#"<report><chapter id="x"><title>t</title></chapter></report>"#);
         assert!(check_identity(&store, doc).is_empty());
     }
 }

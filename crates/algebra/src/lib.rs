@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod equality;
 mod error;
 mod identity;
@@ -42,10 +43,14 @@ mod serialize;
 mod stream;
 mod theorem;
 
+pub use cache::ContentModelCache;
 pub use equality::{content_diff, content_equal};
-pub use identity::check_identity;
 pub use error::{Rule, ValidationError};
-pub use load::{load_document, load_document_with, validate, LoadOptions, LoadedDocument};
+pub use identity::check_identity;
+pub use load::{
+    load_document, load_document_cached, load_document_with, validate, validate_cached,
+    LoadOptions, LoadedDocument,
+};
 pub use serialize::serialize_tree;
-pub use stream::{validate_streaming, validate_streaming_with};
+pub use stream::{validate_streaming, validate_streaming_cached, validate_streaming_with};
 pub use theorem::{check_roundtrip, check_roundtrip_with, RoundTripFailure};

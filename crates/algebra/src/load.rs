@@ -10,7 +10,6 @@
 //! [`ValidationError`]s, each citing the violated rule.
 
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use xmlparse::{Document, Element, Node};
@@ -21,6 +20,7 @@ use xstypes::SimpleType;
 
 use xdm::{NodeId, NodeStore};
 
+use crate::cache::ContentModelCache;
 use crate::error::{Rule, ValidationError};
 
 /// Options governing paper-vs-practical strictness.
@@ -82,9 +82,32 @@ pub fn load_document_with(
     xml: &Document,
     options: &LoadOptions,
 ) -> Result<LoadedDocument, Vec<ValidationError>> {
+    load_document_impl(schema, xml, options, None)
+}
+
+/// [`load_document_with`], sharing compiled content models through
+/// `cache`. Repeated loads against the same schema — re-validation,
+/// bulk loads, parallel validation — compile each distinct group
+/// definition once for the cache's lifetime instead of once per call.
+pub fn load_document_cached(
+    schema: &DocumentSchema,
+    xml: &Document,
+    options: &LoadOptions,
+    cache: &ContentModelCache,
+) -> Result<LoadedDocument, Vec<ValidationError>> {
+    load_document_impl(schema, xml, options, Some(cache))
+}
+
+fn load_document_impl(
+    schema: &DocumentSchema,
+    xml: &Document,
+    options: &LoadOptions,
+    shared: Option<&ContentModelCache>,
+) -> Result<LoadedDocument, Vec<ValidationError>> {
     let mut loader = Loader {
         schema,
         options,
+        shared,
         store: NodeStore::new(),
         errors: Vec::new(),
         cm_cache: HashMap::new(),
@@ -124,14 +147,33 @@ pub fn validate(schema: &DocumentSchema, xml: &Document) -> Vec<ValidationError>
     }
 }
 
+/// [`validate`] sharing compiled content models through `cache`.
+pub fn validate_cached(
+    schema: &DocumentSchema,
+    xml: &Document,
+    options: &LoadOptions,
+    cache: &ContentModelCache,
+) -> Vec<ValidationError> {
+    match load_document_cached(schema, xml, options, cache) {
+        Ok(_) => Vec::new(),
+        Err(errors) => errors,
+    }
+}
+
 struct Loader<'a> {
     schema: &'a DocumentSchema,
     options: &'a LoadOptions,
+    /// Cross-load cache shared with other loaders (and threads), when
+    /// the caller provided one.
+    shared: Option<&'a ContentModelCache>,
     store: NodeStore,
     errors: Vec<ValidationError>,
-    /// Content models compiled per group definition (keyed by address —
-    /// the schema outlives the loader).
-    cm_cache: HashMap<usize, Rc<ContentModel>>,
+    /// Content models compiled during *this* load, keyed by group
+    /// address (the schema outlives the loader, so addresses are stable
+    /// here). This fronts the shared cache: the per-element hot path
+    /// costs one pointer-keyed lookup, and the structural-fingerprint
+    /// lookup in `shared` happens once per distinct group per load.
+    cm_cache: HashMap<usize, Arc<ContentModel>>,
 }
 
 /// True for the reserved attributes that are not part of the §6.2
@@ -159,21 +201,17 @@ impl<'a> Loader<'a> {
         match &decl.ty {
             Type::Named(n) => self.store.set_type(end, n.clone()),
             Type::AnonymousComplex(_) => self.store.set_type(end, "xs:anyType"),
-            Type::AnonymousSimple(st) => self.store.set_type(
-                end,
-                st.name.clone().unwrap_or_else(|| "xs:anyType".to_string()),
-            ),
+            Type::AnonymousSimple(st) => self
+                .store
+                .set_type(end, st.name.clone().unwrap_or_else(|| "xs:anyType".to_string())),
         }
 
         // Item 6: nil handling.
-        let nil_requested = elem
-            .attributes
-            .iter()
-            .any(|a| {
-                a.name.prefix() == Some("xsi")
-                    && a.name.local() == "nil"
-                    && matches!(a.value.as_str(), "true" | "1")
-            });
+        let nil_requested = elem.attributes.iter().any(|a| {
+            a.name.prefix() == Some("xsi")
+                && a.name.local() == "nil"
+                && matches!(a.value.as_str(), "true" | "1")
+        });
         if nil_requested && !decl.nillable {
             self.err(
                 Rule::R6Nil,
@@ -276,11 +314,8 @@ impl<'a> Loader<'a> {
                 if nilled {
                     // 6.3: children(end) = ().
                     let has_elements = elem.child_elements().next().is_some();
-                    let has_text = elem
-                        .children
-                        .iter()
-                        .filter_map(Node::as_text)
-                        .any(|t| !is_whitespace(t));
+                    let has_text =
+                        elem.children.iter().filter_map(Node::as_text).any(|t| !is_whitespace(t));
                     if has_elements || has_text {
                         self.err(Rule::R6Nil, path, "nilled element must have no content");
                     }
@@ -389,18 +424,23 @@ impl<'a> Loader<'a> {
         // Compile (or fetch) the content model.
         let key = content as *const _ as usize;
         let cm = match self.cm_cache.get(&key) {
-            Some(cm) => Rc::clone(cm),
-            None => match ContentModel::compile(content) {
-                Ok(cm) => {
-                    let cm = Rc::new(cm);
-                    self.cm_cache.insert(key, Rc::clone(&cm));
-                    cm
+            Some(cm) => Arc::clone(cm),
+            None => {
+                let compiled = match self.shared {
+                    Some(shared) => shared.get_or_compile(content),
+                    None => ContentModel::compile(content).map(Arc::new),
+                };
+                match compiled {
+                    Ok(cm) => {
+                        self.cm_cache.insert(key, Arc::clone(&cm));
+                        cm
+                    }
+                    Err(e) => {
+                        self.err(Rule::R5423GroupMatch, path, e.to_string());
+                        return;
+                    }
                 }
-                Err(e) => {
-                    self.err(Rule::R5423GroupMatch, path, e.to_string());
-                    return;
-                }
-            },
+            }
         };
 
         // 5.4.2.3: the child-element name sequence must be in the group's
@@ -414,11 +454,8 @@ impl<'a> Loader<'a> {
                     .get(position)
                     .map(|n| format!("<{n}>"))
                     .unwrap_or_else(|| "end of content".to_string());
-                let expected = if expected.is_empty() {
-                    "nothing".to_string()
-                } else {
-                    expected.join(", ")
-                };
+                let expected =
+                    if expected.is_empty() { "nothing".to_string() } else { expected.join(", ") };
                 self.err(
                     Rule::R5423GroupMatch,
                     path,
@@ -633,10 +670,7 @@ mod tests {
 
     #[test]
     fn nil_on_non_nillable_cites_rule_6() {
-        let xml = Document::parse(
-            r#"<BookStore xsi:nil="true"/>"#,
-        )
-        .unwrap();
+        let xml = Document::parse(r#"<BookStore xsi:nil="true"/>"#).unwrap();
         let errs = load_document(&schema(), &xml).unwrap_err();
         assert!(errs.iter().any(|e| e.rule == Rule::R6Nil));
     }
@@ -677,8 +711,7 @@ mod tests {
         // Invariant: no two adjacent text nodes anywhere.
         for w in children.windows(2) {
             assert!(
-                !(loaded.store.node_kind(w[0]) == "text"
-                    && loaded.store.node_kind(w[1]) == "text")
+                !(loaded.store.node_kind(w[0]) == "text" && loaded.store.node_kind(w[1]) == "text")
             );
         }
     }

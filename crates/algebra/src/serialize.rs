@@ -7,8 +7,8 @@
 //! their `children` in order; text nodes emit their string value; a
 //! nilled element emits `xsi:nil="true"`.
 
-use xmlparse::{Attribute, Document, Element, Node, QName};
 use xdm::{NodeId, NodeKind, NodeStore};
+use xmlparse::{Attribute, Document, Element, Node, QName};
 
 /// Serialize the S-tree rooted at the document node `doc` — the paper's
 /// function `g`.
@@ -32,16 +32,12 @@ fn serialize_element(store: &NodeStore, id: NodeId) -> Element {
     let mut elem = Element::new(QName::parse(name));
     for &attr in store.attributes(id) {
         let attr_name = store.node_name(attr).expect("attribute nodes are named");
-        elem.attributes.push(Attribute {
-            name: QName::parse(attr_name),
-            value: store.string_value(attr),
-        });
+        elem.attributes
+            .push(Attribute { name: QName::parse(attr_name), value: store.string_value(attr) });
     }
     if store.nilled(id) == Some(true) {
-        elem.attributes.push(Attribute {
-            name: QName::prefixed("xsi", "nil"),
-            value: "true".to_string(),
-        });
+        elem.attributes
+            .push(Attribute { name: QName::prefixed("xsi", "nil"), value: "true".to_string() });
     }
     for &child in store.children(id) {
         match store.kind(child) {

@@ -15,13 +15,14 @@
 //!   malformed XML.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use xmlparse::{Event, EventReader};
 use xsmodel::{
     ComplexTypeDefinition, ContentModel, DocumentSchema, ElementDeclaration, MatchOutcome,
 };
 
+use crate::cache::ContentModelCache;
 use crate::error::{Rule, ValidationError};
 use crate::load::LoadOptions;
 
@@ -39,9 +40,30 @@ pub fn validate_streaming_with(
     xml: &str,
     options: &LoadOptions,
 ) -> Vec<ValidationError> {
+    validate_streaming_impl(schema, xml, options, None)
+}
+
+/// [`validate_streaming_with`], sharing compiled content models
+/// through `cache` across calls (and threads).
+pub fn validate_streaming_cached(
+    schema: &DocumentSchema,
+    xml: &str,
+    options: &LoadOptions,
+    cache: &ContentModelCache,
+) -> Vec<ValidationError> {
+    validate_streaming_impl(schema, xml, options, Some(cache))
+}
+
+fn validate_streaming_impl(
+    schema: &DocumentSchema,
+    xml: &str,
+    options: &LoadOptions,
+    shared: Option<&ContentModelCache>,
+) -> Vec<ValidationError> {
     let mut v = StreamValidator {
         schema,
         options,
+        shared,
         errors: Vec::new(),
         stack: Vec::new(),
         cm_cache: HashMap::new(),
@@ -81,7 +103,7 @@ struct Frame {
     text: String,
     nilled: bool,
     /// The compiled content model (complex content only).
-    content: Option<Rc<ContentModel>>,
+    content: Option<Arc<ContentModel>>,
     mixed: bool,
     simple: bool,
     empty_content: bool,
@@ -91,9 +113,10 @@ struct Frame {
 struct StreamValidator<'a> {
     schema: &'a DocumentSchema,
     options: &'a LoadOptions,
+    shared: Option<&'a ContentModelCache>,
     errors: Vec<ValidationError>,
     stack: Vec<Frame>,
-    cm_cache: HashMap<usize, Rc<ContentModel>>,
+    cm_cache: HashMap<usize, Arc<ContentModel>>,
 }
 
 impl<'a> StreamValidator<'a> {
@@ -126,8 +149,7 @@ impl<'a> StreamValidator<'a> {
                     // The frame-level content model check at close will
                     // report the 5.4.2.3 violation; but without a
                     // declaration we cannot descend — record and abort.
-                    let parent_path =
-                        self.stack.last().map(|f| f.path.clone()).unwrap_or_default();
+                    let parent_path = self.stack.last().map(|f| f.path.clone()).unwrap_or_default();
                     let frame = self.stack.last_mut().expect("non-root");
                     frame.child_names.push(name.local().to_string());
                     let expected = frame
@@ -178,13 +200,11 @@ impl<'a> StreamValidator<'a> {
             Event::Text(t) => {
                 if let Some(frame) = self.stack.last_mut() {
                     frame.text.push_str(&t);
-                    let whitespace_only =
-                        t.chars().all(|c| matches!(c, ' ' | '\t' | '\n' | '\r'));
+                    let whitespace_only = t.chars().all(|c| matches!(c, ' ' | '\t' | '\n' | '\r'));
                     // Non-mixed element content admits no text (5.4.2.1);
                     // whitespace-only runs are excused when the options
                     // say so (pretty-printed input).
-                    let significant = !whitespace_only
-                        || !self.options.ignore_ignorable_whitespace;
+                    let significant = !whitespace_only || !self.options.ignore_ignorable_whitespace;
                     if !frame.simple && !frame.mixed && !frame.empty_content && significant {
                         let path = frame.path.clone();
                         self.err(
@@ -242,18 +262,23 @@ impl<'a> StreamValidator<'a> {
                     } else {
                         let key = content as *const _ as usize;
                         let cm = match self.cm_cache.get(&key) {
-                            Some(cm) => Some(Rc::clone(cm)),
-                            None => match ContentModel::compile(content) {
-                                Ok(cm) => {
-                                    let cm = Rc::new(cm);
-                                    self.cm_cache.insert(key, Rc::clone(&cm));
-                                    Some(cm)
+                            Some(cm) => Some(Arc::clone(cm)),
+                            None => {
+                                let compiled = match self.shared {
+                                    Some(shared) => shared.get_or_compile(content),
+                                    None => ContentModel::compile(content).map(Arc::new),
+                                };
+                                match compiled {
+                                    Ok(cm) => {
+                                        self.cm_cache.insert(key, Arc::clone(&cm));
+                                        Some(cm)
+                                    }
+                                    Err(e) => {
+                                        self.err(Rule::R5423GroupMatch, &path, e.to_string());
+                                        None
+                                    }
                                 }
-                                Err(e) => {
-                                    self.err(Rule::R5423GroupMatch, &path, e.to_string());
-                                    None
-                                }
-                            },
+                            }
                         };
                         frame.content = cm;
                     }
@@ -439,21 +464,18 @@ mod tests {
             r#"<lib><book id="two words"><title>T</title><year>2004</year></book></lib>"#, // attr value
             r#"<lib><book><title>T</title><year>2004</year></book></lib>"#, // missing attr
             r#"<lib><book id="b" extra="1"><title>T</title><year>2004</year></book></lib>"#, // extra attr
-            r#"<lib>text here</lib>"#,                                        // text
-            r#"<shop/>"#,                                                     // root
+            r#"<lib>text here</lib>"#,                                                       // text
+            r#"<shop/>"#,                                                                    // root
         ];
         for xml in cases {
-            let streamed: Vec<Rule> = validate_streaming(&schema, xml)
-                .into_iter()
-                .map(|e| e.rule)
-                .collect();
-            let treed: Vec<Rule> = match crate::load::load_document(
-                &schema,
-                &xmlparse::Document::parse(xml).unwrap(),
-            ) {
-                Ok(_) => Vec::new(),
-                Err(errs) => errs.into_iter().map(|e| e.rule).collect(),
-            };
+            let streamed: Vec<Rule> =
+                validate_streaming(&schema, xml).into_iter().map(|e| e.rule).collect();
+            let treed: Vec<Rule> =
+                match crate::load::load_document(&schema, &xmlparse::Document::parse(xml).unwrap())
+                {
+                    Ok(_) => Vec::new(),
+                    Err(errs) => errs.into_iter().map(|e| e.rule).collect(),
+                };
             assert!(!streamed.is_empty(), "stream missed: {xml}");
             assert!(!treed.is_empty(), "tree missed: {xml}");
             // The first reported rule agrees (orderings may differ later).

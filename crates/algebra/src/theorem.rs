@@ -62,8 +62,7 @@ pub fn check_roundtrip_with(
     xml: &Document,
     options: &LoadOptions,
 ) -> Result<Document, RoundTripFailure> {
-    let loaded =
-        load_document_with(schema, xml, options).map_err(RoundTripFailure::NotValid)?;
+    let loaded = load_document_with(schema, xml, options).map_err(RoundTripFailure::NotValid)?;
     let output = serialize_tree(&loaded.store, loaded.doc);
     if let Err(errors) = load_document_with(schema, &output, options) {
         return Err(RoundTripFailure::OutputNotValid(errors));

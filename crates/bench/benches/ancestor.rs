@@ -17,10 +17,8 @@ fn bench(c: &mut Criterion) {
         let descs = storage.subtree(storage.root());
         let index_of: std::collections::HashMap<_, _> =
             nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-        let desc_pairs: Vec<_> = pairs
-            .iter()
-            .map(|&(a, b)| (descs[index_of[&a]], descs[index_of[&b]]))
-            .collect();
+        let desc_pairs: Vec<_> =
+            pairs.iter().map(|&(a, b)| (descs[index_of[&a]], descs[index_of[&b]])).collect();
         g.bench_with_input(BenchmarkId::new("nid_labels", books), &(), |b, _| {
             b.iter(|| {
                 for &(a, x) in &desc_pairs {

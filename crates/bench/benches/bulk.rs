@@ -1,0 +1,54 @@
+//! E2 (bulk) — the parallel bulk API: `Database::validate_many` and
+//! `Database::load_many` over a 100-document batch at 1/2/4/8 threads,
+//! plus the shared content-model cache's effect on repeated validation.
+
+use std::hint::black_box;
+
+use bench::Family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsdb::Database;
+
+const BATCH: usize = 100;
+const NODES_PER_DOC: usize = 1_000;
+
+fn batch(family: Family) -> Vec<String> {
+    (0..BATCH).map(|i| family.generate(NODES_PER_DOC, 42 + i as u64)).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E2_bulk");
+    for family in [Family::Flat, Family::Deep] {
+        let docs = batch(family);
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let names: Vec<String> = (0..docs.len()).map(|i| format!("d{i}")).collect();
+        let entries: Vec<(&str, &str, &str)> =
+            names.iter().zip(&docs).map(|(n, d)| (n.as_str(), "s", d.as_str())).collect();
+        let mut db = Database::new();
+        db.register_schema_text("s", family.schema_text()).unwrap();
+        g.throughput(Throughput::Elements(refs.len() as u64));
+        for &threads in &[1usize, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("validate_many_{}", family.name()), threads),
+                &threads,
+                |b, &threads| b.iter(|| black_box(db.validate_many("s", &refs, threads).unwrap())),
+            );
+        }
+        for &threads in &[1usize, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("load_many_{}", family.name()), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let mut fresh = Database::new();
+                        fresh.register_schema_text("s", family.schema_text()).unwrap();
+                        black_box(fresh.load_many(&entries, threads))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

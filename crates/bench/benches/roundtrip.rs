@@ -15,11 +15,9 @@ fn bench(c: &mut Criterion) {
             let xml = family.generate(size, 42);
             let doc = Document::parse(&xml).unwrap();
             g.throughput(Throughput::Elements(size as u64));
-            g.bench_with_input(
-                BenchmarkId::new(family.name(), size),
-                &doc,
-                |b, doc| b.iter(|| black_box(check_roundtrip(&schema, doc)).unwrap()),
-            );
+            g.bench_with_input(BenchmarkId::new(family.name(), size), &doc, |b, doc| {
+                b.iter(|| black_box(check_roundtrip(&schema, doc)).unwrap())
+            });
         }
     }
     g.finish();

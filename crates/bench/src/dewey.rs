@@ -132,7 +132,7 @@ mod tests {
         assert_eq!(t.label(under_b), &[1, 2, 1]);
         let _ = a;
         t.insert_child(t.root(), 0); // displaces a and b
-        // a relabeled, b relabeled, under_b relabeled.
+                                     // a relabeled, b relabeled, under_b relabeled.
         assert_eq!(t.relabels, 3);
         assert_eq!(t.label(under_b), &[1, 3, 1]);
     }

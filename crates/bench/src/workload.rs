@@ -132,8 +132,21 @@ const CHOICE_XSD: &str = r#"
 
 fn word(rng: &mut StdRng) -> String {
     const WORDS: &[&str] = &[
-        "database", "schema", "algebra", "node", "accessor", "document", "order", "tree",
-        "label", "block", "storage", "query", "element", "attribute", "model",
+        "database",
+        "schema",
+        "algebra",
+        "node",
+        "accessor",
+        "document",
+        "order",
+        "tree",
+        "label",
+        "block",
+        "storage",
+        "query",
+        "element",
+        "attribute",
+        "model",
     ];
     WORDS[rng.random_range(0..WORDS.len())].to_string()
 }
@@ -266,12 +279,7 @@ pub fn sample_pairs(store: &NodeStore, doc: NodeId, n: usize, seed: u64) -> Vec<
     let nodes = store.subtree(doc);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9a12);
     (0..n)
-        .map(|_| {
-            (
-                nodes[rng.random_range(0..nodes.len())],
-                nodes[rng.random_range(0..nodes.len())],
-            )
-        })
+        .map(|_| (nodes[rng.random_range(0..nodes.len())], nodes[rng.random_range(0..nodes.len())]))
         .collect()
 }
 

@@ -61,8 +61,8 @@ fn run(args: &[String]) -> Result<(), String> {
         },
         "query" => {
             let expr = args.get(3).ok_or_else(usage)?;
-            let loaded = load_document(&schema, &doc)
-                .map_err(|e| format!("document invalid: {}", e[0]))?;
+            let loaded =
+                load_document(&schema, &doc).map_err(|e| format!("document invalid: {}", e[0]))?;
             let path = xsdb::xpath::parse(expr).map_err(|e| e.to_string())?;
             let tree = XdmTree { store: &loaded.store, doc: loaded.doc };
             for n in xsdb::xpath::eval_naive(&tree, &path) {
@@ -72,8 +72,8 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "xquery" => {
             let expr = args.get(3).ok_or_else(usage)?;
-            let loaded = load_document(&schema, &doc)
-                .map_err(|e| format!("document invalid: {}", e[0]))?;
+            let loaded =
+                load_document(&schema, &doc).map_err(|e| format!("document invalid: {}", e[0]))?;
             let q = xsdb::xquery::parse_query(expr).map_err(|e| e.to_string())?;
             let tree = XdmTree { store: &loaded.store, doc: loaded.doc };
             let nodes = xsdb::xquery::evaluate(&tree, &q).map_err(|e| e.to_string())?;
@@ -88,8 +88,8 @@ fn run(args: &[String]) -> Result<(), String> {
             Err(e) => Err(format!("round trip failed: {e}")),
         },
         "inspect" => {
-            let loaded = load_document(&schema, &doc)
-                .map_err(|e| format!("document invalid: {}", e[0]))?;
+            let loaded =
+                load_document(&schema, &doc).map_err(|e| format!("document invalid: {}", e[0]))?;
             let storage = XmlStorage::from_tree(&loaded.store, loaded.doc);
             println!("document nodes:        {}", loaded.store.len());
             println!("descriptive schema:    {} nodes", storage.schema().len());

@@ -11,9 +11,13 @@
 //! and label-based ordering.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use algebra::{load_document_with, serialize_tree, LoadOptions, LoadedDocument};
+use algebra::{
+    load_document_cached, serialize_tree, ContentModelCache, LoadOptions, LoadedDocument,
+    ValidationError,
+};
 use storage::XmlStorage;
 use xmlparse::Document;
 use xpath::{eval_guided, eval_naive, XdmTree};
@@ -46,6 +50,14 @@ pub struct Database {
     schemas: BTreeMap<String, Arc<DocumentSchema>>,
     documents: BTreeMap<String, StoredDocument>,
     options: LoadOptions,
+    /// Compiled content models, shared by every load/validate this
+    /// database performs — including the worker threads of
+    /// [`Database::validate_many`] / [`Database::load_many`]. Each
+    /// distinct group definition is compiled once per database lifetime;
+    /// the cache is keyed structurally, so it is never invalidated by
+    /// inserting or deleting documents (only registering a *different*
+    /// schema adds entries).
+    cm_cache: Arc<ContentModelCache>,
 }
 
 impl Database {
@@ -115,8 +127,8 @@ impl Database {
             .schemas
             .get(schema_name)
             .ok_or_else(|| DbError::UnknownSchema(schema_name.to_string()))?;
-        let loaded =
-            load_document_with(schema, xml, &self.options).map_err(DbError::Invalid)?;
+        let loaded = load_document_cached(schema, xml, &self.options, &self.cm_cache)
+            .map_err(DbError::Invalid)?;
         self.documents.insert(
             doc_name.to_string(),
             StoredDocument { schema_name: schema_name.to_string(), loaded, storage: None },
@@ -125,20 +137,95 @@ impl Database {
     }
 
     /// Validate text against a registered schema without storing it.
-    pub fn validate(
-        &self,
-        schema_name: &str,
-        xml: &str,
-    ) -> Result<Vec<algebra::ValidationError>, DbError> {
+    pub fn validate(&self, schema_name: &str, xml: &str) -> Result<Vec<ValidationError>, DbError> {
         let schema = self
             .schemas
             .get(schema_name)
             .ok_or_else(|| DbError::UnknownSchema(schema_name.to_string()))?;
         let parsed = Document::parse(xml)?;
-        Ok(match load_document_with(schema, &parsed, &self.options) {
+        Ok(match load_document_cached(schema, &parsed, &self.options, &self.cm_cache) {
             Ok(_) => Vec::new(),
             Err(errs) => errs,
         })
+    }
+
+    /// Validate a batch of documents against one registered schema,
+    /// fanning the work across `threads` OS threads (`0` = one per
+    /// available core). Returns one entry per input, in input order,
+    /// with exactly the value [`Database::validate`] would have
+    /// produced for that document — worker scheduling never changes
+    /// verdicts, error rules, or error order within a document.
+    ///
+    /// Worker threads share this database's content-model cache, so
+    /// each distinct group definition in the schema is compiled at most
+    /// once for the whole batch.
+    pub fn validate_many(
+        &self,
+        schema_name: &str,
+        xmls: &[&str],
+        threads: usize,
+    ) -> Result<Vec<Result<Vec<ValidationError>, DbError>>, DbError> {
+        let schema = self
+            .schemas
+            .get(schema_name)
+            .ok_or_else(|| DbError::UnknownSchema(schema_name.to_string()))?;
+        let options = &self.options;
+        let cache = &self.cm_cache;
+        Ok(run_parallel(xmls.len(), threads, |i| {
+            let parsed = Document::parse(xmls[i])?;
+            Ok(match load_document_cached(schema, &parsed, options, cache) {
+                Ok(_) => Vec::new(),
+                Err(errs) => errs,
+            })
+        }))
+    }
+
+    /// Insert a batch of `(document name, schema name, xml)` triples.
+    /// Parsing and validation (the expensive, read-only part of `f`)
+    /// run on `threads` OS threads (`0` = one per available core);
+    /// insertion into the catalog is then sequential in input order, so
+    /// duplicate-name resolution is deterministic: the first occurrence
+    /// of a name wins, later ones report
+    /// [`DbError::DuplicateDocument`]. Returns one outcome per input,
+    /// in input order; a failed document never partially inserts.
+    pub fn load_many(
+        &mut self,
+        entries: &[(&str, &str, &str)],
+        threads: usize,
+    ) -> Vec<Result<(), DbError>> {
+        let loaded: Vec<Result<LoadedDocument, DbError>> = {
+            let schemas = &self.schemas;
+            let options = &self.options;
+            let cache = &self.cm_cache;
+            run_parallel(entries.len(), threads, |i| {
+                let (_, schema_name, xml) = entries[i];
+                let schema = schemas
+                    .get(schema_name)
+                    .ok_or_else(|| DbError::UnknownSchema(schema_name.to_string()))?;
+                let parsed = Document::parse(xml)?;
+                load_document_cached(schema, &parsed, options, cache).map_err(DbError::Invalid)
+            })
+        };
+        loaded
+            .into_iter()
+            .zip(entries)
+            .map(|(res, &(name, schema_name, _))| {
+                let loaded = res?;
+                if self.documents.contains_key(name) {
+                    return Err(DbError::DuplicateDocument(name.to_string()));
+                }
+                self.documents.insert(
+                    name.to_string(),
+                    StoredDocument { schema_name: schema_name.to_string(), loaded, storage: None },
+                );
+                Ok(())
+            })
+            .collect()
+    }
+
+    /// The shared compiled-content-model cache (for statistics).
+    pub fn content_model_cache(&self) -> &ContentModelCache {
+        &self.cm_cache
     }
 
     /// Access a stored document.
@@ -148,19 +235,15 @@ impl Database {
 
     /// Serialize a stored document back to XML text (the paper's `g`).
     pub fn serialize(&self, name: &str) -> Result<String, DbError> {
-        let doc = self
-            .documents
-            .get(name)
-            .ok_or_else(|| DbError::UnknownDocument(name.to_string()))?;
+        let doc =
+            self.documents.get(name).ok_or_else(|| DbError::UnknownDocument(name.to_string()))?;
         Ok(serialize_tree(&doc.loaded.store, doc.loaded.doc).to_xml())
     }
 
     /// Pretty-printed serialization.
     pub fn serialize_pretty(&self, name: &str) -> Result<String, DbError> {
-        let doc = self
-            .documents
-            .get(name)
-            .ok_or_else(|| DbError::UnknownDocument(name.to_string()))?;
+        let doc =
+            self.documents.get(name).ok_or_else(|| DbError::UnknownDocument(name.to_string()))?;
         Ok(serialize_tree(&doc.loaded.store, doc.loaded.doc).to_xml_pretty())
     }
 
@@ -310,7 +393,11 @@ impl Database {
 
     /// Re-run §6.2 validation of a stored document against its schema
     /// (useful after node-level updates). Returns the violations.
-    pub fn revalidate(&self, doc_name: &str) -> Result<Vec<algebra::ValidationError>, DbError> {
+    ///
+    /// Re-validation reuses the database's compiled content models, so
+    /// only the document pass itself is repeated — no automata are
+    /// recompiled.
+    pub fn revalidate(&self, doc_name: &str) -> Result<Vec<ValidationError>, DbError> {
         let doc = self
             .documents
             .get(doc_name)
@@ -320,7 +407,7 @@ impl Database {
             .get(&doc.schema_name)
             .ok_or_else(|| DbError::UnknownSchema(doc.schema_name.clone()))?;
         let xml = serialize_tree(&doc.loaded.store, doc.loaded.doc);
-        Ok(match load_document_with(schema, &xml, &self.options) {
+        Ok(match load_document_cached(schema, &xml, &self.options, &self.cm_cache) {
             Ok(_) => Vec::new(),
             Err(errs) => errs,
         })
@@ -345,10 +432,9 @@ impl Database {
             .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
         let path = xpath::parse(xpath)?;
         Ok(match &doc.storage {
-            Some(storage) => eval_guided(storage, &path)
-                .into_iter()
-                .map(|p| storage.string_value(p))
-                .collect(),
+            Some(storage) => {
+                eval_guided(storage, &path).into_iter().map(|p| storage.string_value(p)).collect()
+            }
             None => {
                 let tree = XdmTree { store: &doc.loaded.store, doc: doc.loaded.doc };
                 eval_naive(&tree, &path)
@@ -380,11 +466,7 @@ impl Database {
 
     /// Evaluate an XPath returning the selected node ids on the logical
     /// tree (naive engine).
-    pub fn query_nodes(
-        &self,
-        doc_name: &str,
-        xpath: &str,
-    ) -> Result<Vec<xdm::NodeId>, DbError> {
+    pub fn query_nodes(&self, doc_name: &str, xpath: &str) -> Result<Vec<xdm::NodeId>, DbError> {
         let doc = self
             .documents
             .get(doc_name)
@@ -393,6 +475,45 @@ impl Database {
         let tree = XdmTree { store: &doc.loaded.store, doc: doc.loaded.doc };
         Ok(eval_naive(&tree, &path))
     }
+}
+
+/// Run `job(0..jobs)` across `threads` scoped OS threads (`0` = one per
+/// available core), returning results in job order. Work is distributed
+/// by an atomic cursor, so stragglers never idle the pool; each job index
+/// runs exactly once, so per-index results are independent of scheduling.
+fn run_parallel<T, F>(jobs: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = match threads {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+    .min(jobs.max(1));
+    if threads <= 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results = Mutex::new(Vec::with_capacity(jobs));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    local.push((i, job(i)));
+                }
+                results.lock().expect("bulk result lock").append(&mut local);
+            });
+        }
+    });
+    let mut indexed = results.into_inner().expect("bulk result lock");
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
@@ -436,7 +557,8 @@ mod tests {
         assert_eq!(db.len(), 1);
         let titles = db.query("store1", "/BookStore/Book/Title").unwrap();
         assert_eq!(titles, ["Foundations of Databases", "Transaction Processing"]);
-        let authors = db.query("store1", "/BookStore/Book[Title='Transaction Processing']/Author").unwrap();
+        let authors =
+            db.query("store1", "/BookStore/Book[Title='Transaction Processing']/Author").unwrap();
         assert_eq!(authors, ["Gray"]);
     }
 
@@ -499,9 +621,8 @@ mod tests {
     fn validate_without_storing() {
         let db = db();
         assert!(db.validate("books", DOC).unwrap().is_empty());
-        let errs = db
-            .validate("books", "<BookStore><Book><Title>t</Title></Book></BookStore>")
-            .unwrap();
+        let errs =
+            db.validate("books", "<BookStore><Book><Title>t</Title></Book></BookStore>").unwrap();
         assert!(!errs.is_empty());
         assert_eq!(db.len(), 1);
     }
@@ -525,16 +646,75 @@ mod tests {
     }
 
     #[test]
+    fn validate_many_matches_sequential_validate() {
+        let db = db();
+        let good = DOC;
+        let bad = "<BookStore><Book><Title>t</Title></Book></BookStore>";
+        let malformed = "<BookStore><unclosed>";
+        let batch = [good, bad, DOC, malformed, bad];
+        for threads in [1, 2, 8] {
+            let bulk = db.validate_many("books", &batch, threads).unwrap();
+            assert_eq!(bulk.len(), batch.len());
+            for (res, xml) in bulk.iter().zip(batch) {
+                match (res, db.validate("books", xml)) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, &b),
+                    (Err(ea), Err(eb)) => assert_eq!(ea.to_string(), eb.to_string()),
+                    (a, b) => panic!("bulk {a:?} vs sequential {b:?}"),
+                }
+            }
+        }
+        assert!(matches!(db.validate_many("nosuch", &batch, 2), Err(DbError::UnknownSchema(_))));
+    }
+
+    #[test]
+    fn load_many_inserts_in_order_and_reports_per_document() {
+        let mut db = db();
+        let bad = "<BookStore><Book><Title>t</Title></Book></BookStore>";
+        let entries = [
+            ("a", "books", DOC),
+            ("b", "books", bad),      // invalid: skipped
+            ("c", "nosuch", DOC),     // unknown schema: skipped
+            ("store1", "books", DOC), // duplicate of the pre-inserted doc
+            ("a", "books", DOC),      // duplicate within the batch
+            ("d", "books", DOC),
+        ];
+        let results = db.load_many(&entries, 4);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(DbError::Invalid(_))));
+        assert!(matches!(results[2], Err(DbError::UnknownSchema(_))));
+        assert!(matches!(results[3], Err(DbError::DuplicateDocument(_))));
+        assert!(matches!(results[4], Err(DbError::DuplicateDocument(_))));
+        assert!(results[5].is_ok());
+        let names: Vec<_> = db.document_names().collect();
+        assert_eq!(names, ["a", "d", "store1"]);
+        assert_eq!(db.query("a", "/BookStore/Book/Title").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn bulk_loads_share_compiled_content_models() {
+        let mut db = db();
+        let entries: Vec<(String, &str, &str)> =
+            (0..20).map(|i| (format!("doc{i}"), "books", DOC)).collect();
+        let borrowed: Vec<(&str, &str, &str)> =
+            entries.iter().map(|(n, s, x)| (n.as_str(), *s, *x)).collect();
+        let results = db.load_many(&borrowed, 4);
+        assert!(results.iter().all(Result::is_ok));
+        // Two distinct groups in the schema (BookStore content, Book
+        // content); everything else must be cache hits.
+        let cache = db.content_model_cache();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.hits() >= 2 * 20, "hits = {}", cache.hits());
+    }
+
+    #[test]
     fn query_nodes_returns_ids_in_document_order() {
         let db = db();
         let nodes = db.query_nodes("store1", "//Author").unwrap();
         assert_eq!(nodes.len(), 3);
         let store = &db.document("store1").unwrap().loaded.store;
         for w in nodes.windows(2) {
-            assert_eq!(
-                xdm::cmp_document_order(store, w[0], w[1]),
-                std::cmp::Ordering::Less
-            );
+            assert_eq!(xdm::cmp_document_order(store, w[0], w[1]), std::cmp::Ordering::Less);
         }
     }
 }

@@ -31,6 +31,32 @@
 //! db.insert("hello", "greetings", "<greeting>hello world</greeting>").unwrap();
 //! assert_eq!(db.query("hello", "/greeting").unwrap(), ["hello world"]);
 //! ```
+//!
+//! # Bulk loading and the one-pass validation layer
+//!
+//! [`Database::load_many`] and [`Database::validate_many`] run a batch
+//! of documents on a scoped thread pool (`threads == 0` means the
+//! machine's available parallelism) and return per-document outcomes in
+//! input order, identical to the corresponding sequential calls — the
+//! parallelism is observable only in wall clock. Every load, bulk or
+//! sequential, shares one [`algebra::ContentModelCache`], so each
+//! distinct group definition compiles to its automaton once per
+//! database lifetime instead of once per document.
+//!
+//! Caching and invalidation rules:
+//!
+//! * **Compiled automata** are keyed by the *structure* of the group
+//!   definition, never by address. Inserting, re-validating, or
+//!   deleting documents never invalidates them, and registering a
+//!   structurally identical schema under another name reuses them.
+//! * **`string-value` aggregates** are memoized per node inside each
+//!   [`xdm::NodeStore`] and invalidated along the ancestor chain when a
+//!   text node is attached (element and attribute construction cannot
+//!   change an existing element's string value, so they don't
+//!   invalidate).
+//! * **[`xdm::DocumentOrderIndex`]** is pinned to the store
+//!   *generation* it was built from; querying it after any mutation of
+//!   the store is a loud error (panic), never a stale answer.
 
 #![warn(missing_docs)]
 
@@ -55,8 +81,8 @@ pub use xstypes;
 
 // Convenience re-exports of the most used items.
 pub use algebra::{
-    check_roundtrip, content_diff, content_equal, load_document, serialize_tree, LoadOptions,
-    Rule, ValidationError,
+    check_roundtrip, content_diff, content_equal, load_document, serialize_tree, LoadOptions, Rule,
+    ValidationError,
 };
 pub use xmlparse::Document;
 pub use xsmodel::{parse_schema_text, DocumentSchema};

@@ -47,11 +47,8 @@ impl Database {
         for name in self.schema_names() {
             let schema = self.schema(name).expect("listed");
             let stem = file_stem(name);
-            fs::write(
-                schemas_dir.join(format!("{stem}.xsd")),
-                xsmodel::write_schema(schema),
-            )
-            .map_err(DbError::Io)?;
+            fs::write(schemas_dir.join(format!("{stem}.xsd")), xsmodel::write_schema(schema))
+                .map_err(DbError::Io)?;
             manifest.children.push(xmlparse::Node::Element(
                 Element::new("schema")
                     .with_attribute("name", name)
@@ -80,8 +77,7 @@ impl Database {
     /// Every document is re-validated against its schema.
     pub fn load_dir(dir: impl AsRef<Path>) -> Result<Database, DbError> {
         let dir = dir.as_ref();
-        let manifest_text =
-            fs::read_to_string(dir.join("manifest.xml")).map_err(DbError::Io)?;
+        let manifest_text = fs::read_to_string(dir.join("manifest.xml")).map_err(DbError::Io)?;
         let manifest = Document::parse(&manifest_text)?;
         let mut db = Database::new();
         for entry in manifest.root().children_named("schema") {
@@ -91,8 +87,7 @@ impl Database {
             let file = entry
                 .attribute("file")
                 .ok_or_else(|| DbError::Corrupt("schema entry without file".into()))?;
-            let xsd =
-                fs::read_to_string(dir.join("schemas").join(file)).map_err(DbError::Io)?;
+            let xsd = fs::read_to_string(dir.join("schemas").join(file)).map_err(DbError::Io)?;
             db.register_schema_text(name, &xsd)?;
         }
         for entry in manifest.root().children_named("document") {
@@ -105,8 +100,7 @@ impl Database {
             let file = entry
                 .attribute("file")
                 .ok_or_else(|| DbError::Corrupt("document entry without file".into()))?;
-            let xml =
-                fs::read_to_string(dir.join("documents").join(file)).map_err(DbError::Io)?;
+            let xml = fs::read_to_string(dir.join("documents").join(file)).map_err(DbError::Io)?;
             db.insert(name, schema, &xml)?;
         }
         Ok(db)
@@ -167,10 +161,7 @@ mod tests {
 
         let restored = Database::load_dir(&dir).unwrap();
         assert_eq!(restored.len(), 2);
-        assert_eq!(
-            restored.query("journal", "/log/entry/text").unwrap(),
-            ["hello"]
-        );
+        assert_eq!(restored.query("journal", "/log/entry/text").unwrap(), ["hello"]);
         // User-defined simple types survived the schema round trip.
         let errs = restored
             .validate("log", "<log><entry><year>1850</year><text>x</text></entry></log>")
@@ -183,7 +174,11 @@ mod tests {
     fn awkward_names_are_encoded() {
         let dir = temp_dir("names");
         let mut db = Database::new();
-        db.register_schema_text("my schema/α", "<xs:schema xmlns:xs=\"urn:x\"><xs:element name=\"r\" type=\"xs:string\"/></xs:schema>").unwrap();
+        db.register_schema_text(
+            "my schema/α",
+            "<xs:schema xmlns:xs=\"urn:x\"><xs:element name=\"r\" type=\"xs:string\"/></xs:schema>",
+        )
+        .unwrap();
         db.insert("doc:1 ☂", "my schema/α", "<r>ok</r>").unwrap();
         db.save_dir(&dir).unwrap();
         let restored = Database::load_dir(&dir).unwrap();
@@ -196,12 +191,7 @@ mod tests {
         let dir = temp_dir("tamper");
         let mut db = Database::new();
         db.register_schema_text("log", SCHEMA).unwrap();
-        db.insert(
-            "j",
-            "log",
-            "<log><entry><year>2000</year><text>t</text></entry></log>",
-        )
-        .unwrap();
+        db.insert("j", "log", "<log><entry><year>2000</year><text>t</text></entry></log>").unwrap();
         db.save_dir(&dir).unwrap();
         // Corrupt the stored document: violates the Year facet.
         let doc_path = dir.join("documents").join("j.xml");

@@ -70,11 +70,8 @@ fn rebuild(xs: &XmlStorage, p: DescPtr, store: &mut NodeStore, parent: NodeId) {
             }
             store.set_nilled(e, xs.nilled(p) == Some(true));
             for a in xs.attributes(p) {
-                let an = store.new_attribute(
-                    e,
-                    xs.node_name(a).expect("named"),
-                    xs.string_value(a),
-                );
+                let an =
+                    store.new_attribute(e, xs.node_name(a).expect("named"), xs.string_value(a));
                 if let Some(t) = xs.type_name(a) {
                     store.set_type(an, t.to_string());
                 }

@@ -80,12 +80,8 @@ impl DescriptiveSchema {
         mapping: &mut [Option<SchemaNodeId>],
         edge: &mut HashMap<(SchemaNodeId, Option<String>, NodeKind), SchemaNodeId>,
     ) {
-        let kids: Vec<NodeId> = store
-            .attributes(node)
-            .iter()
-            .chain(store.children(node))
-            .copied()
-            .collect();
+        let kids: Vec<NodeId> =
+            store.attributes(node).iter().chain(store.children(node)).copied().collect();
         for child in kids {
             let name = store.node_name(child).map(str::to_string);
             let kind = store.kind(child);

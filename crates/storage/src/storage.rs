@@ -122,11 +122,7 @@ impl XmlStorage {
                     right_sibling: None,
                     next_in_block: None,
                     prev_in_block: None,
-                    first_child: if is_text {
-                        Box::new([])
-                    } else {
-                        self.fresh_child_array(sn)
-                    },
+                    first_child: if is_text { Box::new([]) } else { self.fresh_child_array(sn) },
                     text: is_text.then(|| store.string_value(child)),
                     nilled: store.nilled(child) == Some(true),
                 },
@@ -560,9 +556,7 @@ impl XmlStorage {
         // Fix the parent's first-child entry if it pointed here.
         if let Some(parent) = desc.parent {
             let sn = self.schema_node_of(p);
-            let replacement = desc
-                .right_sibling
-                .filter(|&r| self.schema_node_of(r) == sn);
+            let replacement = desc.right_sibling.filter(|&r| self.schema_node_of(r) == sn);
             self.set_first_child_entry(parent, sn, p, replacement);
         }
         self.free_slot(p);
@@ -639,21 +633,13 @@ impl XmlStorage {
     /// A label for a new child of `parent` strictly between siblings
     /// `left` and `right` — never touching any existing label
     /// (Proposition 1).
-    fn label_between(
-        &self,
-        parent: DescPtr,
-        left: Option<DescPtr>,
-        right: Option<DescPtr>,
-    ) -> Nid {
+    fn label_between(&self, parent: DescPtr, left: Option<DescPtr>, right: Option<DescPtr>) -> Nid {
         let parent_nid = &self.table.desc(parent).nid;
         // When there is no left sibling, attributes still precede: the
         // lower bound is the last attribute's component.
         let lo = match left {
             Some(l) => Some(self.nid(l).last_component().to_vec()),
-            None => self
-                .attributes(parent)
-                .last()
-                .map(|&a| self.nid(a).last_component().to_vec()),
+            None => self.attributes(parent).last().map(|&a| self.nid(a).last_component().to_vec()),
         };
         let hi = right.map(|r| self.nid(r).last_component().to_vec());
         parent_nid.child(&between_components(lo.as_deref(), hi.as_deref()))
@@ -669,11 +655,8 @@ impl XmlStorage {
         let target = match self.table.last_block(sn) {
             None => None,
             Some(last) => {
-                let beyond_last = self
-                    .table
-                    .block(last)
-                    .max_nid()
-                    .is_none_or(|max| *max < desc.nid);
+                let beyond_last =
+                    self.table.block(last).max_nid().is_none_or(|max| *max < desc.nid);
                 if beyond_last {
                     Some(last)
                 } else {
@@ -775,15 +758,13 @@ impl XmlStorage {
             let desc = block.slots[slot as usize].take().expect("live");
             match desc.prev_in_block {
                 Some(prev) => {
-                    block.slots[prev as usize].as_mut().unwrap().next_in_block =
-                        desc.next_in_block
+                    block.slots[prev as usize].as_mut().unwrap().next_in_block = desc.next_in_block
                 }
                 None => block.first_slot = desc.next_in_block,
             }
             match desc.next_in_block {
                 Some(next) => {
-                    block.slots[next as usize].as_mut().unwrap().prev_in_block =
-                        desc.prev_in_block
+                    block.slots[next as usize].as_mut().unwrap().prev_in_block = desc.prev_in_block
                 }
                 None => block.last_slot = desc.prev_in_block,
             }
@@ -852,7 +833,11 @@ impl XmlStorage {
                 // Chain covers exactly the live slots, in nid order.
                 let chained: Vec<DescPtr> = block.iter_ordered().map(|(p, _)| p).collect();
                 if chained.len() != block.len() {
-                    return Some(format!("block {b}: chain covers {} of {}", chained.len(), block.len()));
+                    return Some(format!(
+                        "block {b}: chain covers {} of {}",
+                        chained.len(),
+                        block.len()
+                    ));
                 }
                 let mut prev: Option<&Nid> = None;
                 for (_, d) in block.iter_ordered() {
@@ -1097,10 +1082,7 @@ mod tests {
         assert_eq!(xs.check_invariants(), None);
         let kids = xs.children(lib);
         assert_eq!(kids.len(), 3);
-        assert_eq!(
-            xs.string_value(xs.children(kids[0])[0]),
-            "An Introduction to Database Systems"
-        );
+        assert_eq!(xs.string_value(xs.children(kids[0])[0]), "An Introduction to Database Systems");
     }
 
     #[test]
@@ -1139,10 +1121,7 @@ mod tests {
         for (p, nid) in &before {
             // p may have moved blocks; find by label instead when needed.
             let all = xs.subtree(xs.root());
-            assert!(
-                all.iter().any(|&q| xs.nid(q) == nid),
-                "label {nid:?} disappeared"
-            );
+            assert!(all.iter().any(|&q| xs.nid(q) == nid), "label {nid:?} disappeared");
             let _ = p;
         }
         assert_eq!(xs.relabel_count(), 0);

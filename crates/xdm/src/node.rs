@@ -14,6 +14,7 @@
 //! nodes, and the accessors return the mandated empty sequences.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use xstypes::AtomicValue;
 
@@ -91,6 +92,16 @@ struct NodeData {
 #[derive(Debug, Clone, Default)]
 pub struct NodeStore {
     nodes: Vec<NodeData>,
+    /// Memoized element/document `string-value`s (§6.2 item 1). One cell
+    /// per node; filled lazily bottom-up on first access, cleared for
+    /// every ancestor when a text node is inserted beneath them. Cells
+    /// are [`OnceLock`]s so a fully built (immutable) store stays `Sync`
+    /// and cheap to read from many validation threads.
+    string_values: Vec<OnceLock<String>>,
+    /// Structural mutation counter. Bumped by every node construction;
+    /// lets derived indexes (e.g. `DocumentOrderIndex`) detect that they
+    /// are stale instead of silently answering from an outdated snapshot.
+    generation: u64,
 }
 
 impl NodeStore {
@@ -109,10 +120,29 @@ impl NodeStore {
         self.nodes.is_empty()
     }
 
+    /// The structural generation of the store. Incremented by every node
+    /// construction; derived snapshots record the generation they were
+    /// built at and refuse to answer once it moves on.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     fn push(&mut self, data: NodeData) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
         self.nodes.push(data);
+        self.string_values.push(OnceLock::new());
+        self.generation += 1;
         id
+    }
+
+    /// Clear the memoized string values of `start` and all its ancestors
+    /// (called when text content appears beneath them).
+    fn invalidate_string_values(&mut self, start: NodeId) {
+        let mut cur = Some(start);
+        while let Some(n) = cur {
+            self.string_values[n.index()] = OnceLock::new();
+            cur = self.data(n).parent;
+        }
     }
 
     fn data(&self, id: NodeId) -> &NodeData {
@@ -203,10 +233,7 @@ impl NodeStore {
     /// Mint a text node under an element (§6.2 items 5.1.1, 5.4.2.2: text
     /// nodes carry type `xdt:untypedAtomic`).
     pub fn new_text(&mut self, parent: NodeId, value: impl Into<String>) -> NodeId {
-        assert!(
-            self.data(parent).kind == NodeKind::Element,
-            "text nodes attach to element nodes"
-        );
+        assert!(self.data(parent).kind == NodeKind::Element, "text nodes attach to element nodes");
         let base_uri = self.data(parent).base_uri.clone();
         let id = self.push(NodeData {
             kind: NodeKind::Text,
@@ -221,6 +248,7 @@ impl NodeStore {
             base_uri,
         });
         self.data_mut(parent).children.push(id);
+        self.invalidate_string_values(parent);
         id
     }
 
@@ -313,7 +341,26 @@ impl NodeStore {
     /// nodes yield their content; elements concatenate descendant text in
     /// document order; the document node yields the string value of its
     /// children.
+    ///
+    /// Element and document values are memoized bottom-up: the first
+    /// access to any subtree root fills the cells of every element it
+    /// recurses through, so a sweep calling `string-value` (or
+    /// [`NodeStore::typed_value`]) at every level of a deep tree does
+    /// O(total text) aggregation work instead of re-walking O(subtree)
+    /// per level. Inserting a text node clears the cells of its
+    /// ancestors, so a mutated store never answers from a stale cell
+    /// — see [`NodeStore::string_value_fresh`] for the uncached walk.
     pub fn string_value(&self, id: NodeId) -> String {
+        match self.data(id).kind {
+            NodeKind::Text | NodeKind::Attribute => self.data(id).content.clone(),
+            NodeKind::Element | NodeKind::Document => self.cached_string_value(id).clone(),
+        }
+    }
+
+    /// `string-value` recomputed by a full subtree walk, ignoring (and
+    /// not filling) the memo cells. Exists so tests can cross-check the
+    /// cache against the §6.2 definition.
+    pub fn string_value_fresh(&self, id: NodeId) -> String {
         match self.data(id).kind {
             NodeKind::Text | NodeKind::Attribute => self.data(id).content.clone(),
             NodeKind::Element | NodeKind::Document => {
@@ -322,6 +369,22 @@ impl NodeStore {
                 out
             }
         }
+    }
+
+    fn cached_string_value(&self, id: NodeId) -> &String {
+        self.string_values[id.index()].get_or_init(|| {
+            let mut out = String::new();
+            for &child in &self.data(id).children {
+                match self.data(child).kind {
+                    NodeKind::Text => out.push_str(&self.data(child).content),
+                    // Bottom-up: the child's cell fills (or is reused)
+                    // first, then its aggregate is appended in one copy.
+                    NodeKind::Element => out.push_str(self.cached_string_value(child)),
+                    _ => {}
+                }
+            }
+            out
+        })
     }
 
     fn collect_text(&self, id: NodeId, out: &mut String) {
@@ -351,19 +414,12 @@ impl NodeStore {
 
     /// The attribute of `element` with the given name, if any.
     pub fn attribute_named(&self, element: NodeId, name: &str) -> Option<NodeId> {
-        self.attributes(element)
-            .iter()
-            .copied()
-            .find(|&a| self.node_name(a) == Some(name))
+        self.attributes(element).iter().copied().find(|&a| self.node_name(a) == Some(name))
     }
 
     /// Child *elements* only.
     pub fn child_elements(&self, id: NodeId) -> Vec<NodeId> {
-        self.children(id)
-            .iter()
-            .copied()
-            .filter(|&c| self.kind(c) == NodeKind::Element)
-            .collect()
+        self.children(id).iter().copied().filter(|&c| self.kind(c) == NodeKind::Element).collect()
     }
 
     /// All nodes of the subtree rooted at `id` in document order
@@ -490,6 +546,46 @@ mod tests {
         assert_eq!(s.string_value(root), "123");
         // §6.2 item 1: document's string value = its child's.
         assert_eq!(s.string_value(doc), "123");
+    }
+
+    #[test]
+    fn string_value_cache_survives_repeated_reads() {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let root = s.new_element(doc, "a");
+        let b = s.new_element(root, "b");
+        s.new_text(b, "x");
+        // Two reads answer identically and agree with the fresh walk.
+        assert_eq!(s.string_value(root), "x");
+        assert_eq!(s.string_value(root), s.string_value_fresh(root));
+        assert_eq!(s.string_value(doc), s.string_value_fresh(doc));
+    }
+
+    #[test]
+    fn string_value_cache_invalidated_by_text_insertion() {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let root = s.new_element(doc, "a");
+        let b = s.new_element(root, "b");
+        s.new_text(b, "1");
+        assert_eq!(s.string_value(doc), "1"); // fill cells doc/root/b
+        let c = s.new_element(b, "c");
+        s.new_text(c, "2"); // must clear c, b, root, doc
+        for n in [doc, root, b, c] {
+            assert_eq!(s.string_value(n), s.string_value_fresh(n));
+        }
+        assert_eq!(s.string_value(doc), "12");
+    }
+
+    #[test]
+    fn generation_counts_every_construction() {
+        let mut s = NodeStore::new();
+        let g0 = s.generation();
+        let doc = s.new_document(None);
+        let e = s.new_element(doc, "e");
+        s.new_attribute(e, "a", "v");
+        s.new_text(e, "t");
+        assert_eq!(s.generation(), g0 + 4);
     }
 
     #[test]

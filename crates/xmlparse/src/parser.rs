@@ -147,7 +147,10 @@ impl<'a> EventReader<'a> {
         }
         let raw = self.cursor.take_while(is_name_char);
         if raw.bytes().filter(|&b| b == b':').count() > 1 || raw.ends_with(':') {
-            return Err(crate::error::Error::new(ErrorKind::InvalidName(raw.to_string()), start_pos));
+            return Err(crate::error::Error::new(
+                ErrorKind::InvalidName(raw.to_string()),
+                start_pos,
+            ));
         }
         Ok(QName::parse(raw))
     }
@@ -270,9 +273,9 @@ impl<'a> EventReader<'a> {
                 expected: expected.lexical().into_owned(),
                 found: name.lexical().into_owned(),
             })),
-            None => Err(self
-                .cursor
-                .error(ErrorKind::UnmatchedClosingTag(name.lexical().into_owned()))),
+            None => {
+                Err(self.cursor.error(ErrorKind::UnmatchedClosingTag(name.lexical().into_owned())))
+            }
         }
     }
 
@@ -452,7 +455,8 @@ mod tests {
 
     #[test]
     fn xml_declaration_and_doctype_skipped() {
-        let src = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE a [ <!ELEMENT a ANY> ]>\n<a/>";
+        let src =
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE a [ <!ELEMENT a ANY> ]>\n<a/>";
         let evs = events(src).unwrap();
         assert!(matches!(&evs[0], Event::StartElement { name, .. } if name.local() == "a"));
     }

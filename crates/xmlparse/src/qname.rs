@@ -26,10 +26,7 @@ impl QName {
 
     /// A name with an explicit prefix.
     pub fn prefixed(prefix: impl Into<String>, local: impl Into<String>) -> Self {
-        QName {
-            prefix: Some(prefix.into().into_boxed_str()),
-            local: local.into().into_boxed_str(),
-        }
+        QName { prefix: Some(prefix.into().into_boxed_str()), local: local.into().into_boxed_str() }
     }
 
     /// Split a lexical `prefix:local` form. More than one colon is kept in

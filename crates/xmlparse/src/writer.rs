@@ -151,7 +151,7 @@ impl Writer {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::dom::Document;
 
     #[test]

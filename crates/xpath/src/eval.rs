@@ -197,11 +197,7 @@ fn eval_step<T: TreeAccess>(tree: &T, n: T::Node, step: &Step) -> Vec<T::Node> {
     out
 }
 
-fn apply_predicate<T: TreeAccess>(
-    tree: &T,
-    nodes: Vec<T::Node>,
-    pred: &Predicate,
-) -> Vec<T::Node> {
+fn apply_predicate<T: TreeAccess>(tree: &T, nodes: Vec<T::Node>, pred: &Predicate) -> Vec<T::Node> {
     match pred {
         Predicate::Position(k) => {
             let k = *k as usize;
@@ -212,10 +208,9 @@ fn apply_predicate<T: TreeAccess>(
             }
         }
         Predicate::Last => nodes.last().copied().into_iter().collect(),
-        Predicate::Exists(path) => nodes
-            .into_iter()
-            .filter(|&n| !eval_relative(tree, n, path).is_empty())
-            .collect(),
+        Predicate::Exists(path) => {
+            nodes.into_iter().filter(|&n| !eval_relative(tree, n, path).is_empty()).collect()
+        }
         Predicate::Compare { path, op, literal } => nodes
             .into_iter()
             .filter(|&n| {
@@ -493,14 +488,10 @@ mod tests {
         let tree = XdmTree { store: &s, doc };
         for q in ["/library/book/title", "//author", "/library/paper[author='Codd']/title"] {
             let path = parse(q).unwrap();
-            let a: Vec<String> = eval_naive(&tree, &path)
-                .into_iter()
-                .map(|n| s.string_value(n))
-                .collect();
-            let b: Vec<String> = eval_guided(&storage, &path)
-                .into_iter()
-                .map(|p| storage.string_value(p))
-                .collect();
+            let a: Vec<String> =
+                eval_naive(&tree, &path).into_iter().map(|n| s.string_value(n)).collect();
+            let b: Vec<String> =
+                eval_guided(&storage, &path).into_iter().map(|p| storage.string_value(p)).collect();
             assert_eq!(a, b, "{q}");
         }
     }
@@ -589,10 +580,7 @@ mod axis_tests {
             eval_naive(&t, &parse("/child::r/child::a").unwrap()),
             eval_naive(&t, &parse("/r/a").unwrap())
         );
-        assert_eq!(
-            eval_naive(&t, &parse("/r/a/self::a").unwrap()).len(),
-            1
-        );
+        assert_eq!(eval_naive(&t, &parse("/r/a/self::a").unwrap()).len(), 1);
         assert!(eval_naive(&t, &parse("/r/a/self::b").unwrap()).is_empty());
     }
 
@@ -609,16 +597,11 @@ mod axis_tests {
             "/r/descendant-or-self::*",
         ] {
             let path = parse(q).unwrap();
-            let a: Vec<String> =
-                eval_naive(&t, &path).iter().map(|&n| s.string_value(n)).collect();
-            let b: Vec<String> = eval_naive(&&storage, &path)
-                .iter()
-                .map(|&p| storage.string_value(p))
-                .collect();
-            let g: Vec<String> = eval_guided(&storage, &path)
-                .iter()
-                .map(|&p| storage.string_value(p))
-                .collect();
+            let a: Vec<String> = eval_naive(&t, &path).iter().map(|&n| s.string_value(n)).collect();
+            let b: Vec<String> =
+                eval_naive(&&storage, &path).iter().map(|&p| storage.string_value(p)).collect();
+            let g: Vec<String> =
+                eval_guided(&storage, &path).iter().map(|&p| storage.string_value(p)).collect();
             assert_eq!(a, b, "{q}");
             assert_eq!(b, g, "{q}");
         }

@@ -213,8 +213,7 @@ impl<'a> Parser<'a> {
             while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
                 digits.push(self.chars.next().unwrap());
             }
-            let n: u32 =
-                digits.parse().map_err(|_| self.err("position out of range"))?;
+            let n: u32 = digits.parse().map_err(|_| self.err("position out of range"))?;
             if n == 0 {
                 return Err(self.err("positions are 1-based"));
             }

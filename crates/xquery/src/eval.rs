@@ -185,9 +185,7 @@ fn xpath_step<T: TreeAccess>(tree: &T, n: T::Node, step: &xpath::Step) -> Vec<T:
             Some(p) => {
                 let siblings = tree.children(p);
                 match siblings.iter().position(|&s| s == n) {
-                    Some(i) if step.axis == Axis::FollowingSibling => {
-                        siblings[i + 1..].to_vec()
-                    }
+                    Some(i) if step.axis == Axis::FollowingSibling => siblings[i + 1..].to_vec(),
                     Some(i) => siblings[..i].to_vec(),
                     None => Vec::new(),
                 }
@@ -208,10 +206,9 @@ fn xpath_step<T: TreeAccess>(tree: &T, n: T::Node, step: &xpath::Step) -> Vec<T:
                 }
             }
             Predicate::Last => out.last().copied().into_iter().collect(),
-            Predicate::Exists(p) => out
-                .into_iter()
-                .filter(|&m| !eval_relative_from(tree, m, p).is_empty())
-                .collect(),
+            Predicate::Exists(p) => {
+                out.into_iter().filter(|&m| !eval_relative_from(tree, m, p).is_empty()).collect()
+            }
             Predicate::Compare { path, op, literal } => out
                 .into_iter()
                 .filter(|&m| {
@@ -286,9 +283,7 @@ fn construct<T: TreeAccess>(
     for content in &c.content {
         match content {
             Content::Text(t) => elem.children.push(Node::Text(t.clone())),
-            Content::Element(sub) => {
-                elem.children.push(Node::Element(construct(tree, env, sub)?))
-            }
+            Content::Element(sub) => elem.children.push(Node::Element(construct(tree, env, sub)?)),
             Content::Expr(vp) => {
                 for n in resolve(tree, env, vp)? {
                     elem.children.push(copy_node(tree, n));

@@ -86,10 +86,8 @@ mod tests {
 
     #[test]
     fn filter_and_construct() {
-        let got = run(
-            r#"for $b in /library/book where $b/author = "Codd"
-               return <hit>{$b/title/text()}</hit>"#,
-        );
+        let got = run(r#"for $b in /library/book where $b/author = "Codd"
+               return <hit>{$b/title/text()}</hit>"#);
         assert_eq!(
             got,
             "<hit>A Relational Model</hit><hit>The Complexity of Relational Query Languages</hit>"
@@ -98,12 +96,10 @@ mod tests {
 
     #[test]
     fn let_bindings_and_attribute_templates() {
-        let got = run(
-            r#"for $b in /library/book
+        let got = run(r#"for $b in /library/book
                let $t := $b/title
                where $b/year > "1990"
-               return <book id="{$b/@id}" title="{$t}"/>"#,
-        );
+               return <book id="{$b/@id}" title="{$t}"/>"#);
         assert_eq!(
             got,
             r#"<book id="b1" title="Foundations of Databases"/><book id="b4" title="Transaction Processing"/>"#
@@ -112,9 +108,7 @@ mod tests {
 
     #[test]
     fn order_by_ascending_and_descending() {
-        let got = run(
-            "for $b in /library/book order by $b/year return <y>{$b/year/text()}</y>",
-        );
+        let got = run("for $b in /library/book order by $b/year return <y>{$b/year/text()}</y>");
         assert_eq!(got, "<y>1970</y><y>1982</y><y>1993</y><y>1995</y>");
         let got = run(
             "for $b in /library/book order by $b/year descending return <y>{$b/year/text()}</y>",
@@ -147,20 +141,16 @@ mod tests {
 
     #[test]
     fn string_literal_and_mixed_construction() {
-        let got = run(
-            r#"for $b in /library/book where $b/@id = "b4"
-               return <r>by {$b/author/text()}!</r>"#,
-        );
+        let got = run(r#"for $b in /library/book where $b/@id = "b4"
+               return <r>by {$b/author/text()}!</r>"#);
         assert_eq!(got, "<r>by Gray!</r>");
     }
 
     #[test]
     fn conjunction_in_where() {
-        let got = run(
-            r#"for $b in /library/book
+        let got = run(r#"for $b in /library/book
                where $b/author = "Codd" and $b/year < "1975"
-               return $b/@id"#,
-        );
+               return $b/@id"#);
         assert_eq!(got, "b2");
     }
 

@@ -59,10 +59,7 @@ impl<'a> Parser<'a> {
     fn peek_word(&self, word: &str) -> bool {
         let r = self.rest.trim_start();
         r.starts_with(word)
-            && r[word.len()..]
-                .chars()
-                .next()
-                .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+            && r[word.len()..].chars().next().is_none_or(|c| !c.is_alphanumeric() && c != '_')
     }
 
     fn eat_word(&mut self, word: &str) -> bool {
@@ -118,11 +115,8 @@ impl<'a> Parser<'a> {
             let mut offset = 0;
             while let Some(found) = self.rest[offset..].find(stop) {
                 let at = offset + found;
-                let before_ok = at == 0
-                    || self.rest[..at]
-                        .chars()
-                        .last()
-                        .is_some_and(|c| c.is_whitespace());
+                let before_ok =
+                    at == 0 || self.rest[..at].chars().last().is_some_and(|c| c.is_whitespace());
                 let after = self.rest[at + stop.len()..].chars().next();
                 let after_ok = after.is_none_or(|c| c.is_whitespace());
                 if before_ok && after_ok {
@@ -144,8 +138,7 @@ impl<'a> Parser<'a> {
         }
         let var = self.parse_name()?;
         self.expect_word("in")?;
-        let source_text =
-            self.take_until_keyword(&["let", "where", "order", "return"]).to_string();
+        let source_text = self.take_until_keyword(&["let", "where", "order", "return"]).to_string();
         let source =
             xpath::parse(&source_text).map_err(|e| self.err(format!("for-source: {e}")))?;
 
@@ -160,16 +153,14 @@ impl<'a> Parser<'a> {
                 return Err(self.err("expected ':=' in let clause"));
             }
             self.rest = &self.rest[2..];
-            let vp_text =
-                self.take_until_keyword(&["let", "where", "order", "return"]).to_string();
+            let vp_text = self.take_until_keyword(&["let", "where", "order", "return"]).to_string();
             lets.push((name, self.parse_varpath_text(&vp_text)?));
         }
 
         let mut conditions = Vec::new();
         if self.eat_word("where") {
             loop {
-                let cond_text =
-                    self.take_until_keyword(&["and", "order", "return"]).to_string();
+                let cond_text = self.take_until_keyword(&["and", "order", "return"]).to_string();
                 conditions.push(self.parse_condition_text(&cond_text)?);
                 if !self.eat_word("and") {
                     break;
@@ -207,8 +198,8 @@ impl<'a> Parser<'a> {
             Some(slash) => {
                 let var = &rest[..slash];
                 let path_text = &rest[slash..];
-                let path = xpath::parse(path_text)
-                    .map_err(|e| self.err(format!("variable path: {e}")))?;
+                let path =
+                    xpath::parse(path_text).map_err(|e| self.err(format!("variable path: {e}")))?;
                 Ok(VarPath { var: var.to_string(), path: Some(path) })
             }
         }
@@ -410,15 +401,14 @@ mod tests {
 
     #[test]
     fn nested_constructors() {
-        let q = parse_query(
-            "for $b in /lib/x return <a><b>{$b}</b><c/></a>",
-        )
-        .unwrap();
+        let q = parse_query("for $b in /lib/x return <a><b>{$b}</b><c/></a>").unwrap();
         let Query::Flwor(f) = q else { panic!() };
         let Item::Constructor(c) = f.ret else { panic!() };
         assert_eq!(c.content.len(), 2);
         assert!(matches!(&c.content[0], Content::Element(e) if e.name == "b"));
-        assert!(matches!(&c.content[1], Content::Element(e) if e.name == "c" && e.content.is_empty()));
+        assert!(
+            matches!(&c.content[1], Content::Element(e) if e.name == "c" && e.content.is_empty())
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ struct AllMember {
 enum Inst {
     /// Consume one child element with this name; `decl` indexes
     /// [`ContentModel::decls`]. Falls through to `pc + 1`.
-    Elem { name: String, decl: usize },
+    Elem {
+        name: String,
+        decl: usize,
+    },
     Split(usize, usize),
     Jump(usize),
     Match,
@@ -535,9 +538,8 @@ mod tests {
 
     #[test]
     fn element_repetition_bounds() {
-        let g = GroupDefinition::sequence(vec![
-            eld("A").with_repetition(RepetitionFactor::new(2, 4)),
-        ]);
+        let g =
+            GroupDefinition::sequence(vec![eld("A").with_repetition(RepetitionFactor::new(2, 4))]);
         let cm = compile(&g);
         assert!(!cm.accepts(&["A"]));
         assert!(cm.accepts(&["A", "A"]));
@@ -636,7 +638,7 @@ mod tests {
     fn large_bounded_repetition_compiles() {
         // The paper's Example 6 uses maxOccurs="1000".
         let g = GroupDefinition::sequence(vec![
-            eld("Book").with_repetition(RepetitionFactor::new(0, 1000)),
+            eld("Book").with_repetition(RepetitionFactor::new(0, 1000))
         ]);
         let cm = compile(&g);
         let thousand: Vec<&str> = std::iter::repeat_n("Book", 1000).collect();
@@ -649,7 +651,7 @@ mod tests {
     fn absurd_expansion_is_rejected_at_compile_time() {
         // 100000 × 100000 copies.
         let inner = GroupDefinition::sequence(vec![
-            eld("X").with_repetition(RepetitionFactor::new(100_000, 100_000)),
+            eld("X").with_repetition(RepetitionFactor::new(100_000, 100_000))
         ])
         .with_repetition(RepetitionFactor::new(100_000, 100_000));
         assert!(ContentModel::compile(&inner).is_err());
@@ -684,12 +686,8 @@ mod all_group_tests {
 
     #[test]
     fn all_group_accepts_any_permutation() {
-        let cm = ContentModel::compile(&GroupDefinition::all(vec![
-            eld("a"),
-            eld("b"),
-            eld("c"),
-        ]))
-        .unwrap();
+        let cm = ContentModel::compile(&GroupDefinition::all(vec![eld("a"), eld("b"), eld("c")]))
+            .unwrap();
         for perm in [
             ["a", "b", "c"],
             ["a", "c", "b"],
@@ -704,8 +702,7 @@ mod all_group_tests {
 
     #[test]
     fn all_group_rejects_duplicates_and_missing() {
-        let cm =
-            ContentModel::compile(&GroupDefinition::all(vec![eld("a"), eld("b")])).unwrap();
+        let cm = ContentModel::compile(&GroupDefinition::all(vec![eld("a"), eld("b")])).unwrap();
         assert!(!cm.accepts(&["a", "a"]));
         assert!(!cm.accepts(&["a"]));
         assert!(!cm.accepts(&["a", "b", "b"]));
@@ -728,8 +725,7 @@ mod all_group_tests {
 
     #[test]
     fn all_group_assignments_track_declarations() {
-        let cm =
-            ContentModel::compile(&GroupDefinition::all(vec![eld("a"), eld("b")])).unwrap();
+        let cm = ContentModel::compile(&GroupDefinition::all(vec![eld("a"), eld("b")])).unwrap();
         match cm.match_children(&["b", "a"]) {
             MatchOutcome::Accept { assignments } => {
                 let names: Vec<_> =
@@ -742,8 +738,7 @@ mod all_group_tests {
 
     #[test]
     fn all_group_reject_reports_expectations() {
-        let cm =
-            ContentModel::compile(&GroupDefinition::all(vec![eld("a"), eld("b")])).unwrap();
+        let cm = ContentModel::compile(&GroupDefinition::all(vec![eld("a"), eld("b")])).unwrap();
         match cm.match_children(&["a"]) {
             MatchOutcome::Reject { position, expected } => {
                 assert_eq!(position, 1);
@@ -762,12 +757,8 @@ mod all_group_tests {
 
     #[test]
     fn expected_after_respects_consumed_members() {
-        let cm = ContentModel::compile(&GroupDefinition::all(vec![
-            eld("a"),
-            eld("b"),
-            eld("c"),
-        ]))
-        .unwrap();
+        let cm = ContentModel::compile(&GroupDefinition::all(vec![eld("a"), eld("b"), eld("c")]))
+            .unwrap();
         assert_eq!(cm.expected_after(&[]), ["a", "b", "c"]);
         assert_eq!(cm.expected_after(&["b"]), ["a", "c"]);
         assert_eq!(cm.expected_after(&["b", "a"]), ["c"]);
@@ -775,8 +766,7 @@ mod all_group_tests {
 
     #[test]
     fn repeated_all_group_is_rejected_at_compile_time() {
-        let g = GroupDefinition::all(vec![eld("a")])
-            .with_repetition(RepetitionFactor::at_least(0));
+        let g = GroupDefinition::all(vec![eld("a")]).with_repetition(RepetitionFactor::at_least(0));
         assert!(ContentModel::compile(&g).is_err());
         let g2 = GroupDefinition::all(vec![eld("a")]).with_repetition(RepetitionFactor::new(2, 2));
         assert!(ContentModel::compile(&g2).is_err());

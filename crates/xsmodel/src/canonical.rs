@@ -92,11 +92,8 @@ fn pass(group: &GroupDefinition) -> GroupDefinition {
             }
         }
     }
-    let mut out = GroupDefinition {
-        particles,
-        combination: group.combination,
-        repetition: group.repetition,
-    };
+    let mut out =
+        GroupDefinition { particles, combination: group.combination, repetition: group.repetition };
     // Rule 2a: a (1,1) singleton group that wraps a single group unwraps.
     if out.repetition == RepetitionFactor::ONCE && out.particles.len() == 1 {
         if let Particle::Group(inner) = &out.particles[0] {
@@ -188,11 +185,8 @@ mod tests {
     fn assert_equivalent(original: &GroupDefinition, canonical: &GroupDefinition, max_len: usize) {
         let a = ContentModel::compile(original).unwrap();
         let b = ContentModel::compile(canonical).unwrap();
-        let mut alphabet: Vec<String> = original
-            .element_declarations()
-            .iter()
-            .map(|e| e.name.clone())
-            .collect();
+        let mut alphabet: Vec<String> =
+            original.element_declarations().iter().map(|e| e.name.clone()).collect();
         alphabet.sort();
         alphabet.dedup();
         // Enumerate all strings of length ≤ max_len.
@@ -274,8 +268,8 @@ mod tests {
 
     #[test]
     fn group_repetition_transfers_to_singleton_element() {
-        let inner = GroupDefinition::sequence(vec![eld("a")])
-            .with_repetition(RepetitionFactor::new(2, 5));
+        let inner =
+            GroupDefinition::sequence(vec![eld("a")]).with_repetition(RepetitionFactor::new(2, 5));
         let outer = GroupDefinition {
             particles: vec![Particle::Group(inner)],
             combination: CombinationFactor::Sequence,
@@ -291,10 +285,9 @@ mod tests {
     #[test]
     fn star_fusion() {
         // ( a* ){0,3} ≡ a*
-        let inner = GroupDefinition::sequence(vec![
-            eld("a").with_repetition(RepetitionFactor::ANY),
-        ])
-        .with_repetition(RepetitionFactor::new(0, 3));
+        let inner =
+            GroupDefinition::sequence(vec![eld("a").with_repetition(RepetitionFactor::ANY)])
+                .with_repetition(RepetitionFactor::new(0, 3));
         let outer = GroupDefinition {
             particles: vec![Particle::Group(inner)],
             combination: CombinationFactor::Sequence,
@@ -310,10 +303,11 @@ mod tests {
     #[test]
     fn plus_fusion() {
         // ( a+ ){1,4} ≡ a+
-        let inner = GroupDefinition::sequence(vec![
-            eld("a").with_repetition(RepetitionFactor::at_least(1)),
-        ])
-        .with_repetition(RepetitionFactor::new(1, 4));
+        let inner =
+            GroupDefinition::sequence(
+                vec![eld("a").with_repetition(RepetitionFactor::at_least(1))],
+            )
+            .with_repetition(RepetitionFactor::new(1, 4));
         let outer = GroupDefinition {
             particles: vec![Particle::Group(inner)],
             combination: CombinationFactor::Sequence,
@@ -329,10 +323,9 @@ mod tests {
     #[test]
     fn optional_fusion() {
         // ( a? ){0,3} ≡ a{0,3}
-        let inner = GroupDefinition::sequence(vec![
-            eld("a").with_repetition(RepetitionFactor::OPTIONAL),
-        ])
-        .with_repetition(RepetitionFactor::new(0, 3));
+        let inner =
+            GroupDefinition::sequence(vec![eld("a").with_repetition(RepetitionFactor::OPTIONAL)])
+                .with_repetition(RepetitionFactor::new(0, 3));
         let outer = GroupDefinition {
             particles: vec![Particle::Group(inner)],
             combination: CombinationFactor::Sequence,
@@ -348,10 +341,9 @@ mod tests {
     #[test]
     fn unsafe_fusion_is_not_applied() {
         // ( a{2,2} ){0,1}: counts {0, 2} — must NOT fuse to a{0,2}.
-        let inner = GroupDefinition::sequence(vec![
-            eld("a").with_repetition(RepetitionFactor::new(2, 2)),
-        ])
-        .with_repetition(RepetitionFactor::OPTIONAL);
+        let inner =
+            GroupDefinition::sequence(vec![eld("a").with_repetition(RepetitionFactor::new(2, 2))])
+                .with_repetition(RepetitionFactor::OPTIONAL);
         let outer = GroupDefinition {
             particles: vec![Particle::Group(inner)],
             combination: CombinationFactor::Sequence,

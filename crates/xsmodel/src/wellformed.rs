@@ -251,7 +251,9 @@ mod tests {
         let schema = DocumentSchema::new(ElementDeclaration::new("Root", "NoSuchType"));
         let issues = check(&schema);
         assert_eq!(issues.len(), 1);
-        assert!(matches!(&issues[0], SchemaIssue::UnknownType { name, .. } if name == "NoSuchType"));
+        assert!(
+            matches!(&issues[0], SchemaIssue::UnknownType { name, .. } if name == "NoSuchType")
+        );
     }
 
     #[test]
@@ -264,8 +266,8 @@ mod tests {
             ]),
             attributes: AttributeDeclarations::new(),
         };
-        let schema = DocumentSchema::new(ElementDeclaration::new("Root", "T"))
-            .with_complex_type("T", t);
+        let schema =
+            DocumentSchema::new(ElementDeclaration::new("Root", "T")).with_complex_type("T", t);
         let issues = check(&schema);
         assert!(issues
             .iter()
@@ -292,8 +294,8 @@ mod tests {
             },
             attributes: AttributeDeclarations::new(),
         };
-        let schema = DocumentSchema::new(ElementDeclaration::new("Root", "T"))
-            .with_complex_type("T", t);
+        let schema =
+            DocumentSchema::new(ElementDeclaration::new("Root", "T")).with_complex_type("T", t);
         assert!(check(&schema).is_empty());
     }
 
@@ -317,9 +319,9 @@ mod tests {
             .with_complex_type("T", sc)
             .with_complex_type("Other", ComplexTypeDefinition::empty());
         let issues = check(&schema);
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, SchemaIssue::SimpleContentBaseNotSimple { base, .. } if base == "Other")));
+        assert!(issues.iter().any(
+            |i| matches!(i, SchemaIssue::SimpleContentBaseNotSimple { base, .. } if base == "Other")
+        ));
     }
 
     #[test]
@@ -331,8 +333,8 @@ mod tests {
             content: GroupDefinition::empty(),
             attributes: attrs,
         };
-        let schema = DocumentSchema::new(ElementDeclaration::new("Root", "T"))
-            .with_complex_type("T", t);
+        let schema =
+            DocumentSchema::new(ElementDeclaration::new("Root", "T")).with_complex_type("T", t);
         let issues = check(&schema);
         assert!(issues.iter().any(
             |i| matches!(i, SchemaIssue::AttributeTypeNotSimple { attribute, .. } if attribute == "a")

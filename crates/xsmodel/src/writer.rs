@@ -9,8 +9,8 @@ use xmlparse::{Document, Element};
 use xstypes::{Facet, SimpleType, Variety};
 
 use crate::ast::{
-    CombinationFactor, ComplexTypeDefinition, DocumentSchema, ElementDeclaration,
-    GroupDefinition, Maximum, Particle, Type,
+    CombinationFactor, ComplexTypeDefinition, DocumentSchema, ElementDeclaration, GroupDefinition,
+    Maximum, Particle, Type,
 };
 
 /// Serialize a schema to XSD text (pretty-printed).
@@ -20,8 +20,8 @@ pub fn write_schema(schema: &DocumentSchema) -> String {
 
 /// Serialize a schema to an XML document.
 pub fn schema_document(schema: &DocumentSchema) -> Document {
-    let mut root = Element::new("xsd:schema")
-        .with_attribute("xmlns:xsd", "http://www.w3.org/2001/XMLSchema");
+    let mut root =
+        Element::new("xsd:schema").with_attribute("xmlns:xsd", "http://www.w3.org/2001/XMLSchema");
     // User-defined simple types (built-ins are implicit).
     let mut user_types: Vec<(&str, &std::sync::Arc<SimpleType>)> = schema
         .simple_types
@@ -34,10 +34,7 @@ pub fn schema_document(schema: &DocumentSchema) -> Document {
     }
     for (name, def) in &schema.complex_types {
         let mut ct = complex_type_element(def);
-        ct.attributes.insert(
-            0,
-            xmlparse::Attribute { name: "name".into(), value: name.clone() },
-        );
+        ct.attributes.insert(0, xmlparse::Attribute { name: "name".into(), value: name.clone() });
         root.children.push(xmlparse::Node::Element(ct));
     }
     root.children.push(xmlparse::Node::Element(element_declaration(&schema.root)));
@@ -140,10 +137,7 @@ fn simple_type_element(name: Option<&str>, ty: &SimpleType) -> Element {
             Element::new("xsd:restriction").with_attribute("base", b.name())
         }
         Variety::Restriction { base, facets } => {
-            let base_name = base
-                .name
-                .clone()
-                .unwrap_or_else(|| "xs:string".to_string());
+            let base_name = base.name.clone().unwrap_or_else(|| "xs:string".to_string());
             let mut r = Element::new("xsd:restriction").with_attribute("base", base_name);
             for facet in facets {
                 for fe in facet_elements(facet) {
@@ -152,20 +146,16 @@ fn simple_type_element(name: Option<&str>, ty: &SimpleType) -> Element {
             }
             r
         }
-        Variety::List { item, .. } => {
-            match &item.name {
-                Some(n) => Element::new("xsd:list").with_attribute("itemType", n.clone()),
-                None => {
-                    let mut l = Element::new("xsd:list");
-                    l.children
-                        .push(xmlparse::Node::Element(simple_type_element(None, item)));
-                    l
-                }
+        Variety::List { item, .. } => match &item.name {
+            Some(n) => Element::new("xsd:list").with_attribute("itemType", n.clone()),
+            None => {
+                let mut l = Element::new("xsd:list");
+                l.children.push(xmlparse::Node::Element(simple_type_element(None, item)));
+                l
             }
-        }
+        },
         Variety::Union { members } => {
-            let named: Vec<String> =
-                members.iter().filter_map(|m| m.name.clone()).collect();
+            let named: Vec<String> = members.iter().filter_map(|m| m.name.clone()).collect();
             let mut u = Element::new("xsd:union");
             if !named.is_empty() {
                 u = u.with_attribute("memberTypes", named.join(" "));
@@ -250,8 +240,7 @@ mod tests {
                         Ok(cm) => cm,
                         Err(_) => return false,
                     };
-                    let names: Vec<&str> =
-                        elem.child_elements().map(|e| e.name.local()).collect();
+                    let names: Vec<&str> = elem.child_elements().map(|e| e.name.local()).collect();
                     match cm.match_children(&names) {
                         crate::automaton::MatchOutcome::Accept { assignments } => elem
                             .child_elements()

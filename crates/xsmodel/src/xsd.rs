@@ -54,10 +54,7 @@ pub fn parse_schema_text(text: &str) -> Result<DocumentSchema, XsdError> {
 pub fn parse_schema(doc: &Document) -> Result<DocumentSchema, XsdError> {
     let root = doc.root();
     if root.name.local() != "schema" {
-        return Err(XsdError::new(format!(
-            "root element is <{}>, expected <schema>",
-            root.name
-        )));
+        return Err(XsdError::new(format!("root element is <{}>, expected <schema>", root.name)));
     }
     let mut simple_types = TypeRegistry::with_builtins();
     register_simple_types(root, &mut simple_types)?;
@@ -74,9 +71,8 @@ pub fn parse_schema(doc: &Document) -> Result<DocumentSchema, XsdError> {
     }
 
     let mut globals = root.children_named("element");
-    let global = globals
-        .next()
-        .ok_or_else(|| XsdError::new("schema has no global element declaration"))?;
+    let global =
+        globals.next().ok_or_else(|| XsdError::new("schema has no global element declaration"))?;
     if globals.next().is_some() {
         return Err(XsdError::new(
             "this model permits exactly one global element declaration (§3)",
@@ -115,18 +111,15 @@ fn register_simple_types(root: &Element, registry: &mut TypeRegistry) -> Result<
             // No progress: a real error. Surface the first one.
             let st = next[0];
             let name = st.attribute("name").unwrap_or("<unnamed>");
-            return parse_simple_type(st, registry).map(drop).map_err(|e| {
-                XsdError::new(format!("simpleType {name:?}: {}", e.message))
-            });
+            return parse_simple_type(st, registry)
+                .map(drop)
+                .map_err(|e| XsdError::new(format!("simpleType {name:?}: {}", e.message)));
         }
         remaining = next;
     }
 }
 
-fn parse_simple_type(
-    st: &Element,
-    registry: &TypeRegistry,
-) -> Result<Arc<SimpleType>, XsdError> {
+fn parse_simple_type(st: &Element, registry: &TypeRegistry) -> Result<Arc<SimpleType>, XsdError> {
     let name = st.attribute("name").map(str::to_string);
     if let Some(restriction) = st.child("restriction") {
         let base_name = restriction
@@ -224,9 +217,7 @@ fn parse_facets(restriction: &Element, base: &SimpleType) -> Result<Vec<Facet>, 
 
 fn parse_occurs(elem: &Element) -> Result<RepetitionFactor, XsdError> {
     let min = match elem.attribute("minOccurs") {
-        Some(v) => v
-            .parse::<u32>()
-            .map_err(|_| XsdError::new(format!("bad minOccurs {v:?}")))?,
+        Some(v) => v.parse::<u32>().map_err(|_| XsdError::new(format!("bad minOccurs {v:?}")))?,
         None => 1,
     };
     let max = match elem.attribute("maxOccurs") {
@@ -239,10 +230,7 @@ fn parse_occurs(elem: &Element) -> Result<RepetitionFactor, XsdError> {
     Ok(RepetitionFactor { min, max })
 }
 
-fn parse_element(
-    elem: &Element,
-    registry: &TypeRegistry,
-) -> Result<ElementDeclaration, XsdError> {
+fn parse_element(elem: &Element, registry: &TypeRegistry) -> Result<ElementDeclaration, XsdError> {
     let name = elem
         .attribute("name")
         .ok_or_else(|| XsdError::new("element declaration requires a name"))?;
@@ -270,14 +258,10 @@ fn parse_complex_type(
         let ext = sc
             .child("extension")
             .ok_or_else(|| XsdError::new("simpleContent requires an extension"))?;
-        let base = ext
-            .attribute("base")
-            .ok_or_else(|| XsdError::new("extension requires a base"))?;
+        let base =
+            ext.attribute("base").ok_or_else(|| XsdError::new("extension requires a base"))?;
         let attributes = parse_attributes(ext)?;
-        return Ok(ComplexTypeDefinition::SimpleContent {
-            base: base.to_string(),
-            attributes,
-        });
+        return Ok(ComplexTypeDefinition::SimpleContent { base: base.to_string(), attributes });
     }
     let content = if let Some(group) =
         ct.child("sequence").or_else(|| ct.child("choice")).or_else(|| ct.child("all"))

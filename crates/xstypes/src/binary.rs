@@ -142,7 +142,11 @@ pub fn encode_base64(bytes: &[u8]) -> String {
         } else {
             '='
         });
-        out.push(if chunk.len() > 2 { B64_ALPHABET[(triple & 0x3F) as usize] as char } else { '=' });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[(triple & 0x3F) as usize] as char
+        } else {
+            '='
+        });
     }
     out
 }

@@ -208,11 +208,15 @@ impl DateTime {
         }
         dt.timezone = tz;
         // Range checks.
-        let month_ok = matches!(kind, DateTimeKind::Time | DateTimeKind::GYear | DateTimeKind::GDay)
-            || (1..=12).contains(&dt.month);
+        let month_ok =
+            matches!(kind, DateTimeKind::Time | DateTimeKind::GYear | DateTimeKind::GDay)
+                || (1..=12).contains(&dt.month);
         let day_relevant = matches!(
             kind,
-            DateTimeKind::DateTime | DateTimeKind::Date | DateTimeKind::GMonthDay | DateTimeKind::GDay
+            DateTimeKind::DateTime
+                | DateTimeKind::Date
+                | DateTimeKind::GMonthDay
+                | DateTimeKind::GDay
         );
         let day_ok = !day_relevant
             || (dt.day >= 1
@@ -302,10 +306,8 @@ impl DateTime {
             days += days_in_month(self.year, m) as i64;
         }
         days += (self.day as i64).saturating_sub(1);
-        let mut secs = days * 86_400
-            + self.hour as i64 * 3600
-            + self.minute as i64 * 60
-            + self.second as i64;
+        let mut secs =
+            days * 86_400 + self.hour as i64 * 3600 + self.minute as i64 * 60 + self.second as i64;
         if let Some(Timezone(offset)) = self.timezone {
             secs -= offset as i64 * 60;
         }
@@ -356,7 +358,9 @@ impl DateTime {
                 out.push_str(&format!("-{:02}", self.month));
             }
             DateTimeKind::GYear => push_year(&mut out, self.year),
-            DateTimeKind::GMonthDay => out.push_str(&format!("--{:02}-{:02}", self.month, self.day)),
+            DateTimeKind::GMonthDay => {
+                out.push_str(&format!("--{:02}-{:02}", self.month, self.day))
+            }
             DateTimeKind::GDay => out.push_str(&format!("---{:02}", self.day)),
             DateTimeKind::GMonth => out.push_str(&format!("--{:02}", self.month)),
         }
@@ -657,7 +661,10 @@ mod tests {
 
     #[test]
     fn canonical_forms() {
-        assert_eq!(dt("2004-07-15T12:30:45Z").canonical(DateTimeKind::DateTime), "2004-07-15T12:30:45Z");
+        assert_eq!(
+            dt("2004-07-15T12:30:45Z").canonical(DateTimeKind::DateTime),
+            "2004-07-15T12:30:45Z"
+        );
         assert_eq!(
             dt("2004-07-15T12:30:45.500+01:00").canonical(DateTimeKind::DateTime),
             "2004-07-15T12:30:45.5+01:00"
@@ -671,7 +678,10 @@ mod tests {
         assert_eq!(d.seconds, 3 * 86400 + 4 * 3600 + 5 * 60 + 6);
         assert_eq!(d.nanoseconds, 500_000_000);
         assert_eq!(Duration::parse("-P1D").unwrap().seconds, -86400);
-        assert_eq!(Duration::parse("PT0S").unwrap(), Duration { months: 0, seconds: 0, nanoseconds: 0 });
+        assert_eq!(
+            Duration::parse("PT0S").unwrap(),
+            Duration { months: 0, seconds: 0, nanoseconds: 0 }
+        );
     }
 
     #[test]

@@ -132,14 +132,12 @@ pub fn check_facet(
                 Err(fail(format!("not one of {{{}}}", names.join(", "))))
             }
         }
-        Facet::MinInclusive(bound) => {
-            match value.partial_cmp_xsd(bound) {
-                Some(std::cmp::Ordering::Less) | None => {
-                    Err(fail(format!("below minInclusive {}", bound.canonical())))
-                }
-                _ => Ok(()),
+        Facet::MinInclusive(bound) => match value.partial_cmp_xsd(bound) {
+            Some(std::cmp::Ordering::Less) | None => {
+                Err(fail(format!("below minInclusive {}", bound.canonical())))
             }
-        }
+            _ => Ok(()),
+        },
         Facet::MinExclusive(bound) => match value.partial_cmp_xsd(bound) {
             Some(std::cmp::Ordering::Greater) => Ok(()),
             _ => Err(fail(format!("not above minExclusive {}", bound.canonical()))),
@@ -242,10 +240,10 @@ mod tests {
 
     #[test]
     fn range_facet_on_dates() {
-        let lo = AtomicValue::parse_builtin("2000-01-01", Builtin::Primitive(Primitive::Date))
-            .unwrap();
-        let v = AtomicValue::parse_builtin("2004-06-15", Builtin::Primitive(Primitive::Date))
-            .unwrap();
+        let lo =
+            AtomicValue::parse_builtin("2000-01-01", Builtin::Primitive(Primitive::Date)).unwrap();
+        let v =
+            AtomicValue::parse_builtin("2004-06-15", Builtin::Primitive(Primitive::Date)).unwrap();
         assert!(check_facet(&Facet::MinInclusive(lo.clone()), "2004-06-15", &v).is_ok());
         assert!(check_facet(&Facet::MaxExclusive(lo), "2004-06-15", &v).is_err());
     }

@@ -57,9 +57,9 @@ enum CharSet {
 enum ClassItem {
     Char(char),
     Range(char, char),
-    Digit(bool),  // \d (true) or \D (false)
-    Word(bool),   // \w / \W
-    Space(bool),  // \s / \S
+    Digit(bool), // \d (true) or \D (false)
+    Word(bool),  // \w / \W
+    Space(bool), // \s / \S
 }
 
 impl CharSet {
@@ -186,8 +186,7 @@ impl<'a> Parser<'a> {
         if min_text.is_empty() {
             return Err(self.error("expected digits in {n,m}"));
         }
-        let min: u32 =
-            min_text.parse().map_err(|_| self.error("quantifier bound too large"))?;
+        let min: u32 = min_text.parse().map_err(|_| self.error("quantifier bound too large"))?;
         match self.chars.next() {
             Some('}') => Ok((min, Some(min))),
             Some(',') => {
@@ -301,9 +300,7 @@ impl<'a> Parser<'a> {
                                         }
                                     },
                                     Some(h) => h,
-                                    None => {
-                                        return Err(self.error("unterminated character class"))
-                                    }
+                                    None => return Err(self.error("unterminated character class")),
                                 };
                                 if hi < c {
                                     return Err(self.error("reversed range in class"));

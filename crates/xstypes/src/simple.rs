@@ -106,7 +106,11 @@ impl SimpleType {
     }
 
     /// A list of `item`s.
-    pub fn list(name: Option<String>, item: Arc<SimpleType>, facets: Vec<Facet>) -> Arc<SimpleType> {
+    pub fn list(
+        name: Option<String>,
+        item: Arc<SimpleType>,
+        facets: Vec<Facet>,
+    ) -> Arc<SimpleType> {
         Arc::new(SimpleType { name, variety: Variety::List { item, facets } })
     }
 

@@ -240,9 +240,7 @@ impl AtomicValue {
                 if lexical.contains('.') {
                     return Err(verr(lexical, name, "integer types allow no decimal point"));
                 }
-                let v = decimal
-                    .as_i128()
-                    .ok_or_else(|| verr(lexical, name, "not an integer"))?;
+                let v = decimal.as_i128().ok_or_else(|| verr(lexical, name, "not an integer"))?;
                 if min.is_some_and(|m| v < m) || max.is_some_and(|m| v > m) {
                     return Err(verr(lexical, name, "out of range"));
                 }
@@ -363,8 +361,7 @@ fn parse_xsd_float(s: &str) -> Option<f64> {
         _ => {
             // Rust's float grammar is a superset except it also accepts
             // "inf"/"nan" spellings, which XSD forbids.
-            if s.is_empty()
-                || s.chars().any(|c| c.is_ascii_alphabetic() && !matches!(c, 'e' | 'E'))
+            if s.is_empty() || s.chars().any(|c| c.is_ascii_alphabetic() && !matches!(c, 'e' | 'E'))
             {
                 return None;
             }
@@ -401,9 +398,7 @@ fn is_xml_name(s: &str) -> bool {
 
 fn is_lexical_qname(s: &str) -> bool {
     match s.split_once(':') {
-        Some((p, l)) => {
-            is_xml_name(p) && !p.contains(':') && is_xml_name(l) && !l.contains(':')
-        }
+        Some((p, l)) => is_xml_name(p) && !p.contains(':') && is_xml_name(l) && !l.contains(':'),
         None => is_xml_name(s),
     }
 }
@@ -414,10 +409,7 @@ fn is_language(s: &str) -> bool {
         Some(p) => p,
         None => return false,
     };
-    if first.is_empty()
-        || first.len() > 8
-        || !first.bytes().all(|b| b.is_ascii_alphabetic())
-    {
+    if first.is_empty() || first.len() > 8 || !first.bytes().all(|b| b.is_ascii_alphabetic()) {
         return false;
     }
     parts.all(|p| !p.is_empty() && p.len() <= 8 && p.bytes().all(|b| b.is_ascii_alphanumeric()))

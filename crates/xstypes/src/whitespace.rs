@@ -21,7 +21,9 @@ impl WhiteSpace {
             WhiteSpace::Replace => {
                 if s.contains(['\t', '\n', '\r']) {
                     Cow::Owned(
-                        s.chars().map(|c| if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c }).collect(),
+                        s.chars()
+                            .map(|c| if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c })
+                            .collect(),
                     )
                 } else {
                     Cow::Borrowed(s)

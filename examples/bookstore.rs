@@ -87,26 +87,14 @@ fn main() {
     // Now a rogue's gallery of invalid documents, each violating a
     // different §6.2 requirement.
     let cases: &[(&str, &str)] = &[
-        (
-            "wrong root name (§3)",
-            "<Store><Comment/></Store>",
-        ),
-        (
-            "nil on content (item 6)",
-            r#"<Shop><Comment xsi:nil="true">text</Comment></Shop>"#,
-        ),
+        ("wrong root name (§3)", "<Store><Comment/></Store>"),
+        ("nil on content (item 6)", r#"<Shop><Comment xsi:nil="true">text</Comment></Shop>"#),
         (
             "bad decimal in simple content (item 5.1.1)",
             r#"<Shop><Comment/><Book InStock="true" Reviewer="x"><Title>t</Title><Price currency="USD">cheap</Price></Book></Shop>"#,
         ),
-        (
-            "choice admits no such element (item 5.4.2.3)",
-            "<Shop><Comment/><DVD/></Shop>",
-        ),
-        (
-            "undeclared attribute (item 7)",
-            r#"<Shop bogus="1"><Comment/></Shop>"#,
-        ),
+        ("choice admits no such element (item 5.4.2.3)", "<Shop><Comment/><DVD/></Shop>"),
+        ("undeclared attribute (item 7)", r#"<Shop bogus="1"><Comment/></Shop>"#),
         (
             "missing declared attribute (item 5.3.1)",
             r#"<Shop><Comment/><Book InStock="true"><Title>t</Title><Price currency="USD">1</Price></Book></Shop>"#,

@@ -83,10 +83,7 @@ fn opt(p: Option<DescPtr>) -> String {
 }
 
 fn opt_sib(storage: &XmlStorage, p: DescPtr, left: bool) -> String {
-    let sibs = storage
-        .parent(p)
-        .map(|par| storage.children(par))
-        .unwrap_or_default();
+    let sibs = storage.parent(p).map(|par| storage.children(par)).unwrap_or_default();
     let i = sibs.iter().position(|&s| s == p);
     match i {
         Some(i) if left && i > 0 => sibs[i - 1].to_string(),
@@ -135,10 +132,7 @@ fn main() {
         storage.nid(lib),
         storage.nid(title1)
     );
-    println!(
-        "  book1 << book2 in document order: {:?}",
-        storage.cmp_doc_order(books[0], books[1])
-    );
+    println!("  book1 << book2 in document order: {:?}", storage.cmp_doc_order(books[0], books[1]));
 
     println!("\ninserting 100 books between the first two…");
     let anchor = books[0];

@@ -63,9 +63,7 @@ fn main() {
     // 4. Query through the accessors.
     let titles = db.query("store", "/BookStore/Book/Title").expect("query runs");
     println!("titles: {titles:?}");
-    let y1977 = db
-        .query("store", "/BookStore/Book[Date='1977']/Author")
-        .expect("query runs");
+    let y1977 = db.query("store", "/BookStore/Book[Date='1977']/Author").expect("query runs");
     println!("authors of 1977 books: {y1977:?}");
 
     // 5. Serialize back (the paper's g)…

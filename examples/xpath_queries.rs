@@ -83,7 +83,7 @@ fn main() {
     println!("\ndocument order of //tag results:");
     for w in nodes.windows(2) {
         let by_walk = cmp_document_order(store, w[0], w[1]);
-        let by_index = index.cmp(w[0], w[1]);
+        let by_index = index.cmp(store, w[0], w[1]);
         assert_eq!(by_walk, by_index);
         println!(
             "  {:?} << {:?}  (pointer walk: {by_walk:?}, precomputed rank: {by_index:?})",

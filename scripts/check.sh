@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green. The workspace builds
+# fully offline (external dev-deps are vendored shims — see vendor/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all --check
+echo "tier-1 gate: OK"

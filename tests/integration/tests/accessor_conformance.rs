@@ -26,8 +26,7 @@ const SCHEMA: &str = r#"
   </xs:element>
 </xs:schema>"#;
 
-const DOC: &str =
-    r#"<order id="o1">note <item sku="a1"><qty>2</qty></item> done</order>"#;
+const DOC: &str = r#"<order id="o1">note <item sku="a1"><qty>2</qty></item> done</order>"#;
 
 /// §6.1's per-kind emptiness table, checkable against any accessor facade.
 struct Accessors<'a> {
@@ -141,11 +140,8 @@ fn typed_values_flow_through_all_three_facades() {
     // Storage: recomputed from string value + schema type + registry.
     let xs = XmlStorage::from_tree(&loaded.store, loaded.doc);
     let registry = xsdb::xstypes::TypeRegistry::with_builtins();
-    let item_d = xs
-        .scan(xs.schema().resolve_path(&["order", "item"]).unwrap())
-        .into_iter()
-        .next()
-        .unwrap();
+    let item_d =
+        xs.scan(xs.schema().resolve_path(&["order", "item"]).unwrap()).into_iter().next().unwrap();
     let qty_d = xs.children(item_d)[0];
     let tv = xs.typed_value(qty_d, &registry);
     assert!(matches!(tv[0], xsdb::xstypes::AtomicValue::Integer(2, _)));

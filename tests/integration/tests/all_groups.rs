@@ -29,9 +29,7 @@ fn validate(xml: &str) -> Result<(), Vec<Rule>> {
 #[test]
 fn declaration_order_is_valid() {
     assert_eq!(
-        validate(
-            "<address><street>5th Ave</street><city>NYC</city><zip>10001</zip></address>"
-        ),
+        validate("<address><street>5th Ave</street><city>NYC</city><zip>10001</zip></address>"),
         Ok(())
     );
 }
@@ -56,25 +54,20 @@ fn optional_member_may_be_anywhere_or_absent() {
         ),
         Ok(())
     );
-    assert_eq!(
-        validate("<address><zip>1</zip><street>s</street><city>c</city></address>"),
-        Ok(())
-    );
+    assert_eq!(validate("<address><zip>1</zip><street>s</street><city>c</city></address>"), Ok(()));
 }
 
 #[test]
 fn missing_required_member_cites_5423() {
-    let rules =
-        validate("<address><street>s</street><city>c</city></address>").unwrap_err();
+    let rules = validate("<address><street>s</street><city>c</city></address>").unwrap_err();
     assert!(rules.contains(&Rule::R5423GroupMatch));
 }
 
 #[test]
 fn duplicate_member_cites_5423() {
-    let rules = validate(
-        "<address><zip>1</zip><zip>2</zip><street>s</street><city>c</city></address>",
-    )
-    .unwrap_err();
+    let rules =
+        validate("<address><zip>1</zip><zip>2</zip><street>s</street><city>c</city></address>")
+            .unwrap_err();
     assert!(rules.contains(&Rule::R5423GroupMatch));
 }
 

@@ -1,0 +1,187 @@
+//! Property tests for the one-pass validation layer: the memoized
+//! `string-value` aggregator must be indistinguishable from the §6.2
+//! definition under arbitrary build/mutate/read interleavings, and
+//! `Database::validate_many` must return exactly the sequential
+//! verdicts at any thread count.
+
+use proptest::prelude::*;
+use xdm::{NodeId, NodeStore};
+use xsdb::{Database, DbError};
+
+/// A random interleaving of tree growth and cache-filling reads.
+/// Each step: (op selector, parent selector, payload).
+fn op_script() -> impl Strategy<Value = Vec<(u8, u16, u8)>> {
+    proptest::collection::vec((0u8..4, 0u16..1024, proptest::arbitrary::any::<u8>()), 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cached element/document string values always agree with a fresh
+    /// subtree walk, no matter how construction, text insertion
+    /// (invalidation), and reads (memoization) interleave.
+    #[test]
+    fn cached_string_value_agrees_with_fresh_walk(script in op_script()) {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        // Nodes that may parent children: the document and elements.
+        let mut containers: Vec<NodeId> = vec![doc];
+        let mut elements: Vec<NodeId> = Vec::new();
+        for (op, sel, payload) in script {
+            let parent = containers[sel as usize % containers.len()];
+            match op {
+                0 => {
+                    let e = s.new_element(parent, format!("e{payload}"));
+                    containers.push(e);
+                    elements.push(e);
+                }
+                1 => {
+                    // §6.1: text attaches to elements only.
+                    if let Some(&e) = elements.get(sel as usize % elements.len().max(1)) {
+                        s.new_text(e, format!("t{payload}"));
+                    }
+                }
+                2 => {
+                    if let Some(&e) = elements.get(payload as usize % elements.len().max(1)) {
+                        s.new_attribute(e, format!("a{payload}"), format!("v{payload}"));
+                    }
+                }
+                _ => {
+                    // Fill memo cells mid-sequence so later mutations
+                    // exercise invalidation of a warm cache.
+                    let n = containers[payload as usize % containers.len()];
+                    let _ = s.string_value(n);
+                }
+            }
+        }
+        for &n in &containers {
+            prop_assert_eq!(s.string_value(n), s.string_value_fresh(n));
+            // A second read answers from the cache and must agree too.
+            prop_assert_eq!(s.string_value(n), s.string_value_fresh(n));
+        }
+        prop_assert_eq!(s.string_value(doc), s.string_value_fresh(doc));
+    }
+}
+
+const BOOKS_SCHEMA: &str = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="BookPublication">
+    <xsd:sequence>
+      <xsd:element name="Title" type="xsd:string"/>
+      <xsd:element name="Author" type="xsd:string" maxOccurs="unbounded"/>
+      <xsd:element name="Date" type="xsd:gYear"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:element name="BookStore">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="Book" type="BookPublication" minOccurs="0" maxOccurs="unbounded"/>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>"#;
+
+/// One generated batch member: a valid document or one of the seeded
+/// defect shapes (wrong child order, bad simple value, rogue element,
+/// undeclared attribute, malformed XML).
+fn batch_doc() -> impl Strategy<Value = String> {
+    (0u8..6, 1usize..5).prop_map(|(defect, books)| {
+        let book = |i: usize| match defect {
+            1 if i == 0 => {
+                "<Book><Author>A</Author><Title>T</Title><Date>1999</Date></Book>".to_string()
+            }
+            2 if i == 0 => {
+                "<Book><Title>T</Title><Author>A</Author><Date>NaN</Date></Book>".to_string()
+            }
+            3 if i == 0 => "<Rogue/>".to_string(),
+            4 if i == 0 => {
+                r#"<Book x="1"><Title>T</Title><Author>A</Author><Date>1999</Date></Book>"#
+                    .to_string()
+            }
+            _ => format!(
+                "<Book><Title>T{i}</Title><Author>A{i}</Author><Date>19{:02}</Date></Book>",
+                i % 100
+            ),
+        };
+        let body: String = (0..books).map(book).collect();
+        if defect == 5 {
+            format!("<BookStore>{body}") // malformed: unclosed root
+        } else {
+            format!("<BookStore>{body}</BookStore>")
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `validate_many` is a pure parallelization: for every batch and
+    /// every thread count, each document's verdict (success, §6.2 error
+    /// list, or parse error) is identical to a sequential
+    /// [`Database::validate`] call.
+    #[test]
+    fn validate_many_equals_sequential_at_any_thread_count(
+        docs in proptest::collection::vec(batch_doc(), 1..12),
+        threads in 1usize..9,
+    ) {
+        let mut db = Database::new();
+        db.register_schema_text("books", BOOKS_SCHEMA).unwrap();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let bulk = db.validate_many("books", &refs, threads).unwrap();
+        prop_assert_eq!(bulk.len(), refs.len());
+        for (got, xml) in bulk.into_iter().zip(&refs) {
+            let want = db.validate("books", xml);
+            match (got, want) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "verdict drift on {}", xml),
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(a.to_string(), b.to_string(), "error drift on {}", xml)
+                }
+                (a, b) => prop_assert!(false, "shape drift on {}: {:?} vs {:?}", xml, a, b),
+            }
+        }
+    }
+
+    /// `load_many` stores exactly the documents sequential insertion
+    /// would, with identical per-document outcomes.
+    #[test]
+    fn load_many_equals_sequential_inserts(
+        docs in proptest::collection::vec(batch_doc(), 1..10),
+        threads in 1usize..9,
+    ) {
+        let mut bulk_db = Database::new();
+        bulk_db.register_schema_text("books", BOOKS_SCHEMA).unwrap();
+        let mut seq_db = Database::new();
+        seq_db.register_schema_text("books", BOOKS_SCHEMA).unwrap();
+
+        let names: Vec<String> = (0..docs.len()).map(|i| format!("d{i}")).collect();
+        let entries: Vec<(&str, &str, &str)> = names
+            .iter()
+            .zip(&docs)
+            .map(|(n, d)| (n.as_str(), "books", d.as_str()))
+            .collect();
+        let bulk_results = bulk_db.load_many(&entries, threads);
+        for ((name, _, xml), bulk_res) in entries.iter().zip(&bulk_results) {
+            let seq_res = seq_db.insert(name, "books", xml);
+            match (bulk_res, seq_res) {
+                (Ok(()), Ok(())) => {}
+                (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => prop_assert!(false, "outcome drift on {}: {:?} vs {:?}", name, a, b),
+            }
+        }
+        let bulk_names: Vec<&str> = bulk_db.document_names().collect();
+        let seq_names: Vec<&str> = seq_db.document_names().collect();
+        prop_assert_eq!(bulk_names, seq_names);
+        for name in bulk_db.document_names() {
+            prop_assert_eq!(
+                bulk_db.serialize(name).map_err(|e| e.to_string()),
+                seq_db.serialize(name).map_err(|e| e.to_string())
+            );
+        }
+    }
+}
+
+#[test]
+fn validate_many_unknown_schema_is_a_global_error() {
+    let db = Database::new();
+    assert!(matches!(db.validate_many("nosuch", &["<a/>"], 2), Err(DbError::UnknownSchema(_))));
+}

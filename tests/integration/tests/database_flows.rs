@@ -108,9 +108,8 @@ fn xquery_and_xpath_see_the_same_database_state() {
     db.update_insert_element("shelf", "/books/book[2]", "title", Some("Zen")).unwrap();
     db.update_insert_element("shelf", "/books/book[2]", "year", Some("2001")).unwrap();
     let via_xpath = db.query("shelf", "/books/book/title").unwrap();
-    let via_xquery = db
-        .xquery("shelf", "for $b in /books/book return <t>{$b/title/text()}</t>")
-        .unwrap();
+    let via_xquery =
+        db.xquery("shelf", "for $b in /books/book return <t>{$b/title/text()}</t>").unwrap();
     assert_eq!(via_xpath, ["Foundations", "Zen"]);
     assert_eq!(via_xquery, "<t>Foundations</t><t>Zen</t>");
 }

@@ -188,10 +188,7 @@ fn empty_document_against_optional_content() {
     )
     .unwrap();
     for doc in ["<r/>", "<r></r>", "<r><x/></r>", "<r><x>v</x></r>"] {
-        assert!(
-            load_document(&schema, &Document::parse(doc).unwrap()).is_ok(),
-            "{doc}"
-        );
+        assert!(load_document(&schema, &Document::parse(doc).unwrap()).is_ok(), "{doc}");
     }
     let bad = Document::parse("<r><x/><x/></r>").unwrap();
     assert!(load_document(&schema, &bad).is_err());

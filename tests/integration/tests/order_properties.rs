@@ -20,8 +20,7 @@ struct TreeSpec {
 
 fn tree_spec(max_elems: usize) -> impl Strategy<Value = TreeSpec> {
     (1..max_elems).prop_flat_map(|n| {
-        let parents: Vec<BoxedStrategy<usize>> =
-            (1..n).map(|i| (0..i).boxed()).collect();
+        let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
         (parents, proptest::collection::vec(0u8..3, n), proptest::collection::vec(0u8..3, n))
             .prop_map(|(parents, attrs, texts)| TreeSpec { parents, attrs, texts })
     })
@@ -67,7 +66,7 @@ proptest! {
         for (i, &a) in nodes.iter().enumerate() {
             for (j, &b) in nodes.iter().enumerate() {
                 let walk = cmp_document_order(&s, a, b);
-                prop_assert_eq!(walk, idx.cmp(a, b));
+                prop_assert_eq!(walk, idx.cmp(&s, a, b));
                 prop_assert_eq!(walk, storage.cmp_doc_order(descs[i], descs[j]));
                 // And the subtree sequence *is* the order.
                 prop_assert_eq!(walk, i.cmp(&j));

@@ -69,8 +69,7 @@ fn examples_2_and_3_groups() {
 </xsd:schema>"#,
     )
     .unwrap();
-    let ComplexTypeDefinition::ComplexContent { content: seq, .. } =
-        &schema.complex_types["Seq"]
+    let ComplexTypeDefinition::ComplexContent { content: seq, .. } = &schema.complex_types["Seq"]
     else {
         panic!()
     };
@@ -79,8 +78,7 @@ fn examples_2_and_3_groups() {
     assert!(cm.accepts(&["B", "C"]));
     assert!(!cm.accepts(&["C", "B"]));
 
-    let ComplexTypeDefinition::ComplexContent { content: bits, .. } =
-        &schema.complex_types["Bits"]
+    let ComplexTypeDefinition::ComplexContent { content: bits, .. } = &schema.complex_types["Bits"]
     else {
         panic!()
     };
@@ -268,8 +266,5 @@ fn examples_8_to_10_physical_layer() {
         .into_iter()
         .map(|p| xs.string_value(p))
         .collect();
-    assert_eq!(
-        titles,
-        ["Foundations of Databases", "An Introduction to Database Systems"]
-    );
+    assert_eq!(titles, ["Foundations of Databases", "An Introduction to Database Systems"]);
 }

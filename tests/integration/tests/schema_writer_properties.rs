@@ -20,9 +20,7 @@ fn repetition() -> impl Strategy<Value = RepetitionFactor> {
 fn element() -> impl Strategy<Value = Particle> {
     (prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")], repetition()).prop_map(
         |(name, rep)| {
-            Particle::Element(
-                ElementDeclaration::new(name, "xs:string").with_repetition(rep),
-            )
+            Particle::Element(ElementDeclaration::new(name, "xs:string").with_repetition(rep))
         },
     )
 }

@@ -74,9 +74,8 @@ fn invalid_documents_do_not_roundtrip() {
 /// Content equality is an equivalence relation on the generated corpus.
 #[test]
 fn content_equality_is_an_equivalence() {
-    let docs: Vec<Document> = (0..8)
-        .map(|seed| Document::parse(&Family::Flat.generate(60, seed)).unwrap())
-        .collect();
+    let docs: Vec<Document> =
+        (0..8).map(|seed| Document::parse(&Family::Flat.generate(60, seed)).unwrap()).collect();
     for a in &docs {
         assert!(content_equal(a, a), "reflexive");
         for b in &docs {

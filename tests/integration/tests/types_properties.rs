@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use xsdb::xstypes::{
-    decode_base64, decode_hex, encode_base64, encode_hex, AtomicValue, Builtin, Decimal,
-    Primitive, Regex, SimpleType, WhiteSpace,
+    decode_base64, decode_hex, encode_base64, encode_hex, AtomicValue, Builtin, Decimal, Primitive,
+    Regex, SimpleType, WhiteSpace,
 };
 
 proptest! {

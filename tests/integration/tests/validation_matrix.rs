@@ -48,8 +48,7 @@ fn course(inner: &str) -> String {
     format!("<transcript>{inner}</transcript>")
 }
 
-const OK_COURSE: &str =
-    r#"<course code="cs101"><name>Databases</name><grade>5</grade></course>"#;
+const OK_COURSE: &str = r#"<course code="cs101"><name>Databases</name><grade>5</grade></course>"#;
 
 #[test]
 fn baseline_document_is_valid() {
@@ -86,55 +85,46 @@ fn rule_5423_too_many_repetitions() {
 
 #[test]
 fn rule_511_value_not_in_lexical_space() {
-    let rules = check(&course(
-        r#"<course code="c"><name>x</name><grade>A+</grade></course>"#,
-    ))
-    .unwrap_err();
+    let rules =
+        check(&course(r#"<course code="c"><name>x</name><grade>A+</grade></course>"#)).unwrap_err();
     assert!(rules.contains(&Rule::R511SimpleValue));
 }
 
 #[test]
 fn rule_511_facet_violation() {
     // 6 parses as integer but violates maxInclusive=5.
-    let rules = check(&course(
-        r#"<course code="c"><name>x</name><grade>6</grade></course>"#,
-    ))
-    .unwrap_err();
+    let rules =
+        check(&course(r#"<course code="c"><name>x</name><grade>6</grade></course>"#)).unwrap_err();
     assert!(rules.contains(&Rule::R511SimpleValue));
 }
 
 #[test]
 fn rule_531_bad_attribute_value() {
     // `code` is xs:NCName; "has space" is not.
-    let rules = check(&course(
-        r#"<course code="has space"><name>x</name><grade>3</grade></course>"#,
-    ))
-    .unwrap_err();
+    let rules =
+        check(&course(r#"<course code="has space"><name>x</name><grade>3</grade></course>"#))
+            .unwrap_err();
     assert!(rules.contains(&Rule::R531Attributes));
 }
 
 #[test]
 fn rule_531_missing_attribute() {
-    let rules =
-        check(&course(r#"<course><name>x</name><grade>3</grade></course>"#)).unwrap_err();
+    let rules = check(&course(r#"<course><name>x</name><grade>3</grade></course>"#)).unwrap_err();
     assert!(rules.contains(&Rule::R531Attributes));
 }
 
 #[test]
 fn rule_7_undeclared_attribute() {
-    let rules = check(&course(
-        r#"<course code="c" extra="1"><name>x</name><grade>3</grade></course>"#,
-    ))
-    .unwrap_err();
+    let rules =
+        check(&course(r#"<course code="c" extra="1"><name>x</name><grade>3</grade></course>"#))
+            .unwrap_err();
     assert!(rules.contains(&Rule::R7NoOtherNodes));
 }
 
 #[test]
 fn rule_6_nil_accepted_on_nillable() {
     assert_eq!(
-        check(&course(
-            r#"<course code="c"><name>x</name><grade xsi:nil="true"/></course>"#
-        )),
+        check(&course(r#"<course code="c"><name>x</name><grade xsi:nil="true"/></course>"#)),
         Ok(())
     );
 }
@@ -150,19 +140,17 @@ fn rule_6_nil_with_content() {
 
 #[test]
 fn rule_6_nil_on_non_nillable() {
-    let rules = check(&course(
-        r#"<course code="c"><name xsi:nil="true"/><grade>3</grade></course>"#,
-    ))
-    .unwrap_err();
+    let rules =
+        check(&course(r#"<course code="c"><name xsi:nil="true"/><grade>3</grade></course>"#))
+            .unwrap_err();
     assert!(rules.contains(&Rule::R6Nil));
 }
 
 #[test]
 fn rule_5421_text_in_element_content() {
-    let rules = check(&course(
-        r#"<course code="c">loose text<name>x</name><grade>3</grade></course>"#,
-    ))
-    .unwrap_err();
+    let rules =
+        check(&course(r#"<course code="c">loose text<name>x</name><grade>3</grade></course>"#))
+            .unwrap_err();
     assert!(rules.contains(&Rule::R5421NoText));
 }
 
@@ -178,19 +166,17 @@ fn mixed_content_is_allowed_where_declared() {
 
 #[test]
 fn rule_511_simple_type_with_element_content() {
-    let rules = check(&course(
-        r#"<course code="c"><name><b>bold</b></name><grade>3</grade></course>"#,
-    ))
-    .unwrap_err();
+    let rules =
+        check(&course(r#"<course code="c"><name><b>bold</b></name><grade>3</grade></course>"#))
+            .unwrap_err();
     assert!(rules.contains(&Rule::R511SimpleValue));
 }
 
 #[test]
 fn multiple_rules_reported_together() {
-    let rules = check(&course(
-        r#"<course code="c" extra="1"><name>x</name><grade>99</grade></course>"#,
-    ))
-    .unwrap_err();
+    let rules =
+        check(&course(r#"<course code="c" extra="1"><name>x</name><grade>99</grade></course>"#))
+            .unwrap_err();
     assert!(rules.contains(&Rule::R7NoOtherNodes));
     assert!(rules.contains(&Rule::R511SimpleValue));
 }

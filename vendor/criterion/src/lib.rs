@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container has no registry access, so this shim runs each
+//! benchmark as a simple calibrated wall-clock measurement (warm-up,
+//! then enough iterations to pass a minimum measurement window) and
+//! prints a one-line mean per benchmark. No statistics, no HTML reports
+//! — `cargo bench` still compiles and produces comparable numbers, and
+//! the `experiments` binary remains the canonical table printer.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation (printed alongside the mean).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{function}/{parameter}") }
+    }
+}
+
+/// The timing driver handed to bench closures.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled by `iter*`.
+    mean: Duration,
+}
+
+const WARMUP_ITERS: u64 = 3;
+const MIN_WINDOW: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 100_000;
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MIN_WINDOW && iters < MAX_ITERS {
+            black_box(routine());
+            iters += 1;
+        }
+        self.mean = start.elapsed() / u32::try_from(iters.max(1)).expect("iteration count");
+    }
+
+    /// Measure `routine` on fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        while spent < MIN_WINDOW && iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+        }
+        self.mean = spent / u32::try_from(iters.max(1)).expect("iteration count");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { mean: Duration::ZERO };
+        f(&mut b, input);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean > Duration::ZERO => {
+                format!("  ({:.0} elem/s)", n as f64 / b.mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if b.mean > Duration::ZERO => {
+                format!("  ({:.0} B/s)", n as f64 / b.mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}  mean {:?}{}", self.name, id.name, b.mean, rate);
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Run one benchmark with no extra input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let mut b = Bencher { mean: Duration::ZERO };
+        f(&mut b);
+        println!("{}/{}  mean {:?}", self.name, id.name, b.mean);
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// A fresh driver.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup { criterion: self, name, throughput: None }
+    }
+}
+
+/// Collect bench functions into a group runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::new();
+            $($group(&mut criterion);)+
+        }
+    };
+}

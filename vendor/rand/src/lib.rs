@@ -1,0 +1,124 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container has no registry access, so this shim supplies the small
+//! API surface the workload generators use: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], plus [`RngExt::random_range`] and
+//! [`RngExt::random_bool`]. The generator is splitmix64 — deterministic
+//! per seed, which is all the benchmark workloads require (they fix
+//! seeds so every run measures the same documents).
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Seed deterministically from a `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// A uniform value in `range` using `rng`'s raw output.
+    fn sample(rng: &mut rngs::StdRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut rngs::StdRng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as i128 - range.start as i128) as u64;
+                (range.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The sampling methods (rand 0.9+ naming: `random_*`).
+pub trait RngExt {
+    /// Uniform value in the half-open `range`.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T;
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+pub mod rngs {
+    //! The concrete generators.
+
+    use super::{RngExt, SampleUniform, SeedableRng};
+    use std::ops::Range;
+
+    /// Deterministic splitmix64 generator (stand-in for rand's ChaCha12
+    /// `StdRng`; statistical quality is irrelevant for seeded workload
+    /// generation, determinism is what matters).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        pub(crate) fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0, "empty range");
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5851_f42d_4c95_7f2d }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+            T::sample(self, range)
+        }
+
+        fn random_bool(&mut self, p: f64) -> bool {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_and_bool_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&w));
+        }
+        assert!(!(0..1000).all(|_| rng.random_bool(0.5)));
+        assert!((0..1000).all(|_| rng.random_bool(1.0)));
+        assert!(!(0..1000).any(|_| rng.random_bool(0.0)));
+    }
+}
