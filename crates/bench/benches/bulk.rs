@@ -6,6 +6,7 @@ use std::hint::black_box;
 
 use bench::Family;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsdb::xmlparse::ParseLimits;
 use xsdb::Database;
 
 const BATCH: usize = 100;
@@ -46,6 +47,24 @@ fn bench(c: &mut Criterion) {
                 },
             );
         }
+    }
+    g.finish();
+
+    // Guard: the default hostile-input limits must be effectively free
+    // on the bulk path (<2% vs. an unlimited parser). Same E2 workload,
+    // single-threaded so the parse cost dominates.
+    let mut g = c.benchmark_group("E2_limits_overhead");
+    let docs = batch(Family::Flat);
+    let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    for (label, limits) in
+        [("default_limits", ParseLimits::default()), ("unlimited", ParseLimits::unlimited())]
+    {
+        let mut db = Database::with_limits(limits);
+        db.register_schema_text("s", Family::Flat.schema_text()).unwrap();
+        g.throughput(Throughput::Elements(refs.len() as u64));
+        g.bench_function(BenchmarkId::new("validate_many_flat", label), |b| {
+            b.iter(|| black_box(db.validate_many("s", &refs, 1).unwrap()))
+        });
     }
     g.finish();
 }

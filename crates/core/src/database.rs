@@ -19,7 +19,7 @@ use algebra::{
     ValidationError,
 };
 use storage::XmlStorage;
-use xmlparse::Document;
+use xmlparse::{Document, ParseLimits};
 use xpath::{eval_guided, eval_naive, XdmTree};
 use xsmodel::DocumentSchema;
 
@@ -50,6 +50,13 @@ pub struct Database {
     schemas: BTreeMap<String, Arc<DocumentSchema>>,
     documents: BTreeMap<String, StoredDocument>,
     options: LoadOptions,
+    /// Hostile-input bounds applied to every XML text this database
+    /// parses — [`Database::insert`], [`Database::validate`], their bulk
+    /// variants, and documents replayed by [`Database::load_dir`]. The
+    /// default is [`ParseLimits::default`], which is generous for
+    /// well-behaved producers but bounds depth, input size, attribute
+    /// floods, and entity expansion.
+    limits: ParseLimits,
     /// Compiled content models, shared by every load/validate this
     /// database performs — including the worker threads of
     /// [`Database::validate_many`] / [`Database::load_many`]. Each
@@ -69,6 +76,17 @@ impl Database {
     /// An empty database with explicit [`LoadOptions`].
     pub fn with_options(options: LoadOptions) -> Self {
         Database { options, ..Database::default() }
+    }
+
+    /// An empty database enforcing explicit [`ParseLimits`] on every
+    /// XML text it parses.
+    pub fn with_limits(limits: ParseLimits) -> Self {
+        Database { limits, ..Database::default() }
+    }
+
+    /// The parse limits this database enforces.
+    pub fn limits(&self) -> &ParseLimits {
+        &self.limits
     }
 
     // --------------------------------------------------------- schemas
@@ -109,7 +127,7 @@ impl Database {
     /// Insert a document from XML text, validating it against the named
     /// schema (the paper's `f`).
     pub fn insert(&mut self, doc_name: &str, schema_name: &str, xml: &str) -> Result<(), DbError> {
-        let parsed = Document::parse(xml)?;
+        let parsed = Document::parse_with_limits(xml, &self.limits)?;
         self.insert_document(doc_name, schema_name, &parsed)
     }
 
@@ -142,7 +160,7 @@ impl Database {
             .schemas
             .get(schema_name)
             .ok_or_else(|| DbError::UnknownSchema(schema_name.to_string()))?;
-        let parsed = Document::parse(xml)?;
+        let parsed = Document::parse_with_limits(xml, &self.limits)?;
         Ok(match load_document_cached(schema, &parsed, &self.options, &self.cm_cache) {
             Ok(_) => Vec::new(),
             Err(errs) => errs,
@@ -171,8 +189,9 @@ impl Database {
             .ok_or_else(|| DbError::UnknownSchema(schema_name.to_string()))?;
         let options = &self.options;
         let cache = &self.cm_cache;
+        let limits = &self.limits;
         Ok(run_parallel(xmls.len(), threads, |i| {
-            let parsed = Document::parse(xmls[i])?;
+            let parsed = Document::parse_with_limits(xmls[i], limits)?;
             Ok(match load_document_cached(schema, &parsed, options, cache) {
                 Ok(_) => Vec::new(),
                 Err(errs) => errs,
@@ -197,12 +216,13 @@ impl Database {
             let schemas = &self.schemas;
             let options = &self.options;
             let cache = &self.cm_cache;
+            let limits = &self.limits;
             run_parallel(entries.len(), threads, |i| {
                 let (_, schema_name, xml) = entries[i];
                 let schema = schemas
                     .get(schema_name)
                     .ok_or_else(|| DbError::UnknownSchema(schema_name.to_string()))?;
-                let parsed = Document::parse(xml)?;
+                let parsed = Document::parse_with_limits(xml, limits)?;
                 load_document_cached(schema, &parsed, options, cache).map_err(DbError::Invalid)
             })
         };
@@ -705,6 +725,34 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.misses(), 2);
         assert!(cache.hits() >= 2 * 20, "hits = {}", cache.hits());
+    }
+
+    #[test]
+    fn parse_limits_guard_insert_validate_and_bulk_paths() {
+        let mut db = Database::with_limits(ParseLimits::default().with_max_depth(3));
+        assert_eq!(db.limits().max_depth, 3);
+        db.register_schema_text("books", SCHEMA).unwrap();
+        // /BookStore/Book/Title nests three deep — admitted.
+        db.insert("ok", "books", DOC).unwrap();
+        // A depth-4 equivalent via an extra wrapper is rejected as Xml,
+        // not a panic or an unbounded stack.
+        let bomb = format!("<BookStore><Book>{}</Book></BookStore>", "<Title>t</Title>");
+        assert!(db.validate("books", &bomb).is_ok(), "depth 3 admitted");
+        let mut nested = String::from("<BookStore><Book><Title>");
+        nested.push_str("<x/>");
+        nested.push_str("</Title></Book></BookStore>");
+        let err = db.validate("books", &nested).unwrap_err();
+        assert!(
+            matches!(&err, DbError::Xml(e)
+                if matches!(e.kind, xmlparse::ErrorKind::DepthLimitExceeded(3))),
+            "{err:?}"
+        );
+        // The bulk paths enforce the same bounds.
+        let bulk = db.validate_many("books", &[&nested], 2).unwrap();
+        assert!(matches!(&bulk[0], Err(DbError::Xml(_))), "{bulk:?}");
+        let res = db.load_many(&[("deep", "books", nested.as_str())], 2);
+        assert!(matches!(&res[0], Err(DbError::Xml(_))), "{res:?}");
+        assert_eq!(db.len(), 1);
     }
 
     #[test]

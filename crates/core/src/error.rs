@@ -1,6 +1,7 @@
 //! Database-level errors.
 
 use std::fmt;
+use std::path::PathBuf;
 
 use algebra::ValidationError;
 use xsmodel::SchemaIssue;
@@ -29,10 +30,32 @@ pub enum DbError {
     XPath(xpath::XPathError),
     /// An XQuery expression failed to parse or evaluate.
     XQuery(xquery::XQueryError),
-    /// Filesystem failure during save/load.
-    Io(std::io::Error),
+    /// Filesystem failure during save/load, naming the path involved.
+    Io {
+        /// The file or directory the operation failed on.
+        path: PathBuf,
+        /// The underlying failure.
+        source: std::io::Error,
+    },
+    /// A persisted file's bytes do not hash to the checksum recorded
+    /// for it (torn write, bit rot, or tampering).
+    Checksum {
+        /// The file that failed verification.
+        path: PathBuf,
+        /// The recorded (expected) SHA-256, lowercase hex.
+        expected: String,
+        /// The SHA-256 the bytes actually hash to.
+        actual: String,
+    },
     /// A persisted database directory is structurally broken.
     Corrupt(String),
+}
+
+impl DbError {
+    /// Build an [`DbError::Io`] from a path and an `std::io::Error`.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        DbError::Io { path: path.into(), source }
+    }
 }
 
 impl fmt::Display for DbError {
@@ -63,7 +86,14 @@ impl fmt::Display for DbError {
             }
             DbError::XPath(e) => e.fmt(f),
             DbError::XQuery(e) => e.fmt(f),
-            DbError::Io(e) => write!(f, "i/o error: {e}"),
+            DbError::Io { path, source } => {
+                write!(f, "i/o error at {}: {source}", path.display())
+            }
+            DbError::Checksum { path, expected, actual } => write!(
+                f,
+                "checksum mismatch for {}: manifest records {expected}, file hashes to {actual}",
+                path.display()
+            ),
             DbError::Corrupt(what) => write!(f, "corrupt database directory: {what}"),
         }
     }
@@ -103,5 +133,28 @@ mod tests {
     fn display_variants() {
         assert!(DbError::UnknownSchema("s".into()).to_string().contains("\"s\""));
         assert!(DbError::DuplicateDocument("d".into()).to_string().contains("already"));
+    }
+
+    #[test]
+    fn io_errors_name_the_file() {
+        let e = DbError::io(
+            "/some/dir/manifest.xml",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        let shown = e.to_string();
+        assert!(shown.contains("/some/dir/manifest.xml"), "{shown}");
+        assert!(shown.contains("gone"), "{shown}");
+    }
+
+    #[test]
+    fn checksum_errors_name_file_and_both_digests() {
+        let e = DbError::Checksum {
+            path: "/db/documents/j.xml".into(),
+            expected: "aa".repeat(32),
+            actual: "bb".repeat(32),
+        };
+        let shown = e.to_string();
+        assert!(shown.contains("/db/documents/j.xml"), "{shown}");
+        assert!(shown.contains(&"aa".repeat(32)) && shown.contains(&"bb".repeat(32)), "{shown}");
     }
 }

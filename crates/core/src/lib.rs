@@ -57,17 +57,53 @@
 //! * **[`xdm::DocumentOrderIndex`]** is pinned to the store
 //!   *generation* it was built from; querying it after any mutation of
 //!   the store is a loud error (panic), never a stale answer.
+//!
+//! # Durability guarantees
+//!
+//! [`Database::save_dir`] commits atomically: the complete new
+//! generation is staged under `<dir>/.tmp-<N>` with every file fsynced
+//! and a SHA-256 recorded per file in its `manifest.xml`, the staged
+//! tree is renamed to `<dir>/gen-<N>`, and the commit point is one
+//! atomic rename installing the `CURRENT` pointer (exact format
+//! `v2 gen-<N> <sha256-of-manifest>`, newline-terminated). `CURRENT`
+//! vouches for the manifest and the manifest vouches for every data
+//! file, so **any single-byte change to any persisted file is detected
+//! at load time**, and a crash at any intermediate operation leaves the
+//! directory loadable as the complete old or complete new state — never
+//! a torn hybrid. The crash-matrix suite enumerates every injection
+//! point of a [`FaultyVfs`] and asserts exactly this.
+//!
+//! [`Database::load_dir`] is strict (all-or-nothing, typed errors
+//! naming the failing file); [`Database::load_dir_report`] with
+//! [`LoadPolicy::Lenient`] quarantines damaged schemas (and their
+//! dependent documents) and documents into a [`LoadReport`] while
+//! loading everything intact. Damage to the integrity roots —
+//! `CURRENT` or `manifest.xml` — is fatal under both policies.
+//! Directories written by the pre-checksum version-1 layout still load
+//! (with a [`LoadReport`] warning) and are migrated to the version-2
+//! layout by the next save. Stale `.tmp-*` staging directories are
+//! swept on load.
+//!
+//! Every parse a [`Database`] performs runs under
+//! [`xmlparse::ParseLimits`] (conservative defaults; see
+//! [`Database::with_limits`]), so hostile input — deep nesting, huge
+//! payloads, attribute floods, entity-expansion bombs — fails with a
+//! typed, position-carrying error instead of exhausting the process.
 
 #![warn(missing_docs)]
 
+pub mod checksum;
 mod database;
 mod error;
 mod persist;
 mod physical;
+pub mod vfs;
 
 pub use database::{Database, StoredDocument};
 pub use error::DbError;
+pub use persist::{LoadPolicy, LoadReport, Quarantine, QuarantineKind};
 pub use physical::{storage_roundtrip_agrees, storage_to_document, storage_to_tree};
+pub use vfs::{FaultMode, FaultyVfs, StdVfs, Vfs};
 
 // Re-export the layer crates so a single dependency suffices downstream.
 pub use algebra;

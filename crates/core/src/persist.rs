@@ -1,25 +1,102 @@
-//! Database persistence: save a [`Database`] to a directory and load it
-//! back.
+//! Database persistence: crash-safe saves and verifying loads.
 //!
-//! Layout:
+//! # Layout (manifest version 2)
 //!
 //! ```text
-//! <dir>/manifest.xml            — schema + document registry
-//! <dir>/schemas/<file>.xsd      — one XSD per schema (via xsmodel::write_schema)
-//! <dir>/documents/<file>.xml    — one XML file per document (via g)
+//! <dir>/CURRENT                      — commit pointer: "v2 gen-<N> <sha256 of manifest>"
+//! <dir>/gen-<N>/manifest.xml         — schema + document registry, one sha256 per file
+//! <dir>/gen-<N>/schemas/<file>.xsd   — one XSD per schema (via xsmodel::write_schema)
+//! <dir>/gen-<N>/documents/<file>.xml — one XML file per document (via g)
+//! <dir>/.tmp-<N>/…                   — an in-flight save (never read, cleaned up)
 //! ```
+//!
+//! # Atomic-commit protocol
+//!
+//! [`Database::save_dir`] never modifies the live state in place. It
+//! stages the complete new generation under `<dir>/.tmp-<N>` (every file
+//! fsynced, every directory fsynced), renames it to `<dir>/gen-<N>`, and
+//! then commits with a single atomic rename of the `CURRENT` pointer —
+//! which records both the generation name and the SHA-256 of its
+//! manifest, while the manifest records the SHA-256 of every data file.
+//! A crash at *any* intermediate step leaves `CURRENT` pointing at the
+//! old, complete generation; a torn write of any file is caught at load
+//! time by the checksum chain. Directories written by the version-1
+//! layout (`<dir>/manifest.xml` at top level, no checksums) still load,
+//! with a warning recorded in the [`LoadReport`].
 //!
 //! Loading replays registration and insertion, so every document is
 //! re-validated on the way in — a persisted database cannot smuggle an
-//! invalid document past `f`.
+//! invalid document past `f`. Under [`LoadPolicy::Strict`] any failure
+//! aborts the load; under [`LoadPolicy::Lenient`] corrupt, invalid, or
+//! missing schemas/documents are quarantined in the [`LoadReport`] and
+//! the rest of the database loads.
 
-use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use xmlparse::{Document, Element};
 
+use crate::checksum::sha256_hex;
 use crate::database::Database;
 use crate::error::DbError;
+use crate::vfs::{StdVfs, Vfs};
+
+/// How [`Database::load_dir_report`] reacts to a damaged entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadPolicy {
+    /// Any corrupt, invalid, or missing file aborts the whole load
+    /// (the historical all-or-nothing behavior).
+    #[default]
+    Strict,
+    /// Damaged schemas/documents are quarantined in the [`LoadReport`];
+    /// everything intact still loads. Only a damaged manifest or
+    /// `CURRENT` pointer — the integrity roots — aborts the load.
+    Lenient,
+}
+
+/// What kind of entry was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineKind {
+    /// A schema file (its dependent documents are quarantined too).
+    Schema,
+    /// A document file.
+    Document,
+}
+
+/// One entry the lenient loader refused to admit, and why.
+#[derive(Debug)]
+pub struct Quarantine {
+    /// Schema or document.
+    pub kind: QuarantineKind,
+    /// The registry name from the manifest.
+    pub name: String,
+    /// The on-disk file backing the entry, when the manifest named one.
+    pub file: Option<PathBuf>,
+    /// The failure that caused the quarantine.
+    pub error: DbError,
+}
+
+/// The outcome report of a [`Database::load_dir_report`] call.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Manifest format version (2 for checksummed layouts, 1 legacy).
+    pub manifest_version: u32,
+    /// The generation that was loaded (None for version-1 layouts).
+    pub generation: Option<u64>,
+    /// Entries refused under [`LoadPolicy::Lenient`].
+    pub quarantined: Vec<Quarantine>,
+    /// Non-fatal observations (e.g. a v1 directory without checksums).
+    pub warnings: Vec<String>,
+    /// Stale in-flight save directories removed before loading.
+    pub cleaned_temps: Vec<PathBuf>,
+}
+
+impl LoadReport {
+    /// True when nothing was quarantined and nothing was worth warning
+    /// about.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.warnings.is_empty()
+    }
+}
 
 /// Encode an arbitrary name as a filesystem-safe file stem.
 fn file_stem(name: &str) -> String {
@@ -34,82 +111,361 @@ fn file_stem(name: &str) -> String {
     out
 }
 
-impl Database {
-    /// Save schemas and documents under `dir` (created if needed).
-    pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), DbError> {
-        let dir = dir.as_ref();
-        let schemas_dir = dir.join("schemas");
-        let docs_dir = dir.join("documents");
-        fs::create_dir_all(&schemas_dir).map_err(DbError::Io)?;
-        fs::create_dir_all(&docs_dir).map_err(DbError::Io)?;
+/// Parse `gen-<N>` / `.tmp-<N>` directory names.
+fn generation_of(name: &str) -> Option<u64> {
+    name.strip_prefix("gen-").or_else(|| name.strip_prefix(".tmp-"))?.parse().ok()
+}
 
-        let mut manifest = Element::new("xsdb").with_attribute("version", "1");
+/// The generation named by a `CURRENT` pointer, plus the recorded
+/// manifest digest.
+///
+/// The format is exact — `v2 gen-<N> <64 hex>\n`, single spaces, one
+/// trailing newline — so that *any* single-byte change to the pointer
+/// is detected as corruption rather than silently tolerated.
+fn parse_current(text: &str) -> Result<(u64, String), DbError> {
+    let corrupt = || DbError::Corrupt("unrecognized CURRENT pointer".into());
+    let line = text.strip_suffix('\n').ok_or_else(corrupt)?;
+    let mut parts = line.split(' ');
+    let (magic, gen_name, digest) = (parts.next(), parts.next(), parts.next());
+    match (magic, gen_name, digest, parts.next()) {
+        (Some("v2"), Some(gen_name), Some(digest), None) if !line.contains('\n') => {
+            let number = gen_name.strip_prefix("gen-").ok_or_else(corrupt)?;
+            if number.is_empty() || !number.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(DbError::Corrupt(format!("CURRENT names {gen_name:?}")));
+            }
+            let gen = number
+                .parse()
+                .map_err(|_| DbError::Corrupt(format!("CURRENT names {gen_name:?}")))?;
+            if digest.len() != 64 || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(DbError::Corrupt("CURRENT carries a malformed digest".into()));
+            }
+            Ok((gen, digest.to_ascii_lowercase()))
+        }
+        _ => Err(corrupt()),
+    }
+}
+
+/// Reject manifest `file` attributes that could escape the generation
+/// directory (a hostile manifest must not become a path traversal).
+fn safe_file_name(file: &str) -> Result<(), DbError> {
+    if file.is_empty()
+        || file.contains('/')
+        || file.contains('\\')
+        || file.contains("..")
+        || file.starts_with('.')
+    {
+        return Err(DbError::Corrupt(format!("unsafe file name {file:?} in manifest")));
+    }
+    Ok(())
+}
+
+fn required_attr(entry: &Element, attr: &str, what: &str) -> Result<String, DbError> {
+    entry
+        .attribute(attr)
+        .map(str::to_string)
+        .ok_or_else(|| DbError::Corrupt(format!("{what} entry without {attr}")))
+}
+
+/// Verify `bytes` against a lowercase-hex SHA-256 from the manifest.
+fn verify_checksum(path: &Path, bytes: &[u8], expected: &str) -> Result<(), DbError> {
+    let actual = sha256_hex(bytes);
+    if actual != expected.to_ascii_lowercase() {
+        return Err(DbError::Checksum {
+            path: path.to_path_buf(),
+            expected: expected.to_string(),
+            actual,
+        });
+    }
+    Ok(())
+}
+
+fn utf8(path: &Path, bytes: Vec<u8>) -> Result<String, DbError> {
+    String::from_utf8(bytes)
+        .map_err(|_| DbError::Corrupt(format!("{} is not valid UTF-8", path.display())))
+}
+
+impl Database {
+    /// Save schemas and documents under `dir` (created if needed) with
+    /// the atomic-commit protocol described in the module docs.
+    pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), DbError> {
+        self.save_dir_vfs(dir.as_ref(), &StdVfs)
+    }
+
+    /// [`Database::save_dir`] over an explicit [`Vfs`] (fault injection
+    /// and crash testing).
+    pub fn save_dir_vfs(&self, dir: &Path, vfs: &dyn Vfs) -> Result<(), DbError> {
+        let io = |path: &Path| {
+            let path = path.to_path_buf();
+            move |e: std::io::Error| DbError::Io { path, source: e }
+        };
+        vfs.create_dir_all(dir).map_err(io(dir))?;
+
+        // Pick the next generation: one past everything visible, whether
+        // committed (gen-*), in-flight (.tmp-*), or recorded in CURRENT.
+        let mut gen = 0u64;
+        for entry in vfs.read_dir(dir).map_err(io(dir))? {
+            if let Some(name) = entry.file_name().and_then(|n| n.to_str()) {
+                if let Some(n) = generation_of(name) {
+                    gen = gen.max(n);
+                }
+            }
+        }
+        let current_path = dir.join("CURRENT");
+        if vfs.exists(&current_path) {
+            let text = utf8(&current_path, vfs.read(&current_path).map_err(io(&current_path))?)?;
+            if let Ok((n, _)) = parse_current(&text) {
+                gen = gen.max(n);
+            }
+        }
+        let gen = gen + 1;
+
+        // Stage the complete new generation under .tmp-<gen>.
+        let tmp = dir.join(format!(".tmp-{gen}"));
+        if vfs.exists(&tmp) {
+            vfs.remove_dir_all(&tmp).map_err(io(&tmp))?;
+        }
+        let schemas_dir = tmp.join("schemas");
+        let docs_dir = tmp.join("documents");
+        vfs.create_dir_all(&schemas_dir).map_err(io(&schemas_dir))?;
+        vfs.create_dir_all(&docs_dir).map_err(io(&docs_dir))?;
+
+        let mut manifest = Element::new("xsdb")
+            .with_attribute("version", "2")
+            .with_attribute("generation", gen.to_string());
         for name in self.schema_names() {
-            let schema = self.schema(name).expect("listed");
-            let stem = file_stem(name);
-            fs::write(schemas_dir.join(format!("{stem}.xsd")), xsmodel::write_schema(schema))
-                .map_err(DbError::Io)?;
+            let schema = self
+                .schema(name)
+                .ok_or_else(|| DbError::Corrupt(format!("schema {name:?} vanished mid-save")))?;
+            let file = format!("{}.xsd", file_stem(name));
+            let bytes = xsmodel::write_schema(schema).into_bytes();
+            let path = schemas_dir.join(&file);
+            vfs.write(&path, &bytes).map_err(io(&path))?;
             manifest.children.push(xmlparse::Node::Element(
                 Element::new("schema")
                     .with_attribute("name", name)
-                    .with_attribute("file", format!("{stem}.xsd")),
+                    .with_attribute("file", file)
+                    .with_attribute("sha256", sha256_hex(&bytes)),
             ));
         }
         let doc_names: Vec<String> = self.document_names().map(str::to_string).collect();
         for name in &doc_names {
-            let stored = self.document(name).expect("listed");
-            let stem = file_stem(name);
-            fs::write(docs_dir.join(format!("{stem}.xml")), self.serialize(name)?)
-                .map_err(DbError::Io)?;
+            let stored = self
+                .document(name)
+                .ok_or_else(|| DbError::Corrupt(format!("document {name:?} vanished mid-save")))?;
+            let file = format!("{}.xml", file_stem(name));
+            let bytes = self.serialize(name)?.into_bytes();
+            let path = docs_dir.join(&file);
+            vfs.write(&path, &bytes).map_err(io(&path))?;
             manifest.children.push(xmlparse::Node::Element(
                 Element::new("document")
                     .with_attribute("name", name.clone())
                     .with_attribute("schema", stored.schema_name.clone())
-                    .with_attribute("file", format!("{stem}.xml")),
+                    .with_attribute("file", file)
+                    .with_attribute("sha256", sha256_hex(&bytes)),
             ));
         }
-        fs::write(dir.join("manifest.xml"), Document::from_root(manifest).to_xml_pretty())
-            .map_err(DbError::Io)?;
+        let manifest_bytes = Document::from_root(manifest).to_xml_pretty().into_bytes();
+        let manifest_digest = sha256_hex(&manifest_bytes);
+        let manifest_path = tmp.join("manifest.xml");
+        vfs.write(&manifest_path, &manifest_bytes).map_err(io(&manifest_path))?;
+        vfs.sync_dir(&schemas_dir).map_err(io(&schemas_dir))?;
+        vfs.sync_dir(&docs_dir).map_err(io(&docs_dir))?;
+        vfs.sync_dir(&tmp).map_err(io(&tmp))?;
+
+        // Publish the generation directory, then commit by atomically
+        // replacing the CURRENT pointer.
+        let gen_dir = dir.join(format!("gen-{gen}"));
+        if vfs.exists(&gen_dir) {
+            vfs.remove_dir_all(&gen_dir).map_err(io(&gen_dir))?;
+        }
+        vfs.rename(&tmp, &gen_dir).map_err(io(&gen_dir))?;
+        vfs.sync_dir(dir).map_err(io(dir))?;
+
+        let current_tmp = dir.join("CURRENT.tmp");
+        let pointer = format!("v2 gen-{gen} {manifest_digest}\n");
+        vfs.write(&current_tmp, pointer.as_bytes()).map_err(io(&current_tmp))?;
+        vfs.rename(&current_tmp, &current_path).map_err(io(&current_path))?;
+        vfs.sync_dir(dir).map_err(io(dir))?;
+
+        // Best-effort cleanup of everything the new generation obsoletes:
+        // older generations, stale temps, and the legacy v1 files. A
+        // failure (or crash) here is harmless — loads ignore all of it.
+        if let Ok(entries) = vfs.read_dir(dir) {
+            for entry in entries {
+                let Some(name) = entry.file_name().and_then(|n| n.to_str()) else { continue };
+                match generation_of(name) {
+                    Some(n) if n != gen => {
+                        let _ = vfs.remove_dir_all(&entry);
+                    }
+                    _ => {
+                        if name == "manifest.xml" || name == "CURRENT.tmp" {
+                            let _ = vfs.remove_file(&entry);
+                        } else if name == "schemas" || name == "documents" {
+                            let _ = vfs.remove_dir_all(&entry);
+                        }
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
-    /// Load a database previously written by [`Database::save_dir`].
+    /// Load a database previously written by [`Database::save_dir`],
+    /// strictly: any corrupt, invalid, or missing file aborts the load.
     /// Every document is re-validated against its schema.
     pub fn load_dir(dir: impl AsRef<Path>) -> Result<Database, DbError> {
-        let dir = dir.as_ref();
-        let manifest_text = fs::read_to_string(dir.join("manifest.xml")).map_err(DbError::Io)?;
-        let manifest = Document::parse(&manifest_text)?;
+        Database::load_dir_vfs(dir.as_ref(), LoadPolicy::Strict, &StdVfs).map(|(db, _)| db)
+    }
+
+    /// Load with an explicit [`LoadPolicy`], returning the database and
+    /// a [`LoadReport`] describing quarantines, warnings, and cleanup.
+    pub fn load_dir_report(
+        dir: impl AsRef<Path>,
+        policy: LoadPolicy,
+    ) -> Result<(Database, LoadReport), DbError> {
+        Database::load_dir_vfs(dir.as_ref(), policy, &StdVfs)
+    }
+
+    /// [`Database::load_dir_report`] over an explicit [`Vfs`].
+    pub fn load_dir_vfs(
+        dir: &Path,
+        policy: LoadPolicy,
+        vfs: &dyn Vfs,
+    ) -> Result<(Database, LoadReport), DbError> {
+        let mut report = LoadReport::default();
+
+        // Stale-temp cleanup: uncommitted saves are garbage by protocol.
+        if let Ok(entries) = vfs.read_dir(dir) {
+            for entry in entries {
+                let Some(name) = entry.file_name().and_then(|n| n.to_str()) else { continue };
+                if name.starts_with(".tmp-") && vfs.remove_dir_all(&entry).is_ok() {
+                    report.cleaned_temps.push(entry.clone());
+                }
+                if name == "CURRENT.tmp" && vfs.remove_file(&entry).is_ok() {
+                    report.cleaned_temps.push(entry.clone());
+                }
+            }
+        }
+
+        let current_path = dir.join("CURRENT");
+        let (root_dir, manifest) = if vfs.exists(&current_path) {
+            // Version-2 layout: CURRENT → generation → manifest, with a
+            // digest chain protecting each hop.
+            let bytes = vfs.read(&current_path).map_err(|e| DbError::io(&current_path, e))?;
+            let (gen, manifest_digest) = parse_current(&utf8(&current_path, bytes)?)?;
+            let gen_dir = dir.join(format!("gen-{gen}"));
+            let manifest_path = gen_dir.join("manifest.xml");
+            let manifest_bytes =
+                vfs.read(&manifest_path).map_err(|e| DbError::io(&manifest_path, e))?;
+            verify_checksum(&manifest_path, &manifest_bytes, &manifest_digest)?;
+            let manifest = Document::parse(&utf8(&manifest_path, manifest_bytes)?)
+                .map_err(|e| DbError::Corrupt(format!("{}: {e}", manifest_path.display())))?;
+            if manifest.root().name != "xsdb".into() {
+                return Err(DbError::Corrupt(format!(
+                    "{}: root element is <{}>, expected <xsdb>",
+                    manifest_path.display(),
+                    manifest.root().name
+                )));
+            }
+            if manifest.root().attribute("version") != Some("2") {
+                return Err(DbError::Corrupt(format!(
+                    "{}: expected manifest version 2",
+                    manifest_path.display()
+                )));
+            }
+            report.manifest_version = 2;
+            report.generation = Some(gen);
+            (gen_dir, manifest)
+        } else {
+            // Legacy version-1 layout: manifest at the top, no checksums.
+            let manifest_path = dir.join("manifest.xml");
+            let manifest_bytes =
+                vfs.read(&manifest_path).map_err(|e| DbError::io(&manifest_path, e))?;
+            let manifest = Document::parse(&utf8(&manifest_path, manifest_bytes)?)
+                .map_err(|e| DbError::Corrupt(format!("{}: {e}", manifest_path.display())))?;
+            if manifest.root().name != "xsdb".into() {
+                return Err(DbError::Corrupt(format!(
+                    "{}: root element is <{}>, expected <xsdb>",
+                    manifest_path.display(),
+                    manifest.root().name
+                )));
+            }
+            report.manifest_version = 1;
+            report
+                .warnings
+                .push("manifest version 1: no checksums recorded, integrity not verified".into());
+            (dir.to_path_buf(), manifest)
+        };
+        let checksummed = report.manifest_version >= 2;
+
         let mut db = Database::new();
+        // Schemas that failed to load; their documents quarantine too.
+        let mut dead_schemas: Vec<String> = Vec::new();
+
         for entry in manifest.root().children_named("schema") {
-            let name = entry
-                .attribute("name")
-                .ok_or_else(|| DbError::Corrupt("schema entry without name".into()))?;
-            let file = entry
-                .attribute("file")
-                .ok_or_else(|| DbError::Corrupt("schema entry without file".into()))?;
-            let xsd = fs::read_to_string(dir.join("schemas").join(file)).map_err(DbError::Io)?;
-            db.register_schema_text(name, &xsd)?;
+            let name = required_attr(entry, "name", "schema")?;
+            let mut load = || -> Result<(), DbError> {
+                let file = required_attr(entry, "file", "schema")?;
+                safe_file_name(&file)?;
+                let path = root_dir.join("schemas").join(&file);
+                let bytes = vfs.read(&path).map_err(|e| DbError::io(&path, e))?;
+                if checksummed {
+                    verify_checksum(&path, &bytes, &required_attr(entry, "sha256", "schema")?)?;
+                }
+                db.register_schema_text(&name, &utf8(&path, bytes)?)
+            };
+            if let Err(error) = load() {
+                match policy {
+                    LoadPolicy::Strict => return Err(error),
+                    LoadPolicy::Lenient => {
+                        dead_schemas.push(name.clone());
+                        report.quarantined.push(Quarantine {
+                            kind: QuarantineKind::Schema,
+                            file: entry.attribute("file").map(|f| root_dir.join("schemas").join(f)),
+                            name,
+                            error,
+                        });
+                    }
+                }
+            }
         }
+
         for entry in manifest.root().children_named("document") {
-            let name = entry
-                .attribute("name")
-                .ok_or_else(|| DbError::Corrupt("document entry without name".into()))?;
-            let schema = entry
-                .attribute("schema")
-                .ok_or_else(|| DbError::Corrupt("document entry without schema".into()))?;
-            let file = entry
-                .attribute("file")
-                .ok_or_else(|| DbError::Corrupt("document entry without file".into()))?;
-            let xml = fs::read_to_string(dir.join("documents").join(file)).map_err(DbError::Io)?;
-            db.insert(name, schema, &xml)?;
+            let name = required_attr(entry, "name", "document")?;
+            let mut load = || -> Result<(), DbError> {
+                let schema = required_attr(entry, "schema", "document")?;
+                if dead_schemas.contains(&schema) {
+                    return Err(DbError::UnknownSchema(schema));
+                }
+                let file = required_attr(entry, "file", "document")?;
+                safe_file_name(&file)?;
+                let path = root_dir.join("documents").join(&file);
+                let bytes = vfs.read(&path).map_err(|e| DbError::io(&path, e))?;
+                if checksummed {
+                    verify_checksum(&path, &bytes, &required_attr(entry, "sha256", "document")?)?;
+                }
+                db.insert(&name, &schema, &utf8(&path, bytes)?)
+            };
+            if let Err(error) = load() {
+                match policy {
+                    LoadPolicy::Strict => return Err(error),
+                    LoadPolicy::Lenient => report.quarantined.push(Quarantine {
+                        kind: QuarantineKind::Document,
+                        file: entry.attribute("file").map(|f| root_dir.join("documents").join(f)),
+                        name,
+                        error,
+                    }),
+                }
+            }
         }
-        Ok(db)
+        Ok((db, report))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -145,6 +501,36 @@ mod tests {
   </xs:element>
 </xs:schema>"#;
 
+    fn current_gen_dir(dir: &Path) -> PathBuf {
+        let text = fs::read_to_string(dir.join("CURRENT")).unwrap();
+        let (gen, _) = parse_current(&text).unwrap();
+        dir.join(format!("gen-{gen}"))
+    }
+
+    /// Rewrite the checksum chain after a test edits a persisted file in
+    /// place (document checksum → manifest → CURRENT).
+    fn reseal(dir: &Path) {
+        let gen_dir = current_gen_dir(dir);
+        let manifest_path = gen_dir.join("manifest.xml");
+        let mut manifest = Document::parse(&fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        for child in &mut manifest.root_mut().children {
+            if let xmlparse::Node::Element(e) = child {
+                let sub = if e.name.local() == "schema" { "schemas" } else { "documents" };
+                let file = e.attribute("file").unwrap().to_string();
+                let digest = sha256_hex(&fs::read(gen_dir.join(sub).join(&file)).unwrap());
+                for attr in &mut e.attributes {
+                    if attr.name.local() == "sha256" {
+                        attr.value = digest.clone();
+                    }
+                }
+            }
+        }
+        let bytes = manifest.to_xml_pretty().into_bytes();
+        fs::write(&manifest_path, &bytes).unwrap();
+        let gen_name = gen_dir.file_name().unwrap().to_str().unwrap().to_string();
+        fs::write(dir.join("CURRENT"), format!("v2 {gen_name} {}\n", sha256_hex(&bytes))).unwrap();
+    }
+
     #[test]
     fn save_and_load_roundtrip() {
         let dir = temp_dir("roundtrip");
@@ -171,6 +557,24 @@ mod tests {
     }
 
     #[test]
+    fn repeated_saves_advance_the_generation() {
+        let dir = temp_dir("generations");
+        let mut db = Database::new();
+        db.register_schema_text("log", SCHEMA).unwrap();
+        db.save_dir(&dir).unwrap();
+        db.insert("j", "log", "<log/>").unwrap();
+        db.save_dir(&dir).unwrap();
+        let (restored, report) = Database::load_dir_report(&dir, LoadPolicy::Strict).unwrap();
+        assert_eq!(report.generation, Some(2));
+        assert_eq!(report.manifest_version, 2);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(restored.len(), 1);
+        // The obsolete generation was cleaned up after commit.
+        assert!(!dir.join("gen-1").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn awkward_names_are_encoded() {
         let dir = temp_dir("names");
         let mut db = Database::new();
@@ -187,29 +591,112 @@ mod tests {
     }
 
     #[test]
+    fn naive_tampering_is_caught_by_checksums() {
+        let dir = temp_dir("tamper-checksum");
+        let mut db = Database::new();
+        db.register_schema_text("log", SCHEMA).unwrap();
+        db.insert("j", "log", "<log><entry><year>2000</year><text>t</text></entry></log>").unwrap();
+        db.save_dir(&dir).unwrap();
+        let doc_path = current_gen_dir(&dir).join("documents").join("j.xml");
+        let tampered = fs::read_to_string(&doc_path).unwrap().replace("2000", "1492");
+        fs::write(&doc_path, tampered).unwrap();
+        match Database::load_dir(&dir) {
+            Err(DbError::Checksum { path, .. }) => assert!(path.ends_with("j.xml"), "{path:?}"),
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn loading_revalidates_documents() {
         let dir = temp_dir("tamper");
         let mut db = Database::new();
         db.register_schema_text("log", SCHEMA).unwrap();
         db.insert("j", "log", "<log><entry><year>2000</year><text>t</text></entry></log>").unwrap();
         db.save_dir(&dir).unwrap();
-        // Corrupt the stored document: violates the Year facet.
-        let doc_path = dir.join("documents").join("j.xml");
+        // Corrupt the stored document (violating the Year facet) and
+        // reseal the checksum chain — validation is the layer that must
+        // catch what a consistent-but-invalid state smuggles in.
+        let doc_path = current_gen_dir(&dir).join("documents").join("j.xml");
         let tampered = fs::read_to_string(&doc_path).unwrap().replace("2000", "1492");
         fs::write(&doc_path, tampered).unwrap();
+        reseal(&dir);
         match Database::load_dir(&dir) {
             Err(DbError::Invalid(errs)) => {
                 assert!(errs.iter().any(|e| e.rule == algebra::Rule::R511SimpleValue));
             }
             other => panic!("expected validation failure, got {other:?}"),
         }
+        // Lenient mode loads the rest and quarantines the invalid doc.
+        let (restored, report) = Database::load_dir_report(&dir, LoadPolicy::Lenient).unwrap();
+        assert_eq!(restored.len(), 0);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].name, "j");
+        assert!(matches!(report.quarantined[0].error, DbError::Invalid(_)));
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn missing_manifest_is_an_io_error() {
         let dir = temp_dir("missing");
-        assert!(matches!(Database::load_dir(&dir), Err(DbError::Io(_))));
+        assert!(matches!(Database::load_dir(&dir), Err(DbError::Io { .. })));
+        // The error names the file it could not read.
+        let shown = Database::load_dir(&dir).unwrap_err().to_string();
+        assert!(shown.contains("manifest.xml"), "{shown}");
+    }
+
+    #[test]
+    fn stale_temps_are_cleaned_on_load() {
+        let dir = temp_dir("stale");
+        let mut db = Database::new();
+        db.register_schema_text("log", SCHEMA).unwrap();
+        db.save_dir(&dir).unwrap();
+        fs::create_dir_all(dir.join(".tmp-9").join("documents")).unwrap();
+        fs::write(dir.join(".tmp-9").join("manifest.xml"), "garbage").unwrap();
+        fs::write(dir.join("CURRENT.tmp"), "torn poi").unwrap();
+        let (_, report) = Database::load_dir_report(&dir, LoadPolicy::Strict).unwrap();
+        assert_eq!(report.cleaned_temps.len(), 2, "{report:?}");
+        assert!(!dir.join(".tmp-9").exists());
+        assert!(!dir.join("CURRENT.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_layouts_still_load_with_a_warning() {
+        let dir = temp_dir("v1");
+        // Hand-build a version-1 directory: top-level manifest without
+        // checksums, as written before the durability layer existed.
+        fs::create_dir_all(dir.join("schemas")).unwrap();
+        fs::create_dir_all(dir.join("documents")).unwrap();
+        fs::write(dir.join("schemas").join("log.xsd"), {
+            let mut db = Database::new();
+            db.register_schema_text("log", SCHEMA).unwrap();
+            xsmodel::write_schema(db.schema("log").unwrap())
+        })
+        .unwrap();
+        fs::write(dir.join("documents").join("j.xml"), "<log/>").unwrap();
+        fs::write(
+            dir.join("manifest.xml"),
+            r#"<xsdb version="1">
+  <schema name="log" file="log.xsd"/>
+  <document name="j" schema="log" file="j.xml"/>
+</xsdb>"#,
+        )
+        .unwrap();
+        let (db, report) = Database::load_dir_report(&dir, LoadPolicy::Strict).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(report.manifest_version, 1);
+        assert_eq!(report.generation, None);
+        assert!(report.warnings.iter().any(|w| w.contains("no checksums")), "{report:?}");
+        // A re-save migrates the directory to the v2 layout.
+        db.save_dir(&dir).unwrap();
+        assert!(dir.join("CURRENT").exists());
+        assert!(!dir.join("manifest.xml").exists(), "legacy manifest cleaned after commit");
+        let (again, report2) = Database::load_dir_report(&dir, LoadPolicy::Strict).unwrap();
+        assert_eq!(again.len(), 1);
+        assert_eq!(report2.manifest_version, 2);
+        assert!(report2.is_clean(), "{report2:?}");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -218,5 +705,25 @@ mod tests {
         assert_eq!(file_stem("a b"), "a%0020b");
         assert_eq!(file_stem("x/y"), "x%002Fy");
         assert_ne!(file_stem("a b"), file_stem("a_b"));
+    }
+
+    #[test]
+    fn current_pointer_parsing_rejects_malformed_input() {
+        assert!(parse_current("").is_err());
+        assert!(parse_current("v1 gen-2 abc").is_err());
+        assert!(parse_current("v2 gen-x 0000").is_err());
+        assert!(parse_current(&format!("v2 gen-3 {}", "a".repeat(63))).is_err());
+        assert!(parse_current(&format!("v2 gen-3 {} extra", "a".repeat(64))).is_err());
+        let (gen, digest) = parse_current(&format!("v2 gen-3 {}\n", "A".repeat(64))).unwrap();
+        assert_eq!(gen, 3);
+        assert_eq!(digest, "a".repeat(64));
+    }
+
+    #[test]
+    fn hostile_manifest_file_names_are_rejected() {
+        for bad in ["../escape.xml", "a/b.xml", "", ".hidden", "c\\d.xml", "x..y"] {
+            assert!(safe_file_name(bad).is_err(), "{bad:?} accepted");
+        }
+        assert!(safe_file_name("plain%0020name.xml").is_ok());
     }
 }

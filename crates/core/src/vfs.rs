@@ -1,0 +1,308 @@
+//! A small virtual filesystem behind the persistence layer.
+//!
+//! [`Database::save_dir`](crate::Database::save_dir) and
+//! [`Database::load_dir`](crate::Database::load_dir) never touch
+//! `std::fs` directly — every operation goes through a [`Vfs`], so the
+//! crash-matrix tests can substitute [`FaultyVfs`] and fail or "crash"
+//! the save at any chosen syscall. [`StdVfs`] is the real
+//! implementation; its `write` fsyncs the file before returning and
+//! `sync_dir` fsyncs a directory, which is what makes the rename-commit
+//! protocol in `persist.rs` durable rather than merely atomic.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Filesystem operations needed by the persistence layer.
+///
+/// All operations are fallible; implementations must not panic. `write`
+/// is required to be durable (data reaches the device before it
+/// returns), and `rename` is required to be atomic — the two properties
+/// the commit protocol is built on.
+pub trait Vfs: std::fmt::Debug {
+    /// Create a directory and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Create or replace a file with `data`, fsyncing it.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Read a file fully.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically rename `from` to `to` (replacing a file at `to`).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Remove a directory tree.
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// List the entries (full paths) of a directory.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Fsync a directory so renames/creations inside it are durable.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+    /// Whether a path exists (never errors; failures read as absent).
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdVfs;
+
+impl Vfs for StdVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut file = fs::File::create(path)?;
+        file.write_all(data)?;
+        file.sync_all()
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::remove_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out: Vec<PathBuf> =
+            fs::read_dir(path)?.map(|entry| entry.map(|e| e.path())).collect::<io::Result<_>>()?;
+        out.sort();
+        Ok(out)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing it persists the
+        // directory entries themselves (POSIX semantics; a no-op where
+        // unsupported).
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// How [`FaultyVfs`] misbehaves once its fault point is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The N-th operation fails with an injected I/O error; subsequent
+    /// operations proceed normally (a transient fault).
+    Error,
+    /// The N-th operation "crashes the process": a `write` tears (a
+    /// prefix of the data reaches the disk, no fsync), every other
+    /// operation does nothing, and all subsequent operations fail too.
+    Crash,
+}
+
+/// Deterministic fault injection over [`StdVfs`].
+///
+/// Counts operations and injects a fault at operation index `fault_at`
+/// (0-based). With [`FaultMode::Crash`], a faulting `write` leaves a
+/// *torn* file behind — half the bytes — which is exactly the state a
+/// power cut can produce and what the manifest checksums must catch.
+#[derive(Debug)]
+pub struct FaultyVfs {
+    inner: StdVfs,
+    fault_at: u64,
+    mode: FaultMode,
+    ops: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl FaultyVfs {
+    /// Fail (transiently) at 0-based operation `fault_at`.
+    pub fn error_at(fault_at: u64) -> Self {
+        FaultyVfs {
+            inner: StdVfs,
+            fault_at,
+            mode: FaultMode::Error,
+            ops: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// Crash at 0-based operation `fault_at` (and stay down).
+    pub fn crash_at(fault_at: u64) -> Self {
+        FaultyVfs {
+            inner: StdVfs,
+            fault_at,
+            mode: FaultMode::Crash,
+            ops: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// A counting pass-through that never faults — run a save through it
+    /// to learn how many operations the crash matrix must enumerate.
+    pub fn counting() -> Self {
+        FaultyVfs::error_at(u64::MAX)
+    }
+
+    /// Operations attempted so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Whether the simulated crash has happened.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    fn injected() -> io::Error {
+        io::Error::other("injected fault")
+    }
+
+    /// Account for one operation; `Err` means the fault fires now.
+    fn tick(&self) -> io::Result<()> {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Err(io::Error::other("simulated crash: filesystem gone"));
+        }
+        let n = self.ops.fetch_add(1, Ordering::SeqCst);
+        if n == self.fault_at {
+            if self.mode == FaultMode::Crash {
+                self.crashed.store(true, Ordering::SeqCst);
+            }
+            return Err(Self::injected());
+        }
+        Ok(())
+    }
+}
+
+impl Vfs for FaultyVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.tick()?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        match self.tick() {
+            Ok(()) => self.inner.write(path, data),
+            Err(e) => {
+                // A crashing write tears: a prefix of the data lands on
+                // disk without fsync. A transient error writes nothing.
+                if self.mode == FaultMode::Crash && self.crashed() {
+                    let _ = fs::write(path, &data[..data.len() / 2]);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.tick()?;
+        self.inner.read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.tick()?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.tick()?;
+        self.inner.remove_file(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.tick()?;
+        self.inner.remove_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.tick()?;
+        self.inner.read_dir(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.tick()?;
+        self.inner.sync_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        // Existence probes are not failure points: a crashed process
+        // doesn't observe anything, and the crash matrix only needs
+        // mutating/reading operations to be enumerable.
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xsdb-vfs-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn std_vfs_round_trips() {
+        let dir = temp_dir("std");
+        let vfs = StdVfs;
+        let file = dir.join("x.txt");
+        vfs.write(&file, b"hello").unwrap();
+        assert_eq!(vfs.read(&file).unwrap(), b"hello");
+        assert!(vfs.exists(&file));
+        let renamed = dir.join("y.txt");
+        vfs.rename(&file, &renamed).unwrap();
+        assert!(!vfs.exists(&file));
+        assert_eq!(vfs.read_dir(&dir).unwrap(), vec![renamed.clone()]);
+        vfs.sync_dir(&dir).unwrap();
+        vfs.remove_file(&renamed).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn error_mode_fails_once_then_recovers() {
+        let dir = temp_dir("error-mode");
+        let vfs = FaultyVfs::error_at(1);
+        let a = dir.join("a");
+        let b = dir.join("b");
+        vfs.write(&a, b"1").unwrap(); // op 0
+        assert!(vfs.write(&b, b"2").is_err()); // op 1: injected
+        assert!(!b.exists(), "transient error writes nothing");
+        vfs.write(&b, b"2").unwrap(); // op 2: recovered
+        assert_eq!(vfs.ops(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_mode_tears_the_write_and_stays_down() {
+        let dir = temp_dir("crash-mode");
+        let vfs = FaultyVfs::crash_at(0);
+        let a = dir.join("a");
+        assert!(vfs.write(&a, b"0123456789").is_err());
+        assert!(vfs.crashed());
+        assert_eq!(fs::read(&a).unwrap(), b"01234", "crash leaves a torn prefix");
+        assert!(vfs.read(&a).is_err(), "everything after the crash fails");
+        assert!(vfs.rename(&a, &dir.join("b")).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counting_vfs_never_faults() {
+        let dir = temp_dir("counting");
+        let vfs = FaultyVfs::counting();
+        for i in 0..10 {
+            vfs.write(&dir.join(format!("f{i}")), b"x").unwrap();
+        }
+        assert_eq!(vfs.ops(), 10);
+        assert!(!vfs.crashed());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

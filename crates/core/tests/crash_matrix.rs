@@ -1,0 +1,313 @@
+//! The crash-matrix property suite for the durability layer.
+//!
+//! §8's round-trip theorem `g(f(X)) =_c X` is only worth anything for
+//! states that survive to disk intact. These tests enumerate every
+//! fault-injection point in the save protocol and assert the invariant
+//! the atomic-commit design promises: **after a crash at any operation
+//! k, loading the directory yields a database content-equal to either
+//! the complete pre-save state or the complete post-save state** —
+//! never a torn hybrid. A second matrix flips single bytes in every
+//! persisted file and asserts the checksum chain detects each one.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xsdb::{algebra, Database, DbError, FaultyVfs, LoadPolicy, StdVfs};
+
+const SCHEMA_A: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="log">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="entry" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+const SCHEMA_B: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="note" type="xs:string"/>
+</xs:schema>"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "xsdb-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The pre-save database state.
+fn old_state() -> Database {
+    let mut db = Database::new();
+    db.register_schema_text("log", SCHEMA_A).unwrap();
+    db.register_schema_text("notes", SCHEMA_B).unwrap();
+    db.insert("journal", "log", "<log><entry>one</entry><entry>two</entry></log>").unwrap();
+    db.insert("memo", "notes", "<note>remember</note>").unwrap();
+    db
+}
+
+/// The post-save database state: one document changed, one deleted,
+/// one added — every kind of difference the matrix must distinguish.
+fn new_state() -> Database {
+    let mut db = Database::new();
+    db.register_schema_text("log", SCHEMA_A).unwrap();
+    db.register_schema_text("notes", SCHEMA_B).unwrap();
+    db.insert("journal", "log", "<log><entry>one</entry><entry>rewritten</entry></log>").unwrap();
+    db.insert("fresh", "notes", "<note>new doc</note>").unwrap();
+    db
+}
+
+/// Content-equality (`=_c`) of two whole databases: same schema names,
+/// same document names, and each pair of documents content-equal.
+fn db_equiv(a: &Database, b: &Database) -> bool {
+    let schemas_a: Vec<&str> = a.schema_names().collect();
+    let schemas_b: Vec<&str> = b.schema_names().collect();
+    let docs_a: Vec<&str> = a.document_names().collect();
+    let docs_b: Vec<&str> = b.document_names().collect();
+    if schemas_a != schemas_b || docs_a != docs_b {
+        return false;
+    }
+    docs_a.iter().all(|name| {
+        let xa = xsdb::Document::parse(&a.serialize(name).unwrap()).unwrap();
+        let xb = xsdb::Document::parse(&b.serialize(name).unwrap()).unwrap();
+        algebra::content_equal(&xa, &xb)
+    })
+}
+
+/// How many VFS operations one full save of `new_state` over an
+/// existing `old_state` directory performs.
+fn count_save_ops(tag: &str) -> u64 {
+    let dir = temp_dir(tag);
+    old_state().save_dir(&dir).unwrap();
+    let counter = FaultyVfs::counting();
+    new_state().save_dir_vfs(&dir, &counter).unwrap();
+    let ops = counter.ops();
+    let _ = fs::remove_dir_all(&dir);
+    ops
+}
+
+#[test]
+fn crash_at_every_operation_yields_old_or_new_state() {
+    let total = count_save_ops("count");
+    assert!(total > 10, "save protocol unexpectedly small: {total} ops");
+    let old = old_state();
+    let new = new_state();
+    for k in 0..total {
+        let dir = temp_dir("matrix");
+        old.save_dir(&dir).unwrap();
+        let vfs = FaultyVfs::crash_at(k);
+        let save_result = new.save_dir_vfs(&dir, &vfs);
+        let loaded = Database::load_dir(&dir).unwrap_or_else(|e| {
+            panic!("crash at op {k}: load_dir failed: {e} (save result: {save_result:?})")
+        });
+        let is_old = db_equiv(&loaded, &old);
+        let is_new = db_equiv(&loaded, &new);
+        assert!(
+            is_old || is_new,
+            "crash at op {k} left a state equal to neither old nor new \
+             (save result: {save_result:?})"
+        );
+        // A save that reported success must have committed.
+        if save_result.is_ok() {
+            assert!(is_new, "crash at op {k}: save_dir returned Ok but the old state loaded");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn transient_error_at_every_operation_is_old_or_new_never_torn() {
+    let total = count_save_ops("ecount");
+    let old = old_state();
+    let new = new_state();
+    for k in 0..total {
+        let dir = temp_dir("error-matrix");
+        old.save_dir(&dir).unwrap();
+        let vfs = FaultyVfs::error_at(k);
+        let save_result = new.save_dir_vfs(&dir, &vfs);
+        let loaded = Database::load_dir(&dir)
+            .unwrap_or_else(|e| panic!("error at op {k}: load_dir failed: {e}"));
+        match save_result {
+            // A transient error surfaced. Before the commit point this
+            // leaves the old state; a fault in the post-commit fsync
+            // still leaves the (already renamed) new state. Either way
+            // the directory must load as one complete state.
+            Err(_) => assert!(
+                db_equiv(&loaded, &old) || db_equiv(&loaded, &new),
+                "error at op {k}: aborted save left a torn state"
+            ),
+            // The fault was absorbed (it hit best-effort cleanup): the
+            // new state must be fully committed.
+            Ok(()) => assert!(
+                db_equiv(&loaded, &new),
+                "error at op {k}: save_dir returned Ok but the new state did not load"
+            ),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// A crashed save must not break *subsequent* saves: retrying on the
+/// same directory commits cleanly and the stale temp is swept on load.
+#[test]
+fn save_retry_after_crash_commits_cleanly() {
+    let total = count_save_ops("rcount");
+    let old = old_state();
+    let new = new_state();
+    // A handful of representative crash points: early (staging), middle
+    // (data writes), late (commit/cleanup).
+    for k in [0, total / 4, total / 2, total - 3, total - 1] {
+        let dir = temp_dir("retry");
+        old.save_dir(&dir).unwrap();
+        let _ = new.save_dir_vfs(&dir, &FaultyVfs::crash_at(k));
+        new.save_dir(&dir).unwrap();
+        let (loaded, report) = Database::load_dir_report(&dir, LoadPolicy::Strict).unwrap();
+        assert!(db_equiv(&loaded, &new), "retry after crash at {k} lost data");
+        assert!(report.quarantined.is_empty(), "{report:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+fn files_under(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn every_single_byte_flip_is_detected() {
+    let dir = temp_dir("bitflip");
+    old_state().save_dir(&dir).unwrap();
+    let baseline = Database::load_dir(&dir).unwrap();
+    for file in files_under(&dir) {
+        let original = fs::read(&file).unwrap();
+        assert!(!original.is_empty(), "{file:?} empty");
+        // Exhaustive over positions would be slow for no extra coverage;
+        // probe a spread of offsets in every file, all 8 bits at edges.
+        let mut probes: Vec<(usize, u8)> = vec![
+            (0, 0x01),
+            (0, 0x80),
+            (original.len() / 3, 0x01),
+            (original.len() / 2, 0x04),
+            (2 * original.len() / 3, 0x10),
+            (original.len() - 1, 0x01),
+            (original.len() - 1, 0x80),
+        ];
+        probes.dedup();
+        for (pos, mask) in probes {
+            let mut mutated = original.clone();
+            mutated[pos] ^= mask;
+            fs::write(&file, &mutated).unwrap();
+
+            // Strict: the flip is a typed, file-naming error.
+            match Database::load_dir(&dir) {
+                Ok(db) => {
+                    panic!("flip {mask:#x}@{pos} in {file:?} loaded silently ({} docs)", db.len())
+                }
+                Err(DbError::Checksum { .. } | DbError::Corrupt(_) | DbError::Io { .. }) => {}
+                Err(other) => panic!("flip {mask:#x}@{pos} in {file:?}: untyped path {other:?}"),
+            }
+
+            // Lenient: detected as well — either quarantined with the
+            // rest of the database intact, or (integrity roots) fatal.
+            match Database::load_dir_report(&dir, LoadPolicy::Lenient) {
+                Ok((db, report)) => {
+                    assert!(
+                        !report.quarantined.is_empty(),
+                        "flip {mask:#x}@{pos} in {file:?}: lenient load clean"
+                    );
+                    assert!(db.len() < baseline.len());
+                }
+                Err(DbError::Checksum { .. } | DbError::Corrupt(_) | DbError::Io { .. }) => {}
+                Err(other) => panic!("lenient flip in {file:?}: untyped path {other:?}"),
+            }
+
+            fs::write(&file, &original).unwrap();
+        }
+        // The directory is intact again after restoring the bytes.
+        assert!(db_equiv(&Database::load_dir(&dir).unwrap(), &baseline));
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Lenient loads quarantine precisely the damaged documents and keep
+/// everything else; strict loads keep all-or-nothing semantics.
+#[test]
+fn lenient_quarantines_only_the_damaged_documents() {
+    let dir = temp_dir("quarantine");
+    old_state().save_dir(&dir).unwrap();
+    // Corrupt exactly one document file.
+    let text = fs::read_to_string(dir.join("CURRENT")).unwrap();
+    let gen = text.split(' ').nth(1).unwrap();
+    let victim = dir.join(gen).join("documents").join("memo.xml");
+    let mut bytes = fs::read(&victim).unwrap();
+    bytes[0] ^= 0xff;
+    fs::write(&victim, bytes).unwrap();
+
+    assert!(Database::load_dir(&dir).is_err(), "strict must refuse");
+    let (db, report) = Database::load_dir_report(&dir, LoadPolicy::Lenient).unwrap();
+    assert_eq!(db.len(), 1, "the intact document still loads");
+    assert!(db.document("journal").is_some());
+    assert_eq!(report.quarantined.len(), 1);
+    let q = &report.quarantined[0];
+    assert_eq!(q.name, "memo");
+    assert_eq!(q.kind, xsdb::QuarantineKind::Document);
+    assert!(matches!(q.error, DbError::Checksum { .. }), "{:?}", q.error);
+    assert!(q.file.as_ref().unwrap().ends_with("memo.xml"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Deleting a schema file quarantines the schema *and* its dependent
+/// documents under lenient policy.
+#[test]
+fn missing_schema_quarantines_dependent_documents() {
+    let dir = temp_dir("dead-schema");
+    old_state().save_dir(&dir).unwrap();
+    let text = fs::read_to_string(dir.join("CURRENT")).unwrap();
+    let gen = text.split(' ').nth(1).unwrap();
+    fs::remove_file(dir.join(gen).join("schemas").join("notes.xsd")).unwrap();
+
+    assert!(matches!(Database::load_dir(&dir), Err(DbError::Io { .. })));
+    let (db, report) = Database::load_dir_report(&dir, LoadPolicy::Lenient).unwrap();
+    assert_eq!(db.len(), 1);
+    assert!(db.document("journal").is_some());
+    let kinds: Vec<_> = report.quarantined.iter().map(|q| (q.kind, q.name.as_str())).collect();
+    assert_eq!(
+        kinds,
+        [(xsdb::QuarantineKind::Schema, "notes"), (xsdb::QuarantineKind::Document, "memo"),]
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The Vfs seam really is the only filesystem the save path uses: a
+/// save through the counting Vfs performs every operation through it.
+#[test]
+fn save_is_fully_mediated_by_the_vfs() {
+    let dir = temp_dir("mediated");
+    let counter = FaultyVfs::counting();
+    old_state().save_dir_vfs(&dir, &counter).unwrap();
+    assert!(counter.ops() > 10);
+    // And an explicit StdVfs save equals the default-path save.
+    let dir2 = temp_dir("mediated2");
+    old_state().save_dir_vfs(&dir2, &StdVfs).unwrap();
+    let a = Database::load_dir(&dir).unwrap();
+    let b = Database::load_dir(&dir2).unwrap();
+    assert!(db_equiv(&a, &b));
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&dir2);
+}

@@ -1,0 +1,211 @@
+//! Hostile-manifest coverage: `load_dir` on truncated or garbage
+//! manifests, entries pointing at missing files, and duplicate
+//! document names must all surface *typed* errors — never a panic.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xsdb::{checksum, Database, DbError, LoadPolicy};
+
+const SCHEMA: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="note" type="xs:string"/>
+</xs:schema>"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "xsdb-abuse-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn saved_dir(tag: &str) -> PathBuf {
+    let dir = temp_dir(tag);
+    let mut db = Database::new();
+    db.register_schema_text("notes", SCHEMA).unwrap();
+    db.insert("memo", "notes", "<note>hello</note>").unwrap();
+    db.insert("todo", "notes", "<note>later</note>").unwrap();
+    db.save_dir(&dir).unwrap();
+    dir
+}
+
+/// The generation directory `CURRENT` points at.
+fn gen_dir(dir: &Path) -> PathBuf {
+    let text = fs::read_to_string(dir.join("CURRENT")).unwrap();
+    dir.join(text.split(' ').nth(1).unwrap())
+}
+
+/// Rewrite `CURRENT` so its digest matches the (edited) manifest —
+/// lets a test get *past* the checksum chain and exercise the layer
+/// that parses and applies manifest entries.
+fn reseal_current(dir: &Path) {
+    let text = fs::read_to_string(dir.join("CURRENT")).unwrap();
+    let gen = text.split(' ').nth(1).unwrap().to_string();
+    let manifest = fs::read(dir.join(&gen).join("manifest.xml")).unwrap();
+    fs::write(dir.join("CURRENT"), format!("v2 {gen} {}\n", checksum::sha256_hex(&manifest)))
+        .unwrap();
+}
+
+/// Both policies must yield a typed error (or a quarantine) — the
+/// closure runs each and panics on anything untyped.
+fn assert_typed_failure(dir: &Path, what: &str) {
+    let strict = Database::load_dir(dir);
+    match strict {
+        Err(
+            DbError::Corrupt(_)
+            | DbError::Checksum { .. }
+            | DbError::Io { .. }
+            | DbError::Xml(_)
+            | DbError::DuplicateDocument(_)
+            | DbError::UnknownSchema(_),
+        ) => {}
+        other => panic!("{what}: strict load gave {other:?}"),
+    }
+    // Lenient must not panic either; a clean Ok is fine only if it
+    // quarantined something.
+    if let Ok((_, report)) = Database::load_dir_report(dir, LoadPolicy::Lenient) {
+        assert!(!report.quarantined.is_empty(), "{what}: lenient load was silently clean");
+    }
+}
+
+#[test]
+fn truncated_manifest_is_a_typed_error() {
+    let dir = saved_dir("trunc");
+    let manifest = gen_dir(&dir).join("manifest.xml");
+    let bytes = fs::read(&manifest).unwrap();
+    for keep in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+        fs::write(&manifest, &bytes[..keep]).unwrap();
+        // Without resealing, the checksum chain catches it first.
+        assert!(matches!(
+            Database::load_dir(&dir),
+            Err(DbError::Checksum { .. } | DbError::Corrupt(_))
+        ));
+        // Resealed, the XML parser is the layer that must hold.
+        reseal_current(&dir);
+        assert_typed_failure(&dir, &format!("manifest truncated to {keep} bytes"));
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_manifest_is_a_typed_error() {
+    let dir = saved_dir("garbage");
+    let manifest = gen_dir(&dir).join("manifest.xml");
+    let soups: [&[u8]; 4] = [
+        b"\x00\xff\xfe\x01\x02binary trash\x00\x00",
+        b"not xml at all",
+        b"<xsdb version=\"2\"><unclosed",
+        b"<wrong-root version=\"2\"/>",
+    ];
+    for soup in soups {
+        fs::write(&manifest, soup).unwrap();
+        reseal_current(&dir);
+        assert_typed_failure(&dir, &format!("garbage manifest {soup:?}"));
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manifest_version_other_than_2_is_rejected() {
+    let dir = saved_dir("version");
+    let manifest = gen_dir(&dir).join("manifest.xml");
+    let text = fs::read_to_string(&manifest).unwrap();
+    fs::write(&manifest, text.replace("version=\"2\"", "version=\"3\"")).unwrap();
+    reseal_current(&dir);
+    match Database::load_dir(&dir) {
+        Err(DbError::Corrupt(msg)) => assert!(msg.contains("version"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manifest_entry_pointing_at_missing_file_is_an_io_error() {
+    let dir = saved_dir("missing");
+    fs::remove_file(gen_dir(&dir).join("documents").join("memo.xml")).unwrap();
+    match Database::load_dir(&dir) {
+        Err(DbError::Io { path, .. }) => {
+            assert!(path.ends_with("memo.xml"), "error should name the missing file: {path:?}")
+        }
+        other => panic!("{other:?}"),
+    }
+    let (db, report) = Database::load_dir_report(&dir, LoadPolicy::Lenient).unwrap();
+    assert_eq!(db.len(), 1);
+    assert_eq!(report.quarantined.len(), 1);
+    assert_eq!(report.quarantined[0].name, "memo");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_document_names_are_a_typed_error() {
+    let dir = saved_dir("dup");
+    let manifest = gen_dir(&dir).join("manifest.xml");
+    let text = fs::read_to_string(&manifest).unwrap();
+    // Point a second entry named "memo" at todo's (intact) file.
+    let dup = text.replace("<document name=\"todo\"", "<document name=\"memo\"");
+    assert_ne!(dup, text, "expected a todo entry to rename");
+    fs::write(&manifest, dup).unwrap();
+    reseal_current(&dir);
+    match Database::load_dir(&dir) {
+        Err(DbError::DuplicateDocument(name)) => assert_eq!(name, "memo"),
+        other => panic!("{other:?}"),
+    }
+    // Lenient keeps the first entry and quarantines the duplicate.
+    let (db, report) = Database::load_dir_report(&dir, LoadPolicy::Lenient).unwrap();
+    assert_eq!(db.len(), 1);
+    assert_eq!(report.quarantined.len(), 1);
+    assert!(matches!(report.quarantined[0].error, DbError::DuplicateDocument(_)));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manifest_entry_missing_required_attributes_is_corrupt() {
+    let dir = saved_dir("attrs");
+    let manifest = gen_dir(&dir).join("manifest.xml");
+    let text = fs::read_to_string(&manifest).unwrap();
+    for attr in ["name=", "file=", "schema=", "sha256="] {
+        let entry_start = text.find("<document name=\"memo\"").unwrap();
+        let entry_end = entry_start + text[entry_start..].find("/>").unwrap() + 2;
+        let entry = &text[entry_start..entry_end];
+        let attr_pos = entry.find(attr).unwrap();
+        let val_end =
+            attr_pos + attr.len() + 1 + entry[attr_pos + attr.len() + 1..].find('"').unwrap() + 1;
+        let gutted = format!(
+            "{}{}{}",
+            &text[..entry_start + attr_pos],
+            &entry[val_end..],
+            &text[entry_end..]
+        );
+        fs::write(&manifest, &gutted).unwrap();
+        reseal_current(&dir);
+        match Database::load_dir(&dir) {
+            Err(DbError::Corrupt(msg)) => {
+                assert!(msg.contains(attr.trim_end_matches('=')), "{attr}: {msg}")
+            }
+            other => panic!("dropping {attr}: {other:?}"),
+        }
+        fs::write(&manifest, &text).unwrap();
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn path_traversal_in_manifest_is_rejected() {
+    let dir = saved_dir("traversal");
+    let manifest = gen_dir(&dir).join("manifest.xml");
+    let text = fs::read_to_string(&manifest).unwrap();
+    for hostile in ["../../etc/passwd", "/etc/passwd", "a\\b.xml", ".hidden", ""] {
+        let bad = text.replace("file=\"memo.xml\"", &format!("file=\"{hostile}\""));
+        assert_ne!(bad, text);
+        fs::write(&manifest, bad).unwrap();
+        reseal_current(&dir);
+        match Database::load_dir(&dir) {
+            Err(DbError::Corrupt(msg)) => assert!(msg.contains("file name"), "{msg}"),
+            other => panic!("file={hostile:?}: {other:?}"),
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -26,6 +26,11 @@ impl<'a> Cursor<'a> {
         self.offset >= self.src.len()
     }
 
+    /// Total length of the underlying input, in bytes.
+    pub(crate) fn src_len(&self) -> usize {
+        self.src.len()
+    }
+
     /// The next character, without consuming it.
     pub(crate) fn peek(&self) -> Option<char> {
         self.src[self.offset..].chars().next()

@@ -7,6 +7,7 @@
 
 use crate::error::Result;
 use crate::event::Event;
+use crate::limits::ParseLimits;
 use crate::parser::EventReader;
 use crate::qname::QName;
 use crate::writer::{WriteOptions, Writer};
@@ -161,9 +162,15 @@ impl Document {
         Document { root, base_uri: None }
     }
 
-    /// Parse a document from text.
+    /// Parse a document from text with [`ParseLimits::default`] bounds.
     pub fn parse(src: &str) -> Result<Self> {
-        let mut reader = EventReader::new(src);
+        Document::parse_with_limits(src, &ParseLimits::default())
+    }
+
+    /// Parse a document from text, enforcing explicit resource limits on
+    /// the underlying [`EventReader`].
+    pub fn parse_with_limits(src: &str, limits: &ParseLimits) -> Result<Self> {
+        let mut reader = EventReader::with_limits(src, limits.clone());
         let mut stack: Vec<Element> = Vec::new();
         let mut root: Option<Element> = None;
         loop {

@@ -57,6 +57,16 @@ pub enum ErrorKind {
     BadProcessingInstruction,
     /// `--` inside a comment, or a malformed comment.
     BadComment,
+    /// Element nesting exceeded [`crate::ParseLimits::max_depth`].
+    DepthLimitExceeded(usize),
+    /// The input is longer than [`crate::ParseLimits::max_input_bytes`].
+    InputTooLarge(usize),
+    /// One element carries more attributes than
+    /// [`crate::ParseLimits::max_attributes`].
+    AttributeLimitExceeded(usize),
+    /// The document expanded more references than
+    /// [`crate::ParseLimits::max_entity_expansions`].
+    EntityExpansionLimitExceeded(usize),
 }
 
 impl fmt::Display for ErrorKind {
@@ -87,6 +97,18 @@ impl fmt::Display for ErrorKind {
                 write!(f, "malformed processing instruction or XML declaration")
             }
             ErrorKind::BadComment => write!(f, "malformed comment"),
+            ErrorKind::DepthLimitExceeded(n) => {
+                write!(f, "element nesting exceeds the configured depth limit of {n}")
+            }
+            ErrorKind::InputTooLarge(n) => {
+                write!(f, "input exceeds the configured size limit of {n} bytes")
+            }
+            ErrorKind::AttributeLimitExceeded(n) => {
+                write!(f, "element carries more than the configured limit of {n} attributes")
+            }
+            ErrorKind::EntityExpansionLimitExceeded(n) => {
+                write!(f, "document expands more than the configured limit of {n} references")
+            }
         }
     }
 }

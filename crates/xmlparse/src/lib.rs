@@ -36,6 +36,7 @@ mod dom;
 mod error;
 mod escape;
 mod event;
+mod limits;
 mod parser;
 mod qname;
 mod writer;
@@ -44,6 +45,7 @@ pub use dom::{Attribute, Document, Element, Node};
 pub use error::{Error, ErrorKind, Position, Result};
 pub use escape::{escape_attribute, escape_text, unescape};
 pub use event::Event;
+pub use limits::ParseLimits;
 pub use parser::EventReader;
 pub use qname::{is_valid_name, QName};
 pub use writer::{WriteOptions, Writer};

@@ -1,0 +1,101 @@
+//! Hostile-input limits for the pull parser.
+//!
+//! An XML parser that accepts unbounded input is a denial-of-service
+//! surface: deeply nested start tags grow the open-element stack,
+//! attribute floods grow the per-element attribute vector, and character
+//! references cost work per expansion. [`ParseLimits`] bounds each of
+//! these; the parser reports a typed error the moment a bound is
+//! crossed, never a panic or an unbounded allocation.
+
+/// Resource bounds enforced by [`crate::EventReader`].
+///
+/// The [`Default`] limits are deliberately generous — they admit every
+/// document a well-behaved producer emits (the whole experiment suite of
+/// this repository runs far below them) while still bounding what a
+/// hostile input can make the parser do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum element nesting depth (open elements at any moment).
+    pub max_depth: usize,
+    /// Maximum input length in bytes.
+    pub max_input_bytes: usize,
+    /// Maximum number of attributes on a single element.
+    pub max_attributes: usize,
+    /// Maximum number of entity/character references expanded over the
+    /// whole document.
+    pub max_entity_expansions: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_depth: 512,
+            max_input_bytes: 256 * 1024 * 1024,
+            max_attributes: 1024,
+            max_entity_expansions: 1_000_000,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// No bounds at all — the pre-limits behavior of the parser.
+    pub fn unlimited() -> Self {
+        ParseLimits {
+            max_depth: usize::MAX,
+            max_input_bytes: usize::MAX,
+            max_attributes: usize::MAX,
+            max_entity_expansions: usize::MAX,
+        }
+    }
+
+    /// Builder-style: cap the element nesting depth.
+    pub fn with_max_depth(mut self, n: usize) -> Self {
+        self.max_depth = n;
+        self
+    }
+
+    /// Builder-style: cap the input size in bytes.
+    pub fn with_max_input_bytes(mut self, n: usize) -> Self {
+        self.max_input_bytes = n;
+        self
+    }
+
+    /// Builder-style: cap the per-element attribute count.
+    pub fn with_max_attributes(mut self, n: usize) -> Self {
+        self.max_attributes = n;
+        self
+    }
+
+    /// Builder-style: cap the total number of entity expansions.
+    pub fn with_max_entity_expansions(mut self, n: usize) -> Self {
+        self.max_entity_expansions = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_limits_are_finite() {
+        let l = ParseLimits::default();
+        assert!(l.max_depth < usize::MAX);
+        assert!(l.max_input_bytes < usize::MAX);
+        assert!(l.max_attributes < usize::MAX);
+        assert!(l.max_entity_expansions < usize::MAX);
+    }
+
+    #[test]
+    fn builders_override_each_field() {
+        let l = ParseLimits::default()
+            .with_max_depth(3)
+            .with_max_input_bytes(10)
+            .with_max_attributes(1)
+            .with_max_entity_expansions(2);
+        assert_eq!(l.max_depth, 3);
+        assert_eq!(l.max_input_bytes, 10);
+        assert_eq!(l.max_attributes, 1);
+        assert_eq!(l.max_entity_expansions, 2);
+    }
+}

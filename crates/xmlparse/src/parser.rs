@@ -4,6 +4,7 @@ use crate::cursor::Cursor;
 use crate::error::{ErrorKind, Position, Result};
 use crate::escape::{is_xml_char, resolve_entity};
 use crate::event::Event;
+use crate::limits::ParseLimits;
 use crate::qname::{is_name_char, is_name_start, QName};
 
 /// A pull parser producing [`Event`]s from an XML string.
@@ -31,18 +32,33 @@ pub struct EventReader<'a> {
     /// Whether any root element has started.
     root_seen: bool,
     prolog_done: bool,
+    limits: ParseLimits,
+    /// Entity/character references expanded so far (whole document).
+    expansions: usize,
 }
 
 impl<'a> EventReader<'a> {
-    /// Create a reader over `src`.
+    /// Create a reader over `src` with [`ParseLimits::default`] bounds.
     pub fn new(src: &'a str) -> Self {
+        EventReader::with_limits(src, ParseLimits::default())
+    }
+
+    /// Create a reader over `src` enforcing the given limits.
+    pub fn with_limits(src: &'a str, limits: ParseLimits) -> Self {
         EventReader {
             cursor: Cursor::new(src),
             open: Vec::new(),
             root_closed: false,
             root_seen: false,
             prolog_done: false,
+            limits,
+            expansions: 0,
         }
+    }
+
+    /// The limits this reader enforces.
+    pub fn limits(&self) -> &ParseLimits {
+        &self.limits
     }
 
     /// The position of the next unread character (for error reporting).
@@ -58,6 +74,12 @@ impl<'a> EventReader<'a> {
     /// Pull the next event.
     pub fn next_event(&mut self) -> Result<Event> {
         if !self.prolog_done {
+            if self.cursor.src_len() > self.limits.max_input_bytes {
+                return Err(crate::error::Error::new(
+                    ErrorKind::InputTooLarge(self.limits.max_input_bytes),
+                    Position::START,
+                ));
+            }
             self.skip_prolog()?;
             self.prolog_done = true;
         }
@@ -170,12 +192,22 @@ impl<'a> EventReader<'a> {
                         }
                         self.root_seen = true;
                     }
+                    if self.open.len() >= self.limits.max_depth {
+                        return Err(self
+                            .cursor
+                            .error(ErrorKind::DepthLimitExceeded(self.limits.max_depth)));
+                    }
                     self.open.push(name.clone());
                     return Ok(Event::StartElement { name, attributes, self_closing: false });
                 }
                 Some('/') => {
                     self.cursor.bump();
                     self.cursor.expect('>')?;
+                    if self.open.len() >= self.limits.max_depth {
+                        return Err(self
+                            .cursor
+                            .error(ErrorKind::DepthLimitExceeded(self.limits.max_depth)));
+                    }
                     if self.open.is_empty() {
                         if self.root_seen {
                             return Err(self.cursor.error(ErrorKind::MultipleRoots));
@@ -188,6 +220,11 @@ impl<'a> EventReader<'a> {
                 Some(c) if is_name_start(c) => {
                     if skipped == 0 && !attributes.is_empty() {
                         return Err(self.cursor.error(ErrorKind::UnexpectedChar(c)));
+                    }
+                    if attributes.len() >= self.limits.max_attributes {
+                        return Err(self
+                            .cursor
+                            .error(ErrorKind::AttributeLimitExceeded(self.limits.max_attributes)));
                     }
                     let (aname, avalue) = self.parse_attribute()?;
                     if attributes.iter().any(|(n, _)| *n == aname) {
@@ -241,6 +278,13 @@ impl<'a> EventReader<'a> {
 
     fn parse_reference(&mut self) -> Result<char> {
         let pos = self.cursor.position();
+        if self.expansions >= self.limits.max_entity_expansions {
+            return Err(crate::error::Error::new(
+                ErrorKind::EntityExpansionLimitExceeded(self.limits.max_entity_expansions),
+                pos,
+            ));
+        }
+        self.expansions += 1;
         self.cursor.expect('&')?;
         let name = self.cursor.take_while(|c| c != ';' && c != '<' && c != '&' && c != '>');
         if self.cursor.peek() != Some(';') {
@@ -517,5 +561,116 @@ mod tests {
         let err = events("<a>\n  &bad;</a>").unwrap_err();
         assert_eq!(err.position.line, 2);
         assert_eq!(err.position.column, 3);
+    }
+
+    fn events_limited(src: &str, limits: ParseLimits) -> Result<Vec<Event>> {
+        let mut r = EventReader::with_limits(src, limits);
+        let mut out = Vec::new();
+        loop {
+            let e = r.next_event()?;
+            let done = matches!(e, Event::Eof);
+            out.push(e);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let src = "<a><a><a><a></a></a></a></a>";
+        assert!(events_limited(src, ParseLimits::default().with_max_depth(4)).is_ok());
+        let err = events_limited(src, ParseLimits::default().with_max_depth(3)).unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::DepthLimitExceeded(3)));
+    }
+
+    #[test]
+    fn input_size_limit_is_enforced() {
+        let src = "<a>0123456789</a>";
+        assert!(events_limited(src, ParseLimits::default().with_max_input_bytes(100)).is_ok());
+        let err = events_limited(src, ParseLimits::default().with_max_input_bytes(10)).unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::InputTooLarge(10)));
+    }
+
+    #[test]
+    fn attribute_count_limit_is_enforced() {
+        let src = r#"<a p="1" q="2" r="3"/>"#;
+        assert!(events_limited(src, ParseLimits::default().with_max_attributes(3)).is_ok());
+        let err = events_limited(src, ParseLimits::default().with_max_attributes(2)).unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::AttributeLimitExceeded(2)));
+    }
+
+    #[test]
+    fn entity_expansion_limit_is_enforced() {
+        let src = "<a>&amp;&amp;&amp;</a>";
+        assert!(events_limited(src, ParseLimits::default().with_max_entity_expansions(3)).is_ok());
+        let err =
+            events_limited(src, ParseLimits::default().with_max_entity_expansions(2)).unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::EntityExpansionLimitExceeded(2)));
+    }
+
+    #[test]
+    fn default_limits_admit_ordinary_documents() {
+        let mut deep = String::new();
+        for _ in 0..100 {
+            deep.push_str("<s>");
+        }
+        deep.push('x');
+        for _ in 0..100 {
+            deep.push_str("</s>");
+        }
+        assert!(events(&deep).is_ok());
+    }
+
+    /// Every error the reader produces must carry a real position: limit
+    /// errors included, the position names the line/column where the
+    /// bound was crossed.
+    #[test]
+    fn every_error_kind_carries_a_position() {
+        let failures: Vec<(crate::error::Error, &str)> = vec![
+            (events("<a><b></b>").unwrap_err(), "unclosed element"),
+            (events("<a></b>").unwrap_err(), "mismatched tag"),
+            (events("</a>").unwrap_err(), "stray close"),
+            (events("<a>&nope;</a>").unwrap_err(), "unknown entity"),
+            (events("<a>&#0;</a>").unwrap_err(), "invalid char ref"),
+            (events(r#"<a x="1" x="2"/>"#).unwrap_err(), "duplicate attribute"),
+            (events("<1a/>").unwrap_err(), "invalid name"),
+            (events("   ").unwrap_err(), "no root"),
+            (events("<a/><b/>").unwrap_err(), "multiple roots"),
+            (events("<a><!-- x -- y --></a>").unwrap_err(), "bad comment"),
+            (
+                events_limited("<a><a/></a>", ParseLimits::default().with_max_depth(1))
+                    .unwrap_err(),
+                "depth limit",
+            ),
+            (
+                events_limited("<a/>", ParseLimits::default().with_max_input_bytes(1)).unwrap_err(),
+                "input limit",
+            ),
+            (
+                events_limited(
+                    r#"<a p="1" q="2"/>"#,
+                    ParseLimits::default().with_max_attributes(1),
+                )
+                .unwrap_err(),
+                "attribute limit",
+            ),
+            (
+                events_limited(
+                    "<a>&amp;&amp;</a>",
+                    ParseLimits::default().with_max_entity_expansions(1),
+                )
+                .unwrap_err(),
+                "entity limit",
+            ),
+        ];
+        for (err, what) in failures {
+            assert!(err.position.line >= 1 && err.position.column >= 1, "{what}: {err:?}");
+            let shown = err.to_string();
+            assert!(
+                shown.contains(&format!("at {}:{}", err.position.line, err.position.column)),
+                "{what}: display {shown:?} does not name the position"
+            );
+        }
     }
 }

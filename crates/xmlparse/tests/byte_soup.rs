@@ -1,0 +1,91 @@
+//! Hostile-input property tests: `Document::parse` under the default
+//! [`ParseLimits`] must return `Ok` or a typed `Err` on *any* byte
+//! sequence — never panic, never hang, never blow the stack.
+
+use proptest::prelude::*;
+use xmlparse::{Document, ParseLimits};
+
+/// Structured almost-XML fragments that steer the generator toward the
+/// parser's interesting states (half-open tags, bad entities, nesting).
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("<".to_string()),
+        Just(">".to_string()),
+        Just("</".to_string()),
+        Just("/>".to_string()),
+        Just("<a".to_string()),
+        Just("<a>".to_string()),
+        Just("</a>".to_string()),
+        Just("<a b=".to_string()),
+        Just("='".to_string()),
+        Just("=\"".to_string()),
+        Just("&".to_string()),
+        Just("&#".to_string()),
+        Just("&#x".to_string()),
+        Just("&#xD800;".to_string()),
+        Just("&#1114112;".to_string()),
+        Just("&lt".to_string()),
+        Just("<!--".to_string()),
+        Just("-->".to_string()),
+        Just("<![CDATA[".to_string()),
+        Just("]]>".to_string()),
+        Just("<?".to_string()),
+        Just("?>".to_string()),
+        Just("<?xml".to_string()),
+        Just("<!DOCTYPE".to_string()),
+        Just("\u{0}".to_string()),
+        Just("\u{FEFF}".to_string()),
+        Just("x".to_string()),
+        Just(" ".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Raw byte soup, lossily decoded: no input panics the parser.
+    #[test]
+    fn raw_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = Document::parse(&input);
+    }
+
+    /// Structured almost-XML token soup: no combination panics.
+    #[test]
+    fn token_soup_never_panics(
+        parts in proptest::collection::vec(fragment(), 0..48)
+    ) {
+        let input = parts.concat();
+        if let Err(e) = Document::parse(&input) {
+            // Errors must carry a real position and render it.
+            let pos = e.position;
+            let shown = e.to_string();
+            let at = format!("{}:{}", pos.line, pos.column);
+            let named = shown.contains(&at);
+            prop_assert!(pos.line >= 1 && pos.column >= 1);
+            prop_assert!(named, "error {} does not name its position", shown);
+        }
+    }
+
+    /// Deep nesting hits the depth limit as a typed error, not a stack
+    /// overflow — even when the nesting dwarfs the limit.
+    #[test]
+    fn pathological_nesting_is_bounded(extra in 0usize..2048) {
+        let depth = 600 + extra; // always past the default 512
+        let mut input = String::new();
+        for _ in 0..depth {
+            input.push_str("<d>");
+        }
+        let err = Document::parse(&input).unwrap_err();
+        prop_assert!(err.to_string().contains("depth"), "{err}");
+    }
+}
+
+/// The limit knobs compose: a tighter limit fires first.
+#[test]
+fn tightened_limits_take_precedence() {
+    let xml = "<a><b><c>deep</c></b></a>";
+    assert!(Document::parse(xml).is_ok());
+    let tight = ParseLimits::default().with_max_depth(2);
+    assert!(Document::parse_with_limits(xml, &tight).is_err());
+}

@@ -1,0 +1,107 @@
+//! Deterministic fuzz smoke test: 10,000 mutated corpus inputs pushed
+//! through `Document::parse` under the default [`ParseLimits`].
+//!
+//! Ignored by default (it takes a few seconds); `scripts/fuzz_smoke.sh`
+//! runs it explicitly. Everything is seeded, so a failing iteration
+//! number reproduces exactly.
+
+use xmlparse::Document;
+
+/// Seed corpus: small well-formed documents plus known tricky shapes.
+const CORPUS: &[&str] = &[
+    "<a/>",
+    "<a b=\"c\">text</a>",
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?><root><child/></root>",
+    "<a xmlns:p=\"urn:x\"><p:b p:attr=\"v\">&amp;&lt;&gt;&quot;&apos;</p:b></a>",
+    "<r><!-- comment --><![CDATA[raw <>&]]><?pi data?></r>",
+    "<a><b><c><d><e>deep</e></d></c></b></a>",
+    "<x>&#65;&#x41;\u{e9}\u{1f980}</x>",
+    "<doc a1=\"1\" a2=\"2\" a3=\"3\" a4=\"4\" a5=\"5\"/>",
+    "<m>mixed <i>inline</i> tail</m>",
+    "<s>   \t\n  whitespace   </s>",
+];
+
+/// splitmix64 — deterministic, no external RNG crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Apply one random mutation to `bytes`.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut Rng) {
+    if bytes.is_empty() {
+        bytes.push(rng.next() as u8);
+        return;
+    }
+    match rng.below(6) {
+        // Flip a random bit.
+        0 => {
+            let i = rng.below(bytes.len());
+            bytes[i] ^= 1 << rng.below(8);
+        }
+        // Overwrite with a random byte.
+        1 => {
+            let i = rng.below(bytes.len());
+            bytes[i] = rng.next() as u8;
+        }
+        // Delete a byte.
+        2 => {
+            let i = rng.below(bytes.len());
+            bytes.remove(i);
+        }
+        // Insert a random byte.
+        3 => {
+            let i = rng.below(bytes.len() + 1);
+            bytes.insert(i, rng.next() as u8);
+        }
+        // Duplicate a random slice (grows structure-ish repetition).
+        4 => {
+            let start = rng.below(bytes.len());
+            let len = 1 + rng.below((bytes.len() - start).min(16));
+            let slice: Vec<u8> = bytes[start..start + len].to_vec();
+            let at = rng.below(bytes.len() + 1);
+            bytes.splice(at..at, slice);
+        }
+        // Swap in a metacharacter where it hurts.
+        _ => {
+            let i = rng.below(bytes.len());
+            bytes[i] = *[b'<', b'>', b'&', b'"', b'\'', b'/', b'=', 0u8].get(rng.below(8)).unwrap();
+        }
+    }
+}
+
+#[test]
+#[ignore = "fuzz smoke (run via scripts/fuzz_smoke.sh)"]
+fn ten_thousand_mutated_inputs_never_panic() {
+    let mut rng = Rng(0x5eed_cafe_f00d_beef);
+    let mut parsed_ok = 0u32;
+    for iteration in 0..10_000u32 {
+        let mut bytes = CORPUS[rng.below(CORPUS.len())].as_bytes().to_vec();
+        for _ in 0..=rng.below(8) {
+            mutate(&mut bytes, &mut rng);
+        }
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        let outcome = std::panic::catch_unwind(|| Document::parse(&input).is_ok());
+        match outcome {
+            Ok(ok) => parsed_ok += u32::from(ok),
+            Err(_) => panic!(
+                "iteration {iteration}: parser panicked on {:?}",
+                String::from_utf8_lossy(&bytes)
+            ),
+        }
+    }
+    // Sanity: the mutator is not so destructive that nothing parses —
+    // a corpus this close to well-formed should keep some survivors.
+    assert!(parsed_ok > 100, "only {parsed_ok}/10000 inputs parsed; mutator too hot");
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Fuzz smoke: 10,000 deterministically mutated corpus inputs through
+# `Document::parse` under the default ParseLimits. Seeded — a failing
+# iteration number reproduces exactly. Not part of the tier-1 gate
+# (run it before touching the parser or the limits).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo test -q -p xmlparse --test fuzz_smoke -- --ignored --nocapture
+echo "fuzz smoke: OK (10k mutated inputs, no panics)"

@@ -109,8 +109,15 @@ fn deeply_nested_documents_parse() {
     for _ in 0..depth {
         src.push_str("</d>");
     }
-    let doc = Document::parse(&src).unwrap();
+    // The parser is iterative, so depth is bounded only by the
+    // configured limit — raise it and the full 2000 levels parse.
+    let limits = xsdb::xmlparse::ParseLimits::default().with_max_depth(depth + 1);
+    let doc = Document::parse_with_limits(&src, &limits).unwrap();
     assert_eq!(doc.root().text_content(), "x");
+    // Under the hostile-input default (512) the same document is a
+    // typed error, not a crash.
+    let err = Document::parse(&src).unwrap_err();
+    assert!(err.to_string().contains("depth limit"), "{err}");
 }
 
 #[test]
