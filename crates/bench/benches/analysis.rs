@@ -1,0 +1,60 @@
+//! E10 — static analysis cost: the full `xsanalyze` pipeline, the UPA
+//! pass alone, and the per-query XPath pre-flight, across schema sizes.
+//! Guards against the strict-analysis path becoming expensive enough to
+//! matter next to document load.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsdb::xsanalyze;
+use xsdb::xsmodel::{
+    ComplexTypeDefinition, DocumentSchema, ElementDeclaration, GroupDefinition, RepetitionFactor,
+};
+
+/// Chain schema with `n` named complex types (clean: zero diagnostics).
+fn chain_schema(n: usize) -> DocumentSchema {
+    let mut schema = DocumentSchema::new(ElementDeclaration::new("root", "T0"));
+    for i in 0..n {
+        let mut parts = vec![
+            ElementDeclaration::new("id", "xs:string"),
+            ElementDeclaration::new("name", "xs:string"),
+        ];
+        if i + 1 < n {
+            parts.push(
+                ElementDeclaration::new("next", format!("T{}", i + 1))
+                    .with_repetition(RepetitionFactor::OPTIONAL),
+            );
+        }
+        schema = schema.with_complex_type(
+            format!("T{i}"),
+            ComplexTypeDefinition::ComplexContent {
+                mixed: false,
+                content: GroupDefinition::sequence(parts),
+                attributes: Default::default(),
+            },
+        );
+    }
+    schema
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E10_analysis_cost");
+    for &n in &[10usize, 100, 500] {
+        let schema = chain_schema(n);
+        assert!(xsanalyze::analyze_schema(&schema).is_empty());
+        g.bench_with_input(BenchmarkId::new("analyze_schema", n), &schema, |b, s| {
+            b.iter(|| black_box(xsanalyze::analyze_schema(s)))
+        });
+        g.bench_with_input(BenchmarkId::new("check_upa", n), &schema, |b, s| {
+            b.iter(|| black_box(xsanalyze::check_upa(s)))
+        });
+        let path = xsdb::xpath::parse("/root/next/next/id").unwrap();
+        g.bench_with_input(BenchmarkId::new("xpath_preflight", n), &schema, |b, s| {
+            b.iter(|| black_box(xsanalyze::analyze_xpath(s, &path)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! The experiment driver: regenerates every table recorded in
-//! EXPERIMENTS.md (E1–E8) and prints them as aligned rows.
+//! EXPERIMENTS.md (E1–E10) and prints them as aligned rows.
 //!
 //! Run with `cargo run -p bench --release --bin experiments`
 //! (optionally pass experiment ids, e.g. `e3 e6`, to run a subset).
@@ -43,6 +43,9 @@ fn main() {
     }
     if want("e9") {
         e9_block_capacity();
+    }
+    if want("e10") {
+        e10_analysis_cost();
     }
 }
 
@@ -563,6 +566,69 @@ fn e9_block_capacity() {
             build_s * 1e3,
             scan_s * 1e6,
             insert_total / runs as f64 * 1e3
+        );
+    }
+}
+
+/// A deterministic, satisfiable, fully-reachable chain schema with `n`
+/// named complex types: `T0 → T1 → … → T(n-1)`, each with two leaf
+/// children and an optional `next` link.
+fn e10_schema(n: usize) -> xsdb::DocumentSchema {
+    use xsdb::xsmodel::{
+        ComplexTypeDefinition, ElementDeclaration, GroupDefinition, RepetitionFactor,
+    };
+    let mut schema = xsdb::DocumentSchema::new(ElementDeclaration::new("root", "T0"));
+    for i in 0..n {
+        let mut parts = vec![
+            ElementDeclaration::new("id", "xs:string"),
+            ElementDeclaration::new("name", "xs:string"),
+        ];
+        if i + 1 < n {
+            parts.push(
+                ElementDeclaration::new("next", format!("T{}", i + 1))
+                    .with_repetition(RepetitionFactor::OPTIONAL),
+            );
+        }
+        schema = schema.with_complex_type(
+            format!("T{i}"),
+            ComplexTypeDefinition::ComplexContent {
+                mixed: false,
+                content: GroupDefinition::sequence(parts),
+                attributes: Default::default(),
+            },
+        );
+    }
+    schema
+}
+
+fn e10_analysis_cost() {
+    use xsdb::xsanalyze;
+    println!("\n== E10: static analysis cost (xsanalyze, all passes) ==");
+    println!(
+        "{:<7} {:>7} {:>12} {:>10} {:>18}",
+        "types", "diags", "analyze ms", "upa ms", "xpath preflight µs"
+    );
+    for &n in &[10usize, 100, 500] {
+        let schema = e10_schema(n);
+        let diags = xsanalyze::analyze_schema(&schema);
+        assert!(diags.is_empty(), "E10 schema must be clean: {diags:?}");
+        let analyze_s = per_run(3, || {
+            std::hint::black_box(xsanalyze::analyze_schema(&schema));
+        });
+        let upa_s = per_run(3, || {
+            std::hint::black_box(xsanalyze::check_upa(&schema));
+        });
+        let path = parse("/root/next/next/id").expect("static expression");
+        let preflight_s = per_run(3, || {
+            std::hint::black_box(xsanalyze::analyze_xpath(&schema, &path));
+        });
+        println!(
+            "{:<7} {:>7} {:>12.3} {:>10.3} {:>18.2}",
+            n,
+            diags.len(),
+            analyze_s * 1e3,
+            upa_s * 1e3,
+            preflight_s * 1e6
         );
     }
 }

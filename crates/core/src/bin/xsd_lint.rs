@@ -1,0 +1,125 @@
+//! `xsd-lint` — static diagnostics for XML Schemas and queries.
+//!
+//! ```text
+//! xsd-lint [--json|--codes] [--xpath EXPR]... [--xquery EXPR]... <schema.xsd>
+//! ```
+//!
+//! Runs every `xsanalyze` pass over the schema (well-formedness, UPA,
+//! satisfiability, reachability) plus static path typing for each
+//! `--xpath` / `--xquery` expression, and prints the diagnostics:
+//!
+//! * default — one human-readable line per diagnostic;
+//! * `--json` — a machine-readable JSON array;
+//! * `--codes` — one diagnostic code per line (for golden-file diffing).
+//!
+//! A schema that fails to parse is itself reported as diagnostic
+//! `XSA000` (error). Exit code: `0` when clean, `1` when the worst
+//! finding is a warning, `2` when any error was found.
+
+use std::process::ExitCode;
+
+use xsdb::xsanalyze::{self, Diagnostic, Severity};
+
+struct Args {
+    schema_path: String,
+    json: bool,
+    codes: bool,
+    xpaths: Vec<String>,
+    xqueries: Vec<String>,
+}
+
+const USAGE: &str =
+    "usage: xsd-lint [--json|--codes] [--xpath EXPR]... [--xquery EXPR]... <schema.xsd>";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        schema_path: String::new(),
+        json: false,
+        codes: false,
+        xpaths: Vec::new(),
+        xqueries: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--codes" => args.codes = true,
+            "--xpath" => args.xpaths.push(it.next().ok_or("--xpath needs an expression")?.clone()),
+            "--xquery" => {
+                args.xqueries.push(it.next().ok_or("--xquery needs an expression")?.clone())
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}\n{USAGE}")),
+            path if args.schema_path.is_empty() => args.schema_path = path.to_string(),
+            extra => return Err(format!("unexpected argument {extra:?}\n{USAGE}")),
+        }
+    }
+    if args.schema_path.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+fn lint(args: &Args) -> Result<Vec<Diagnostic>, String> {
+    let text = std::fs::read_to_string(&args.schema_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.schema_path))?;
+    let schema = match xsdb::parse_schema_text(&text) {
+        Ok(schema) => schema,
+        // A schema that does not even parse is a finding, not a tool
+        // failure: report it on the shared diagnostic surface.
+        Err(e) => {
+            return Ok(vec![Diagnostic::error(
+                "XSA000",
+                format!("schema document {:?}", args.schema_path),
+                format!("schema failed to parse: {e}"),
+            )])
+        }
+    };
+    let mut diags = xsanalyze::analyze_schema(&schema);
+    for expr in &args.xpaths {
+        let path = xsdb::xpath::parse(expr).map_err(|e| format!("--xpath {expr:?}: {e}"))?;
+        diags.extend(xsanalyze::analyze_xpath(&schema, &path));
+    }
+    for expr in &args.xqueries {
+        let q = xsdb::xquery::parse_query(expr).map_err(|e| format!("--xquery {expr:?}: {e}"))?;
+        diags.extend(xsanalyze::analyze_xquery(&schema, &q));
+    }
+    Ok(diags)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = match lint(&args) {
+        Ok(diags) => diags,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.json {
+        println!("{}", xsanalyze::render_json(&diags));
+    } else if args.codes {
+        for d in &diags {
+            println!("{}", d.code);
+        }
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            eprintln!("clean: no diagnostics");
+        }
+    }
+    match xsanalyze::max_severity(&diags) {
+        None => ExitCode::SUCCESS,
+        Some(Severity::Warning) => ExitCode::from(1),
+        Some(Severity::Error) => ExitCode::from(2),
+    }
+}

@@ -57,6 +57,12 @@ pub struct Database {
     /// well-behaved producers but bounds depth, input size, attribute
     /// floods, and entity expansion.
     limits: ParseLimits,
+    /// When on, registration runs the `xsanalyze` passes and refuses any
+    /// schema carrying an error-severity diagnostic (ambiguous content
+    /// model, unsatisfiable type, …), and `query`/`xquery` pre-flight the
+    /// expression against the document's schema, refusing statically
+    /// empty paths before evaluation.
+    strict_analysis: bool,
     /// Compiled content models, shared by every load/validate this
     /// database performs — including the worker threads of
     /// [`Database::validate_many`] / [`Database::load_many`]. Each
@@ -89,6 +95,26 @@ impl Database {
         &self.limits
     }
 
+    /// An empty database with strict static analysis switched on: schema
+    /// registration rejects error-severity diagnostics
+    /// ([`DbError::SchemaRejected`]) and queries are pre-flighted against
+    /// the schema ([`DbError::QueryStaticallyEmpty`]).
+    pub fn with_strict_analysis() -> Self {
+        Database { strict_analysis: true, ..Database::default() }
+    }
+
+    /// Switch strict static analysis on or off. Already-registered
+    /// schemas are not re-checked; the flag governs future registrations
+    /// and queries.
+    pub fn set_strict_analysis(&mut self, on: bool) {
+        self.strict_analysis = on;
+    }
+
+    /// Whether strict static analysis is on.
+    pub fn strict_analysis(&self) -> bool {
+        self.strict_analysis
+    }
+
     // --------------------------------------------------------- schemas
 
     /// Register a schema from XSD text. The schema is parsed (§2–3
@@ -107,6 +133,12 @@ impl Database {
         let issues = xsmodel::check(&schema);
         if !issues.is_empty() {
             return Err(DbError::SchemaNotWellFormed(issues));
+        }
+        if self.strict_analysis {
+            let diags = xsanalyze::analyze_schema(&schema);
+            if xsanalyze::max_severity(&diags) == Some(xsanalyze::Severity::Error) {
+                return Err(DbError::SchemaRejected(diags));
+            }
         }
         self.schemas.insert(name.to_string(), Arc::new(schema));
         Ok(())
@@ -451,6 +483,7 @@ impl Database {
             .get(doc_name)
             .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
         let path = xpath::parse(xpath)?;
+        self.preflight_xpath(doc, &path)?;
         Ok(match &doc.storage {
             Some(storage) => {
                 eval_guided(storage, &path).into_iter().map(|p| storage.string_value(p)).collect()
@@ -474,6 +507,14 @@ impl Database {
             .get(doc_name)
             .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
         let q = xquery::parse_query(query)?;
+        if self.strict_analysis {
+            if let Some(schema) = self.schemas.get(&doc.schema_name) {
+                let diags = xsanalyze::analyze_xquery(schema, &q);
+                if !diags.is_empty() {
+                    return Err(DbError::QueryStaticallyEmpty(diags));
+                }
+            }
+        }
         let nodes = match &doc.storage {
             Some(storage) => xquery::evaluate(&storage, &q)?,
             None => {
@@ -492,8 +533,25 @@ impl Database {
             .get(doc_name)
             .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
         let path = xpath::parse(xpath)?;
+        self.preflight_xpath(doc, &path)?;
         let tree = XdmTree { store: &doc.loaded.store, doc: doc.loaded.doc };
         Ok(eval_naive(&tree, &path))
+    }
+
+    /// Strict-mode pre-flight: refuse an XPath any step of which is
+    /// statically empty against the document's schema. A no-op unless
+    /// [`Database::set_strict_analysis`] is on.
+    fn preflight_xpath(&self, doc: &StoredDocument, path: &xpath::Path) -> Result<(), DbError> {
+        if !self.strict_analysis {
+            return Ok(());
+        }
+        if let Some(schema) = self.schemas.get(&doc.schema_name) {
+            let diags = xsanalyze::analyze_xpath(schema, path);
+            if !diags.is_empty() {
+                return Err(DbError::QueryStaticallyEmpty(diags));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -617,6 +675,89 @@ mod tests {
             Err(DbError::DuplicateSchema(_))
         ));
         assert!(matches!(db.insert("store1", "books", DOC), Err(DbError::DuplicateDocument(_))));
+    }
+
+    /// Well-formed (distinct names per group level) but violates UPA:
+    /// the word "A" is matched by two competing declarations.
+    const AMBIGUOUS_SCHEMA: &str = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="doc" type="T"/>
+  <xsd:complexType name="T">
+    <xsd:choice>
+      <xsd:sequence>
+        <xsd:element name="A" type="xsd:string"/>
+        <xsd:element name="B" type="xsd:string"/>
+      </xsd:sequence>
+      <xsd:sequence>
+        <xsd:element name="A" type="xsd:string"/>
+        <xsd:element name="C" type="xsd:string"/>
+      </xsd:sequence>
+    </xsd:choice>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+    #[test]
+    fn strict_analysis_rejects_ambiguous_schema() {
+        let mut lax = Database::new();
+        lax.register_schema_text("amb", AMBIGUOUS_SCHEMA).unwrap();
+
+        let mut strict = Database::with_strict_analysis();
+        let err = strict.register_schema_text("amb", AMBIGUOUS_SCHEMA).unwrap_err();
+        match err {
+            DbError::SchemaRejected(diags) => {
+                assert!(diags.iter().any(|d| d.code == "XSA101"), "{diags:?}");
+            }
+            other => panic!("expected SchemaRejected, got {other:?}"),
+        }
+        assert!(strict.schema("amb").is_none());
+    }
+
+    #[test]
+    fn strict_analysis_accepts_clean_schema_and_warnings() {
+        let mut db = Database::with_strict_analysis();
+        db.register_schema_text("books", SCHEMA).unwrap();
+        // Warnings (dead declarations) do not block registration.
+        db.register_schema_text(
+            "warn",
+            r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="doc" type="xsd:string"/>
+  <xsd:complexType name="Dead">
+    <xsd:sequence><xsd:element name="x" type="xsd:string"/></xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn strict_analysis_preflights_queries() {
+        let mut db = Database::with_strict_analysis();
+        db.register_schema_text("books", SCHEMA).unwrap();
+        db.insert("store1", "books", DOC).unwrap();
+
+        // A path the schema admits evaluates normally.
+        assert_eq!(db.query("store1", "/BookStore/Book/Title").unwrap().len(), 2);
+        // A statically-empty step is refused before evaluation.
+        let err = db.query("store1", "/BookStore/Book/Isbn").unwrap_err();
+        match err {
+            DbError::QueryStaticallyEmpty(diags) => {
+                assert!(diags.iter().all(|d| d.code == "XSA401"), "{diags:?}");
+            }
+            other => panic!("expected QueryStaticallyEmpty, got {other:?}"),
+        }
+        assert!(matches!(
+            db.query_nodes("store1", "/BookStore/Book/Isbn"),
+            Err(DbError::QueryStaticallyEmpty(_))
+        ));
+        // Same pre-flight for FLWOR queries.
+        let err = db
+            .xquery("store1", "for $b in /BookStore/Book where $b/Isbn = '1' return $b/Title")
+            .unwrap_err();
+        assert!(matches!(err, DbError::QueryStaticallyEmpty(_)));
+        // Without strict analysis the same query evaluates (to nothing).
+        db.set_strict_analysis(false);
+        assert!(db.query("store1", "/BookStore/Book/Isbn").unwrap().is_empty());
     }
 
     #[test]

@@ -16,6 +16,13 @@ pub enum DbError {
     Schema(xsmodel::XsdError),
     /// The schema parsed but is not well-formed (§2–3 requirements).
     SchemaNotWellFormed(Vec<SchemaIssue>),
+    /// Strict analysis rejected the schema: at least one error-severity
+    /// diagnostic (ambiguous, unsatisfiable, …). All diagnostics are
+    /// carried, warnings included.
+    SchemaRejected(Vec<xsanalyze::Diagnostic>),
+    /// Strict analysis proved the query statically empty: some step can
+    /// select nothing in any document valid against the schema.
+    QueryStaticallyEmpty(Vec<xsanalyze::Diagnostic>),
     /// A schema name is already registered.
     DuplicateSchema(String),
     /// No schema registered under this name.
@@ -70,6 +77,28 @@ impl fmt::Display for DbError {
                         write!(f, "; ")?;
                     }
                     issue.fmt(f)?;
+                }
+                Ok(())
+            }
+            DbError::SchemaRejected(diags) => {
+                let errors =
+                    diags.iter().filter(|d| d.severity == xsanalyze::Severity::Error).count();
+                write!(f, "strict analysis rejected the schema ({errors} errors): ")?;
+                for (i, d) in diags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    d.fmt(f)?;
+                }
+                Ok(())
+            }
+            DbError::QueryStaticallyEmpty(diags) => {
+                write!(f, "query is statically empty against the schema: ")?;
+                for (i, d) in diags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    d.fmt(f)?;
                 }
                 Ok(())
             }

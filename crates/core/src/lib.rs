@@ -112,6 +112,7 @@ pub use xdm;
 pub use xmlparse;
 pub use xpath;
 pub use xquery;
+pub use xsanalyze;
 pub use xsmodel;
 pub use xstypes;
 

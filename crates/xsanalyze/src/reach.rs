@@ -1,0 +1,211 @@
+//! Pass 3: reachability — declarations no valid document can ever use.
+//!
+//! The paper's §3 document schema is one global element declaration plus
+//! a set of named type definitions; a named type that is not reachable
+//! from the global element (transitively, through element declarations,
+//! attribute declarations, simple-content bases, and simple-type
+//! derivation chains) is dead weight: no instance of the schema will
+//! ever validate against it.
+
+use std::collections::BTreeSet;
+
+use xsmodel::{ComplexTypeDefinition, DocumentSchema, Type};
+use xstypes::{Builtin, SimpleType, Variety};
+
+use crate::diag::Diagnostic;
+
+/// Flag unreachable named complex types (`XSA301`) and unused named
+/// non-builtin simple types (`XSA302`). Both are warnings: the schema
+/// still works, it just carries dead declarations.
+pub fn check_reachability(schema: &DocumentSchema) -> Vec<Diagnostic> {
+    let mut used_complex: BTreeSet<&str> = BTreeSet::new();
+    let mut used_simple: BTreeSet<String> = BTreeSet::new();
+
+    visit_type(schema, &schema.root.ty, &mut used_complex, &mut used_simple);
+
+    let mut out = Vec::new();
+    for name in schema.complex_types.keys() {
+        if !used_complex.contains(name.as_str()) {
+            out.push(Diagnostic::warning(
+                "XSA301",
+                format!("complexType {name:?}"),
+                format!("complexType {name:?} is not reachable from the global element"),
+            ));
+        }
+    }
+    let mut simple: Vec<&str> = schema
+        .simple_types
+        .iter()
+        .filter(|(name, _)| Builtin::by_name(name).is_none())
+        .map(|(name, _)| name)
+        .collect();
+    simple.sort_unstable();
+    for name in simple {
+        if !used_simple.contains(name) {
+            out.push(Diagnostic::warning(
+                "XSA302",
+                format!("simpleType {name:?}"),
+                format!("simpleType {name:?} is never used by a reachable declaration"),
+            ));
+        }
+    }
+    out
+}
+
+fn visit_type<'a>(
+    schema: &'a DocumentSchema,
+    ty: &'a Type,
+    used_complex: &mut BTreeSet<&'a str>,
+    used_simple: &mut BTreeSet<String>,
+) {
+    match ty {
+        Type::Named(name) => {
+            if let Some(def) = schema.complex_types.get(name) {
+                if used_complex.insert(name) {
+                    visit_def(schema, def, used_complex, used_simple);
+                }
+            } else {
+                mark_simple(schema, name, used_simple);
+            }
+        }
+        Type::AnonymousComplex(def) => visit_def(schema, def, used_complex, used_simple),
+        Type::AnonymousSimple(st) => mark_simple_chain(st, used_simple),
+    }
+}
+
+fn visit_def<'a>(
+    schema: &'a DocumentSchema,
+    def: &'a ComplexTypeDefinition,
+    used_complex: &mut BTreeSet<&'a str>,
+    used_simple: &mut BTreeSet<String>,
+) {
+    for type_name in def.attributes().values() {
+        mark_simple(schema, type_name, used_simple);
+    }
+    match def {
+        ComplexTypeDefinition::SimpleContent { base, .. } => {
+            mark_simple(schema, base, used_simple);
+        }
+        ComplexTypeDefinition::ComplexContent { content, .. } => {
+            for decl in content.element_declarations() {
+                visit_type(schema, &decl.ty, used_complex, used_simple);
+            }
+        }
+    }
+}
+
+/// Mark a simple type (and the named types its derivation chain
+/// references) as used.
+fn mark_simple(schema: &DocumentSchema, name: &str, used_simple: &mut BTreeSet<String>) {
+    if let Some(ty) = schema.simple_types.get(name) {
+        used_simple.insert(name.to_string());
+        mark_simple_chain(&ty, used_simple);
+    }
+}
+
+fn mark_simple_chain(ty: &SimpleType, used_simple: &mut BTreeSet<String>) {
+    if let Some(name) = &ty.name {
+        used_simple.insert(name.clone());
+    }
+    // Arc-built simple types form a DAG, so the walk always terminates.
+    match &ty.variety {
+        Variety::Builtin(_) => {}
+        Variety::Restriction { base, .. } => mark_simple_chain(base, used_simple),
+        Variety::List { item, .. } => mark_simple_chain(item, used_simple),
+        Variety::Union { members } => {
+            for m in members {
+                mark_simple_chain(m, used_simple);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsmodel::{ElementDeclaration, GroupDefinition};
+
+    fn complex(content: GroupDefinition) -> ComplexTypeDefinition {
+        ComplexTypeDefinition::ComplexContent {
+            mixed: false,
+            content,
+            attributes: Default::default(),
+        }
+    }
+
+    #[test]
+    fn unreferenced_complex_type_is_dead() {
+        let schema = DocumentSchema::new(ElementDeclaration::new("root", "Used"))
+            .with_complex_type(
+                "Used",
+                complex(GroupDefinition::sequence(vec![ElementDeclaration::new(
+                    "leaf",
+                    "xs:string",
+                )])),
+            )
+            .with_complex_type("Dead", ComplexTypeDefinition::empty());
+        let diags = check_reachability(&schema);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "XSA301");
+        assert_eq!(diags[0].path, "complexType \"Dead\"");
+    }
+
+    #[test]
+    fn recursive_reachable_types_are_not_dead() {
+        let schema = DocumentSchema::new(ElementDeclaration::new("root", "A")).with_complex_type(
+            "A",
+            complex(GroupDefinition::choice(vec![
+                ElementDeclaration::new("again", "A"),
+                ElementDeclaration::new("leaf", "xs:string"),
+            ])),
+        );
+        assert!(check_reachability(&schema).is_empty());
+    }
+
+    #[test]
+    fn simple_type_used_via_attribute_is_live() {
+        let mut attributes = xsmodel::AttributeDeclarations::new();
+        attributes.insert("kind".into(), "Kind".into());
+        let mut schema = DocumentSchema::new(ElementDeclaration::new("root", "T"))
+            .with_complex_type(
+                "T",
+                ComplexTypeDefinition::ComplexContent {
+                    mixed: false,
+                    content: GroupDefinition::empty(),
+                    attributes,
+                },
+            );
+        let kind = SimpleType::restriction(
+            Some("Kind".into()),
+            SimpleType::builtin(Builtin::Token),
+            vec![],
+        );
+        let orphan = SimpleType::restriction(
+            Some("Orphan".into()),
+            SimpleType::builtin(Builtin::Token),
+            vec![],
+        );
+        assert!(schema.simple_types.register("Kind", kind));
+        assert!(schema.simple_types.register("Orphan", orphan));
+        let diags = check_reachability(&schema);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "XSA302");
+        assert_eq!(diags[0].path, "simpleType \"Orphan\"");
+    }
+
+    #[test]
+    fn derivation_chain_keeps_base_types_live() {
+        // root uses Derived; Derived restricts Base → Base is live too.
+        let base = SimpleType::restriction(
+            Some("Base".into()),
+            SimpleType::builtin(Builtin::Token),
+            vec![],
+        );
+        let derived =
+            SimpleType::restriction(Some("Derived".into()), std::sync::Arc::clone(&base), vec![]);
+        let mut schema = DocumentSchema::new(ElementDeclaration::new("root", "Derived"));
+        assert!(schema.simple_types.register("Base", base));
+        assert!(schema.simple_types.register("Derived", derived));
+        assert!(check_reachability(&schema).is_empty());
+    }
+}

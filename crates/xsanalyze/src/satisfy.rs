@@ -1,0 +1,226 @@
+//! Pass 2: satisfiability — types that admit no instance at all.
+//!
+//! Two sources of emptiness:
+//!
+//! * **Content models** (paper §2/§6.2): a required choice with no
+//!   satisfiable alternative, or unguarded recursion (`T` requires a
+//!   child of type `T`) that admits no *finite* instance. Decided by a
+//!   least fixpoint over the named complex types: start with every type
+//!   unsatisfiable and iterate until no new type can be proven
+//!   satisfiable; what remains false is genuinely empty.
+//! * **Facet sets** (§4): a restriction whose merged facets contradict
+//!   each other (`minLength > maxLength`, crossing bounds, an empty
+//!   enumeration) has an empty value space.
+
+use std::collections::BTreeMap;
+
+use xsmodel::{ComplexTypeDefinition, DocumentSchema, GroupDefinition, Particle, Type};
+use xstypes::Builtin;
+
+use crate::diag::Diagnostic;
+use crate::walk;
+
+/// Flag unsatisfiable complex types (`XSA201`) and facet-unsatisfiable
+/// simple types (`XSA202`).
+pub fn check_satisfiability(schema: &DocumentSchema) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Least fixpoint over the named complex types.
+    let mut sat: BTreeMap<&str, bool> =
+        schema.complex_types.keys().map(|n| (n.as_str(), false)).collect();
+    loop {
+        let mut changed = false;
+        for (name, def) in &schema.complex_types {
+            if !sat[name.as_str()] && type_satisfiable(schema, def, &sat) {
+                sat.insert(name, true);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for walked in walk::complex_definitions(schema) {
+        // Named types are judged by the fixpoint; anonymous ones are
+        // judged directly (they cannot be recursive on their own, but may
+        // reference named types that are).
+        let unsat = match walked.name {
+            Some(name) => !sat.get(name).copied().unwrap_or(true),
+            None => !type_satisfiable(schema, walked.def, &sat),
+        };
+        if unsat {
+            out.push(Diagnostic::error(
+                "XSA201",
+                walked.path,
+                "content model admits no finite instance (unsatisfiable, \
+                 possibly unguarded recursion)",
+            ));
+        }
+    }
+
+    // Facet satisfiability of the named simple types (built-ins excluded:
+    // they carry no user facets).
+    let mut simple: Vec<&str> = schema
+        .simple_types
+        .iter()
+        .filter(|(name, _)| Builtin::by_name(name).is_none())
+        .map(|(name, _)| name)
+        .collect();
+    simple.sort_unstable();
+    for name in simple {
+        if let Some(ty) = schema.simple_types.get(name) {
+            if let Some(conflict) = ty.facet_conflict() {
+                out.push(Diagnostic::error(
+                    "XSA202",
+                    format!("simpleType {name:?}"),
+                    format!("no value satisfies the facets: {conflict}"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn type_satisfiable(
+    schema: &DocumentSchema,
+    def: &ComplexTypeDefinition,
+    sat: &BTreeMap<&str, bool>,
+) -> bool {
+    match def {
+        ComplexTypeDefinition::SimpleContent { .. } => true,
+        ComplexTypeDefinition::ComplexContent { content, .. } => {
+            group_satisfiable(schema, content, sat)
+        }
+    }
+}
+
+fn group_satisfiable(
+    schema: &DocumentSchema,
+    group: &GroupDefinition,
+    sat: &BTreeMap<&str, bool>,
+) -> bool {
+    if group.repetition.min == 0 || group.is_empty_content() {
+        return true; // the empty word is an instance
+    }
+    let particle_ok = |p: &Particle| match p {
+        Particle::Element(e) => {
+            e.repetition.min == 0 || element_type_satisfiable(schema, &e.ty, sat)
+        }
+        Particle::Group(g) => group_satisfiable(schema, g, sat),
+    };
+    match group.combination {
+        xsmodel::CombinationFactor::Sequence | xsmodel::CombinationFactor::All => {
+            group.particles.iter().all(particle_ok)
+        }
+        xsmodel::CombinationFactor::Choice => group.particles.iter().any(particle_ok),
+    }
+}
+
+fn element_type_satisfiable(
+    schema: &DocumentSchema,
+    ty: &Type,
+    sat: &BTreeMap<&str, bool>,
+) -> bool {
+    match ty {
+        // Unknown names are XSA001's finding, not ours: assume satisfiable.
+        Type::Named(n) => sat.get(n.as_str()).copied().unwrap_or(true),
+        Type::AnonymousComplex(def) => type_satisfiable(schema, def, sat),
+        Type::AnonymousSimple(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xsmodel::{ElementDeclaration, RepetitionFactor};
+    use xstypes::{Facet, SimpleType};
+
+    fn complex(content: GroupDefinition) -> ComplexTypeDefinition {
+        ComplexTypeDefinition::ComplexContent {
+            mixed: false,
+            content,
+            attributes: Default::default(),
+        }
+    }
+
+    #[test]
+    fn unguarded_recursion_is_unsatisfiable() {
+        // T requires a child of type T: no finite instance exists.
+        let schema = DocumentSchema::new(ElementDeclaration::new("root", "T")).with_complex_type(
+            "T",
+            complex(GroupDefinition::sequence(vec![ElementDeclaration::new("item", "T")])),
+        );
+        let diags = check_satisfiability(&schema);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "XSA201");
+        assert_eq!(diags[0].path, "complexType \"T\"");
+    }
+
+    #[test]
+    fn guarded_recursion_is_satisfiable() {
+        // Optional recursion bottoms out: T = (item: T)? is fine.
+        let schema = DocumentSchema::new(ElementDeclaration::new("root", "T")).with_complex_type(
+            "T",
+            complex(GroupDefinition::sequence(vec![
+                ElementDeclaration::new("item", "T").with_repetition(RepetitionFactor::OPTIONAL)
+            ])),
+        );
+        assert!(check_satisfiability(&schema).is_empty());
+    }
+
+    #[test]
+    fn mutual_recursion_with_escape_hatch_is_satisfiable() {
+        // A requires B, B offers a choice of A or a leaf: both satisfiable.
+        let schema = DocumentSchema::new(ElementDeclaration::new("root", "A"))
+            .with_complex_type(
+                "A",
+                complex(GroupDefinition::sequence(vec![ElementDeclaration::new("b", "B")])),
+            )
+            .with_complex_type(
+                "B",
+                complex(GroupDefinition::choice(vec![
+                    ElementDeclaration::new("a", "A"),
+                    ElementDeclaration::new("leaf", "xs:string"),
+                ])),
+            );
+        assert!(check_satisfiability(&schema).is_empty());
+    }
+
+    #[test]
+    fn mutual_recursion_without_escape_is_doubly_unsatisfiable() {
+        let schema = DocumentSchema::new(ElementDeclaration::new("root", "A"))
+            .with_complex_type(
+                "A",
+                complex(GroupDefinition::sequence(vec![ElementDeclaration::new("b", "B")])),
+            )
+            .with_complex_type(
+                "B",
+                complex(GroupDefinition::sequence(vec![ElementDeclaration::new("a", "A")])),
+            );
+        let diags = check_satisfiability(&schema);
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["XSA201", "XSA201"]);
+    }
+
+    #[test]
+    fn facet_conflicted_simple_type_is_flagged() {
+        let mut schema = DocumentSchema::new(ElementDeclaration::new("root", "Bad"));
+        let dead = SimpleType::restriction(
+            Some("Bad".into()),
+            SimpleType::builtin(Builtin::Primitive(xstypes::Primitive::String)),
+            vec![Facet::MinLength(5), Facet::MaxLength(2)],
+        );
+        assert!(schema.simple_types.register("Bad", Arc::clone(&dead)));
+        let diags = check_satisfiability(&schema);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "XSA202");
+        assert!(diags[0].message.contains("minLength"));
+    }
+
+    #[test]
+    fn builtins_are_never_flagged() {
+        let schema = DocumentSchema::new(ElementDeclaration::new("root", "xs:string"));
+        assert!(check_satisfiability(&schema).is_empty());
+    }
+}

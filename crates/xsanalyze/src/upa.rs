@@ -1,0 +1,113 @@
+//! Pass 1: Unique Particle Attribution (weak determinism).
+//!
+//! The paper's §2 group definitions compile to Glushkov-style automata in
+//! `xsmodel::automaton`; XSD additionally requires that matching be
+//! *deterministic* — at every point of a valid word, at most one particle
+//! may claim the next child. [`xsmodel::ContentModel::upa_conflict`] runs
+//! a breadth-first subset construction and returns the *shortest*
+//! ambiguous word, which this pass reports as the diagnostic's witness.
+
+use xsmodel::{ComplexTypeDefinition, ContentModel, DocumentSchema};
+
+use crate::diag::Diagnostic;
+use crate::walk;
+
+/// Check every content model in the schema for UPA violations.
+///
+/// Emits `XSA101` (error, with a witness word) for each ambiguous content
+/// model, and `XSA103` (warning) for content models too large to compile
+/// and therefore too large to analyze.
+pub fn check_upa(schema: &DocumentSchema) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for walked in walk::complex_definitions(schema) {
+        let (path, def) = (walked.path, walked.def);
+        let ComplexTypeDefinition::ComplexContent { content, .. } = def else { continue };
+        if content.is_empty_content() {
+            continue;
+        }
+        match ContentModel::compile(content) {
+            Err(e) => out.push(Diagnostic::warning(
+                "XSA103",
+                path,
+                format!("content model too large to analyze: {e}"),
+            )),
+            Ok(cm) => {
+                if let Some(conflict) = cm.upa_conflict() {
+                    let mut witness = conflict.prefix.clone();
+                    witness.push(conflict.symbol.clone());
+                    out.push(
+                        Diagnostic::error("XSA101", path, conflict.to_string())
+                            .with_witness(witness),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsmodel::{ElementDeclaration, GroupDefinition, RepetitionFactor, Type};
+
+    fn schema_with_content(content: GroupDefinition) -> DocumentSchema {
+        DocumentSchema::new(ElementDeclaration::new("root", "T")).with_complex_type(
+            "T",
+            ComplexTypeDefinition::ComplexContent {
+                mixed: false,
+                content,
+                attributes: Default::default(),
+            },
+        )
+    }
+
+    #[test]
+    fn ambiguous_optional_then_required_is_flagged_with_witness() {
+        let content = GroupDefinition::sequence(vec![
+            ElementDeclaration::new("A", "xs:string").with_repetition(RepetitionFactor::OPTIONAL),
+            ElementDeclaration::new("A", "xs:string"),
+        ]);
+        let diags = check_upa(&schema_with_content(content));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "XSA101");
+        assert_eq!(diags[0].path, "complexType \"T\"");
+        assert_eq!(diags[0].witness.as_deref(), Some(&["A".to_string()][..]));
+    }
+
+    #[test]
+    fn deterministic_model_is_clean() {
+        let content = GroupDefinition::sequence(vec![
+            ElementDeclaration::new("A", "xs:string"),
+            ElementDeclaration::new("B", "xs:string").with_repetition(RepetitionFactor::ANY),
+        ]);
+        assert!(check_upa(&schema_with_content(content)).is_empty());
+    }
+
+    #[test]
+    fn anonymous_types_are_walked() {
+        let inner = ComplexTypeDefinition::ComplexContent {
+            mixed: false,
+            content: GroupDefinition::choice(vec![
+                ElementDeclaration::new("x", "xs:string"),
+                ElementDeclaration::new("x", "xs:string"),
+            ]),
+            attributes: Default::default(),
+        };
+        let mut item = ElementDeclaration::new("item", "ignored");
+        item.ty = Type::AnonymousComplex(Box::new(inner));
+        let content = GroupDefinition::sequence(vec![]);
+        let mut schema = schema_with_content(content);
+        schema.root.ty = Type::AnonymousComplex(Box::new(ComplexTypeDefinition::ComplexContent {
+            mixed: false,
+            content: GroupDefinition {
+                particles: vec![xsmodel::Particle::Element(item)],
+                ..GroupDefinition::empty()
+            },
+            attributes: Default::default(),
+        }));
+        let diags = check_upa(&schema);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].path.contains("element \"item\""), "{}", diags[0].path);
+    }
+}

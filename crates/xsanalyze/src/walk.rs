@@ -1,0 +1,48 @@
+//! Shared schema walker: enumerate every complex type definition (named
+//! and anonymous) together with the declaration path that reaches it.
+
+use xsmodel::{ComplexTypeDefinition, DocumentSchema, Type};
+
+/// One walked definition.
+pub(crate) struct WalkedType<'a> {
+    /// Declaration path, e.g. `complexType "T"` or
+    /// `global element "root"/element "item"`.
+    pub path: String,
+    /// The name for named (top-level) definitions, `None` for anonymous.
+    pub name: Option<&'a str>,
+    /// The definition itself.
+    pub def: &'a ComplexTypeDefinition,
+}
+
+/// Every complex type definition in the schema with its declaration path:
+/// named definitions once each, anonymous definitions at every position
+/// they occur (nested anonymous definitions included).
+pub(crate) fn complex_definitions(schema: &DocumentSchema) -> Vec<WalkedType<'_>> {
+    let mut out = Vec::new();
+    for (name, def) in &schema.complex_types {
+        let path = format!("complexType {name:?}");
+        out.push(WalkedType { path: path.clone(), name: Some(name), def });
+        collect_anonymous(&path, def, &mut out);
+    }
+    visit_type(&format!("global element {:?}", schema.root.name), &schema.root.ty, &mut out);
+    out
+}
+
+fn visit_type<'a>(path: &str, ty: &'a Type, out: &mut Vec<WalkedType<'a>>) {
+    if let Type::AnonymousComplex(def) = ty {
+        out.push(WalkedType { path: path.to_string(), name: None, def });
+        collect_anonymous(path, def, out);
+    }
+}
+
+fn collect_anonymous<'a>(
+    path: &str,
+    def: &'a ComplexTypeDefinition,
+    out: &mut Vec<WalkedType<'a>>,
+) {
+    if let ComplexTypeDefinition::ComplexContent { content, .. } = def {
+        for decl in content.element_declarations() {
+            visit_type(&format!("{path}/element {:?}", decl.name), &decl.ty, out);
+        }
+    }
+}

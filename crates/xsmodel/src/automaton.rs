@@ -17,6 +17,7 @@
 //!   5.4.2.3: "…satisfies the requirements starting from item 4, assuming
 //!   that el = el_q and T = T_q").
 
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
@@ -72,6 +73,37 @@ impl fmt::Display for ContentModelError {
 }
 
 impl std::error::Error for ContentModelError {}
+
+/// A violation of the *Unique Particle Attribution* constraint (weak
+/// determinism): after reading `prefix`, two distinct particles of the
+/// content model compete for the next child named `symbol`, so a
+/// one-symbol-lookahead validator cannot attribute that child to a unique
+/// element declaration.
+///
+/// `prefix` followed by `symbol` is a minimal counterexample word: no
+/// shorter child sequence exhibits the ambiguity (the search is
+/// breadth-first over the determinized automaton).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpaConflict {
+    /// The shortest child-name sequence leading to the ambiguous state.
+    pub prefix: Vec<String>,
+    /// The element name both particles accept next.
+    pub symbol: String,
+    /// Indices (into [`ContentModel::declarations`]) of two competing
+    /// element declarations.
+    pub decls: (usize, usize),
+}
+
+impl fmt::Display for UpaConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "after [{}], element {:?} is claimable by two particles (UPA violation)",
+            self.prefix.join(", "),
+            self.symbol
+        )
+    }
+}
 
 /// The outcome of matching a child-element sequence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -491,6 +523,171 @@ impl ContentModel {
         expected.dedup();
         expected
     }
+
+    /// The ε-closure of `seeds` as a sorted, deduplicated set of
+    /// non-ε program counters (`Elem` and `Match` instructions).
+    fn closure_of(&self, seeds: &[usize]) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut seen = vec![false; self.program.len()];
+        fn add(program: &[Inst], list: &mut Vec<usize>, seen: &mut [bool], pc: usize) {
+            if seen[pc] {
+                return;
+            }
+            seen[pc] = true;
+            match program[pc] {
+                Inst::Jump(t) => add(program, list, seen, t),
+                Inst::Split(a, b) => {
+                    add(program, list, seen, a);
+                    add(program, list, seen, b);
+                }
+                _ => list.push(pc),
+            }
+        }
+        for &pc in seeds {
+            add(&self.program, &mut out, &mut seen, pc);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Bound on determinized states explored by [`upa_conflict`]; models
+    /// this large without a conflict are reported as conflict-free.
+    ///
+    /// [`upa_conflict`]: ContentModel::upa_conflict
+    const MAX_UPA_STATES: usize = 16_384;
+
+    /// Check the *Unique Particle Attribution* constraint (weak
+    /// determinism): breadth-first subset construction over the compiled
+    /// automaton, looking for a reachable state in which two distinct
+    /// `Elem` instructions accept the same element name. Returns the
+    /// first (therefore minimal-witness) conflict, or `None` when the
+    /// content model is deterministic.
+    pub fn upa_conflict(&self) -> Option<UpaConflict> {
+        if let Some(members) = &self.all_members {
+            // The counting matcher is deterministic iff member names are
+            // distinct (§2 requires this; report it as UPA if violated).
+            for (i, m) in members.iter().enumerate() {
+                if let Some(first) = members[..i].iter().find(|o| o.name == m.name) {
+                    return Some(UpaConflict {
+                        prefix: Vec::new(),
+                        symbol: m.name.clone(),
+                        decls: (first.decl, m.decl),
+                    });
+                }
+            }
+            return None;
+        }
+        let start = self.closure_of(&[0]);
+        let mut visited: HashSet<Vec<usize>> = HashSet::new();
+        visited.insert(start.clone());
+        let mut queue: VecDeque<(Vec<usize>, Vec<String>)> = VecDeque::new();
+        queue.push_back((start, Vec::new()));
+        while let Some((state, prefix)) = queue.pop_front() {
+            let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+            for &pc in &state {
+                if let Inst::Elem { name, .. } = &self.program[pc] {
+                    by_name.entry(name).or_default().push(pc);
+                }
+            }
+            for (name, pcs) in &by_name {
+                if let [first, second, ..] = pcs[..] {
+                    let decl_of = |pc: usize| match &self.program[pc] {
+                        Inst::Elem { decl, .. } => *decl,
+                        _ => 0,
+                    };
+                    return Some(UpaConflict {
+                        prefix,
+                        symbol: (*name).to_string(),
+                        decls: (decl_of(first), decl_of(second)),
+                    });
+                }
+            }
+            for (name, pcs) in by_name {
+                let seeds: Vec<usize> = pcs.iter().map(|&pc| pc + 1).collect();
+                let next = self.closure_of(&seeds);
+                if visited.len() >= Self::MAX_UPA_STATES {
+                    return None;
+                }
+                if visited.insert(next.clone()) {
+                    let mut p = prefix.clone();
+                    p.push(name.to_string());
+                    queue.push_back((next, p));
+                }
+            }
+        }
+        None
+    }
+
+    /// The declaration indices of every particle that could consume an
+    /// element named `symbol` after the child sequence `prefix`. Two or
+    /// more entries reproduce a [`UpaConflict`] independently of the
+    /// subset construction, which is what diagnostic-witness tests use.
+    pub fn competing_decls(&self, prefix: &[&str], symbol: &str) -> Vec<usize> {
+        if let Some(members) = &self.all_members {
+            let mut counts = vec![0u32; members.len()];
+            for name in prefix {
+                if let Some(i) = members.iter().position(|m| m.name == *name) {
+                    counts[i] += 1;
+                }
+            }
+            return members
+                .iter()
+                .enumerate()
+                .filter(|(i, m)| m.name == symbol && m.max.admits(counts[*i] + 1))
+                .map(|(_, m)| m.decl)
+                .collect();
+        }
+        let mut current = self.closure_of(&[0]);
+        for name in prefix {
+            let seeds: Vec<usize> = current
+                .iter()
+                .filter(|&&pc| matches!(&self.program[pc], Inst::Elem { name: want, .. } if want == name))
+                .map(|&pc| pc + 1)
+                .collect();
+            current = self.closure_of(&seeds);
+        }
+        current
+            .iter()
+            .filter_map(|&pc| match &self.program[pc] {
+                Inst::Elem { name, decl } if name == symbol => Some(*decl),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True when the content model's language is empty — no child
+    /// sequence at all is accepted. (Never true for models built by
+    /// [`ContentModel::compile`] from the paper's constructors, but
+    /// checkable so analyses need not assume it.)
+    pub fn is_language_empty(&self) -> bool {
+        if self.all_members.is_some() {
+            return false; // counting matcher always admits some word
+        }
+        !self.match_reachable_from(0)
+    }
+
+    /// Whether a `Match` instruction is reachable from `pc` through any
+    /// sequence of transitions (consuming arbitrarily many children).
+    fn match_reachable_from(&self, pc: usize) -> bool {
+        let mut seen = vec![false; self.program.len()];
+        let mut stack = vec![pc];
+        while let Some(pc) = stack.pop() {
+            if seen[pc] {
+                continue;
+            }
+            seen[pc] = true;
+            match self.program[pc] {
+                Inst::Match => return true,
+                Inst::Jump(t) => stack.push(t),
+                Inst::Split(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Inst::Elem { .. } => stack.push(pc + 1),
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -658,6 +855,83 @@ mod tests {
     }
 
     #[test]
+    fn upa_optional_then_required_same_name() {
+        // (A?, A): reading "A" could be the optional or the required one.
+        let g = GroupDefinition::sequence(vec![
+            eld("A").with_repetition(RepetitionFactor::OPTIONAL),
+            eld("A"),
+        ]);
+        let conflict = compile(&g).upa_conflict().expect("ambiguous");
+        assert_eq!(conflict.prefix, Vec::<String>::new());
+        assert_eq!(conflict.symbol, "A");
+        assert_ne!(conflict.decls.0, conflict.decls.1);
+    }
+
+    #[test]
+    fn upa_choice_of_groups_with_common_prefix() {
+        // (A B) | (A C): after zero children, "A" is claimable twice.
+        let g = GroupDefinition {
+            particles: vec![
+                Particle::Group(GroupDefinition::sequence(vec![eld("A"), eld("B")])),
+                Particle::Group(GroupDefinition::sequence(vec![eld("A"), eld("C")])),
+            ],
+            combination: CombinationFactor::Choice,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let cm = compile(&g);
+        let conflict = cm.upa_conflict().expect("ambiguous");
+        assert_eq!(conflict.symbol, "A");
+        // The witness reproduces: two particles really compete there.
+        let prefix: Vec<&str> = conflict.prefix.iter().map(String::as_str).collect();
+        assert!(cm.competing_decls(&prefix, &conflict.symbol).len() >= 2);
+    }
+
+    #[test]
+    fn upa_conflict_deeper_in_the_word() {
+        // head then (A?, A): minimal witness prefix is ["head"].
+        let inner = GroupDefinition::sequence(vec![
+            eld("A").with_repetition(RepetitionFactor::OPTIONAL),
+            eld("A"),
+        ]);
+        let g = GroupDefinition {
+            particles: vec![Particle::Element(eld("head")), Particle::Group(inner)],
+            combination: CombinationFactor::Sequence,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let conflict = compile(&g).upa_conflict().expect("ambiguous");
+        assert_eq!(conflict.prefix, ["head"]);
+        assert_eq!(conflict.symbol, "A");
+    }
+
+    #[test]
+    fn deterministic_models_have_no_upa_conflict() {
+        for g in [
+            GroupDefinition::sequence(vec![eld("B"), eld("C")]),
+            GroupDefinition::choice(vec![eld("zero"), eld("one")])
+                .with_repetition(RepetitionFactor::at_least(0)),
+            GroupDefinition::sequence(vec![eld("A").with_repetition(RepetitionFactor::new(2, 4))]),
+            GroupDefinition::empty(),
+        ] {
+            assert_eq!(compile(&g).upa_conflict(), None, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn competing_decls_is_singleton_on_deterministic_models() {
+        let cm = compile(&GroupDefinition::sequence(vec![eld("B"), eld("C")]));
+        assert_eq!(cm.competing_decls(&[], "B").len(), 1);
+        assert_eq!(cm.competing_decls(&["B"], "C").len(), 1);
+        assert!(cm.competing_decls(&[], "C").is_empty());
+    }
+
+    #[test]
+    fn compiled_languages_are_never_empty() {
+        let cm = compile(&GroupDefinition::sequence(vec![eld("B"), eld("C")]));
+        assert!(!cm.is_language_empty());
+        assert!(!compile(&GroupDefinition::empty()).is_language_empty());
+    }
+
+    #[test]
     fn choice_between_groups_sharing_names() {
         // (A B) | (A C) — same first element in both alternatives.
         let g = GroupDefinition {
@@ -762,6 +1036,17 @@ mod all_group_tests {
         assert_eq!(cm.expected_after(&[]), ["a", "b", "c"]);
         assert_eq!(cm.expected_after(&["b"]), ["a", "c"]);
         assert_eq!(cm.expected_after(&["b", "a"]), ["c"]);
+    }
+
+    #[test]
+    fn all_group_upa_flags_duplicate_member_names() {
+        let cm = ContentModel::compile(&GroupDefinition::all(vec![eld("a"), eld("a")])).unwrap();
+        let conflict = cm.upa_conflict().expect("duplicate members are ambiguous");
+        assert_eq!(conflict.symbol, "a");
+        assert!(cm.competing_decls(&[], "a").len() >= 2);
+        let clean = ContentModel::compile(&GroupDefinition::all(vec![eld("a"), eld("b")])).unwrap();
+        assert_eq!(clean.upa_conflict(), None);
+        assert!(!clean.is_language_empty());
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use ast::{
     AttributeDeclarations, CombinationFactor, ComplexTypeDefinition, DocumentSchema,
     ElementDeclaration, GroupDefinition, Maximum, Name, Particle, RepetitionFactor, Type,
 };
-pub use automaton::{ContentModel, ContentModelError, MatchOutcome};
+pub use automaton::{ContentModel, ContentModelError, MatchOutcome, UpaConflict};
 pub use canonical::{canonicalize_group, group_size};
 pub use wellformed::{check, SchemaIssue};
 pub use writer::{schema_document, write_schema};

@@ -61,6 +61,37 @@ pub enum SchemaIssue {
     },
 }
 
+impl SchemaIssue {
+    /// The stable diagnostic code for this issue, shared with the
+    /// `xsanalyze` diagnostics engine (`XSA001`–`XSA006`). Codes are part
+    /// of the public contract: tools may match on them, so a variant's
+    /// code never changes and retired codes are never reused.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SchemaIssue::UnknownType { .. } => "XSA001",
+            SchemaIssue::DuplicateElementName { .. } => "XSA002",
+            SchemaIssue::IncoherentRepetition { .. } => "XSA003",
+            SchemaIssue::SimpleContentBaseNotSimple { .. } => "XSA004",
+            SchemaIssue::AttributeTypeNotSimple { .. } => "XSA005",
+            SchemaIssue::EmptyChoice { .. } => "XSA006",
+        }
+    }
+
+    /// The declaration path the issue is anchored at (the `used_by` /
+    /// `context` of the variant). Every well-formedness issue is an
+    /// error: a schema carrying one cannot validate documents reliably.
+    pub fn path(&self) -> &str {
+        match self {
+            SchemaIssue::UnknownType { used_by, .. } => used_by,
+            SchemaIssue::DuplicateElementName { context, .. }
+            | SchemaIssue::IncoherentRepetition { context, .. }
+            | SchemaIssue::SimpleContentBaseNotSimple { context, .. }
+            | SchemaIssue::AttributeTypeNotSimple { context, .. }
+            | SchemaIssue::EmptyChoice { context } => context,
+        }
+    }
+}
+
 impl fmt::Display for SchemaIssue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -129,7 +129,8 @@ fn parse_simple_type(st: &Element, registry: &TypeRegistry) -> Result<Arc<Simple
             .get(base_name)
             .ok_or_else(|| XsdError::new(format!("unknown base type {base_name:?}")))?;
         let facets = parse_facets(restriction, &base)?;
-        return Ok(SimpleType::restriction(name, base, facets));
+        return SimpleType::restriction_checked(name, base, facets)
+            .map_err(|conflict| XsdError::new(format!("unsatisfiable restriction: {conflict}")));
     }
     if let Some(list) = st.child("list") {
         let item = if let Some(item_name) = list.attribute("itemType") {
@@ -451,6 +452,23 @@ mod tests {
         let t = schema.simple_types.get("Percent").unwrap();
         assert!(t.validate("55").is_ok());
         assert!(t.validate("101").is_err());
+    }
+
+    #[test]
+    fn contradictory_restriction_is_rejected_at_parse_time() {
+        let text = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="Impossible">
+    <xs:restriction base="xs:string">
+      <xs:minLength value="5"/>
+      <xs:maxLength value="3"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:element name="x" type="Impossible"/>
+</xs:schema>"#;
+        let err = parse_schema_text(text).unwrap_err();
+        assert!(err.to_string().contains("unsatisfiable restriction"), "{err}");
+        assert!(err.to_string().contains("minLength"), "{err}");
     }
 
     #[test]

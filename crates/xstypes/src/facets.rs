@@ -75,6 +75,145 @@ impl fmt::Display for FacetViolation {
 
 impl std::error::Error for FacetViolation {}
 
+/// A contradiction between two facets in one (merged) facet set: no value
+/// can satisfy both, so the restricted type's value space is empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FacetConflict {
+    /// Name of the first facet involved.
+    pub first: &'static str,
+    /// Name of the second facet involved (equal to `first` when a single
+    /// facet is self-contradictory, e.g. an empty enumeration).
+    pub second: &'static str,
+    /// Human-readable explanation of the contradiction.
+    pub detail: String,
+}
+
+impl fmt::Display for FacetConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.first == self.second {
+            write!(f, "facet {} is unsatisfiable: {}", self.first, self.detail)
+        } else {
+            write!(f, "facets {} and {} conflict: {}", self.first, self.second, self.detail)
+        }
+    }
+}
+
+impl std::error::Error for FacetConflict {}
+
+/// Decide whether a merged facet set is satisfiable, i.e. whether some
+/// value could pass every facet at once. Returns the first contradiction
+/// found. The check is sound but deliberately incomplete: pattern facets
+/// are not intersected, and incomparable bound values are not flagged.
+pub fn check_facet_set(facets: &[&Facet]) -> Result<(), FacetConflict> {
+    let conflict = |a: &Facet, b: &Facet, detail: String| FacetConflict {
+        first: a.name(),
+        second: b.name(),
+        detail,
+    };
+    use std::cmp::Ordering;
+    for (i, a) in facets.iter().enumerate() {
+        // Single-facet contradictions.
+        if let Facet::Enumeration(values) = a {
+            if values.is_empty() {
+                return Err(conflict(a, a, "enumeration admits no values".into()));
+            }
+            // An enumeration whose every value violates a sibling facet is
+            // equally empty. Pattern and whiteSpace are skipped: they apply
+            // to lexical forms, which the canonical form may not represent.
+            for b in facets.iter().filter(|b| {
+                !matches!(b, Facet::Enumeration(_) | Facet::Pattern(_) | Facet::WhiteSpace(_))
+            }) {
+                if values.iter().all(|v| check_facet(b, &v.canonical(), v).is_err()) {
+                    return Err(conflict(
+                        a,
+                        b,
+                        format!("no enumeration value satisfies {}", b.name()),
+                    ));
+                }
+            }
+        }
+        for b in facets.iter().skip(i + 1) {
+            let (a, b): (&Facet, &Facet) = (a, b);
+            // Order the pair so each rule is written once.
+            let pairs = [(a, b), (b, a)];
+            for (x, y) in pairs {
+                match (x, y) {
+                    (Facet::MinLength(lo), Facet::MaxLength(hi)) if lo > hi => {
+                        return Err(conflict(x, y, format!("minLength {lo} > maxLength {hi}")));
+                    }
+                    (Facet::Length(n), Facet::MinLength(lo)) if n < lo => {
+                        return Err(conflict(x, y, format!("length {n} < minLength {lo}")));
+                    }
+                    (Facet::Length(n), Facet::MaxLength(hi)) if n > hi => {
+                        return Err(conflict(x, y, format!("length {n} > maxLength {hi}")));
+                    }
+                    (Facet::Length(n), Facet::Length(m)) if n != m => {
+                        return Err(conflict(x, y, format!("two different lengths {n} and {m}")));
+                    }
+                    (Facet::FractionDigits(fr), Facet::TotalDigits(tot)) if fr > tot => {
+                        return Err(conflict(
+                            x,
+                            y,
+                            format!("fractionDigits {fr} > totalDigits {tot}"),
+                        ));
+                    }
+                    (Facet::MinInclusive(lo), Facet::MaxInclusive(hi))
+                        if lo.partial_cmp_xsd(hi) == Some(Ordering::Greater) =>
+                    {
+                        return Err(conflict(
+                            x,
+                            y,
+                            format!("{} > {}", lo.canonical(), hi.canonical()),
+                        ));
+                    }
+                    (Facet::MinInclusive(lo), Facet::MaxExclusive(hi))
+                        if matches!(
+                            lo.partial_cmp_xsd(hi),
+                            Some(Ordering::Greater | Ordering::Equal)
+                        ) =>
+                    {
+                        return Err(conflict(
+                            x,
+                            y,
+                            format!("{} ≥ {}", lo.canonical(), hi.canonical()),
+                        ));
+                    }
+                    (Facet::MinExclusive(lo), Facet::MaxInclusive(hi))
+                        if matches!(
+                            lo.partial_cmp_xsd(hi),
+                            Some(Ordering::Greater | Ordering::Equal)
+                        ) =>
+                    {
+                        return Err(conflict(
+                            x,
+                            y,
+                            format!("{} ≥ {}", lo.canonical(), hi.canonical()),
+                        ));
+                    }
+                    (Facet::MinExclusive(lo), Facet::MaxExclusive(hi))
+                        if matches!(
+                            lo.partial_cmp_xsd(hi),
+                            Some(Ordering::Greater | Ordering::Equal)
+                        ) =>
+                    {
+                        return Err(conflict(
+                            x,
+                            y,
+                            format!(
+                                "{} ≥ {} leaves no value in between",
+                                lo.canonical(),
+                                hi.canonical()
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The length of a value for the length facets: characters for strings,
 /// octets for binary values. `None` for types where length is undefined.
 fn value_length(value: &AtomicValue) -> Option<u64> {
@@ -246,6 +385,111 @@ mod tests {
             AtomicValue::parse_builtin("2004-06-15", Builtin::Primitive(Primitive::Date)).unwrap();
         assert!(check_facet(&Facet::MinInclusive(lo.clone()), "2004-06-15", &v).is_ok());
         assert!(check_facet(&Facet::MaxExclusive(lo), "2004-06-15", &v).is_err());
+    }
+
+    fn conflict_of(facets: &[Facet]) -> Option<FacetConflict> {
+        let refs: Vec<&Facet> = facets.iter().collect();
+        check_facet_set(&refs).err()
+    }
+
+    #[test]
+    fn min_length_above_max_length_conflicts() {
+        let c = conflict_of(&[Facet::MinLength(5), Facet::MaxLength(3)]).unwrap();
+        assert_eq!((c.first, c.second), ("minLength", "maxLength"));
+        assert!(conflict_of(&[Facet::MinLength(3), Facet::MaxLength(3)]).is_none());
+    }
+
+    #[test]
+    fn length_outside_min_max_length_conflicts() {
+        assert!(conflict_of(&[Facet::Length(2), Facet::MinLength(3)]).is_some());
+        assert!(conflict_of(&[Facet::Length(4), Facet::MaxLength(3)]).is_some());
+        assert!(
+            conflict_of(&[Facet::Length(3), Facet::MinLength(3), Facet::MaxLength(3)]).is_none()
+        );
+    }
+
+    #[test]
+    fn two_different_lengths_conflict() {
+        assert!(conflict_of(&[Facet::Length(2), Facet::Length(3)]).is_some());
+        assert!(conflict_of(&[Facet::Length(2), Facet::Length(2)]).is_none());
+    }
+
+    #[test]
+    fn fraction_digits_above_total_digits_conflicts() {
+        assert!(conflict_of(&[Facet::TotalDigits(2), Facet::FractionDigits(3)]).is_some());
+        assert!(conflict_of(&[Facet::TotalDigits(3), Facet::FractionDigits(2)]).is_none());
+    }
+
+    #[test]
+    fn inclusive_bounds_crossing_conflict() {
+        assert!(
+            conflict_of(&[Facet::MinInclusive(dec("6")), Facet::MaxInclusive(dec("5"))]).is_some()
+        );
+        // A single-point range is satisfiable.
+        assert!(
+            conflict_of(&[Facet::MinInclusive(dec("5")), Facet::MaxInclusive(dec("5"))]).is_none()
+        );
+    }
+
+    #[test]
+    fn inclusive_vs_exclusive_bound_conflicts() {
+        assert!(
+            conflict_of(&[Facet::MinInclusive(dec("5")), Facet::MaxExclusive(dec("5"))]).is_some()
+        );
+        assert!(
+            conflict_of(&[Facet::MinExclusive(dec("5")), Facet::MaxInclusive(dec("5"))]).is_some()
+        );
+        assert!(
+            conflict_of(&[Facet::MinInclusive(dec("4")), Facet::MaxExclusive(dec("5"))]).is_none()
+        );
+    }
+
+    #[test]
+    fn exclusive_bounds_crossing_conflict() {
+        assert!(
+            conflict_of(&[Facet::MinExclusive(dec("5")), Facet::MaxExclusive(dec("5"))]).is_some()
+        );
+        assert!(
+            conflict_of(&[Facet::MinExclusive(dec("4")), Facet::MaxExclusive(dec("6"))]).is_none()
+        );
+    }
+
+    #[test]
+    fn empty_enumeration_conflicts() {
+        let c = conflict_of(&[Facet::Enumeration(vec![])]).unwrap();
+        assert_eq!((c.first, c.second), ("enumeration", "enumeration"));
+    }
+
+    #[test]
+    fn enumeration_with_no_value_satisfying_siblings_conflicts() {
+        // Both enum values sit below the minimum — the type is empty.
+        let c = conflict_of(&[
+            Facet::Enumeration(vec![dec("1"), dec("2")]),
+            Facet::MinInclusive(dec("10")),
+        ])
+        .unwrap();
+        assert_eq!(c.second, "minInclusive");
+        // One surviving value keeps the set satisfiable.
+        assert!(conflict_of(&[
+            Facet::Enumeration(vec![dec("1"), dec("20")]),
+            Facet::MinInclusive(dec("10")),
+        ])
+        .is_none());
+    }
+
+    #[test]
+    fn incomparable_bounds_are_not_flagged() {
+        // string vs decimal bounds never compare; the check stays silent.
+        assert!(conflict_of(&[Facet::MinInclusive(string("a")), Facet::MaxInclusive(dec("1"))])
+            .is_none());
+    }
+
+    #[test]
+    fn conflict_display_is_informative() {
+        let c = conflict_of(&[Facet::MinLength(5), Facet::MaxLength(3)]).unwrap();
+        let msg = c.to_string();
+        assert!(msg.contains("minLength"));
+        assert!(msg.contains("maxLength"));
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod whitespace;
 pub use binary::{decode_base64, decode_hex, encode_base64, encode_hex, BinaryError};
 pub use datetime::{DateTime, DateTimeError, DateTimeKind, Duration, Timezone};
 pub use decimal::{Decimal, DecimalError};
-pub use facets::{check_facet, Facet, FacetViolation};
+pub use facets::{check_facet, check_facet_set, Facet, FacetConflict, FacetViolation};
 pub use name::{Builtin, Primitive};
 pub use regex::{Regex, RegexError};
 pub use registry::TypeRegistry;

@@ -5,7 +5,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::facets::{check_facet, Facet, FacetViolation};
+use crate::facets::{check_facet, check_facet_set, Facet, FacetConflict, FacetViolation};
 use crate::name::Builtin;
 use crate::value::{builtin_whitespace, AtomicValue, ValueError};
 use crate::whitespace::WhiteSpace;
@@ -103,6 +103,53 @@ impl SimpleType {
         facets: Vec<Facet>,
     ) -> Arc<SimpleType> {
         Arc::new(SimpleType { name, variety: Variety::Restriction { base, facets } })
+    }
+
+    /// Like [`SimpleType::restriction`], but rejects facet sets that are
+    /// contradictory across the whole derivation chain (e.g.
+    /// `minLength > maxLength`), so an unsatisfiable type is a loud,
+    /// typed error at construction time rather than a type that silently
+    /// rejects every value.
+    pub fn restriction_checked(
+        name: Option<String>,
+        base: Arc<SimpleType>,
+        facets: Vec<Facet>,
+    ) -> Result<Arc<SimpleType>, FacetConflict> {
+        let ty = SimpleType::restriction(name, base, facets);
+        match ty.facet_conflict() {
+            Some(conflict) => Err(conflict),
+            None => Ok(ty),
+        }
+    }
+
+    /// Scan this type for a facet contradiction that empties its value
+    /// space: the restriction chain's merged facets are checked pairwise,
+    /// then list item types and union members are scanned recursively.
+    /// Returns the first contradiction found, `None` if the facets are
+    /// (pairwise) satisfiable.
+    pub fn facet_conflict(&self) -> Option<FacetConflict> {
+        let mut merged: Vec<&Facet> = Vec::new();
+        let mut cursor = self;
+        loop {
+            match &cursor.variety {
+                Variety::Restriction { base, facets } => {
+                    merged.extend(facets.iter());
+                    cursor = base;
+                }
+                // Restriction-of-list facets count items just like the
+                // list's own facets do, so merging them is sound.
+                Variety::List { item, facets } => {
+                    merged.extend(facets.iter());
+                    return check_facet_set(&merged).err().or_else(|| item.facet_conflict());
+                }
+                Variety::Union { members } => {
+                    return check_facet_set(&merged)
+                        .err()
+                        .or_else(|| members.iter().find_map(|m| m.facet_conflict()));
+                }
+                Variety::Builtin(_) => return check_facet_set(&merged).err(),
+            }
+        }
     }
 
     /// A list of `item`s.
@@ -393,6 +440,62 @@ mod tests {
         assert_eq!(t.builtin_base(), Some(Builtin::Byte));
         let l = SimpleType::list(None, xs(Builtin::Integer), vec![]);
         assert_eq!(l.builtin_base(), None);
+    }
+
+    #[test]
+    fn restriction_checked_rejects_contradictory_bounds() {
+        let err = SimpleType::restriction_checked(
+            Some("Empty".into()),
+            xs(Builtin::Integer),
+            vec![
+                Facet::MinInclusive(AtomicValue::parse_builtin("10", Builtin::Integer).unwrap()),
+                Facet::MaxInclusive(AtomicValue::parse_builtin("1", Builtin::Integer).unwrap()),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!((err.first, err.second), ("minInclusive", "maxInclusive"));
+    }
+
+    #[test]
+    fn restriction_checked_accepts_satisfiable_facets() {
+        let t = SimpleType::restriction_checked(
+            None,
+            xs(Builtin::Integer),
+            vec![
+                Facet::MinInclusive(AtomicValue::parse_builtin("0", Builtin::Integer).unwrap()),
+                Facet::MaxInclusive(AtomicValue::parse_builtin("9", Builtin::Integer).unwrap()),
+            ],
+        )
+        .unwrap();
+        assert!(t.validate("5").is_ok());
+    }
+
+    #[test]
+    fn facet_conflict_sees_across_the_derivation_chain() {
+        // Each step is fine alone; together the chain is empty.
+        let lo = SimpleType::restriction(
+            None,
+            xs(Builtin::Primitive(Primitive::String)),
+            vec![Facet::MinLength(5)],
+        );
+        let chain = SimpleType::restriction(None, lo, vec![Facet::MaxLength(3)]);
+        let c = chain.facet_conflict().unwrap();
+        assert_eq!((c.first, c.second), ("minLength", "maxLength"));
+    }
+
+    #[test]
+    fn facet_conflict_recurses_into_lists_and_unions() {
+        let dead_item = SimpleType::restriction(
+            None,
+            xs(Builtin::Primitive(Primitive::String)),
+            vec![Facet::MinLength(5), Facet::MaxLength(2)],
+        );
+        let list = SimpleType::list(None, dead_item.clone(), vec![]);
+        assert!(list.facet_conflict().is_some());
+        let union = SimpleType::union(None, vec![xs(Builtin::Integer), dead_item]);
+        assert!(union.facet_conflict().is_some());
+        let fine = SimpleType::list(None, xs(Builtin::Integer), vec![Facet::MaxLength(3)]);
+        assert!(fine.facet_conflict().is_none());
     }
 
     #[test]

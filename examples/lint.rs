@@ -1,0 +1,103 @@
+//! Static analysis: lint schemas and pre-flight queries before any
+//! document is loaded.
+//!
+//! Walks the `xsanalyze` diagnostic surface end to end — an ambiguous
+//! content model (UPA), unguarded recursion, dead declarations, a
+//! statically-empty XPath — and shows the same passes wired into
+//! [`Database`] strict mode. The standalone CLI version is
+//! `cargo run --bin xsd-lint -- fixtures/lint/ambiguous.xsd`.
+//!
+//! Run with `cargo run --example lint`.
+
+use xsdb::xsanalyze::{analyze_schema, analyze_xpath, render_json};
+use xsdb::{parse_schema_text, Database, DbError};
+
+/// Violates UPA: on the word "A" two particles compete. Also carries a
+/// dead complexType and an unguarded recursion, so every schema-level
+/// pass has something to say.
+const MESSY_XSD: &str = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="doc" type="T"/>
+  <xsd:complexType name="T">
+    <xsd:choice>
+      <xsd:sequence>
+        <xsd:element name="A" type="xsd:string"/>
+        <xsd:element name="B" type="xsd:string"/>
+      </xsd:sequence>
+      <xsd:sequence>
+        <xsd:element name="A" type="xsd:string"/>
+        <xsd:element name="C" type="xsd:string"/>
+      </xsd:sequence>
+    </xsd:choice>
+  </xsd:complexType>
+  <xsd:complexType name="Loop">
+    <xsd:sequence>
+      <xsd:element name="again" type="Loop"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+const CLEAN_XSD: &str = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="library" type="Library"/>
+  <xsd:complexType name="Library">
+    <xsd:sequence>
+      <xsd:element name="book" type="Book" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Book">
+    <xsd:sequence>
+      <xsd:element name="title" type="xsd:string"/>
+      <xsd:element name="author" type="xsd:string" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+fn main() {
+    // ------------------------------------------------ the engine, raw
+    let messy = parse_schema_text(MESSY_XSD).expect("schema parses");
+    println!("== diagnostics for the messy schema ==");
+    let diags = analyze_schema(&messy);
+    for d in &diags {
+        println!("  {d}");
+    }
+    println!("\n== the same, machine-readable ==\n{}", render_json(&diags));
+
+    // The UPA witness is replayable: compile the content model and ask
+    // which declarations compete after the witness prefix.
+    let upa = diags.iter().find(|d| d.code == "XSA101").expect("UPA finding");
+    let witness = upa.witness.as_deref().expect("XSA101 carries a witness");
+    println!("\nUPA witness (shortest ambiguous word): {witness:?}");
+
+    // ------------------------------------------ statically empty paths
+    let clean = parse_schema_text(CLEAN_XSD).expect("schema parses");
+    let path = xsdb::xpath::parse("/library/book/isbn").expect("parses");
+    println!("\n== pre-flighting /library/book/isbn against the library schema ==");
+    for d in analyze_xpath(&clean, &path) {
+        println!("  {d}");
+    }
+
+    // --------------------------------------------- Database strict mode
+    let mut db = Database::with_strict_analysis();
+    match db.register_schema_text("messy", MESSY_XSD) {
+        Err(DbError::SchemaRejected(diags)) => {
+            println!("\nstrict registration refused the messy schema ({} findings)", diags.len());
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    db.register_schema_text("library", CLEAN_XSD).expect("clean schema registers");
+    db.insert(
+        "lib",
+        "library",
+        "<library><book><title>t</title><author>a</author></book></library>",
+    )
+    .expect("valid document");
+    match db.query("lib", "/library/book/isbn") {
+        Err(DbError::QueryStaticallyEmpty(_)) => {
+            println!("strict query pre-flight refused the empty path before evaluation");
+        }
+        other => panic!("expected pre-flight refusal, got {other:?}"),
+    }
+    let titles = db.query("lib", "/library/book/title").expect("admissible path");
+    println!("admissible path evaluates normally: {titles:?}");
+}

@@ -13,4 +13,33 @@ cargo test -q -p xsdb --test manifest_abuse
 cargo test -q -p xmlparse --test byte_soup
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
+
+# xsd-lint golden corpus: the diagnostic codes for each fixture are
+# pinned — a pass that starts (or stops) firing is a visible diff here.
+for xsd in fixtures/lint/*.xsd; do
+  want="${xsd%.xsd}.codes"
+  got="$(target/release/xsd-lint --codes "$xsd")" || true
+  if ! diff -u "$want" <(printf '%s' "${got:+$got
+}") >/dev/null; then
+    echo "lint gate: codes drifted for $xsd" >&2
+    diff -u "$want" <(printf '%s' "${got:+$got
+}") >&2 || true
+    exit 1
+  fi
+done
+
+# No new unwrap()/expect() in non-test library code (bins, benches,
+# tests, doc comments, and vendor shims excluded). Lower the baseline
+# when you remove some; never raise it.
+UNWRAP_BASELINE=79
+unwraps=$(find crates -path '*/src/*' -name '*.rs' ! -path '*/src/bin/*' | sort | xargs awk '
+  FNR == 1 { intest = 0 }
+  /#\[cfg\(test\)\]/ { intest = 1 }
+  !intest && $0 !~ /^[[:space:]]*\/\// { n += gsub(/\.unwrap\(\)|\.expect\(/, "&") }
+  END { print n }')
+if [ "$unwraps" -gt "$UNWRAP_BASELINE" ]; then
+  echo "unwrap gate: $unwraps unwrap()/expect() in non-test library code (baseline $UNWRAP_BASELINE)" >&2
+  exit 1
+fi
+
 echo "tier-1 gate: OK"

@@ -1,0 +1,150 @@
+//! Property tests for the `xsanalyze` static passes:
+//!
+//! 1. A content model the UPA pass declares clean really is
+//!    deterministic: no reachable (prefix, next-symbol) pair is claimed
+//!    by two element declarations.
+//! 2. Every diagnostic witness reproduces its defect: an `XSA101`
+//!    ambiguity witness replays to two competing declarations via
+//!    [`ContentModel::competing_decls`], and (for non-recursive models)
+//!    `XSA201` fires exactly when the compiled automaton's language is
+//!    empty.
+
+use proptest::prelude::*;
+use xsdb::xsanalyze;
+use xsdb::xsmodel::{
+    CombinationFactor, ComplexTypeDefinition, ContentModel, DocumentSchema, ElementDeclaration,
+    GroupDefinition, Particle, RepetitionFactor,
+};
+
+fn repetition() -> impl Strategy<Value = RepetitionFactor> {
+    prop_oneof![
+        4 => Just(RepetitionFactor::ONCE),
+        2 => Just(RepetitionFactor::OPTIONAL),
+        2 => Just(RepetitionFactor::ANY),
+        1 => Just(RepetitionFactor::at_least(1)),
+        1 => (0u32..3, 0u32..3).prop_map(|(a, b)| RepetitionFactor::new(a.min(a + b), a + b)),
+    ]
+}
+
+fn element() -> impl Strategy<Value = Particle> {
+    (prop_oneof![Just("a"), Just("b"), Just("c")], repetition()).prop_map(|(name, rep)| {
+        Particle::Element(ElementDeclaration::new(name, "xs:string").with_repetition(rep))
+    })
+}
+
+fn group(depth: u32) -> BoxedStrategy<GroupDefinition> {
+    let particle = if depth == 0 {
+        element().boxed()
+    } else {
+        prop_oneof![3 => element(), 2 => group(depth - 1).prop_map(Particle::Group)].boxed()
+    };
+    (
+        proptest::collection::vec(particle, 0..3),
+        prop_oneof![Just(CombinationFactor::Sequence), Just(CombinationFactor::Choice)],
+        repetition(),
+    )
+        .prop_map(|(particles, combination, repetition)| GroupDefinition {
+            particles,
+            combination,
+            repetition,
+        })
+        .boxed()
+}
+
+/// All words over {a, b, c} up to length 4.
+fn short_words() -> Vec<Vec<&'static str>> {
+    let mut words: Vec<Vec<&'static str>> = vec![Vec::new()];
+    let mut frontier = words.clone();
+    while let Some(w) = frontier.pop() {
+        if w.len() >= 4 {
+            continue;
+        }
+        for sym in ["a", "b", "c"] {
+            let mut t = w.clone();
+            t.push(sym);
+            words.push(t.clone());
+            frontier.push(t);
+        }
+    }
+    words
+}
+
+fn schema_of(group: GroupDefinition) -> DocumentSchema {
+    DocumentSchema::new(ElementDeclaration::new("root", "T")).with_complex_type(
+        "T",
+        ComplexTypeDefinition::ComplexContent {
+            mixed: false,
+            content: group,
+            attributes: Default::default(),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// UPA-clean verdicts are trustworthy: when `upa_conflict()` finds
+    /// nothing, no reachable prefix leaves two declarations claiming the
+    /// same next symbol — the one-pass validator never has to guess.
+    #[test]
+    fn upa_clean_models_are_deterministic(g in group(2)) {
+        let Ok(cm) = ContentModel::compile(&g) else { return Ok(()) };
+        match cm.upa_conflict() {
+            Some(conflict) => {
+                // The witness must reproduce the ambiguity.
+                let prefix: Vec<&str> = conflict.prefix.iter().map(String::as_str).collect();
+                let competing = cm.competing_decls(&prefix, &conflict.symbol);
+                prop_assert!(competing.len() >= 2, "witness does not replay: {competing:?}");
+            }
+            None => {
+                for w in short_words() {
+                    for cut in 0..w.len() {
+                        let competing = cm.competing_decls(&w[..cut], w[cut]);
+                        prop_assert!(
+                            competing.len() <= 1,
+                            "clean verdict but {:?} then {:?} has claimants {:?}",
+                            &w[..cut], w[cut], competing
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every `XSA101` the full pipeline emits carries a witness that
+    /// replays to at least two competing declarations on the freshly
+    /// recompiled content model.
+    #[test]
+    fn ambiguity_witnesses_reproduce(g in group(2)) {
+        let schema = schema_of(g.clone());
+        for diag in xsanalyze::analyze_schema(&schema) {
+            if diag.code != "XSA101" {
+                continue;
+            }
+            let witness = diag.witness.as_deref().expect("XSA101 carries a witness");
+            prop_assert!(!witness.is_empty());
+            let (prefix, symbol) = witness.split_at(witness.len() - 1);
+            let prefix: Vec<&str> = prefix.iter().map(String::as_str).collect();
+            let cm = ContentModel::compile(&g).expect("XSA101 implies the model compiled");
+            let competing = cm.competing_decls(&prefix, &symbol[0]);
+            prop_assert!(competing.len() >= 2, "witness {witness:?} does not replay");
+        }
+    }
+
+    /// For non-recursive models (every element is a leaf), the
+    /// satisfiability pass agrees exactly with automaton language
+    /// emptiness: `XSA201` fires iff the compiled model accepts nothing.
+    #[test]
+    fn unsatisfiability_matches_language_emptiness(g in group(2)) {
+        let Ok(cm) = ContentModel::compile(&g) else { return Ok(()) };
+        let schema = schema_of(g);
+        let flagged = xsanalyze::check_satisfiability(&schema)
+            .iter()
+            .any(|d| d.code == "XSA201");
+        prop_assert_eq!(
+            flagged,
+            cm.is_language_empty(),
+            "satisfiability pass and automaton emptiness disagree"
+        );
+    }
+}
