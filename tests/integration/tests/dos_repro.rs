@@ -1,0 +1,31 @@
+#[test]
+fn dos_static_vs_runtime() {
+    let mut db = xsdb::Database::with_strict_analysis();
+    db.register_schema_text("books", r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="library" type="Library"/>
+  <xs:complexType name="Library">
+    <xs:sequence><xs:element name="book" type="Book" maxOccurs="unbounded"/></xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="Book">
+    <xs:sequence><xs:element name="title" type="xs:string"/></xs:sequence>
+  </xs:complexType>
+</xs:schema>"#).unwrap();
+    db.insert("d", "books", "<library><book><title>t</title></book></library>").unwrap();
+    // runtime result without strict mode
+    let mut lax = xsdb::Database::new();
+    lax.register_schema_text("books", r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="library" type="Library"/>
+  <xs:complexType name="Library">
+    <xs:sequence><xs:element name="book" type="Book" maxOccurs="unbounded"/></xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="Book">
+    <xs:sequence><xs:element name="title" type="xs:string"/></xs:sequence>
+  </xs:complexType>
+</xs:schema>"#).unwrap();
+    lax.insert("d", "books", "<library><book><title>t</title></book></library>").unwrap();
+    let runtime = lax.query("d", "/library/book//book").unwrap();
+    let strict = db.query("d", "/library/book//book");
+    panic!("runtime returned {} nodes; strict says {:?}", runtime.len(), strict.err().map(|e| e.to_string()));
+}
