@@ -30,17 +30,40 @@ use xsmodel::{
 /// map lookups, never on compilation (which runs outside the lock —
 /// a racing thread may compile the same group twice, but the second
 /// result is discarded and the entry stays canonical).
-#[derive(Debug, Default)]
+///
+/// Lookup traffic is mirrored into an [`xsobs::Registry`]
+/// (`validate.cm_cache.*`): the process-global one by default, or an
+/// injected one via [`ContentModelCache::with_registry`].
+#[derive(Debug)]
 pub struct ContentModelCache {
     map: Mutex<HashMap<String, Arc<ContentModel>>>,
+    lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    obs: Arc<xsobs::Registry>,
+}
+
+impl Default for ContentModelCache {
+    fn default() -> Self {
+        ContentModelCache::with_registry(xsobs::global_arc())
+    }
 }
 
 impl ContentModelCache {
-    /// An empty cache.
+    /// An empty cache reporting to the process-global registry.
     pub fn new() -> Self {
         ContentModelCache::default()
+    }
+
+    /// An empty cache reporting to `obs` instead of the global registry.
+    pub fn with_registry(obs: Arc<xsobs::Registry>) -> Self {
+        ContentModelCache {
+            map: Mutex::new(HashMap::new()),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            obs,
+        }
     }
 
     /// The compiled automaton for `group`, compiling on first sight.
@@ -48,12 +71,16 @@ impl ContentModelCache {
         &self,
         group: &GroupDefinition,
     ) -> Result<Arc<ContentModel>, ContentModelError> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.obs.incr(xsobs::CounterId::CmCacheLookups);
         let key = fingerprint(group);
         if let Some(cm) = self.map.lock().expect("content-model cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.incr(xsobs::CounterId::CmCacheHits);
             return Ok(Arc::clone(cm));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.incr(xsobs::CounterId::CmCacheMisses);
         let cm = Arc::new(ContentModel::compile(group)?);
         let mut map = self.map.lock().expect("content-model cache lock");
         Ok(Arc::clone(map.entry(key).or_insert(cm)))
@@ -67,6 +94,11 @@ impl ContentModelCache {
     /// True when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total lookups (`hits() + misses()`).
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
     }
 
     /// Lookups answered from the cache.

@@ -1,8 +1,10 @@
 //! The experiment driver: regenerates every table recorded in
-//! EXPERIMENTS.md (E1–E10) and prints them as aligned rows.
+//! EXPERIMENTS.md (E1–E11) and prints them as aligned rows.
 //!
 //! Run with `cargo run -p bench --release --bin experiments`
 //! (optionally pass experiment ids, e.g. `e3 e6`, to run a subset).
+//! `e11 --guard` turns E11 into a CI gate: it exits non-zero when the
+//! enabled-metrics overhead exceeds its budget.
 
 use std::time::Instant;
 
@@ -13,7 +15,9 @@ use xsdb::xpath::{eval_guided, eval_naive, parse, XdmTree};
 use xsdb::{check_roundtrip, load_document, parse_schema_text, Document};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let all: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let guard = all.iter().any(|a| a == "--guard");
+    let args: Vec<String> = all.into_iter().filter(|a| !a.starts_with("--")).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
     println!("xsdb experiment suite — every table of EXPERIMENTS.md");
     println!("(release-mode wall clock; see benches/ for the Criterion versions)");
@@ -46,6 +50,9 @@ fn main() {
     }
     if want("e10") {
         e10_analysis_cost();
+    }
+    if want("e11") {
+        e11_obs_overhead(guard);
     }
 }
 
@@ -599,6 +606,67 @@ fn e10_schema(n: usize) -> xsdb::DocumentSchema {
         );
     }
     schema
+}
+
+/// E11: the cost of the observability layer itself. Runs the E2-style
+/// bulk-validation workload with metrics enabled and disabled, in
+/// interleaved rounds (min-of-rounds on each side to shed scheduler
+/// noise), and reports the relative overhead. With `guard` set, the
+/// run fails (exit 1) when overhead stays above the budget across
+/// every attempt — the bound documented in EXPERIMENTS.md.
+fn e11_obs_overhead(guard: bool) {
+    const BUDGET: f64 = 0.03; // 3 % — the documented ceiling
+    const ROUNDS: usize = 5;
+    const ATTEMPTS: usize = 3;
+    println!("\n== E11: observability overhead (enabled vs disabled metrics) ==");
+    println!("{:<8} {:>12} {:>12} {:>10}", "attempt", "on ms", "off ms", "overhead");
+    let obs = xsdb::xsobs::global();
+    let was_enabled = obs.is_enabled();
+
+    let mut db = xsdb::Database::new();
+    db.register_schema_text("s", Family::Flat.schema_text()).unwrap();
+    let docs: Vec<String> = (0..20).map(|i| Family::Flat.generate(1_000, 42 + i as u64)).collect();
+    let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    let workload = |db: &xsdb::Database| {
+        db.validate_many("s", &refs, 1).unwrap();
+    };
+    // Warm caches and page in everything before timing.
+    workload(&db);
+
+    let mut passed = false;
+    let mut last = 0.0;
+    for attempt in 1..=ATTEMPTS {
+        let (mut best_on, mut best_off) = (f64::MAX, f64::MAX);
+        for _ in 0..ROUNDS {
+            obs.set_enabled(true);
+            best_on = best_on.min(per_run(3, || workload(&db)));
+            obs.set_enabled(false);
+            best_off = best_off.min(per_run(3, || workload(&db)));
+        }
+        let overhead = (best_on - best_off) / best_off;
+        last = overhead;
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>9.1}%",
+            attempt,
+            best_on * 1e3,
+            best_off * 1e3,
+            overhead * 100.0
+        );
+        if overhead <= BUDGET {
+            passed = true;
+            break;
+        }
+    }
+    obs.set_enabled(was_enabled);
+    if guard && !passed {
+        eprintln!(
+            "E11 guard: metrics overhead {:.1}% exceeds the {:.0}% budget",
+            last * 100.0,
+            BUDGET * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("(budget {:.0}%; guard {})", BUDGET * 100.0, if guard { "on" } else { "off" });
 }
 
 fn e10_analysis_cost() {

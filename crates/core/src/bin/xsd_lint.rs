@@ -1,7 +1,7 @@
 //! `xsd-lint` — static diagnostics for XML Schemas and queries.
 //!
 //! ```text
-//! xsd-lint [--json|--codes] [--xpath EXPR]... [--xquery EXPR]... <schema.xsd>
+//! xsd-lint [--json|--codes] [--stats|--stats-json] [--xpath EXPR]... [--xquery EXPR]... <schema.xsd>
 //! ```
 //!
 //! Runs every `xsanalyze` pass over the schema (well-formedness, UPA,
@@ -11,6 +11,11 @@
 //! * default — one human-readable line per diagnostic;
 //! * `--json` — a machine-readable JSON array;
 //! * `--codes` — one diagnostic code per line (for golden-file diffing).
+//!
+//! `--stats` / `--stats-json` additionally print the process metrics
+//! snapshot (parse totals, UPA subset states, per-pass timings — see
+//! the `xsobs` crate) to **stderr** after the run, so stdout stays
+//! parseable by `--json`/`--codes` consumers.
 //!
 //! A schema that fails to parse is itself reported as diagnostic
 //! `XSA000` (error). Exit code: `0` when clean, `1` when the worst
@@ -24,18 +29,22 @@ struct Args {
     schema_path: String,
     json: bool,
     codes: bool,
+    stats: bool,
+    stats_json: bool,
     xpaths: Vec<String>,
     xqueries: Vec<String>,
 }
 
-const USAGE: &str =
-    "usage: xsd-lint [--json|--codes] [--xpath EXPR]... [--xquery EXPR]... <schema.xsd>";
+const USAGE: &str = "usage: xsd-lint [--json|--codes] [--stats|--stats-json] \
+     [--xpath EXPR]... [--xquery EXPR]... <schema.xsd>";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         schema_path: String::new(),
         json: false,
         codes: false,
+        stats: false,
+        stats_json: false,
         xpaths: Vec::new(),
         xqueries: Vec::new(),
     };
@@ -44,6 +53,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--json" => args.json = true,
             "--codes" => args.codes = true,
+            "--stats" => args.stats = true,
+            "--stats-json" => args.stats_json = true,
             "--xpath" => args.xpaths.push(it.next().ok_or("--xpath needs an expression")?.clone()),
             "--xquery" => {
                 args.xqueries.push(it.next().ok_or("--xquery needs an expression")?.clone())
@@ -116,6 +127,11 @@ fn main() -> ExitCode {
         if diags.is_empty() {
             eprintln!("clean: no diagnostics");
         }
+    }
+    if args.stats_json {
+        eprintln!("{}", xsdb::xsobs::global().snapshot().to_json());
+    } else if args.stats {
+        eprint!("{}", xsdb::xsobs::global().snapshot().to_text());
     }
     match xsanalyze::max_severity(&diags) {
         None => ExitCode::SUCCESS,

@@ -45,7 +45,7 @@ impl StoredDocument {
 }
 
 /// An XML database over the formal model.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Database {
     schemas: BTreeMap<String, Arc<DocumentSchema>>,
     documents: BTreeMap<String, StoredDocument>,
@@ -71,12 +71,55 @@ pub struct Database {
     /// inserting or deleting documents (only registering a *different*
     /// schema adds entries).
     cm_cache: Arc<ContentModelCache>,
+    /// Where this database's operations record their metrics: latency
+    /// spans, strict-analysis rejections, persistence activity, and the
+    /// content-model cache traffic. Defaults to the process-global
+    /// registry; see [`Database::with_metrics_registry`].
+    obs: Arc<xsobs::Registry>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::with_metrics_registry(xsobs::global_arc())
+    }
 }
 
 impl Database {
     /// An empty database with paper-faithful validation options.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// An empty database recording its metrics into `obs` instead of the
+    /// process-global registry. The content-model cache is wired to the
+    /// same registry. Note that process-wide low-level families
+    /// (`parse.*`, `xdm.*`, `persist.fsyncs_total`, automaton and UPA
+    /// counters, `analysis.*` timings) always record globally — an
+    /// injected registry isolates the per-database families only.
+    pub fn with_metrics_registry(obs: Arc<xsobs::Registry>) -> Self {
+        Database {
+            schemas: BTreeMap::new(),
+            documents: BTreeMap::new(),
+            options: LoadOptions::default(),
+            limits: ParseLimits::default(),
+            strict_analysis: false,
+            cm_cache: Arc::new(ContentModelCache::with_registry(Arc::clone(&obs))),
+            obs,
+        }
+    }
+
+    /// A point-in-time snapshot of this database's metrics registry —
+    /// counters (cache hits/misses, strict rejections, persistence),
+    /// high-water gauges, latency histograms, and the slow-op log. For a
+    /// default database this is a view of the process-global registry.
+    pub fn metrics(&self) -> xsobs::Snapshot {
+        self.obs.snapshot()
+    }
+
+    /// The metrics registry this database records into (to toggle
+    /// recording or tune slow-op thresholds).
+    pub fn metrics_registry(&self) -> &xsobs::Registry {
+        &self.obs
     }
 
     /// An empty database with explicit [`LoadOptions`].
@@ -137,6 +180,7 @@ impl Database {
         if self.strict_analysis {
             let diags = xsanalyze::analyze_schema(&schema);
             if xsanalyze::max_severity(&diags) == Some(xsanalyze::Severity::Error) {
+                self.obs.incr(xsobs::CounterId::StrictSchemaRejections);
                 return Err(DbError::SchemaRejected(diags));
             }
         }
@@ -177,6 +221,8 @@ impl Database {
             .schemas
             .get(schema_name)
             .ok_or_else(|| DbError::UnknownSchema(schema_name.to_string()))?;
+        let mut span = self.obs.span(xsobs::HistogramId::DbInsert);
+        span.set_detail(doc_name);
         let loaded = load_document_cached(schema, xml, &self.options, &self.cm_cache)
             .map_err(DbError::Invalid)?;
         self.documents.insert(
@@ -192,6 +238,7 @@ impl Database {
             .schemas
             .get(schema_name)
             .ok_or_else(|| DbError::UnknownSchema(schema_name.to_string()))?;
+        let _span = self.obs.span(xsobs::HistogramId::DbValidate);
         let parsed = Document::parse_with_limits(xml, &self.limits)?;
         Ok(match load_document_cached(schema, &parsed, &self.options, &self.cm_cache) {
             Ok(_) => Vec::new(),
@@ -222,7 +269,9 @@ impl Database {
         let options = &self.options;
         let cache = &self.cm_cache;
         let limits = &self.limits;
+        let obs = &self.obs;
         Ok(run_parallel(xmls.len(), threads, |i| {
+            let _span = obs.span(xsobs::HistogramId::DbValidate);
             let parsed = Document::parse_with_limits(xmls[i], limits)?;
             Ok(match load_document_cached(schema, &parsed, options, cache) {
                 Ok(_) => Vec::new(),
@@ -249,11 +298,14 @@ impl Database {
             let options = &self.options;
             let cache = &self.cm_cache;
             let limits = &self.limits;
+            let obs = &self.obs;
             run_parallel(entries.len(), threads, |i| {
-                let (_, schema_name, xml) = entries[i];
+                let (name, schema_name, xml) = entries[i];
                 let schema = schemas
                     .get(schema_name)
                     .ok_or_else(|| DbError::UnknownSchema(schema_name.to_string()))?;
+                let mut span = obs.span(xsobs::HistogramId::DbInsert);
+                span.set_detail(name);
                 let parsed = Document::parse_with_limits(xml, limits)?;
                 load_document_cached(schema, &parsed, options, cache).map_err(DbError::Invalid)
             })
@@ -484,6 +536,8 @@ impl Database {
             .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
         let path = xpath::parse(xpath)?;
         self.preflight_xpath(doc, &path)?;
+        let mut span = self.obs.span(xsobs::HistogramId::DbQuery);
+        span.set_detail(xpath);
         Ok(match &doc.storage {
             Some(storage) => {
                 eval_guided(storage, &path).into_iter().map(|p| storage.string_value(p)).collect()
@@ -511,10 +565,13 @@ impl Database {
             if let Some(schema) = self.schemas.get(&doc.schema_name) {
                 let diags = xsanalyze::analyze_xquery(schema, &q);
                 if !diags.is_empty() {
+                    self.obs.incr(xsobs::CounterId::StrictQueryRejections);
                     return Err(DbError::QueryStaticallyEmpty(diags));
                 }
             }
         }
+        let mut span = self.obs.span(xsobs::HistogramId::DbXquery);
+        span.set_detail(query);
         let nodes = match &doc.storage {
             Some(storage) => xquery::evaluate(&storage, &q)?,
             None => {
@@ -534,6 +591,8 @@ impl Database {
             .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
         let path = xpath::parse(xpath)?;
         self.preflight_xpath(doc, &path)?;
+        let mut span = self.obs.span(xsobs::HistogramId::DbQuery);
+        span.set_detail(xpath);
         let tree = XdmTree { store: &doc.loaded.store, doc: doc.loaded.doc };
         Ok(eval_naive(&tree, &path))
     }
@@ -548,6 +607,7 @@ impl Database {
         if let Some(schema) = self.schemas.get(&doc.schema_name) {
             let diags = xsanalyze::analyze_xpath(schema, path);
             if !diags.is_empty() {
+                self.obs.incr(xsobs::CounterId::StrictQueryRejections);
                 return Err(DbError::QueryStaticallyEmpty(diags));
             }
         }

@@ -194,6 +194,9 @@ impl Database {
     /// [`Database::save_dir`] over an explicit [`Vfs`] (fault injection
     /// and crash testing).
     pub fn save_dir_vfs(&self, dir: &Path, vfs: &dyn Vfs) -> Result<(), DbError> {
+        let obs = self.metrics_registry();
+        let mut span = obs.span(xsobs::HistogramId::PersistSave);
+        span.set_detail(dir.display().to_string());
         let io = |path: &Path| {
             let path = path.to_path_buf();
             move |e: std::io::Error| DbError::Io { path, source: e }
@@ -240,6 +243,7 @@ impl Database {
             let bytes = xsmodel::write_schema(schema).into_bytes();
             let path = schemas_dir.join(&file);
             vfs.write(&path, &bytes).map_err(io(&path))?;
+            obs.add(xsobs::CounterId::PersistBytesStaged, bytes.len() as u64);
             manifest.children.push(xmlparse::Node::Element(
                 Element::new("schema")
                     .with_attribute("name", name)
@@ -256,6 +260,7 @@ impl Database {
             let bytes = self.serialize(name)?.into_bytes();
             let path = docs_dir.join(&file);
             vfs.write(&path, &bytes).map_err(io(&path))?;
+            obs.add(xsobs::CounterId::PersistBytesStaged, bytes.len() as u64);
             manifest.children.push(xmlparse::Node::Element(
                 Element::new("document")
                     .with_attribute("name", name.clone())
@@ -268,6 +273,7 @@ impl Database {
         let manifest_digest = sha256_hex(&manifest_bytes);
         let manifest_path = tmp.join("manifest.xml");
         vfs.write(&manifest_path, &manifest_bytes).map_err(io(&manifest_path))?;
+        obs.add(xsobs::CounterId::PersistBytesStaged, manifest_bytes.len() as u64);
         vfs.sync_dir(&schemas_dir).map_err(io(&schemas_dir))?;
         vfs.sync_dir(&docs_dir).map_err(io(&docs_dir))?;
         vfs.sync_dir(&tmp).map_err(io(&tmp))?;
@@ -307,6 +313,7 @@ impl Database {
                 }
             }
         }
+        obs.incr(xsobs::CounterId::PersistSaves);
         Ok(())
     }
 
@@ -332,6 +339,11 @@ impl Database {
         policy: LoadPolicy,
         vfs: &dyn Vfs,
     ) -> Result<(Database, LoadReport), DbError> {
+        // An associated fn has no database yet, so recovery metrics go
+        // to the process-global registry.
+        let obs = xsobs::global();
+        let mut span = obs.span(xsobs::HistogramId::PersistLoad);
+        span.set_detail(dir.display().to_string());
         let mut report = LoadReport::default();
 
         // Stale-temp cleanup: uncommitted saves are garbage by protocol.
@@ -458,6 +470,10 @@ impl Database {
                 }
             }
         }
+        obs.incr(xsobs::CounterId::PersistLoads);
+        obs.add(xsobs::CounterId::PersistQuarantined, report.quarantined.len() as u64);
+        obs.add(xsobs::CounterId::PersistRecoveryWarnings, report.warnings.len() as u64);
+        obs.add(xsobs::CounterId::PersistTempsSwept, report.cleaned_temps.len() as u64);
         Ok((db, report))
     }
 }

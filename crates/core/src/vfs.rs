@@ -53,7 +53,9 @@ impl Vfs for StdVfs {
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         let mut file = fs::File::create(path)?;
         file.write_all(data)?;
-        file.sync_all()
+        file.sync_all()?;
+        xsobs::global().incr(xsobs::CounterId::PersistFsyncs);
+        Ok(())
     }
 
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
@@ -83,7 +85,9 @@ impl Vfs for StdVfs {
         // Opening a directory read-only and fsyncing it persists the
         // directory entries themselves (POSIX semantics; a no-op where
         // unsupported).
-        fs::File::open(path)?.sync_all()
+        fs::File::open(path)?.sync_all()?;
+        xsobs::global().incr(xsobs::CounterId::PersistFsyncs);
+        Ok(())
     }
 
     fn exists(&self, path: &Path) -> bool {

@@ -353,7 +353,16 @@ impl NodeStore {
     pub fn string_value(&self, id: NodeId) -> String {
         match self.data(id).kind {
             NodeKind::Text | NodeKind::Attribute => self.data(id).content.clone(),
-            NodeKind::Element | NodeKind::Document => self.cached_string_value(id).clone(),
+            NodeKind::Element | NodeKind::Document => {
+                // Hit/fill is judged at the API entry only; the cells a
+                // recursive fill populates along the way are not counted.
+                xsobs::global().incr(if self.string_values[id.index()].get().is_some() {
+                    xsobs::CounterId::StringValueMemoHits
+                } else {
+                    xsobs::CounterId::StringValueMemoFills
+                });
+                self.cached_string_value(id).clone()
+            }
         }
     }
 

@@ -170,6 +170,17 @@ impl Document {
     /// Parse a document from text, enforcing explicit resource limits on
     /// the underlying [`EventReader`].
     pub fn parse_with_limits(src: &str, limits: &ParseLimits) -> Result<Self> {
+        // `inspect_err` needs Rust 1.76; the workspace MSRV is 1.75.
+        match Document::parse_with_limits_inner(src, limits) {
+            Ok(doc) => Ok(doc),
+            Err(e) => {
+                xsobs::global().incr(xsobs::CounterId::ParseErrors);
+                Err(e)
+            }
+        }
+    }
+
+    fn parse_with_limits_inner(src: &str, limits: &ParseLimits) -> Result<Self> {
         let mut reader = EventReader::with_limits(src, limits.clone());
         let mut stack: Vec<Element> = Vec::new();
         let mut root: Option<Element> = None;

@@ -35,6 +35,10 @@ pub struct EventReader<'a> {
     limits: ParseLimits,
     /// Entity/character references expanded so far (whole document).
     expansions: usize,
+    /// Deepest element nesting reached so far.
+    depth_hw: usize,
+    /// Whether this document's totals were already reported to xsobs.
+    reported: bool,
 }
 
 impl<'a> EventReader<'a> {
@@ -53,6 +57,8 @@ impl<'a> EventReader<'a> {
             prolog_done: false,
             limits,
             expansions: 0,
+            depth_hw: 0,
+            reported: false,
         }
     }
 
@@ -90,6 +96,14 @@ impl<'a> EventReader<'a> {
                 if self.cursor.at_eof() {
                     if !self.root_seen {
                         return Err(self.cursor.error(ErrorKind::NoRootElement));
+                    }
+                    if !self.reported {
+                        self.reported = true;
+                        let obs = xsobs::global();
+                        obs.incr(xsobs::CounterId::ParseDocuments);
+                        obs.add(xsobs::CounterId::ParseBytes, self.cursor.src_len() as u64);
+                        obs.add(xsobs::CounterId::ParseEntityExpansions, self.expansions as u64);
+                        obs.record_max(xsobs::MaxId::ParseDepthHighWater, self.depth_hw as u64);
                     }
                     return Ok(Event::Eof);
                 }
@@ -198,6 +212,7 @@ impl<'a> EventReader<'a> {
                             .error(ErrorKind::DepthLimitExceeded(self.limits.max_depth)));
                     }
                     self.open.push(name.clone());
+                    self.depth_hw = self.depth_hw.max(self.open.len());
                     return Ok(Event::StartElement { name, attributes, self_closing: false });
                 }
                 Some('/') => {
@@ -215,6 +230,7 @@ impl<'a> EventReader<'a> {
                         self.root_seen = true;
                         self.root_closed = true;
                     }
+                    self.depth_hw = self.depth_hw.max(self.open.len() + 1);
                     return Ok(Event::StartElement { name, attributes, self_closing: true });
                 }
                 Some(c) if is_name_start(c) => {

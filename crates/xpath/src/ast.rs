@@ -44,7 +44,10 @@ pub struct Step {
 pub enum Axis {
     /// `child::` (the default).
     Child,
-    /// `descendant-or-self::node()/child::` — what `//` expands to.
+    /// `descendant-or-self::` (context node plus all descendants). The
+    /// `//` abbreviation parses into a `descendant-or-self::node()`
+    /// step followed by the abbreviated step (XPath 1.0 §2.5), so
+    /// `a//b` never selects `a` itself.
     DescendantOrSelf,
     /// `descendant::`.
     Descendant,
@@ -135,14 +138,25 @@ pub enum Predicate {
 
 impl fmt::Display for Path {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, step) in self.steps.iter().enumerate() {
+        let mut i = 0;
+        while i < self.steps.len() {
+            let step = &self.steps[i];
+            // Re-abbreviate the parser's `//` expansion
+            // (`descendant-or-self::node()` followed by another step).
+            if step.axis == Axis::DescendantOrSelf
+                && step.test == NodeTest::Node
+                && step.predicates.is_empty()
+                && i + 1 < self.steps.len()
+            {
+                write!(f, "//{}", self.steps[i + 1])?;
+                i += 2;
+                continue;
+            }
             if i > 0 || step.axis != Axis::SelfAxis {
-                match step.axis {
-                    Axis::DescendantOrSelf => f.write_str("//")?,
-                    _ => f.write_str("/")?,
-                }
+                f.write_str("/")?;
             }
             write!(f, "{step}")?;
+            i += 1;
         }
         Ok(())
     }
@@ -155,6 +169,7 @@ impl fmt::Display for Step {
             Axis::Parent => return f.write_str(".."),
             Axis::SelfAxis => return f.write_str("."),
             Axis::Descendant => f.write_str("descendant::")?,
+            Axis::DescendantOrSelf => f.write_str("descendant-or-self::")?,
             Axis::Ancestor => f.write_str("ancestor::")?,
             Axis::AncestorOrSelf => f.write_str("ancestor-or-self::")?,
             Axis::FollowingSibling => f.write_str("following-sibling::")?,

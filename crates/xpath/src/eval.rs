@@ -305,6 +305,17 @@ pub fn eval_guided(storage: &XmlStorage, path: &Path) -> Vec<DescPtr> {
                 }
                 out
             }
+            (Axis::DescendantOrSelf, NodeTest::Node) => {
+                // The expanded `//` abbreviation: every schema
+                // descendant-or-self (the following child step narrows).
+                let mut out = Vec::new();
+                let mut stack = schema_frontier.clone();
+                while let Some(sn) = stack.pop() {
+                    out.push(sn);
+                    stack.extend(storage.schema().node(sn).children.iter().copied());
+                }
+                out
+            }
             _ => break,
         };
         if next.is_empty() {

@@ -103,7 +103,20 @@ impl<'a> Parser<'a> {
                         }
                         return Err(self.err("path ends after '/'"));
                     }
-                    steps.push(self.parse_step(axis)?);
+                    if axis == Axis::DescendantOrSelf {
+                        // XPath 1.0 §2.5: `//step` abbreviates
+                        // `/descendant-or-self::node()/step` — two steps,
+                        // so `a//b` selects children named b of a *and*
+                        // its descendants, never a itself.
+                        steps.push(Step {
+                            axis: Axis::DescendantOrSelf,
+                            test: NodeTest::Node,
+                            predicates: Vec::new(),
+                        });
+                        steps.push(self.parse_step(Axis::Child)?);
+                    } else {
+                        steps.push(self.parse_step(axis)?);
+                    }
                 }
             }
             if !matches!(self.chars.peek(), Some('/')) {
@@ -118,12 +131,9 @@ impl<'a> Parser<'a> {
         let mut axis = axis;
         if self.eat('@') {
             axis = match axis {
+                // `//@x` arrives here as the child step of the expanded
+                // abbreviation, so Child covers it too.
                 Axis::Child => Axis::Attribute,
-                Axis::DescendantOrSelf => {
-                    // `//@x`: any attribute named x anywhere — modelled as
-                    // descendant-or-self element step then attribute.
-                    Axis::Attribute
-                }
                 _ => return Err(self.err("'@' in unsupported position")),
             };
         }

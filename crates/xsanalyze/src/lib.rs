@@ -87,11 +87,23 @@ use xsmodel::DocumentSchema;
 /// from [`xsmodel::check`]), UPA, satisfiability, and reachability.
 /// Diagnostics are ordered by code, then by declaration path.
 pub fn analyze_schema(schema: &DocumentSchema) -> Vec<Diagnostic> {
-    let mut out: Vec<Diagnostic> =
-        xsmodel::check(schema).iter().map(Diagnostic::from_issue).collect();
-    out.extend(check_upa(schema));
-    out.extend(check_satisfiability(schema));
-    out.extend(check_reachability(schema));
+    let obs = xsobs::global();
+    let mut out: Vec<Diagnostic> = {
+        let _span = obs.span(xsobs::HistogramId::AnalyzeWellformed);
+        xsmodel::check(schema).iter().map(Diagnostic::from_issue).collect()
+    };
+    {
+        let _span = obs.span(xsobs::HistogramId::AnalyzeUpa);
+        out.extend(check_upa(schema));
+    }
+    {
+        let _span = obs.span(xsobs::HistogramId::AnalyzeSatisfiability);
+        out.extend(check_satisfiability(schema));
+    }
+    {
+        let _span = obs.span(xsobs::HistogramId::AnalyzeReachability);
+        out.extend(check_reachability(schema));
+    }
     out.sort_by(|a, b| a.code.cmp(b.code).then_with(|| a.path.cmp(&b.path)));
     out
 }

@@ -26,6 +26,7 @@ use crate::diag::Diagnostic;
 
 /// Flag statically-empty steps in an XPath expression (`XSA401`).
 pub fn analyze_xpath(schema: &DocumentSchema, path: &Path) -> Vec<Diagnostic> {
+    let _span = xsobs::global().span(xsobs::HistogramId::AnalyzePathTyping);
     let backend = SchemaBackend { schema };
     let (_, diags) = eval_path(&backend, path, vec![Ctx::Doc], "path");
     diags
@@ -39,6 +40,7 @@ pub fn analyze_xquery(schema: &DocumentSchema, query: &Query) -> Vec<Diagnostic>
         Query::Path(p) => return analyze_xpath(schema, p),
         Query::Flwor(f) => f,
     };
+    let _span = xsobs::global().span(xsobs::HistogramId::AnalyzePathTyping);
     let backend = SchemaBackend { schema };
     let mut out = Vec::new();
     let (source, diags) =
@@ -439,8 +441,9 @@ fn eval_step<B: PathBackend>(
     };
     match step.axis {
         Axis::Child | Axis::Descendant | Axis::DescendantOrSelf => {
-            // `//` expands to descendant-or-self::node()/child::, so both
-            // descendant axes select exactly the strict descendants here.
+            // The parser expands `//` to descendant-or-self::node()/child::,
+            // so a DescendantOrSelf step here is the real axis and keeps
+            // the context nodes; Descendant is the strict descendants.
             let pool: Vec<B::Ctx> = if step.axis == Axis::Child {
                 let mut pool = Vec::new();
                 for c in ctxs {
@@ -448,7 +451,10 @@ fn eval_step<B: PathBackend>(
                 }
                 pool
             } else {
-                descendants(backend, ctxs)?
+                let mut pool =
+                    if step.axis == Axis::DescendantOrSelf { ctxs.to_vec() } else { Vec::new() };
+                pool.extend(descendants(backend, ctxs)?);
+                pool
             };
             match &step.test {
                 NodeTest::Text => {

@@ -32,6 +32,9 @@ pub struct ContentModel {
     /// `(name, decl index, min, max)` matched by counting, since the NFA
     /// encoding of all permutations would be factorial.
     all_members: Option<Vec<AllMember>>,
+    /// `minOccurs="0"` on the all-group itself: the empty child sequence
+    /// is accepted even when members have non-zero minimums.
+    all_optional: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -129,13 +132,20 @@ pub enum MatchOutcome {
 impl ContentModel {
     /// Compile a group definition.
     pub fn compile(group: &GroupDefinition) -> Result<ContentModel, ContentModelError> {
-        let mut cm = ContentModel { program: Vec::new(), decls: Vec::new(), all_members: None };
+        let mut cm = ContentModel {
+            program: Vec::new(),
+            decls: Vec::new(),
+            all_members: None,
+            all_optional: false,
+        };
         if group.combination == crate::ast::CombinationFactor::All && !group.is_empty_content() {
             cm.compile_all(group)?;
+            xsobs::global().incr(xsobs::CounterId::AutomatonCompilations);
             return Ok(cm);
         }
         cm.emit_group(group)?;
         cm.program.push(Inst::Match);
+        xsobs::global().incr(xsobs::CounterId::AutomatonCompilations);
         Ok(cm)
     }
 
@@ -169,7 +179,7 @@ impl ContentModel {
                 max: decl.repetition.max,
             });
         }
-        let _ = group_optional; // handled in match_children via empty input
+        self.all_optional = group_optional;
         self.all_members = Some(members);
         Ok(())
     }
@@ -363,10 +373,9 @@ impl ContentModel {
         if !unmet.is_empty() && !names.is_empty() {
             return MatchOutcome::Reject { position: names.len(), expected: unmet };
         }
-        if names.is_empty() && members.iter().any(|m| m.min > 0) {
-            // Only acceptable when the group itself is optional — the
-            // caller models that by an empty-content alternative; be
-            // conservative and reject, reporting the required members.
+        if names.is_empty() && !self.all_optional && members.iter().any(|m| m.min > 0) {
+            // An absent optional all-group is fine; a *required* one with
+            // required members rejects the empty sequence.
             return MatchOutcome::Reject {
                 position: 0,
                 expected: members.iter().filter(|m| m.min > 0).map(|m| m.name.clone()).collect(),
@@ -580,6 +589,7 @@ impl ContentModel {
         let start = self.closure_of(&[0]);
         let mut visited: HashSet<Vec<usize>> = HashSet::new();
         visited.insert(start.clone());
+        xsobs::global().incr(xsobs::CounterId::UpaSubsetStates);
         let mut queue: VecDeque<(Vec<usize>, Vec<String>)> = VecDeque::new();
         queue.push_back((start, Vec::new()));
         while let Some((state, prefix)) = queue.pop_front() {
@@ -609,6 +619,7 @@ impl ContentModel {
                     return None;
                 }
                 if visited.insert(next.clone()) {
+                    xsobs::global().incr(xsobs::CounterId::UpaSubsetStates);
                     let mut p = prefix.clone();
                     p.push(name.to_string());
                     queue.push_back((next, p));

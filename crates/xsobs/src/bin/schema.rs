@@ -1,0 +1,7 @@
+//! Prints the canonical (all-zero) JSON metrics export of a fresh
+//! registry. `scripts/check.sh` diffs this against
+//! `fixtures/obs/schema.json` to pin the export schema.
+
+fn main() {
+    println!("{}", xsobs::Registry::new().snapshot().to_json());
+}

@@ -11,6 +11,11 @@ cargo test -q --workspace
 cargo test -q -p xsdb --test crash_matrix
 cargo test -q -p xsdb --test manifest_abuse
 cargo test -q -p xmlparse --test byte_soup
+# Observability + generative suites (same rationale).
+cargo test -q -p xsdb --test cli_stats
+cargo test -q -p xsdb-integration --test metrics_invariants
+cargo test -q -p xsdb-integration --test obs_export
+cargo test -q -p xsdb-integration --test generative_roundtrip
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 
@@ -41,5 +46,17 @@ if [ "$unwraps" -gt "$UNWRAP_BASELINE" ]; then
   echo "unwrap gate: $unwraps unwrap()/expect() in non-test library code (baseline $UNWRAP_BASELINE)" >&2
   exit 1
 fi
+
+# Metrics-export schema golden: the JSON field layout is semver-stable.
+# Regenerate with `cargo run -p xsobs --bin xsobs-schema` when changing
+# it deliberately.
+if ! diff -u fixtures/obs/schema.json <(target/release/xsobs-schema); then
+  echo "obs gate: metrics JSON schema drifted from fixtures/obs/schema.json" >&2
+  exit 1
+fi
+
+# E11 overhead guard: enabled metrics must stay within 3% of disabled
+# on the bulk-validation workload (retries internally to shed noise).
+cargo run --release -q -p bench --bin experiments -- e11 --guard
 
 echo "tier-1 gate: OK"

@@ -1,31 +1,54 @@
+//! Static analysis vs. runtime agreement on a statically-empty path.
+//!
+//! `/library/book//book` can never select anything in a valid document
+//! of the books schema: `Book` contains only `title`, so no `book` can
+//! appear below another `book`. A lax database discovers this at
+//! runtime (zero nodes); a strict database refuses the query up front
+//! with `QueryStaticallyEmpty` carrying the `XSA401` path diagnostic.
+
+const BOOKS_XSD: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="library" type="Library"/>
+  <xs:complexType name="Library">
+    <xs:sequence><xs:element name="book" type="Book" maxOccurs="unbounded"/></xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="Book">
+    <xs:sequence><xs:element name="title" type="xs:string"/></xs:sequence>
+  </xs:complexType>
+</xs:schema>"#;
+
+const DOC: &str = "<library><book><title>t</title></book></library>";
+
 #[test]
 fn dos_static_vs_runtime() {
-    let mut db = xsdb::Database::with_strict_analysis();
-    db.register_schema_text("books", r#"
-<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
-  <xs:element name="library" type="Library"/>
-  <xs:complexType name="Library">
-    <xs:sequence><xs:element name="book" type="Book" maxOccurs="unbounded"/></xs:sequence>
-  </xs:complexType>
-  <xs:complexType name="Book">
-    <xs:sequence><xs:element name="title" type="xs:string"/></xs:sequence>
-  </xs:complexType>
-</xs:schema>"#).unwrap();
-    db.insert("d", "books", "<library><book><title>t</title></book></library>").unwrap();
-    // runtime result without strict mode
+    let mut strict = xsdb::Database::with_strict_analysis();
+    strict.register_schema_text("books", BOOKS_XSD).unwrap();
+    strict.insert("d", "books", DOC).unwrap();
+
     let mut lax = xsdb::Database::new();
-    lax.register_schema_text("books", r#"
-<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
-  <xs:element name="library" type="Library"/>
-  <xs:complexType name="Library">
-    <xs:sequence><xs:element name="book" type="Book" maxOccurs="unbounded"/></xs:sequence>
-  </xs:complexType>
-  <xs:complexType name="Book">
-    <xs:sequence><xs:element name="title" type="xs:string"/></xs:sequence>
-  </xs:complexType>
-</xs:schema>"#).unwrap();
-    lax.insert("d", "books", "<library><book><title>t</title></book></library>").unwrap();
+    lax.register_schema_text("books", BOOKS_XSD).unwrap();
+    lax.insert("d", "books", DOC).unwrap();
+
+    // Lax: the query evaluates and (consistently with the static
+    // verdict) selects nothing.
     let runtime = lax.query("d", "/library/book//book").unwrap();
-    let strict = db.query("d", "/library/book//book");
-    panic!("runtime returned {} nodes; strict says {:?}", runtime.len(), strict.err().map(|e| e.to_string()));
+    assert!(runtime.is_empty(), "expected zero nodes, got {runtime:?}");
+
+    // Strict: the same query is refused before evaluation, with the
+    // statically-empty-path code.
+    match strict.query("d", "/library/book//book") {
+        Err(xsdb::DbError::QueryStaticallyEmpty(diags)) => {
+            assert!(!diags.is_empty());
+            assert!(
+                diags.iter().all(|d| d.code == "XSA401"),
+                "expected only XSA401 diagnostics, got {diags:?}"
+            );
+        }
+        other => panic!("expected QueryStaticallyEmpty, got {other:?}"),
+    }
+
+    // Agreement: everything the strict analyzer allows through, the
+    // runtime can evaluate — and this path works in both modes.
+    assert_eq!(strict.query("d", "/library/book/title").unwrap(), ["t"]);
+    assert_eq!(lax.query("d", "/library/book/title").unwrap(), ["t"]);
 }

@@ -1,0 +1,155 @@
+//! Invariants of the observability layer under real workloads.
+//!
+//! * Counters are monotone: a later snapshot never shows less.
+//! * Cache accounting is exact: `lookups == hits + misses`, and the
+//!   metric registry's counters agree with the cache's own counters,
+//!   across 1–8 worker threads.
+//! * Latency histograms count exactly one observation per operation.
+//! * A disabled registry records nothing, and re-enabling resumes
+//!   recording.
+
+use std::sync::Arc;
+use xsdb::xsobs::{self, CounterId, HistogramId, Registry};
+use xsdb::Database;
+
+const SCHEMA: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="library" type="Library"/>
+  <xs:complexType name="Library">
+    <xs:sequence><xs:element name="book" type="Book" maxOccurs="unbounded"/></xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="Book">
+    <xs:sequence>
+      <xs:element name="title" type="xs:string"/>
+      <xs:element name="year" type="xs:int" minOccurs="0"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>"#;
+
+fn doc(i: usize) -> String {
+    format!("<library><book><title>t{i}</title><year>{}</year></book></library>", 1990 + i % 40)
+}
+
+/// Global counters never decrease across snapshots taken around work.
+#[test]
+fn global_counters_are_monotone() {
+    let before = xsobs::global().snapshot();
+    let mut db = Database::new();
+    db.register_schema_text("s", SCHEMA).unwrap();
+    for i in 0..16 {
+        db.insert(&format!("d{i}"), "s", &doc(i)).unwrap();
+    }
+    db.query("d0", "/library/book/title").unwrap();
+    let after = xsobs::global().snapshot();
+    for id in CounterId::ALL {
+        assert!(
+            after.counter(id) >= before.counter(id),
+            "counter {} went backwards: {} -> {}",
+            id.name(),
+            before.counter(id),
+            after.counter(id)
+        );
+    }
+    // The workload demonstrably recorded something.
+    assert!(after.counter(CounterId::ParseDocuments) > before.counter(CounterId::ParseDocuments));
+}
+
+/// Exact cache accounting on an injected (non-global) registry, across
+/// thread counts: every lookup is a hit or a miss, no lookups are lost,
+/// and the registry agrees with the cache's own counters.
+#[test]
+fn cache_accounting_is_exact_across_thread_counts() {
+    for threads in [1usize, 2, 4, 8] {
+        let reg = Arc::new(Registry::new());
+        let mut db = Database::with_metrics_registry(Arc::clone(&reg));
+        db.register_schema_text("s", SCHEMA).unwrap();
+
+        let docs: Vec<String> = (0..32).map(doc).collect();
+        let borrowed: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let outcomes = db.validate_many("s", &borrowed, threads).unwrap();
+        assert!(outcomes.iter().all(|o| matches!(o, Ok(errs) if errs.is_empty())));
+
+        let entries: Vec<(&str, &str, &str)> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let name: &str = Box::leak(format!("d{i}").into_boxed_str());
+                (name, "s", d.as_str())
+            })
+            .collect();
+        let results = db.load_many(&entries, threads);
+        assert!(results.iter().all(Result::is_ok));
+
+        let cache = db.content_model_cache();
+        let snap = db.metrics();
+        let (lookups, hits, misses) = (
+            snap.counter(CounterId::CmCacheLookups),
+            snap.counter(CounterId::CmCacheHits),
+            snap.counter(CounterId::CmCacheMisses),
+        );
+        assert_eq!(lookups, hits + misses, "threads={threads}: hits+misses must cover lookups");
+        assert_eq!(lookups, cache.lookups(), "threads={threads}: registry vs cache lookups");
+        assert_eq!(hits, cache.hits(), "threads={threads}: registry vs cache hits");
+        assert_eq!(misses, cache.misses(), "threads={threads}: registry vs cache misses");
+        // Two distinct group definitions (Library, Book) compile once each.
+        assert_eq!(misses, 2, "threads={threads}: exactly one compile per distinct group");
+
+        // One histogram observation per operation.
+        assert_eq!(snap.histogram(HistogramId::DbValidate).count, 32, "threads={threads}");
+        assert_eq!(snap.histogram(HistogramId::DbInsert).count, 32, "threads={threads}");
+    }
+}
+
+/// A disabled registry records nothing; re-enabling resumes recording.
+#[test]
+fn disabled_registry_records_nothing() {
+    let reg = Arc::new(Registry::disabled());
+    let mut db = Database::with_metrics_registry(Arc::clone(&reg));
+    db.register_schema_text("s", SCHEMA).unwrap();
+    db.insert("d", "s", &doc(0)).unwrap();
+    db.query("d", "/library/book/title").unwrap();
+
+    let snap = db.metrics();
+    assert!(!snap.enabled());
+    for id in CounterId::ALL {
+        assert_eq!(snap.counter(id), 0, "disabled registry counted {}", id.name());
+    }
+    for id in HistogramId::ALL {
+        assert_eq!(snap.histogram(id).count, 0, "disabled registry observed {}", id.name());
+    }
+    assert!(snap.slow_ops().is_empty());
+
+    // Flipping the switch resumes recording on the same registry.
+    reg.set_enabled(true);
+    db.insert("d2", "s", &doc(1)).unwrap();
+    let snap = db.metrics();
+    assert_eq!(snap.histogram(HistogramId::DbInsert).count, 1);
+    assert_eq!(snap.counter(CounterId::CmCacheLookups), 2);
+}
+
+/// The slow-op ring captures operations over the threshold, newest-last,
+/// bounded by its capacity.
+#[test]
+fn slow_op_ring_is_bounded_and_thresholded() {
+    let reg = Arc::new(Registry::new());
+    // Threshold 0: everything is "slow".
+    reg.set_slow_threshold(HistogramId::DbInsert, Some(std::time::Duration::ZERO));
+    reg.set_slow_capacity(4);
+    let mut db = Database::with_metrics_registry(Arc::clone(&reg));
+    db.register_schema_text("s", SCHEMA).unwrap();
+    for i in 0..10 {
+        db.insert(&format!("d{i}"), "s", &doc(i)).unwrap();
+    }
+    let snap = db.metrics();
+    let slow = snap.slow_ops();
+    assert_eq!(slow.len(), 4, "ring capacity bounds retained slow ops");
+    assert!(slow.windows(2).all(|w| w[0].seq < w[1].seq), "slow ops ordered by sequence");
+    assert!(slow.iter().all(|s| s.op == HistogramId::DbInsert.name()));
+    // The newest entries won: 10 inserts, ring of 4 keeps the last four.
+    assert_eq!(slow.last().unwrap().detail.as_deref(), Some("d9"));
+
+    // Disabling the threshold stops capture.
+    reg.set_slow_threshold(HistogramId::DbInsert, None);
+    db.insert("dx", "s", &doc(11)).unwrap();
+    assert_eq!(db.metrics().slow_ops().len(), 4);
+}

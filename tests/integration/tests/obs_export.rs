@@ -1,0 +1,102 @@
+//! Stability of the metrics export formats.
+//!
+//! The JSON export is a semver-stable schema: `fixtures/obs/schema.json`
+//! pins the exact output of a fresh registry (also diffed against the
+//! `xsobs-schema` binary in `scripts/check.sh`), and the key set must
+//! not change between an empty and a populated snapshot — consumers
+//! can rely on every field being present even when zero.
+
+use xsdb::xsobs::{CounterId, HistogramId, MaxId, Registry};
+use xsdb::Database;
+
+/// Extract every JSON object key, in order of appearance.
+fn json_keys(s: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            let mut k = j + 1;
+            while k < bytes.len() && (bytes[k] == b' ' || bytes[k] == b'\n') {
+                k += 1;
+            }
+            if k < bytes.len() && bytes[k] == b':' {
+                keys.push(s[start..j].to_string());
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    keys
+}
+
+/// A fresh registry's JSON export matches the committed golden file
+/// byte for byte.
+#[test]
+fn fresh_snapshot_matches_golden_fixture() {
+    let golden = include_str!("../../../fixtures/obs/schema.json");
+    let actual = format!("{}\n", Registry::new().snapshot().to_json());
+    assert_eq!(
+        actual, golden,
+        "metrics JSON schema drifted; regenerate fixtures/obs/schema.json \
+         with `cargo run -p xsobs --bin xsobs-schema` if the change is intentional"
+    );
+}
+
+/// The key set is identical between an empty and a populated snapshot:
+/// fields never appear or disappear based on traffic.
+#[test]
+fn key_set_is_traffic_independent() {
+    let empty_keys = json_keys(&Registry::new().snapshot().to_json());
+
+    let reg = std::sync::Arc::new(Registry::new());
+    reg.set_slow_threshold(HistogramId::DbInsert, Some(std::time::Duration::ZERO));
+    let mut db = Database::with_metrics_registry(std::sync::Arc::clone(&reg));
+    db.register_schema_text(
+        "s",
+        r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+             <xs:element name="r" type="xs:string"/></xs:schema>"#,
+    )
+    .unwrap();
+    db.insert("d", "s", "<r>x</r>").unwrap();
+    let populated = db.metrics().to_json();
+    let populated_keys = json_keys(&populated);
+
+    // Slow ops add `seq`/`op`/`ns`/`detail` entries; every *schema* key
+    // of the empty export must still be present, in the same order.
+    let filtered: Vec<String> = populated_keys
+        .iter()
+        .filter(|k| empty_keys.contains(k) || !matches!(k.as_str(), "seq" | "op" | "ns" | "detail"))
+        .cloned()
+        .collect();
+    assert_eq!(filtered, empty_keys, "populated export lost or reordered schema keys");
+}
+
+/// Every declared metric id appears by name in both export formats.
+#[test]
+fn exports_cover_every_metric_family() {
+    let reg = Registry::new();
+    let snap = reg.snapshot();
+    let (json, text) = (snap.to_json(), snap.to_text());
+    for id in CounterId::ALL {
+        assert!(json.contains(id.name()), "JSON export missing {}", id.name());
+        assert!(text.contains(id.name()), "text export missing {}", id.name());
+    }
+    for id in HistogramId::ALL {
+        assert!(json.contains(id.name()), "JSON export missing {}", id.name());
+        assert!(text.contains(id.name()), "text export missing {}", id.name());
+    }
+    for id in MaxId::ALL {
+        assert!(json.contains(id.name()), "JSON export missing {}", id.name());
+        assert!(text.contains(id.name()), "text export missing {}", id.name());
+    }
+}
