@@ -54,6 +54,9 @@ fn main() {
     if want("e11") {
         e11_obs_overhead(guard);
     }
+    if want("e12") {
+        e12_server_throughput();
+    }
 }
 
 /// Time one closure, returning (result, seconds).
@@ -667,6 +670,57 @@ fn e11_obs_overhead(guard: bool) {
         std::process::exit(1);
     }
     println!("(budget {:.0}%; guard {})", BUDGET * 100.0, if guard { "on" } else { "off" });
+}
+
+fn e12_server_throughput() {
+    use xsserver::loadgen::{self, LoadConfig};
+    use xsserver::{Server, ServerConfig};
+    println!("\n== E12: server throughput scaling (one shared database over TCP) ==");
+    println!(
+        "{:<7} {:>10} {:>7} {:>9} {:>10} {:>10} {:>10}",
+        "conns", "requests", "errors", "wall s", "req/s", "p50 ms", "p99 ms"
+    );
+    let shared = xsdb::SharedDatabase::new(xsdb::Database::new());
+    let handle = Server::start("127.0.0.1:0", ServerConfig::default(), shared)
+        .expect("bind an ephemeral port");
+    let addr = handle.local_addr().to_string();
+    // Fixed total work split across the connections, so rows compare
+    // wall clock for the same request volume.
+    const TOTAL: usize = 2_048;
+    let mut single = None;
+    for &conns in &[1usize, 2, 4, 8, 16, 32] {
+        let config = LoadConfig {
+            connections: conns,
+            requests_per_conn: TOTAL / conns,
+            write_percent: 10,
+            doc_items: 32,
+        };
+        loadgen::setup(&addr, &config).expect("load generator setup");
+        let obs = xsdb::xsobs::Registry::new();
+        let summary = loadgen::run(&addr, &config, &obs);
+        assert_eq!(summary.errors, 0, "E12 must complete with zero protocol errors");
+        println!(
+            "{:<7} {:>10} {:>7} {:>9.3} {:>10.0} {:>10.3} {:>10.3}",
+            conns,
+            summary.requests,
+            summary.errors,
+            summary.elapsed.as_secs_f64(),
+            summary.throughput_rps,
+            summary.p50_ns as f64 / 1e6,
+            summary.p99_ns as f64 / 1e6
+        );
+        if conns == 1 {
+            single = Some(summary.throughput_rps);
+        } else if conns == 32 {
+            if let Some(single) = single {
+                println!(
+                    "(32-connection speedup over 1 connection: {:.2}x)",
+                    summary.throughput_rps / single
+                );
+            }
+        }
+    }
+    handle.shutdown().expect("graceful shutdown");
 }
 
 fn e10_analysis_cost() {

@@ -23,6 +23,7 @@
 
 use std::process::ExitCode;
 
+use xsdb::cli::out_line;
 use xsdb::xsanalyze::{self, Diagnostic, Severity};
 
 struct Args {
@@ -115,14 +116,14 @@ fn main() -> ExitCode {
         }
     };
     if args.json {
-        println!("{}", xsanalyze::render_json(&diags));
+        out_line(format_args!("{}", xsanalyze::render_json(&diags)));
     } else if args.codes {
         for d in &diags {
-            println!("{}", d.code);
+            out_line(format_args!("{}", d.code));
         }
     } else {
         for d in &diags {
-            println!("{d}");
+            out_line(format_args!("{d}"));
         }
         if diags.is_empty() {
             eprintln!("clean: no diagnostics");

@@ -10,6 +10,7 @@
 
 use std::process::ExitCode;
 
+use xsdb::cli::out_line;
 use xsdb::storage::XmlStorage;
 use xsdb::xpath::XdmTree;
 use xsdb::{check_roundtrip, load_document, parse_schema_text, Document};
@@ -49,7 +50,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match command {
         "validate" => match load_document(&schema, &doc) {
             Ok(loaded) => {
-                println!("valid: {} nodes", loaded.store.len());
+                out_line(format_args!("valid: {} nodes", loaded.store.len()));
                 Ok(())
             }
             Err(errors) => {
@@ -66,7 +67,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let path = xsdb::xpath::parse(expr).map_err(|e| e.to_string())?;
             let tree = XdmTree { store: &loaded.store, doc: loaded.doc };
             for n in xsdb::xpath::eval_naive(&tree, &path) {
-                println!("{}", loaded.store.string_value(n));
+                out_line(format_args!("{}", loaded.store.string_value(n)));
             }
             Ok(())
         }
@@ -77,12 +78,12 @@ fn run(args: &[String]) -> Result<(), String> {
             let q = xsdb::xquery::parse_query(expr).map_err(|e| e.to_string())?;
             let tree = XdmTree { store: &loaded.store, doc: loaded.doc };
             let nodes = xsdb::xquery::evaluate(&tree, &q).map_err(|e| e.to_string())?;
-            println!("{}", xsdb::xquery::nodes_to_string(&nodes));
+            out_line(format_args!("{}", xsdb::xquery::nodes_to_string(&nodes)));
             Ok(())
         }
         "roundtrip" => match check_roundtrip(&schema, &doc) {
             Ok(_) => {
-                println!("g(f(X)) =_c X holds");
+                out_line(format_args!("g(f(X)) =_c X holds"));
                 Ok(())
             }
             Err(e) => Err(format!("round trip failed: {e}")),
@@ -91,21 +92,24 @@ fn run(args: &[String]) -> Result<(), String> {
             let loaded =
                 load_document(&schema, &doc).map_err(|e| format!("document invalid: {}", e[0]))?;
             let storage = XmlStorage::from_tree(&loaded.store, loaded.doc);
-            println!("document nodes:        {}", loaded.store.len());
-            println!("descriptive schema:    {} nodes", storage.schema().len());
-            println!(
+            out_line(format_args!("document nodes:        {}", loaded.store.len()));
+            out_line(format_args!("descriptive schema:    {} nodes", storage.schema().len()));
+            out_line(format_args!(
                 "compression ratio:     {:.0}x",
                 loaded.store.len() as f64 / storage.schema().len() as f64
-            );
-            println!("storage blocks:        {}", storage.block_count());
+            ));
+            out_line(format_args!("storage blocks:        {}", storage.block_count()));
             let max_nid = storage
                 .subtree(storage.root())
                 .into_iter()
                 .map(|p| storage.nid(p).byte_len())
                 .max()
                 .unwrap_or(0);
-            println!("max label length:      {max_nid} bytes");
-            println!("string value (64B):    {:.64}", loaded.store.string_value(loaded.doc));
+            out_line(format_args!("max label length:      {max_nid} bytes"));
+            out_line(format_args!(
+                "string value (64B):    {:.64}",
+                loaded.store.string_value(loaded.doc)
+            ));
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{}", usage())),

@@ -1,0 +1,42 @@
+//! Pipe-safe stdout helpers shared by the workspace binaries.
+//!
+//! Rust installs `SIGPIPE` as ignored, so writing to a closed pipe
+//! (`xsd-lint --codes schema.xsd | head -1`) surfaces as an
+//! [`ErrorKind::BrokenPipe`](std::io::ErrorKind::BrokenPipe) `Err`
+//! which `println!` turns into a panic. The binaries route their
+//! stdout through [`out_line`] / [`out_str`] instead: a broken pipe is
+//! the *reader's* choice to stop listening, so the process exits 0
+//! silently, matching what a C program dying of `SIGPIPE` looks like
+//! to the shell pipeline; any other stdout failure is reported on
+//! stderr and exits 1.
+
+use std::io::{ErrorKind, Write};
+
+/// Write one line (`args` + `\n`) to stdout.
+///
+/// Exits the process cleanly (status 0) when the reader has closed the
+/// pipe; exits 1 with a message on any other stdout error.
+pub fn out_line(args: std::fmt::Arguments<'_>) {
+    let mut out = std::io::stdout().lock();
+    let res = out.write_fmt(args).and_then(|()| out.write_all(b"\n"));
+    if let Err(e) = res {
+        exit_for(e);
+    }
+}
+
+/// Write a string verbatim (no trailing newline) to stdout, with the
+/// same broken-pipe policy as [`out_line`].
+pub fn out_str(s: &str) {
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = out.write_all(s.as_bytes()) {
+        exit_for(e);
+    }
+}
+
+fn exit_for(e: std::io::Error) -> ! {
+    if e.kind() == ErrorKind::BrokenPipe {
+        std::process::exit(0);
+    }
+    eprintln!("cannot write to stdout: {e}");
+    std::process::exit(1);
+}

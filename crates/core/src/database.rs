@@ -122,6 +122,13 @@ impl Database {
         &self.obs
     }
 
+    /// The metrics registry as a cloneable handle, for components that
+    /// outlive a borrow of the database (the shared-database layer, a
+    /// network server).
+    pub fn metrics_registry_arc(&self) -> Arc<xsobs::Registry> {
+        Arc::clone(&self.obs)
+    }
+
     /// An empty database with explicit [`LoadOptions`].
     pub fn with_options(options: LoadOptions) -> Self {
         Database { options, ..Database::default() }
@@ -185,6 +192,31 @@ impl Database {
             }
         }
         self.schemas.insert(name.to_string(), Arc::new(schema));
+        Ok(())
+    }
+
+    /// Remove a registered schema.
+    ///
+    /// Refuses with [`DbError::SchemaInUse`] while any stored document
+    /// still validates against it — deleting the documents first (or
+    /// never having inserted any) is the only way to retire a schema,
+    /// so the referential invariant *every stored document's schema is
+    /// registered* can never break. Returns
+    /// [`DbError::UnknownSchema`] when no schema has this name.
+    pub fn remove_schema(&mut self, name: &str) -> Result<(), DbError> {
+        if !self.schemas.contains_key(name) {
+            return Err(DbError::UnknownSchema(name.to_string()));
+        }
+        let documents: Vec<String> = self
+            .documents
+            .iter()
+            .filter(|(_, d)| d.schema_name == name)
+            .map(|(n, _)| n.clone())
+            .collect();
+        if !documents.is_empty() {
+            return Err(DbError::SchemaInUse { schema: name.to_string(), documents });
+        }
+        self.schemas.remove(name);
         Ok(())
     }
 
@@ -826,6 +858,32 @@ mod tests {
         assert!(db.delete("store1"));
         assert!(!db.delete("store1"));
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn remove_schema_enforces_referential_integrity() {
+        let mut db = db();
+        db.insert("store2", "books", DOC).unwrap();
+        // Referenced by two documents: refused, naming both.
+        match db.remove_schema("books") {
+            Err(DbError::SchemaInUse { schema, documents }) => {
+                assert_eq!(schema, "books");
+                assert_eq!(documents, ["store1", "store2"]);
+            }
+            other => panic!("expected SchemaInUse, got {other:?}"),
+        }
+        assert!(db.schema("books").is_some(), "refusal must not remove");
+        // Unknown names are their own error.
+        assert!(matches!(db.remove_schema("nosuch"), Err(DbError::UnknownSchema(_))));
+        // Once the documents are gone the schema can be retired.
+        db.delete("store1");
+        db.delete("store2");
+        db.remove_schema("books").unwrap();
+        assert!(db.schema("books").is_none());
+        assert_eq!(db.schema_names().count(), 0);
+        // And re-registering under the same name works again.
+        db.register_schema_text("books", SCHEMA).unwrap();
+        db.insert("store1", "books", DOC).unwrap();
     }
 
     #[test]

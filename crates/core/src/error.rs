@@ -25,6 +25,14 @@ pub enum DbError {
     QueryStaticallyEmpty(Vec<xsanalyze::Diagnostic>),
     /// A schema name is already registered.
     DuplicateSchema(String),
+    /// The schema cannot be removed while stored documents still
+    /// validate against it.
+    SchemaInUse {
+        /// The schema that was asked to be removed.
+        schema: String,
+        /// Names of the documents still referencing it (sorted).
+        documents: Vec<String>,
+    },
     /// No schema registered under this name.
     UnknownSchema(String),
     /// A document name is already in the database.
@@ -103,6 +111,23 @@ impl fmt::Display for DbError {
                 Ok(())
             }
             DbError::DuplicateSchema(n) => write!(f, "schema {n:?} is already registered"),
+            DbError::SchemaInUse { schema, documents } => {
+                write!(
+                    f,
+                    "schema {schema:?} is still referenced by {} document(s): ",
+                    documents.len()
+                )?;
+                for (i, d) in documents.iter().take(5).enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{d:?}")?;
+                }
+                if documents.len() > 5 {
+                    write!(f, ", …")?;
+                }
+                Ok(())
+            }
             DbError::UnknownSchema(n) => write!(f, "no schema named {n:?}"),
             DbError::DuplicateDocument(n) => write!(f, "document {n:?} already exists"),
             DbError::UnknownDocument(n) => write!(f, "no document named {n:?}"),

@@ -106,20 +106,33 @@
 //! loads when disabled ([`xsobs::Registry::set_enabled`]); the E11
 //! experiment bounds the enabled overhead at under 3% on the validation
 //! bench.
+//!
+//! # Serving concurrent clients
+//!
+//! [`SharedDatabase`] wraps a database in an `Arc<RwLock<_>>` so many
+//! threads share it: every query/validate/serialize accessor takes the
+//! read lock and runs in parallel, while inserts, updates, deletes,
+//! and schema (de)registration serialize through the write lock, with
+//! lock-wait latencies recorded in the metrics registry. The
+//! `xsserver` crate builds a wire protocol, a TCP server (`xsd-serve`),
+//! and a load generator (`xsd-bench-client`) on top of it.
 
 #![warn(missing_docs)]
 
 pub mod checksum;
+pub mod cli;
 mod database;
 mod error;
 mod persist;
 mod physical;
+mod shared;
 pub mod vfs;
 
 pub use database::{Database, StoredDocument};
 pub use error::DbError;
 pub use persist::{LoadPolicy, LoadReport, Quarantine, QuarantineKind};
 pub use physical::{storage_roundtrip_agrees, storage_to_document, storage_to_tree};
+pub use shared::SharedDatabase;
 pub use vfs::{FaultMode, FaultyVfs, StdVfs, Vfs};
 
 // Re-export the layer crates so a single dependency suffices downstream.

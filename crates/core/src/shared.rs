@@ -1,0 +1,178 @@
+//! A thread-safe, shareable database handle — the concurrency layer a
+//! network front-end (or any embedder) serves traffic through.
+//!
+//! §6.1 of the paper models the database as one evolving algebra; a
+//! DBMS like Sedna (§9) exposes that single object to many concurrent
+//! clients. [`SharedDatabase`] is exactly that bridge: an
+//! `Arc<RwLock<Database>>` exploiting the fact that every *accessor*
+//! of the algebra — [`Database::validate`], [`Database::query`],
+//! [`Database::query_nodes`], [`Database::xquery`],
+//! [`Database::serialize`], the catalog listings — takes `&self`, so
+//! any number of readers evaluate in parallel, while the *state
+//! transitions* ([`Database::insert`], the `update_*` family,
+//! [`Database::delete`], [`Database::register_schema`],
+//! [`Database::remove_schema`]) take the write lock and run alone.
+//!
+//! Lock acquisition is instrumented: the time callers spend waiting is
+//! recorded into the `server.read_lock_wait_ns` /
+//! `server.write_lock_wait_ns` histograms and the
+//! `server.lock_wait_high_water_ns` gauge of the database's metrics
+//! registry, so contention on the single writer is visible in any
+//! [`Database::metrics`] snapshot.
+//!
+//! ```
+//! use xsdb::{Database, SharedDatabase};
+//!
+//! let mut db = Database::new();
+//! db.register_schema_text("greetings", r#"
+//!   <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+//!     <xs:element name="greeting" type="xs:string"/>
+//!   </xs:schema>"#).unwrap();
+//! let shared = SharedDatabase::new(db);
+//!
+//! let reader = shared.clone();
+//! std::thread::scope(|s| {
+//!     s.spawn(move || {
+//!         // Readers share the lock; a consistent snapshot is visible.
+//!         let _ = reader.read().document_names().count();
+//!     });
+//!     shared.write().insert("hello", "greetings", "<greeting>hi</greeting>").unwrap();
+//! });
+//! assert_eq!(shared.read().query("hello", "/greeting").unwrap(), ["hi"]);
+//! ```
+
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+
+use crate::database::Database;
+
+/// A cloneable, thread-safe handle to one [`Database`].
+///
+/// Clones share the same underlying database (and its metrics
+/// registry). See the [module docs](self) for the locking discipline.
+#[derive(Debug, Clone)]
+pub struct SharedDatabase {
+    inner: Arc<RwLock<Database>>,
+    obs: Arc<xsobs::Registry>,
+}
+
+impl SharedDatabase {
+    /// Wrap a database for shared use. The handle records its
+    /// lock-wait metrics into the database's own registry.
+    pub fn new(db: Database) -> Self {
+        let obs = db.metrics_registry_arc();
+        SharedDatabase { inner: Arc::new(RwLock::new(db)), obs }
+    }
+
+    /// Acquire the shared (read) lock. Any number of readers hold it
+    /// concurrently; every `&self` method of [`Database`] is available
+    /// on the guard. Blocks while a writer is inside.
+    pub fn read(&self) -> RwLockReadGuard<'_, Database> {
+        let start = self.lock_clock();
+        // A poisoned lock means a reader/writer panicked; the database
+        // itself is never left half-mutated by a panic in our own
+        // methods (they mutate through ordinary insert/remove calls),
+        // so recover the guard rather than propagating the poison.
+        let guard = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        self.record_wait(xsobs::HistogramId::SrvReadLockWait, start);
+        guard
+    }
+
+    /// Acquire the exclusive (write) lock for a state transition.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Database> {
+        let start = self.lock_clock();
+        let guard = self.inner.write().unwrap_or_else(|p| p.into_inner());
+        self.record_wait(xsobs::HistogramId::SrvWriteLockWait, start);
+        guard
+    }
+
+    /// The metrics registry shared with the wrapped database.
+    pub fn metrics_registry(&self) -> &Arc<xsobs::Registry> {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of the shared metrics registry, without
+    /// taking the database lock.
+    pub fn metrics(&self) -> xsobs::Snapshot {
+        self.obs.snapshot()
+    }
+
+    fn lock_clock(&self) -> Option<Instant> {
+        self.obs.is_enabled().then(Instant::now)
+    }
+
+    fn record_wait(&self, id: xsobs::HistogramId, start: Option<Instant>) {
+        if let Some(start) = start {
+            let elapsed = start.elapsed();
+            self.obs.observe(id, elapsed);
+            self.obs.record_max(
+                xsobs::MaxId::SrvLockWaitHighWater,
+                u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="n" type="xs:string"/>
+</xs:schema>"#;
+
+    fn shared() -> SharedDatabase {
+        let mut db = Database::new();
+        db.register_schema_text("s", SCHEMA).unwrap();
+        SharedDatabase::new(db)
+    }
+
+    #[test]
+    fn clones_see_each_others_writes() {
+        let a = shared();
+        let b = a.clone();
+        a.write().insert("d", "s", "<n>x</n>").unwrap();
+        assert_eq!(b.read().query("d", "/n").unwrap(), ["x"]);
+        assert!(b.write().delete("d"));
+        assert!(a.read().is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_lock() {
+        let sh = shared();
+        sh.write().insert("d", "s", "<n>x</n>").unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sh = &sh;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(sh.read().query("d", "/n").unwrap(), ["x"]);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn lock_waits_are_recorded() {
+        let db = Database::with_metrics_registry(Arc::new(xsobs::Registry::new()));
+        let sh = SharedDatabase::new(db);
+        drop(sh.read());
+        drop(sh.write());
+        let snap = sh.metrics();
+        assert_eq!(snap.histogram(xsobs::HistogramId::SrvReadLockWait).count, 1);
+        assert_eq!(snap.histogram(xsobs::HistogramId::SrvWriteLockWait).count, 1);
+    }
+
+    #[test]
+    fn disabled_registry_records_no_lock_waits() {
+        let reg = Arc::new(xsobs::Registry::disabled());
+        let sh = SharedDatabase::new(Database::with_metrics_registry(Arc::clone(&reg)));
+        drop(sh.read());
+        drop(sh.write());
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram(xsobs::HistogramId::SrvReadLockWait).count, 0);
+        assert_eq!(snap.histogram(xsobs::HistogramId::SrvWriteLockWait).count, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Regression tests: the CLI binaries must exit cleanly (status 0, no
+//! panic) when their stdout pipe closes early — `xsdb query ... | head`
+//! must not print a `Broken pipe` panic. Rust ignores SIGPIPE, so
+//! without the `xsdb::cli::out_line` helper every `println!` after the
+//! reader goes away panics on the EPIPE error.
+//!
+//! Each test makes the child produce well over the ~64 KiB pipe buffer
+//! so at least one write is guaranteed to hit the closed pipe, closes
+//! the read end immediately, and asserts a clean exit.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const SCHEMA: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="list">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="item" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+fn temp_file(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "xsdb-pipe-{}-{:?}-{name}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(content.as_bytes()).expect("write temp file");
+    path
+}
+
+/// Run `program args...`, close stdout's read end immediately, and
+/// assert the child exits 0 without a panic on stderr.
+fn assert_survives_closed_stdout(program: &str, args: &[&str]) {
+    let mut child = Command::new(program)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    // Closing the read end is the `| head -1` scenario: the child's
+    // buffered writes start failing with EPIPE once the buffer drains.
+    drop(child.stdout.take());
+    let status = child.wait().expect("wait");
+    let mut stderr = String::new();
+    if let Some(mut err) = child.stderr.take() {
+        use std::io::Read;
+        let _ = err.read_to_string(&mut stderr);
+    }
+    assert!(!stderr.contains("panicked"), "child panicked on broken pipe:\n{stderr}");
+    assert!(status.success(), "child exited {status:?}; stderr:\n{stderr}");
+}
+
+#[test]
+fn xsdb_query_survives_closed_stdout() {
+    // ~20k result lines ≈ 500 KiB of stdout — far past the pipe buffer.
+    let mut doc = String::from("<list>");
+    for i in 0..20_000 {
+        doc.push_str(&format!("<item>value-number-{i}</item>"));
+    }
+    doc.push_str("</list>");
+    let schema = temp_file("q.xsd", SCHEMA);
+    let doc = temp_file("q.xml", &doc);
+    assert_survives_closed_stdout(
+        env!("CARGO_BIN_EXE_xsdb"),
+        &["query", &schema.display().to_string(), &doc.display().to_string(), "/list/item"],
+    );
+    let _ = std::fs::remove_file(schema);
+    let _ = std::fs::remove_file(doc);
+}
+
+#[test]
+fn xsd_lint_survives_closed_stdout() {
+    // Thousands of statically-empty --xpath probes, each yielding a
+    // diagnostic line.
+    let schema = temp_file("l.xsd", SCHEMA);
+    let schema_arg = schema.display().to_string();
+    let probes: Vec<String> = (0..3000).map(|i| format!("/list/nope{i}")).collect();
+    let mut args: Vec<&str> = Vec::with_capacity(2 + probes.len() * 2);
+    for p in &probes {
+        args.push("--xpath");
+        args.push(p);
+    }
+    args.push(&schema_arg);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_xsd-lint"))
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    drop(child.stdout.take());
+    let status = child.wait().expect("wait");
+    let mut stderr = String::new();
+    if let Some(mut err) = child.stderr.take() {
+        use std::io::Read;
+        let _ = err.read_to_string(&mut stderr);
+    }
+    assert!(!stderr.contains("panicked"), "xsd-lint panicked on broken pipe:\n{stderr}");
+    // xsd-lint exits 1 for warning-severity findings; what matters here
+    // is that the broken pipe produced a clean exit code, not a panic
+    // (a panic aborts with 101 / signal).
+    let code = status.code().expect("no exit code (killed by signal?)");
+    assert!(code <= 2, "unexpected exit code {code}; stderr:\n{stderr}");
+    let _ = std::fs::remove_file(schema);
+}

@@ -96,11 +96,56 @@ pub enum CounterId {
     PersistRecoveryWarnings,
     /// Stale in-flight save directories swept by loads.
     PersistTempsSwept,
+    /// Connections the server accepted and served.
+    SrvConnAccepted,
+    /// Connections refused at the door (connection limit reached).
+    SrvConnRejected,
+    /// Requests the server finished (any status).
+    SrvRequests,
+    /// Requests that finished with a non-OK status.
+    SrvRequestErrors,
+    /// Frames refused before dispatch: malformed, oversized, or an
+    /// unknown opcode/version.
+    SrvFrameRejections,
+    /// Request payload bytes read off sockets (headers excluded).
+    SrvBytesIn,
+    /// Response payload bytes written to sockets (headers excluded).
+    SrvBytesOut,
+    /// `PING` requests served.
+    SrvOpPing,
+    /// `PUT_SCHEMA` requests served.
+    SrvOpPutSchema,
+    /// `DEL_SCHEMA` requests served.
+    SrvOpDelSchema,
+    /// `PUT_DOC` requests served.
+    SrvOpPutDoc,
+    /// `DEL_DOC` requests served.
+    SrvOpDelDoc,
+    /// `VALIDATE` requests served.
+    SrvOpValidate,
+    /// `QUERY` requests served.
+    SrvOpQuery,
+    /// `XQUERY` requests served.
+    SrvOpXquery,
+    /// `UPDATE_INSERT` requests served.
+    SrvOpUpdateInsert,
+    /// `UPDATE_DELETE` requests served.
+    SrvOpUpdateDelete,
+    /// `UPDATE_SET_ATTR` requests served.
+    SrvOpUpdateSetAttr,
+    /// `UPDATE_SET_TEXT` requests served.
+    SrvOpUpdateSetText,
+    /// `LIST` requests served.
+    SrvOpList,
+    /// `STATS` requests served.
+    SrvOpStats,
+    /// `SAVE` requests served.
+    SrvOpSave,
 }
 
 impl CounterId {
     /// Every counter, in stable export order.
-    pub const ALL: [CounterId; 20] = [
+    pub const ALL: [CounterId; 42] = [
         CounterId::ParseDocuments,
         CounterId::ParseBytes,
         CounterId::ParseEntityExpansions,
@@ -121,6 +166,28 @@ impl CounterId {
         CounterId::PersistQuarantined,
         CounterId::PersistRecoveryWarnings,
         CounterId::PersistTempsSwept,
+        CounterId::SrvConnAccepted,
+        CounterId::SrvConnRejected,
+        CounterId::SrvRequests,
+        CounterId::SrvRequestErrors,
+        CounterId::SrvFrameRejections,
+        CounterId::SrvBytesIn,
+        CounterId::SrvBytesOut,
+        CounterId::SrvOpPing,
+        CounterId::SrvOpPutSchema,
+        CounterId::SrvOpDelSchema,
+        CounterId::SrvOpPutDoc,
+        CounterId::SrvOpDelDoc,
+        CounterId::SrvOpValidate,
+        CounterId::SrvOpQuery,
+        CounterId::SrvOpXquery,
+        CounterId::SrvOpUpdateInsert,
+        CounterId::SrvOpUpdateDelete,
+        CounterId::SrvOpUpdateSetAttr,
+        CounterId::SrvOpUpdateSetText,
+        CounterId::SrvOpList,
+        CounterId::SrvOpStats,
+        CounterId::SrvOpSave,
     ];
 
     /// Number of counters.
@@ -149,6 +216,28 @@ impl CounterId {
             CounterId::PersistQuarantined => "persist.quarantined_total",
             CounterId::PersistRecoveryWarnings => "persist.recovery_warnings_total",
             CounterId::PersistTempsSwept => "persist.temps_swept_total",
+            CounterId::SrvConnAccepted => "server.connections_accepted_total",
+            CounterId::SrvConnRejected => "server.connections_rejected_total",
+            CounterId::SrvRequests => "server.requests_total",
+            CounterId::SrvRequestErrors => "server.request_errors_total",
+            CounterId::SrvFrameRejections => "server.frame_rejections_total",
+            CounterId::SrvBytesIn => "server.bytes_in_total",
+            CounterId::SrvBytesOut => "server.bytes_out_total",
+            CounterId::SrvOpPing => "server.op.ping_total",
+            CounterId::SrvOpPutSchema => "server.op.put_schema_total",
+            CounterId::SrvOpDelSchema => "server.op.del_schema_total",
+            CounterId::SrvOpPutDoc => "server.op.put_doc_total",
+            CounterId::SrvOpDelDoc => "server.op.del_doc_total",
+            CounterId::SrvOpValidate => "server.op.validate_total",
+            CounterId::SrvOpQuery => "server.op.query_total",
+            CounterId::SrvOpXquery => "server.op.xquery_total",
+            CounterId::SrvOpUpdateInsert => "server.op.update_insert_total",
+            CounterId::SrvOpUpdateDelete => "server.op.update_delete_total",
+            CounterId::SrvOpUpdateSetAttr => "server.op.update_set_attr_total",
+            CounterId::SrvOpUpdateSetText => "server.op.update_set_text_total",
+            CounterId::SrvOpList => "server.op.list_total",
+            CounterId::SrvOpStats => "server.op.stats_total",
+            CounterId::SrvOpSave => "server.op.save_total",
         }
     }
 }
@@ -159,11 +248,18 @@ impl CounterId {
 pub enum MaxId {
     /// Deepest element nesting any parsed document reached.
     ParseDepthHighWater,
+    /// Most connections the server had in flight at once
+    /// (active + queued).
+    SrvConnHighWater,
+    /// Longest any caller waited to acquire the shared-database lock
+    /// (read or write), in nanoseconds.
+    SrvLockWaitHighWater,
 }
 
 impl MaxId {
     /// Every gauge, in stable export order.
-    pub const ALL: [MaxId; 1] = [MaxId::ParseDepthHighWater];
+    pub const ALL: [MaxId; 3] =
+        [MaxId::ParseDepthHighWater, MaxId::SrvConnHighWater, MaxId::SrvLockWaitHighWater];
 
     /// Number of gauges.
     pub const COUNT: usize = MaxId::ALL.len();
@@ -172,6 +268,8 @@ impl MaxId {
     pub fn name(self) -> &'static str {
         match self {
             MaxId::ParseDepthHighWater => "parse.depth_high_water",
+            MaxId::SrvConnHighWater => "server.connections_high_water",
+            MaxId::SrvLockWaitHighWater => "server.lock_wait_high_water_ns",
         }
     }
 }
@@ -202,11 +300,20 @@ pub enum HistogramId {
     AnalyzeReachability,
     /// xsanalyze: static path typing of one query.
     AnalyzePathTyping,
+    /// One served request, header read to response flushed.
+    SrvRequest,
+    /// Waiting to acquire the shared database's read lock.
+    SrvReadLockWait,
+    /// Waiting to acquire the shared database's write lock.
+    SrvWriteLockWait,
+    /// One client-side request round trip (recorded by the load
+    /// generator, never by the server).
+    ClientRequest,
 }
 
 impl HistogramId {
     /// Every histogram, in stable export order.
-    pub const ALL: [HistogramId; 11] = [
+    pub const ALL: [HistogramId; 15] = [
         HistogramId::DbInsert,
         HistogramId::DbValidate,
         HistogramId::DbQuery,
@@ -218,6 +325,10 @@ impl HistogramId {
         HistogramId::AnalyzeSatisfiability,
         HistogramId::AnalyzeReachability,
         HistogramId::AnalyzePathTyping,
+        HistogramId::SrvRequest,
+        HistogramId::SrvReadLockWait,
+        HistogramId::SrvWriteLockWait,
+        HistogramId::ClientRequest,
     ];
 
     /// Number of histograms.
@@ -237,6 +348,10 @@ impl HistogramId {
             HistogramId::AnalyzeSatisfiability => "analysis.satisfiability_ns",
             HistogramId::AnalyzeReachability => "analysis.reachability_ns",
             HistogramId::AnalyzePathTyping => "analysis.path_typing_ns",
+            HistogramId::SrvRequest => "server.request_ns",
+            HistogramId::SrvReadLockWait => "server.read_lock_wait_ns",
+            HistogramId::SrvWriteLockWait => "server.write_lock_wait_ns",
+            HistogramId::ClientRequest => "client.request_ns",
         }
     }
 }

@@ -1,0 +1,99 @@
+//! `xsd-bench-client` — closed-loop load generator for `xsd-serve`.
+//!
+//! ```text
+//! xsd-bench-client --addr HOST:PORT [--connections N] [--requests N]
+//!                  [--write-percent P] [--doc-items N] [--stats-json]
+//! ```
+//!
+//! Registers the bench schema and one document per connection, then
+//! runs `--connections` threads each issuing `--requests` requests
+//! back-to-back (`--write-percent` of them through the write lock) and
+//! prints one summary line: requests, errors, wall time, throughput,
+//! and p50/p90/p99 latency. `--stats-json` additionally prints the
+//! client-side metrics snapshot (`client.request_ns`) to stderr.
+//!
+//! Exit code: 0 when every request succeeded, 1 otherwise — so scripts
+//! can assert "N concurrent connections with zero protocol errors".
+
+use std::process::ExitCode;
+
+use xsdb::cli::out_line;
+use xsserver::loadgen::{self, LoadConfig};
+
+struct Args {
+    addr: String,
+    config: LoadConfig,
+    stats_json: bool,
+}
+
+const USAGE: &str = "usage: xsd-bench-client --addr HOST:PORT [--connections N] \
+     [--requests N] [--write-percent P] [--doc-items N] [--stats-json]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args { addr: String::new(), config: LoadConfig::default(), stats_json: false };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        let num = |flag: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|_| format!("{flag} needs a number\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--connections" => {
+                args.config.connections = num("--connections", value("--connections")?)?
+            }
+            "--requests" => {
+                args.config.requests_per_conn = num("--requests", value("--requests")?)?
+            }
+            "--write-percent" => {
+                let p = num("--write-percent", value("--write-percent")?)?;
+                if p > 100 {
+                    return Err(format!("--write-percent must be 0..=100\n{USAGE}"));
+                }
+                args.config.write_percent = p as u8;
+            }
+            "--doc-items" => args.config.doc_items = num("--doc-items", value("--doc-items")?)?,
+            "--stats-json" => args.stats_json = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = loadgen::setup(&args.addr, &args.config) {
+        eprintln!("xsd-bench-client: setup against {} failed: {e}", args.addr);
+        return ExitCode::FAILURE;
+    }
+    let obs = xsobs::Registry::new();
+    let summary = loadgen::run(&args.addr, &args.config, &obs);
+    out_line(format_args!(
+        "xsd-bench-client: {} conns x {} reqs ({}% writes): {}",
+        args.config.connections,
+        args.config.requests_per_conn,
+        args.config.write_percent,
+        summary.to_line()
+    ));
+    if args.stats_json {
+        eprintln!("{}", obs.snapshot().to_json());
+    }
+    if summary.errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,165 @@
+//! `xsd-serve` — the xsdb network daemon.
+//!
+//! ```text
+//! xsd-serve [--addr HOST:PORT] [--dir DIR] [--threads N] [--max-conns N]
+//!           [--timeout-ms MS] [--strict-analysis] [--stats-json]
+//! ```
+//!
+//! * `--addr` — listen address (default `127.0.0.1:7070`; port 0 picks
+//!   an ephemeral port, reported on the startup line).
+//! * `--dir` — persistence directory: loaded on startup when it holds a
+//!   database, saved by the `SAVE` opcode and once more on shutdown.
+//! * `--threads` — worker threads = connections served concurrently
+//!   (default 64).
+//! * `--max-conns` — connections in flight before new ones are refused
+//!   with `BUSY` (default 256).
+//! * `--timeout-ms` — per-connection idle/IO timeout (default 30000).
+//! * `--strict-analysis` — reject schemas with static-analysis errors
+//!   at `PUT_SCHEMA` time (`Database::set_strict_analysis`).
+//! * `--stats-json` — print the final metrics snapshot to stdout after
+//!   shutdown.
+//!
+//! On startup the daemon prints exactly one line to stdout:
+//! `xsd-serve listening on <addr>` — scripts (and `check.sh`) parse it
+//! to learn the ephemeral port. It exits 0 after a graceful shutdown
+//! (SIGTERM or SIGINT), having flushed a final save when `--dir` is
+//! set.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use xsdb::cli::out_line;
+use xsdb::{Database, SharedDatabase};
+use xsserver::{Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    dir: Option<String>,
+    threads: usize,
+    max_conns: usize,
+    timeout_ms: u64,
+    strict_analysis: bool,
+    stats_json: bool,
+}
+
+const USAGE: &str = "usage: xsd-serve [--addr HOST:PORT] [--dir DIR] [--threads N] \
+     [--max-conns N] [--timeout-ms MS] [--strict-analysis] [--stats-json]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7070".to_string(),
+        dir: None,
+        threads: 64,
+        max_conns: 256,
+        timeout_ms: 30_000,
+        strict_analysis: false,
+        stats_json: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--dir" => args.dir = Some(value("--dir")?),
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| format!("--threads needs a number\n{USAGE}"))?
+            }
+            "--max-conns" => {
+                args.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|_| format!("--max-conns needs a number\n{USAGE}"))?
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| format!("--timeout-ms needs a number\n{USAGE}"))?
+            }
+            "--strict-analysis" => args.strict_analysis = true,
+            "--stats-json" => args.stats_json = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Set when SIGTERM or SIGINT arrives; the main loop polls it.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Hand-rolled: the container has no libc crate, but `signal(2)` is
+    // in every libc the platform links anyway. Handler only touches an
+    // atomic, which is async-signal-safe.
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {
+    let _ = on_signal; // Ctrl-C delivery differs; rely on process kill.
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut db = match &args.dir {
+        Some(dir) if std::path::Path::new(dir).join("CURRENT").exists() => {
+            Database::load_dir(dir).map_err(|e| format!("cannot load {dir}: {e}"))?
+        }
+        _ => Database::new(),
+    };
+    db.set_strict_analysis(args.strict_analysis);
+    let shared = SharedDatabase::new(db);
+    let config = ServerConfig {
+        threads: args.threads,
+        max_conns: args.max_conns,
+        io_timeout: Duration::from_millis(args.timeout_ms.max(1)),
+        dir: args.dir.as_ref().map(Into::into),
+    };
+    install_signal_handlers();
+    let handle = Server::start(&args.addr, config, shared.clone())
+        .map_err(|e| format!("cannot bind {}: {e}", args.addr))?;
+    out_line(format_args!("xsd-serve listening on {}", handle.local_addr()));
+    while !STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("xsd-serve: shutting down");
+    handle.shutdown().map_err(|e| format!("final save failed: {e}"))?;
+    if args.stats_json {
+        out_line(format_args!("{}", shared.metrics().to_json()));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("xsd-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

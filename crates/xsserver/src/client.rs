@@ -1,0 +1,266 @@
+//! A blocking client for the wire protocol: one [`Client`] wraps one
+//! TCP connection and issues requests in lockstep (write a frame, read
+//! the response frame).
+//!
+//! The convenience methods mirror the [`Database`](xsdb::Database)
+//! surface one-to-one, so code written against the in-process API
+//! ports mechanically:
+//!
+//! ```no_run
+//! use xsserver::client::Client;
+//!
+//! let mut c = Client::connect("127.0.0.1:7070")?;
+//! c.put_schema("greetings", r#"
+//!   <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+//!     <xs:element name="greeting" type="xs:string"/>
+//!   </xs:schema>"#)?;
+//! c.put_doc("hello", "greetings", "<greeting>hello world</greeting>")?;
+//! assert_eq!(c.query("hello", "/greeting")?, ["hello world"]);
+//! # Ok::<(), xsserver::client::ClientError>(())
+//! ```
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame, FrameError, Opcode, Status};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection itself failed (refused, reset, timed out).
+    Io(io::Error),
+    /// The server answered with a non-OK status.
+    Status {
+        /// The status code from the response frame.
+        status: Status,
+        /// The server's human-readable error message.
+        message: String,
+    },
+    /// The response violated the wire protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Status { status, message } => {
+                write!(f, "server error {} ({}): {message}", *status as u8, status.name())
+            }
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+impl ClientError {
+    /// The response's status code, when the failure was a server-side
+    /// error (as opposed to a transport or protocol failure).
+    pub fn status(&self) -> Option<Status> {
+        match self {
+            ClientError::Status { status, .. } => Some(*status),
+            _ => None,
+        }
+    }
+}
+
+/// Responses larger than this are rejected client-side as a protocol
+/// violation. Generous: a serialized document plus framing.
+const CLIENT_MAX_PAYLOAD: usize = 256 * 1024 * 1024;
+
+/// One protocol connection to an `xsd-serve` server.
+pub struct Client {
+    stream: TcpStream,
+    max_payload: usize,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, max_payload: CLIENT_MAX_PAYLOAD })
+    }
+
+    /// Connect with a read/write timeout applied to every socket
+    /// operation (`None` blocks indefinitely).
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
+        let client = Client::connect(addr)?;
+        client.stream.set_read_timeout(timeout)?;
+        client.stream.set_write_timeout(timeout)?;
+        Ok(client)
+    }
+
+    /// Issue one raw request: send `op` with `fields`, await the
+    /// response, and return its fields on [`Status::Ok`].
+    pub fn request(&mut self, op: Opcode, fields: &[&str]) -> Result<Vec<String>, ClientError> {
+        if let Err(e) = write_frame(&mut self.stream, op as u8, fields) {
+            // A server refusing the connection (e.g. BUSY at the
+            // admission gate) sends its status frame and closes before
+            // reading anything, so our write can fail with a broken
+            // pipe while the real answer sits in the receive buffer —
+            // salvage it so callers see the status, not the EPIPE.
+            if let Ok((tag, fields, _)) = read_frame(&mut self.stream, self.max_payload) {
+                if let Some(status) = Status::from_u8(tag) {
+                    if !status.is_ok() {
+                        return Err(ClientError::Status { status, message: fields.join("; ") });
+                    }
+                }
+            }
+            return Err(ClientError::Io(e));
+        }
+        let (tag, fields, _) = read_frame(&mut self.stream, self.max_payload)?;
+        match Status::from_u8(tag) {
+            Some(status) if status.is_ok() => Ok(fields),
+            Some(status) => Err(ClientError::Status { status, message: fields.join("; ") }),
+            None => Err(ClientError::Protocol(format!("unknown status code 0x{tag:02x}"))),
+        }
+    }
+
+    /// Liveness check; the server answers `pong`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(Opcode::Ping, &[]).map(|_| ())
+    }
+
+    /// Register a schema under `name`
+    /// ([`Database::register_schema_text`](xsdb::Database::register_schema_text)).
+    pub fn put_schema(&mut self, name: &str, xsd: &str) -> Result<(), ClientError> {
+        self.request(Opcode::PutSchema, &[name, xsd]).map(|_| ())
+    }
+
+    /// Remove schema `name`; refused while documents still reference it
+    /// ([`Database::remove_schema`](xsdb::Database::remove_schema)).
+    pub fn del_schema(&mut self, name: &str) -> Result<(), ClientError> {
+        self.request(Opcode::DelSchema, &[name]).map(|_| ())
+    }
+
+    /// Validate `xml` against `schema` and insert it as `doc`
+    /// ([`Database::insert`](xsdb::Database::insert)).
+    pub fn put_doc(&mut self, doc: &str, schema: &str, xml: &str) -> Result<(), ClientError> {
+        self.request(Opcode::PutDoc, &[doc, schema, xml]).map(|_| ())
+    }
+
+    /// Delete document `doc` ([`Database::delete`](xsdb::Database::delete)).
+    pub fn del_doc(&mut self, doc: &str) -> Result<(), ClientError> {
+        self.request(Opcode::DelDoc, &[doc]).map(|_| ())
+    }
+
+    /// Validate `xml` against `schema` without inserting; returns one
+    /// rendered violation per field (empty means valid)
+    /// ([`Database::validate`](xsdb::Database::validate)).
+    pub fn validate(&mut self, schema: &str, xml: &str) -> Result<Vec<String>, ClientError> {
+        self.request(Opcode::Validate, &[schema, xml])
+    }
+
+    /// Evaluate an XPath over `doc`, returning string values
+    /// ([`Database::query`](xsdb::Database::query)).
+    pub fn query(&mut self, doc: &str, xpath: &str) -> Result<Vec<String>, ClientError> {
+        self.request(Opcode::Query, &[doc, xpath])
+    }
+
+    /// Evaluate an XQuery over `doc`, returning the serialized result
+    /// ([`Database::xquery`](xsdb::Database::xquery)).
+    pub fn xquery(&mut self, doc: &str, query: &str) -> Result<String, ClientError> {
+        self.request(Opcode::Xquery, &[doc, query])
+            .map(|f| f.into_iter().next().unwrap_or_default())
+    }
+
+    /// Insert an element under every node `parent_xpath` selects;
+    /// returns the insertion count
+    /// ([`Database::update_insert_element`](xsdb::Database::update_insert_element)).
+    pub fn update_insert(
+        &mut self,
+        doc: &str,
+        parent_xpath: &str,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<usize, ClientError> {
+        let mut fields = vec![doc, parent_xpath, name];
+        if let Some(t) = text {
+            fields.push(t);
+        }
+        let out = self.request(Opcode::UpdateInsert, &fields)?;
+        parse_count(&out)
+    }
+
+    /// Delete every node `xpath` selects; returns the deletion count
+    /// ([`Database::update_delete`](xsdb::Database::update_delete)).
+    pub fn update_delete(&mut self, doc: &str, xpath: &str) -> Result<usize, ClientError> {
+        let out = self.request(Opcode::UpdateDelete, &[doc, xpath])?;
+        parse_count(&out)
+    }
+
+    /// Set an attribute on every node `xpath` selects; returns the
+    /// update count
+    /// ([`Database::update_set_attribute`](xsdb::Database::update_set_attribute)).
+    pub fn update_set_attr(
+        &mut self,
+        doc: &str,
+        xpath: &str,
+        attr: &str,
+        value: &str,
+    ) -> Result<usize, ClientError> {
+        let out = self.request(Opcode::UpdateSetAttr, &[doc, xpath, attr, value])?;
+        parse_count(&out)
+    }
+
+    /// Replace the text content of every node `xpath` selects; returns
+    /// the update count
+    /// ([`Database::update_set_text`](xsdb::Database::update_set_text)).
+    pub fn update_set_text(
+        &mut self,
+        doc: &str,
+        xpath: &str,
+        text: &str,
+    ) -> Result<usize, ClientError> {
+        let out = self.request(Opcode::UpdateSetText, &[doc, xpath, text])?;
+        parse_count(&out)
+    }
+
+    /// The catalog: `schema:<name>` and `doc:<name>` entries.
+    pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
+        self.request(Opcode::List, &[])
+    }
+
+    /// The server's metrics snapshot as JSON (the stable `xsobs`
+    /// export).
+    pub fn stats_json(&mut self) -> Result<String, ClientError> {
+        self.request(Opcode::Stats, &[]).map(|f| f.into_iter().next().unwrap_or_default())
+    }
+
+    /// Ask the server to commit a persistence save now. Fails with
+    /// [`Status::Unsupported`] when the server runs without a
+    /// persistence directory.
+    pub fn save(&mut self) -> Result<(), ClientError> {
+        self.request(Opcode::Save, &[]).map(|_| ())
+    }
+}
+
+fn parse_count(fields: &[String]) -> Result<usize, ClientError> {
+    let first = fields
+        .first()
+        .ok_or_else(|| ClientError::Protocol("count response carried no fields".to_string()))?;
+    first
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("count response was not a number: {first:?}")))
+}

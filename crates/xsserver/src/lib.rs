@@ -1,0 +1,43 @@
+//! **xsserver** — the concurrent network front-end for [`xsdb`]: a
+//! versioned wire protocol, a multi-threaded TCP server, a blocking
+//! client library, and a closed-loop load generator. Everything is
+//! `std`-only; there is no async runtime and no serialization crate —
+//! the protocol is a hand-rolled length-prefixed frame format
+//! ([`protocol`]).
+//!
+//! §9 of the paper grounds the formal model in Sedna, a client/server
+//! XML DBMS; this crate supplies the client/server part. The server
+//! ([`server::Server`]) puts a [`SharedDatabase`](xsdb::SharedDatabase)
+//! behind TCP: read operations (validate, query, XQuery, catalog,
+//! stats) run concurrently under the shared read lock, while state
+//! transitions (inserts, updates, deletes, schema registration and
+//! removal) serialize through the write lock — the observable behavior
+//! of every opcode is *identical* to calling the corresponding
+//! [`Database`](xsdb::Database) method in process, which the
+//! integration suite asserts byte-for-byte.
+//!
+//! Two binaries ship with the crate:
+//!
+//! * `xsd-serve` — the daemon: bind an address, optionally load/save a
+//!   persistence directory, serve until SIGTERM/SIGINT, then flush a
+//!   final save.
+//! * `xsd-bench-client` — the load generator: N connections issuing a
+//!   configurable read/write mix in a closed loop, reporting
+//!   throughput and latency percentiles.
+//!
+//! Traffic is observable through the pinned `server.*` metric family
+//! (connection counts, per-opcode request counters, byte counters,
+//! request-latency and lock-wait histograms) in the same
+//! [`xsobs`] registry the database itself records into, exported via
+//! the `STATS` opcode or `xsd-serve --stats-json`.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{Opcode, Status, WIRE_VERSION};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,246 @@
+//! A closed-loop load generator for `xsd-serve`: N connections, each a
+//! thread issuing requests back-to-back (the next request starts when
+//! the previous response lands), with a configurable read/write mix.
+//!
+//! Each connection works against its **own** document (`bench-<i>`),
+//! so write requests exercise the global write lock without the runs
+//! semantically interfering — reads always see their connection's own
+//! writes, and the final [`LoadSummary`] can demand zero errors.
+//!
+//! Per-request latency is recorded into the `client.request_ns`
+//! histogram of the caller's [`xsobs::Registry`] *and* collected
+//! exactly, so the summary reports true percentiles rather than
+//! bucket midpoints.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use xsobs::HistogramId;
+
+use crate::client::Client;
+
+/// The schema every load-generator document validates against.
+pub const BENCH_SCHEMA_NAME: &str = "bench";
+
+/// A list of string items — enough structure for queries and updates
+/// to traverse, cheap enough to validate thousands of times a second.
+pub const BENCH_SCHEMA: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="bench">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="item" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+/// Build the document connection `i` works against.
+pub fn bench_doc(items: usize) -> String {
+    let mut xml = String::with_capacity(16 + items * 24);
+    xml.push_str("<bench>");
+    for i in 0..items {
+        xml.push_str("<item>payload-");
+        xml.push_str(&i.to_string());
+        xml.push_str("</item>");
+    }
+    xml.push_str("</bench>");
+    xml
+}
+
+/// Load shape for [`run`].
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent connections (one thread each).
+    pub connections: usize,
+    /// Requests each connection issues, back-to-back.
+    pub requests_per_conn: usize,
+    /// Percentage of requests that are writes (`update_set_text`
+    /// through the write lock); the rest are reads (`query`).
+    pub write_percent: u8,
+    /// `<item>` elements per benchmark document.
+    pub doc_items: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig { connections: 8, requests_per_conn: 200, write_percent: 10, doc_items: 64 }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadSummary {
+    /// Requests completed successfully.
+    pub requests: u64,
+    /// Requests that failed (transport, protocol, or server error).
+    pub errors: u64,
+    /// Wall-clock time of the request phase (setup excluded).
+    pub elapsed: Duration,
+    /// Successful requests per second of wall clock.
+    pub throughput_rps: f64,
+    /// Latency percentiles over successful requests, in nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile latency in nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile latency in nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl LoadSummary {
+    /// Render the summary as one human-readable line.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{} requests, {} errors, {:.2}s wall, {:.0} req/s, \
+             p50 {:.3}ms p90 {:.3}ms p99 {:.3}ms",
+            self.requests,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.throughput_rps,
+            self.p50_ns as f64 / 1e6,
+            self.p90_ns as f64 / 1e6,
+            self.p99_ns as f64 / 1e6,
+        )
+    }
+}
+
+/// Register the bench schema and one document per connection. Safe to
+/// call against a server that already holds them (duplicate errors
+/// from a previous run are tolerated only if content matches — the
+/// generator uses deterministic content, so re-runs reuse the state).
+pub fn setup(addr: &str, config: &LoadConfig) -> Result<(), crate::client::ClientError> {
+    let mut c = Client::connect(addr)?;
+    if let Err(e) = c.put_schema(BENCH_SCHEMA_NAME, BENCH_SCHEMA) {
+        if e.status() != Some(crate::protocol::Status::DuplicateSchema) {
+            return Err(e);
+        }
+    }
+    let xml = bench_doc(config.doc_items);
+    for i in 0..config.connections {
+        let name = format!("bench-{i}");
+        if let Err(e) = c.put_doc(&name, BENCH_SCHEMA_NAME, &xml) {
+            if e.status() != Some(crate::protocol::Status::DuplicateDocument) {
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run the closed loop: `connections` threads, each issuing
+/// `requests_per_conn` requests against its own document. Latencies
+/// are recorded into `obs` (histogram `client.request_ns`) and
+/// aggregated into the returned [`LoadSummary`].
+pub fn run(addr: &str, config: &LoadConfig, obs: &xsobs::Registry) -> LoadSummary {
+    let errors = AtomicU64::new(0);
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(config.connections);
+        for i in 0..config.connections {
+            let errors = &errors;
+            let obs = &obs;
+            handles.push(s.spawn(move || {
+                let mut local: Vec<u64> = Vec::with_capacity(config.requests_per_conn);
+                let doc = format!("bench-{i}");
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        errors.fetch_add(config.requests_per_conn as u64, Ordering::Relaxed);
+                        return local;
+                    }
+                };
+                for n in 0..config.requests_per_conn {
+                    // Deterministic interleave: spread writes evenly
+                    // through the run instead of front-loading them.
+                    let write = (n * 100 + i * 37) % 100 < config.write_percent as usize;
+                    let at = Instant::now();
+                    let outcome = if write {
+                        client
+                            .update_set_text(&doc, "/bench/item[1]", &format!("w{i}-{n}"))
+                            .map(|_| ())
+                    } else {
+                        client.query(&doc, "/bench/item").map(|_| ())
+                    };
+                    let elapsed = at.elapsed();
+                    match outcome {
+                        Ok(()) => {
+                            let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+                            obs.observe(HistogramId::ClientRequest, elapsed);
+                            local.push(ns);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            if let Ok(local) = h.join() {
+                latencies.extend(local);
+            }
+        }
+    });
+    let elapsed = started.elapsed();
+    summarize(latencies, errors.load(Ordering::Relaxed), elapsed)
+}
+
+fn summarize(mut latencies: Vec<u64>, errors: u64, elapsed: Duration) -> LoadSummary {
+    latencies.sort_unstable();
+    // Nearest-rank percentile: the smallest value with at least p of
+    // the sample at or below it.
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = (p * latencies.len() as f64).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    };
+    let requests = latencies.len() as u64;
+    let secs = elapsed.as_secs_f64();
+    LoadSummary {
+        requests,
+        errors,
+        elapsed,
+        throughput_rps: if secs > 0.0 { requests as f64 / secs } else { 0.0 },
+        p50_ns: pct(0.50),
+        p90_ns: pct(0.90),
+        p99_ns: pct(0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_doc_is_valid_against_bench_schema() {
+        let mut db = xsdb::Database::new();
+        db.register_schema_text(BENCH_SCHEMA_NAME, BENCH_SCHEMA).unwrap();
+        let violations = db.validate(BENCH_SCHEMA_NAME, &bench_doc(8)).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        let empty = db.validate(BENCH_SCHEMA_NAME, &bench_doc(0)).unwrap();
+        assert!(empty.is_empty(), "{empty:?}");
+    }
+
+    #[test]
+    fn summary_percentiles_are_exact() {
+        let lat: Vec<u64> = (1..=100).collect();
+        let s = summarize(lat, 3, Duration::from_secs(2));
+        assert_eq!(s.requests, 100);
+        assert_eq!(s.errors, 3);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p90_ns, 90);
+        assert_eq!(s.p99_ns, 99);
+        assert!((s.throughput_rps - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_summary_is_all_zero() {
+        let s = summarize(Vec::new(), 0, Duration::from_millis(1));
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.p99_ns, 0);
+    }
+}

@@ -1,0 +1,561 @@
+//! The xsserver wire protocol: versioned, length-prefixed frames.
+//!
+//! # Frame layout (version 1)
+//!
+//! Every message — request and response alike — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     protocol version (0x01)
+//! 1       1     tag: opcode (request) or status code (response)
+//! 2       4     payload length N, big-endian u32
+//! 6       N     payload
+//! ```
+//!
+//! The payload is a list of UTF-8 strings:
+//!
+//! ```text
+//! 0       4     field count C, big-endian u32 (C ≤ 64)
+//! …       4+len each field: big-endian u32 length, then the bytes
+//! ```
+//!
+//! Requests carry an [`Opcode`] tag and the operation's arguments as
+//! fields; responses carry a [`Status`] tag and either the result
+//! fields (status `OK`) or a single human-readable error message.
+//! Both sides enforce a hard cap on the declared payload length
+//! *before* allocating — the server derives its cap from the
+//! database's [`ParseLimits`](xsdb::xmlparse::ParseLimits) (see
+//! [`max_payload_for`]), so a hostile frame cannot request more memory
+//! than a hostile document could.
+//!
+//! Status codes are a **stable** mapping of [`DbError`] variants
+//! ([`Status::of`]): in particular a strict-analysis pre-flight
+//! rejection is its own code ([`Status::QueryStaticallyEmpty`]), so
+//! clients can distinguish "provably empty by the schema" from
+//! "failed".
+
+use std::io::{self, Read, Write};
+
+use xsdb::DbError;
+
+/// The wire protocol version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Bytes in a frame header (version, tag, payload length).
+pub const HEADER_LEN: usize = 6;
+
+/// Maximum number of fields a payload may declare.
+pub const MAX_FIELDS: u32 = 64;
+
+/// The server's payload cap for a database running under `limits`:
+/// the largest document the database would parse anyway, plus slack
+/// for names and expressions.
+pub fn max_payload_for(limits: &xsdb::xmlparse::ParseLimits) -> usize {
+    limits.max_input_bytes.saturating_add(64 * 1024)
+}
+
+/// Request opcodes. The discriminants are the wire bytes and never
+/// change; new opcodes are only ever appended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness probe; responds `OK ["pong"]`.
+    Ping = 0x01,
+    /// `[name, xsd]` — register a schema (the §2–3 syntax front door).
+    PutSchema = 0x02,
+    /// `[name]` — remove a schema (refused while documents use it).
+    DelSchema = 0x03,
+    /// `[doc, schema, xml]` — validate + insert a document (`f`, §6.2).
+    PutDoc = 0x04,
+    /// `[doc]` — delete a stored document.
+    DelDoc = 0x05,
+    /// `[schema, xml]` — validate without storing; returns one field
+    /// per violation (empty payload = valid).
+    Validate = 0x06,
+    /// `[doc, xpath]` — evaluate an XPath; returns the string values.
+    Query = 0x07,
+    /// `[doc, flwor]` — evaluate a FLWOR query; returns one field.
+    Xquery = 0x08,
+    /// `[doc, parent_xpath, name]` or `[doc, parent_xpath, name, text]`
+    /// — append an element under every selected parent.
+    UpdateInsert = 0x09,
+    /// `[doc, xpath]` — delete every selected node (subtrees included).
+    UpdateDelete = 0x0A,
+    /// `[doc, xpath, name, value]` — set an attribute on every
+    /// selected element.
+    UpdateSetAttr = 0x0B,
+    /// `[doc, xpath, value]` — replace the text content of every
+    /// selected element.
+    UpdateSetText = 0x0C,
+    /// `[]` — list the catalog; returns `schema:<name>` and
+    /// `doc:<name>` fields.
+    List = 0x0D,
+    /// `[]` — the server's metrics snapshot as one JSON field.
+    Stats = 0x0E,
+    /// `[]` — persist the database to the server's `--dir` now.
+    Save = 0x0F,
+}
+
+impl Opcode {
+    /// Every opcode, in wire-byte order.
+    pub const ALL: [Opcode; 15] = [
+        Opcode::Ping,
+        Opcode::PutSchema,
+        Opcode::DelSchema,
+        Opcode::PutDoc,
+        Opcode::DelDoc,
+        Opcode::Validate,
+        Opcode::Query,
+        Opcode::Xquery,
+        Opcode::UpdateInsert,
+        Opcode::UpdateDelete,
+        Opcode::UpdateSetAttr,
+        Opcode::UpdateSetText,
+        Opcode::List,
+        Opcode::Stats,
+        Opcode::Save,
+    ];
+
+    /// Decode a wire byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        Opcode::ALL.iter().copied().find(|op| *op as u8 == b)
+    }
+
+    /// The protocol-spec name (as documented and logged).
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Ping => "PING",
+            Opcode::PutSchema => "PUT_SCHEMA",
+            Opcode::DelSchema => "DEL_SCHEMA",
+            Opcode::PutDoc => "PUT_DOC",
+            Opcode::DelDoc => "DEL_DOC",
+            Opcode::Validate => "VALIDATE",
+            Opcode::Query => "QUERY",
+            Opcode::Xquery => "XQUERY",
+            Opcode::UpdateInsert => "UPDATE_INSERT",
+            Opcode::UpdateDelete => "UPDATE_DELETE",
+            Opcode::UpdateSetAttr => "UPDATE_SET_ATTR",
+            Opcode::UpdateSetText => "UPDATE_SET_TEXT",
+            Opcode::List => "LIST",
+            Opcode::Stats => "STATS",
+            Opcode::Save => "SAVE",
+        }
+    }
+}
+
+/// Response status codes. The discriminants are the wire bytes and
+/// never change. `1..=17` mirror [`DbError`] variants one-to-one
+/// ([`Status::of`]); `30..` are protocol-level failures the database
+/// never sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Status {
+    /// Success; the payload is the result.
+    Ok = 0,
+    /// The XML text failed to parse.
+    Xml = 1,
+    /// The schema document failed to parse.
+    SchemaParse = 2,
+    /// The schema parsed but is not well-formed (§2–3).
+    SchemaNotWellFormed = 3,
+    /// Strict analysis rejected the schema at registration.
+    SchemaRejected = 4,
+    /// Strict analysis proved the query statically empty — distinct
+    /// from every failure code, so clients can tell "empty by schema"
+    /// from "failed".
+    QueryStaticallyEmpty = 5,
+    /// The schema name is already registered.
+    DuplicateSchema = 6,
+    /// No schema under this name.
+    UnknownSchema = 7,
+    /// The document name already exists.
+    DuplicateDocument = 8,
+    /// No document under this name.
+    UnknownDocument = 9,
+    /// The document failed §6.2 validation.
+    Invalid = 10,
+    /// The XPath expression failed to parse.
+    XPath = 11,
+    /// The XQuery expression failed to parse or evaluate.
+    XQuery = 12,
+    /// Filesystem failure during SAVE.
+    Io = 13,
+    /// A persisted file failed checksum verification.
+    Checksum = 14,
+    /// The persisted directory is structurally broken.
+    Corrupt = 15,
+    /// The schema is still referenced by stored documents.
+    SchemaInUse = 16,
+    /// A database error this protocol revision has no code for.
+    Internal = 17,
+    /// The frame was malformed (bad version, bad payload structure,
+    /// wrong arity, non-UTF-8 field).
+    BadFrame = 30,
+    /// The opcode byte is not assigned.
+    UnknownOpcode = 31,
+    /// The declared payload exceeds the server's cap.
+    FrameTooLarge = 32,
+    /// The connection limit is reached; retry later.
+    Busy = 33,
+    /// The server is shutting down.
+    ShuttingDown = 34,
+    /// The operation is not available (e.g. SAVE with no `--dir`).
+    Unsupported = 35,
+}
+
+impl Status {
+    /// Every status, in wire-byte order.
+    pub const ALL: [Status; 24] = [
+        Status::Ok,
+        Status::Xml,
+        Status::SchemaParse,
+        Status::SchemaNotWellFormed,
+        Status::SchemaRejected,
+        Status::QueryStaticallyEmpty,
+        Status::DuplicateSchema,
+        Status::UnknownSchema,
+        Status::DuplicateDocument,
+        Status::UnknownDocument,
+        Status::Invalid,
+        Status::XPath,
+        Status::XQuery,
+        Status::Io,
+        Status::Checksum,
+        Status::Corrupt,
+        Status::SchemaInUse,
+        Status::Internal,
+        Status::BadFrame,
+        Status::UnknownOpcode,
+        Status::FrameTooLarge,
+        Status::Busy,
+        Status::ShuttingDown,
+        Status::Unsupported,
+    ];
+
+    /// Decode a wire byte.
+    pub fn from_u8(b: u8) -> Option<Status> {
+        Status::ALL.iter().copied().find(|s| *s as u8 == b)
+    }
+
+    /// True for [`Status::Ok`].
+    pub fn is_ok(self) -> bool {
+        self == Status::Ok
+    }
+
+    /// The stable wire-level name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::Xml => "ERR_XML",
+            Status::SchemaParse => "ERR_SCHEMA_PARSE",
+            Status::SchemaNotWellFormed => "ERR_SCHEMA_NOT_WELL_FORMED",
+            Status::SchemaRejected => "ERR_SCHEMA_REJECTED",
+            Status::QueryStaticallyEmpty => "ERR_QUERY_STATICALLY_EMPTY",
+            Status::DuplicateSchema => "ERR_DUPLICATE_SCHEMA",
+            Status::UnknownSchema => "ERR_UNKNOWN_SCHEMA",
+            Status::DuplicateDocument => "ERR_DUPLICATE_DOCUMENT",
+            Status::UnknownDocument => "ERR_UNKNOWN_DOCUMENT",
+            Status::Invalid => "ERR_INVALID",
+            Status::XPath => "ERR_XPATH",
+            Status::XQuery => "ERR_XQUERY",
+            Status::Io => "ERR_IO",
+            Status::Checksum => "ERR_CHECKSUM",
+            Status::Corrupt => "ERR_CORRUPT",
+            Status::SchemaInUse => "ERR_SCHEMA_IN_USE",
+            Status::Internal => "ERR_INTERNAL",
+            Status::BadFrame => "ERR_BAD_FRAME",
+            Status::UnknownOpcode => "ERR_UNKNOWN_OPCODE",
+            Status::FrameTooLarge => "ERR_FRAME_TOO_LARGE",
+            Status::Busy => "ERR_BUSY",
+            Status::ShuttingDown => "ERR_SHUTTING_DOWN",
+            Status::Unsupported => "ERR_UNSUPPORTED",
+        }
+    }
+
+    /// The stable status for a database error. Every present-day
+    /// [`DbError`] variant has its own code; variants added later map
+    /// to [`Status::Internal`] until assigned one.
+    pub fn of(e: &DbError) -> Status {
+        match e {
+            DbError::Xml(_) => Status::Xml,
+            DbError::Schema(_) => Status::SchemaParse,
+            DbError::SchemaNotWellFormed(_) => Status::SchemaNotWellFormed,
+            DbError::SchemaRejected(_) => Status::SchemaRejected,
+            DbError::QueryStaticallyEmpty(_) => Status::QueryStaticallyEmpty,
+            DbError::DuplicateSchema(_) => Status::DuplicateSchema,
+            DbError::SchemaInUse { .. } => Status::SchemaInUse,
+            DbError::UnknownSchema(_) => Status::UnknownSchema,
+            DbError::DuplicateDocument(_) => Status::DuplicateDocument,
+            DbError::UnknownDocument(_) => Status::UnknownDocument,
+            DbError::Invalid(_) => Status::Invalid,
+            DbError::XPath(_) => Status::XPath,
+            DbError::XQuery(_) => Status::XQuery,
+            DbError::Io { .. } => Status::Io,
+            DbError::Checksum { .. } => Status::Checksum,
+            DbError::Corrupt(_) => Status::Corrupt,
+            _ => Status::Internal,
+        }
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed (includes mid-frame EOF).
+    Io(io::Error),
+    /// The peer closed the connection cleanly before any frame byte.
+    Eof,
+    /// The frame declares an unsupported protocol version.
+    BadVersion(u8),
+    /// The declared payload exceeds the reader's cap.
+    TooLarge {
+        /// Bytes the header declared.
+        declared: usize,
+        /// The reader's cap.
+        max: usize,
+    },
+    /// The payload structure is inconsistent with its length, has too
+    /// many fields, or a field is not UTF-8.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (this build speaks {WIRE_VERSION})")
+            }
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "frame declares {declared} payload bytes, cap is {max}")
+            }
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Encode a field list into payload bytes.
+pub fn encode_payload(fields: &[&str]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + fields.iter().map(|f| 4 + f.len()).sum::<usize>());
+    out.extend_from_slice(&(fields.len() as u32).to_be_bytes());
+    for f in fields {
+        out.extend_from_slice(&(f.len() as u32).to_be_bytes());
+        out.extend_from_slice(f.as_bytes());
+    }
+    out
+}
+
+/// Decode payload bytes into fields.
+pub fn decode_payload(bytes: &[u8]) -> Result<Vec<String>, FrameError> {
+    let mut at = 0usize;
+    let take4 = |at: &mut usize| -> Result<u32, FrameError> {
+        let end = at.checked_add(4).ok_or(FrameError::Malformed("length overflow"))?;
+        if end > bytes.len() {
+            return Err(FrameError::Malformed("truncated length prefix"));
+        }
+        let v = u32::from_be_bytes([bytes[*at], bytes[*at + 1], bytes[*at + 2], bytes[*at + 3]]);
+        *at = end;
+        Ok(v)
+    };
+    let count = take4(&mut at)?;
+    if count > MAX_FIELDS {
+        return Err(FrameError::Malformed("too many fields"));
+    }
+    let mut fields = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let len = take4(&mut at)? as usize;
+        let end = at.checked_add(len).ok_or(FrameError::Malformed("length overflow"))?;
+        if end > bytes.len() {
+            return Err(FrameError::Malformed("field length exceeds payload"));
+        }
+        let s = std::str::from_utf8(&bytes[at..end])
+            .map_err(|_| FrameError::Malformed("field is not UTF-8"))?;
+        fields.push(s.to_string());
+        at = end;
+    }
+    if at != bytes.len() {
+        return Err(FrameError::Malformed("trailing bytes after last field"));
+    }
+    Ok(fields)
+}
+
+/// Write one frame; returns the payload length in bytes (what the
+/// byte counters record — headers excluded).
+pub fn write_frame(w: &mut impl Write, tag: u8, fields: &[&str]) -> io::Result<usize> {
+    let payload = encode_payload(fields);
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = WIRE_VERSION;
+    header[1] = tag;
+    header[2..6].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(payload.len())
+}
+
+/// Read one whole frame: `(tag, fields, payload_len)`. Returns
+/// [`FrameError::Eof`] only when the peer closed before the first
+/// header byte.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_payload: usize,
+) -> Result<(u8, Vec<String>, usize), FrameError> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(FrameError::Eof),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    read_frame_continue(first[0], r, max_payload)
+}
+
+/// Read the rest of a frame whose first header byte (the version) has
+/// already been consumed — the shape the server's idle-aware read loop
+/// needs.
+pub fn read_frame_continue(
+    version: u8,
+    r: &mut impl Read,
+    max_payload: usize,
+) -> Result<(u8, Vec<String>, usize), FrameError> {
+    if version != WIRE_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let mut rest = [0u8; HEADER_LEN - 1];
+    r.read_exact(&mut rest)?;
+    let tag = rest[0];
+    let len = u32::from_be_bytes([rest[1], rest[2], rest[3], rest[4]]) as usize;
+    if len > max_payload {
+        return Err(FrameError::TooLarge { declared: len, max: max_payload });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let fields = decode_payload(&payload)?;
+    Ok((tag, fields, len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_round_trips() {
+        for fields in [vec![], vec![""], vec!["a"], vec!["doc", "/a/b", "héllo\n\"x\""]] {
+            let enc = encode_payload(&fields);
+            let dec = decode_payload(&enc).unwrap();
+            assert_eq!(dec, fields);
+        }
+    }
+
+    #[test]
+    fn frame_round_trips_through_a_buffer() {
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, Opcode::Query as u8, &["doc", "/a"]).unwrap();
+        assert_eq!(buf.len(), HEADER_LEN + n);
+        let (tag, fields, len) = read_frame(&mut buf.as_slice(), 1 << 20).unwrap();
+        assert_eq!(tag, Opcode::Query as u8);
+        assert_eq!(fields, ["doc", "/a"]);
+        assert_eq!(len, n);
+    }
+
+    #[test]
+    fn oversized_declaration_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x01, &[]).unwrap();
+        // Patch the length field to claim 4 GiB − 1.
+        buf[2..6].copy_from_slice(&u32::MAX.to_be_bytes());
+        match read_frame(&mut buf.as_slice(), 1024) {
+            Err(FrameError::TooLarge { declared, max }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        // Field length exceeding the payload.
+        let mut bad = encode_payload(&["abc"]);
+        bad[4..8].copy_from_slice(&100u32.to_be_bytes());
+        assert!(matches!(decode_payload(&bad), Err(FrameError::Malformed(_))));
+        // Trailing garbage.
+        let mut trailing = encode_payload(&["x"]);
+        trailing.push(0);
+        assert!(matches!(decode_payload(&trailing), Err(FrameError::Malformed(_))));
+        // Too many fields.
+        let floods = (MAX_FIELDS + 1).to_be_bytes().to_vec();
+        assert!(matches!(decode_payload(&floods), Err(FrameError::Malformed(_))));
+        // Non-UTF-8 field.
+        let mut nonutf = encode_payload(&[]);
+        nonutf[0..4].copy_from_slice(&1u32.to_be_bytes());
+        nonutf.extend_from_slice(&2u32.to_be_bytes());
+        nonutf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(decode_payload(&nonutf), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x01, &[]).unwrap();
+        buf[0] = 9;
+        assert!(matches!(read_frame(&mut buf.as_slice(), 1024), Err(FrameError::BadVersion(9))));
+    }
+
+    #[test]
+    fn opcode_and_status_bytes_are_stable() {
+        // The wire bytes are a compatibility contract: a renumbering
+        // must fail here, not in production.
+        assert_eq!(Opcode::Ping as u8, 0x01);
+        assert_eq!(Opcode::Save as u8, 0x0F);
+        assert_eq!(Status::Ok as u8, 0);
+        assert_eq!(Status::QueryStaticallyEmpty as u8, 5);
+        assert_eq!(Status::SchemaInUse as u8, 16);
+        assert_eq!(Status::BadFrame as u8, 30);
+        assert_eq!(Status::Unsupported as u8, 35);
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_u8(op as u8), Some(op));
+        }
+        for st in Status::ALL {
+            assert_eq!(Status::from_u8(st as u8), Some(st));
+        }
+        assert_eq!(Opcode::from_u8(0x7f), None);
+        assert_eq!(Status::from_u8(0x7f), None);
+    }
+
+    #[test]
+    fn every_db_error_variant_has_a_distinct_status() {
+        use xsdb::DbError;
+        let samples: Vec<DbError> = vec![
+            DbError::DuplicateSchema("s".into()),
+            DbError::UnknownSchema("s".into()),
+            DbError::DuplicateDocument("d".into()),
+            DbError::UnknownDocument("d".into()),
+            DbError::SchemaInUse { schema: "s".into(), documents: vec!["d".into()] },
+            DbError::Corrupt("x".into()),
+            DbError::io("/p", io::Error::new(io::ErrorKind::NotFound, "gone")),
+            DbError::Checksum { path: "/p".into(), expected: "a".into(), actual: "b".into() },
+            DbError::Invalid(Vec::new()),
+            DbError::SchemaNotWellFormed(Vec::new()),
+            DbError::SchemaRejected(Vec::new()),
+            DbError::QueryStaticallyEmpty(Vec::new()),
+        ];
+        let codes: Vec<u8> = samples.iter().map(|e| Status::of(e) as u8).collect();
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "statuses collide: {codes:?}");
+        assert!(!codes.contains(&(Status::Internal as u8)));
+    }
+}

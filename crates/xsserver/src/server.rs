@@ -1,0 +1,559 @@
+//! The multi-threaded TCP server: a bounded worker pool serving the
+//! wire protocol over one [`SharedDatabase`].
+//!
+//! Concurrency model: an accept thread plus `threads` worker threads.
+//! Accepted connections go into a queue the workers drain; a worker
+//! serves one connection until the client disconnects, times out, or
+//! the server shuts down. `max_conns` bounds connections in flight
+//! (being served + queued): beyond it, new connections are politely
+//! refused with [`Status::Busy`] and counted in
+//! `server.connections_rejected_total`.
+//!
+//! Read operations (`VALIDATE`, `QUERY`, `XQUERY`, `LIST`, `STATS`,
+//! `SAVE`) take the shared read lock and run in parallel across
+//! workers; state transitions (`PUT_*`, `DEL_*`, `UPDATE_*`) take the
+//! write lock and serialize — exactly the `&self` / `&mut self` split
+//! of [`Database`](xsdb::Database).
+//!
+//! Shutdown ([`ServerHandle::shutdown`]) is graceful: the flag flips,
+//! a self-connection wakes the blocking accept, workers finish their
+//! in-flight request and close, and — when a persistence directory is
+//! configured — a final [`save_dir`](xsdb::Database::save_dir) commits
+//! the state before the call returns.
+
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use xsdb::{DbError, SharedDatabase};
+use xsobs::{CounterId, HistogramId, MaxId};
+
+use crate::protocol::{
+    max_payload_for, read_frame_continue, write_frame, FrameError, Opcode, Status,
+};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads — the number of connections served concurrently.
+    pub threads: usize,
+    /// Cap on connections in flight (served + queued); beyond it new
+    /// connections are refused with [`Status::Busy`].
+    pub max_conns: usize,
+    /// Per-connection I/O timeout: the longest a connection may sit
+    /// idle between requests, and the longest a single read/write may
+    /// block mid-frame.
+    pub io_timeout: Duration,
+    /// Persistence directory for `SAVE` and the final shutdown save.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { threads: 64, max_conns: 256, io_timeout: Duration::from_secs(30), dir: None }
+    }
+}
+
+/// Everything the accept thread and workers share.
+struct ServerState {
+    shared: SharedDatabase,
+    obs: Arc<xsobs::Registry>,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    work_ready: Condvar,
+    in_flight: AtomicUsize,
+    max_conns: usize,
+    io_timeout: Duration,
+    max_payload: usize,
+    dir: Option<PathBuf>,
+}
+
+impl ServerState {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The server factory. See [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` and start serving `shared` until
+    /// [`ServerHandle::shutdown`]. Pass port 0 for an ephemeral port;
+    /// [`ServerHandle::local_addr`] reports the bound address.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        shared: SharedDatabase,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let obs = Arc::clone(shared.metrics_registry());
+        let max_payload = max_payload_for(shared.read().limits());
+        let state = Arc::new(ServerState {
+            shared: shared.clone(),
+            obs,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            max_conns: config.max_conns.max(1),
+            io_timeout: config.io_timeout.max(Duration::from_millis(1)),
+            max_payload,
+            dir: config.dir.clone(),
+        });
+        let mut workers = Vec::with_capacity(config.threads.max(1));
+        for i in 0..config.threads.max(1) {
+            let state = Arc::clone(&state);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("xsserver-worker-{i}"))
+                    .spawn(move || worker_loop(&state))?,
+            );
+        }
+        let accept = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("xsserver-accept".to_string())
+                .spawn(move || accept_loop(&listener, &state))?
+        };
+        Ok(ServerHandle {
+            local_addr,
+            state,
+            accept: Some(accept),
+            workers,
+            shared,
+            dir: config.dir,
+        })
+    }
+}
+
+/// A running server. Dropping the handle stops the server (without the
+/// final persistence save); call [`ServerHandle::shutdown`] for the
+/// graceful path.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: SharedDatabase,
+    dir: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared database this server serves.
+    pub fn shared(&self) -> &SharedDatabase {
+        &self.shared
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests
+    /// finish, join every thread, then — when a persistence directory
+    /// is configured — commit a final save and report its outcome.
+    pub fn shutdown(mut self) -> Result<(), DbError> {
+        self.stop_threads();
+        match &self.dir {
+            Some(dir) => self.shared.read().save_dir(dir),
+            None => Ok(()),
+        }
+    }
+
+    /// Signal shutdown, wake the accept thread, and join everything.
+    fn stop_threads(&mut self) {
+        {
+            // Flip the flag under the queue lock so no worker can miss
+            // the wakeup between its shutdown check and its cv wait.
+            let _guard = self.state.queue.lock().unwrap_or_else(|p| p.into_inner());
+            self.state.shutdown.store(true, Ordering::SeqCst);
+            self.state.work_ready.notify_all();
+        }
+        // The accept thread is parked in accept(); a throwaway
+        // connection unblocks it so it can observe the flag.
+        let wake_addr = if self.local_addr.ip().is_unspecified() {
+            SocketAddr::new(std::net::Ipv4Addr::LOCALHOST.into(), self.local_addr.port())
+        } else {
+            self.local_addr
+        };
+        let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() || !self.workers.is_empty() {
+            self.stop_threads();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &ServerState) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) if state.shutting_down() => return,
+            Err(_) => continue,
+        };
+        if state.shutting_down() {
+            return; // the wakeup connection, or a straggler — drop it
+        }
+        // Connection admission: reserve an in-flight slot or refuse.
+        let mut current = state.in_flight.load(Ordering::SeqCst);
+        let admitted = loop {
+            if current >= state.max_conns {
+                break false;
+            }
+            match state.in_flight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break true,
+                Err(now) => current = now,
+            }
+        };
+        if !admitted {
+            state.obs.incr(CounterId::SrvConnRejected);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = write_frame(
+                &mut stream,
+                Status::Busy as u8,
+                &["connection limit reached, retry later"],
+            );
+            continue;
+        }
+        state.obs.record_max(MaxId::SrvConnHighWater, (current + 1) as u64);
+        let mut queue = state.queue.lock().unwrap_or_else(|p| p.into_inner());
+        queue.push_back(stream);
+        state.work_ready.notify_one();
+    }
+}
+
+fn worker_loop(state: &ServerState) {
+    loop {
+        let stream = {
+            let mut queue = state.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if state.shutting_down() {
+                    return;
+                }
+                queue = state.work_ready.wait(queue).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        state.obs.incr(CounterId::SrvConnAccepted);
+        serve_connection(stream, state);
+        state.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// How long a blocked first-byte read waits before re-checking the
+/// shutdown flag and the idle budget.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Serve one connection until EOF, timeout, error, or shutdown.
+fn serve_connection(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(state.io_timeout));
+    let tick = POLL_TICK.min(state.io_timeout);
+    loop {
+        // Phase 1: wait for the next request's first byte, polling so
+        // an idle connection notices shutdown and enforces its idle
+        // budget without holding resources forever.
+        if stream.set_read_timeout(Some(tick)).is_err() {
+            return;
+        }
+        let idle_since = Instant::now();
+        let version_byte = loop {
+            if state.shutting_down() {
+                return;
+            }
+            let mut b = [0u8; 1];
+            match stream.read(&mut b) {
+                Ok(0) => return, // clean EOF between requests
+                Ok(_) => break b[0],
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if is_timeout(&e) => {
+                    if idle_since.elapsed() >= state.io_timeout {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        };
+        // Phase 2: the frame is in flight — switch to the hard
+        // per-operation timeout and read it whole.
+        if stream.set_read_timeout(Some(state.io_timeout)).is_err() {
+            return;
+        }
+        let keep_going = match read_frame_continue(version_byte, &mut stream, state.max_payload) {
+            Ok((tag, fields, payload_len)) => {
+                state.obs.add(CounterId::SrvBytesIn, payload_len as u64);
+                respond(&mut stream, state, tag, &fields)
+            }
+            Err(FrameError::TooLarge { declared, max }) => {
+                state.obs.incr(CounterId::SrvFrameRejections);
+                let msg = format!("frame declares {declared} payload bytes, cap is {max}");
+                let _ = write_frame(&mut stream, Status::FrameTooLarge as u8, &[&msg]);
+                false // cannot resync past an unread oversized payload
+            }
+            Err(e @ (FrameError::BadVersion(_) | FrameError::Malformed(_))) => {
+                state.obs.incr(CounterId::SrvFrameRejections);
+                let _ = write_frame(&mut stream, Status::BadFrame as u8, &[&e.to_string()]);
+                false // framing is lost; close
+            }
+            Err(FrameError::Eof) | Err(FrameError::Io(_)) => false,
+        };
+        if !keep_going || state.shutting_down() {
+            return;
+        }
+    }
+}
+
+/// Dispatch one well-framed request and write the response. Returns
+/// whether the connection can keep being served.
+fn respond(stream: &mut TcpStream, state: &ServerState, tag: u8, fields: &[String]) -> bool {
+    let (status, out_fields) = match Opcode::from_u8(tag) {
+        Some(op) => {
+            let mut span = state.obs.span(HistogramId::SrvRequest);
+            span.set_detail(op.name());
+            let result = dispatch(state, op, fields);
+            drop(span);
+            state.obs.incr(op_counter(op));
+            result
+        }
+        None => {
+            state.obs.incr(CounterId::SrvFrameRejections);
+            (Status::UnknownOpcode, vec![format!("opcode 0x{tag:02x} is not assigned")])
+        }
+    };
+    state.obs.incr(CounterId::SrvRequests);
+    if !status.is_ok() {
+        state.obs.incr(CounterId::SrvRequestErrors);
+    }
+    let refs: Vec<&str> = out_fields.iter().map(String::as_str).collect();
+    match write_frame(stream, status as u8, &refs) {
+        Ok(n) => {
+            state.obs.add(CounterId::SrvBytesOut, n as u64);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn op_counter(op: Opcode) -> CounterId {
+    match op {
+        Opcode::Ping => CounterId::SrvOpPing,
+        Opcode::PutSchema => CounterId::SrvOpPutSchema,
+        Opcode::DelSchema => CounterId::SrvOpDelSchema,
+        Opcode::PutDoc => CounterId::SrvOpPutDoc,
+        Opcode::DelDoc => CounterId::SrvOpDelDoc,
+        Opcode::Validate => CounterId::SrvOpValidate,
+        Opcode::Query => CounterId::SrvOpQuery,
+        Opcode::Xquery => CounterId::SrvOpXquery,
+        Opcode::UpdateInsert => CounterId::SrvOpUpdateInsert,
+        Opcode::UpdateDelete => CounterId::SrvOpUpdateDelete,
+        Opcode::UpdateSetAttr => CounterId::SrvOpUpdateSetAttr,
+        Opcode::UpdateSetText => CounterId::SrvOpUpdateSetText,
+        Opcode::List => CounterId::SrvOpList,
+        Opcode::Stats => CounterId::SrvOpStats,
+        Opcode::Save => CounterId::SrvOpSave,
+    }
+}
+
+/// Check a request's field count.
+fn arity(op: Opcode, fields: &[String], want: usize) -> Result<(), (Status, Vec<String>)> {
+    if fields.len() == want {
+        Ok(())
+    } else {
+        Err((
+            Status::BadFrame,
+            vec![format!("{} expects {want} field(s), got {}", op.name(), fields.len())],
+        ))
+    }
+}
+
+fn err_response(e: &DbError) -> (Status, Vec<String>) {
+    (Status::of(e), vec![e.to_string()])
+}
+
+fn ok_count(n: usize) -> (Status, Vec<String>) {
+    (Status::Ok, vec![n.to_string()])
+}
+
+/// Execute one opcode against the shared database.
+fn dispatch(state: &ServerState, op: Opcode, fields: &[String]) -> (Status, Vec<String>) {
+    let check = |want: usize| arity(op, fields, want);
+    match op {
+        Opcode::Ping => {
+            if let Err(e) = check(0) {
+                return e;
+            }
+            (Status::Ok, vec!["pong".to_string()])
+        }
+        Opcode::PutSchema => {
+            if let Err(e) = check(2) {
+                return e;
+            }
+            match state.shared.write().register_schema_text(&fields[0], &fields[1]) {
+                Ok(()) => (Status::Ok, Vec::new()),
+                Err(e) => err_response(&e),
+            }
+        }
+        Opcode::DelSchema => {
+            if let Err(e) = check(1) {
+                return e;
+            }
+            match state.shared.write().remove_schema(&fields[0]) {
+                Ok(()) => (Status::Ok, Vec::new()),
+                Err(e) => err_response(&e),
+            }
+        }
+        Opcode::PutDoc => {
+            if let Err(e) = check(3) {
+                return e;
+            }
+            match state.shared.write().insert(&fields[0], &fields[1], &fields[2]) {
+                Ok(()) => (Status::Ok, Vec::new()),
+                Err(e) => err_response(&e),
+            }
+        }
+        Opcode::DelDoc => {
+            if let Err(e) = check(1) {
+                return e;
+            }
+            if state.shared.write().delete(&fields[0]) {
+                (Status::Ok, Vec::new())
+            } else {
+                err_response(&DbError::UnknownDocument(fields[0].clone()))
+            }
+        }
+        Opcode::Validate => {
+            if let Err(e) = check(2) {
+                return e;
+            }
+            match state.shared.read().validate(&fields[0], &fields[1]) {
+                Ok(violations) => (Status::Ok, violations.iter().map(|v| v.to_string()).collect()),
+                Err(e) => err_response(&e),
+            }
+        }
+        Opcode::Query => {
+            if let Err(e) = check(2) {
+                return e;
+            }
+            match state.shared.read().query(&fields[0], &fields[1]) {
+                Ok(values) => (Status::Ok, values),
+                Err(e) => err_response(&e),
+            }
+        }
+        Opcode::Xquery => {
+            if let Err(e) = check(2) {
+                return e;
+            }
+            match state.shared.read().xquery(&fields[0], &fields[1]) {
+                Ok(result) => (Status::Ok, vec![result]),
+                Err(e) => err_response(&e),
+            }
+        }
+        Opcode::UpdateInsert => {
+            if fields.len() != 3 && fields.len() != 4 {
+                return (
+                    Status::BadFrame,
+                    vec![format!("UPDATE_INSERT expects 3 or 4 field(s), got {}", fields.len())],
+                );
+            }
+            let text = fields.get(3).map(String::as_str);
+            match state
+                .shared
+                .write()
+                .update_insert_element(&fields[0], &fields[1], &fields[2], text)
+            {
+                Ok(n) => ok_count(n),
+                Err(e) => err_response(&e),
+            }
+        }
+        Opcode::UpdateDelete => {
+            if let Err(e) = check(2) {
+                return e;
+            }
+            match state.shared.write().update_delete(&fields[0], &fields[1]) {
+                Ok(n) => ok_count(n),
+                Err(e) => err_response(&e),
+            }
+        }
+        Opcode::UpdateSetAttr => {
+            if let Err(e) = check(4) {
+                return e;
+            }
+            match state
+                .shared
+                .write()
+                .update_set_attribute(&fields[0], &fields[1], &fields[2], &fields[3])
+            {
+                Ok(n) => ok_count(n),
+                Err(e) => err_response(&e),
+            }
+        }
+        Opcode::UpdateSetText => {
+            if let Err(e) = check(3) {
+                return e;
+            }
+            match state.shared.write().update_set_text(&fields[0], &fields[1], &fields[2]) {
+                Ok(n) => ok_count(n),
+                Err(e) => err_response(&e),
+            }
+        }
+        Opcode::List => {
+            if let Err(e) = check(0) {
+                return e;
+            }
+            let db = state.shared.read();
+            let mut out: Vec<String> = db.schema_names().map(|n| format!("schema:{n}")).collect();
+            out.extend(db.document_names().map(|n| format!("doc:{n}")));
+            (Status::Ok, out)
+        }
+        Opcode::Stats => {
+            if let Err(e) = check(0) {
+                return e;
+            }
+            (Status::Ok, vec![state.shared.metrics().to_json()])
+        }
+        Opcode::Save => {
+            if let Err(e) = check(0) {
+                return e;
+            }
+            match &state.dir {
+                None => (
+                    Status::Unsupported,
+                    vec!["the server was started without a persistence directory".to_string()],
+                ),
+                Some(dir) => match state.shared.read().save_dir(dir) {
+                    Ok(()) => (Status::Ok, Vec::new()),
+                    Err(e) => err_response(&e),
+                },
+            }
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! End-to-end tests of the TCP server over localhost: every opcode,
+//! the malformed/oversized-frame rejection matrix, mid-request
+//! disconnects, busy rejection, persistence, and byte-for-byte parity
+//! with in-process `Database` calls.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use xsdb::{Database, SharedDatabase};
+use xsserver::client::{Client, ClientError};
+use xsserver::protocol::{Opcode, Status, WIRE_VERSION};
+use xsserver::server::{Server, ServerConfig, ServerHandle};
+
+const SCHEMA: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="list">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="item" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+const DOC: &str = "<list><item>alpha</item><item>beta</item></list>";
+
+fn start(config: ServerConfig) -> (ServerHandle, String) {
+    let shared = SharedDatabase::new(Database::new());
+    let handle = Server::start("127.0.0.1:0", config, shared).expect("bind");
+    let addr = handle.local_addr().to_string();
+    (handle, addr)
+}
+
+fn start_default() -> (ServerHandle, String) {
+    start(ServerConfig::default())
+}
+
+fn expect_status(result: Result<impl std::fmt::Debug, ClientError>, want: Status) {
+    match result {
+        Err(ClientError::Status { status, .. }) => assert_eq!(status, want),
+        other => panic!("expected status {want:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_opcode_round_trips() {
+    let (handle, addr) = start_default();
+    let mut c = Client::connect(&addr).expect("connect");
+
+    c.ping().expect("ping");
+    c.put_schema("s", SCHEMA).expect("put_schema");
+    assert_eq!(c.validate("s", DOC).expect("validate"), Vec::<String>::new());
+    let violations = c.validate("s", "<list><wrong/></list>").expect("validate invalid");
+    assert!(!violations.is_empty());
+
+    c.put_doc("d", "s", DOC).expect("put_doc");
+    assert_eq!(c.query("d", "/list/item").expect("query"), ["alpha", "beta"]);
+    let xq = c.xquery("d", "for $i in /list/item return $i").expect("xquery");
+    assert!(xq.contains("alpha") && xq.contains("beta"), "{xq}");
+
+    assert_eq!(c.update_insert("d", "/list", "item", Some("gamma")).expect("insert"), 1);
+    assert_eq!(c.update_set_attr("d", "/list", "state", "new").expect("set_attr"), 1);
+    assert_eq!(c.update_set_text("d", "/list/item[1]", "ALPHA").expect("set_text"), 1);
+    assert_eq!(c.query("d", "/list/item").expect("query"), ["ALPHA", "beta", "gamma"]);
+    assert_eq!(c.update_delete("d", "/list/item[2]").expect("delete"), 1);
+    assert_eq!(c.query("d", "/list/item").expect("query"), ["ALPHA", "gamma"]);
+
+    let listing = c.list().expect("list");
+    assert_eq!(listing, ["schema:s", "doc:d"]);
+
+    let stats = c.stats_json().expect("stats");
+    assert!(stats.contains("server.requests_total"), "{stats}");
+
+    // SAVE without a persistence directory is a typed refusal.
+    expect_status(c.save(), Status::Unsupported);
+
+    // Referential integrity over the wire.
+    expect_status(c.del_schema("s"), Status::SchemaInUse);
+    c.del_doc("d").expect("del_doc");
+    expect_status(c.del_doc("d"), Status::UnknownDocument);
+    c.del_schema("s").expect("del_schema");
+    expect_status(c.query("d", "/list/item"), Status::UnknownDocument);
+
+    handle.shutdown().expect("shutdown");
+}
+
+/// The server must return exactly what the in-process calls return —
+/// same strings, same order, byte for byte.
+#[test]
+fn results_are_byte_identical_to_in_process_calls() {
+    let (handle, addr) = start_default();
+    let mut c = Client::connect(&addr).expect("connect");
+    let mut db = Database::new();
+
+    db.register_schema_text("s", SCHEMA).unwrap();
+    c.put_schema("s", SCHEMA).unwrap();
+    db.insert("d", "s", DOC).unwrap();
+    c.put_doc("d", "s", DOC).unwrap();
+
+    for xpath in ["/list/item", "/list", "/list/item[2]", "//item"] {
+        let local = db.query("d", xpath).unwrap();
+        let remote = c.query("d", xpath).unwrap();
+        assert_eq!(local, remote, "query {xpath:?} diverged");
+    }
+    for q in ["for $i in /list/item return $i", "for $i in /list/item where $i = 'beta' return $i"]
+    {
+        assert_eq!(db.xquery("d", q).unwrap(), c.xquery("d", q).unwrap(), "xquery {q:?}");
+    }
+    let local: Vec<String> =
+        db.validate("s", "<list><bad/></list>").unwrap().iter().map(|v| v.to_string()).collect();
+    let remote = c.validate("s", "<list><bad/></list>").unwrap();
+    assert_eq!(local, remote, "validation rendering diverged");
+
+    // Updates produce identical states, observed through queries.
+    assert_eq!(
+        db.update_insert_element("d", "/list", "item", Some("new")).unwrap(),
+        c.update_insert("d", "/list", "item", Some("new")).unwrap()
+    );
+    assert_eq!(db.query("d", "/list/item").unwrap(), c.query("d", "/list/item").unwrap());
+
+    handle.shutdown().expect("shutdown");
+}
+
+/// Satellite 6 regression: a statically-empty query maps to its own
+/// status code, distinct from a syntactically bad XPath.
+#[test]
+fn statically_empty_query_has_its_own_status() {
+    let mut db = Database::with_strict_analysis();
+    db.register_schema_text("s", SCHEMA).unwrap();
+    db.insert("d", "s", DOC).unwrap();
+    let handle = Server::start("127.0.0.1:0", ServerConfig::default(), SharedDatabase::new(db))
+        .expect("bind");
+    let mut c = Client::connect(handle.local_addr().to_string()).expect("connect");
+
+    expect_status(c.query("d", "/list/nonexistent"), Status::QueryStaticallyEmpty);
+    expect_status(c.query("d", "/list/item["), Status::XPath);
+    assert_ne!(Status::QueryStaticallyEmpty as u8, Status::XPath as u8);
+    // And the valid query still works under strict analysis.
+    assert_eq!(c.query("d", "/list/item").unwrap(), ["alpha", "beta"]);
+
+    handle.shutdown().expect("shutdown");
+}
+
+// ---- raw-socket helpers for the rejection matrix ----
+
+fn raw_frame(version: u8, tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = vec![version, tag];
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn fields_payload(fields: &[&[u8]]) -> Vec<u8> {
+    let mut out = (fields.len() as u32).to_be_bytes().to_vec();
+    for f in fields {
+        out.extend_from_slice(&(f.len() as u32).to_be_bytes());
+        out.extend_from_slice(f);
+    }
+    out
+}
+
+/// Send raw bytes, read one response frame, return its status tag.
+fn send_raw(addr: &str, bytes: &[u8]) -> Option<u8> {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(bytes).expect("write");
+    let mut header = [0u8; 6];
+    s.read_exact(&mut header).ok()?;
+    assert_eq!(header[0], WIRE_VERSION);
+    Some(header[1])
+}
+
+#[test]
+fn malformed_and_oversized_frames_are_rejected() {
+    let (handle, addr) = start_default();
+
+    // Unknown protocol version.
+    let frame = raw_frame(99, Opcode::Ping as u8, &fields_payload(&[]));
+    assert_eq!(send_raw(&addr, &frame), Some(Status::BadFrame as u8));
+
+    // Oversized declared payload: rejected before any allocation.
+    let mut huge = raw_frame(WIRE_VERSION, Opcode::Ping as u8, &[]);
+    huge[2..6].copy_from_slice(&u32::MAX.to_be_bytes());
+    assert_eq!(send_raw(&addr, &huge), Some(Status::FrameTooLarge as u8));
+
+    // Field count says 3, payload holds 1.
+    let mut lying = fields_payload(&[b"only"]);
+    lying[..4].copy_from_slice(&3u32.to_be_bytes());
+    let frame = raw_frame(WIRE_VERSION, Opcode::List as u8, &lying);
+    assert_eq!(send_raw(&addr, &frame), Some(Status::BadFrame as u8));
+
+    // Field length overruns the payload.
+    let mut overrun = fields_payload(&[b"x"]);
+    overrun[4..8].copy_from_slice(&1000u32.to_be_bytes());
+    let frame = raw_frame(WIRE_VERSION, Opcode::List as u8, &overrun);
+    assert_eq!(send_raw(&addr, &frame), Some(Status::BadFrame as u8));
+
+    // Trailing garbage after the last field.
+    let mut trailing = fields_payload(&[b"x"]);
+    trailing.extend_from_slice(b"junk");
+    let frame = raw_frame(WIRE_VERSION, Opcode::List as u8, &trailing);
+    assert_eq!(send_raw(&addr, &frame), Some(Status::BadFrame as u8));
+
+    // A field that is not UTF-8.
+    let frame = raw_frame(WIRE_VERSION, Opcode::DelDoc as u8, &fields_payload(&[&[0xff, 0xfe]]));
+    assert_eq!(send_raw(&addr, &frame), Some(Status::BadFrame as u8));
+
+    // Unknown opcode in a well-formed frame: typed refusal, and the
+    // connection stays usable for the next request.
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(&raw_frame(WIRE_VERSION, 0x7f, &fields_payload(&[]))).unwrap();
+    let mut header = [0u8; 6];
+    s.read_exact(&mut header).unwrap();
+    assert_eq!(header[1], Status::UnknownOpcode as u8);
+    let len = u32::from_be_bytes([header[2], header[3], header[4], header[5]]) as usize;
+    let mut payload = vec![0u8; len];
+    s.read_exact(&mut payload).unwrap();
+    s.write_all(&raw_frame(WIRE_VERSION, Opcode::Ping as u8, &fields_payload(&[]))).unwrap();
+    s.read_exact(&mut header).unwrap();
+    assert_eq!(header[1], Status::Ok as u8, "connection must survive an unknown opcode");
+
+    // Wrong arity for a known opcode: typed BadFrame response.
+    let frame = raw_frame(WIRE_VERSION, Opcode::PutDoc as u8, &fields_payload(&[b"only-one"]));
+    assert_eq!(send_raw(&addr, &frame), Some(Status::BadFrame as u8));
+
+    // The server is still healthy after the whole matrix.
+    let mut c = Client::connect(&addr).expect("connect");
+    c.ping().expect("ping after matrix");
+    let stats = c.stats_json().expect("stats");
+    assert!(stats.contains("server.frame_rejections_total"), "{stats}");
+
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn mid_request_disconnects_are_harmless() {
+    let (handle, addr) = start_default();
+
+    // Half a header.
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.write_all(&[WIRE_VERSION, Opcode::Ping as u8, 0x00]).unwrap();
+    drop(s);
+
+    // Full header promising a payload that never arrives.
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.write_all(
+        &raw_frame(WIRE_VERSION, Opcode::Query as u8, &fields_payload(&[b"d", b"/x"]))[..9],
+    )
+    .unwrap();
+    drop(s);
+
+    // Connect and say nothing at all.
+    let s = TcpStream::connect(&addr).expect("connect");
+    drop(s);
+
+    // The server keeps serving.
+    let mut c = Client::connect(&addr).expect("connect");
+    c.ping().expect("ping after disconnects");
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn busy_rejection_when_connection_limit_reached() {
+    let (handle, addr) = start(ServerConfig { threads: 1, max_conns: 1, ..Default::default() });
+
+    // First connection occupies the single slot.
+    let mut holder = Client::connect(&addr).expect("connect");
+    holder.ping().expect("ping");
+
+    // The next connection is refused with a polite BUSY frame.
+    let mut rejected = Client::connect(&addr).expect("tcp connect itself succeeds");
+    expect_status(rejected.ping(), Status::Busy);
+
+    // Releasing the slot lets new connections in.
+    drop(holder);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut c = Client::connect(&addr).expect("connect");
+        match c.ping() {
+            Ok(()) => break,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20))
+            }
+            Err(e) => panic!("slot never freed: {e}"),
+        }
+    }
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn concurrent_connections_with_zero_errors() {
+    let (handle, addr) = start_default();
+    let config = xsserver::loadgen::LoadConfig {
+        connections: 32,
+        requests_per_conn: 25,
+        write_percent: 20,
+        doc_items: 16,
+    };
+    xsserver::loadgen::setup(&addr, &config).expect("setup");
+    let obs = xsobs::Registry::new();
+    let summary = xsserver::loadgen::run(&addr, &config, &obs);
+    assert_eq!(summary.errors, 0, "{summary:?}");
+    assert_eq!(summary.requests, 32 * 25);
+    assert!(obs.snapshot().histogram(xsobs::HistogramId::ClientRequest).count >= 32 * 25);
+
+    // Server-side accounting saw all of it.
+    let mut c = Client::connect(&addr).expect("connect");
+    let stats = c.stats_json().expect("stats");
+    assert!(stats.contains("server.op.query_total"), "{stats}");
+    handle.shutdown().expect("shutdown");
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "xsserver-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn save_opcode_and_shutdown_flush_persist_state() {
+    let dir = temp_dir("persist");
+    let config = ServerConfig { dir: Some(dir.clone()), ..Default::default() };
+    let (handle, addr) = start(config);
+    let mut c = Client::connect(&addr).expect("connect");
+    c.put_schema("s", SCHEMA).unwrap();
+    c.put_doc("d", "s", DOC).unwrap();
+    c.save().expect("SAVE opcode");
+    let mid = Database::load_dir(&dir).expect("load mid-flight save");
+    assert_eq!(mid.query("d", "/list/item").unwrap(), ["alpha", "beta"]);
+
+    // More state after the explicit save; the shutdown flush must
+    // capture it.
+    c.put_doc("d2", "s", "<list><item>late</item></list>").unwrap();
+    drop(c);
+    handle.shutdown().expect("shutdown");
+    let reloaded = Database::load_dir(&dir).expect("load final save");
+    assert_eq!(reloaded.query("d2", "/list/item").unwrap(), ["late"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_unblocks_idle_connections() {
+    let (handle, addr) = start_default();
+    // An idle client is connected but sends nothing.
+    let idle = TcpStream::connect(&addr).expect("connect");
+    // Shutdown must complete promptly despite the idle connection.
+    let started = std::time::Instant::now();
+    handle.shutdown().expect("shutdown");
+    assert!(started.elapsed() < Duration::from_secs(5), "shutdown blocked on an idle connection");
+    drop(idle);
+}

@@ -16,6 +16,10 @@ cargo test -q -p xsdb --test cli_stats
 cargo test -q -p xsdb-integration --test metrics_invariants
 cargo test -q -p xsdb-integration --test obs_export
 cargo test -q -p xsdb-integration --test generative_roundtrip
+# Server, concurrency, and CLI-robustness suites (same rationale).
+cargo test -q -p xsserver --test server_integration
+cargo test -q -p xsdb-integration --test shared_stress
+cargo test -q -p xsdb --test broken_pipe
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 
@@ -58,5 +62,34 @@ fi
 # E11 overhead guard: enabled metrics must stay within 3% of disabled
 # on the bulk-validation workload (retries internally to shed noise).
 cargo run --release -q -p bench --bin experiments -- e11 --guard
+
+# Server smoke: boot xsd-serve on an ephemeral port with a persistence
+# directory, fire a 32-connection bench burst (zero errors required —
+# the client exits non-zero otherwise), shut down with SIGTERM, and
+# verify the final save committed.
+SMOKE_DIR=$(mktemp -d)
+target/release/xsd-serve --addr 127.0.0.1:0 --dir "$SMOKE_DIR/db" \
+  >"$SMOKE_DIR/serve.out" 2>"$SMOKE_DIR/serve.err" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^xsd-serve listening on //p' "$SMOKE_DIR/serve.out")
+  [ -n "$ADDR" ] && break
+  sleep 0.05
+done
+if [ -z "$ADDR" ]; then
+  echo "server smoke: xsd-serve never reported its address" >&2
+  cat "$SMOKE_DIR/serve.err" >&2 || true
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+target/release/xsd-bench-client --addr "$ADDR" --connections 32 --requests 25 --write-percent 10
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+if [ ! -f "$SMOKE_DIR/db/CURRENT" ]; then
+  echo "server smoke: shutdown save did not commit ($SMOKE_DIR/db/CURRENT missing)" >&2
+  exit 1
+fi
+rm -rf "$SMOKE_DIR"
 
 echo "tier-1 gate: OK"
