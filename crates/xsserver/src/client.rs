@@ -23,7 +23,7 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{read_frame, write_frame, FrameError, Opcode, Status};
+use crate::protocol::{read_frame, write_frame, FrameError, Opcode, Status, NO_FIELD_CAP};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -120,7 +120,9 @@ impl Client {
             // reading anything, so our write can fail with a broken
             // pipe while the real answer sits in the receive buffer —
             // salvage it so callers see the status, not the EPIPE.
-            if let Ok((tag, fields, _)) = read_frame(&mut self.stream, self.max_payload) {
+            if let Ok((tag, fields, _)) =
+                read_frame(&mut self.stream, self.max_payload, NO_FIELD_CAP)
+            {
                 if let Some(status) = Status::from_u8(tag) {
                     if !status.is_ok() {
                         return Err(ClientError::Status { status, message: fields.join("; ") });
@@ -129,7 +131,10 @@ impl Client {
             }
             return Err(ClientError::Io(e));
         }
-        let (tag, fields, _) = read_frame(&mut self.stream, self.max_payload)?;
+        // Responses carry one field per result (QUERY match, LIST
+        // entry, VALIDATE violation), so no field-count cap applies —
+        // the payload-size cap bounds them structurally.
+        let (tag, fields, _) = read_frame(&mut self.stream, self.max_payload, NO_FIELD_CAP)?;
         match Status::from_u8(tag) {
             Some(status) if status.is_ok() => Ok(fields),
             Some(status) => Err(ClientError::Status { status, message: fields.join("; ") }),

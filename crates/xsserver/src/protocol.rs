@@ -15,7 +15,7 @@
 //! The payload is a list of UTF-8 strings:
 //!
 //! ```text
-//! 0       4     field count C, big-endian u32 (C ≤ 64)
+//! 0       4     field count C, big-endian u32
 //! …       4+len each field: big-endian u32 length, then the bytes
 //! ```
 //!
@@ -27,6 +27,15 @@
 //! database's [`ParseLimits`](xsdb::xmlparse::ParseLimits) (see
 //! [`max_payload_for`]), so a hostile frame cannot request more memory
 //! than a hostile document could.
+//!
+//! Field counts are capped asymmetrically: no opcode takes more than a
+//! handful of arguments, so the **server** additionally rejects
+//! requests declaring more than [`MAX_REQUEST_FIELDS`] fields, while
+//! **responses** are unbounded in field count (`QUERY` returns one
+//! field per matched node, `LIST` one per catalog entry, `VALIDATE`
+//! one per violation) and are limited only by the payload-size cap —
+//! which also structurally bounds the count, since every field costs
+//! at least four payload bytes.
 //!
 //! Status codes are a **stable** mapping of [`DbError`] variants
 //! ([`Status::of`]): in particular a strict-analysis pre-flight
@@ -44,8 +53,17 @@ pub const WIRE_VERSION: u8 = 1;
 /// Bytes in a frame header (version, tag, payload length).
 pub const HEADER_LEN: usize = 6;
 
-/// Maximum number of fields a payload may declare.
-pub const MAX_FIELDS: u32 = 64;
+/// Maximum number of fields a *request* payload may declare. No opcode
+/// takes more than a handful of arguments, so the server rejects
+/// anything past this as malformed. Responses are **not** subject to
+/// this cap — result sets (`QUERY` matches, `LIST` entries, `VALIDATE`
+/// violations) are unbounded and limited only by the payload-size cap.
+pub const MAX_REQUEST_FIELDS: u32 = 64;
+
+/// Field-count cap that disables per-count rejection, for decoding
+/// response frames: the count is still structurally bounded by the
+/// payload length (≥ 4 bytes per field).
+pub const NO_FIELD_CAP: u32 = u32::MAX;
 
 /// The server's payload cap for a database running under `limits`:
 /// the largest document the database would parse anyway, plus slack
@@ -354,8 +372,10 @@ pub fn encode_payload(fields: &[&str]) -> Vec<u8> {
     out
 }
 
-/// Decode payload bytes into fields.
-pub fn decode_payload(bytes: &[u8]) -> Result<Vec<String>, FrameError> {
+/// Decode payload bytes into fields. `max_fields` is the decoder's
+/// field-count cap: [`MAX_REQUEST_FIELDS`] when reading requests,
+/// [`NO_FIELD_CAP`] when reading responses.
+pub fn decode_payload(bytes: &[u8], max_fields: u32) -> Result<Vec<String>, FrameError> {
     let mut at = 0usize;
     let take4 = |at: &mut usize| -> Result<u32, FrameError> {
         let end = at.checked_add(4).ok_or(FrameError::Malformed("length overflow"))?;
@@ -367,8 +387,14 @@ pub fn decode_payload(bytes: &[u8]) -> Result<Vec<String>, FrameError> {
         Ok(v)
     };
     let count = take4(&mut at)?;
-    if count > MAX_FIELDS {
+    if count > max_fields {
         return Err(FrameError::Malformed("too many fields"));
+    }
+    // Every field costs at least its 4-byte length prefix, so a count
+    // the payload cannot possibly hold is a lie — reject it before
+    // sizing the Vec from an attacker-controlled number.
+    if count as usize > bytes.len().saturating_sub(4) / 4 {
+        return Err(FrameError::Malformed("field count exceeds payload"));
     }
     let mut fields = Vec::with_capacity(count as usize);
     for _ in 0..count {
@@ -389,9 +415,18 @@ pub fn decode_payload(bytes: &[u8]) -> Result<Vec<String>, FrameError> {
 }
 
 /// Write one frame; returns the payload length in bytes (what the
-/// byte counters record — headers excluded).
+/// byte counters record — headers excluded). Fails with
+/// [`io::ErrorKind::InvalidData`] — before writing a single byte, so
+/// framing stays intact — when the encoded payload exceeds the
+/// format's `u32` length field.
 pub fn write_frame(w: &mut impl Write, tag: u8, fields: &[&str]) -> io::Result<usize> {
     let payload = encode_payload(fields);
+    if payload.len() > u32::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("payload of {} bytes exceeds the u32 frame length field", payload.len()),
+        ));
+    }
     let mut header = [0u8; HEADER_LEN];
     header[0] = WIRE_VERSION;
     header[1] = tag;
@@ -404,10 +439,13 @@ pub fn write_frame(w: &mut impl Write, tag: u8, fields: &[&str]) -> io::Result<u
 
 /// Read one whole frame: `(tag, fields, payload_len)`. Returns
 /// [`FrameError::Eof`] only when the peer closed before the first
-/// header byte.
+/// header byte. `max_fields` is the field-count cap
+/// ([`MAX_REQUEST_FIELDS`] for requests, [`NO_FIELD_CAP`] for
+/// responses).
 pub fn read_frame(
     r: &mut impl Read,
     max_payload: usize,
+    max_fields: u32,
 ) -> Result<(u8, Vec<String>, usize), FrameError> {
     let mut first = [0u8; 1];
     loop {
@@ -418,7 +456,7 @@ pub fn read_frame(
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    read_frame_continue(first[0], r, max_payload)
+    read_frame_continue(first[0], r, max_payload, max_fields)
 }
 
 /// Read the rest of a frame whose first header byte (the version) has
@@ -428,6 +466,7 @@ pub fn read_frame_continue(
     version: u8,
     r: &mut impl Read,
     max_payload: usize,
+    max_fields: u32,
 ) -> Result<(u8, Vec<String>, usize), FrameError> {
     if version != WIRE_VERSION {
         return Err(FrameError::BadVersion(version));
@@ -441,7 +480,7 @@ pub fn read_frame_continue(
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    let fields = decode_payload(&payload)?;
+    let fields = decode_payload(&payload, max_fields)?;
     Ok((tag, fields, len))
 }
 
@@ -453,7 +492,7 @@ mod tests {
     fn payload_round_trips() {
         for fields in [vec![], vec![""], vec!["a"], vec!["doc", "/a/b", "héllo\n\"x\""]] {
             let enc = encode_payload(&fields);
-            let dec = decode_payload(&enc).unwrap();
+            let dec = decode_payload(&enc, MAX_REQUEST_FIELDS).unwrap();
             assert_eq!(dec, fields);
         }
     }
@@ -463,10 +502,42 @@ mod tests {
         let mut buf = Vec::new();
         let n = write_frame(&mut buf, Opcode::Query as u8, &["doc", "/a"]).unwrap();
         assert_eq!(buf.len(), HEADER_LEN + n);
-        let (tag, fields, len) = read_frame(&mut buf.as_slice(), 1 << 20).unwrap();
+        let (tag, fields, len) =
+            read_frame(&mut buf.as_slice(), 1 << 20, MAX_REQUEST_FIELDS).unwrap();
         assert_eq!(tag, Opcode::Query as u8);
         assert_eq!(fields, ["doc", "/a"]);
         assert_eq!(len, n);
+    }
+
+    #[test]
+    fn field_cap_applies_to_requests_but_not_responses() {
+        // A response with far more fields than MAX_REQUEST_FIELDS —
+        // the shape of a QUERY matching many nodes — must decode
+        // cleanly under the response cap and be rejected under the
+        // request cap.
+        let many: Vec<String> = (0..MAX_REQUEST_FIELDS * 3).map(|i| format!("v{i}")).collect();
+        let refs: Vec<&str> = many.iter().map(String::as_str).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Status::Ok as u8, &refs).unwrap();
+        let (tag, fields, _) = read_frame(&mut buf.as_slice(), 1 << 20, NO_FIELD_CAP).unwrap();
+        assert_eq!(tag, Status::Ok as u8);
+        assert_eq!(fields, many);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), 1 << 20, MAX_REQUEST_FIELDS),
+            Err(FrameError::Malformed("too many fields"))
+        ));
+    }
+
+    #[test]
+    fn lying_field_count_cannot_drive_allocation() {
+        // Even with no field cap, a 4-byte payload declaring u32::MAX
+        // fields is structurally impossible (each field needs ≥ 4
+        // bytes) and must be rejected before the Vec is sized.
+        let floods = u32::MAX.to_be_bytes().to_vec();
+        assert!(matches!(
+            decode_payload(&floods, NO_FIELD_CAP),
+            Err(FrameError::Malformed("field count exceeds payload"))
+        ));
     }
 
     #[test]
@@ -475,7 +546,7 @@ mod tests {
         write_frame(&mut buf, 0x01, &[]).unwrap();
         // Patch the length field to claim 4 GiB − 1.
         buf[2..6].copy_from_slice(&u32::MAX.to_be_bytes());
-        match read_frame(&mut buf.as_slice(), 1024) {
+        match read_frame(&mut buf.as_slice(), 1024, MAX_REQUEST_FIELDS) {
             Err(FrameError::TooLarge { declared, max }) => {
                 assert_eq!(declared, u32::MAX as usize);
                 assert_eq!(max, 1024);
@@ -489,20 +560,29 @@ mod tests {
         // Field length exceeding the payload.
         let mut bad = encode_payload(&["abc"]);
         bad[4..8].copy_from_slice(&100u32.to_be_bytes());
-        assert!(matches!(decode_payload(&bad), Err(FrameError::Malformed(_))));
+        assert!(matches!(decode_payload(&bad, MAX_REQUEST_FIELDS), Err(FrameError::Malformed(_))));
         // Trailing garbage.
         let mut trailing = encode_payload(&["x"]);
         trailing.push(0);
-        assert!(matches!(decode_payload(&trailing), Err(FrameError::Malformed(_))));
-        // Too many fields.
-        let floods = (MAX_FIELDS + 1).to_be_bytes().to_vec();
-        assert!(matches!(decode_payload(&floods), Err(FrameError::Malformed(_))));
+        assert!(matches!(
+            decode_payload(&trailing, MAX_REQUEST_FIELDS),
+            Err(FrameError::Malformed(_))
+        ));
+        // Too many fields for a request.
+        let floods = (MAX_REQUEST_FIELDS + 1).to_be_bytes().to_vec();
+        assert!(matches!(
+            decode_payload(&floods, MAX_REQUEST_FIELDS),
+            Err(FrameError::Malformed(_))
+        ));
         // Non-UTF-8 field.
         let mut nonutf = encode_payload(&[]);
         nonutf[0..4].copy_from_slice(&1u32.to_be_bytes());
         nonutf.extend_from_slice(&2u32.to_be_bytes());
         nonutf.extend_from_slice(&[0xff, 0xfe]);
-        assert!(matches!(decode_payload(&nonutf), Err(FrameError::Malformed(_))));
+        assert!(matches!(
+            decode_payload(&nonutf, MAX_REQUEST_FIELDS),
+            Err(FrameError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -510,7 +590,10 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, 0x01, &[]).unwrap();
         buf[0] = 9;
-        assert!(matches!(read_frame(&mut buf.as_slice(), 1024), Err(FrameError::BadVersion(9))));
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), 1024, MAX_REQUEST_FIELDS),
+            Err(FrameError::BadVersion(9))
+        ));
     }
 
     #[test]

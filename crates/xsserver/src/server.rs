@@ -17,9 +17,11 @@
 //!
 //! Shutdown ([`ServerHandle::shutdown`]) is graceful: the flag flips,
 //! a self-connection wakes the blocking accept, workers finish their
-//! in-flight request and close, and — when a persistence directory is
-//! configured — a final [`save_dir`](xsdb::Database::save_dir) commits
-//! the state before the call returns.
+//! in-flight request, send each remaining connection (idle or still
+//! queued) a [`Status::ShuttingDown`] frame and close, and — when a
+//! persistence directory is configured — a final
+//! [`save_dir`](xsdb::Database::save_dir) commits the state before the
+//! call returns.
 
 use std::collections::VecDeque;
 use std::io::{self, Read};
@@ -35,6 +37,7 @@ use xsobs::{CounterId, HistogramId, MaxId};
 
 use crate::protocol::{
     max_payload_for, read_frame_continue, write_frame, FrameError, Opcode, Status,
+    MAX_REQUEST_FIELDS,
 };
 
 /// Tuning knobs for [`Server::start`].
@@ -190,6 +193,17 @@ impl ServerHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Workers drain the queue as they exit, but a connection
+        // admitted in the race between the flag flip and the accept
+        // thread noticing can land after they are gone — give it the
+        // documented status instead of a silent drop.
+        let leftovers: Vec<TcpStream> = {
+            let mut queue = self.state.queue.lock().unwrap_or_else(|p| p.into_inner());
+            queue.drain(..).collect()
+        };
+        for mut stream in leftovers {
+            send_shutting_down(&mut stream);
+        }
     }
 }
 
@@ -229,13 +243,19 @@ fn accept_loop(listener: &TcpListener, state: &ServerState) {
         };
         if !admitted {
             state.obs.incr(CounterId::SrvConnRejected);
-            let mut stream = stream;
-            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-            let _ = write_frame(
-                &mut stream,
-                Status::Busy as u8,
-                &["connection limit reached, retry later"],
-            );
+            // Write the Busy frame from a throwaway thread: a peer that
+            // never drains its receive buffer must stall its own
+            // rejection, not the accept loop.
+            let _ =
+                std::thread::Builder::new().name("xsserver-reject".to_string()).spawn(move || {
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
+                    let _ = write_frame(
+                        &mut stream,
+                        Status::Busy as u8,
+                        &["connection limit reached, retry later"],
+                    );
+                });
             continue;
         }
         state.obs.record_max(MaxId::SrvConnHighWater, (current + 1) as u64);
@@ -269,6 +289,17 @@ fn worker_loop(state: &ServerState) {
 /// shutdown flag and the idle budget.
 const POLL_TICK: Duration = Duration::from_millis(100);
 
+/// Write budget for courtesy frames ([`Status::Busy`],
+/// [`Status::ShuttingDown`]) sent to connections the server will not
+/// serve — short, so a slow peer cannot hold resources.
+const REJECT_WRITE_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Tell a connection the server is going away, best-effort.
+fn send_shutting_down(stream: &mut TcpStream) {
+    let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
+    let _ = write_frame(stream, Status::ShuttingDown as u8, &["server is shutting down"]);
+}
+
 fn is_timeout(e: &io::Error) -> bool {
     matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
@@ -288,6 +319,9 @@ fn serve_connection(mut stream: TcpStream, state: &ServerState) {
         let idle_since = Instant::now();
         let version_byte = loop {
             if state.shutting_down() {
+                // Queued-but-unserved and idle connections get the
+                // documented status, not a silent EOF.
+                send_shutting_down(&mut stream);
                 return;
             }
             let mut b = [0u8; 1];
@@ -308,7 +342,12 @@ fn serve_connection(mut stream: TcpStream, state: &ServerState) {
         if stream.set_read_timeout(Some(state.io_timeout)).is_err() {
             return;
         }
-        let keep_going = match read_frame_continue(version_byte, &mut stream, state.max_payload) {
+        let keep_going = match read_frame_continue(
+            version_byte,
+            &mut stream,
+            state.max_payload,
+            MAX_REQUEST_FIELDS,
+        ) {
             Ok((tag, fields, payload_len)) => {
                 state.obs.add(CounterId::SrvBytesIn, payload_len as u64);
                 respond(&mut stream, state, tag, &fields)
@@ -326,7 +365,11 @@ fn serve_connection(mut stream: TcpStream, state: &ServerState) {
             }
             Err(FrameError::Eof) | Err(FrameError::Io(_)) => false,
         };
-        if !keep_going || state.shutting_down() {
+        if !keep_going {
+            return;
+        }
+        if state.shutting_down() {
+            send_shutting_down(&mut stream);
             return;
         }
     }
@@ -358,6 +401,24 @@ fn respond(stream: &mut TcpStream, state: &ServerState, tag: u8, fields: &[Strin
         Ok(n) => {
             state.obs.add(CounterId::SrvBytesOut, n as u64);
             true
+        }
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            // The result payload overflows the frame format's u32
+            // length field. write_frame refused before emitting a byte,
+            // so framing is intact — report the failure in-band and
+            // keep the connection.
+            state.obs.incr(CounterId::SrvRequestErrors);
+            match write_frame(
+                stream,
+                Status::Internal as u8,
+                &["response exceeds the 4 GiB frame cap"],
+            ) {
+                Ok(n) => {
+                    state.obs.add(CounterId::SrvBytesOut, n as u64);
+                    true
+                }
+                Err(_) => false,
+            }
         }
         Err(_) => false,
     }

@@ -235,6 +235,61 @@ fn malformed_and_oversized_frames_are_rejected() {
     handle.shutdown().expect("shutdown");
 }
 
+/// Regression: response field counts are unbounded. A QUERY matching
+/// more nodes than `MAX_REQUEST_FIELDS` (and a LIST of a catalog that
+/// large) must decode client-side, not die as "too many fields".
+#[test]
+fn responses_with_more_fields_than_the_request_cap_decode() {
+    let (handle, addr) = start_default();
+    let mut c = Client::connect(&addr).expect("connect");
+    c.put_schema("s", SCHEMA).expect("put_schema");
+
+    let n = xsserver::protocol::MAX_REQUEST_FIELDS as usize + 36;
+    let items: String = (0..n).map(|i| format!("<item>v{i}</item>")).collect();
+    c.put_doc("big", "s", &format!("<list>{items}</list>")).expect("put_doc");
+    let values = c.query("big", "/list/item").expect("query matching >64 nodes");
+    assert_eq!(values.len(), n);
+    assert_eq!(values[0], "v0");
+    assert_eq!(values[n - 1], format!("v{}", n - 1));
+
+    // Same shape through LIST: >64 catalog entries.
+    for i in 0..n {
+        c.put_doc(&format!("doc-{i:03}"), "s", DOC).expect("put_doc");
+    }
+    let listing = c.list().expect("list with >64 entries");
+    assert_eq!(listing.len(), 1 + 1 + n); // schema:s + doc big + n docs
+
+    // But a *request* flooding the field cap is still rejected.
+    let flood = vec!["x"; xsserver::protocol::MAX_REQUEST_FIELDS as usize + 1];
+    expect_status(c.request(Opcode::Query, &flood), Status::BadFrame);
+
+    handle.shutdown().expect("shutdown");
+}
+
+/// Shutdown sends the documented `SHUTTING_DOWN` status to idle
+/// connections instead of a silent EOF.
+#[test]
+fn shutdown_notifies_idle_connections() {
+    let (handle, addr) = start_default();
+
+    // A served, then idle, raw connection (ping proves a worker owns it).
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(&raw_frame(WIRE_VERSION, Opcode::Ping as u8, &fields_payload(&[]))).unwrap();
+    let mut header = [0u8; 6];
+    s.read_exact(&mut header).unwrap();
+    assert_eq!(header[1], Status::Ok as u8);
+    let len = u32::from_be_bytes([header[2], header[3], header[4], header[5]]) as usize;
+    let mut payload = vec![0u8; len];
+    s.read_exact(&mut payload).unwrap();
+
+    handle.shutdown().expect("shutdown");
+
+    // The goodbye frame is already buffered; read without writing.
+    s.read_exact(&mut header).expect("shutting-down frame");
+    assert_eq!(header[1], Status::ShuttingDown as u8);
+}
+
 #[test]
 fn mid_request_disconnects_are_harmless() {
     let (handle, addr) = start_default();
@@ -293,11 +348,14 @@ fn busy_rejection_when_connection_limit_reached() {
 #[test]
 fn concurrent_connections_with_zero_errors() {
     let (handle, addr) = start_default();
+    // doc_items > MAX_REQUEST_FIELDS: every QUERY response carries
+    // more fields than the request-side cap (the `--doc-items 65`
+    // regression).
     let config = xsserver::loadgen::LoadConfig {
         connections: 32,
         requests_per_conn: 25,
         write_percent: 20,
-        doc_items: 16,
+        doc_items: 80,
     };
     xsserver::loadgen::setup(&addr, &config).expect("setup");
     let obs = xsobs::Registry::new();
