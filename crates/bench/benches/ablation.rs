@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
                 |mut xs| {
                     let lib = xs.children(xs.root())[0];
                     for _ in 0..100 {
-                        black_box(xs.insert_element(lib, None, "book"));
+                        black_box(xs.insert_element(lib, None, "book").unwrap());
                     }
                     xs
                 },

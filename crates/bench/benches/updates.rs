@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
                 |mut xs| {
                     let lib = xs.children(xs.root())[0];
                     for _ in 0..siblings {
-                        black_box(xs.insert_element(lib, None, "book"));
+                        black_box(xs.insert_element(lib, None, "book").unwrap());
                     }
                     assert_eq!(xs.relabel_count(), 0);
                     xs
@@ -48,7 +48,7 @@ fn bench(c: &mut Criterion) {
                     let lib = xs.children(xs.root())[0];
                     let mut last = xs.children(lib).last().copied();
                     for _ in 0..siblings {
-                        last = Some(black_box(xs.insert_element(lib, last, "book")));
+                        last = Some(black_box(xs.insert_element(lib, last, "book").unwrap()));
                     }
                     xs
                 },

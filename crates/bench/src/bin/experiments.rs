@@ -4,7 +4,8 @@
 //! Run with `cargo run -p bench --release --bin experiments`
 //! (optionally pass experiment ids, e.g. `e3 e6`, to run a subset).
 //! `e11 --guard` turns E11 into a CI gate: it exits non-zero when the
-//! enabled-metrics overhead exceeds its budget.
+//! enabled-metrics overhead exceeds its budget. `e13 --guard` does the
+//! same for the paged-storage O(1)-pages-per-update bound.
 
 use std::time::Instant;
 
@@ -56,6 +57,9 @@ fn main() {
     }
     if want("e12") {
         e12_server_throughput();
+    }
+    if want("e13") {
+        e13_paged_updates(guard);
     }
 }
 
@@ -415,18 +419,18 @@ fn e6_updates() {
             "append" => {
                 let mut last = xs.children(lib).last().copied();
                 for _ in 0..n {
-                    last = Some(xs.insert_element(lib, last, "book"));
+                    last = Some(xs.insert_element(lib, last, "book").unwrap());
                 }
             }
             "front" => {
                 for _ in 0..n {
-                    xs.insert_element(lib, None, "book");
+                    xs.insert_element(lib, None, "book").unwrap();
                 }
             }
             _ => {
                 let anchor = xs.children(lib)[0];
                 for _ in 0..n {
-                    xs.insert_element(lib, Some(anchor), "book");
+                    xs.insert_element(lib, Some(anchor), "book").unwrap();
                 }
             }
         });
@@ -563,7 +567,7 @@ fn e9_block_capacity() {
             let lib = fresh.children(fresh.root())[0];
             let ((), t) = timed(|| {
                 for _ in 0..100 {
-                    fresh.insert_element(lib, None, "book");
+                    fresh.insert_element(lib, None, "book").unwrap();
                 }
             });
             assert_eq!(fresh.check_invariants(), None);
@@ -753,4 +757,74 @@ fn e10_analysis_cost() {
             preflight_s * 1e6
         );
     }
+}
+
+/// E13: pages written per single-node update as the document grows
+/// (the paged-storage headline: a point update dirties one block, so
+/// the incremental save writes a constant number of pages). With
+/// `guard` set, the run fails (exit 1) if the per-update page count
+/// varies with document size or exceeds its budget.
+fn e13_paged_updates(guard: bool) {
+    use xsdb::xsobs::{global, CounterId};
+    const PAGE_BUDGET: u64 = 8; // catalog + block + location segment, with slack
+    println!("\n== E13: pages written per update vs document size (v3 paged layout) ==");
+    println!("{:<9} {:>12} {:>14} {:>14}", "entries", "full pages", "update pages", "file KiB");
+
+    let schema = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="log">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="entry" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+    let pages = |before: u64| global().snapshot().counter(CounterId::StoragePageWrites) - before;
+    let mut update_pages = Vec::new();
+    for n in [64usize, 512, 4096] {
+        let dir = std::env::temp_dir().join(format!("xsdb-e13-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut xml = String::from("<log>");
+        for i in 0..n {
+            xml.push_str(&format!("<entry>entry number {i}</entry>"));
+        }
+        xml.push_str("</log>");
+        let mut db = xsdb::Database::new();
+        db.register_schema_text("log", schema).unwrap();
+        db.insert("journal", "log", &xml).unwrap();
+        let before = global().snapshot().counter(CounterId::StoragePageWrites);
+        db.save_dir(&dir).unwrap();
+        let full = pages(before);
+
+        db.update_set_text("journal", "/log/entry[2]", "patched").unwrap();
+        let before = global().snapshot().counter(CounterId::StoragePageWrites);
+        db.save_dir(&dir).unwrap();
+        let update = pages(before);
+        update_pages.push(update);
+
+        let current = std::fs::read_to_string(dir.join("CURRENT")).unwrap();
+        let gen = current.split(' ').nth(1).unwrap();
+        let kib = std::fs::metadata(dir.join(gen).join("documents").join("journal.xsp"))
+            .map(|m| m.len() / 1024)
+            .unwrap_or(0);
+        println!("{n:<9} {full:>12} {update:>14} {kib:>14}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Tiny documents can come in a page under the plateau (their two
+    // dirty location slots share a segment); the bound that matters is
+    // that the cost stops growing while the document keeps growing 8×.
+    let plateaued = update_pages.len() < 2
+        || update_pages[update_pages.len() - 2] >= update_pages[update_pages.len() - 1];
+    let max = update_pages.iter().copied().max().unwrap_or(0);
+    if guard && (!plateaued || max > PAGE_BUDGET) {
+        eprintln!(
+            "E13 guard: update page counts {update_pages:?} grow with document \
+             size or exceed the {PAGE_BUDGET}-page budget"
+        );
+        std::process::exit(1);
+    }
+    println!("(budget {PAGE_BUDGET} pages/update; guard {})", if guard { "on" } else { "off" });
 }

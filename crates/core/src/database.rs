@@ -24,6 +24,7 @@ use xpath::{eval_guided, eval_naive, XdmTree};
 use xsmodel::DocumentSchema;
 
 use crate::error::DbError;
+use crate::persist::PersistState;
 
 /// One stored document: the logical S-tree plus an optional physical
 /// materialization.
@@ -76,6 +77,12 @@ pub struct Database {
     /// content-model cache traffic. Defaults to the process-global
     /// registry; see [`Database::with_metrics_registry`].
     obs: Arc<xsobs::Registry>,
+    /// What the persistence layer knows about this database's on-disk
+    /// mirror: the bound generation (if any), whether the registry
+    /// changed since binding, and one page store per document. Interior
+    /// mutability because [`Database::save_dir`] takes `&self` (the
+    /// shared-database layer saves under its read lock).
+    pub(crate) persist: Mutex<PersistState>,
 }
 
 impl Default for Database {
@@ -105,7 +112,14 @@ impl Database {
             strict_analysis: false,
             cm_cache: Arc::new(ContentModelCache::with_registry(Arc::clone(&obs))),
             obs,
+            persist: Mutex::new(PersistState::default()),
         }
+    }
+
+    /// Record that the schema/document registry diverged from the bound
+    /// on-disk generation, forcing the next save to write a fresh one.
+    pub(crate) fn touch_registry(&self) {
+        self.persist.lock().unwrap_or_else(|p| p.into_inner()).registry_dirty = true;
     }
 
     /// A point-in-time snapshot of this database's metrics registry —
@@ -192,6 +206,7 @@ impl Database {
             }
         }
         self.schemas.insert(name.to_string(), Arc::new(schema));
+        self.touch_registry();
         Ok(())
     }
 
@@ -217,6 +232,7 @@ impl Database {
             return Err(DbError::SchemaInUse { schema: name.to_string(), documents });
         }
         self.schemas.remove(name);
+        self.touch_registry();
         Ok(())
     }
 
@@ -257,11 +273,53 @@ impl Database {
         span.set_detail(doc_name);
         let loaded = load_document_cached(schema, xml, &self.options, &self.cm_cache)
             .map_err(DbError::Invalid)?;
+        // Materialize eagerly: the paged save path (which runs under
+        // `&self`) needs every document's block storage, and building it
+        // here keeps later incremental saves aligned with the object
+        // node-level updates mutate.
+        let storage = XmlStorage::from_tree(&loaded.store, loaded.doc);
         self.documents.insert(
             doc_name.to_string(),
-            StoredDocument { schema_name: schema_name.to_string(), loaded, storage: None },
+            StoredDocument { schema_name: schema_name.to_string(), loaded, storage: Some(storage) },
         );
+        self.touch_registry();
         Ok(())
+    }
+
+    /// Admit a document decoded from the paged on-disk form: re-validate
+    /// it through `f` (by replaying its serialization) and store it with
+    /// the *decoded* block storage, so later incremental saves stay
+    /// aligned with the page layout on disk.
+    pub(crate) fn insert_paged(
+        &mut self,
+        doc_name: &str,
+        schema_name: &str,
+        xs: XmlStorage,
+    ) -> Result<(), DbError> {
+        if self.documents.contains_key(doc_name) {
+            return Err(DbError::DuplicateDocument(doc_name.to_string()));
+        }
+        let schema = self
+            .schemas
+            .get(schema_name)
+            .ok_or_else(|| DbError::UnknownSchema(schema_name.to_string()))?;
+        let (store, node) = crate::physical::storage_to_tree(&xs);
+        let xml = serialize_tree(&store, node);
+        let mut span = self.obs.span(xsobs::HistogramId::DbInsert);
+        span.set_detail(doc_name);
+        let loaded = load_document_cached(schema, &xml, &self.options, &self.cm_cache)
+            .map_err(DbError::Invalid)?;
+        self.documents.insert(
+            doc_name.to_string(),
+            StoredDocument { schema_name: schema_name.to_string(), loaded, storage: Some(xs) },
+        );
+        self.touch_registry();
+        Ok(())
+    }
+
+    /// The stored documents, for the persistence layer.
+    pub(crate) fn doc_registry(&self) -> &BTreeMap<String, StoredDocument> {
+        &self.documents
     }
 
     /// Validate text against a registered schema without storing it.
@@ -325,7 +383,7 @@ impl Database {
         entries: &[(&str, &str, &str)],
         threads: usize,
     ) -> Vec<Result<(), DbError>> {
-        let loaded: Vec<Result<LoadedDocument, DbError>> = {
+        let loaded: Vec<Result<(LoadedDocument, XmlStorage), DbError>> = {
             let schemas = &self.schemas;
             let options = &self.options;
             let cache = &self.cm_cache;
@@ -339,21 +397,29 @@ impl Database {
                 let mut span = obs.span(xsobs::HistogramId::DbInsert);
                 span.set_detail(name);
                 let parsed = Document::parse_with_limits(xml, limits)?;
-                load_document_cached(schema, &parsed, options, cache).map_err(DbError::Invalid)
+                let loaded = load_document_cached(schema, &parsed, options, cache)
+                    .map_err(DbError::Invalid)?;
+                let storage = XmlStorage::from_tree(&loaded.store, loaded.doc);
+                Ok((loaded, storage))
             })
         };
         loaded
             .into_iter()
             .zip(entries)
             .map(|(res, &(name, schema_name, _))| {
-                let loaded = res?;
+                let (loaded, storage) = res?;
                 if self.documents.contains_key(name) {
                     return Err(DbError::DuplicateDocument(name.to_string()));
                 }
                 self.documents.insert(
                     name.to_string(),
-                    StoredDocument { schema_name: schema_name.to_string(), loaded, storage: None },
+                    StoredDocument {
+                        schema_name: schema_name.to_string(),
+                        loaded,
+                        storage: Some(storage),
+                    },
                 );
+                self.touch_registry();
                 Ok(())
             })
             .collect()
@@ -385,7 +451,11 @@ impl Database {
 
     /// Delete a document. Returns `true` when it existed.
     pub fn delete(&mut self, name: &str) -> bool {
-        self.documents.remove(name).is_some()
+        let existed = self.documents.remove(name).is_some();
+        if existed {
+            self.touch_registry();
+        }
+        existed
     }
 
     /// Names of all stored documents.
@@ -444,9 +514,9 @@ impl Database {
         let parents = eval_guided(storage, &path);
         for &parent in &parents {
             let last = storage.children(parent).last().copied();
-            let new = storage.insert_element(parent, last, name);
+            let new = storage.insert_element(parent, last, name)?;
             if let Some(t) = text {
-                storage.insert_text(new, None, t);
+                storage.insert_text(new, None, t)?;
             }
         }
         let n = parents.len();
@@ -468,7 +538,7 @@ impl Database {
             if v == storage.root() || v == root_elem {
                 continue; // never delete the document or root element
             }
-            storage.delete(v);
+            storage.delete(v)?;
             deleted += 1;
         }
         Self::refresh_logical(doc);
@@ -491,7 +561,7 @@ impl Database {
         let storage = doc.storage.as_mut().expect("materialized");
         let targets = eval_guided(storage, &path);
         for &t in &targets {
-            storage.insert_attribute(t, name, value);
+            storage.insert_attribute(t, name, value)?;
         }
         let n = targets.len();
         Self::refresh_logical(doc);
@@ -518,9 +588,9 @@ impl Database {
             .collect();
         for &t in &targets {
             for c in storage.children(t) {
-                storage.delete(c);
+                storage.delete(c)?;
             }
-            storage.insert_text(t, None, value);
+            storage.insert_text(t, None, value)?;
         }
         let n = targets.len();
         Self::refresh_logical(doc);

@@ -179,6 +179,18 @@ impl From<xquery::XQueryError> for DbError {
     }
 }
 
+impl From<storage::StorageError> for DbError {
+    fn from(e: storage::StorageError) -> Self {
+        match e {
+            storage::StorageError::Io { path, source } => DbError::Io { path, source },
+            storage::StorageError::PageChecksum { path, expected, actual, .. } => {
+                DbError::Checksum { path, expected, actual }
+            }
+            other => DbError::Corrupt(other.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -60,18 +60,31 @@
 //!
 //! # Durability guarantees
 //!
-//! [`Database::save_dir`] commits atomically: the complete new
-//! generation is staged under `<dir>/.tmp-<N>` with every file fsynced
-//! and a SHA-256 recorded per file in its `manifest.xml`, the staged
-//! tree is renamed to `<dir>/gen-<N>`, and the commit point is one
-//! atomic rename installing the `CURRENT` pointer (exact format
-//! `v2 gen-<N> <sha256-of-manifest>`, newline-terminated). `CURRENT`
-//! vouches for the manifest and the manifest vouches for every data
-//! file, so **any single-byte change to any persisted file is detected
-//! at load time**, and a crash at any intermediate operation leaves the
-//! directory loadable as the complete old or complete new state — never
-//! a torn hybrid. The crash-matrix suite enumerates every injection
-//! point of a [`FaultyVfs`] and asserts exactly this.
+//! [`Database::save_dir`] commits atomically. A *full* save stages the
+//! complete new generation under `<dir>/.tmp-<N>` — schemas with a
+//! SHA-256 each in `manifest.xml`, documents as paged stores (a
+//! `.xsp` data file of fixed-size pages with per-page SHA-256 headers
+//! plus a self-checksummed `.xspm` block map) — fsyncs everything,
+//! renames the tree to `<dir>/gen-<N>`, and commits with one atomic
+//! rename installing the `CURRENT` pointer (exact format
+//! `v3 gen-<N> <sha256-of-manifest>`, newline-terminated). `CURRENT`
+//! vouches for the manifest, the manifest for schemas and maps, and
+//! every data page for itself, so **any single-byte change to live
+//! persisted data is detected at load time**, and a crash at any
+//! intermediate operation leaves the directory loadable as the
+//! complete old or complete new state — never a torn hybrid. The
+//! crash-matrix and page-matrix suites enumerate every injection
+//! point of a [`FaultyVfs`] and assert exactly this.
+//!
+//! When the database is *bound* to a directory (its last save or load
+//! used it) and the registry hasn't changed, `save_dir` is
+//! **incremental** instead: untouched documents are skipped — a clean
+//! re-save performs zero Vfs write operations and keeps `CURRENT` at
+//! the existing generation — and a dirtied document shadow-pages only
+//! its dirty blocks onto fresh pages, committing by rewriting its map
+//! file, so a single-node update writes O(1) pages regardless of
+//! document size. The commit unit of an incremental save is the
+//! document; cross-document atomicity is a full-save property.
 //!
 //! [`Database::load_dir`] is strict (all-or-nothing, typed errors
 //! naming the failing file); [`Database::load_dir_report`] with
@@ -79,10 +92,10 @@
 //! dependent documents) and documents into a [`LoadReport`] while
 //! loading everything intact. Damage to the integrity roots —
 //! `CURRENT` or `manifest.xml` — is fatal under both policies.
-//! Directories written by the pre-checksum version-1 layout still load
-//! (with a [`LoadReport`] warning) and are migrated to the version-2
-//! layout by the next save. Stale `.tmp-*` staging directories are
-//! swept on load.
+//! Directories written by the version-1 (pre-checksum) or version-2
+//! (whole-file documents) layouts still load and are migrated to the
+//! version-3 paged layout by the next save. Stale `.tmp-*` staging
+//! directories are swept on load.
 //!
 //! Every parse a [`Database`] performs runs under
 //! [`xmlparse::ParseLimits`] (conservative defaults; see
@@ -119,20 +132,24 @@
 
 #![warn(missing_docs)]
 
-pub mod checksum;
 pub mod cli;
 mod database;
 mod error;
 mod persist;
 mod physical;
 mod shared;
-pub mod vfs;
+
+// The checksum and VFS layers moved into the storage crate (the page
+// store needs them below the database); the old `xsdb::…` paths remain.
+pub use storage::checksum;
+pub use storage::vfs;
 
 pub use database::{Database, StoredDocument};
 pub use error::DbError;
 pub use persist::{LoadPolicy, LoadReport, Quarantine, QuarantineKind};
 pub use physical::{storage_roundtrip_agrees, storage_to_document, storage_to_tree};
 pub use shared::SharedDatabase;
+pub use storage::StorageError;
 pub use vfs::{FaultMode, FaultyVfs, StdVfs, Vfs};
 
 // Re-export the layer crates so a single dependency suffices downstream.

@@ -1,28 +1,45 @@
 //! Database persistence: crash-safe saves and verifying loads.
 //!
-//! # Layout (manifest version 2)
+//! # Layout (manifest version 3)
 //!
 //! ```text
-//! <dir>/CURRENT                      — commit pointer: "v2 gen-<N> <sha256 of manifest>"
-//! <dir>/gen-<N>/manifest.xml         — schema + document registry, one sha256 per file
-//! <dir>/gen-<N>/schemas/<file>.xsd   — one XSD per schema (via xsmodel::write_schema)
-//! <dir>/gen-<N>/documents/<file>.xml — one XML file per document (via g)
-//! <dir>/.tmp-<N>/…                   — an in-flight save (never read, cleaned up)
+//! <dir>/CURRENT                       — commit pointer: "v3 gen-<N> <sha256 of manifest>"
+//! <dir>/gen-<N>/manifest.xml          — schema + document registry
+//! <dir>/gen-<N>/schemas/<file>.xsd    — one XSD per schema (via xsmodel::write_schema)
+//! <dir>/gen-<N>/documents/<file>.xsp  — one paged block store per document
+//! <dir>/gen-<N>/documents/<file>.xspm — its committed logical→physical map
+//! <dir>/.tmp-<N>/…                    — an in-flight save (never read, cleaned up)
 //! ```
 //!
 //! # Atomic-commit protocol
 //!
-//! [`Database::save_dir`] never modifies the live state in place. It
-//! stages the complete new generation under `<dir>/.tmp-<N>` (every file
-//! fsynced, every directory fsynced), renames it to `<dir>/gen-<N>`, and
-//! then commits with a single atomic rename of the `CURRENT` pointer —
-//! which records both the generation name and the SHA-256 of its
-//! manifest, while the manifest records the SHA-256 of every data file.
-//! A crash at *any* intermediate step leaves `CURRENT` pointing at the
-//! old, complete generation; a torn write of any file is caught at load
-//! time by the checksum chain. Directories written by the version-1
-//! layout (`<dir>/manifest.xml` at top level, no checksums) still load,
-//! with a warning recorded in the [`LoadReport`].
+//! A *full* save (the first save into a directory, or any save after the
+//! schema/document registry changed) stages the complete new generation
+//! under `<dir>/.tmp-<N>` — every document written page by page into a
+//! [`storage::PageStore`] and committed inside the staging tree, every
+//! file fsynced, every directory fsynced — renames it to `<dir>/gen-<N>`,
+//! and then commits with a single atomic rename of the `CURRENT` pointer.
+//! `CURRENT` records the SHA-256 of the manifest; the manifest records
+//! the SHA-256 of every schema file; each document's page store verifies
+//! itself (a checksum per page, plus a self-checksummed map). A crash at
+//! *any* intermediate step leaves `CURRENT` pointing at the old, complete
+//! generation; a torn write of any file is caught at load time.
+//!
+//! When the registry has *not* changed since the database was bound to a
+//! generation (by the save or load that produced it),
+//! [`Database::save_dir`] skips the staging protocol entirely: documents
+//! whose block storage is untouched cost **zero** write operations, and
+//! a document with a one-node update re-writes only the pages of the
+//! dirtied block plus one map rename. Shadow paging makes the map rename
+//! the per-document commit point, so a crash leaves that document
+//! loadable as its complete old or complete new state. The commit unit
+//! of an incremental save is the document; cross-document atomicity is
+//! only provided by full saves.
+//!
+//! Directories written by the version-2 layout (whole-document XML files
+//! with manifest checksums) and the version-1 layout (no checksums, with
+//! a [`LoadReport`] warning) still load; the next save migrates them to
+//! version 3.
 //!
 //! Loading replays registration and insertion, so every document is
 //! re-validated on the way in — a persisted database cannot smuggle an
@@ -31,8 +48,10 @@
 //! missing schemas/documents are quarantined in the [`LoadReport`] and
 //! the rest of the database loads.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use storage::{PageStore, XmlStorage, PAGE_SIZE};
 use xmlparse::{Document, Element};
 
 use crate::checksum::sha256_hex;
@@ -78,7 +97,8 @@ pub struct Quarantine {
 /// The outcome report of a [`Database::load_dir_report`] call.
 #[derive(Debug, Default)]
 pub struct LoadReport {
-    /// Manifest format version (2 for checksummed layouts, 1 legacy).
+    /// Manifest format version (3 paged, 2 whole-file checksummed,
+    /// 1 legacy).
     pub manifest_version: u32,
     /// The generation that was loaded (None for version-1 layouts).
     pub generation: Option<u64>,
@@ -96,6 +116,39 @@ impl LoadReport {
     pub fn is_clean(&self) -> bool {
         self.quarantined.is_empty() && self.warnings.is_empty()
     }
+}
+
+/// The on-disk generation a database is bound to: saves into the same
+/// directory can skip the staging protocol while this pointer still
+/// names the generation we wrote or loaded.
+#[derive(Debug)]
+pub(crate) struct Binding {
+    dir: PathBuf,
+    gen: u64,
+    /// The exact `CURRENT` contents, re-verified before every
+    /// incremental save so a concurrent writer is never clobbered.
+    current_line: String,
+}
+
+/// Per-document persistence state: the file names inside the bound
+/// generation, the page store mirroring them, and the
+/// [`XmlStorage::tick`] watermark of the last committed save.
+#[derive(Debug)]
+pub(crate) struct DocPersist {
+    file: String,
+    map: String,
+    store: PageStore,
+    watermark: u64,
+}
+
+/// Everything [`Database::save_dir`] knows between calls.
+#[derive(Debug, Default)]
+pub(crate) struct PersistState {
+    bound: Option<Binding>,
+    /// Set by every schema/document (de)registration; forces the next
+    /// save to stage a fresh generation.
+    pub(crate) registry_dirty: bool,
+    docs: BTreeMap<String, DocPersist>,
 }
 
 /// Encode an arbitrary name as a filesystem-safe file stem.
@@ -116,19 +169,22 @@ fn generation_of(name: &str) -> Option<u64> {
     name.strip_prefix("gen-").or_else(|| name.strip_prefix(".tmp-"))?.parse().ok()
 }
 
-/// The generation named by a `CURRENT` pointer, plus the recorded
-/// manifest digest.
+/// The layout version, generation, and recorded manifest digest named by
+/// a `CURRENT` pointer.
 ///
-/// The format is exact — `v2 gen-<N> <64 hex>\n`, single spaces, one
+/// The format is exact — `v<2|3> gen-<N> <64 hex>\n`, single spaces, one
 /// trailing newline — so that *any* single-byte change to the pointer
 /// is detected as corruption rather than silently tolerated.
-fn parse_current(text: &str) -> Result<(u64, String), DbError> {
+fn parse_current(text: &str) -> Result<(u32, u64, String), DbError> {
     let corrupt = || DbError::Corrupt("unrecognized CURRENT pointer".into());
     let line = text.strip_suffix('\n').ok_or_else(corrupt)?;
     let mut parts = line.split(' ');
     let (magic, gen_name, digest) = (parts.next(), parts.next(), parts.next());
     match (magic, gen_name, digest, parts.next()) {
-        (Some("v2"), Some(gen_name), Some(digest), None) if !line.contains('\n') => {
+        (Some(magic @ ("v2" | "v3")), Some(gen_name), Some(digest), None)
+            if !line.contains('\n') =>
+        {
+            let version = if magic == "v2" { 2 } else { 3 };
             let number = gen_name.strip_prefix("gen-").ok_or_else(corrupt)?;
             if number.is_empty() || !number.bytes().all(|b| b.is_ascii_digit()) {
                 return Err(DbError::Corrupt(format!("CURRENT names {gen_name:?}")));
@@ -139,7 +195,7 @@ fn parse_current(text: &str) -> Result<(u64, String), DbError> {
             if digest.len() != 64 || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
                 return Err(DbError::Corrupt("CURRENT carries a malformed digest".into()));
             }
-            Ok((gen, digest.to_ascii_lowercase()))
+            Ok((version, gen, digest.to_ascii_lowercase()))
         }
         _ => Err(corrupt()),
     }
@@ -186,7 +242,10 @@ fn utf8(path: &Path, bytes: Vec<u8>) -> Result<String, DbError> {
 
 impl Database {
     /// Save schemas and documents under `dir` (created if needed) with
-    /// the atomic-commit protocol described in the module docs.
+    /// the atomic-commit protocol described in the module docs. When the
+    /// database is already bound to `dir` and the registry is unchanged,
+    /// only dirtied pages are written — a save with nothing to write
+    /// performs zero write operations.
     pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), DbError> {
         self.save_dir_vfs(dir.as_ref(), &StdVfs)
     }
@@ -197,10 +256,72 @@ impl Database {
         let obs = self.metrics_registry();
         let mut span = obs.span(xsobs::HistogramId::PersistSave);
         span.set_detail(dir.display().to_string());
+        let mut state = self.persist.lock().unwrap_or_else(|p| p.into_inner());
+        if !self.try_incremental_save(&mut state, dir, vfs)? {
+            self.full_save(&mut state, dir, vfs)?;
+        }
+        obs.incr(xsobs::CounterId::PersistSaves);
+        Ok(())
+    }
+
+    /// The cheap path: the database is bound to this directory, the
+    /// registry is unchanged, and `CURRENT` on disk is still the pointer
+    /// we wrote — commit only the documents whose storage ticked past
+    /// their watermark. Returns false when a full save is needed.
+    fn try_incremental_save(
+        &self,
+        state: &mut PersistState,
+        dir: &Path,
+        vfs: &dyn Vfs,
+    ) -> Result<bool, DbError> {
+        let Some(binding) = &state.bound else { return Ok(false) };
+        if binding.dir != dir || state.registry_dirty {
+            return Ok(false);
+        }
+        // Another process (or another handle) may have advanced the
+        // directory; re-read the pointer before trusting the binding.
+        let current_path = dir.join("CURRENT");
+        let Ok(on_disk) = vfs.read(&current_path) else { return Ok(false) };
+        if on_disk != binding.current_line.as_bytes() {
+            return Ok(false);
+        }
+        let names = self.doc_registry();
+        if names.len() != state.docs.len() || names.keys().any(|n| !state.docs.contains_key(n)) {
+            return Ok(false);
+        }
+        let docs_dir = dir.join(format!("gen-{}", binding.gen)).join("documents");
+        for (name, stored) in names {
+            // Both lookups were verified above; a miss means the state
+            // diverged mid-save, and the full path handles it safely.
+            let (Some(doc), Some(xs)) = (state.docs.get_mut(name), stored.storage()) else {
+                return Ok(false);
+            };
+            if xs.tick() > doc.watermark {
+                let data_path = docs_dir.join(&doc.file);
+                storage::paged::save_dirty(xs, vfs, &mut doc.store, &data_path, doc.watermark)?;
+                doc.store.commit(vfs, &docs_dir.join(&doc.map))?;
+                doc.watermark = xs.tick();
+            }
+        }
+        Ok(true)
+    }
+
+    /// Stage, publish, and commit a complete new generation, then bind
+    /// the database to it.
+    fn full_save(
+        &self,
+        state: &mut PersistState,
+        dir: &Path,
+        vfs: &dyn Vfs,
+    ) -> Result<(), DbError> {
+        let obs = self.metrics_registry();
         let io = |path: &Path| {
             let path = path.to_path_buf();
             move |e: std::io::Error| DbError::Io { path, source: e }
         };
+        // The binding is re-established only after a successful commit.
+        state.bound = None;
+        state.docs.clear();
         vfs.create_dir_all(dir).map_err(io(dir))?;
 
         // Pick the next generation: one past everything visible, whether
@@ -216,7 +337,7 @@ impl Database {
         let current_path = dir.join("CURRENT");
         if vfs.exists(&current_path) {
             let text = utf8(&current_path, vfs.read(&current_path).map_err(io(&current_path))?)?;
-            if let Ok((n, _)) = parse_current(&text) {
+            if let Ok((_, n, _)) = parse_current(&text) {
                 gen = gen.max(n);
             }
         }
@@ -233,7 +354,7 @@ impl Database {
         vfs.create_dir_all(&docs_dir).map_err(io(&docs_dir))?;
 
         let mut manifest = Element::new("xsdb")
-            .with_attribute("version", "2")
+            .with_attribute("version", "3")
             .with_attribute("generation", gen.to_string());
         for name in self.schema_names() {
             let schema = self
@@ -251,23 +372,35 @@ impl Database {
                     .with_attribute("sha256", sha256_hex(&bytes)),
             ));
         }
-        let doc_names: Vec<String> = self.document_names().map(str::to_string).collect();
-        for name in &doc_names {
-            let stored = self
-                .document(name)
-                .ok_or_else(|| DbError::Corrupt(format!("document {name:?} vanished mid-save")))?;
-            let file = format!("{}.xml", file_stem(name));
-            let bytes = self.serialize(name)?.into_bytes();
-            let path = docs_dir.join(&file);
-            vfs.write(&path, &bytes).map_err(io(&path))?;
-            obs.add(xsobs::CounterId::PersistBytesStaged, bytes.len() as u64);
+        for (name, stored) in self.doc_registry() {
+            let stem = file_stem(name);
+            let file = format!("{stem}.xsp");
+            let map = format!("{stem}.xspm");
+            let data_path = docs_dir.join(&file);
+            let map_path = docs_dir.join(&map);
+            // Page the live block storage out; a document that was never
+            // materialized is paged from a deterministic rebuild of its
+            // S-tree (the same layout a later materialization produces).
+            let rebuilt;
+            let xs = match stored.storage() {
+                Some(xs) => xs,
+                None => {
+                    rebuilt = XmlStorage::from_tree(&stored.loaded.store, stored.loaded.doc);
+                    &rebuilt
+                }
+            };
+            let mut store = PageStore::new();
+            storage::paged::save_full(xs, vfs, &mut store, &data_path)?;
+            store.commit(vfs, &map_path)?;
+            obs.add(xsobs::CounterId::PersistBytesStaged, store.page_count() * PAGE_SIZE as u64);
             manifest.children.push(xmlparse::Node::Element(
                 Element::new("document")
                     .with_attribute("name", name.clone())
                     .with_attribute("schema", stored.schema_name.clone())
-                    .with_attribute("file", file)
-                    .with_attribute("sha256", sha256_hex(&bytes)),
+                    .with_attribute("file", file.clone())
+                    .with_attribute("map", map.clone()),
             ));
+            state.docs.insert(name.clone(), DocPersist { file, map, store, watermark: xs.tick() });
         }
         let manifest_bytes = Document::from_root(manifest).to_xml_pretty().into_bytes();
         let manifest_digest = sha256_hex(&manifest_bytes);
@@ -288,7 +421,7 @@ impl Database {
         vfs.sync_dir(dir).map_err(io(dir))?;
 
         let current_tmp = dir.join("CURRENT.tmp");
-        let pointer = format!("v2 gen-{gen} {manifest_digest}\n");
+        let pointer = format!("v3 gen-{gen} {manifest_digest}\n");
         vfs.write(&current_tmp, pointer.as_bytes()).map_err(io(&current_tmp))?;
         vfs.rename(&current_tmp, &current_path).map_err(io(&current_path))?;
         vfs.sync_dir(dir).map_err(io(dir))?;
@@ -313,7 +446,8 @@ impl Database {
                 }
             }
         }
-        obs.incr(xsobs::CounterId::PersistSaves);
+        state.bound = Some(Binding { dir: dir.to_path_buf(), gen, current_line: pointer });
+        state.registry_dirty = false;
         Ok(())
     }
 
@@ -360,11 +494,13 @@ impl Database {
         }
 
         let current_path = dir.join("CURRENT");
+        let mut current_text = String::new();
         let (root_dir, manifest) = if vfs.exists(&current_path) {
-            // Version-2 layout: CURRENT → generation → manifest, with a
-            // digest chain protecting each hop.
+            // Version-2/3 layout: CURRENT → generation → manifest, with
+            // a digest chain protecting each hop.
             let bytes = vfs.read(&current_path).map_err(|e| DbError::io(&current_path, e))?;
-            let (gen, manifest_digest) = parse_current(&utf8(&current_path, bytes)?)?;
+            current_text = utf8(&current_path, bytes)?;
+            let (version, gen, manifest_digest) = parse_current(&current_text)?;
             let gen_dir = dir.join(format!("gen-{gen}"));
             let manifest_path = gen_dir.join("manifest.xml");
             let manifest_bytes =
@@ -379,13 +515,13 @@ impl Database {
                     manifest.root().name
                 )));
             }
-            if manifest.root().attribute("version") != Some("2") {
+            if manifest.root().attribute("version") != Some(version.to_string().as_str()) {
                 return Err(DbError::Corrupt(format!(
-                    "{}: expected manifest version 2",
+                    "{}: expected manifest version {version}",
                     manifest_path.display()
                 )));
             }
-            report.manifest_version = 2;
+            report.manifest_version = version;
             report.generation = Some(gen);
             (gen_dir, manifest)
         } else {
@@ -408,9 +544,9 @@ impl Database {
                 .push("manifest version 1: no checksums recorded, integrity not verified".into());
             (dir.to_path_buf(), manifest)
         };
-        let checksummed = report.manifest_version >= 2;
 
         let mut db = Database::new();
+        let mut doc_states: BTreeMap<String, DocPersist> = BTreeMap::new();
         // Schemas that failed to load; their documents quarantine too.
         let mut dead_schemas: Vec<String> = Vec::new();
 
@@ -421,7 +557,7 @@ impl Database {
                 safe_file_name(&file)?;
                 let path = root_dir.join("schemas").join(&file);
                 let bytes = vfs.read(&path).map_err(|e| DbError::io(&path, e))?;
-                if checksummed {
+                if report.manifest_version >= 2 {
                     verify_checksum(&path, &bytes, &required_attr(entry, "sha256", "schema")?)?;
                 }
                 db.register_schema_text(&name, &utf8(&path, bytes)?)
@@ -452,11 +588,33 @@ impl Database {
                 let file = required_attr(entry, "file", "document")?;
                 safe_file_name(&file)?;
                 let path = root_dir.join("documents").join(&file);
-                let bytes = vfs.read(&path).map_err(|e| DbError::io(&path, e))?;
-                if checksummed {
-                    verify_checksum(&path, &bytes, &required_attr(entry, "sha256", "document")?)?;
+                if report.manifest_version >= 3 {
+                    // Paged form: open the self-verifying map, decode the
+                    // block storage page by page, and re-validate through
+                    // `f` by replaying the serialized document. The
+                    // *decoded* storage (not a rebuild) is what the
+                    // database keeps: later incremental saves must stay
+                    // aligned with the page layout on disk.
+                    let map = required_attr(entry, "map", "document")?;
+                    safe_file_name(&map)?;
+                    let map_path = root_dir.join("documents").join(&map);
+                    let store = PageStore::open(vfs, &map_path)?;
+                    let xs = storage::paged::load(&store, vfs, &path)?;
+                    let watermark = xs.tick();
+                    db.insert_paged(&name, &schema, xs)?;
+                    doc_states.insert(name.clone(), DocPersist { file, map, store, watermark });
+                    Ok(())
+                } else {
+                    let bytes = vfs.read(&path).map_err(|e| DbError::io(&path, e))?;
+                    if report.manifest_version >= 2 {
+                        verify_checksum(
+                            &path,
+                            &bytes,
+                            &required_attr(entry, "sha256", "document")?,
+                        )?;
+                    }
+                    db.insert(&name, &schema, &utf8(&path, bytes)?)
                 }
-                db.insert(&name, &schema, &utf8(&path, bytes)?)
             };
             if let Err(error) = load() {
                 match policy {
@@ -468,6 +626,21 @@ impl Database {
                         error,
                     }),
                 }
+            }
+        }
+        // A cleanly-loaded v3 directory leaves the database bound to its
+        // generation, so the very next save can be incremental (or free).
+        if report.manifest_version >= 3 && report.quarantined.is_empty() {
+            if let Some(gen) = report.generation {
+                *db.persist.lock().unwrap_or_else(|p| p.into_inner()) = PersistState {
+                    bound: Some(Binding {
+                        dir: dir.to_path_buf(),
+                        gen,
+                        current_line: current_text,
+                    }),
+                    registry_dirty: false,
+                    docs: doc_states,
+                };
             }
         }
         obs.incr(xsobs::CounterId::PersistLoads);
@@ -519,32 +692,8 @@ mod tests {
 
     fn current_gen_dir(dir: &Path) -> PathBuf {
         let text = fs::read_to_string(dir.join("CURRENT")).unwrap();
-        let (gen, _) = parse_current(&text).unwrap();
+        let (_, gen, _) = parse_current(&text).unwrap();
         dir.join(format!("gen-{gen}"))
-    }
-
-    /// Rewrite the checksum chain after a test edits a persisted file in
-    /// place (document checksum → manifest → CURRENT).
-    fn reseal(dir: &Path) {
-        let gen_dir = current_gen_dir(dir);
-        let manifest_path = gen_dir.join("manifest.xml");
-        let mut manifest = Document::parse(&fs::read_to_string(&manifest_path).unwrap()).unwrap();
-        for child in &mut manifest.root_mut().children {
-            if let xmlparse::Node::Element(e) = child {
-                let sub = if e.name.local() == "schema" { "schemas" } else { "documents" };
-                let file = e.attribute("file").unwrap().to_string();
-                let digest = sha256_hex(&fs::read(gen_dir.join(sub).join(&file)).unwrap());
-                for attr in &mut e.attributes {
-                    if attr.name.local() == "sha256" {
-                        attr.value = digest.clone();
-                    }
-                }
-            }
-        }
-        let bytes = manifest.to_xml_pretty().into_bytes();
-        fs::write(&manifest_path, &bytes).unwrap();
-        let gen_name = gen_dir.file_name().unwrap().to_str().unwrap().to_string();
-        fs::write(dir.join("CURRENT"), format!("v2 {gen_name} {}\n", sha256_hex(&bytes))).unwrap();
     }
 
     #[test]
@@ -582,11 +731,63 @@ mod tests {
         db.save_dir(&dir).unwrap();
         let (restored, report) = Database::load_dir_report(&dir, LoadPolicy::Strict).unwrap();
         assert_eq!(report.generation, Some(2));
-        assert_eq!(report.manifest_version, 2);
+        assert_eq!(report.manifest_version, 3);
         assert!(report.is_clean(), "{report:?}");
         assert_eq!(restored.len(), 1);
         // The obsolete generation was cleaned up after commit.
         assert!(!dir.join("gen-1").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_resaves_neither_restage_nor_advance_the_generation() {
+        let dir = temp_dir("clean-resave");
+        let mut db = Database::new();
+        db.register_schema_text("log", SCHEMA).unwrap();
+        db.insert("j", "log", "<log><entry><year>2000</year><text>t</text></entry></log>").unwrap();
+        db.save_dir(&dir).unwrap();
+        let before = fs::read_to_string(dir.join("CURRENT")).unwrap();
+        db.save_dir(&dir).unwrap();
+        db.save_dir(&dir).unwrap();
+        assert_eq!(fs::read_to_string(dir.join("CURRENT")).unwrap(), before);
+        assert!(dir.join("gen-1").exists());
+        assert!(!dir.join("gen-2").exists(), "clean re-save must not restage");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn updates_are_saved_incrementally_in_place() {
+        let dir = temp_dir("incremental");
+        let mut db = Database::new();
+        db.register_schema_text("log", SCHEMA).unwrap();
+        db.insert("j", "log", "<log><entry><year>2000</year><text>t</text></entry></log>").unwrap();
+        db.save_dir(&dir).unwrap();
+        db.update_set_text("j", "/log/entry/text", "patched").unwrap();
+        db.save_dir(&dir).unwrap();
+        // The update committed into the existing generation.
+        assert!(dir.join("gen-1").exists());
+        assert!(!dir.join("gen-2").exists());
+        let restored = Database::load_dir(&dir).unwrap();
+        assert_eq!(restored.query("j", "/log/entry/text").unwrap(), ["patched"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reloaded_databases_keep_saving_incrementally() {
+        let dir = temp_dir("reload-incremental");
+        let mut db = Database::new();
+        db.register_schema_text("log", SCHEMA).unwrap();
+        db.insert("j", "log", "<log><entry><year>2000</year><text>t</text></entry></log>").unwrap();
+        db.save_dir(&dir).unwrap();
+        // A fresh handle loaded from disk is bound to the generation it
+        // read, so its saves are incremental too.
+        let mut db2 = Database::load_dir(&dir).unwrap();
+        db2.update_set_text("j", "/log/entry/text", "again").unwrap();
+        db2.save_dir(&dir).unwrap();
+        assert!(dir.join("gen-1").exists());
+        assert!(!dir.join("gen-2").exists());
+        let restored = Database::load_dir(&dir).unwrap();
+        assert_eq!(restored.query("j", "/log/entry/text").unwrap(), ["again"]);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -613,11 +814,13 @@ mod tests {
         db.register_schema_text("log", SCHEMA).unwrap();
         db.insert("j", "log", "<log><entry><year>2000</year><text>t</text></entry></log>").unwrap();
         db.save_dir(&dir).unwrap();
-        let doc_path = current_gen_dir(&dir).join("documents").join("j.xml");
-        let tampered = fs::read_to_string(&doc_path).unwrap().replace("2000", "1492");
-        fs::write(&doc_path, tampered).unwrap();
+        let doc_path = current_gen_dir(&dir).join("documents").join("j.xsp");
+        let mut bytes = fs::read(&doc_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&doc_path, bytes).unwrap();
         match Database::load_dir(&dir) {
-            Err(DbError::Checksum { path, .. }) => assert!(path.ends_with("j.xml"), "{path:?}"),
+            Err(DbError::Checksum { path, .. }) => assert!(path.ends_with("j.xsp"), "{path:?}"),
             other => panic!("expected checksum failure, got {other:?}"),
         }
         let _ = fs::remove_dir_all(&dir);
@@ -630,13 +833,12 @@ mod tests {
         db.register_schema_text("log", SCHEMA).unwrap();
         db.insert("j", "log", "<log><entry><year>2000</year><text>t</text></entry></log>").unwrap();
         db.save_dir(&dir).unwrap();
-        // Corrupt the stored document (violating the Year facet) and
-        // reseal the checksum chain — validation is the layer that must
-        // catch what a consistent-but-invalid state smuggles in.
-        let doc_path = current_gen_dir(&dir).join("documents").join("j.xml");
-        let tampered = fs::read_to_string(&doc_path).unwrap().replace("2000", "1492");
-        fs::write(&doc_path, tampered).unwrap();
-        reseal(&dir);
+        // Node-level updates are not re-validated automatically, so a
+        // facet-violating update persists a consistent-but-invalid
+        // document — validation is the layer that must catch it on the
+        // way back in.
+        db.update_set_text("j", "/log/entry/year", "1492").unwrap();
+        db.save_dir(&dir).unwrap();
         match Database::load_dir(&dir) {
             Err(DbError::Invalid(errs)) => {
                 assert!(errs.iter().any(|e| e.rule == algebra::Rule::R511SimpleValue));
@@ -704,14 +906,59 @@ mod tests {
         assert_eq!(report.manifest_version, 1);
         assert_eq!(report.generation, None);
         assert!(report.warnings.iter().any(|w| w.contains("no checksums")), "{report:?}");
-        // A re-save migrates the directory to the v2 layout.
+        // A re-save migrates the directory to the paged v3 layout.
         db.save_dir(&dir).unwrap();
         assert!(dir.join("CURRENT").exists());
         assert!(!dir.join("manifest.xml").exists(), "legacy manifest cleaned after commit");
         let (again, report2) = Database::load_dir_report(&dir, LoadPolicy::Strict).unwrap();
         assert_eq!(again.len(), 1);
-        assert_eq!(report2.manifest_version, 2);
+        assert_eq!(report2.manifest_version, 3);
         assert!(report2.is_clean(), "{report2:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_layouts_still_load_and_migrate() {
+        let dir = temp_dir("v2");
+        // Hand-build a version-2 generation: whole-document XML files
+        // with a manifest checksum per file and a digest-carrying
+        // CURRENT pointer, as written before the paged layout existed.
+        let gen_dir = dir.join("gen-7");
+        fs::create_dir_all(gen_dir.join("schemas")).unwrap();
+        fs::create_dir_all(gen_dir.join("documents")).unwrap();
+        let xsd = {
+            let mut db = Database::new();
+            db.register_schema_text("log", SCHEMA).unwrap();
+            xsmodel::write_schema(db.schema("log").unwrap())
+        };
+        fs::write(gen_dir.join("schemas").join("log.xsd"), &xsd).unwrap();
+        let doc = "<log><entry><year>1995</year><text>kept</text></entry></log>";
+        fs::write(gen_dir.join("documents").join("j.xml"), doc).unwrap();
+        let manifest = format!(
+            "<xsdb version=\"2\" generation=\"7\">\n  \
+             <schema name=\"log\" file=\"log.xsd\" sha256=\"{}\"/>\n  \
+             <document name=\"j\" schema=\"log\" file=\"j.xml\" sha256=\"{}\"/>\n</xsdb>",
+            sha256_hex(xsd.as_bytes()),
+            sha256_hex(doc.as_bytes()),
+        );
+        fs::write(gen_dir.join("manifest.xml"), &manifest).unwrap();
+        fs::write(dir.join("CURRENT"), format!("v2 gen-7 {}\n", sha256_hex(manifest.as_bytes())))
+            .unwrap();
+
+        let (db, report) = Database::load_dir_report(&dir, LoadPolicy::Strict).unwrap();
+        assert_eq!(report.manifest_version, 2);
+        assert_eq!(report.generation, Some(7));
+        assert_eq!(db.query("j", "/log/entry/text").unwrap(), ["kept"]);
+        // A v2 tamper is still caught by the manifest checksum.
+        fs::write(gen_dir.join("documents").join("j.xml"), "<log/>").unwrap();
+        assert!(matches!(Database::load_dir(&dir), Err(DbError::Checksum { .. })));
+        fs::write(gen_dir.join("documents").join("j.xml"), doc).unwrap();
+        // The next save migrates to the paged layout.
+        db.save_dir(&dir).unwrap();
+        let (again, report2) = Database::load_dir_report(&dir, LoadPolicy::Strict).unwrap();
+        assert_eq!(report2.manifest_version, 3);
+        assert_eq!(report2.generation, Some(8));
+        assert_eq!(again.query("j", "/log/entry/text").unwrap(), ["kept"]);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -728,11 +975,15 @@ mod tests {
         assert!(parse_current("").is_err());
         assert!(parse_current("v1 gen-2 abc").is_err());
         assert!(parse_current("v2 gen-x 0000").is_err());
+        assert!(parse_current("v4 gen-2 abc").is_err());
         assert!(parse_current(&format!("v2 gen-3 {}", "a".repeat(63))).is_err());
-        assert!(parse_current(&format!("v2 gen-3 {} extra", "a".repeat(64))).is_err());
-        let (gen, digest) = parse_current(&format!("v2 gen-3 {}\n", "A".repeat(64))).unwrap();
-        assert_eq!(gen, 3);
+        assert!(parse_current(&format!("v3 gen-3 {} extra", "a".repeat(64))).is_err());
+        let (version, gen, digest) =
+            parse_current(&format!("v2 gen-3 {}\n", "A".repeat(64))).unwrap();
+        assert_eq!((version, gen), (2, 3));
         assert_eq!(digest, "a".repeat(64));
+        let (version, gen, _) = parse_current(&format!("v3 gen-12 {}\n", "b".repeat(64))).unwrap();
+        assert_eq!((version, gen), (3, 12));
     }
 
     #[test]

@@ -158,10 +158,10 @@ mod tests {
         let lib = xs.children(xs.root())[0];
         let book = xs.children(lib)[0];
         for i in 0..10 {
-            let nb = xs.insert_element(lib, Some(book), "book");
-            let t = xs.insert_element(nb, None, "title");
-            xs.insert_text(t, None, format!("inserted {i}"));
-            xs.insert_attribute(nb, "id", &format!("n{i}"));
+            let nb = xs.insert_element(lib, Some(book), "book").unwrap();
+            let t = xs.insert_element(nb, None, "title").unwrap();
+            xs.insert_text(t, None, format!("inserted {i}")).unwrap();
+            xs.insert_attribute(nb, "id", &format!("n{i}")).unwrap();
         }
         assert_eq!(xs.check_invariants(), None);
         assert!(storage_roundtrip_agrees(&xs));

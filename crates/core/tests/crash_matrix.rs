@@ -254,7 +254,7 @@ fn lenient_quarantines_only_the_damaged_documents() {
     // Corrupt exactly one document file.
     let text = fs::read_to_string(dir.join("CURRENT")).unwrap();
     let gen = text.split(' ').nth(1).unwrap();
-    let victim = dir.join(gen).join("documents").join("memo.xml");
+    let victim = dir.join(gen).join("documents").join("memo.xsp");
     let mut bytes = fs::read(&victim).unwrap();
     bytes[0] ^= 0xff;
     fs::write(&victim, bytes).unwrap();
@@ -268,7 +268,7 @@ fn lenient_quarantines_only_the_damaged_documents() {
     assert_eq!(q.name, "memo");
     assert_eq!(q.kind, xsdb::QuarantineKind::Document);
     assert!(matches!(q.error, DbError::Checksum { .. }), "{:?}", q.error);
-    assert!(q.file.as_ref().unwrap().ends_with("memo.xml"));
+    assert!(q.file.as_ref().unwrap().ends_with("memo.xsp"));
     let _ = fs::remove_dir_all(&dir);
 }
 

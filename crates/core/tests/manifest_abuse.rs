@@ -45,7 +45,7 @@ fn reseal_current(dir: &Path) {
     let text = fs::read_to_string(dir.join("CURRENT")).unwrap();
     let gen = text.split(' ').nth(1).unwrap().to_string();
     let manifest = fs::read(dir.join(&gen).join("manifest.xml")).unwrap();
-    fs::write(dir.join("CURRENT"), format!("v2 {gen} {}\n", checksum::sha256_hex(&manifest)))
+    fs::write(dir.join("CURRENT"), format!("v3 {gen} {}\n", checksum::sha256_hex(&manifest)))
         .unwrap();
 }
 
@@ -109,11 +109,11 @@ fn garbage_manifest_is_a_typed_error() {
 }
 
 #[test]
-fn manifest_version_other_than_2_is_rejected() {
+fn manifest_version_disagreeing_with_current_is_rejected() {
     let dir = saved_dir("version");
     let manifest = gen_dir(&dir).join("manifest.xml");
     let text = fs::read_to_string(&manifest).unwrap();
-    fs::write(&manifest, text.replace("version=\"2\"", "version=\"3\"")).unwrap();
+    fs::write(&manifest, text.replace("version=\"3\"", "version=\"4\"")).unwrap();
     reseal_current(&dir);
     match Database::load_dir(&dir) {
         Err(DbError::Corrupt(msg)) => assert!(msg.contains("version"), "{msg}"),
@@ -125,10 +125,10 @@ fn manifest_version_other_than_2_is_rejected() {
 #[test]
 fn manifest_entry_pointing_at_missing_file_is_an_io_error() {
     let dir = saved_dir("missing");
-    fs::remove_file(gen_dir(&dir).join("documents").join("memo.xml")).unwrap();
+    fs::remove_file(gen_dir(&dir).join("documents").join("memo.xsp")).unwrap();
     match Database::load_dir(&dir) {
         Err(DbError::Io { path, .. }) => {
-            assert!(path.ends_with("memo.xml"), "error should name the missing file: {path:?}")
+            assert!(path.ends_with("memo.xsp"), "error should name the missing file: {path:?}")
         }
         other => panic!("{other:?}"),
     }
@@ -166,7 +166,7 @@ fn manifest_entry_missing_required_attributes_is_corrupt() {
     let dir = saved_dir("attrs");
     let manifest = gen_dir(&dir).join("manifest.xml");
     let text = fs::read_to_string(&manifest).unwrap();
-    for attr in ["name=", "file=", "schema=", "sha256="] {
+    for attr in ["name=", "file=", "schema=", "map="] {
         let entry_start = text.find("<document name=\"memo\"").unwrap();
         let entry_end = entry_start + text[entry_start..].find("/>").unwrap() + 2;
         let entry = &text[entry_start..entry_end];
@@ -198,7 +198,7 @@ fn path_traversal_in_manifest_is_rejected() {
     let manifest = gen_dir(&dir).join("manifest.xml");
     let text = fs::read_to_string(&manifest).unwrap();
     for hostile in ["../../etc/passwd", "/etc/passwd", "a\\b.xml", ".hidden", ""] {
-        let bad = text.replace("file=\"memo.xml\"", &format!("file=\"{hostile}\""));
+        let bad = text.replace("file=\"memo.xsp\"", &format!("file=\"{hostile}\""));
         assert_ne!(bad, text);
         fs::write(&manifest, bad).unwrap();
         reseal_current(&dir);

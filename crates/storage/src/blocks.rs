@@ -21,12 +21,20 @@
 //! id resolved through a location table, so block splits (which move
 //! descriptors between blocks) never invalidate a pointer — neither the
 //! ones inside other descriptors nor the ones a caller holds.
+//!
+//! Since blocks can now arrive from disk pages ([`crate::pages`]), the
+//! chain-maintenance paths return a typed [`StorageError`] instead of
+//! panicking when a slot link is dangling, and every mutation stamps a
+//! monotonic *tick* onto the touched block so an incremental save can
+//! write exactly the blocks dirtied since a watermark.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use xdm::NodeKind;
 
 use crate::descriptive::{DescriptiveSchema, SchemaNodeId};
+use crate::error::StorageError;
 use crate::nid::Nid;
 
 /// A stable pointer to a node descriptor. Valid until the node is
@@ -131,12 +139,85 @@ impl Block {
 
     /// The largest nid in the block (document-order maximum), if any.
     pub(crate) fn max_nid(&self) -> Option<&Nid> {
-        self.last_slot.map(|s| &self.slots[s as usize].as_ref().expect("chained slot").nid)
+        self.last_slot.and_then(|s| self.slots.get(s as usize)?.as_ref()).map(|d| &d.nid)
     }
 
     /// The smallest nid in the block, if any.
     pub(crate) fn min_nid(&self) -> Option<&Nid> {
-        self.first_slot.map(|s| &self.slots[s as usize].as_ref().expect("chained slot").nid)
+        self.first_slot.and_then(|s| self.slots.get(s as usize)?.as_ref()).map(|d| &d.nid)
+    }
+
+    fn corrupt(&self, what: impl fmt::Display) -> StorageError {
+        StorageError::Corrupt(format!("block of {}: {what}", self.schema_node))
+    }
+
+    fn live_mut(&mut self, slot: u16) -> Result<&mut NodeDescriptor, StorageError> {
+        let sn = self.schema_node;
+        self.slots
+            .get_mut(slot as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or_else(|| StorageError::Corrupt(format!("block of {sn}: dead slot {slot} linked")))
+    }
+
+    /// Append `desc` at the tail of the intra-block chain; the caller
+    /// guarantees a free slot exists.
+    pub(crate) fn push_tail(&mut self, mut desc: NodeDescriptor) -> Result<u16, StorageError> {
+        let slot = self.free_slot().ok_or_else(|| self.corrupt("no free slot for append"))?;
+        desc.prev_in_block = self.last_slot;
+        desc.next_in_block = None;
+        self.slots[slot as usize] = Some(desc);
+        match self.last_slot {
+            Some(last) => self.live_mut(last)?.next_in_block = Some(slot),
+            None => self.first_slot = Some(slot),
+        }
+        self.last_slot = Some(slot);
+        self.count += 1;
+        Ok(slot)
+    }
+
+    /// Insert `desc` into the chain between slots `after` and `before`
+    /// (either may be `None` for the chain's ends); the caller
+    /// guarantees a free slot exists and that the positions are
+    /// adjacent.
+    pub(crate) fn insert_chained(
+        &mut self,
+        mut desc: NodeDescriptor,
+        after: Option<u16>,
+        before: Option<u16>,
+    ) -> Result<u16, StorageError> {
+        let slot = self.free_slot().ok_or_else(|| self.corrupt("no free slot for insert"))?;
+        desc.prev_in_block = after;
+        desc.next_in_block = before;
+        self.slots[slot as usize] = Some(desc);
+        match after {
+            Some(a) => self.live_mut(a)?.next_in_block = Some(slot),
+            None => self.first_slot = Some(slot),
+        }
+        match before {
+            Some(b) => self.live_mut(b)?.prev_in_block = Some(slot),
+            None => self.last_slot = Some(slot),
+        }
+        self.count += 1;
+        Ok(slot)
+    }
+
+    /// Remove the descriptor at `slot`, stitching the chain around it.
+    pub(crate) fn unlink(&mut self, slot: u16) -> Result<NodeDescriptor, StorageError> {
+        let desc = self
+            .slots
+            .get_mut(slot as usize)
+            .and_then(|s| s.take())
+            .ok_or_else(|| StorageError::Corrupt(format!("unlinking dead slot {slot}")))?;
+        match desc.prev_in_block {
+            Some(prev) => self.live_mut(prev)?.next_in_block = desc.next_in_block,
+            None => self.first_slot = desc.next_in_block,
+        }
+        match desc.next_in_block {
+            Some(next) => self.live_mut(next)?.prev_in_block = desc.prev_in_block,
+            None => self.last_slot = desc.prev_in_block,
+        }
+        self.count -= 1;
+        Ok(desc)
     }
 }
 
@@ -151,14 +232,18 @@ impl<'a> Iterator for BlockOrderIter<'a> {
 
     fn next(&mut self) -> Option<Self::Item> {
         let slot = self.next?;
-        let desc = self.block.slots[slot as usize].as_ref().expect("chained slot is live");
+        // A dangling link ends the iteration rather than panicking;
+        // decode-time validation rejects such chains before they are
+        // ever walked.
+        let desc = self.block.slots.get(slot as usize)?.as_ref()?;
         self.next = desc.next_in_block;
         Some((desc.id, desc))
     }
 }
 
 /// All blocks, the per-schema-node block lists, and the indirection
-/// table from stable descriptor ids to (block, slot) locations.
+/// table from stable descriptor ids to (block, slot) locations — plus
+/// the dirty-tracking ticks the paged layer saves incrementally from.
 #[derive(Debug, Clone, Default)]
 pub struct BlockTable {
     pub(crate) blocks: Vec<Block>,
@@ -166,12 +251,38 @@ pub struct BlockTable {
     pub(crate) lists: Vec<Option<(u32, u32)>>,
     /// Stable id → current (block, slot); `None` after deletion.
     pub(crate) locations: Vec<Option<(u32, u16)>>,
+    /// Monotonic mutation counter; bumped on every touch below.
+    pub(crate) tick: u64,
+    /// Block index → tick of its latest mutation.
+    pub(crate) dirty_blocks: BTreeMap<u32, u64>,
+    /// Location-table segment → tick of its latest mutation (segments
+    /// of [`crate::paged::LOC_SEG`] entries map onto pages).
+    pub(crate) dirty_loc_segs: BTreeMap<u32, u64>,
+    /// Tick of the latest catalog-level change (schema growth, list
+    /// heads, location-table length).
+    pub(crate) meta_tick: u64,
 }
 
 impl BlockTable {
+    pub(crate) fn touch_block(&mut self, b: u32) {
+        self.tick += 1;
+        self.dirty_blocks.insert(b, self.tick);
+    }
+
+    pub(crate) fn touch_location(&mut self, id: u32) {
+        self.tick += 1;
+        self.dirty_loc_segs.insert(id / crate::paged::LOC_SEG, self.tick);
+    }
+
+    pub(crate) fn touch_meta(&mut self) {
+        self.tick += 1;
+        self.meta_tick = self.tick;
+    }
+
     pub(crate) fn ensure_schema_capacity(&mut self, schema: &DescriptiveSchema) {
         if self.lists.len() < schema.len() {
             self.lists.resize(schema.len(), None);
+            self.touch_meta();
         }
     }
 
@@ -179,6 +290,8 @@ impl BlockTable {
     pub(crate) fn mint_ptr(&mut self) -> DescPtr {
         let id = u32::try_from(self.locations.len()).expect("descriptor id overflow");
         self.locations.push(None);
+        self.touch_location(id);
+        self.touch_meta(); // the location-table length is catalog state
         DescPtr(id)
     }
 
@@ -186,11 +299,18 @@ impl BlockTable {
         self.locations[p.0 as usize].expect("dangling descriptor pointer")
     }
 
+    pub(crate) fn set_location(&mut self, p: DescPtr, loc: Option<(u32, u16)>) {
+        self.locations[p.0 as usize] = loc;
+        self.touch_location(p.0);
+    }
+
     pub(crate) fn block(&self, i: u32) -> &Block {
         &self.blocks[i as usize]
     }
 
+    /// Mutable block access; marks the block dirty.
     pub(crate) fn block_mut(&mut self, i: u32) -> &mut Block {
+        self.touch_block(i);
         &mut self.blocks[i as usize]
     }
 
@@ -199,8 +319,10 @@ impl BlockTable {
         self.blocks[b as usize].slots[s as usize].as_ref().expect("live descriptor")
     }
 
+    /// Mutable descriptor access; marks the hosting block dirty.
     pub(crate) fn desc_mut(&mut self, p: DescPtr) -> &mut NodeDescriptor {
         let (b, s) = self.location(p);
+        self.touch_block(b);
         self.blocks[b as usize].slots[s as usize].as_mut().expect("live descriptor")
     }
 
@@ -220,18 +342,21 @@ impl BlockTable {
     pub(crate) fn append_block(&mut self, schema_node: SchemaNodeId, capacity: u16) -> u32 {
         let idx = self.blocks.len() as u32;
         let mut b = Block::new(schema_node, capacity);
-        match &mut self.lists[schema_node.index()] {
-            Some((_, last)) => {
-                b.prev_block = Some(*last);
-                self.blocks[*last as usize].next_block = Some(idx);
+        match self.lists[schema_node.index()] {
+            Some((first, last)) => {
+                b.prev_block = Some(last);
+                self.blocks[last as usize].next_block = Some(idx);
                 self.blocks.push(b);
-                *last = idx;
+                self.lists[schema_node.index()] = Some((first, idx));
+                self.touch_block(last);
             }
-            slot @ None => {
+            None => {
                 self.blocks.push(b);
-                *slot = Some((idx, idx));
+                self.lists[schema_node.index()] = Some((idx, idx));
             }
         }
+        self.touch_block(idx);
+        self.touch_meta(); // list heads live in the catalog
         idx
     }
 
@@ -245,10 +370,14 @@ impl BlockTable {
         self.blocks.push(b);
         if let Some(next) = self.blocks[idx as usize].next_block {
             self.blocks[next as usize].prev_block = Some(idx);
+            self.touch_block(next);
         } else if let Some((_, last)) = &mut self.lists[schema_node.index()] {
             *last = idx;
         }
         self.blocks[after as usize].next_block = Some(idx);
+        self.touch_block(after);
+        self.touch_block(idx);
+        self.touch_meta();
         idx
     }
 

@@ -1,0 +1,236 @@
+//! A tiny byte codec for the on-page serialization of blocks,
+//! descriptors, and the storage catalog.
+//!
+//! Fixed-width little-endian integers, `u8`-flagged options, and
+//! length-prefixed UTF-8 strings. The reader returns a typed
+//! [`StorageError::Corrupt`] on any truncation or malformed value —
+//! decoded bytes come from disk and are never trusted.
+
+use crate::error::StorageError;
+
+/// Append-only byte writer.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Writer::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn opt_u16(&mut self, v: Option<u16>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u16(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    pub(crate) fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    pub(crate) fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    pub(crate) fn opt_string(&mut self, v: Option<&str>) {
+        match v {
+            Some(s) => {
+                self.u8(1);
+                self.string(s);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+/// Forward-only byte reader over untrusted input.
+#[derive(Debug)]
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Context for error messages ("catalog", "block 3", …).
+    what: &'a str,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8], what: &'a str) -> Self {
+        Reader { buf, pos: 0, what }
+    }
+
+    fn truncated(&self) -> StorageError {
+        StorageError::Corrupt(format!("{}: truncated at byte {}", self.what, self.pos))
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let out = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(out)
+            }
+            None => Err(self.truncated()),
+        }
+    }
+
+    /// All input consumed? Trailing garbage is corruption, not slack.
+    pub(crate) fn finish(&self) -> Result<(), StorageError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(StorageError::Corrupt(format!(
+                "{}: {} trailing bytes after the payload",
+                self.what,
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, StorageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, StorageError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, StorageError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, StorageError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    pub(crate) fn flag(&mut self) -> Result<bool, StorageError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StorageError::Corrupt(format!("{}: option flag byte {other}", self.what))),
+        }
+    }
+
+    pub(crate) fn opt_u16(&mut self) -> Result<Option<u16>, StorageError> {
+        Ok(if self.flag()? { Some(self.u16()?) } else { None })
+    }
+
+    pub(crate) fn opt_u32(&mut self) -> Result<Option<u32>, StorageError> {
+        Ok(if self.flag()? { Some(self.u32()?) } else { None })
+    }
+
+    pub(crate) fn bytes(&mut self) -> Result<&'a [u8], StorageError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String, StorageError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| StorageError::Corrupt(format!("{}: non-UTF-8 string", self.what)))
+    }
+
+    pub(crate) fn opt_string(&mut self) -> Result<Option<String>, StorageError> {
+        Ok(if self.flag()? { Some(self.string()?) } else { None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_shape() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(65535);
+        w.u32(123456);
+        w.u64(u64::MAX - 1);
+        w.opt_u16(None);
+        w.opt_u16(Some(3));
+        w.opt_u32(Some(9));
+        w.bytes(b"raw");
+        w.string("héllo");
+        w.opt_string(None);
+        w.opt_string(Some("x"));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65535);
+        assert_eq!(r.u32().unwrap(), 123456);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.opt_u16().unwrap(), None);
+        assert_eq!(r.opt_u16().unwrap(), Some(3));
+        assert_eq!(r.opt_u32().unwrap(), Some(9));
+        assert_eq!(r.bytes().unwrap(), b"raw");
+        assert_eq!(r.string().unwrap(), "héllo");
+        assert_eq!(r.opt_string().unwrap(), None);
+        assert_eq!(r.opt_string().unwrap(), Some("x".to_string()));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_errors() {
+        let mut w = Writer::new();
+        w.string("hello");
+        let bytes = w.into_bytes();
+        // Truncate at every prefix: always an error, never a panic.
+        for keep in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..keep], "t");
+            assert!(r.string().is_err(), "prefix {keep}");
+        }
+        // A length prefix pointing past the end.
+        let mut r = Reader::new(&[0xff, 0xff, 0xff, 0xff, b'x'], "t");
+        assert!(r.bytes().is_err());
+        // Bad option flag.
+        let mut r = Reader::new(&[2], "t");
+        assert!(r.flag().is_err());
+        // Bad UTF-8.
+        let mut w = Writer::new();
+        w.bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "t");
+        assert!(r.string().is_err());
+        // Trailing garbage.
+        let r = Reader::new(&[1, 2, 3], "t");
+        assert!(r.finish().is_err());
+    }
+}

@@ -131,6 +131,12 @@ impl DescriptiveSchema {
         id
     }
 
+    /// Reassemble a schema from decoded nodes ([`crate::paged`] load);
+    /// the caller validates the parent/children cross-references.
+    pub(crate) fn from_nodes(nodes: Vec<SchemaNode>) -> DescriptiveSchema {
+        DescriptiveSchema { nodes }
+    }
+
     /// The schema root (mapped from the document node).
     pub fn root(&self) -> SchemaNodeId {
         SchemaNodeId(0)

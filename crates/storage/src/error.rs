@@ -1,0 +1,97 @@
+//! Typed errors for the physical layer.
+//!
+//! Once descriptor blocks come from disk pages, the §9.2 invariants the
+//! in-memory engine could simply `assert` become attacker-controllable
+//! input: a crafted or corrupted page must surface as a
+//! [`StorageError`], never a panic. The database layer maps these onto
+//! its own `DbError::Corrupt` / `DbError::Checksum` / `DbError::Io`.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Anything that can go wrong in the paged physical layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// An I/O failure underneath the page store, naming the file.
+    Io {
+        /// The file the operation failed on.
+        path: PathBuf,
+        /// The underlying failure.
+        source: io::Error,
+    },
+    /// A page's bytes do not hash to the checksum in its header (torn
+    /// write, bit rot, or tampering).
+    PageChecksum {
+        /// The data file holding the page.
+        path: PathBuf,
+        /// The physical page index.
+        page: u64,
+        /// The recorded (expected) SHA-256, lowercase hex.
+        expected: String,
+        /// The SHA-256 the page bytes actually hash to.
+        actual: String,
+    },
+    /// Decoded structures violate the §9.2 invariants (broken slot
+    /// chain, dangling descriptor pointer, out-of-range index, …).
+    Corrupt(String),
+}
+
+impl StorageError {
+    /// Build an [`StorageError::Io`] from a path and an `io::Error`.
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StorageError::Io { path: path.into(), source }
+    }
+
+    /// Build an [`StorageError::Corrupt`] from anything displayable.
+    pub fn corrupt(what: impl fmt::Display) -> Self {
+        StorageError::Corrupt(what.to_string())
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { path, source } => {
+                write!(f, "i/o error at {}: {source}", path.display())
+            }
+            StorageError::PageChecksum { path, page, expected, actual } => write!(
+                f,
+                "page {page} of {}: header records {expected}, bytes hash to {actual}",
+                path.display()
+            ),
+            StorageError::Corrupt(what) => write!(f, "corrupt block storage: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_file_and_page() {
+        let e = StorageError::PageChecksum {
+            path: "/db/gen-1/documents/j.xsp".into(),
+            page: 7,
+            expected: "aa".repeat(32),
+            actual: "bb".repeat(32),
+        };
+        let shown = e.to_string();
+        assert!(shown.contains("page 7"), "{shown}");
+        assert!(shown.contains("j.xsp"), "{shown}");
+        let io = StorageError::io("/x", io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(StorageError::corrupt("bad chain").to_string().contains("bad chain"));
+    }
+}

@@ -14,7 +14,13 @@
 //! * [`Nid`] — the numbering scheme: Dewey-based labels over a finite
 //!   alphabet with O(label) document-order / ancestor / parent checks
 //!   and gap-based insertion that never relabels existing nodes
-//!   (Proposition 1, tested and benchmarked).
+//!   (Proposition 1, tested and benchmarked);
+//! * [`pages`] — the paged on-disk form: fixed-size pages with per-page
+//!   checksums, a free list, and a logical→physical map, all behind the
+//!   [`vfs::Vfs`] trait so fault injection covers every byte written;
+//! * [`paged`] — the §9 structures serialized onto pages, block by
+//!   block, so one-node updates dirty one block's pages and documents
+//!   can be opened lazily ([`PagedXml`]).
 //!
 //! ```
 //! use xdm::NodeStore;
@@ -30,19 +36,28 @@
 //! let lib_d = xs.children(xs.root())[0];
 //! let book_d = xs.children(lib_d)[0];
 //! assert!(xs.is_ancestor(lib_d, book_d));       // via labels, no walk
-//! xs.insert_element(lib_d, None, "book");        // never relabels
+//! xs.insert_element(lib_d, None, "book").unwrap(); // never relabels
 //! assert_eq!(xs.relabel_count(), 0);
 //! ```
 
 #![warn(missing_docs)]
 
 mod blocks;
+pub mod checksum;
+mod codec;
 mod descriptive;
+mod error;
 mod nid;
+pub mod paged;
+pub mod pages;
 #[allow(clippy::module_inception)]
 mod storage;
+pub mod vfs;
 
 pub use blocks::{Block, BlockOrderIter, DescPtr, NodeDescriptor};
 pub use descriptive::{DescriptiveSchema, SchemaNode, SchemaNodeId};
+pub use error::StorageError;
 pub use nid::{between_components, ComponentAllocator, Nid, OMEGA_MAX, OMEGA_MIN};
+pub use paged::PagedXml;
+pub use pages::{PageStore, PAGE_PAYLOAD, PAGE_SIZE};
 pub use storage::{XmlStorage, DEFAULT_BLOCK_CAPACITY};

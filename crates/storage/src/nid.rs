@@ -80,6 +80,23 @@ impl Nid {
         Nid { bytes }
     }
 
+    /// The flattened form, for on-page serialization.
+    pub(crate) fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Rebuild a label from its flattened form (untrusted disk bytes):
+    /// non-empty, and no empty components — no leading, trailing, or
+    /// doubled separators.
+    pub(crate) fn from_bytes(bytes: &[u8]) -> Result<Nid, crate::error::StorageError> {
+        let ok = !bytes.is_empty() && bytes.split(|&b| b == SEP).all(|c| !c.is_empty());
+        if ok {
+            Ok(Nid { bytes: bytes.to_vec() })
+        } else {
+            Err(crate::error::StorageError::Corrupt(format!("malformed nid bytes {bytes:?}")))
+        }
+    }
+
     /// The label's components.
     pub fn components(&self) -> impl Iterator<Item = &[u8]> {
         self.bytes.split(|&b| b == SEP)

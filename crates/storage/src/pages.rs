@@ -1,0 +1,611 @@
+//! The paged block file (RustDB `BlockStg` shape, adapted to §9.2).
+//!
+//! A [`PageStore`] owns two files behind a [`Vfs`](crate::vfs::Vfs):
+//!
+//! * a **data file** (`*.xsp`) of fixed [`PAGE_SIZE`] pages, each
+//!   `[32-byte SHA-256 of the rest of the page][payload]` — every byte
+//!   of a referenced page is covered by its header checksum, so a torn
+//!   positioned write or a single flipped bit surfaces as a typed
+//!   [`StorageError::PageChecksum`], never as garbage decoding;
+//! * a **map file** (`*.xspm`) recording the logical→physical block
+//!   map, the free list, and the page count, ending in a self-digest.
+//!   It is rewritten whole and committed by atomic rename — the map is
+//!   the store's commit record.
+//!
+//! Writes are **shadow-paged**: a dirty logical block always lands on
+//! fresh physical pages (taken from the committed free list or by
+//! extending the file); the pages it previously occupied are parked in
+//! a *limbo* list and only join the free list once the new map commits.
+//! A crash at any point therefore leaves the old map pointing at
+//! untouched old pages — reload sees exactly the last committed state.
+//! Because blocks relocate physically on every rewrite while keeping
+//! their logical number, nothing above this layer holds a physical
+//! address (the same indirection argument as §9.2's descriptor
+//! location table).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::checksum::{sha256, sha256_hex};
+use crate::codec::{Reader, Writer};
+use crate::error::StorageError;
+use crate::vfs::Vfs;
+
+/// Size of one on-disk page, checksum header included.
+pub const PAGE_SIZE: usize = 4096;
+/// Bytes of the page reserved for the SHA-256 header.
+pub const PAGE_HEADER: usize = 32;
+/// Usable payload bytes per page.
+pub const PAGE_PAYLOAD: usize = PAGE_SIZE - PAGE_HEADER;
+
+const MAP_MAGIC: &[u8; 4] = b"XSPM";
+const MAP_VERSION: u32 = 1;
+
+/// One logical block's physical placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Placement {
+    /// Total payload bytes (may span pages; the last page is padded).
+    byte_len: u64,
+    /// The physical pages holding the payload, in order.
+    pages: Vec<u64>,
+}
+
+/// The durable part of a store: what the map file records.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct MapState {
+    blocks: BTreeMap<u64, Placement>,
+    free: BTreeSet<u64>,
+    page_count: u64,
+}
+
+impl MapState {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(MAP_MAGIC[0]);
+        w.u8(MAP_MAGIC[1]);
+        w.u8(MAP_MAGIC[2]);
+        w.u8(MAP_MAGIC[3]);
+        w.u32(MAP_VERSION);
+        w.u64(self.page_count);
+        w.u32(self.blocks.len() as u32);
+        for (&logical, placement) in &self.blocks {
+            w.u64(logical);
+            w.u64(placement.byte_len);
+            w.u32(placement.pages.len() as u32);
+            for &p in &placement.pages {
+                w.u64(p);
+            }
+        }
+        w.u32(self.free.len() as u32);
+        for &p in &self.free {
+            w.u64(p);
+        }
+        let mut bytes = w.into_bytes();
+        let digest = sha256(&bytes);
+        bytes.extend_from_slice(&digest);
+        bytes
+    }
+
+    fn decode(bytes: &[u8], what: &str) -> Result<MapState, StorageError> {
+        if bytes.len() < 32 {
+            return Err(StorageError::Corrupt(format!("{what}: shorter than its digest")));
+        }
+        let (body, recorded) = bytes.split_at(bytes.len() - 32);
+        let actual = sha256(body);
+        if actual != recorded {
+            return Err(StorageError::Corrupt(format!(
+                "{what}: map digest mismatch (recorded {}, bytes hash to {})",
+                hex(recorded),
+                sha256_hex(body)
+            )));
+        }
+        let mut r = Reader::new(body, what);
+        if r.take(4)? != MAP_MAGIC {
+            return Err(StorageError::Corrupt(format!("{what}: bad magic")));
+        }
+        let version = r.u32()?;
+        if version != MAP_VERSION {
+            return Err(StorageError::Corrupt(format!("{what}: unknown map version {version}")));
+        }
+        let page_count = r.u64()?;
+        let nblocks = r.u32()?;
+        let mut state = MapState { page_count, ..MapState::default() };
+        let mut used = BTreeSet::new();
+        for _ in 0..nblocks {
+            let logical = r.u64()?;
+            let byte_len = r.u64()?;
+            let npages = r.u32()? as usize;
+            let needed = pages_needed(byte_len);
+            if npages != needed {
+                return Err(StorageError::Corrupt(format!(
+                    "{what}: block {logical} records {npages} pages for {byte_len} bytes"
+                )));
+            }
+            let mut pages = Vec::with_capacity(npages);
+            for _ in 0..npages {
+                let p = r.u64()?;
+                if p >= page_count {
+                    return Err(StorageError::Corrupt(format!(
+                        "{what}: block {logical} references page {p} of {page_count}"
+                    )));
+                }
+                if !used.insert(p) {
+                    return Err(StorageError::Corrupt(format!(
+                        "{what}: page {p} referenced twice"
+                    )));
+                }
+                pages.push(p);
+            }
+            if state.blocks.insert(logical, Placement { byte_len, pages }).is_some() {
+                return Err(StorageError::Corrupt(format!(
+                    "{what}: logical block {logical} mapped twice"
+                )));
+            }
+        }
+        let nfree = r.u32()?;
+        for _ in 0..nfree {
+            let p = r.u64()?;
+            if p >= page_count {
+                return Err(StorageError::Corrupt(format!(
+                    "{what}: free list references page {p} of {page_count}"
+                )));
+            }
+            if used.contains(&p) || !state.free.insert(p) {
+                return Err(StorageError::Corrupt(format!(
+                    "{what}: page {p} both free and in use"
+                )));
+            }
+        }
+        r.finish()?;
+        Ok(state)
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Pages needed for a payload (at least one, even when empty).
+fn pages_needed(byte_len: u64) -> usize {
+    (byte_len as usize).div_ceil(PAGE_PAYLOAD).max(1)
+}
+
+/// A paged block store: checksummed fixed-size pages, a free list, and
+/// a logical→physical map committed by atomic rename of the map file.
+///
+/// The store itself holds no open file handles and no paths — every
+/// operation takes the [`Vfs`] and the file it applies to, so the same
+/// store value can follow its files through a staging-directory rename.
+#[derive(Debug, Clone, Default)]
+pub struct PageStore {
+    committed: MapState,
+    staged: MapState,
+    /// Pages vacated this session; they join `free` only at commit so
+    /// shadow allocation never overwrites a committed page.
+    limbo: BTreeSet<u64>,
+    dirty: bool,
+}
+
+impl PageStore {
+    /// A fresh, empty store (no files touched until the first write).
+    pub fn new() -> PageStore {
+        PageStore::default()
+    }
+
+    /// Open a store from its committed map file, verifying the map's
+    /// self-digest and internal consistency.
+    pub fn open(vfs: &dyn Vfs, map_path: &Path) -> Result<PageStore, StorageError> {
+        let bytes = vfs.read(map_path).map_err(|e| StorageError::io(map_path, e))?;
+        let committed = MapState::decode(&bytes, &map_path.display().to_string())?;
+        Ok(PageStore { staged: committed.clone(), committed, limbo: BTreeSet::new(), dirty: false })
+    }
+
+    /// Whether uncommitted block writes are pending.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Whether a logical block exists (staged view).
+    pub fn contains(&self, logical: u64) -> bool {
+        self.staged.blocks.contains_key(&logical)
+    }
+
+    /// Logical block numbers in the staged view.
+    pub fn logical_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.staged.blocks.keys().copied()
+    }
+
+    /// Physical pages the data file spans (staged view).
+    pub fn page_count(&self) -> u64 {
+        self.staged.page_count
+    }
+
+    /// Pages on the staged free list.
+    pub fn free_pages(&self) -> usize {
+        self.staged.free.len()
+    }
+
+    fn alloc_page(&mut self) -> u64 {
+        match self.staged.free.pop_first() {
+            Some(p) => p,
+            None => {
+                let p = self.staged.page_count;
+                self.staged.page_count += 1;
+                p
+            }
+        }
+    }
+
+    /// Write (or rewrite) a logical block's payload onto fresh pages.
+    /// Durable immediately, but invisible to readers of the committed
+    /// map until [`PageStore::commit`].
+    pub fn write_block(
+        &mut self,
+        vfs: &dyn Vfs,
+        data_path: &Path,
+        logical: u64,
+        payload: &[u8],
+    ) -> Result<(), StorageError> {
+        let obs = xsobs::global();
+        obs.incr(xsobs::CounterId::StoragePagesDirty);
+        let npages = pages_needed(payload.len() as u64);
+        let pages: Vec<u64> = (0..npages).map(|_| self.alloc_page()).collect();
+        for (i, &page) in pages.iter().enumerate() {
+            let chunk_start = i * PAGE_PAYLOAD;
+            let chunk_end = payload.len().min(chunk_start + PAGE_PAYLOAD);
+            let chunk = payload.get(chunk_start..chunk_end).unwrap_or(&[]);
+            let mut body = vec![0u8; PAGE_PAYLOAD];
+            body[..chunk.len()].copy_from_slice(chunk);
+            let mut bytes = Vec::with_capacity(PAGE_SIZE);
+            bytes.extend_from_slice(&sha256(&body));
+            bytes.extend_from_slice(&body);
+            vfs.write_at(data_path, page * PAGE_SIZE as u64, &bytes)
+                .map_err(|e| StorageError::io(data_path, e))?;
+            obs.incr(xsobs::CounterId::StoragePageWrites);
+        }
+        let old =
+            self.staged.blocks.insert(logical, Placement { byte_len: payload.len() as u64, pages });
+        if let Some(old) = old {
+            self.limbo.extend(old.pages);
+        }
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Read a logical block's payload (staged view), verifying every
+    /// page checksum on the way.
+    pub fn read_block(
+        &self,
+        vfs: &dyn Vfs,
+        data_path: &Path,
+        logical: u64,
+    ) -> Result<Vec<u8>, StorageError> {
+        let placement = self.staged.blocks.get(&logical).ok_or_else(|| {
+            StorageError::Corrupt(format!(
+                "{}: logical block {logical} is not mapped",
+                data_path.display()
+            ))
+        })?;
+        let mut payload = Vec::with_capacity(placement.byte_len as usize);
+        for &page in &placement.pages {
+            let body = read_page(vfs, data_path, page)?;
+            payload.extend_from_slice(&body);
+        }
+        payload.truncate(placement.byte_len as usize);
+        Ok(payload)
+    }
+
+    /// Commit all staged writes: atomically replace the map file (write
+    /// a sibling temp file, rename, fsync the directory) and recycle
+    /// the limbo pages. A clean store commits without touching disk.
+    ///
+    /// On error the committed state is unchanged and the staged writes
+    /// remain pending — a retry is safe because rewrites always target
+    /// fresh pages.
+    pub fn commit(&mut self, vfs: &dyn Vfs, map_path: &Path) -> Result<(), StorageError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        let mut next = self.staged.clone();
+        next.free.extend(self.limbo.iter().copied());
+        let bytes = next.encode();
+        let tmp = map_path.with_extension("xspm.tmp");
+        vfs.write(&tmp, &bytes).map_err(|e| StorageError::io(&tmp, e))?;
+        vfs.rename(&tmp, map_path).map_err(|e| StorageError::io(map_path, e))?;
+        if let Some(parent) = map_path.parent() {
+            vfs.sync_dir(parent).map_err(|e| StorageError::io(parent, e))?;
+        }
+        self.committed = next.clone();
+        self.staged = next;
+        self.limbo.clear();
+        self.dirty = false;
+        Ok(())
+    }
+}
+
+/// Read and verify one physical page, returning its payload bytes.
+fn read_page(vfs: &dyn Vfs, data_path: &Path, page: u64) -> Result<Vec<u8>, StorageError> {
+    let bytes = vfs
+        .read_at(data_path, page * PAGE_SIZE as u64, PAGE_SIZE)
+        .map_err(|e| StorageError::io(data_path, e))?;
+    let (header, body) = bytes.split_at(PAGE_HEADER);
+    let actual = sha256(body);
+    if actual != header {
+        return Err(StorageError::PageChecksum {
+            path: data_path.to_path_buf(),
+            page,
+            expected: hex(header),
+            actual: hex(&actual),
+        });
+    }
+    xsobs::global().incr(xsobs::CounterId::StoragePageReads);
+    Ok(body.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{FaultyVfs, StdVfs};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xsp-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn paths(dir: &Path) -> (PathBuf, PathBuf) {
+        (dir.join("d.xsp"), dir.join("d.xspm"))
+    }
+
+    #[test]
+    fn blocks_round_trip_across_reopen() {
+        let dir = temp_dir("roundtrip");
+        let (data, map) = paths(&dir);
+        let vfs = StdVfs;
+        let mut store = PageStore::new();
+        let big: Vec<u8> = (0..3 * PAGE_PAYLOAD + 17).map(|i| (i % 251) as u8).collect();
+        store.write_block(&vfs, &data, 0, b"catalog").unwrap();
+        store.write_block(&vfs, &data, 1, &big).unwrap();
+        store.write_block(&vfs, &data, 2, &[]).unwrap();
+        store.commit(&vfs, &map).unwrap();
+        let reopened = PageStore::open(&vfs, &map).unwrap();
+        assert_eq!(reopened.read_block(&vfs, &data, 0).unwrap(), b"catalog");
+        assert_eq!(reopened.read_block(&vfs, &data, 1).unwrap(), big);
+        assert_eq!(reopened.read_block(&vfs, &data, 2).unwrap(), Vec::<u8>::new());
+        assert!(reopened.read_block(&vfs, &data, 9).is_err(), "unmapped block");
+        assert_eq!(reopened.page_count(), 6, "1 + 4 + 1 pages");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rewrites_shadow_and_recycle_only_after_commit() {
+        let dir = temp_dir("shadow");
+        let (data, map) = paths(&dir);
+        let vfs = StdVfs;
+        let mut store = PageStore::new();
+        store.write_block(&vfs, &data, 0, b"v1").unwrap();
+        store.commit(&vfs, &map).unwrap();
+        // Rewrite: must land on a fresh page, old page in limbo.
+        store.write_block(&vfs, &data, 0, b"v2").unwrap();
+        assert_eq!(store.page_count(), 2);
+        assert_eq!(store.free_pages(), 0, "old page is in limbo, not free");
+        // The committed map on disk still reads v1.
+        let old_view = PageStore::open(&vfs, &map).unwrap();
+        assert_eq!(old_view.read_block(&vfs, &data, 0).unwrap(), b"v1");
+        store.commit(&vfs, &map).unwrap();
+        assert_eq!(store.free_pages(), 1, "old page recycled at commit");
+        // The next rewrite reuses the freed page instead of growing.
+        store.write_block(&vfs, &data, 0, b"v3").unwrap();
+        store.commit(&vfs, &map).unwrap();
+        assert_eq!(store.page_count(), 2);
+        assert_eq!(PageStore::open(&vfs, &map).unwrap().read_block(&vfs, &data, 0).unwrap(), b"v3");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_commit_is_a_no_op() {
+        let dir = temp_dir("clean");
+        let (data, map) = paths(&dir);
+        let mut store = PageStore::new();
+        store.write_block(&StdVfs, &data, 0, b"x").unwrap();
+        store.commit(&StdVfs, &map).unwrap();
+        let counting = FaultyVfs::counting();
+        store.commit(&counting, &map).unwrap();
+        assert_eq!(counting.ops(), 0, "clean commit touches nothing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_flipped_byte_in_a_page_is_detected() {
+        let dir = temp_dir("flip");
+        let (data, map) = paths(&dir);
+        let vfs = StdVfs;
+        let mut store = PageStore::new();
+        store.write_block(&vfs, &data, 7, b"sensitive payload").unwrap();
+        store.commit(&vfs, &map).unwrap();
+        let pristine = std::fs::read(&data).unwrap();
+        assert_eq!(pristine.len(), PAGE_SIZE);
+        for pos in [0, 1, 31, 32, 100, PAGE_SIZE - 1] {
+            let mut bytes = pristine.clone();
+            bytes[pos] ^= 0x40;
+            std::fs::write(&data, &bytes).unwrap();
+            match store.read_block(&vfs, &data, 7) {
+                Err(StorageError::PageChecksum { page, .. }) => assert_eq!(page, 0),
+                other => panic!("flip at {pos}: {other:?}"),
+            }
+        }
+        std::fs::write(&data, &pristine).unwrap();
+        assert!(store.read_block(&vfs, &data, 7).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn map_tampering_is_detected() {
+        let dir = temp_dir("map-flip");
+        let (data, map) = paths(&dir);
+        let vfs = StdVfs;
+        let mut store = PageStore::new();
+        store.write_block(&vfs, &data, 0, b"x").unwrap();
+        store.commit(&vfs, &map).unwrap();
+        let pristine = std::fs::read(&map).unwrap();
+        for pos in 0..pristine.len() {
+            let mut bytes = pristine.clone();
+            bytes[pos] ^= 0x01;
+            std::fs::write(&map, &bytes).unwrap();
+            assert!(
+                matches!(PageStore::open(&vfs, &map), Err(StorageError::Corrupt(_))),
+                "flip at {pos} not caught"
+            );
+        }
+        // Truncations too.
+        for keep in 0..pristine.len() {
+            std::fs::write(&map, &pristine[..keep]).unwrap();
+            assert!(PageStore::open(&vfs, &map).is_err(), "truncation to {keep}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crafted_maps_with_bad_structure_are_corrupt() {
+        // Structurally valid digests around hostile contents: the decoder
+        // must reject them with a typed error.
+        fn sealed(f: impl FnOnce(&mut Writer)) -> Vec<u8> {
+            let mut w = Writer::new();
+            w.u8(MAP_MAGIC[0]);
+            w.u8(MAP_MAGIC[1]);
+            w.u8(MAP_MAGIC[2]);
+            w.u8(MAP_MAGIC[3]);
+            w.u32(MAP_VERSION);
+            f(&mut w);
+            let mut bytes = w.into_bytes();
+            let digest = sha256(&bytes);
+            bytes.extend_from_slice(&digest);
+            bytes
+        }
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            (
+                "page out of range",
+                sealed(|w| {
+                    w.u64(1); // page_count
+                    w.u32(1); // one block
+                    w.u64(0); // logical
+                    w.u64(3); // byte_len
+                    w.u32(1); // npages
+                    w.u64(5); // page 5 of 1
+                    w.u32(0);
+                }),
+            ),
+            (
+                "page referenced twice",
+                sealed(|w| {
+                    w.u64(1);
+                    w.u32(2);
+                    w.u64(0);
+                    w.u64(1);
+                    w.u32(1);
+                    w.u64(0);
+                    w.u64(1); // second logical block
+                    w.u64(1);
+                    w.u32(1);
+                    w.u64(0); // same page
+                    w.u32(0);
+                }),
+            ),
+            (
+                "free and in use",
+                sealed(|w| {
+                    w.u64(1);
+                    w.u32(1);
+                    w.u64(0);
+                    w.u64(1);
+                    w.u32(1);
+                    w.u64(0);
+                    w.u32(1);
+                    w.u64(0);
+                }),
+            ),
+            (
+                "page count disagrees with byte_len",
+                sealed(|w| {
+                    w.u64(2);
+                    w.u32(1);
+                    w.u64(0);
+                    w.u64(10); // needs 1 page
+                    w.u32(2); // claims 2
+                    w.u64(0);
+                    w.u64(1);
+                    w.u32(0);
+                }),
+            ),
+        ];
+        for (what, bytes) in cases {
+            match MapState::decode(&bytes, "t") {
+                Err(StorageError::Corrupt(_)) => {}
+                other => panic!("{what}: {other:?}"),
+            }
+        }
+    }
+
+    /// Set up a committed store holding `b"old"` in a fresh subdir.
+    fn committed_old(dir: &Path, tag: &str) -> (PathBuf, PathBuf, PageStore) {
+        let sub = dir.join(tag);
+        std::fs::create_dir_all(&sub).unwrap();
+        let (data, map) = paths(&sub);
+        let mut store = PageStore::new();
+        store.write_block(&StdVfs, &data, 0, b"old").unwrap();
+        store.commit(&StdVfs, &map).unwrap();
+        (data, map, store)
+    }
+
+    #[test]
+    fn interrupted_commit_preserves_the_old_state_and_retries() {
+        let dir = temp_dir("crashy");
+        let vfs = StdVfs;
+        // Count the ops of one rewrite+commit, then fault each one.
+        let total = {
+            let (data, map, mut store) = committed_old(&dir, "probe");
+            let counting = FaultyVfs::counting();
+            store.write_block(&counting, &data, 0, b"new").unwrap();
+            store.commit(&counting, &map).unwrap();
+            counting.ops()
+        };
+        assert!(total >= 3, "rewrite+commit spans page write, map write, rename");
+        for k in 0..total {
+            let (data, map, mut store) = committed_old(&dir, &format!("crash-{k}"));
+            let faulty = FaultyVfs::crash_at(k);
+            let res = store
+                .write_block(&faulty, &data, 0, b"new")
+                .and_then(|()| store.commit(&faulty, &map));
+            let reopened = PageStore::open(&vfs, &map).unwrap();
+            let content = reopened.read_block(&vfs, &data, 0).unwrap();
+            if res.is_ok() {
+                assert_eq!(content, b"new", "crash at {k} after successful commit");
+            } else {
+                // Old or new (a crash after the map rename but before the
+                // directory fsync may still surface the new state) —
+                // never torn garbage.
+                assert!(content == b"old" || content == b"new", "crash at {k}: {content:?}");
+            }
+        }
+        for k in 0..total {
+            // Transient error: the same store value retries to success.
+            let (data, map, mut store) = committed_old(&dir, &format!("err-{k}"));
+            let flaky = FaultyVfs::error_at(k);
+            let res = store
+                .write_block(&flaky, &data, 0, b"new")
+                .and_then(|()| store.commit(&flaky, &map));
+            assert!(res.is_err(), "op {k} should have failed");
+            store.write_block(&vfs, &data, 0, b"new").unwrap();
+            store.commit(&vfs, &map).unwrap();
+            let after = PageStore::open(&vfs, &map).unwrap();
+            assert_eq!(after.read_block(&vfs, &data, 0).unwrap(), b"new", "retry after {k}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

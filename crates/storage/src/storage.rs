@@ -8,6 +8,7 @@ use xstypes::{AtomicValue, TypeRegistry};
 
 use crate::blocks::{BlockTable, DescPtr, NodeDescriptor};
 use crate::descriptive::{DescriptiveSchema, SchemaNodeId};
+use crate::error::StorageError;
 use crate::nid::{between_components, ComponentAllocator, Nid};
 
 /// The physical representation of one XML document, per §9: descriptive
@@ -38,6 +39,15 @@ impl XmlStorage {
     /// [`XmlStorage::from_tree`] with an explicit block capacity.
     pub fn from_tree_with_capacity(store: &NodeStore, doc: NodeId, capacity: u16) -> XmlStorage {
         assert!(capacity >= 2, "blocks must hold at least two descriptors");
+        XmlStorage::build_from_tree(store, doc, capacity)
+            .expect("a well-formed tree materializes without corruption")
+    }
+
+    fn build_from_tree(
+        store: &NodeStore,
+        doc: NodeId,
+        capacity: u16,
+    ) -> Result<XmlStorage, StorageError> {
         let (schema, mapping) = DescriptiveSchema::build(store, doc);
         let mut table = BlockTable::default();
         table.ensure_schema_capacity(&schema);
@@ -49,9 +59,10 @@ impl XmlStorage {
             base_uri: store.base_uri(doc).map(str::to_string),
             relabels: 0,
         };
+        let doc_sn = mapping[doc.index()].expect("doc mapped");
         let root_id = storage.table.mint_ptr();
         let root_ptr = storage.append_descriptor(
-            mapping[doc.index()].expect("doc mapped"),
+            doc_sn,
             NodeDescriptor {
                 id: root_id,
                 nid: Nid::root(),
@@ -60,14 +71,26 @@ impl XmlStorage {
                 right_sibling: None,
                 next_in_block: None,
                 prev_in_block: None,
-                first_child: storage.fresh_child_array(mapping[doc.index()].unwrap()),
+                first_child: storage.fresh_child_array(doc_sn),
                 text: None,
                 nilled: false,
             },
-        );
+        )?;
         storage.root = root_ptr;
-        storage.build_children(store, doc, root_ptr, &mapping);
-        storage
+        storage.build_children(store, doc, root_ptr, &mapping)?;
+        Ok(storage)
+    }
+
+    /// Reassemble a storage from decoded parts ([`crate::paged`] load).
+    pub(crate) fn from_parts(
+        schema: DescriptiveSchema,
+        table: BlockTable,
+        root: DescPtr,
+        capacity: u16,
+        base_uri: Option<String>,
+        relabels: u64,
+    ) -> XmlStorage {
+        XmlStorage { schema, table, root, capacity, base_uri, relabels }
     }
 
     fn fresh_child_array(&self, sn: SchemaNodeId) -> Box<[Option<DescPtr>]> {
@@ -80,7 +103,7 @@ impl XmlStorage {
         node: NodeId,
         node_ptr: DescPtr,
         mapping: &[Option<SchemaNodeId>],
-    ) {
+    ) -> Result<(), StorageError> {
         let mut alloc = ComponentAllocator::new();
         let parent_nid = self.table.desc(node_ptr).nid.clone();
         // Attributes first (§7: they precede the children in document
@@ -103,8 +126,8 @@ impl XmlStorage {
                     text: Some(store.string_value(attr)),
                     nilled: false,
                 },
-            );
-            self.link_first_child(node_ptr, sn, ptr);
+            )?;
+            self.link_first_child(node_ptr, sn, ptr)?;
         }
         let mut prev_child: Option<DescPtr> = None;
         for &child in store.children(node) {
@@ -126,58 +149,66 @@ impl XmlStorage {
                     text: is_text.then(|| store.string_value(child)),
                     nilled: store.nilled(child) == Some(true),
                 },
-            );
+            )?;
             if let Some(prev) = prev_child {
                 self.table.desc_mut(prev).right_sibling = Some(ptr);
             }
             prev_child = Some(ptr);
-            self.link_first_child(node_ptr, sn, ptr);
+            self.link_first_child(node_ptr, sn, ptr)?;
             if !is_text {
-                self.build_children(store, child, ptr, mapping);
+                self.build_children(store, child, ptr, mapping)?;
             }
         }
+        Ok(())
     }
 
     /// Record `ptr` as the parent's first child for schema child `sn`
     /// when it is the first (build appends in document order).
-    fn link_first_child(&mut self, parent: DescPtr, sn: SchemaNodeId, ptr: DescPtr) {
+    fn link_first_child(
+        &mut self,
+        parent: DescPtr,
+        sn: SchemaNodeId,
+        ptr: DescPtr,
+    ) -> Result<(), StorageError> {
         let parent_sn = self.table.schema_node_of(parent);
-        let pos = self
-            .schema
-            .node(parent_sn)
-            .children
-            .iter()
-            .position(|&c| c == sn)
-            .expect("schema child exists");
-        let slot = &mut self.table.desc_mut(parent).first_child[pos];
+        let pos = self.schema_child_pos(parent_sn, sn)?;
+        let desc = self.table.desc_mut(parent);
+        let slot = desc
+            .first_child
+            .get_mut(pos)
+            .ok_or_else(|| StorageError::corrupt("first-child array shorter than schema"))?;
         if slot.is_none() {
             *slot = Some(ptr);
         }
+        Ok(())
+    }
+
+    /// Position of `sn` in `parent_sn`'s schema-children list.
+    fn schema_child_pos(
+        &self,
+        parent_sn: SchemaNodeId,
+        sn: SchemaNodeId,
+    ) -> Result<usize, StorageError> {
+        self.schema.node(parent_sn).children.iter().position(|&c| c == sn).ok_or_else(|| {
+            StorageError::corrupt(format!("{sn} is not a schema child of {parent_sn}"))
+        })
     }
 
     /// Append a descriptor at the tail of its schema node's storage
     /// (build path: document order = append order).
-    fn append_descriptor(&mut self, sn: SchemaNodeId, desc: NodeDescriptor) -> DescPtr {
+    fn append_descriptor(
+        &mut self,
+        sn: SchemaNodeId,
+        desc: NodeDescriptor,
+    ) -> Result<DescPtr, StorageError> {
         let block_idx = match self.table.last_block(sn) {
             Some(b) if !self.table.block(b).is_full() => b,
             _ => self.table.append_block(sn, self.capacity),
         };
         let ptr = desc.id;
-        let block = self.table.block_mut(block_idx);
-        let slot = block.free_slot().expect("block has space");
-        let mut desc = desc;
-        desc.prev_in_block = block.last_slot;
-        desc.next_in_block = None;
-        block.slots[slot as usize] = Some(desc);
-        if let Some(last) = block.last_slot {
-            block.slots[last as usize].as_mut().unwrap().next_in_block = Some(slot);
-        } else {
-            block.first_slot = Some(slot);
-        }
-        block.last_slot = Some(slot);
-        block.count += 1;
-        self.table.locations[ptr.0 as usize] = Some((block_idx, slot));
-        ptr
+        let slot = self.table.block_mut(block_idx).push_tail(desc)?;
+        self.table.set_location(ptr, Some((block_idx, slot)));
+        Ok(ptr)
     }
 
     // ------------------------------------------------------------ access
@@ -220,6 +251,25 @@ impl XmlStorage {
     /// Number of allocated blocks.
     pub fn block_count(&self) -> usize {
         self.table.blocks.len()
+    }
+
+    /// Monotonic mutation tick: advances on every structural or content
+    /// change. An incremental save ([`crate::paged`]) remembers the tick
+    /// it persisted at and later writes only the state dirtied past it.
+    pub fn tick(&self) -> u64 {
+        self.table.tick
+    }
+
+    pub(crate) fn table(&self) -> &BlockTable {
+        &self.table
+    }
+
+    pub(crate) fn block_capacity(&self) -> u16 {
+        self.capacity
+    }
+
+    pub(crate) fn doc_base_uri(&self) -> Option<&str> {
+        self.base_uri.as_deref()
     }
 
     // ------------------------------------------- the ten §5 accessors
@@ -415,22 +465,30 @@ impl XmlStorage {
 
     /// Insert a new element under `parent` after sibling `after`
     /// (`None` = as first child). Returns the new descriptor.
+    ///
+    /// # Errors
+    /// [`StorageError::Corrupt`] when the storage's §9.2 structures are
+    /// inconsistent (possible only for storages decoded from damaged
+    /// pages) or `after` is not a child of `parent`.
     pub fn insert_element(
         &mut self,
         parent: DescPtr,
         after: Option<DescPtr>,
         name: &str,
-    ) -> DescPtr {
+    ) -> Result<DescPtr, StorageError> {
         self.insert_child(parent, after, Some(name.to_string()), NodeKind::Element, None)
     }
 
     /// Insert a new text node under `parent` after `after`.
+    ///
+    /// # Errors
+    /// As for [`XmlStorage::insert_element`].
     pub fn insert_text(
         &mut self,
         parent: DescPtr,
         after: Option<DescPtr>,
         value: impl Into<String>,
-    ) -> DescPtr {
+    ) -> Result<DescPtr, StorageError> {
         self.insert_child(parent, after, None, NodeKind::Text, Some(value.into()))
     }
 
@@ -441,9 +499,11 @@ impl XmlStorage {
         name: Option<String>,
         kind: NodeKind,
         text: Option<String>,
-    ) -> DescPtr {
+    ) -> Result<DescPtr, StorageError> {
         if let Some(a) = after {
-            assert_eq!(self.table.desc(a).parent, Some(parent), "`after` must be a child");
+            if self.table.desc(a).parent != Some(parent) {
+                return Err(StorageError::corrupt(format!("{a} is not a child of {parent}")));
+            }
         }
         let parent_sn = self.schema_node_of(parent);
         let sn = self.ensure_schema_child(parent_sn, name.clone(), kind);
@@ -470,7 +530,7 @@ impl XmlStorage {
             text,
             nilled: false,
         };
-        let ptr = self.place_ordered(sn, desc);
+        let ptr = self.place_ordered(sn, desc)?;
         // Stitch the sibling chain.
         if let Some(l) = left {
             self.table.desc_mut(l).right_sibling = Some(ptr);
@@ -479,17 +539,25 @@ impl XmlStorage {
             self.table.desc_mut(r).left_sibling = Some(ptr);
         }
         // Maintain the parent's first-child pointer for this schema child.
-        self.refresh_first_child(parent, sn, ptr);
-        ptr
+        self.refresh_first_child(parent, sn, ptr)?;
+        Ok(ptr)
     }
 
     /// Insert (or replace) an attribute on `parent`.
-    pub fn insert_attribute(&mut self, parent: DescPtr, name: &str, value: &str) -> DescPtr {
+    ///
+    /// # Errors
+    /// As for [`XmlStorage::insert_element`].
+    pub fn insert_attribute(
+        &mut self,
+        parent: DescPtr,
+        name: &str,
+        value: &str,
+    ) -> Result<DescPtr, StorageError> {
         let parent_sn = self.schema_node_of(parent);
         let sn = self.ensure_schema_child(parent_sn, Some(name.to_string()), NodeKind::Attribute);
         if let Some(existing) = self.attribute_named(parent, name) {
             self.table.desc_mut(existing).text = Some(value.to_string());
-            return existing;
+            return Ok(existing);
         }
         // Attributes precede children: label below the first child, after
         // the last existing attribute.
@@ -512,9 +580,9 @@ impl XmlStorage {
             text: Some(value.to_string()),
             nilled: false,
         };
-        let ptr = self.place_ordered(sn, desc);
-        self.refresh_first_child(parent, sn, ptr);
-        ptr
+        let ptr = self.place_ordered(sn, desc)?;
+        self.refresh_first_child(parent, sn, ptr)?;
+        Ok(ptr)
     }
 
     /// The attribute of `p` with the given name.
@@ -524,26 +592,32 @@ impl XmlStorage {
 
     /// Replace the text content of a text or attribute descriptor.
     ///
-    /// # Panics
-    /// If `p` is not a text-enabled node (element and document nodes
-    /// have no own text, §9.2).
-    pub fn set_text(&mut self, p: DescPtr, value: impl Into<String>) {
-        assert!(
-            matches!(self.kind(p), NodeKind::Text | NodeKind::Attribute),
-            "set_text applies to text-enabled nodes"
-        );
+    /// # Errors
+    /// [`StorageError::Corrupt`] when `p` is not a text-enabled node
+    /// (element and document nodes have no own text, §9.2).
+    pub fn set_text(&mut self, p: DescPtr, value: impl Into<String>) -> Result<(), StorageError> {
+        if !matches!(self.kind(p), NodeKind::Text | NodeKind::Attribute) {
+            return Err(StorageError::corrupt(format!("{p}: set_text on a non-text node")));
+        }
         self.table.desc_mut(p).text = Some(value.into());
+        Ok(())
     }
 
     /// Delete the subtree rooted at `p` (not the document root).
-    pub fn delete(&mut self, p: DescPtr) {
-        assert_ne!(p, self.root, "cannot delete the document node");
+    ///
+    /// # Errors
+    /// [`StorageError::Corrupt`] when `p` is the document node or the
+    /// storage's structures are inconsistent.
+    pub fn delete(&mut self, p: DescPtr) -> Result<(), StorageError> {
+        if p == self.root {
+            return Err(StorageError::corrupt("cannot delete the document node"));
+        }
         // Children and attributes first.
         for a in self.attributes(p) {
-            self.delete_leafward(a);
+            self.delete_leafward(a)?;
         }
         for c in self.children(p) {
-            self.delete(c);
+            self.delete(c)?;
         }
         // Unlink from siblings.
         let desc = self.table.desc(p).clone();
@@ -559,17 +633,17 @@ impl XmlStorage {
             let replacement = desc.right_sibling.filter(|&r| self.schema_node_of(r) == sn);
             self.set_first_child_entry(parent, sn, p, replacement);
         }
-        self.free_slot(p);
+        self.free_slot(p)
     }
 
     /// Delete a leaf (attribute or already-childless node).
-    fn delete_leafward(&mut self, p: DescPtr) {
+    fn delete_leafward(&mut self, p: DescPtr) -> Result<(), StorageError> {
         let desc = self.table.desc(p).clone();
         if let Some(parent) = desc.parent {
             let sn = self.schema_node_of(p);
             self.set_first_child_entry(parent, sn, p, None);
         }
-        self.free_slot(p);
+        self.free_slot(p)
     }
 
     fn set_first_child_entry(
@@ -590,16 +664,21 @@ impl XmlStorage {
 
     /// When inserting `ptr`, update the parent's first-child pointer if
     /// the new node now precedes the recorded first child.
-    fn refresh_first_child(&mut self, parent: DescPtr, sn: SchemaNodeId, ptr: DescPtr) {
+    fn refresh_first_child(
+        &mut self,
+        parent: DescPtr,
+        sn: SchemaNodeId,
+        ptr: DescPtr,
+    ) -> Result<(), StorageError> {
         let parent_sn = self.schema_node_of(parent);
-        let pos = self
-            .schema
-            .node(parent_sn)
-            .children
-            .iter()
-            .position(|&c| c == sn)
-            .expect("schema child exists");
-        let current = self.table.desc(parent).first_child[pos];
+        let pos = self.schema_child_pos(parent_sn, sn)?;
+        let current = self
+            .table
+            .desc(parent)
+            .first_child
+            .get(pos)
+            .copied()
+            .ok_or_else(|| StorageError::corrupt("first-child array shorter than schema"))?;
         let replace = match current {
             None => true,
             Some(cur) => self.nid(ptr).cmp_doc_order(self.nid(cur)) == Ordering::Less,
@@ -607,27 +686,15 @@ impl XmlStorage {
         if replace {
             self.table.desc_mut(parent).first_child[pos] = Some(ptr);
         }
+        Ok(())
     }
 
     /// Free a slot and unlink it from its block chain.
-    fn free_slot(&mut self, p: DescPtr) {
+    fn free_slot(&mut self, p: DescPtr) -> Result<(), StorageError> {
         let (block_idx, slot) = self.table.location(p);
-        let block = self.table.block_mut(block_idx);
-        let desc = block.slots[slot as usize].take().expect("live descriptor");
-        match desc.prev_in_block {
-            Some(prev) => {
-                block.slots[prev as usize].as_mut().unwrap().next_in_block = desc.next_in_block
-            }
-            None => block.first_slot = desc.next_in_block,
-        }
-        match desc.next_in_block {
-            Some(next) => {
-                block.slots[next as usize].as_mut().unwrap().prev_in_block = desc.prev_in_block
-            }
-            None => block.last_slot = desc.prev_in_block,
-        }
-        block.count -= 1;
-        self.table.locations[p.0 as usize] = None;
+        self.table.block_mut(block_idx).unlink(slot)?;
+        self.table.set_location(p, None);
+        Ok(())
     }
 
     /// A label for a new child of `parent` strictly between siblings
@@ -648,7 +715,11 @@ impl XmlStorage {
     /// Place a descriptor into the correct block of its schema node,
     /// maintaining the §9.2 inter-block partial order; splits a full
     /// block rather than relabeling anything.
-    fn place_ordered(&mut self, sn: SchemaNodeId, desc: NodeDescriptor) -> DescPtr {
+    fn place_ordered(
+        &mut self,
+        sn: SchemaNodeId,
+        desc: NodeDescriptor,
+    ) -> Result<DescPtr, StorageError> {
         // Fast path: appends (and near-appends) land in the last block —
         // checking it first keeps sequential insertion O(1) per insert
         // instead of O(#blocks).
@@ -684,10 +755,14 @@ impl XmlStorage {
             None => self.table.append_block(sn, self.capacity),
         };
         let block_idx = if self.table.block(block_idx).is_full() {
-            self.split_block(block_idx);
+            self.split_block(block_idx)?;
             // After the split, re-decide between the two halves.
             let first_half = block_idx;
-            let second_half = self.table.block(block_idx).next_block.expect("split created it");
+            let second_half = self
+                .table
+                .block(block_idx)
+                .next_block
+                .ok_or_else(|| StorageError::corrupt("split produced no second block"))?;
             match self.table.block(first_half).max_nid() {
                 Some(max) if *max >= desc.nid => first_half,
                 _ => second_half,
@@ -700,7 +775,11 @@ impl XmlStorage {
 
     /// Insert into a non-full block, keeping the intra-block chain in nid
     /// order.
-    fn insert_into_block(&mut self, block_idx: u32, desc: NodeDescriptor) -> DescPtr {
+    fn insert_into_block(
+        &mut self,
+        block_idx: u32,
+        desc: NodeDescriptor,
+    ) -> Result<DescPtr, StorageError> {
         let ptr = desc.id;
         let block = self.table.block(block_idx);
         // Find chain position: the first chained slot with a larger nid.
@@ -708,7 +787,9 @@ impl XmlStorage {
         let mut after: Option<u16> = None;
         let mut cursor = block.first_slot;
         while let Some(slot) = cursor {
-            let d = block.slots[slot as usize].as_ref().expect("chained slot");
+            let d = block.slots.get(slot as usize).and_then(|s| s.as_ref()).ok_or_else(|| {
+                StorageError::corrupt(format!("block {block_idx}: dead slot {slot} in chain"))
+            })?;
             if d.nid > desc.nid {
                 before = Some(slot);
                 break;
@@ -716,30 +797,16 @@ impl XmlStorage {
             after = Some(slot);
             cursor = d.next_in_block;
         }
-        let block = self.table.block_mut(block_idx);
-        let slot = block.free_slot().expect("caller guarantees space");
-        let mut desc = desc;
-        desc.prev_in_block = after;
-        desc.next_in_block = before;
-        block.slots[slot as usize] = Some(desc);
-        match after {
-            Some(a) => block.slots[a as usize].as_mut().unwrap().next_in_block = Some(slot),
-            None => block.first_slot = Some(slot),
-        }
-        match before {
-            Some(b) => block.slots[b as usize].as_mut().unwrap().prev_in_block = Some(slot),
-            None => block.last_slot = Some(slot),
-        }
-        block.count += 1;
-        self.table.locations[ptr.0 as usize] = Some((block_idx, slot));
-        ptr
+        let slot = self.table.block_mut(block_idx).insert_chained(desc, after, before)?;
+        self.table.set_location(ptr, Some((block_idx, slot)));
+        Ok(ptr)
     }
 
     /// Split a full block: move the upper half (by document order) into a
     /// fresh block spliced right after. Indirect addressing means no
     /// pointer — internal or caller-held — is invalidated, and no label
     /// changes.
-    fn split_block(&mut self, block_idx: u32) {
+    fn split_block(&mut self, block_idx: u32) -> Result<(), StorageError> {
         let new_idx = self.table.insert_block_after(block_idx, self.capacity);
         let ordered_slots: Vec<u16> = {
             let block = self.table.block(block_idx);
@@ -747,45 +814,29 @@ impl XmlStorage {
             let mut cursor = block.first_slot;
             while let Some(slot) = cursor {
                 v.push(slot);
-                cursor = block.slots[slot as usize].as_ref().expect("chained").next_in_block;
+                cursor = block
+                    .slots
+                    .get(slot as usize)
+                    .and_then(|s| s.as_ref())
+                    .ok_or_else(|| {
+                        StorageError::corrupt(format!(
+                            "block {block_idx}: dead slot {slot} in chain"
+                        ))
+                    })?
+                    .next_in_block;
             }
             v
         };
         let keep = ordered_slots.len() / 2;
         for &slot in &ordered_slots[keep..] {
-            // Remove from the old chain + slot.
-            let block = self.table.block_mut(block_idx);
-            let desc = block.slots[slot as usize].take().expect("live");
-            match desc.prev_in_block {
-                Some(prev) => {
-                    block.slots[prev as usize].as_mut().unwrap().next_in_block = desc.next_in_block
-                }
-                None => block.first_slot = desc.next_in_block,
-            }
-            match desc.next_in_block {
-                Some(next) => {
-                    block.slots[next as usize].as_mut().unwrap().prev_in_block = desc.prev_in_block
-                }
-                None => block.last_slot = desc.prev_in_block,
-            }
-            block.count -= 1;
-            // Append at the tail of the new block (order preserved).
+            // Move from the old chain + slot to the tail of the new block
+            // (order preserved).
+            let desc = self.table.block_mut(block_idx).unlink(slot)?;
             let ptr = desc.id;
-            let new_block = self.table.block_mut(new_idx);
-            let new_slot = new_block.free_slot().expect("fresh block");
-            let mut desc = desc;
-            desc.prev_in_block = new_block.last_slot;
-            desc.next_in_block = None;
-            new_block.slots[new_slot as usize] = Some(desc);
-            if let Some(last) = new_block.last_slot {
-                new_block.slots[last as usize].as_mut().unwrap().next_in_block = Some(new_slot);
-            } else {
-                new_block.first_slot = Some(new_slot);
-            }
-            new_block.last_slot = Some(new_slot);
-            new_block.count += 1;
-            self.table.locations[ptr.0 as usize] = Some((new_idx, new_slot));
+            let new_slot = self.table.block_mut(new_idx).push_tail(desc)?;
+            self.table.set_location(ptr, Some((new_idx, new_slot)));
         }
+        Ok(())
     }
 
     /// Register a (possibly new) schema child under `parent_sn`.
@@ -1015,9 +1066,9 @@ mod tests {
         let kids = xs.children(lib);
         let first_book = kids[0];
         // New book between book 1 and book 2.
-        let nb = xs.insert_element(lib, Some(first_book), "book");
-        let t = xs.insert_element(nb, None, "title");
-        xs.insert_text(t, None, "Transaction Processing");
+        let nb = xs.insert_element(lib, Some(first_book), "book").unwrap();
+        let t = xs.insert_element(nb, None, "title").unwrap();
+        xs.insert_text(t, None, "Transaction Processing").unwrap();
         assert_eq!(xs.check_invariants(), None);
         assert_eq!(xs.relabel_count(), 0);
         let kids = xs.children(lib);
@@ -1043,7 +1094,7 @@ mod tests {
         let (store, doc) = library();
         let mut xs = XmlStorage::from_tree(&store, doc);
         let lib = xs.children(xs.root())[0];
-        let nb = xs.insert_element(lib, None, "book");
+        let nb = xs.insert_element(lib, None, "book").unwrap();
         assert_eq!(xs.children(lib)[0], nb);
         assert_eq!(xs.check_invariants(), None);
     }
@@ -1054,7 +1105,7 @@ mod tests {
         let mut xs = XmlStorage::from_tree(&store, doc);
         let lib = xs.children(xs.root())[0];
         let book = xs.children(lib)[0];
-        let a = xs.insert_attribute(book, "id", "b1");
+        let a = xs.insert_attribute(book, "id", "b1").unwrap();
         assert_eq!(xs.attribute_named(book, "id"), Some(a));
         assert_eq!(xs.string_value(a), "b1");
         assert_eq!(xs.node_kind(a), "attribute");
@@ -1064,7 +1115,7 @@ mod tests {
         assert_eq!(xs.cmp_doc_order(book, a), Ordering::Less);
         assert_eq!(xs.check_invariants(), None);
         // Setting the same attribute again replaces the value.
-        let a2 = xs.insert_attribute(book, "id", "b99");
+        let a2 = xs.insert_attribute(book, "id", "b99").unwrap();
         assert_eq!(a, a2);
         assert_eq!(xs.string_value(a), "b99");
     }
@@ -1077,7 +1128,7 @@ mod tests {
         let lib = xs.children(xs.root())[0];
         let first_book = xs.children(lib)[0];
         let first_size = xs.subtree(first_book).len();
-        xs.delete(first_book);
+        xs.delete(first_book).unwrap();
         assert_eq!(xs.len(), before - first_size);
         assert_eq!(xs.check_invariants(), None);
         let kids = xs.children(lib);
@@ -1092,9 +1143,9 @@ mod tests {
         let lib = xs.children(xs.root())[0];
         // Hammer inserts at the front to force splits in the book blocks.
         for i in 0..20 {
-            let nb = xs.insert_element(lib, None, "book");
-            let t = xs.insert_element(nb, None, "title");
-            xs.insert_text(t, None, format!("new {i}"));
+            let nb = xs.insert_element(lib, None, "book").unwrap();
+            let t = xs.insert_element(nb, None, "title").unwrap();
+            xs.insert_text(t, None, format!("new {i}")).unwrap();
             assert_eq!(xs.check_invariants(), None, "after insert {i}");
         }
         assert_eq!(xs.relabel_count(), 0);
@@ -1115,7 +1166,7 @@ mod tests {
         // 50 inserts at the same position (worst case for Dewey).
         let anchor = xs.children(lib)[0];
         for _ in 0..50 {
-            xs.insert_element(lib, Some(anchor), "book");
+            xs.insert_element(lib, Some(anchor), "book").unwrap();
         }
         // Labels that existed before are byte-identical afterwards.
         for (p, nid) in &before {
@@ -1135,8 +1186,8 @@ mod tests {
         let lib = xs.children(xs.root())[0];
         let book = xs.children(lib)[0];
         assert!(xs.schema().resolve_path(&["library", "book", "isbn"]).is_none());
-        let isbn = xs.insert_element(book, xs.children(book).last().copied(), "isbn");
-        xs.insert_text(isbn, None, "0-201-53771-0");
+        let isbn = xs.insert_element(book, xs.children(book).last().copied(), "isbn").unwrap();
+        xs.insert_text(isbn, None, "0-201-53771-0").unwrap();
         let sn = xs.schema().resolve_path(&["library", "book", "isbn"]).unwrap();
         assert_eq!(xs.scan(sn), vec![isbn]);
         assert_eq!(xs.check_invariants(), None);
@@ -1178,7 +1229,7 @@ mod indirection_tests {
         let held: Vec<DescPtr> = xs.children(lib_d); // hold across splits
         let held_values: Vec<String> = held.iter().map(|&p| xs.string_value(p)).collect();
         for _ in 0..200 {
-            xs.insert_element(lib_d, None, "book");
+            xs.insert_element(lib_d, None, "book").unwrap();
             assert_eq!(xs.check_invariants(), None);
         }
         // Every held pointer still resolves to the same node.
@@ -1196,7 +1247,7 @@ mod indirection_tests {
         let lib = xs.children(xs.root())[0];
         let anchor = xs.children(lib)[0];
         for i in 0..500 {
-            xs.insert_element(lib, Some(anchor), "book");
+            xs.insert_element(lib, Some(anchor), "book").unwrap();
             if i % 100 == 0 {
                 assert_eq!(xs.check_invariants(), None, "iteration {i}");
             }

@@ -1,25 +1,31 @@
-//! A small virtual filesystem behind the persistence layer.
+//! A small virtual filesystem behind the persistence layers.
 //!
-//! [`Database::save_dir`](crate::Database::save_dir) and
-//! [`Database::load_dir`](crate::Database::load_dir) never touch
-//! `std::fs` directly — every operation goes through a [`Vfs`], so the
+//! Neither the page store ([`crate::pages`]) nor the database
+//! `save_dir`/`load_dir` paths in the core crate touch `std::fs`
+//! directly — every operation goes through a [`Vfs`], so the
 //! crash-matrix tests can substitute [`FaultyVfs`] and fail or "crash"
 //! the save at any chosen syscall. [`StdVfs`] is the real
 //! implementation; its `write` fsyncs the file before returning and
 //! `sync_dir` fsyncs a directory, which is what makes the rename-commit
-//! protocol in `persist.rs` durable rather than merely atomic.
+//! protocol durable rather than merely atomic.
+//!
+//! The positioned operations (`read_at` / `write_at` / `file_len`) are
+//! what the paged layer is built on: a single-node update touches a
+//! handful of page-sized `write_at` calls instead of rewriting whole
+//! files. They have conservative whole-file default implementations so
+//! a [`Vfs`] written before pages existed keeps working unchanged.
 
 use std::fs;
-use std::io::{self, Write as _};
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-/// Filesystem operations needed by the persistence layer.
+/// Filesystem operations needed by the persistence layers.
 ///
 /// All operations are fallible; implementations must not panic. `write`
-/// is required to be durable (data reaches the device before it
-/// returns), and `rename` is required to be atomic — the two properties
-/// the commit protocol is built on.
+/// and `write_at` are required to be durable (data reaches the device
+/// before they return), and `rename` is required to be atomic — the
+/// properties the commit protocols are built on.
 pub trait Vfs: std::fmt::Debug {
     /// Create a directory and all missing parents.
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
@@ -39,6 +45,41 @@ pub trait Vfs: std::fmt::Debug {
     fn sync_dir(&self, path: &Path) -> io::Result<()>;
     /// Whether a path exists (never errors; failures read as absent).
     fn exists(&self, path: &Path) -> bool;
+
+    /// Write `data` at byte `offset`, creating the file if missing and
+    /// extending it if the write reaches past the end; fsyncs. The
+    /// default implementation splices into a whole-file rewrite.
+    fn write_at(&self, path: &Path, offset: u64, data: &[u8]) -> io::Result<()> {
+        let mut bytes = if self.exists(path) { self.read(path)? } else { Vec::new() };
+        let offset = usize::try_from(offset)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "offset overflow"))?;
+        let end = offset
+            .checked_add(data.len())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "offset overflow"))?;
+        if bytes.len() < end {
+            bytes.resize(end, 0);
+        }
+        bytes[offset..end].copy_from_slice(data);
+        self.write(path, &bytes)
+    }
+
+    /// Read exactly `len` bytes at byte `offset` (erring with
+    /// `UnexpectedEof` when the file is shorter).
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let bytes = self.read(path)?;
+        let offset = usize::try_from(offset)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "offset overflow"))?;
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "read past end of file"))?;
+        Ok(bytes[offset..end].to_vec())
+    }
+
+    /// Current length of a file in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(self.read(path)?.len() as u64)
+    }
 }
 
 /// The real filesystem.
@@ -93,6 +134,30 @@ impl Vfs for StdVfs {
     fn exists(&self, path: &Path) -> bool {
         path.exists()
     }
+
+    fn write_at(&self, path: &Path, offset: u64, data: &[u8]) -> io::Result<()> {
+        // Positioned write into an existing (or growing) file — the
+        // rest of the file must survive, so explicitly no truncation.
+        let mut file =
+            fs::OpenOptions::new().write(true).create(true).truncate(false).open(path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(data)?;
+        file.sync_all()?;
+        xsobs::global().incr(xsobs::CounterId::PersistFsyncs);
+        Ok(())
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let mut file = fs::File::open(path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
 }
 
 /// How [`FaultyVfs`] misbehaves once its fault point is reached.
@@ -110,15 +175,17 @@ pub enum FaultMode {
 /// Deterministic fault injection over [`StdVfs`].
 ///
 /// Counts operations and injects a fault at operation index `fault_at`
-/// (0-based). With [`FaultMode::Crash`], a faulting `write` leaves a
-/// *torn* file behind — half the bytes — which is exactly the state a
-/// power cut can produce and what the manifest checksums must catch.
+/// (0-based). With [`FaultMode::Crash`], a faulting `write` (or
+/// `write_at`) leaves a *torn* file behind — half the bytes — which is
+/// exactly the state a power cut can produce and what the page/manifest
+/// checksums must catch.
 #[derive(Debug)]
 pub struct FaultyVfs {
     inner: StdVfs,
     fault_at: u64,
     mode: FaultMode,
     ops: AtomicU64,
+    write_ops: AtomicU64,
     crashed: AtomicBool,
 }
 
@@ -130,6 +197,7 @@ impl FaultyVfs {
             fault_at,
             mode: FaultMode::Error,
             ops: AtomicU64::new(0),
+            write_ops: AtomicU64::new(0),
             crashed: AtomicBool::new(false),
         }
     }
@@ -141,6 +209,7 @@ impl FaultyVfs {
             fault_at,
             mode: FaultMode::Crash,
             ops: AtomicU64::new(0),
+            write_ops: AtomicU64::new(0),
             crashed: AtomicBool::new(false),
         }
     }
@@ -154,6 +223,13 @@ impl FaultyVfs {
     /// Operations attempted so far.
     pub fn ops(&self) -> u64 {
         self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Mutating operations attempted so far (`create_dir_all`, `write`,
+    /// `write_at`, `rename`, `remove_file`, `remove_dir_all`). A clean
+    /// re-save must leave this at zero.
+    pub fn write_ops(&self) -> u64 {
+        self.write_ops.load(Ordering::SeqCst)
     }
 
     /// Whether the simulated crash has happened.
@@ -179,16 +255,22 @@ impl FaultyVfs {
         }
         Ok(())
     }
+
+    /// A mutating operation is being attempted (faulting or not).
+    fn tick_write(&self) -> io::Result<()> {
+        self.write_ops.fetch_add(1, Ordering::SeqCst);
+        self.tick()
+    }
 }
 
 impl Vfs for FaultyVfs {
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
-        self.tick()?;
+        self.tick_write()?;
         self.inner.create_dir_all(path)
     }
 
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
-        match self.tick() {
+        match self.tick_write() {
             Ok(()) => self.inner.write(path, data),
             Err(e) => {
                 // A crashing write tears: a prefix of the data lands on
@@ -207,17 +289,17 @@ impl Vfs for FaultyVfs {
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        self.tick()?;
+        self.tick_write()?;
         self.inner.rename(from, to)
     }
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
-        self.tick()?;
+        self.tick_write()?;
         self.inner.remove_file(path)
     }
 
     fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
-        self.tick()?;
+        self.tick_write()?;
         self.inner.remove_dir_all(path)
     }
 
@@ -236,6 +318,30 @@ impl Vfs for FaultyVfs {
         // doesn't observe anything, and the crash matrix only needs
         // mutating/reading operations to be enumerable.
         self.inner.exists(path)
+    }
+
+    fn write_at(&self, path: &Path, offset: u64, data: &[u8]) -> io::Result<()> {
+        match self.tick_write() {
+            Ok(()) => self.inner.write_at(path, offset, data),
+            Err(e) => {
+                // A crashing positioned write tears the same way a
+                // whole-file one does: half the bytes land at `offset`.
+                if self.mode == FaultMode::Crash && self.crashed() {
+                    let _ = StdVfs.write_at(path, offset, &data[..data.len() / 2]);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        self.tick()?;
+        self.inner.read_at(path, offset, len)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.tick()?;
+        self.inner.file_len(path)
     }
 }
 
@@ -272,6 +378,66 @@ mod tests {
     }
 
     #[test]
+    fn positioned_ops_round_trip_and_extend() {
+        let dir = temp_dir("at");
+        let vfs = StdVfs;
+        let file = dir.join("pages.bin");
+        vfs.write_at(&file, 0, b"aaaa").unwrap();
+        vfs.write_at(&file, 8, b"bbbb").unwrap(); // extends with a hole
+        assert_eq!(vfs.file_len(&file).unwrap(), 12);
+        vfs.write_at(&file, 2, b"XX").unwrap(); // in-place overwrite
+        assert_eq!(vfs.read_at(&file, 0, 4).unwrap(), b"aaXX");
+        assert_eq!(vfs.read_at(&file, 8, 4).unwrap(), b"bbbb");
+        assert!(vfs.read_at(&file, 10, 4).is_err(), "short read is an error");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn default_positioned_ops_match_the_overrides() {
+        // A Vfs with only the nine base operations gets working
+        // positioned ops for free.
+        #[derive(Debug)]
+        struct Basic(StdVfs);
+        impl Vfs for Basic {
+            fn create_dir_all(&self, p: &Path) -> io::Result<()> {
+                self.0.create_dir_all(p)
+            }
+            fn write(&self, p: &Path, d: &[u8]) -> io::Result<()> {
+                self.0.write(p, d)
+            }
+            fn read(&self, p: &Path) -> io::Result<Vec<u8>> {
+                self.0.read(p)
+            }
+            fn rename(&self, a: &Path, b: &Path) -> io::Result<()> {
+                self.0.rename(a, b)
+            }
+            fn remove_file(&self, p: &Path) -> io::Result<()> {
+                self.0.remove_file(p)
+            }
+            fn remove_dir_all(&self, p: &Path) -> io::Result<()> {
+                self.0.remove_dir_all(p)
+            }
+            fn read_dir(&self, p: &Path) -> io::Result<Vec<PathBuf>> {
+                self.0.read_dir(p)
+            }
+            fn sync_dir(&self, p: &Path) -> io::Result<()> {
+                self.0.sync_dir(p)
+            }
+            fn exists(&self, p: &Path) -> bool {
+                self.0.exists(p)
+            }
+        }
+        let dir = temp_dir("default-at");
+        let vfs = Basic(StdVfs);
+        let file = dir.join("f");
+        vfs.write_at(&file, 3, b"xyz").unwrap();
+        assert_eq!(vfs.file_len(&file).unwrap(), 6);
+        assert_eq!(vfs.read_at(&file, 0, 6).unwrap(), b"\0\0\0xyz");
+        assert!(vfs.read_at(&file, 4, 3).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn error_mode_fails_once_then_recovers() {
         let dir = temp_dir("error-mode");
         let vfs = FaultyVfs::error_at(1);
@@ -282,6 +448,7 @@ mod tests {
         assert!(!b.exists(), "transient error writes nothing");
         vfs.write(&b, b"2").unwrap(); // op 2: recovered
         assert_eq!(vfs.ops(), 3);
+        assert_eq!(vfs.write_ops(), 3);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -299,13 +466,29 @@ mod tests {
     }
 
     #[test]
+    fn crash_mode_tears_positioned_writes_in_place() {
+        let dir = temp_dir("crash-at");
+        let file = dir.join("pages.bin");
+        StdVfs.write(&file, &[b'.'; 16]).unwrap();
+        let vfs = FaultyVfs::crash_at(0);
+        assert!(vfs.write_at(&file, 4, b"ABCDEFGH").is_err());
+        let bytes = fs::read(&file).unwrap();
+        assert_eq!(&bytes[..8], b"....ABCD", "half the data landed at the offset");
+        assert_eq!(&bytes[8..], b"........", "the rest of the file is untouched");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn counting_vfs_never_faults() {
         let dir = temp_dir("counting");
         let vfs = FaultyVfs::counting();
         for i in 0..10 {
             vfs.write(&dir.join(format!("f{i}")), b"x").unwrap();
         }
-        assert_eq!(vfs.ops(), 10);
+        let n = vfs.read_dir(&dir).unwrap().len() as u64;
+        assert_eq!(n, 10);
+        assert_eq!(vfs.ops(), 11);
+        assert_eq!(vfs.write_ops(), 10, "read_dir is not a write op");
         assert!(!vfs.crashed());
         let _ = fs::remove_dir_all(&dir);
     }

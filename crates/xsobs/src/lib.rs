@@ -141,11 +141,17 @@ pub enum CounterId {
     SrvOpStats,
     /// `SAVE` requests served.
     SrvOpSave,
+    /// Pages read (and checksum-verified) by the paged block store.
+    StoragePageReads,
+    /// Pages written by the paged block store.
+    StoragePageWrites,
+    /// Logical blocks marked dirty (rewritten onto fresh pages).
+    StoragePagesDirty,
 }
 
 impl CounterId {
     /// Every counter, in stable export order.
-    pub const ALL: [CounterId; 42] = [
+    pub const ALL: [CounterId; 45] = [
         CounterId::ParseDocuments,
         CounterId::ParseBytes,
         CounterId::ParseEntityExpansions,
@@ -188,6 +194,9 @@ impl CounterId {
         CounterId::SrvOpList,
         CounterId::SrvOpStats,
         CounterId::SrvOpSave,
+        CounterId::StoragePageReads,
+        CounterId::StoragePageWrites,
+        CounterId::StoragePagesDirty,
     ];
 
     /// Number of counters.
@@ -238,6 +247,9 @@ impl CounterId {
             CounterId::SrvOpList => "server.op.list_total",
             CounterId::SrvOpStats => "server.op.stats_total",
             CounterId::SrvOpSave => "server.op.save_total",
+            CounterId::StoragePageReads => "storage.page_reads_total",
+            CounterId::StoragePageWrites => "storage.page_writes_total",
+            CounterId::StoragePagesDirty => "storage.pages_dirty_total",
         }
     }
 }

@@ -29,30 +29,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let current = fs::read_to_string(dir.join("CURRENT"))?;
     println!("CURRENT: {}", current.trim_end());
 
-    // 2. Crash a save at every 5th operation; the directory always
-    //    loads as one complete state.
+    // 2. Saving again with nothing changed is a no-op: zero write
+    //    operations reach the disk and the generation stays put.
+    let clean = FaultyVfs::counting();
+    db.save_dir_vfs(&dir, &clean)?;
+    println!("\nclean re-save: {} write operations (incremental no-op)", clean.write_ops());
+
+    // 3. Update one node, then crash the (incremental) save at every
+    //    other operation; the directory always loads as one complete
+    //    state — the old text or the new, never a torn hybrid.
+    db.update_set_text("memo", "/note", "pick up oat milk")?;
     let total = {
         let counter = FaultyVfs::counting();
         db.save_dir_vfs(&dir, &counter)?;
         counter.ops()
     };
-    println!("\na save is {total} VFS operations; crashing a few of them:");
-    for k in (0..total).step_by(5) {
+    println!("\nthe one-node update cost {total} VFS operations; crashing a few:");
+    for k in (0..total).step_by(2) {
+        db.update_set_text("memo", "/note", &format!("crash run {k}"))?;
         let vfs = FaultyVfs::crash_at(k);
         let result = db.save_dir_vfs(&dir, &vfs);
         let loaded = Database::load_dir(&dir)?;
         println!(
-            "  crash at op {k:>2}: save {}, reload has {} documents",
+            "  crash at op {k:>2}: save {}, reload has {} documents, memo = {:?}",
             if result.is_ok() { "committed" } else { "aborted " },
-            loaded.len()
+            loaded.len(),
+            loaded.query("memo", "/note")?[0],
         );
+        // Rebind cleanly before the next round.
+        db = Database::load_dir(&dir)?;
     }
 
-    // 3. Flip one byte in a stored document: strict load refuses,
-    //    lenient load quarantines just that document.
+    // 4. Flip one byte in a stored document's block map (the `.xsp`
+    //    data file also detects flips, but only on its *live* pages —
+    //    the map is all live): strict load refuses with a typed
+    //    error, lenient load quarantines just that document.
     let current = fs::read_to_string(dir.join("CURRENT"))?;
     let gen = current.split(' ').nth(1).expect("CURRENT format");
-    let victim = dir.join(gen).join("documents").join("memo.xml");
+    let victim = dir.join(gen).join("documents").join("memo.xspm");
     let mut bytes = fs::read(&victim)?;
     bytes[10] ^= 0x01;
     fs::write(&victim, &bytes)?;

@@ -137,9 +137,9 @@ fn main() {
     println!("\ninserting 100 books between the first two…");
     let anchor = books[0];
     for i in 0..100 {
-        let nb = storage.insert_element(lib, Some(anchor), "book");
-        let t = storage.insert_element(nb, None, "title");
-        storage.insert_text(t, None, format!("Inserted volume {i}"));
+        let nb = storage.insert_element(lib, Some(anchor), "book").unwrap();
+        let t = storage.insert_element(nb, None, "title").unwrap();
+        storage.insert_text(t, None, format!("Inserted volume {i}")).unwrap();
     }
     assert_eq!(storage.check_invariants(), None);
     println!(
@@ -155,7 +155,7 @@ fn main() {
     assert_eq!(titles.len(), 102);
 
     println!("\ndeleting the first original book…");
-    storage.delete(books[0]);
+    storage.delete(books[0]).unwrap();
     assert_eq!(storage.check_invariants(), None);
     let titles = eval_guided(&storage, &parse("/library/book/title").unwrap());
     println!("  titles after delete: {}", titles.len());

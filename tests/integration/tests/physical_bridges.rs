@@ -46,14 +46,14 @@ proptest! {
         let mut storage = XmlStorage::from_tree_with_capacity(&store, doc, 4);
         let lib = storage.children(storage.root())[0];
         for i in 0..inserts {
-            let b = storage.insert_element(lib, None, "book");
-            let t = storage.insert_element(b, None, "title");
-            storage.insert_text(t, None, format!("n{i}"));
+            let b = storage.insert_element(lib, None, "book").unwrap();
+            let t = storage.insert_element(b, None, "title").unwrap();
+            storage.insert_text(t, None, format!("n{i}")).unwrap();
         }
         for _ in 0..deletes {
             let kids = storage.children(lib);
             if kids.len() > 1 {
-                storage.delete(kids[kids.len() / 2]);
+                storage.delete(kids[kids.len() / 2]).unwrap();
             }
         }
         prop_assert_eq!(storage.check_invariants(), None);

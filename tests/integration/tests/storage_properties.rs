@@ -103,7 +103,8 @@ proptest! {
                         ptr_of[parent],
                         after.map(|a| ptr_of[a]),
                         &name,
-                    );
+                    )
+                    .unwrap();
                     ptr_of.push(p);
                     parent_of.push(parent);
                     alive.push(id);
@@ -126,7 +127,7 @@ proptest! {
                         doomed.push(v);
                         stack.extend(shadow.children[v].iter().copied());
                     }
-                    xs.delete(ptr_of[victim]);
+                    xs.delete(ptr_of[victim]).unwrap();
                     shadow.delete(parent, victim);
                     alive.retain(|a| !doomed.contains(a));
                 }

@@ -55,11 +55,11 @@ proptest! {
         let mut storage = XmlStorage::from_tree_with_capacity(&store, doc, 4);
         let lib = storage.children(storage.root())[0];
         for i in 0..inserts {
-            let book = storage.insert_element(lib, None, "book");
-            let title = storage.insert_element(book, None, "title");
-            storage.insert_text(title, None, format!("new {i}"));
-            let author = storage.insert_element(book, Some(title), "author");
-            storage.insert_text(author, None, "anon");
+            let book = storage.insert_element(lib, None, "book").unwrap();
+            let title = storage.insert_element(book, None, "title").unwrap();
+            storage.insert_text(title, None, format!("new {i}")).unwrap();
+            let author = storage.insert_element(book, Some(title), "author").unwrap();
+            storage.insert_text(author, None, "anon").unwrap();
         }
         prop_assert_eq!(storage.check_invariants(), None);
         for q in QUERIES {
