@@ -5,7 +5,8 @@
 //! (optionally pass experiment ids, e.g. `e3 e6`, to run a subset).
 //! `e11 --guard` turns E11 into a CI gate: it exits non-zero when the
 //! enabled-metrics overhead exceeds its budget. `e13 --guard` does the
-//! same for the paged-storage O(1)-pages-per-update bound.
+//! same for the paged-storage O(1)-pages-per-update bound, and
+//! `e14 --guard` for the snapshot-read/WAL-commit latency bounds.
 
 use std::time::Instant;
 
@@ -60,6 +61,9 @@ fn main() {
     }
     if want("e13") {
         e13_paged_updates(guard);
+    }
+    if want("e14") {
+        e14_snapshot_reads(guard);
     }
 }
 
@@ -698,6 +702,7 @@ fn e12_server_throughput() {
             requests_per_conn: TOTAL / conns,
             write_percent: 10,
             doc_items: 32,
+            ..LoadConfig::default()
         };
         loadgen::setup(&addr, &config).expect("load generator setup");
         let obs = xsdb::xsobs::Registry::new();
@@ -827,4 +832,170 @@ fn e13_paged_updates(guard: bool) {
         std::process::exit(1);
     }
     println!("(budget {PAGE_BUDGET} pages/update; guard {})", if guard { "on" } else { "off" });
+}
+
+/// E14: snapshot reads and write-ahead-log commits. Two claims become
+/// gates with `--guard`:
+///
+/// 1. **Writers never stop the world.** Reader *median* latency while
+///    a writer churns durable commits stays within 2× the idle median
+///    (or under an absolute 1 ms floor, whichever is looser). The
+///    median, not the tail: a lock-coupled reader waits for roughly
+///    half a commit on *every* read, collapsing the p50, while on a
+///    small (even single-core) box scheduler preemption pollutes only
+///    the p99. Both percentiles are reported.
+/// 2. **A commit costs an fsync, not a save.** The mean `apply`
+///    latency (append + fsync + in-memory apply) is below the mean
+///    cost of the old discipline — mutating and then committing a full
+///    `save_dir` checkpoint per write.
+fn e14_snapshot_reads(guard: bool) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use xsdb::{Durability, Mutation, SharedDatabase};
+
+    println!("\n== E14: snapshot reads under a churning durable writer ==");
+    let schema = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="log">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="entry" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+    let dir = std::env::temp_dir().join(format!("xsdb-e14-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (sh, _) = SharedDatabase::open_durable(&dir, Durability::Fsync).unwrap();
+    sh.apply(&Mutation::RegisterSchema { name: "log".into(), xsd: schema.into() }).unwrap();
+    let mut xml = String::from("<log>");
+    for i in 0..256 {
+        xml.push_str(&format!("<entry>entry number {i}</entry>"));
+    }
+    xml.push_str("</log>");
+    sh.apply(&Mutation::Insert { doc: "journal".into(), schema: "log".into(), xml }).unwrap();
+
+    const READS: usize = 2_000;
+    let read_once = |sh: &SharedDatabase| {
+        let at = Instant::now();
+        let n = sh.read().query("journal", "/log/entry").unwrap().len();
+        assert!(n >= 255, "a snapshot lost entries: {n}");
+        u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    };
+    // Nearest-rank percentiles over a sorted-in-place sample.
+    let pct = |lat: &mut Vec<u64>, p: usize| {
+        lat.sort_unstable();
+        lat[(lat.len() * p).div_ceil(100).clamp(1, lat.len()) - 1]
+    };
+
+    // Phase 1: idle baseline.
+    let mut idle: Vec<u64> = (0..READS).map(|_| read_once(&sh)).collect();
+    let (idle_p50, idle_p99) = (pct(&mut idle, 50), pct(&mut idle, 99));
+
+    // Phase 2: the same reads while one writer commits back-to-back.
+    let stop = AtomicBool::new(false);
+    let mut churn: Vec<u64> = Vec::new();
+    let mut commit_ns: Vec<u64> = Vec::new();
+    std::thread::scope(|s| {
+        let writer = sh.clone();
+        let stop = &stop;
+        let handle = s.spawn(move || {
+            let mut lat = Vec::new();
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let m = Mutation::UpdateSetText {
+                    doc: "journal".into(),
+                    xpath: "/log/entry[1]".into(),
+                    value: format!("write {i}"),
+                };
+                let at = Instant::now();
+                writer.apply(&m).unwrap();
+                lat.push(u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                i += 1;
+            }
+            lat
+        });
+        churn = (0..READS).map(|_| read_once(&sh)).collect();
+        stop.store(true, Ordering::Relaxed);
+        commit_ns = handle.join().unwrap();
+    });
+    let (churn_p50, churn_p99) = (pct(&mut churn, 50), pct(&mut churn, 99));
+    let commits = commit_ns.len();
+    let commit_mean = commit_ns.iter().sum::<u64>() as f64 / commits.max(1) as f64;
+
+    // Phase 3: the pre-WAL discipline — every write pays a full
+    // checkpoint. (The first checkpoint folds the churn backlog and is
+    // excluded; each timed round mutates first so the document is
+    // genuinely dirty.)
+    sh.checkpoint(&dir).unwrap();
+    const SAVES: usize = 20;
+    let mut save_ns = Vec::with_capacity(SAVES);
+    for i in 0..SAVES {
+        let m = Mutation::UpdateSetText {
+            doc: "journal".into(),
+            xpath: "/log/entry[2]".into(),
+            value: format!("save {i}"),
+        };
+        let at = Instant::now();
+        sh.apply(&m).unwrap();
+        sh.checkpoint(&dir).unwrap();
+        save_ns.push(u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    let save_mean = save_ns.iter().sum::<u64>() as f64 / SAVES as f64;
+
+    println!(
+        "{:<26} {:>10} {:>10} {:>14} {:>10}",
+        "phase", "p50 µs", "p99 µs", "mean commit µs", "samples"
+    );
+    println!(
+        "{:<26} {:>10.1} {:>10.1} {:>14} {:>10}",
+        "read (idle)",
+        idle_p50 as f64 / 1e3,
+        idle_p99 as f64 / 1e3,
+        "-",
+        READS
+    );
+    println!(
+        "{:<26} {:>10.1} {:>10.1} {:>14.1} {:>10}",
+        "read (writer churning)",
+        churn_p50 as f64 / 1e3,
+        churn_p99 as f64 / 1e3,
+        commit_mean / 1e3,
+        commits
+    );
+    println!(
+        "{:<26} {:>10} {:>10} {:>14.1} {:>10}",
+        "mutate + full checkpoint",
+        "-",
+        "-",
+        save_mean / 1e3,
+        SAVES
+    );
+
+    // An absolute floor keeps the ratio gate honest when the baseline
+    // sits at the measurement noise floor.
+    const ABSOLUTE_FLOOR_NS: u64 = 1_000_000;
+    let readers_unblocked =
+        churn_p50 <= idle_p50.saturating_mul(2) || churn_p50 < ABSOLUTE_FLOOR_NS;
+    let fsync_bound = commit_mean < save_mean;
+    if guard && !(readers_unblocked && fsync_bound) {
+        if !readers_unblocked {
+            eprintln!(
+                "E14 guard: reader p50 under churn ({churn_p50} ns) exceeds 2× the idle \
+                 median ({idle_p50} ns) and the {ABSOLUTE_FLOOR_NS} ns floor"
+            );
+        }
+        if !fsync_bound {
+            eprintln!(
+                "E14 guard: mean WAL commit ({commit_mean:.0} ns) is not cheaper than \
+                 mutate+checkpoint ({save_mean:.0} ns)"
+            );
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "(gates: churn p50 ≤ 2× idle p50 or < 1 ms; commit mean < checkpoint mean; guard {})",
+        if guard { "on" } else { "off" }
+    );
+    drop(sh);
+    let _ = std::fs::remove_dir_all(&dir);
 }

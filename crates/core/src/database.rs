@@ -49,7 +49,12 @@ impl StoredDocument {
 #[derive(Debug)]
 pub struct Database {
     schemas: BTreeMap<String, Arc<DocumentSchema>>,
-    documents: BTreeMap<String, StoredDocument>,
+    /// Stored documents behind `Arc` so a snapshot of the whole
+    /// database is a cheap map clone: mutators copy-on-write through
+    /// [`Arc::make_mut`], so a snapshot taken before a mutation keeps
+    /// observing the pre-mutation document forever (the MVCC readers of
+    /// [`crate::SharedDatabase`] depend on exactly this).
+    documents: BTreeMap<String, Arc<StoredDocument>>,
     options: LoadOptions,
     /// Hostile-input bounds applied to every XML text this database
     /// parses — [`Database::insert`], [`Database::validate`], their bulk
@@ -120,6 +125,35 @@ impl Database {
     /// on-disk generation, forcing the next save to write a fresh one.
     pub(crate) fn touch_registry(&self) {
         self.persist.lock().unwrap_or_else(|p| p.into_inner()).registry_dirty = true;
+    }
+
+    /// Record that every mutation up to write-ahead-log sequence `seq`
+    /// is reflected in this database's in-memory state; the next save
+    /// stamps it into each document's on-disk catalog so recovery can
+    /// skip already-persisted records.
+    pub(crate) fn note_wal_epoch(&self, seq: u64) {
+        let mut state = self.persist.lock().unwrap_or_else(|p| p.into_inner());
+        state.wal_epoch = state.wal_epoch.max(seq);
+    }
+
+    /// A read-only copy sharing this database's documents (by `Arc`),
+    /// schemas, caches, and metrics registry. The copy observes the
+    /// state as of this call forever: mutators on the original
+    /// copy-on-write. The copy carries *no* persistence binding —
+    /// saving through it stages a full generation — because the page
+    /// stores mirroring the bound directory must stay aligned with the
+    /// primary's storage, not a frozen snapshot's.
+    pub(crate) fn snapshot(&self) -> Database {
+        Database {
+            schemas: self.schemas.clone(),
+            documents: self.documents.clone(),
+            options: self.options.clone(),
+            limits: self.limits.clone(),
+            strict_analysis: self.strict_analysis,
+            cm_cache: Arc::clone(&self.cm_cache),
+            obs: Arc::clone(&self.obs),
+            persist: Mutex::new(PersistState::default()),
+        }
     }
 
     /// A point-in-time snapshot of this database's metrics registry —
@@ -280,7 +314,11 @@ impl Database {
         let storage = XmlStorage::from_tree(&loaded.store, loaded.doc);
         self.documents.insert(
             doc_name.to_string(),
-            StoredDocument { schema_name: schema_name.to_string(), loaded, storage: Some(storage) },
+            Arc::new(StoredDocument {
+                schema_name: schema_name.to_string(),
+                loaded,
+                storage: Some(storage),
+            }),
         );
         self.touch_registry();
         Ok(())
@@ -311,14 +349,18 @@ impl Database {
             .map_err(DbError::Invalid)?;
         self.documents.insert(
             doc_name.to_string(),
-            StoredDocument { schema_name: schema_name.to_string(), loaded, storage: Some(xs) },
+            Arc::new(StoredDocument {
+                schema_name: schema_name.to_string(),
+                loaded,
+                storage: Some(xs),
+            }),
         );
         self.touch_registry();
         Ok(())
     }
 
     /// The stored documents, for the persistence layer.
-    pub(crate) fn doc_registry(&self) -> &BTreeMap<String, StoredDocument> {
+    pub(crate) fn doc_registry(&self) -> &BTreeMap<String, Arc<StoredDocument>> {
         &self.documents
     }
 
@@ -413,11 +455,11 @@ impl Database {
                 }
                 self.documents.insert(
                     name.to_string(),
-                    StoredDocument {
+                    Arc::new(StoredDocument {
                         schema_name: schema_name.to_string(),
                         loaded,
                         storage: Some(storage),
-                    },
+                    }),
                 );
                 self.touch_registry();
                 Ok(())
@@ -432,7 +474,7 @@ impl Database {
 
     /// Access a stored document.
     pub fn document(&self, name: &str) -> Option<&StoredDocument> {
-        self.documents.get(name)
+        self.documents.get(name).map(Arc::as_ref)
     }
 
     /// Serialize a stored document back to XML text (the paper's `g`).
@@ -482,13 +524,37 @@ impl Database {
             .documents
             .get_mut(name)
             .ok_or_else(|| DbError::UnknownDocument(name.to_string()))?;
-        if doc.storage.is_none() {
-            doc.storage = Some(XmlStorage::from_tree(&doc.loaded.store, doc.loaded.doc));
-        }
-        Ok(doc.storage.as_ref().expect("just materialized"))
+        let doc = Arc::make_mut(doc);
+        Ok(doc
+            .storage
+            .get_or_insert_with(|| XmlStorage::from_tree(&doc.loaded.store, doc.loaded.doc)))
     }
 
     // --------------------------------------------------------- updates
+
+    /// Materialize `doc_name` (copy-on-write if snapshots share it),
+    /// run `mutate` against its block storage, and refresh the logical
+    /// S-tree from the result. The shared skeleton of every `update_*`
+    /// method; an error from `mutate` propagates before the refresh,
+    /// exactly as the updates have always behaved on partial failure.
+    fn update_storage<R>(
+        &mut self,
+        doc_name: &str,
+        mutate: impl FnOnce(&mut XmlStorage) -> Result<R, DbError>,
+    ) -> Result<R, DbError> {
+        let doc = self
+            .documents
+            .get_mut(doc_name)
+            .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
+        let doc = Arc::make_mut(doc);
+        let storage = doc
+            .storage
+            .get_or_insert_with(|| XmlStorage::from_tree(&doc.loaded.store, doc.loaded.doc));
+        let out = mutate(storage)?;
+        let (store, node) = crate::physical::storage_to_tree(storage);
+        doc.loaded = LoadedDocument { store, doc: node };
+        Ok(out)
+    }
 
     /// Node-level update: under every node selected by `parent_xpath`,
     /// append a new element (optionally with text content). Returns how
@@ -508,41 +574,36 @@ impl Database {
         text: Option<&str>,
     ) -> Result<usize, DbError> {
         let path = xpath::parse(parent_xpath)?;
-        self.materialize(doc_name)?;
-        let doc = self.documents.get_mut(doc_name).expect("materialized above");
-        let storage = doc.storage.as_mut().expect("materialized");
-        let parents = eval_guided(storage, &path);
-        for &parent in &parents {
-            let last = storage.children(parent).last().copied();
-            let new = storage.insert_element(parent, last, name)?;
-            if let Some(t) = text {
-                storage.insert_text(new, None, t)?;
+        self.update_storage(doc_name, |storage| {
+            let parents = eval_guided(storage, &path);
+            for &parent in &parents {
+                let last = storage.children(parent).last().copied();
+                let new = storage.insert_element(parent, last, name)?;
+                if let Some(t) = text {
+                    storage.insert_text(new, None, t)?;
+                }
             }
-        }
-        let n = parents.len();
-        Self::refresh_logical(doc);
-        Ok(n)
+            Ok(parents.len())
+        })
     }
 
     /// Node-level update: delete every node selected by `xpath`
     /// (subtrees included). Returns how many nodes were deleted.
     pub fn update_delete(&mut self, doc_name: &str, xpath: &str) -> Result<usize, DbError> {
         let path = xpath::parse(xpath)?;
-        self.materialize(doc_name)?;
-        let doc = self.documents.get_mut(doc_name).expect("materialized above");
-        let storage = doc.storage.as_mut().expect("materialized");
-        let victims = eval_guided(storage, &path);
-        let root_elem = storage.children(storage.root())[0];
-        let mut deleted = 0;
-        for &v in &victims {
-            if v == storage.root() || v == root_elem {
-                continue; // never delete the document or root element
+        self.update_storage(doc_name, |storage| {
+            let victims = eval_guided(storage, &path);
+            let root_elem = storage.children(storage.root())[0];
+            let mut deleted = 0;
+            for &v in &victims {
+                if v == storage.root() || v == root_elem {
+                    continue; // never delete the document or root element
+                }
+                storage.delete(v)?;
+                deleted += 1;
             }
-            storage.delete(v)?;
-            deleted += 1;
-        }
-        Self::refresh_logical(doc);
-        Ok(deleted)
+            Ok(deleted)
+        })
     }
 
     /// Node-level update: set (insert or replace) an attribute on every
@@ -556,16 +617,13 @@ impl Database {
         value: &str,
     ) -> Result<usize, DbError> {
         let path = xpath::parse(xpath)?;
-        self.materialize(doc_name)?;
-        let doc = self.documents.get_mut(doc_name).expect("materialized above");
-        let storage = doc.storage.as_mut().expect("materialized");
-        let targets = eval_guided(storage, &path);
-        for &t in &targets {
-            storage.insert_attribute(t, name, value)?;
-        }
-        let n = targets.len();
-        Self::refresh_logical(doc);
-        Ok(n)
+        self.update_storage(doc_name, |storage| {
+            let targets = eval_guided(storage, &path);
+            for &t in &targets {
+                storage.insert_attribute(t, name, value)?;
+            }
+            Ok(targets.len())
+        })
     }
 
     /// Node-level update: replace the text content of every element
@@ -579,22 +637,19 @@ impl Database {
         value: &str,
     ) -> Result<usize, DbError> {
         let path = xpath::parse(xpath)?;
-        self.materialize(doc_name)?;
-        let doc = self.documents.get_mut(doc_name).expect("materialized above");
-        let storage = doc.storage.as_mut().expect("materialized");
-        let targets: Vec<_> = eval_guided(storage, &path)
-            .into_iter()
-            .filter(|&t| storage.kind(t) == xdm::NodeKind::Element)
-            .collect();
-        for &t in &targets {
-            for c in storage.children(t) {
-                storage.delete(c)?;
+        self.update_storage(doc_name, |storage| {
+            let targets: Vec<_> = eval_guided(storage, &path)
+                .into_iter()
+                .filter(|&t| storage.kind(t) == xdm::NodeKind::Element)
+                .collect();
+            for &t in &targets {
+                for c in storage.children(t) {
+                    storage.delete(c)?;
+                }
+                storage.insert_text(t, None, value)?;
             }
-            storage.insert_text(t, None, value)?;
-        }
-        let n = targets.len();
-        Self::refresh_logical(doc);
-        Ok(n)
+            Ok(targets.len())
+        })
     }
 
     /// Re-run §6.2 validation of a stored document against its schema
@@ -617,13 +672,6 @@ impl Database {
             Ok(_) => Vec::new(),
             Err(errs) => errs,
         })
-    }
-
-    /// Rebuild the logical S-tree from the (just-updated) storage.
-    fn refresh_logical(doc: &mut StoredDocument) {
-        let storage = doc.storage.as_ref().expect("caller materialized");
-        let (store, node) = crate::physical::storage_to_tree(storage);
-        doc.loaded = LoadedDocument { store, doc: node };
     }
 
     // --------------------------------------------------------- queries
@@ -747,11 +795,11 @@ where
                     }
                     local.push((i, job(i)));
                 }
-                results.lock().expect("bulk result lock").append(&mut local);
+                results.lock().unwrap_or_else(|p| p.into_inner()).append(&mut local);
             });
         }
     });
-    let mut indexed = results.into_inner().expect("bulk result lock");
+    let mut indexed = results.into_inner().unwrap_or_else(|p| p.into_inner());
     indexed.sort_unstable_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, r)| r).collect()
 }

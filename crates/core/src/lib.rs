@@ -120,21 +120,29 @@
 //! experiment bounds the enabled overhead at under 3% on the validation
 //! bench.
 //!
-//! # Serving concurrent clients
+//! # Serving concurrent clients, durably
 //!
-//! [`SharedDatabase`] wraps a database in an `Arc<RwLock<_>>` so many
-//! threads share it: every query/validate/serialize accessor takes the
-//! read lock and runs in parallel, while inserts, updates, deletes,
-//! and schema (de)registration serialize through the write lock, with
-//! lock-wait latencies recorded in the metrics registry. The
-//! `xsserver` crate builds a wire protocol, a TCP server (`xsd-serve`),
-//! and a load generator (`xsd-bench-client`) on top of it.
+//! [`SharedDatabase`] shares one database across threads with
+//! snapshot reads and a single-writer commit path: readers clone an
+//! `Arc` of the last committed epoch and never block (or observe a
+//! half-applied mutation), while writers serialize through a mutex
+//! and publish a fresh epoch per commit. Opened with
+//! [`SharedDatabase::open_durable`], every [`Mutation`] committed via
+//! [`SharedDatabase::apply`] is appended to a write-ahead log before
+//! it is acknowledged — under the [`Durability`] mode chosen
+//! (`fsync` per commit, shared `group` commit, or `async`) — and
+//! [`Database::load_dir`] replays the log tail over the paged store,
+//! so a crash at any instant recovers the complete old or complete
+//! new state of every acknowledged write, never a torn hybrid. The
+//! `xsserver` crate builds a wire protocol, a TCP server
+//! (`xsd-serve`), and a load generator (`xsd-bench-client`) on top.
 
 #![warn(missing_docs)]
 
 pub mod cli;
 mod database;
 mod error;
+mod mutation;
 mod persist;
 mod physical;
 mod shared;
@@ -146,9 +154,10 @@ pub use storage::vfs;
 
 pub use database::{Database, StoredDocument};
 pub use error::DbError;
+pub use mutation::{ApplyOutcome, Mutation};
 pub use persist::{LoadPolicy, LoadReport, Quarantine, QuarantineKind};
 pub use physical::{storage_roundtrip_agrees, storage_to_document, storage_to_tree};
-pub use shared::SharedDatabase;
+pub use shared::{Durability, ReadSnapshot, SharedDatabase, WriteGuard};
 pub use storage::StorageError;
 pub use vfs::{FaultMode, FaultyVfs, StdVfs, Vfs};
 

@@ -1,0 +1,411 @@
+//! The loggable state transitions of the database — one enum variant
+//! per §6.1 algebra operation that evolves the state.
+//!
+//! A [`Mutation`] is the unit the write-ahead log records: it encodes
+//! to a self-contained byte payload *before* it is applied, and
+//! recovery re-applies decoded payloads in log order. Applying a
+//! mutation is deterministic given the database state, so replaying a
+//! prefix of the log over the matching on-disk state reproduces the
+//! exact in-memory state the writer had — the property the crash
+//! matrix asserts.
+//!
+//! Replay tolerance: a mutation the database *rejects* (duplicate
+//! name, unknown name, invalid document, bad XPath) is a deterministic
+//! no-op — it left no trace when first attempted, and it leaves none
+//! on replay. The recovery path therefore skips rejected records
+//! rather than aborting, which also makes replay idempotent when a
+//! record's effect already reached the on-disk state.
+
+use crate::database::Database;
+use crate::error::DbError;
+
+/// One durable state transition, as written to the write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Register a schema from XSD text.
+    RegisterSchema {
+        /// Registry name.
+        name: String,
+        /// The XSD source text.
+        xsd: String,
+    },
+    /// Remove a registered schema.
+    RemoveSchema {
+        /// Registry name.
+        name: String,
+    },
+    /// Insert a document, validating against a registered schema.
+    Insert {
+        /// Document name.
+        doc: String,
+        /// Schema to validate against.
+        schema: String,
+        /// The document text.
+        xml: String,
+    },
+    /// Delete a stored document.
+    Delete {
+        /// Document name.
+        doc: String,
+    },
+    /// Append a child element under every node selected by an XPath.
+    UpdateInsert {
+        /// Document name.
+        doc: String,
+        /// XPath selecting the parents.
+        parent: String,
+        /// Name of the new element.
+        name: String,
+        /// Optional text content of the new element.
+        text: Option<String>,
+    },
+    /// Delete every node (subtree included) selected by an XPath.
+    UpdateDelete {
+        /// Document name.
+        doc: String,
+        /// XPath selecting the victims.
+        xpath: String,
+    },
+    /// Set an attribute on every element selected by an XPath.
+    UpdateSetAttr {
+        /// Document name.
+        doc: String,
+        /// XPath selecting the elements.
+        xpath: String,
+        /// Attribute name.
+        attr: String,
+        /// Attribute value.
+        value: String,
+    },
+    /// Replace the text content of every element selected by an XPath.
+    UpdateSetText {
+        /// Document name.
+        doc: String,
+        /// XPath selecting the elements.
+        xpath: String,
+        /// The replacement text.
+        value: String,
+    },
+}
+
+/// What applying a [`Mutation`] did, for reporting back to a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// A schema was registered.
+    Registered,
+    /// A schema was removed.
+    Removed,
+    /// A document was inserted.
+    Inserted,
+    /// A document deletion; `true` when the document existed.
+    Deleted(bool),
+    /// A node-level update touched this many nodes.
+    Updated(usize),
+}
+
+const TAG_REGISTER_SCHEMA: u8 = 1;
+const TAG_REMOVE_SCHEMA: u8 = 2;
+const TAG_INSERT: u8 = 3;
+const TAG_DELETE: u8 = 4;
+const TAG_UPDATE_INSERT: u8 = 5;
+const TAG_UPDATE_DELETE: u8 = 6;
+const TAG_UPDATE_SET_ATTR: u8 = 7;
+const TAG_UPDATE_SET_TEXT: u8 = 8;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn corrupt() -> DbError {
+        DbError::Corrupt("truncated or malformed mutation record".into())
+    }
+
+    fn u8(&mut self) -> Result<u8, DbError> {
+        let b = *self.buf.get(self.pos).ok_or_else(Self::corrupt)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn str(&mut self) -> Result<String, DbError> {
+        let end = self.pos.checked_add(4).ok_or_else(Self::corrupt)?;
+        let raw = self.buf.get(self.pos..end).ok_or_else(Self::corrupt)?;
+        let len = u32::from_le_bytes(raw.try_into().map_err(|_| Self::corrupt())?) as usize;
+        let data_end = end.checked_add(len).ok_or_else(Self::corrupt)?;
+        let bytes = self.buf.get(end..data_end).ok_or_else(Self::corrupt)?;
+        self.pos = data_end;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DbError::Corrupt("mutation record field is not UTF-8".into()))
+    }
+
+    fn opt(&mut self) -> Result<Option<String>, DbError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str()?)),
+            _ => Err(Self::corrupt()),
+        }
+    }
+
+    fn finish(self) -> Result<(), DbError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DbError::Corrupt("trailing bytes after mutation record".into()))
+        }
+    }
+}
+
+impl Mutation {
+    /// Serialize to the payload form the write-ahead log stores: a tag
+    /// byte followed by `u32`-length-prefixed UTF-8 fields.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Mutation::RegisterSchema { name, xsd } => {
+                out.push(TAG_REGISTER_SCHEMA);
+                put_str(&mut out, name);
+                put_str(&mut out, xsd);
+            }
+            Mutation::RemoveSchema { name } => {
+                out.push(TAG_REMOVE_SCHEMA);
+                put_str(&mut out, name);
+            }
+            Mutation::Insert { doc, schema, xml } => {
+                out.push(TAG_INSERT);
+                put_str(&mut out, doc);
+                put_str(&mut out, schema);
+                put_str(&mut out, xml);
+            }
+            Mutation::Delete { doc } => {
+                out.push(TAG_DELETE);
+                put_str(&mut out, doc);
+            }
+            Mutation::UpdateInsert { doc, parent, name, text } => {
+                out.push(TAG_UPDATE_INSERT);
+                put_str(&mut out, doc);
+                put_str(&mut out, parent);
+                put_str(&mut out, name);
+                put_opt(&mut out, text.as_deref());
+            }
+            Mutation::UpdateDelete { doc, xpath } => {
+                out.push(TAG_UPDATE_DELETE);
+                put_str(&mut out, doc);
+                put_str(&mut out, xpath);
+            }
+            Mutation::UpdateSetAttr { doc, xpath, attr, value } => {
+                out.push(TAG_UPDATE_SET_ATTR);
+                put_str(&mut out, doc);
+                put_str(&mut out, xpath);
+                put_str(&mut out, attr);
+                put_str(&mut out, value);
+            }
+            Mutation::UpdateSetText { doc, xpath, value } => {
+                out.push(TAG_UPDATE_SET_TEXT);
+                put_str(&mut out, doc);
+                put_str(&mut out, xpath);
+                put_str(&mut out, value);
+            }
+        }
+        out
+    }
+
+    /// Decode a payload written by [`Mutation::encode`]. Any deviation
+    /// — unknown tag, truncated field, trailing bytes, non-UTF-8 — is a
+    /// typed [`DbError::Corrupt`], never a panic.
+    pub fn decode(payload: &[u8]) -> Result<Mutation, DbError> {
+        let mut c = Cursor { buf: payload, pos: 0 };
+        let m = match c.u8()? {
+            TAG_REGISTER_SCHEMA => Mutation::RegisterSchema { name: c.str()?, xsd: c.str()? },
+            TAG_REMOVE_SCHEMA => Mutation::RemoveSchema { name: c.str()? },
+            TAG_INSERT => Mutation::Insert { doc: c.str()?, schema: c.str()?, xml: c.str()? },
+            TAG_DELETE => Mutation::Delete { doc: c.str()? },
+            TAG_UPDATE_INSERT => Mutation::UpdateInsert {
+                doc: c.str()?,
+                parent: c.str()?,
+                name: c.str()?,
+                text: c.opt()?,
+            },
+            TAG_UPDATE_DELETE => Mutation::UpdateDelete { doc: c.str()?, xpath: c.str()? },
+            TAG_UPDATE_SET_ATTR => Mutation::UpdateSetAttr {
+                doc: c.str()?,
+                xpath: c.str()?,
+                attr: c.str()?,
+                value: c.str()?,
+            },
+            TAG_UPDATE_SET_TEXT => {
+                Mutation::UpdateSetText { doc: c.str()?, xpath: c.str()?, value: c.str()? }
+            }
+            tag => {
+                return Err(DbError::Corrupt(format!("unknown mutation tag {tag}")));
+            }
+        };
+        c.finish()?;
+        Ok(m)
+    }
+
+    /// The document this mutation is scoped to, when its whole effect
+    /// is confined to one stored document's content. Recovery uses this
+    /// to skip records already reflected in that document's on-disk
+    /// epoch; registry-shaped mutations (schema changes, insert,
+    /// delete) return `None` and rely on deterministic rejection
+    /// instead.
+    pub fn doc_name(&self) -> Option<&str> {
+        match self {
+            Mutation::UpdateInsert { doc, .. }
+            | Mutation::UpdateDelete { doc, .. }
+            | Mutation::UpdateSetAttr { doc, .. }
+            | Mutation::UpdateSetText { doc, .. } => Some(doc),
+            _ => None,
+        }
+    }
+
+    /// Whether applying this mutation changes the schema/document
+    /// registry (forcing the next save to stage a full generation).
+    pub fn changes_registry(&self) -> bool {
+        matches!(
+            self,
+            Mutation::RegisterSchema { .. }
+                | Mutation::RemoveSchema { .. }
+                | Mutation::Insert { .. }
+                | Mutation::Delete { .. }
+        )
+    }
+
+    /// Apply this mutation to a database — the dispatch the write path
+    /// and the recovery path share, so a replayed record runs exactly
+    /// the code the original call did.
+    pub fn apply(&self, db: &mut Database) -> Result<ApplyOutcome, DbError> {
+        match self {
+            Mutation::RegisterSchema { name, xsd } => {
+                db.register_schema_text(name, xsd)?;
+                Ok(ApplyOutcome::Registered)
+            }
+            Mutation::RemoveSchema { name } => {
+                db.remove_schema(name)?;
+                Ok(ApplyOutcome::Removed)
+            }
+            Mutation::Insert { doc, schema, xml } => {
+                db.insert(doc, schema, xml)?;
+                Ok(ApplyOutcome::Inserted)
+            }
+            Mutation::Delete { doc } => Ok(ApplyOutcome::Deleted(db.delete(doc))),
+            Mutation::UpdateInsert { doc, parent, name, text } => Ok(ApplyOutcome::Updated(
+                db.update_insert_element(doc, parent, name, text.as_deref())?,
+            )),
+            Mutation::UpdateDelete { doc, xpath } => {
+                Ok(ApplyOutcome::Updated(db.update_delete(doc, xpath)?))
+            }
+            Mutation::UpdateSetAttr { doc, xpath, attr, value } => {
+                Ok(ApplyOutcome::Updated(db.update_set_attribute(doc, xpath, attr, value)?))
+            }
+            Mutation::UpdateSetText { doc, xpath, value } => {
+                Ok(ApplyOutcome::Updated(db.update_set_text(doc, xpath, value)?))
+            }
+        }
+    }
+}
+
+/// Whether a replayed record's failure is a deterministic rejection
+/// (the mutation never took effect, first time and every time) rather
+/// than an environmental failure worth surfacing.
+pub(crate) fn is_deterministic_rejection(e: &DbError) -> bool {
+    !matches!(e, DbError::Io { .. } | DbError::Checksum { .. } | DbError::Corrupt(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Mutation> {
+        vec![
+            Mutation::RegisterSchema { name: "s".into(), xsd: "<xs/>".into() },
+            Mutation::RemoveSchema { name: "s".into() },
+            Mutation::Insert { doc: "d".into(), schema: "s".into(), xml: "<r/>".into() },
+            Mutation::Delete { doc: "d".into() },
+            Mutation::UpdateInsert {
+                doc: "d".into(),
+                parent: "/r".into(),
+                name: "x".into(),
+                text: Some("t".into()),
+            },
+            Mutation::UpdateInsert {
+                doc: "d".into(),
+                parent: "/r".into(),
+                name: "x".into(),
+                text: None,
+            },
+            Mutation::UpdateDelete { doc: "d".into(), xpath: "/r/x".into() },
+            Mutation::UpdateSetAttr {
+                doc: "d".into(),
+                xpath: "/r".into(),
+                attr: "a".into(),
+                value: "v".into(),
+            },
+            Mutation::UpdateSetText {
+                doc: "☂ doc".into(), xpath: "/r".into(), value: "ü".into()
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for m in samples() {
+            let encoded = m.encode();
+            assert_eq!(Mutation::decode(&encoded).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn truncations_and_flips_are_typed_errors() {
+        for m in samples() {
+            let encoded = m.encode();
+            for cut in 0..encoded.len() {
+                // Every strict prefix must fail loudly or decode to a
+                // different, complete value — never panic.
+                let _ = Mutation::decode(&encoded[..cut]);
+            }
+            let mut trailing = encoded.clone();
+            trailing.push(0);
+            assert!(
+                matches!(Mutation::decode(&trailing), Err(DbError::Corrupt(_))),
+                "trailing byte accepted for {m:?}"
+            );
+        }
+        assert!(matches!(Mutation::decode(&[99]), Err(DbError::Corrupt(_))));
+        assert!(matches!(Mutation::decode(&[]), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn doc_scope_and_registry_classification() {
+        let update = Mutation::UpdateDelete { doc: "d".into(), xpath: "/r".into() };
+        assert_eq!(update.doc_name(), Some("d"));
+        assert!(!update.changes_registry());
+        let insert = Mutation::Insert { doc: "d".into(), schema: "s".into(), xml: "<r/>".into() };
+        assert_eq!(insert.doc_name(), None);
+        assert!(insert.changes_registry());
+    }
+
+    #[test]
+    fn rejection_classification() {
+        assert!(is_deterministic_rejection(&DbError::DuplicateDocument("d".into())));
+        assert!(is_deterministic_rejection(&DbError::UnknownSchema("s".into())));
+        assert!(!is_deterministic_rejection(&DbError::Corrupt("x".into())));
+        assert!(!is_deterministic_rejection(&DbError::io("/p", std::io::Error::other("boom"))));
+    }
+}

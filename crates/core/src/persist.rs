@@ -51,13 +51,18 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use storage::{PageStore, XmlStorage, PAGE_SIZE};
+use storage::{PageStore, WalRecord, XmlStorage, PAGE_SIZE};
 use xmlparse::{Document, Element};
 
 use crate::checksum::sha256_hex;
 use crate::database::Database;
 use crate::error::DbError;
+use crate::mutation::{is_deterministic_rejection, ApplyOutcome, Mutation};
 use crate::vfs::{StdVfs, Vfs};
+
+/// The subdirectory of a database directory holding its write-ahead
+/// log segments (see [`crate::SharedDatabase::open_durable`]).
+pub(crate) const WAL_SUBDIR: &str = "wal";
 
 /// How [`Database::load_dir_report`] reacts to a damaged entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -139,6 +144,11 @@ pub(crate) struct DocPersist {
     map: String,
     store: PageStore,
     watermark: u64,
+    /// The write-ahead-log epoch stamped into the document's on-disk
+    /// catalog by its last committed save: every logged mutation with a
+    /// sequence number at or below it is reflected in the pages, so
+    /// recovery skips those records for this document.
+    saved_epoch: u64,
 }
 
 /// Everything [`Database::save_dir`] knows between calls.
@@ -149,6 +159,10 @@ pub(crate) struct PersistState {
     /// save to stage a fresh generation.
     pub(crate) registry_dirty: bool,
     docs: BTreeMap<String, DocPersist>,
+    /// The highest write-ahead-log sequence number applied to the
+    /// in-memory state (0 when the database is not WAL-attached). The
+    /// next save stamps it into every catalog it writes.
+    pub(crate) wal_epoch: u64,
 }
 
 /// Encode an arbitrary name as a filesystem-safe file stem.
@@ -240,6 +254,82 @@ fn utf8(path: &Path, bytes: Vec<u8>) -> Result<String, DbError> {
         .map_err(|_| DbError::Corrupt(format!("{} is not valid UTF-8", path.display())))
 }
 
+/// What a write-ahead-log replay did.
+#[derive(Debug, Default)]
+pub(crate) struct WalReplaySummary {
+    /// Highest sequence number observed across catalogs and records —
+    /// the epoch the recovered database is at.
+    pub(crate) max_seq: u64,
+    /// Whether a replayed record changed the schema/document registry
+    /// (the next save must then stage a fresh generation).
+    pub(crate) registry_changed: bool,
+    /// A lenient-mode message when replay stopped before the end.
+    pub(crate) stopped: Option<String>,
+}
+
+/// Re-apply recovered write-ahead-log records to `db` in log order.
+///
+/// `doc_epoch` reports the on-disk catalog epoch of a document (0 when
+/// unknown): a document-scoped record with `seq <= doc_epoch(doc)` is
+/// already folded into the pages and is skipped. A record the database
+/// *rejects* deterministically (duplicate/unknown name, invalid
+/// document, bad XPath) is skipped too — rejection is replay's proof
+/// the record never took effect or already did. Environmental failures
+/// (I/O, corruption) abort under [`LoadPolicy::Strict`] and stop the
+/// replay with a warning under [`LoadPolicy::Lenient`].
+pub(crate) fn replay_wal_records(
+    db: &mut Database,
+    records: &[WalRecord],
+    doc_epoch: impl Fn(&str) -> u64,
+    policy: LoadPolicy,
+    summary: &mut WalReplaySummary,
+) -> Result<(), DbError> {
+    let obs = xsobs::global();
+    for rec in records {
+        obs.incr(xsobs::CounterId::WalReplayRecords);
+        let m = match Mutation::decode(&rec.payload) {
+            Ok(m) => m,
+            Err(e) => match policy {
+                LoadPolicy::Strict => return Err(e),
+                LoadPolicy::Lenient => {
+                    summary.stopped =
+                        Some(format!("wal replay stopped at record {}: {e}", rec.seq));
+                    return Ok(());
+                }
+            },
+        };
+        summary.max_seq = summary.max_seq.max(rec.seq);
+        if let Some(doc) = m.doc_name() {
+            if rec.seq <= doc_epoch(doc) {
+                obs.incr(xsobs::CounterId::WalReplaySkipped);
+                continue;
+            }
+        }
+        match m.apply(db) {
+            Ok(ApplyOutcome::Deleted(false)) => {
+                obs.incr(xsobs::CounterId::WalReplaySkipped);
+            }
+            Ok(_) => {
+                if m.changes_registry() {
+                    summary.registry_changed = true;
+                }
+            }
+            Err(e) if is_deterministic_rejection(&e) => {
+                obs.incr(xsobs::CounterId::WalReplaySkipped);
+            }
+            Err(e) => match policy {
+                LoadPolicy::Strict => return Err(e),
+                LoadPolicy::Lenient => {
+                    summary.stopped =
+                        Some(format!("wal replay stopped at record {}: {e}", rec.seq));
+                    return Ok(());
+                }
+            },
+        }
+    }
+    Ok(())
+}
+
 impl Database {
     /// Save schemas and documents under `dir` (created if needed) with
     /// the atomic-commit protocol described in the module docs. When the
@@ -290,6 +380,7 @@ impl Database {
             return Ok(false);
         }
         let docs_dir = dir.join(format!("gen-{}", binding.gen)).join("documents");
+        let wal_epoch = state.wal_epoch;
         for (name, stored) in names {
             // Both lookups were verified above; a miss means the state
             // diverged mid-save, and the full path handles it safely.
@@ -298,9 +389,18 @@ impl Database {
             };
             if xs.tick() > doc.watermark {
                 let data_path = docs_dir.join(&doc.file);
-                storage::paged::save_dirty(xs, vfs, &mut doc.store, &data_path, doc.watermark)?;
+                storage::paged::save_dirty_epoch(
+                    xs,
+                    vfs,
+                    &mut doc.store,
+                    &data_path,
+                    doc.watermark,
+                    wal_epoch,
+                    doc.saved_epoch != wal_epoch,
+                )?;
                 doc.store.commit(vfs, &docs_dir.join(&doc.map))?;
                 doc.watermark = xs.tick();
+                doc.saved_epoch = wal_epoch;
             }
         }
         Ok(true)
@@ -390,7 +490,7 @@ impl Database {
                 }
             };
             let mut store = PageStore::new();
-            storage::paged::save_full(xs, vfs, &mut store, &data_path)?;
+            storage::paged::save_full_epoch(xs, vfs, &mut store, &data_path, state.wal_epoch)?;
             store.commit(vfs, &map_path)?;
             obs.add(xsobs::CounterId::PersistBytesStaged, store.page_count() * PAGE_SIZE as u64);
             manifest.children.push(xmlparse::Node::Element(
@@ -400,7 +500,10 @@ impl Database {
                     .with_attribute("file", file.clone())
                     .with_attribute("map", map.clone()),
             ));
-            state.docs.insert(name.clone(), DocPersist { file, map, store, watermark: xs.tick() });
+            state.docs.insert(
+                name.clone(),
+                DocPersist { file, map, store, watermark: xs.tick(), saved_epoch: state.wal_epoch },
+            );
         }
         let manifest_bytes = Document::from_root(manifest).to_xml_pretty().into_bytes();
         let manifest_digest = sha256_hex(&manifest_bytes);
@@ -599,10 +702,13 @@ impl Database {
                     safe_file_name(&map)?;
                     let map_path = root_dir.join("documents").join(&map);
                     let store = PageStore::open(vfs, &map_path)?;
-                    let xs = storage::paged::load(&store, vfs, &path)?;
+                    let (xs, saved_epoch) = storage::paged::load_with_epoch(&store, vfs, &path)?;
                     let watermark = xs.tick();
                     db.insert_paged(&name, &schema, xs)?;
-                    doc_states.insert(name.clone(), DocPersist { file, map, store, watermark });
+                    doc_states.insert(
+                        name.clone(),
+                        DocPersist { file, map, store, watermark, saved_epoch },
+                    );
                     Ok(())
                 } else {
                     let bytes = vfs.read(&path).map_err(|e| DbError::io(&path, e))?;
@@ -628,8 +734,43 @@ impl Database {
                 }
             }
         }
+        // Replay the write-ahead-log tail over the loaded state: records
+        // a checkpoint already folded into a document's pages are
+        // skipped by its catalog epoch; deterministic rejections
+        // (duplicate/unknown names, invalid content) mean the record's
+        // effect is already present (or never was) and are skipped too.
+        let mut replay = WalReplaySummary {
+            max_seq: doc_states.values().map(|d| d.saved_epoch).max().unwrap_or(0),
+            ..WalReplaySummary::default()
+        };
+        let wal_dir = dir.join(WAL_SUBDIR);
+        if vfs.exists(&wal_dir) {
+            match storage::wal::replay(vfs, &wal_dir) {
+                Ok(records) => {
+                    let epochs: BTreeMap<&str, u64> =
+                        doc_states.iter().map(|(n, d)| (n.as_str(), d.saved_epoch)).collect();
+                    replay_wal_records(
+                        &mut db,
+                        &records,
+                        |doc| epochs.get(doc).copied().unwrap_or(0),
+                        policy,
+                        &mut replay,
+                    )?;
+                    report.warnings.extend(replay.stopped.clone());
+                }
+                Err(e) => match policy {
+                    LoadPolicy::Strict => return Err(e.into()),
+                    LoadPolicy::Lenient => {
+                        report.warnings.push(format!("write-ahead log not replayed: {e}"));
+                    }
+                },
+            }
+        }
+
         // A cleanly-loaded v3 directory leaves the database bound to its
-        // generation, so the very next save can be incremental (or free).
+        // generation, so the very next save can be incremental (or free)
+        // — unless replayed records changed the registry, in which case
+        // the next save must stage a fresh generation.
         if report.manifest_version >= 3 && report.quarantined.is_empty() {
             if let Some(gen) = report.generation {
                 *db.persist.lock().unwrap_or_else(|p| p.into_inner()) = PersistState {
@@ -638,11 +779,13 @@ impl Database {
                         gen,
                         current_line: current_text,
                     }),
-                    registry_dirty: false,
+                    registry_dirty: replay.registry_changed,
                     docs: doc_states,
+                    wal_epoch: 0,
                 };
             }
         }
+        db.note_wal_epoch(replay.max_seq);
         obs.incr(xsobs::CounterId::PersistLoads);
         obs.add(xsobs::CounterId::PersistQuarantined, report.quarantined.len() as u64);
         obs.add(xsobs::CounterId::PersistRecoveryWarnings, report.warnings.len() as u64);

@@ -20,7 +20,10 @@
 //!   [`vfs::Vfs`] trait so fault injection covers every byte written;
 //! * [`paged`] — the §9 structures serialized onto pages, block by
 //!   block, so one-node updates dirty one block's pages and documents
-//!   can be opened lazily ([`PagedXml`]).
+//!   can be opened lazily ([`PagedXml`]);
+//! * [`wal`] — an append-only, SHA-256-framed write-ahead log behind
+//!   the same [`vfs::Vfs`] trait, so mutations are durable the moment
+//!   their record is fsynced and crashes recover old-or-new.
 //!
 //! ```
 //! use xdm::NodeStore;
@@ -53,6 +56,7 @@ pub mod pages;
 #[allow(clippy::module_inception)]
 mod storage;
 pub mod vfs;
+pub mod wal;
 
 pub use blocks::{Block, BlockOrderIter, DescPtr, NodeDescriptor};
 pub use descriptive::{DescriptiveSchema, SchemaNode, SchemaNodeId};
@@ -61,3 +65,4 @@ pub use nid::{between_components, ComponentAllocator, Nid, OMEGA_MAX, OMEGA_MIN}
 pub use paged::PagedXml;
 pub use pages::{PageStore, PAGE_PAYLOAD, PAGE_SIZE};
 pub use storage::{XmlStorage, DEFAULT_BLOCK_CAPACITY};
+pub use wal::{Wal, WalRecord, DEFAULT_ROTATE_BYTES};

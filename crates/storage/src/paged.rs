@@ -42,8 +42,12 @@ use crate::vfs::Vfs;
 /// so a segment always fits one page payload).
 pub(crate) const LOC_SEG: u32 = 512;
 
-/// On-page catalog format version.
-const CATALOG_VERSION: u8 = 1;
+/// On-page catalog format version. Version 2 appends the commit
+/// *epoch* — the highest write-ahead-log sequence whose effects are
+/// durable in these pages — so WAL replay can skip already-applied
+/// records. Version 1 catalogs (no epoch field) still load, at
+/// epoch 0.
+const CATALOG_VERSION: u8 = 2;
 
 /// Logical block number of the catalog.
 const CATALOG_LOGICAL: u64 = 0;
@@ -81,7 +85,7 @@ fn kind_from(b: u8, what: &str) -> Result<NodeKind, StorageError> {
 
 // ------------------------------------------------------------- encoding
 
-fn encode_catalog(xs: &XmlStorage) -> Vec<u8> {
+fn encode_catalog(xs: &XmlStorage, epoch: u64) -> Vec<u8> {
     let mut w = Writer::new();
     w.u8(CATALOG_VERSION);
     w.u16(xs.block_capacity());
@@ -114,6 +118,7 @@ fn encode_catalog(xs: &XmlStorage) -> Vec<u8> {
     }
     w.u32(table.blocks.len() as u32);
     w.u32(table.locations.len() as u32);
+    w.u64(epoch);
     w.into_bytes()
 }
 
@@ -168,8 +173,8 @@ fn encode_loc_seg(locations: &[Option<(u32, u16)>], j: u32) -> Vec<u8> {
 
 // --------------------------------------------------------------- saving
 
-/// Write the entire storage into `store` (fresh stores, migrations).
-/// The caller commits the store afterwards.
+/// Write the entire storage into `store` (fresh stores, migrations),
+/// at commit epoch 0. The caller commits the store afterwards.
 ///
 /// # Errors
 /// I/O failures from the underlying [`Vfs`].
@@ -179,7 +184,22 @@ pub fn save_full(
     store: &mut PageStore,
     data_path: &Path,
 ) -> Result<(), StorageError> {
-    store.write_block(vfs, data_path, CATALOG_LOGICAL, &encode_catalog(xs))?;
+    save_full_epoch(xs, vfs, store, data_path, 0)
+}
+
+/// [`save_full`], stamping `epoch` — the highest WAL sequence whose
+/// effects these pages contain — into the catalog.
+///
+/// # Errors
+/// I/O failures from the underlying [`Vfs`].
+pub fn save_full_epoch(
+    xs: &XmlStorage,
+    vfs: &dyn Vfs,
+    store: &mut PageStore,
+    data_path: &Path,
+    epoch: u64,
+) -> Result<(), StorageError> {
+    store.write_block(vfs, data_path, CATALOG_LOGICAL, &encode_catalog(xs, epoch))?;
     let table = xs.table();
     for (i, b) in table.blocks.iter().enumerate() {
         store.write_block(vfs, data_path, block_logical(i as u32), &encode_block(b))?;
@@ -209,9 +229,31 @@ pub fn save_dirty(
     data_path: &Path,
     watermark: u64,
 ) -> Result<(), StorageError> {
+    save_dirty_epoch(xs, vfs, store, data_path, watermark, 0, false)
+}
+
+/// [`save_dirty`], stamping `epoch` into the catalog whenever it is
+/// rewritten. `force_catalog` rewrites the catalog even when no
+/// schema/list/size state moved — needed when only the epoch advanced
+/// (content mutations dirty blocks without touching the meta tick),
+/// since a stale on-disk epoch would make recovery re-apply records
+/// whose effects are already in the pages.
+///
+/// # Errors
+/// I/O failures from the underlying [`Vfs`].
+#[allow(clippy::too_many_arguments)]
+pub fn save_dirty_epoch(
+    xs: &XmlStorage,
+    vfs: &dyn Vfs,
+    store: &mut PageStore,
+    data_path: &Path,
+    watermark: u64,
+    epoch: u64,
+    force_catalog: bool,
+) -> Result<(), StorageError> {
     let table = xs.table();
-    if table.meta_tick > watermark {
-        store.write_block(vfs, data_path, CATALOG_LOGICAL, &encode_catalog(xs))?;
+    if table.meta_tick > watermark || force_catalog {
+        store.write_block(vfs, data_path, CATALOG_LOGICAL, &encode_catalog(xs, epoch))?;
     }
     for (&b, &t) in &table.dirty_blocks {
         if t > watermark {
@@ -250,6 +292,9 @@ struct Catalog {
     lists: Vec<Option<(u32, u32)>>,
     block_count: u32,
     loc_len: u32,
+    /// Highest WAL sequence applied to these pages (0 for version-1
+    /// catalogs, which predate the log).
+    epoch: u64,
 }
 
 fn read_catalog(
@@ -264,7 +309,7 @@ fn read_catalog(
 fn decode_catalog(bytes: &[u8]) -> Result<Catalog, StorageError> {
     let mut r = Reader::new(bytes, "catalog");
     let version = r.u8()?;
-    if version != CATALOG_VERSION {
+    if !(1..=CATALOG_VERSION).contains(&version) {
         return Err(StorageError::corrupt(format!("catalog: unknown format version {version}")));
     }
     let capacity = r.u16()?;
@@ -313,6 +358,7 @@ fn decode_catalog(bytes: &[u8]) -> Result<Catalog, StorageError> {
     }
     let block_count = r.u32()?;
     let loc_len = r.u32()?;
+    let epoch = if version >= 2 { r.u64()? } else { 0 };
     r.finish()?;
     for (sn, l) in lists.iter().enumerate() {
         if let Some((first, last)) = l {
@@ -337,6 +383,7 @@ fn decode_catalog(bytes: &[u8]) -> Result<Catalog, StorageError> {
         lists,
         block_count,
         loc_len,
+        epoch,
     })
 }
 
@@ -547,6 +594,19 @@ pub fn load(
     vfs: &dyn Vfs,
     data_path: &Path,
 ) -> Result<XmlStorage, StorageError> {
+    load_with_epoch(store, vfs, data_path).map(|(xs, _)| xs)
+}
+
+/// [`load`], also returning the commit epoch stamped in the catalog —
+/// the highest WAL sequence whose effects the pages contain.
+///
+/// # Errors
+/// As for [`load`].
+pub fn load_with_epoch(
+    store: &PageStore,
+    vfs: &dyn Vfs,
+    data_path: &Path,
+) -> Result<(XmlStorage, u64), StorageError> {
     let cat = read_catalog(store, vfs, data_path)?;
     let mut blocks = Vec::new();
     for i in 0..cat.block_count {
@@ -555,13 +615,13 @@ pub fn load(
     }
     let locations = read_locations(store, vfs, data_path, &cat)?;
     validate(&cat, &blocks, &locations)?;
-    let Catalog { capacity, root, relabels, base_uri, schema, lists, .. } = cat;
+    let Catalog { capacity, root, relabels, base_uri, schema, lists, epoch, .. } = cat;
     let table = BlockTable { blocks, lists, locations, ..Default::default() };
     let xs = XmlStorage::from_parts(schema, table, root, capacity, base_uri, relabels);
     if let Some(violation) = xs.check_invariants() {
         return Err(StorageError::Corrupt(violation));
     }
-    Ok(xs)
+    Ok((xs, epoch))
 }
 
 // ------------------------------------------------------------ lazy open
@@ -598,6 +658,11 @@ impl PagedXml {
     /// Number of data blocks.
     pub fn block_count(&self) -> u32 {
         self.catalog.block_count
+    }
+
+    /// The commit epoch stamped in the catalog (0 for pre-WAL files).
+    pub fn epoch(&self) -> u64 {
+        self.catalog.epoch
     }
 
     /// The underlying page store.
@@ -822,6 +887,48 @@ mod tests {
     }
 
     #[test]
+    fn epochs_round_trip_and_v1_catalogs_read_as_epoch_zero() {
+        let dir = tmpdir("epoch");
+        let vfs = StdVfs;
+        let xs = library(3);
+        let data = dir.join("doc.xsp");
+        let map = dir.join("doc.xspm");
+        let mut store = PageStore::new();
+        save_full_epoch(&xs, &vfs, &mut store, &data, 42).unwrap();
+        store.commit(&vfs, &map).unwrap();
+        let reopened = PageStore::open(&vfs, &map).unwrap();
+        let (loaded, epoch) = load_with_epoch(&reopened, &vfs, &data).unwrap();
+        assert_same(&xs, &loaded);
+        assert_eq!(epoch, 42);
+        let lazy = PagedXml::open(&vfs, &data, &map).unwrap();
+        assert_eq!(lazy.epoch(), 42);
+
+        // An epoch-only advance with no schema movement: the catalog is
+        // rewritten only when forced.
+        let mut store = lazy.into_store();
+        save_dirty_epoch(&xs, &vfs, &mut store, &data, u64::MAX, 43, true).unwrap();
+        store.commit(&vfs, &map).unwrap();
+        let reopened = PageStore::open(&vfs, &map).unwrap();
+        assert_eq!(load_with_epoch(&reopened, &vfs, &data).unwrap().1, 43);
+
+        // A hand-built version-1 catalog (no epoch field) still loads.
+        let mut store = PageStore::open(&vfs, &map).unwrap();
+        let v2 = store.read_block(&vfs, &data, CATALOG_LOGICAL).unwrap();
+        let v1 = {
+            let mut bytes = v2.clone();
+            bytes[0] = 1;
+            bytes.truncate(bytes.len() - 8);
+            bytes
+        };
+        store.write_block(&vfs, &data, CATALOG_LOGICAL, &v1).unwrap();
+        store.commit(&vfs, &map).unwrap();
+        let reopened = PageStore::open(&vfs, &map).unwrap();
+        let (migrated, epoch) = load_with_epoch(&reopened, &vfs, &data).unwrap();
+        assert_same(&xs, &migrated);
+        assert_eq!(epoch, 0, "version-1 catalogs predate the log");
+    }
+
+    #[test]
     fn every_structural_lie_is_a_typed_error() {
         let dir = tmpdir("hostile");
         let vfs = StdVfs;
@@ -841,6 +948,7 @@ mod tests {
             w.u32(0); // no schema nodes
             w.u32(0);
             w.u32(0);
+            w.u64(0); // epoch
             store.write_block(&vfs, &data, CATALOG_LOGICAL, &w.into_bytes()).unwrap();
             store.commit(&vfs, &map).unwrap();
             let reopened = PageStore::open(&vfs, &map).unwrap();

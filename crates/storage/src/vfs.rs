@@ -80,6 +80,25 @@ pub trait Vfs: std::fmt::Debug {
     fn file_len(&self, path: &Path) -> io::Result<u64> {
         Ok(self.read(path)?.len() as u64)
     }
+
+    /// Append `data` to the end of a file, creating it if missing,
+    /// WITHOUT fsyncing — durability is deferred to [`Vfs::sync_file`]
+    /// so a log can batch many appends under one fsync. The default
+    /// implementation splices onto a whole-file durable rewrite, which
+    /// keeps the `append` + no-op `sync_file` pair correct for a `Vfs`
+    /// written before logs existed.
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut bytes = if self.exists(path) { self.read(path)? } else { Vec::new() };
+        bytes.extend_from_slice(data);
+        self.write(path, &bytes)
+    }
+
+    /// Fsync a file's contents so prior [`Vfs::append`]s are durable.
+    /// The default is a no-op, correct only because the default
+    /// `append` is already durable.
+    fn sync_file(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// The real filesystem.
@@ -158,6 +177,19 @@ impl Vfs for StdVfs {
     fn file_len(&self, path: &Path) -> io::Result<u64> {
         Ok(fs::metadata(path)?.len())
     }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        // Deliberately no fsync: the write-ahead log batches appends
+        // and makes them durable with one `sync_file` per group.
+        let mut file = fs::OpenOptions::new().append(true).create(true).open(path)?;
+        file.write_all(data)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        fs::OpenOptions::new().read(true).open(path)?.sync_all()?;
+        xsobs::global().incr(xsobs::CounterId::PersistFsyncs);
+        Ok(())
+    }
 }
 
 /// How [`FaultyVfs`] misbehaves once its fault point is reached.
@@ -186,32 +218,41 @@ pub struct FaultyVfs {
     mode: FaultMode,
     ops: AtomicU64,
     write_ops: AtomicU64,
+    sync_ops: AtomicU64,
+    fsync_fault_at: u64,
     crashed: AtomicBool,
 }
 
 impl FaultyVfs {
-    /// Fail (transiently) at 0-based operation `fault_at`.
-    pub fn error_at(fault_at: u64) -> Self {
+    fn with_fault(fault_at: u64, mode: FaultMode, fsync_fault_at: u64) -> Self {
         FaultyVfs {
             inner: StdVfs,
             fault_at,
-            mode: FaultMode::Error,
+            mode,
             ops: AtomicU64::new(0),
             write_ops: AtomicU64::new(0),
+            sync_ops: AtomicU64::new(0),
+            fsync_fault_at,
             crashed: AtomicBool::new(false),
         }
     }
 
+    /// Fail (transiently) at 0-based operation `fault_at`.
+    pub fn error_at(fault_at: u64) -> Self {
+        FaultyVfs::with_fault(fault_at, FaultMode::Error, u64::MAX)
+    }
+
     /// Crash at 0-based operation `fault_at` (and stay down).
     pub fn crash_at(fault_at: u64) -> Self {
-        FaultyVfs {
-            inner: StdVfs,
-            fault_at,
-            mode: FaultMode::Crash,
-            ops: AtomicU64::new(0),
-            write_ops: AtomicU64::new(0),
-            crashed: AtomicBool::new(false),
-        }
+        FaultyVfs::with_fault(fault_at, FaultMode::Crash, u64::MAX)
+    }
+
+    /// Fail (transiently) at the 0-based `n`-th fsync — `sync_file` or
+    /// `sync_dir` — while every other operation proceeds normally. This
+    /// is the "disk acked the write but refused the flush" failure a
+    /// durable log must report as *not durable* rather than ack.
+    pub fn fsync_error_at(n: u64) -> Self {
+        FaultyVfs::with_fault(u64::MAX, FaultMode::Error, n)
     }
 
     /// A counting pass-through that never faults — run a save through it
@@ -230,6 +271,11 @@ impl FaultyVfs {
     /// re-save must leave this at zero.
     pub fn write_ops(&self) -> u64 {
         self.write_ops.load(Ordering::SeqCst)
+    }
+
+    /// Fsync operations (`sync_file` + `sync_dir`) attempted so far.
+    pub fn sync_ops(&self) -> u64 {
+        self.sync_ops.load(Ordering::SeqCst)
     }
 
     /// Whether the simulated crash has happened.
@@ -260,6 +306,16 @@ impl FaultyVfs {
     fn tick_write(&self) -> io::Result<()> {
         self.write_ops.fetch_add(1, Ordering::SeqCst);
         self.tick()
+    }
+
+    /// An fsync is being attempted: counts against the dedicated fsync
+    /// fault point *in addition to* the ordinary operation counter.
+    fn tick_sync(&self) -> io::Result<()> {
+        let n = self.sync_ops.fetch_add(1, Ordering::SeqCst);
+        if n == self.fsync_fault_at {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        Ok(())
     }
 }
 
@@ -310,6 +366,7 @@ impl Vfs for FaultyVfs {
 
     fn sync_dir(&self, path: &Path) -> io::Result<()> {
         self.tick()?;
+        self.tick_sync()?;
         self.inner.sync_dir(path)
     }
 
@@ -342,6 +399,26 @@ impl Vfs for FaultyVfs {
     fn file_len(&self, path: &Path) -> io::Result<u64> {
         self.tick()?;
         self.inner.file_len(path)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        match self.tick_write() {
+            Ok(()) => self.inner.append(path, data),
+            Err(e) => {
+                // A crashing append tears exactly like a crashing
+                // write: a prefix of the record reaches the disk.
+                if self.mode == FaultMode::Crash && self.crashed() {
+                    let _ = self.inner.append(path, &data[..data.len() / 2]);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        self.tick()?;
+        self.tick_sync()?;
+        self.inner.sync_file(path)
     }
 }
 
@@ -475,6 +552,89 @@ mod tests {
         let bytes = fs::read(&file).unwrap();
         assert_eq!(&bytes[..8], b"....ABCD", "half the data landed at the offset");
         assert_eq!(&bytes[8..], b"........", "the rest of the file is untouched");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_defers_durability_to_sync_file() {
+        let dir = temp_dir("append");
+        let vfs = StdVfs;
+        let file = dir.join("log");
+        vfs.append(&file, b"one").unwrap();
+        vfs.append(&file, b"two").unwrap();
+        assert_eq!(vfs.read(&file).unwrap(), b"onetwo");
+        vfs.sync_file(&file).unwrap();
+        assert!(vfs.sync_file(&dir.join("missing")).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn default_append_and_sync_file_are_durable_together() {
+        #[derive(Debug)]
+        struct Basic(StdVfs);
+        impl Vfs for Basic {
+            fn create_dir_all(&self, p: &Path) -> io::Result<()> {
+                self.0.create_dir_all(p)
+            }
+            fn write(&self, p: &Path, d: &[u8]) -> io::Result<()> {
+                self.0.write(p, d)
+            }
+            fn read(&self, p: &Path) -> io::Result<Vec<u8>> {
+                self.0.read(p)
+            }
+            fn rename(&self, a: &Path, b: &Path) -> io::Result<()> {
+                self.0.rename(a, b)
+            }
+            fn remove_file(&self, p: &Path) -> io::Result<()> {
+                self.0.remove_file(p)
+            }
+            fn remove_dir_all(&self, p: &Path) -> io::Result<()> {
+                self.0.remove_dir_all(p)
+            }
+            fn read_dir(&self, p: &Path) -> io::Result<Vec<PathBuf>> {
+                self.0.read_dir(p)
+            }
+            fn sync_dir(&self, p: &Path) -> io::Result<()> {
+                self.0.sync_dir(p)
+            }
+            fn exists(&self, p: &Path) -> bool {
+                self.0.exists(p)
+            }
+        }
+        let dir = temp_dir("default-append");
+        let vfs = Basic(StdVfs);
+        let file = dir.join("log");
+        vfs.append(&file, b"aa").unwrap();
+        vfs.append(&file, b"bb").unwrap();
+        assert_eq!(vfs.read(&file).unwrap(), b"aabb");
+        vfs.sync_file(&file).unwrap(); // no-op, but must not error
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_mode_tears_appends() {
+        let dir = temp_dir("crash-append");
+        let file = dir.join("log");
+        StdVfs.append(&file, b"intact").unwrap();
+        let vfs = FaultyVfs::crash_at(0);
+        assert!(vfs.append(&file, b"ABCDEFGH").is_err());
+        assert_eq!(fs::read(&file).unwrap(), b"intactABCD", "half the record landed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_error_mode_fails_only_the_chosen_fsync() {
+        let dir = temp_dir("fsync-fault");
+        let vfs = FaultyVfs::fsync_error_at(1);
+        let file = dir.join("log");
+        vfs.append(&file, b"record").unwrap();
+        vfs.sync_file(&file).unwrap(); // fsync 0: fine
+        assert!(vfs.sync_file(&file).is_err(), "fsync 1 is injected");
+        vfs.sync_file(&file).unwrap(); // transient: recovers
+        assert_eq!(vfs.sync_ops(), 3);
+        assert!(!vfs.crashed());
+        // Ordinary writes never fault in this mode.
+        vfs.write(&dir.join("other"), b"x").unwrap();
         let _ = fs::remove_dir_all(&dir);
     }
 

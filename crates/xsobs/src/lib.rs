@@ -147,11 +147,24 @@ pub enum CounterId {
     StoragePageWrites,
     /// Logical blocks marked dirty (rewritten onto fresh pages).
     StoragePagesDirty,
+    /// Records appended to the write-ahead log.
+    WalAppends,
+    /// Fsyncs issued by the write-ahead log (group commit batches).
+    WalFsyncs,
+    /// Records replayed from the log tail during recovery.
+    WalReplayRecords,
+    /// Replayed records skipped as already checkpointed (their effects
+    /// were durable in the paged store before the crash).
+    WalReplaySkipped,
+    /// Checkpoints taken (log applied to the paged store + truncated).
+    WalCheckpoints,
+    /// Pages written by checkpoints into the paged store.
+    WalCheckpointPages,
 }
 
 impl CounterId {
     /// Every counter, in stable export order.
-    pub const ALL: [CounterId; 45] = [
+    pub const ALL: [CounterId; 51] = [
         CounterId::ParseDocuments,
         CounterId::ParseBytes,
         CounterId::ParseEntityExpansions,
@@ -197,6 +210,12 @@ impl CounterId {
         CounterId::StoragePageReads,
         CounterId::StoragePageWrites,
         CounterId::StoragePagesDirty,
+        CounterId::WalAppends,
+        CounterId::WalFsyncs,
+        CounterId::WalReplayRecords,
+        CounterId::WalReplaySkipped,
+        CounterId::WalCheckpoints,
+        CounterId::WalCheckpointPages,
     ];
 
     /// Number of counters.
@@ -250,6 +269,12 @@ impl CounterId {
             CounterId::StoragePageReads => "storage.page_reads_total",
             CounterId::StoragePageWrites => "storage.page_writes_total",
             CounterId::StoragePagesDirty => "storage.pages_dirty_total",
+            CounterId::WalAppends => "wal.appends_total",
+            CounterId::WalFsyncs => "wal.fsyncs_total",
+            CounterId::WalReplayRecords => "wal.replay_records_total",
+            CounterId::WalReplaySkipped => "wal.replay_skipped_total",
+            CounterId::WalCheckpoints => "wal.checkpoints_total",
+            CounterId::WalCheckpointPages => "wal.checkpoint_pages_total",
         }
     }
 }
@@ -321,11 +346,16 @@ pub enum HistogramId {
     /// One client-side request round trip (recorded by the load
     /// generator, never by the server).
     ClientRequest,
+    /// Records made durable per WAL group-commit fsync (a *count*, not
+    /// nanoseconds — recorded via [`Registry::observe_value`]).
+    WalBatchRecords,
+    /// One durable commit: WAL append through fsync acknowledgement.
+    WalCommit,
 }
 
 impl HistogramId {
     /// Every histogram, in stable export order.
-    pub const ALL: [HistogramId; 15] = [
+    pub const ALL: [HistogramId; 17] = [
         HistogramId::DbInsert,
         HistogramId::DbValidate,
         HistogramId::DbQuery,
@@ -341,6 +371,8 @@ impl HistogramId {
         HistogramId::SrvReadLockWait,
         HistogramId::SrvWriteLockWait,
         HistogramId::ClientRequest,
+        HistogramId::WalBatchRecords,
+        HistogramId::WalCommit,
     ];
 
     /// Number of histograms.
@@ -364,6 +396,8 @@ impl HistogramId {
             HistogramId::SrvReadLockWait => "server.read_lock_wait_ns",
             HistogramId::SrvWriteLockWait => "server.write_lock_wait_ns",
             HistogramId::ClientRequest => "client.request_ns",
+            HistogramId::WalBatchRecords => "wal.batch_records",
+            HistogramId::WalCommit => "wal.commit_ns",
         }
     }
 }
@@ -560,6 +594,16 @@ impl Registry {
     pub fn observe(&self, id: HistogramId, elapsed: Duration) {
         if self.is_enabled() {
             self.observe_ns(id, saturating_ns(elapsed), None);
+        }
+    }
+
+    /// Record a raw value into a histogram — for count-valued families
+    /// like [`HistogramId::WalBatchRecords`] where the observation is
+    /// not a duration. Never feeds the slow-op ring (the ns thresholds
+    /// would be meaningless against counts).
+    pub fn observe_value(&self, id: HistogramId, v: u64) {
+        if self.is_enabled() {
+            self.histograms[id as usize].record(v);
         }
     }
 

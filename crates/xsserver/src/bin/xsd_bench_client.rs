@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! xsd-bench-client --addr HOST:PORT [--connections N] [--requests N]
-//!                  [--write-percent P] [--doc-items N] [--stats-json]
+//!                  [--write-percent P] [--doc-items N]
+//!                  [--retries N] [--backoff-ms MS] [--stats-json]
 //! ```
 //!
 //! Registers the bench schema and one document per connection, then
 //! runs `--connections` threads each issuing `--requests` requests
-//! back-to-back (`--write-percent` of them through the write lock) and
+//! back-to-back (`--write-percent` of them through the commit path) and
 //! prints one summary line: requests, errors, wall time, throughput,
-//! and p50/p90/p99 latency. `--stats-json` additionally prints the
-//! client-side metrics snapshot (`client.request_ns`) to stderr.
+//! and p50/p90/p99 latency. `--retries`/`--backoff-ms` retry `BUSY`
+//! rejections and transient connect failures with linear backoff
+//! instead of counting them as errors (default: fail fast).
+//! `--stats-json` additionally prints the client-side metrics snapshot
+//! (`client.request_ns`) to stderr.
 //!
 //! Exit code: 0 when every request succeeded, 1 otherwise — so scripts
 //! can assert "N concurrent connections with zero protocol errors".
@@ -27,7 +31,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: xsd-bench-client --addr HOST:PORT [--connections N] \
-     [--requests N] [--write-percent P] [--doc-items N] [--stats-json]";
+     [--requests N] [--write-percent P] [--doc-items N] [--retries N] \
+     [--backoff-ms MS] [--stats-json]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args { addr: String::new(), config: LoadConfig::default(), stats_json: false };
@@ -55,6 +60,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.config.write_percent = p as u8;
             }
             "--doc-items" => args.config.doc_items = num("--doc-items", value("--doc-items")?)?,
+            "--retries" => {
+                args.config.retry.retries = num("--retries", value("--retries")?)? as u32
+            }
+            "--backoff-ms" => {
+                args.config.retry.backoff =
+                    std::time::Duration::from_millis(
+                        num("--backoff-ms", value("--backoff-ms")?)? as u64
+                    )
+            }
             "--stats-json" => args.stats_json = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),

@@ -1,14 +1,22 @@
 //! `xsd-serve` — the xsdb network daemon.
 //!
 //! ```text
-//! xsd-serve [--addr HOST:PORT] [--dir DIR] [--threads N] [--max-conns N]
-//!           [--timeout-ms MS] [--strict-analysis] [--stats-json]
+//! xsd-serve [--addr HOST:PORT] [--dir DIR] [--durability MODE]
+//!           [--threads N] [--max-conns N] [--timeout-ms MS]
+//!           [--strict-analysis] [--stats-json]
 //! ```
 //!
 //! * `--addr` — listen address (default `127.0.0.1:7070`; port 0 picks
 //!   an ephemeral port, reported on the startup line).
-//! * `--dir` — persistence directory: loaded on startup when it holds a
-//!   database, saved by the `SAVE` opcode and once more on shutdown.
+//! * `--dir` — persistence directory: loaded on startup (replaying the
+//!   write-ahead-log tail) when it holds a database, checkpointed by
+//!   the `SAVE` opcode and once more on shutdown. Every mutation is
+//!   appended to the write-ahead log before it is acknowledged.
+//! * `--durability` — when to acknowledge a logged mutation:
+//!   `fsync` (default; fsync per commit — a failed fsync is reported,
+//!   not acked), `group` (apply immediately, ack after a shared group
+//!   fsync), or `async` (no per-commit fsync; an acknowledged write
+//!   can be lost in a crash). Only meaningful with `--dir`.
 //! * `--threads` — worker threads = connections served concurrently
 //!   (default 64).
 //! * `--max-conns` — connections in flight before new ones are refused
@@ -30,12 +38,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use xsdb::cli::out_line;
-use xsdb::{Database, SharedDatabase};
+use xsdb::{Database, Durability, SharedDatabase};
 use xsserver::{Server, ServerConfig};
 
 struct Args {
     addr: String,
     dir: Option<String>,
+    durability: Durability,
     threads: usize,
     max_conns: usize,
     timeout_ms: u64,
@@ -43,13 +52,15 @@ struct Args {
     stats_json: bool,
 }
 
-const USAGE: &str = "usage: xsd-serve [--addr HOST:PORT] [--dir DIR] [--threads N] \
-     [--max-conns N] [--timeout-ms MS] [--strict-analysis] [--stats-json]";
+const USAGE: &str = "usage: xsd-serve [--addr HOST:PORT] [--dir DIR] \
+     [--durability fsync|group|async] [--threads N] [--max-conns N] \
+     [--timeout-ms MS] [--strict-analysis] [--stats-json]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7070".to_string(),
         dir: None,
+        durability: Durability::default(),
         threads: 64,
         max_conns: 256,
         timeout_ms: 30_000,
@@ -64,6 +75,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--addr" => args.addr = value("--addr")?,
             "--dir" => args.dir = Some(value("--dir")?),
+            "--durability" => {
+                args.durability =
+                    value("--durability")?.parse().map_err(|e| format!("{e}\n{USAGE}"))?
+            }
             "--threads" => {
                 args.threads = value("--threads")?
                     .parse()
@@ -117,14 +132,18 @@ fn install_signal_handlers() {
 }
 
 fn run(args: &Args) -> Result<(), String> {
-    let mut db = match &args.dir {
-        Some(dir) if std::path::Path::new(dir).join("CURRENT").exists() => {
-            Database::load_dir(dir).map_err(|e| format!("cannot load {dir}: {e}"))?
+    let shared = match &args.dir {
+        Some(dir) => {
+            let (shared, report) = SharedDatabase::open_durable(dir, args.durability)
+                .map_err(|e| format!("cannot open {dir}: {e}"))?;
+            for warning in &report.warnings {
+                eprintln!("xsd-serve: {warning}");
+            }
+            shared
         }
-        _ => Database::new(),
+        None => SharedDatabase::new(Database::new()),
     };
-    db.set_strict_analysis(args.strict_analysis);
-    let shared = SharedDatabase::new(db);
+    shared.write().set_strict_analysis(args.strict_analysis);
     let config = ServerConfig {
         threads: args.threads,
         max_conns: args.max_conns,

@@ -79,6 +79,66 @@ impl ClientError {
             _ => None,
         }
     }
+
+    /// Whether the failure is worth retrying: the server refused with
+    /// [`Status::Busy`] (load shedding at the admission gate), or the
+    /// transport failed in a way that resolves on its own — connection
+    /// refused/reset/aborted (server restarting, backlog overflow) or
+    /// a timeout. Semantic errors (validation failures, unknown names,
+    /// protocol violations) are deterministic and never retried.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Status { status, .. } => *status == Status::Busy,
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+            ),
+            ClientError::Protocol(_) => false,
+        }
+    }
+}
+
+/// Bounded retry-with-backoff for transient failures
+/// ([`ClientError::is_transient`]): up to `retries` extra attempts,
+/// sleeping `backoff × attempt` between them (linear backoff — the
+/// k-th retry waits k backoff units, so contending clients spread
+/// out). `RetryPolicy::default()` performs no retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure (0 = fail fast).
+    pub retries: u32,
+    /// Base delay between attempts; attempt k sleeps `backoff × k`.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy retrying `retries` times with `backoff_ms` base delay.
+    pub fn new(retries: u32, backoff_ms: u64) -> RetryPolicy {
+        RetryPolicy { retries, backoff: Duration::from_millis(backoff_ms) }
+    }
+
+    /// Run `attempt` until it succeeds, fails non-transiently, or the
+    /// retry budget is spent. The last error is returned as-is.
+    pub fn run<T>(
+        &self,
+        mut attempt: impl FnMut() -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut tries: u32 = 0;
+        loop {
+            match attempt() {
+                Err(e) if tries < self.retries && e.is_transient() => {
+                    tries += 1;
+                    std::thread::sleep(self.backoff.saturating_mul(tries));
+                }
+                other => return other,
+            }
+        }
+    }
 }
 
 /// Responses larger than this are rejected client-side as a protocol
@@ -97,6 +157,21 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client { stream, max_payload: CLIENT_MAX_PAYLOAD })
+    }
+
+    /// Connect under a [`RetryPolicy`]: a refused/reset connection — or
+    /// a [`Status::Busy`] rejection, which the server delivers in
+    /// response to the probe `PING` this method issues — is retried
+    /// with backoff up to the policy's budget.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        policy.run(|| {
+            let mut client = Client::connect(&addr)?;
+            client.ping()?;
+            Ok(client)
+        })
     }
 
     /// Connect with a read/write timeout applied to every socket
@@ -268,4 +343,84 @@ fn parse_count(fields: &[String]) -> Result<usize, ClientError> {
     first
         .parse()
         .map_err(|_| ClientError::Protocol(format!("count response was not a number: {first:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy() -> ClientError {
+        ClientError::Status { status: Status::Busy, message: "busy".to_string() }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_up_to_the_budget() {
+        let policy = RetryPolicy::new(3, 0);
+        let mut attempts = 0;
+        let out: Result<u32, _> = policy.run(|| {
+            attempts += 1;
+            if attempts < 3 {
+                Err(busy())
+            } else {
+                Ok(attempts)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+
+        // Budget exhausted: 1 initial try + `retries` more, then the
+        // last error surfaces unchanged.
+        let mut attempts = 0;
+        let out: Result<(), _> = policy.run(|| {
+            attempts += 1;
+            Err(busy())
+        });
+        assert_eq!(attempts, 4);
+        assert_eq!(out.unwrap_err().status(), Some(Status::Busy));
+    }
+
+    #[test]
+    fn deterministic_errors_fail_fast() {
+        let policy = RetryPolicy::new(5, 0);
+        let mut attempts = 0;
+        let out: Result<(), _> = policy.run(|| {
+            attempts += 1;
+            Err(ClientError::Status {
+                status: Status::UnknownDocument,
+                message: "no such doc".to_string(),
+            })
+        });
+        assert_eq!(attempts, 1, "semantic errors must not be retried");
+        assert_eq!(out.unwrap_err().status(), Some(Status::UnknownDocument));
+
+        let mut attempts = 0;
+        let out: Result<(), _> = policy.run(|| {
+            attempts += 1;
+            Err(ClientError::Protocol("garbled".to_string()))
+        });
+        assert_eq!(attempts, 1);
+        assert!(matches!(out, Err(ClientError::Protocol(_))));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(busy().is_transient());
+        assert!(ClientError::Io(io::Error::from(io::ErrorKind::ConnectionRefused)).is_transient());
+        assert!(ClientError::Io(io::Error::from(io::ErrorKind::TimedOut)).is_transient());
+        assert!(!ClientError::Io(io::Error::from(io::ErrorKind::PermissionDenied)).is_transient());
+        assert!(!ClientError::Protocol("x".to_string()).is_transient());
+        let semantic = ClientError::Status { status: Status::Invalid, message: String::new() };
+        assert!(!semantic.is_transient());
+    }
+
+    #[test]
+    fn zero_retry_policy_is_fail_fast() {
+        let policy = RetryPolicy::default();
+        let mut attempts = 0;
+        let out: Result<(), _> = policy.run(|| {
+            attempts += 1;
+            Err(busy())
+        });
+        assert_eq!(attempts, 1);
+        assert!(out.is_err());
+    }
 }

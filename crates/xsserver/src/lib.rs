@@ -9,21 +9,27 @@
 //! XML DBMS; this crate supplies the client/server part. The server
 //! ([`server::Server`]) puts a [`SharedDatabase`](xsdb::SharedDatabase)
 //! behind TCP: read operations (validate, query, XQuery, catalog,
-//! stats) run concurrently under the shared read lock, while state
-//! transitions (inserts, updates, deletes, schema registration and
-//! removal) serialize through the write lock — the observable behavior
+//! stats) run concurrently against immutable epoch snapshots and never
+//! block on writers, while state transitions (inserts, updates,
+//! deletes, schema registration and removal) commit one at a time
+//! through [`SharedDatabase::apply`](xsdb::SharedDatabase::apply) —
+//! appended to a write-ahead log before they are acknowledged when the
+//! daemon runs with a persistence directory. The observable behavior
 //! of every opcode is *identical* to calling the corresponding
 //! [`Database`](xsdb::Database) method in process, which the
 //! integration suite asserts byte-for-byte.
 //!
 //! Two binaries ship with the crate:
 //!
-//! * `xsd-serve` — the daemon: bind an address, optionally load/save a
-//!   persistence directory, serve until SIGTERM/SIGINT, then flush a
-//!   final save.
+//! * `xsd-serve` — the daemon: bind an address, optionally open a
+//!   persistence directory (recovering the write-ahead-log tail),
+//!   serve under a chosen durability mode (`--durability
+//!   fsync|group|async`) until SIGTERM/SIGINT, then checkpoint.
 //! * `xsd-bench-client` — the load generator: N connections issuing a
 //!   configurable read/write mix in a closed loop, reporting
-//!   throughput and latency percentiles.
+//!   throughput and latency percentiles, with bounded retry-with-
+//!   backoff (`--retries`, `--backoff-ms`) for `BUSY` rejections and
+//!   transient connect failures.
 //!
 //! Traffic is observable through the pinned `server.*` metric family
 //! (connection counts, per-opcode request counters, byte counters,
@@ -38,6 +44,6 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use protocol::{Opcode, Status, WIRE_VERSION};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{checkpoint, Server, ServerConfig, ServerHandle};

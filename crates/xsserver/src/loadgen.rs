@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use xsobs::HistogramId;
 
-use crate::client::Client;
+use crate::client::{Client, RetryPolicy};
 
 /// The schema every load-generator document validates against.
 pub const BENCH_SCHEMA_NAME: &str = "bench";
@@ -56,15 +56,24 @@ pub struct LoadConfig {
     /// Requests each connection issues, back-to-back.
     pub requests_per_conn: usize,
     /// Percentage of requests that are writes (`update_set_text`
-    /// through the write lock); the rest are reads (`query`).
+    /// through the commit path); the rest are reads (`query`).
     pub write_percent: u8,
     /// `<item>` elements per benchmark document.
     pub doc_items: usize,
+    /// Retry budget for `BUSY` rejections and transient connect
+    /// failures while establishing connections (default: none).
+    pub retry: RetryPolicy,
 }
 
 impl Default for LoadConfig {
     fn default() -> Self {
-        LoadConfig { connections: 8, requests_per_conn: 200, write_percent: 10, doc_items: 64 }
+        LoadConfig {
+            connections: 8,
+            requests_per_conn: 200,
+            write_percent: 10,
+            doc_items: 64,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -109,7 +118,7 @@ impl LoadSummary {
 /// from a previous run are tolerated only if content matches — the
 /// generator uses deterministic content, so re-runs reuse the state).
 pub fn setup(addr: &str, config: &LoadConfig) -> Result<(), crate::client::ClientError> {
-    let mut c = Client::connect(addr)?;
+    let mut c = Client::connect_with_retry(addr, config.retry)?;
     if let Err(e) = c.put_schema(BENCH_SCHEMA_NAME, BENCH_SCHEMA) {
         if e.status() != Some(crate::protocol::Status::DuplicateSchema) {
             return Err(e);
@@ -143,7 +152,7 @@ pub fn run(addr: &str, config: &LoadConfig, obs: &xsobs::Registry) -> LoadSummar
             handles.push(s.spawn(move || {
                 let mut local: Vec<u64> = Vec::with_capacity(config.requests_per_conn);
                 let doc = format!("bench-{i}");
-                let mut client = match Client::connect(addr) {
+                let mut client = match Client::connect_with_retry(addr, config.retry) {
                     Ok(c) => c,
                     Err(_) => {
                         errors.fetch_add(config.requests_per_conn as u64, Ordering::Relaxed);

@@ -9,30 +9,35 @@
 //! refused with [`Status::Busy`] and counted in
 //! `server.connections_rejected_total`.
 //!
-//! Read operations (`VALIDATE`, `QUERY`, `XQUERY`, `LIST`, `STATS`,
-//! `SAVE`) take the shared read lock and run in parallel across
-//! workers; state transitions (`PUT_*`, `DEL_*`, `UPDATE_*`) take the
-//! write lock and serialize — exactly the `&self` / `&mut self` split
-//! of [`Database`](xsdb::Database).
+//! Read operations (`VALIDATE`, `QUERY`, `XQUERY`, `LIST`, `STATS`)
+//! run against an immutable epoch snapshot
+//! ([`SharedDatabase::read`](xsdb::SharedDatabase::read)) and never
+//! block on writers; state transitions (`PUT_*`, `DEL_*`, `UPDATE_*`)
+//! are encoded as [`Mutation`]s and committed through
+//! [`SharedDatabase::apply`](xsdb::SharedDatabase::apply) — on a
+//! durable database each is appended to the write-ahead log before it
+//! is acknowledged, under the server's [`Durability`](xsdb::Durability)
+//! mode. `SAVE` is a checkpoint: it folds the log into the paged store
+//! and truncates it, through the same [`checkpoint`] helper the
+//! graceful shutdown uses.
 //!
 //! Shutdown ([`ServerHandle::shutdown`]) is graceful: the flag flips,
 //! a self-connection wakes the blocking accept, workers finish their
 //! in-flight request, send each remaining connection (idle or still
 //! queued) a [`Status::ShuttingDown`] frame and close, and — when a
-//! persistence directory is configured — a final
-//! [`save_dir`](xsdb::Database::save_dir) commits the state before the
-//! call returns.
+//! persistence directory is configured — a final [`checkpoint`]
+//! commits the state before the call returns.
 
 use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use xsdb::{DbError, SharedDatabase};
+use xsdb::{ApplyOutcome, DbError, Mutation, SharedDatabase};
 use xsobs::{CounterId, HistogramId, MaxId};
 
 use crate::protocol::{
@@ -165,7 +170,7 @@ impl ServerHandle {
     pub fn shutdown(mut self) -> Result<(), DbError> {
         self.stop_threads();
         match &self.dir {
-            Some(dir) => self.shared.read().save_dir(dir),
+            Some(dir) => checkpoint(&self.shared, dir),
             None => Ok(()),
         }
     }
@@ -464,6 +469,30 @@ fn ok_count(n: usize) -> (Status, Vec<String>) {
     (Status::Ok, vec![n.to_string()])
 }
 
+/// The one checkpoint path: the `SAVE` opcode and graceful shutdown
+/// both commit through here, so there is exactly one place where the
+/// in-memory state is folded into the paged store and the write-ahead
+/// log truncated — and both callers report the same typed [`DbError`]
+/// when it fails (to the client as a status frame, to the operator as
+/// the shutdown result).
+pub fn checkpoint(shared: &SharedDatabase, dir: &Path) -> Result<(), DbError> {
+    shared.checkpoint(dir)
+}
+
+/// Commit one mutation through the durable write path and render the
+/// outcome as a response.
+fn apply_mutation(state: &ServerState, m: &Mutation) -> (Status, Vec<String>) {
+    match state.shared.apply(m) {
+        Ok(ApplyOutcome::Updated(n)) => ok_count(n),
+        Ok(ApplyOutcome::Deleted(false)) => match m {
+            Mutation::Delete { doc } => err_response(&DbError::UnknownDocument(doc.clone())),
+            _ => (Status::Ok, Vec::new()),
+        },
+        Ok(_) => (Status::Ok, Vec::new()),
+        Err(e) => err_response(&e),
+    }
+}
+
 /// Execute one opcode against the shared database.
 fn dispatch(state: &ServerState, op: Opcode, fields: &[String]) -> (Status, Vec<String>) {
     let check = |want: usize| arity(op, fields, want);
@@ -478,38 +507,35 @@ fn dispatch(state: &ServerState, op: Opcode, fields: &[String]) -> (Status, Vec<
             if let Err(e) = check(2) {
                 return e;
             }
-            match state.shared.write().register_schema_text(&fields[0], &fields[1]) {
-                Ok(()) => (Status::Ok, Vec::new()),
-                Err(e) => err_response(&e),
-            }
+            apply_mutation(
+                state,
+                &Mutation::RegisterSchema { name: fields[0].clone(), xsd: fields[1].clone() },
+            )
         }
         Opcode::DelSchema => {
             if let Err(e) = check(1) {
                 return e;
             }
-            match state.shared.write().remove_schema(&fields[0]) {
-                Ok(()) => (Status::Ok, Vec::new()),
-                Err(e) => err_response(&e),
-            }
+            apply_mutation(state, &Mutation::RemoveSchema { name: fields[0].clone() })
         }
         Opcode::PutDoc => {
             if let Err(e) = check(3) {
                 return e;
             }
-            match state.shared.write().insert(&fields[0], &fields[1], &fields[2]) {
-                Ok(()) => (Status::Ok, Vec::new()),
-                Err(e) => err_response(&e),
-            }
+            apply_mutation(
+                state,
+                &Mutation::Insert {
+                    doc: fields[0].clone(),
+                    schema: fields[1].clone(),
+                    xml: fields[2].clone(),
+                },
+            )
         }
         Opcode::DelDoc => {
             if let Err(e) = check(1) {
                 return e;
             }
-            if state.shared.write().delete(&fields[0]) {
-                (Status::Ok, Vec::new())
-            } else {
-                err_response(&DbError::UnknownDocument(fields[0].clone()))
-            }
+            apply_mutation(state, &Mutation::Delete { doc: fields[0].clone() })
         }
         Opcode::Validate => {
             if let Err(e) = check(2) {
@@ -545,46 +571,51 @@ fn dispatch(state: &ServerState, op: Opcode, fields: &[String]) -> (Status, Vec<
                     vec![format!("UPDATE_INSERT expects 3 or 4 field(s), got {}", fields.len())],
                 );
             }
-            let text = fields.get(3).map(String::as_str);
-            match state
-                .shared
-                .write()
-                .update_insert_element(&fields[0], &fields[1], &fields[2], text)
-            {
-                Ok(n) => ok_count(n),
-                Err(e) => err_response(&e),
-            }
+            apply_mutation(
+                state,
+                &Mutation::UpdateInsert {
+                    doc: fields[0].clone(),
+                    parent: fields[1].clone(),
+                    name: fields[2].clone(),
+                    text: fields.get(3).cloned(),
+                },
+            )
         }
         Opcode::UpdateDelete => {
             if let Err(e) = check(2) {
                 return e;
             }
-            match state.shared.write().update_delete(&fields[0], &fields[1]) {
-                Ok(n) => ok_count(n),
-                Err(e) => err_response(&e),
-            }
+            apply_mutation(
+                state,
+                &Mutation::UpdateDelete { doc: fields[0].clone(), xpath: fields[1].clone() },
+            )
         }
         Opcode::UpdateSetAttr => {
             if let Err(e) = check(4) {
                 return e;
             }
-            match state
-                .shared
-                .write()
-                .update_set_attribute(&fields[0], &fields[1], &fields[2], &fields[3])
-            {
-                Ok(n) => ok_count(n),
-                Err(e) => err_response(&e),
-            }
+            apply_mutation(
+                state,
+                &Mutation::UpdateSetAttr {
+                    doc: fields[0].clone(),
+                    xpath: fields[1].clone(),
+                    attr: fields[2].clone(),
+                    value: fields[3].clone(),
+                },
+            )
         }
         Opcode::UpdateSetText => {
             if let Err(e) = check(3) {
                 return e;
             }
-            match state.shared.write().update_set_text(&fields[0], &fields[1], &fields[2]) {
-                Ok(n) => ok_count(n),
-                Err(e) => err_response(&e),
-            }
+            apply_mutation(
+                state,
+                &Mutation::UpdateSetText {
+                    doc: fields[0].clone(),
+                    xpath: fields[1].clone(),
+                    value: fields[2].clone(),
+                },
+            )
         }
         Opcode::List => {
             if let Err(e) = check(0) {
@@ -610,7 +641,7 @@ fn dispatch(state: &ServerState, op: Opcode, fields: &[String]) -> (Status, Vec<
                     Status::Unsupported,
                     vec!["the server was started without a persistence directory".to_string()],
                 ),
-                Some(dir) => match state.shared.read().save_dir(dir) {
+                Some(dir) => match checkpoint(&state.shared, dir) {
                     Ok(()) => (Status::Ok, Vec::new()),
                     Err(e) => err_response(&e),
                 },

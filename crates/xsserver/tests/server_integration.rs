@@ -356,6 +356,7 @@ fn concurrent_connections_with_zero_errors() {
         requests_per_conn: 25,
         write_percent: 20,
         doc_items: 80,
+        ..xsserver::loadgen::LoadConfig::default()
     };
     xsserver::loadgen::setup(&addr, &config).expect("setup");
     let obs = xsobs::Registry::new();

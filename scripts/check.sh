@@ -9,6 +9,7 @@ cargo test -q --workspace
 # Durability and hostile-input suites, named explicitly so a filtered
 # `cargo test` run elsewhere can't silently skip them.
 cargo test -q -p xsdb --test crash_matrix
+cargo test -q -p xsdb --test wal_matrix
 cargo test -q -p xsdb --test page_matrix
 cargo test -q -p xsdb --test manifest_abuse
 cargo test -q -p xmlparse --test byte_soup
@@ -19,6 +20,7 @@ cargo test -q -p xsdb-integration --test obs_export
 cargo test -q -p xsdb-integration --test generative_roundtrip
 # Server, concurrency, and CLI-robustness suites (same rationale).
 cargo test -q -p xsserver --test server_integration
+cargo test -q -p xsserver --lib   # protocol + retry-policy regression tests
 cargo test -q -p xsdb-integration --test shared_stress
 cargo test -q -p xsdb --test broken_pipe
 cargo clippy --workspace --all-targets -- -D warnings
@@ -41,7 +43,7 @@ done
 # No new unwrap()/expect() in non-test library code (bins, benches,
 # tests, doc comments, and vendor shims excluded). Lower the baseline
 # when you remove some; never raise it.
-UNWRAP_BASELINE=59
+UNWRAP_BASELINE=47
 unwraps=$(find crates -path '*/src/*' -name '*.rs' ! -path '*/src/bin/*' | sort | xargs awk '
   FNR == 1 { intest = 0 }
   /#\[cfg\(test\)\]/ { intest = 1 }
@@ -68,12 +70,18 @@ cargo run --release -q -p bench --bin experiments -- e11 --guard
 # number of pages regardless of document size (the O(1) claim).
 cargo run --release -q -p bench --bin experiments -- e13 --guard
 
+# E14 snapshot-read guard: reader median latency under a churning
+# durable writer stays within 2x idle (or under 1 ms), and a WAL
+# commit is cheaper than a mutate + full checkpoint.
+cargo run --release -q -p bench --bin experiments -- e14 --guard
+
 # Server smoke: boot xsd-serve on an ephemeral port with a persistence
 # directory, fire a 32-connection bench burst (zero errors required —
 # the client exits non-zero otherwise), shut down with SIGTERM, and
 # verify the final save committed.
 SMOKE_DIR=$(mktemp -d)
 target/release/xsd-serve --addr 127.0.0.1:0 --dir "$SMOKE_DIR/db" \
+  --durability group \
   >"$SMOKE_DIR/serve.out" 2>"$SMOKE_DIR/serve.err" &
 SERVE_PID=$!
 ADDR=""
@@ -88,7 +96,8 @@ if [ -z "$ADDR" ]; then
   kill "$SERVE_PID" 2>/dev/null || true
   exit 1
 fi
-target/release/xsd-bench-client --addr "$ADDR" --connections 32 --requests 25 --write-percent 10
+target/release/xsd-bench-client --addr "$ADDR" --connections 32 --requests 25 \
+  --write-percent 10 --retries 3 --backoff-ms 20
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 if [ ! -f "$SMOKE_DIR/db/CURRENT" ]; then
