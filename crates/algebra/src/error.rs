@@ -88,7 +88,10 @@ pub struct ValidationError {
 }
 
 impl ValidationError {
-    pub(crate) fn new(rule: Rule, path: impl Into<String>, message: impl Into<String>) -> Self {
+    /// Build a validation error (used by this crate's passes and by
+    /// downstream layers that re-run individual §6.2 obligations, such
+    /// as the database's local post-update rechecks).
+    pub fn new(rule: Rule, path: impl Into<String>, message: impl Into<String>) -> Self {
         ValidationError { rule, path: path.into(), message: message.into() }
     }
 }

@@ -5,8 +5,10 @@
 //! (optionally pass experiment ids, e.g. `e3 e6`, to run a subset).
 //! `e11 --guard` turns E11 into a CI gate: it exits non-zero when the
 //! enabled-metrics overhead exceeds its budget. `e13 --guard` does the
-//! same for the paged-storage O(1)-pages-per-update bound, and
-//! `e14 --guard` for the snapshot-read/WAL-commit latency bounds.
+//! same for the paged-storage O(1)-pages-per-update bound,
+//! `e14 --guard` for the snapshot-read/WAL-commit latency bounds, and
+//! `e15 --guard` for the static-update-checking revalidation bounds
+//! (Accept revalidates nothing; Recheck revalidates one content model).
 
 use std::time::Instant;
 
@@ -64,6 +66,9 @@ fn main() {
     }
     if want("e14") {
         e14_snapshot_reads(guard);
+    }
+    if want("e15") {
+        e15_static_updates(guard);
     }
 }
 
@@ -998,4 +1003,159 @@ fn e14_snapshot_reads(guard: bool) {
     );
     drop(sh);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// E15: statically checked updates (XQuery-Update-lite + the XSA5xx
+/// pass). The analyzer's trichotomy becomes measurable revalidation
+/// work: an **Accept** verdict applies with *zero* revalidation, a
+/// **Recheck** verdict revalidates exactly the one affected content
+/// model (never the whole document), and a **Reject** verdict never
+/// touches the tree. With `guard` set, the run fails (exit 1) when any
+/// of the three bounds is violated.
+fn e15_static_updates(guard: bool) {
+    use std::sync::Arc;
+    use xsdb::xsanalyze::UpdateVerdict;
+    use xsdb::xsobs::{CounterId, Registry};
+
+    // Accept workload: an unbounded repetition admits any append.
+    const LOG_XSD: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="log">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="entry" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+    // Recheck workload: a positional target is not statically
+    // resolvable (XSA506), so each edit revalidates its one book.
+    const LIBRARY_XSD: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="library">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="book" minOccurs="0" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="title" type="xs:string"/>
+              <xs:element name="author" type="xs:string" minOccurs="0"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+    println!("\n== E15: static update checking — revalidation work per verdict ==");
+    println!(
+        "{:<9} {:>12} {:>13} {:>10} {:>13}",
+        "size", "accept µs", "recheck µs", "reval/op", "full reval ms"
+    );
+    const OPS: u64 = 64;
+    let mut ok = true;
+    let mut fail = |msg: String| {
+        eprintln!("E15 guard: {msg}");
+        ok = false;
+    };
+    for n in [256usize, 2_048, 16_384] {
+        // --- Accept: append provably-valid entries, count revalidation.
+        let reg = Arc::new(Registry::new());
+        let mut db = xsdb::Database::with_metrics_registry(Arc::clone(&reg));
+        db.register_schema_text("log", LOG_XSD).unwrap();
+        let mut xml = String::from("<log>");
+        for i in 0..n {
+            xml.push_str(&format!("<entry>entry number {i}</entry>"));
+        }
+        xml.push_str("</log>");
+        db.insert("j", "log", &xml).unwrap();
+        let at = Instant::now();
+        for i in 0..OPS {
+            let o = db
+                .execute_update("j", &format!("insert node <entry>a{i}</entry> into /log"))
+                .unwrap();
+            assert_eq!(o.verdict, UpdateVerdict::Accept);
+        }
+        let accept_s = at.elapsed().as_secs_f64() / OPS as f64;
+        let accept_reval = reg.snapshot().counter(CounterId::UpdateRevalidateNodes);
+        if accept_reval != 0 {
+            fail(format!("accepted updates revalidated {accept_reval} nodes (want 0)"));
+        }
+        if reg.snapshot().counter(CounterId::UpdateAccepted) != OPS {
+            fail("not every accepted update was counted as accepted".to_string());
+        }
+
+        // --- Reject: a provably-invalid update must not touch the tree.
+        let entries = db.query("j", "/log/entry").unwrap().len();
+        if db.execute_update("j", "insert node <rogue/> into /log").is_ok() {
+            fail("a provably-invalid update was applied".to_string());
+        }
+        if db.query("j", "/log/entry").unwrap().len() != entries {
+            fail("a rejected update changed the document".to_string());
+        }
+        if reg.snapshot().counter(CounterId::UpdateRejected) != 1 {
+            fail("the rejected update was not counted as rejected".to_string());
+        }
+
+        // --- Recheck: alternately insert and delete one book's
+        // optional author. Whether the insert preserves `author?`
+        // depends on the current children (XSA505), so it rechecks —
+        // that one book's content model plus the new <author>'s own
+        // state, and nothing else. The inverse delete is itself
+        // provably safe, so each round restores the document for free.
+        let reg = Arc::new(Registry::new());
+        let mut db = xsdb::Database::with_metrics_registry(Arc::clone(&reg));
+        db.register_schema_text("lib", LIBRARY_XSD).unwrap();
+        let mut xml = String::from("<library>");
+        for i in 0..n {
+            xml.push_str(&format!("<book><title>book {i}</title></book>"));
+        }
+        xml.push_str("</library>");
+        db.insert("j", "lib", &xml).unwrap();
+        let rounds = OPS / 2;
+        let at = Instant::now();
+        for _ in 0..rounds {
+            let o = db
+                .execute_update("j", "insert node <author>a</author> after /library/book[1]/title")
+                .unwrap();
+            assert_eq!(o.verdict, UpdateVerdict::Recheck);
+            assert_eq!((o.nodes, o.revalidated), (1, 2));
+            let o = db.execute_update("j", "delete node /library/book[1]/author").unwrap();
+            assert_eq!(o.verdict, UpdateVerdict::Accept);
+        }
+        let recheck_s = at.elapsed().as_secs_f64() / rounds as f64;
+        let recheck_reval = reg.snapshot().counter(CounterId::UpdateRevalidateNodes);
+        if recheck_reval != 2 * rounds {
+            fail(format!(
+                "{rounds} rechecked updates revalidated {recheck_reval} nodes \
+                 (want {})",
+                2 * rounds
+            ));
+        }
+        if reg.snapshot().counter(CounterId::UpdateRechecked) != rounds {
+            fail("not every rechecked update was counted as rechecked".to_string());
+        }
+
+        // --- Scale reference: what a whole-document pass would cost.
+        let full_s = per_run(2, || {
+            assert!(db.revalidate("j").unwrap().is_empty());
+        });
+        println!(
+            "{:<9} {:>12.1} {:>13.1} {:>10.1} {:>13.2}",
+            n,
+            accept_s * 1e6,
+            recheck_s * 1e6,
+            recheck_reval as f64 / rounds as f64,
+            full_s * 1e3
+        );
+    }
+    if guard && !ok {
+        std::process::exit(1);
+    }
+    println!(
+        "(gates: accept revalidates 0 nodes; recheck exactly 2 — host model + new leaf; \
+         reject leaves the tree untouched; guard {})",
+        if guard { "on" } else { "off" }
+    );
 }

@@ -1,12 +1,14 @@
 //! `xsd-lint` — static diagnostics for XML Schemas and queries.
 //!
 //! ```text
-//! xsd-lint [--json|--codes] [--stats|--stats-json] [--xpath EXPR]... [--xquery EXPR]... <schema.xsd>
+//! xsd-lint [--json|--codes] [--stats|--stats-json] [--xpath EXPR]... \
+//!          [--xquery EXPR]... [--update EXPR]... <schema.xsd>
 //! ```
 //!
 //! Runs every `xsanalyze` pass over the schema (well-formedness, UPA,
 //! satisfiability, reachability) plus static path typing for each
-//! `--xpath` / `--xquery` expression, and prints the diagnostics:
+//! `--xpath` / `--xquery` expression and static update checking for
+//! each `--update` expression, and prints the diagnostics:
 //!
 //! * default — one human-readable line per diagnostic;
 //! * `--json` — a machine-readable JSON array;
@@ -17,9 +19,11 @@
 //! the `xsobs` crate) to **stderr** after the run, so stdout stays
 //! parseable by `--json`/`--codes` consumers.
 //!
-//! A schema that fails to parse is itself reported as diagnostic
-//! `XSA000` (error). Exit code: `0` when clean, `1` when the worst
-//! finding is a warning, `2` when any error was found.
+//! A schema (or `--update` expression) that fails to parse is itself
+//! reported as diagnostic `XSA000` (error). Exit code: `0` when clean,
+//! `1` when the worst finding is a warning, `2` when any error was
+//! found. For updates that means: statically rejected = 2, applies but
+//! needs a runtime recheck = 1, provably safe = 0.
 
 use std::process::ExitCode;
 
@@ -34,10 +38,11 @@ struct Args {
     stats_json: bool,
     xpaths: Vec<String>,
     xqueries: Vec<String>,
+    updates: Vec<String>,
 }
 
 const USAGE: &str = "usage: xsd-lint [--json|--codes] [--stats|--stats-json] \
-     [--xpath EXPR]... [--xquery EXPR]... <schema.xsd>";
+     [--xpath EXPR]... [--xquery EXPR]... [--update EXPR]... <schema.xsd>";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
@@ -48,6 +53,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         stats_json: false,
         xpaths: Vec::new(),
         xqueries: Vec::new(),
+        updates: Vec::new(),
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -59,6 +65,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--xpath" => args.xpaths.push(it.next().ok_or("--xpath needs an expression")?.clone()),
             "--xquery" => {
                 args.xqueries.push(it.next().ok_or("--xquery needs an expression")?.clone())
+            }
+            "--update" => {
+                args.updates.push(it.next().ok_or("--update needs an expression")?.clone())
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}\n{USAGE}")),
@@ -95,6 +104,19 @@ fn lint(args: &Args) -> Result<Vec<Diagnostic>, String> {
     for expr in &args.xqueries {
         let q = xsdb::xquery::parse_query(expr).map_err(|e| format!("--xquery {expr:?}: {e}"))?;
         diags.extend(xsanalyze::analyze_xquery(&schema, &q));
+    }
+    for expr in &args.updates {
+        // An update that does not parse is a finding (like a broken
+        // schema), not a tool failure: the caller asked "is this
+        // update safe to run", and the answer is no.
+        match xsdb::xquery::parse_update(expr) {
+            Ok(upd) => diags.extend(xsanalyze::analyze_update(&schema, &upd).diagnostics),
+            Err(e) => diags.push(Diagnostic::error(
+                "XSA000",
+                format!("update expression {expr:?}"),
+                format!("update failed to parse: {e}"),
+            )),
+        }
     }
     Ok(diags)
 }

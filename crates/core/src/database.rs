@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use algebra::{
-    load_document_cached, serialize_tree, ContentModelCache, LoadOptions, LoadedDocument,
+    load_document_cached, serialize_tree, ContentModelCache, LoadOptions, LoadedDocument, Rule,
     ValidationError,
 };
 use storage::XmlStorage;
@@ -574,16 +574,33 @@ impl Database {
         text: Option<&str>,
     ) -> Result<usize, DbError> {
         let path = xpath::parse(parent_xpath)?;
+        Ok(self.insert_into_raw(doc_name, &path, name, text)?.0)
+    }
+
+    fn insert_into_raw(
+        &mut self,
+        doc_name: &str,
+        path: &xpath::Path,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<(usize, Vec<RecheckSite>), DbError> {
         self.update_storage(doc_name, |storage| {
-            let parents = eval_guided(storage, &path);
+            let parents = eval_guided(storage, path);
+            let mut sites = Vec::new();
             for &parent in &parents {
                 let last = storage.children(parent).last().copied();
                 let new = storage.insert_element(parent, last, name)?;
                 if let Some(t) = text {
                     storage.insert_text(new, None, t)?;
                 }
+                // Both the host's content model and the new element's
+                // own obligations (attributes, text, required children)
+                // need rechecking — the analyzer only proves the leaf
+                // when the host edit is decidable.
+                sites.push(recheck_site(storage, parent));
+                sites.push(recheck_site(storage, new));
             }
-            Ok(parents.len())
+            Ok((parents.len(), sites))
         })
     }
 
@@ -591,18 +608,109 @@ impl Database {
     /// (subtrees included). Returns how many nodes were deleted.
     pub fn update_delete(&mut self, doc_name: &str, xpath: &str) -> Result<usize, DbError> {
         let path = xpath::parse(xpath)?;
+        Ok(self.delete_raw(doc_name, &path)?.0)
+    }
+
+    fn delete_raw(
+        &mut self,
+        doc_name: &str,
+        path: &xpath::Path,
+    ) -> Result<(usize, Vec<RecheckSite>), DbError> {
         self.update_storage(doc_name, |storage| {
-            let victims = eval_guided(storage, &path);
+            let victims = eval_guided(storage, path);
             let root_elem = storage.children(storage.root())[0];
             let mut deleted = 0;
+            let mut sites = Vec::new();
             for &v in &victims {
                 if v == storage.root() || v == root_elem {
                     continue; // never delete the document or root element
                 }
+                let parent = storage.parent(v);
                 storage.delete(v)?;
+                if let Some(p) = parent {
+                    sites.push(recheck_site(storage, p));
+                }
                 deleted += 1;
             }
-            Ok(deleted)
+            Ok((deleted, sites))
+        })
+    }
+
+    /// Node-level update: insert a new element immediately before or
+    /// after every element selected by `xpath` (as a sibling under the
+    /// same parent). Sibling-of-root targets are skipped: the document
+    /// node admits exactly one element child.
+    fn insert_adjacent_raw(
+        &mut self,
+        doc_name: &str,
+        path: &xpath::Path,
+        name: &str,
+        text: Option<&str>,
+        after: bool,
+    ) -> Result<(usize, Vec<RecheckSite>), DbError> {
+        self.update_storage(doc_name, |storage| {
+            let targets = eval_guided(storage, path);
+            let mut inserted = 0;
+            let mut sites = Vec::new();
+            for &t in &targets {
+                if storage.kind(t) != xdm::NodeKind::Element {
+                    continue;
+                }
+                let Some(parent) = storage.parent(t) else { continue };
+                if parent == storage.root() {
+                    continue; // no siblings of the root element
+                }
+                let anchor = if after {
+                    Some(t)
+                } else {
+                    let siblings = storage.children(parent);
+                    match siblings.iter().position(|&c| c == t) {
+                        Some(0) | None => None,
+                        Some(i) => Some(siblings[i - 1]),
+                    }
+                };
+                let new = storage.insert_element(parent, anchor, name)?;
+                if let Some(txt) = text {
+                    storage.insert_text(new, None, txt)?;
+                }
+                sites.push(recheck_site(storage, parent));
+                sites.push(recheck_site(storage, new));
+                inserted += 1;
+            }
+            Ok((inserted, sites))
+        })
+    }
+
+    /// Node-level update: replace every element selected by `xpath`
+    /// with a fresh element `<name>text?</name>` in the same position
+    /// (the old subtree is deleted). Replacing the root element is
+    /// supported when the schema admits it.
+    fn replace_node_raw(
+        &mut self,
+        doc_name: &str,
+        path: &xpath::Path,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<(usize, Vec<RecheckSite>), DbError> {
+        self.update_storage(doc_name, |storage| {
+            let targets = eval_guided(storage, path);
+            let mut replaced = 0;
+            let mut sites = Vec::new();
+            for &t in &targets {
+                if storage.kind(t) != xdm::NodeKind::Element || t == storage.root() {
+                    continue;
+                }
+                let Some(parent) = storage.parent(t) else { continue };
+                let new = storage.insert_element(parent, Some(t), name)?;
+                if let Some(txt) = text {
+                    storage.insert_text(new, None, txt)?;
+                }
+                storage.delete(t)?;
+                sites.push(recheck_site(storage, parent));
+                sites.push(recheck_site(storage, new));
+                replaced += 1;
+            }
+            Ok((replaced, sites))
         })
     }
 
@@ -617,12 +725,24 @@ impl Database {
         value: &str,
     ) -> Result<usize, DbError> {
         let path = xpath::parse(xpath)?;
+        Ok(self.set_attr_raw(doc_name, &path, name, value)?.0)
+    }
+
+    fn set_attr_raw(
+        &mut self,
+        doc_name: &str,
+        path: &xpath::Path,
+        name: &str,
+        value: &str,
+    ) -> Result<(usize, Vec<RecheckSite>), DbError> {
         self.update_storage(doc_name, |storage| {
-            let targets = eval_guided(storage, &path);
+            let targets = eval_guided(storage, path);
+            let mut sites = Vec::new();
             for &t in &targets {
                 storage.insert_attribute(t, name, value)?;
+                sites.push(recheck_site(storage, t));
             }
-            Ok(targets.len())
+            Ok((targets.len(), sites))
         })
     }
 
@@ -637,18 +757,29 @@ impl Database {
         value: &str,
     ) -> Result<usize, DbError> {
         let path = xpath::parse(xpath)?;
+        Ok(self.set_text_raw(doc_name, &path, value)?.0)
+    }
+
+    fn set_text_raw(
+        &mut self,
+        doc_name: &str,
+        path: &xpath::Path,
+        value: &str,
+    ) -> Result<(usize, Vec<RecheckSite>), DbError> {
         self.update_storage(doc_name, |storage| {
-            let targets: Vec<_> = eval_guided(storage, &path)
+            let targets: Vec<_> = eval_guided(storage, path)
                 .into_iter()
                 .filter(|&t| storage.kind(t) == xdm::NodeKind::Element)
                 .collect();
+            let mut sites = Vec::new();
             for &t in &targets {
                 for c in storage.children(t) {
                     storage.delete(c)?;
                 }
                 storage.insert_text(t, None, value)?;
+                sites.push(recheck_site(storage, t));
             }
-            Ok(targets.len())
+            Ok((targets.len(), sites))
         })
     }
 
@@ -672,6 +803,237 @@ impl Database {
             Ok(_) => Vec::new(),
             Err(errs) => errs,
         })
+    }
+
+    // ------------------------------------------------- guarded updates
+
+    /// Execute an XQuery-Update-lite expression (`insert node … into …`,
+    /// `delete node …`, `replace value of node … with …`, …) with static
+    /// type-checking: the update is analyzed against the document's
+    /// schema *before* it runs ([`xsanalyze::analyze_update`]).
+    ///
+    /// * **Accept** — provably schema-safe: applied with **no**
+    ///   revalidation at all.
+    /// * **Reject** — provably invalid: refused with
+    ///   [`DbError::UpdateStaticallyInvalid`] before touching the tree.
+    /// * **Recheck** — undecidable: applied, then only the affected
+    ///   content models are revalidated; a violation rolls the document
+    ///   back and returns [`DbError::Invalid`].
+    pub fn execute_update(
+        &mut self,
+        doc_name: &str,
+        update: &str,
+    ) -> Result<UpdateOutcome, DbError> {
+        let upd = xquery::parse_update(update)?;
+        self.execute_update_expr(doc_name, &upd)
+    }
+
+    /// [`Database::execute_update`] over an already-parsed expression.
+    pub fn execute_update_expr(
+        &mut self,
+        doc_name: &str,
+        upd: &xquery::UpdateExpr,
+    ) -> Result<UpdateOutcome, DbError> {
+        self.obs.incr(xsobs::CounterId::UpdateChecks);
+        let doc = self
+            .documents
+            .get(doc_name)
+            .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
+        let schema = Arc::clone(
+            self.schemas
+                .get(&doc.schema_name)
+                .ok_or_else(|| DbError::UnknownSchema(doc.schema_name.clone()))?,
+        );
+        let before = Arc::clone(doc);
+        let analysis = xsanalyze::analyze_update(&schema, upd);
+        match analysis.verdict {
+            xsanalyze::UpdateVerdict::Reject => {
+                self.obs.incr(xsobs::CounterId::UpdateRejected);
+                return Err(DbError::UpdateStaticallyInvalid(analysis.diagnostics));
+            }
+            xsanalyze::UpdateVerdict::Accept => self.obs.incr(xsobs::CounterId::UpdateAccepted),
+            xsanalyze::UpdateVerdict::Recheck => self.obs.incr(xsobs::CounterId::UpdateRechecked),
+        }
+        let (nodes, sites) = self.apply_update_raw(doc_name, upd)?;
+        if analysis.verdict == xsanalyze::UpdateVerdict::Accept {
+            return Ok(UpdateOutcome { verdict: analysis.verdict, nodes, revalidated: 0 });
+        }
+        // Recheck: revalidate exactly the content models the edit
+        // touched — one per distinct affected node — instead of the
+        // whole document.
+        let mut unique: Vec<RecheckSite> = Vec::new();
+        for s in sites {
+            if !unique.iter().any(|(p, _)| *p == s.0) {
+                unique.push(s);
+            }
+        }
+        let mut errors = Vec::new();
+        // Identity constraints (ID uniqueness, IDREF resolution) are
+        // document-global: a local content-model check cannot see a
+        // duplicate ID two subtrees away, so such schemas always take
+        // the whole-document pass.
+        let mut needs_full_pass = xsanalyze::schema_involves_identity(&schema);
+        let revalidated = unique.len();
+        {
+            let doc = self
+                .documents
+                .get(doc_name)
+                .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
+            // `apply_update_raw` materialized the storage.
+            let Some(storage) = doc.storage() else {
+                return Err(DbError::Corrupt("updated document lost its storage".into()));
+            };
+            for (node, names) in &unique {
+                self.obs.incr(xsobs::CounterId::UpdateRevalidateNodes);
+                if names.is_empty() {
+                    // The affected parent is the document node (root
+                    // replacement): exactly one element child, with the
+                    // declared root name and a valid shallow state.
+                    let kids: Vec<_> = storage
+                        .children(storage.root())
+                        .into_iter()
+                        .filter(|&c| storage.kind(c) == xdm::NodeKind::Element)
+                        .collect();
+                    let good_root = kids.len() == 1
+                        && storage.node_name(kids[0]) == Some(schema.root.name.as_str());
+                    if good_root {
+                        errors.extend(check_node_against(
+                            &schema,
+                            &self.options,
+                            &self.cm_cache,
+                            storage,
+                            kids[0],
+                            &schema.root.ty,
+                            &format!("/{}", schema.root.name),
+                        ));
+                    } else {
+                        errors.push(ValidationError::new(
+                            Rule::RootName,
+                            "/",
+                            format!("document must hold exactly one <{}>", schema.root.name),
+                        ));
+                    }
+                } else {
+                    match type_at_name_path(&schema, names) {
+                        Some(ty) => errors.extend(check_node_against(
+                            &schema,
+                            &self.options,
+                            &self.cm_cache,
+                            storage,
+                            *node,
+                            ty,
+                            &format!("/{}", names.join("/")),
+                        )),
+                        // The schema types this element ambiguously (or
+                        // not at all): fall back to a whole-document pass.
+                        None => needs_full_pass = true,
+                    }
+                }
+            }
+        }
+        if needs_full_pass {
+            errors.extend(self.revalidate(doc_name)?);
+        }
+        if errors.is_empty() {
+            Ok(UpdateOutcome { verdict: analysis.verdict, nodes, revalidated })
+        } else {
+            // Roll back: the pre-update snapshot observes the document
+            // as it was (copy-on-write kept it untouched).
+            self.documents.insert(doc_name.to_string(), before);
+            Err(DbError::Invalid(errors))
+        }
+    }
+
+    /// Guarded node-level update: insert `<name>text?</name>` as the
+    /// immediately preceding sibling of every element selected by
+    /// `target_xpath`. Statically checked; see [`Database::execute_update`].
+    pub fn update_insert_before(
+        &mut self,
+        doc_name: &str,
+        target_xpath: &str,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<UpdateOutcome, DbError> {
+        let target = xpath::parse(target_xpath)?;
+        self.execute_update_expr(
+            doc_name,
+            &xquery::UpdateExpr::InsertBefore {
+                name: name.to_string(),
+                text: text.map(str::to_string),
+                target,
+            },
+        )
+    }
+
+    /// Guarded node-level update: insert `<name>text?</name>` as the
+    /// immediately following sibling of every element selected by
+    /// `target_xpath`. Statically checked; see [`Database::execute_update`].
+    pub fn update_insert_after(
+        &mut self,
+        doc_name: &str,
+        target_xpath: &str,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<UpdateOutcome, DbError> {
+        let target = xpath::parse(target_xpath)?;
+        self.execute_update_expr(
+            doc_name,
+            &xquery::UpdateExpr::InsertAfter {
+                name: name.to_string(),
+                text: text.map(str::to_string),
+                target,
+            },
+        )
+    }
+
+    /// Guarded node-level update: replace every element selected by
+    /// `target_xpath` with a fresh `<name>text?</name>` in place.
+    /// Statically checked; see [`Database::execute_update`].
+    pub fn update_replace_node(
+        &mut self,
+        doc_name: &str,
+        target_xpath: &str,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<UpdateOutcome, DbError> {
+        let target = xpath::parse(target_xpath)?;
+        self.execute_update_expr(
+            doc_name,
+            &xquery::UpdateExpr::ReplaceNode {
+                target,
+                name: name.to_string(),
+                text: text.map(str::to_string),
+            },
+        )
+    }
+
+    /// Dispatch a parsed update expression onto the raw (unchecked)
+    /// structural appliers, collecting the affected recheck sites.
+    fn apply_update_raw(
+        &mut self,
+        doc_name: &str,
+        upd: &xquery::UpdateExpr,
+    ) -> Result<(usize, Vec<RecheckSite>), DbError> {
+        use xquery::UpdateExpr as U;
+        match upd {
+            U::InsertInto { name, text, target } => {
+                self.insert_into_raw(doc_name, target, name, text.as_deref())
+            }
+            U::InsertBefore { name, text, target } => {
+                self.insert_adjacent_raw(doc_name, target, name, text.as_deref(), false)
+            }
+            U::InsertAfter { name, text, target } => {
+                self.insert_adjacent_raw(doc_name, target, name, text.as_deref(), true)
+            }
+            U::InsertAttribute { attr, value, target } => {
+                self.set_attr_raw(doc_name, target, attr, value)
+            }
+            U::Delete { target } => self.delete_raw(doc_name, target),
+            U::ReplaceNode { target, name, text } => {
+                self.replace_node_raw(doc_name, target, name, text.as_deref())
+            }
+            U::ReplaceValue { target, value } => self.set_text_raw(doc_name, target, value),
+        }
     }
 
     // --------------------------------------------------------- queries
@@ -763,6 +1125,273 @@ impl Database {
         }
         Ok(())
     }
+}
+
+/// The outcome of a guarded update ([`Database::execute_update`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// The static verdict the update ran under. Never
+    /// [`xsanalyze::UpdateVerdict::Reject`] — a rejected update returns
+    /// [`DbError::UpdateStaticallyInvalid`] instead of an outcome.
+    pub verdict: xsanalyze::UpdateVerdict,
+    /// How many nodes the update touched (inserted, deleted, replaced,
+    /// or rewritten, per the operation's own counting).
+    pub nodes: usize,
+    /// How many content models were locally revalidated after the edit.
+    /// Always `0` under an `Accept` verdict — that is the point of the
+    /// static check.
+    pub revalidated: usize,
+}
+
+/// One affected parent: the node whose local validity the update may
+/// have disturbed, plus its element-name path from the root (empty for
+/// the document node) so its schema type can be re-derived statically.
+type RecheckSite = (storage::DescPtr, Vec<String>);
+
+/// Build the recheck site for `node`: walk ancestors collecting element
+/// names root-first (the document node contributes nothing).
+fn recheck_site(storage: &XmlStorage, node: storage::DescPtr) -> RecheckSite {
+    let mut names = Vec::new();
+    let mut cur = Some(node);
+    while let Some(n) = cur {
+        if let Some(name) = storage.node_name(n) {
+            names.push(name.to_string());
+        }
+        cur = storage.parent(n);
+    }
+    names.reverse();
+    (node, names)
+}
+
+/// Resolve the schema type of the element reached by `names` (a
+/// root-first element-name path). `None` when the path leaves the
+/// schema or a name is ambiguously typed inside its content model —
+/// callers then fall back to a whole-document pass.
+fn type_at_name_path<'a>(
+    schema: &'a DocumentSchema,
+    names: &[String],
+) -> Option<&'a xsmodel::Type> {
+    let mut iter = names.iter();
+    if iter.next()? != &schema.root.name {
+        return None;
+    }
+    let mut ty = &schema.root.ty;
+    for name in iter {
+        let ctd = schema.complex_of(ty)?;
+        let xsmodel::ComplexTypeDefinition::ComplexContent { content, .. } = ctd else {
+            return None;
+        };
+        let decls: Vec<_> =
+            content.element_declarations().into_iter().filter(|d| &d.name == name).collect();
+        let first = *decls.first()?;
+        // Several declarations of one name are fine only when they all
+        // agree on a single named type.
+        if decls.len() > 1 {
+            let reference = first.ty.name();
+            if reference.is_none() || decls.iter().any(|d| d.ty.name() != reference) {
+                return None;
+            }
+        }
+        ty = &first.ty;
+    }
+    Some(ty)
+}
+
+/// Shallow-revalidate one element against its schema type: attributes,
+/// character content, and the immediate child-name sequence — exactly
+/// the §6.2 obligations local to a single node. Grandchildren were not
+/// touched by the update, so their own checks still hold.
+fn check_node_against(
+    schema: &DocumentSchema,
+    options: &LoadOptions,
+    cm_cache: &ContentModelCache,
+    storage: &XmlStorage,
+    node: storage::DescPtr,
+    ty: &xsmodel::Type,
+    path: &str,
+) -> Vec<ValidationError> {
+    use xsmodel::ComplexTypeDefinition as Ctd;
+    let mut errors = Vec::new();
+    let attrs: Vec<(String, String)> = storage
+        .attributes(node)
+        .into_iter()
+        .map(|a| (storage.node_name(a).unwrap_or_default().to_string(), storage.string_value(a)))
+        .collect();
+    let kids = storage.children(node);
+    let child_names: Vec<String> = kids
+        .iter()
+        .filter(|&&c| storage.kind(c) == xdm::NodeKind::Element)
+        .map(|&c| storage.node_name(c).unwrap_or_default().to_string())
+        .collect();
+    let text: String = kids
+        .iter()
+        .filter(|&&c| storage.kind(c) == xdm::NodeKind::Text)
+        .map(|&c| storage.string_value(c))
+        .collect();
+
+    // §6.2 item 6.1: a nilled element has no content — and, conversely,
+    // no content obligations, so the child/text checks below are
+    // waived. Attributes are still checked: items 6.2/6.3 keep them
+    // even when nilled.
+    let nilled = storage.nilled(node) == Some(true);
+    if nilled && !kids.is_empty() {
+        errors.push(ValidationError::new(Rule::R6Nil, path, "nilled element must have no content"));
+    }
+
+    if let Some(st) = schema.simple_of(ty) {
+        if let Some((name, _)) = attrs.first() {
+            errors.push(ValidationError::new(
+                Rule::R531Attributes,
+                path,
+                format!("simple-typed element admits no attributes (found {name:?})"),
+            ));
+        }
+        if nilled {
+            return errors;
+        }
+        if let Some(child) = child_names.first() {
+            errors.push(ValidationError::new(
+                Rule::R511SimpleValue,
+                path,
+                format!("simple-typed element admits no element children (found <{child}>)"),
+            ));
+        }
+        if let Err(e) = st.validate(&text) {
+            errors.push(ValidationError::new(Rule::R511SimpleValue, path, e.to_string()));
+        }
+        return errors;
+    }
+    let Some(ctd) = schema.complex_of(ty) else {
+        errors.push(ValidationError::new(
+            Rule::TypeUsage,
+            path,
+            format!("type {:?} is not defined", ty.name().unwrap_or("<anonymous>")),
+        ));
+        return errors;
+    };
+
+    // 5.3.1: attributes of either variant.
+    let declared = ctd.attributes();
+    for (name, value) in &attrs {
+        match declared.get(name.as_str()) {
+            None => errors.push(ValidationError::new(
+                Rule::R531Attributes,
+                path,
+                format!("attribute {name:?} is not declared"),
+            )),
+            Some(ty_name) => match schema.simple_types.get(ty_name) {
+                None => errors.push(ValidationError::new(
+                    Rule::TypeUsage,
+                    path,
+                    format!("attribute {name:?} has undefined type {ty_name:?}"),
+                )),
+                Some(st) => {
+                    if let Err(e) = st.validate(value) {
+                        errors.push(ValidationError::new(
+                            Rule::R531Attributes,
+                            path,
+                            format!("attribute {name:?}: {e}"),
+                        ));
+                    }
+                }
+            },
+        }
+    }
+    if options.require_all_attributes {
+        for name in declared.keys() {
+            if !attrs.iter().any(|(n, _)| n == name) {
+                errors.push(ValidationError::new(
+                    Rule::R531Attributes,
+                    path,
+                    format!("required attribute {name:?} is missing"),
+                ));
+            }
+        }
+    }
+
+    if nilled {
+        return errors;
+    }
+    match ctd {
+        Ctd::SimpleContent { base, .. } => {
+            if let Some(child) = child_names.first() {
+                errors.push(ValidationError::new(
+                    Rule::R511SimpleValue,
+                    path,
+                    format!("simple-content element admits no element children (found <{child}>)"),
+                ));
+            }
+            match schema.simple_types.get(base) {
+                None => errors.push(ValidationError::new(
+                    Rule::TypeUsage,
+                    path,
+                    format!("simple content base {base:?} is not defined"),
+                )),
+                Some(st) => {
+                    if let Err(e) = st.validate(&text) {
+                        errors.push(ValidationError::new(
+                            Rule::R511SimpleValue,
+                            path,
+                            e.to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        Ctd::ComplexContent { mixed, content, .. } => {
+            let ignorable =
+                options.ignore_ignorable_whitespace && text.chars().all(char::is_whitespace);
+            if !mixed && !text.is_empty() && !ignorable {
+                errors.push(ValidationError::new(
+                    Rule::R5421NoText,
+                    path,
+                    format!("text {text:?} in non-mixed content"),
+                ));
+            }
+            if content.is_empty_content() {
+                if let Some(child) = child_names.first() {
+                    errors.push(ValidationError::new(
+                        Rule::R541EmptyContent,
+                        path,
+                        format!("empty content admits no element children (found <{child}>)"),
+                    ));
+                }
+            } else {
+                match cm_cache.get_or_compile(content) {
+                    Err(e) => errors.push(ValidationError::new(
+                        Rule::R5423GroupMatch,
+                        path,
+                        e.to_string(),
+                    )),
+                    Ok(cm) => {
+                        let names: Vec<&str> = child_names.iter().map(String::as_str).collect();
+                        if let xsmodel::MatchOutcome::Reject { position, expected } =
+                            cm.match_children(&names)
+                        {
+                            let found = names
+                                .get(position)
+                                .map(|n| format!("<{n}>"))
+                                .unwrap_or_else(|| "end of content".to_string());
+                            let expected = if expected.is_empty() {
+                                "nothing".to_string()
+                            } else {
+                                expected.join(", ")
+                            };
+                            errors.push(ValidationError::new(
+                                Rule::R5423GroupMatch,
+                                path,
+                                format!(
+                                    "at child {position}: found {found}, \
+                                     expected one of {{{expected}}}"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    errors
 }
 
 /// Run `job(0..jobs)` across `threads` scoped OS threads (`0` = one per
@@ -1275,5 +1904,231 @@ mod set_text_tests {
         assert!(db.revalidate("d").unwrap().is_empty());
         let storage = db.document("d").unwrap().storage().unwrap();
         assert_eq!(storage.check_invariants(), None);
+    }
+}
+
+#[cfg(test)]
+mod guarded_update_tests {
+    use super::*;
+    use xsanalyze::UpdateVerdict;
+
+    /// `log` holds `entry*` where `entry` is a plain `xs:string` leaf —
+    /// every insert/delete of an `entry` is statically decidable.
+    const LOG: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="log">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="entry" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+    /// `library` holds `book+`; a `book` is `(title, author?)` — the
+    /// optional author makes single inserts run-time dependent.
+    const LIB: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="library">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="book" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="title" type="xs:string"/>
+              <xs:element name="author" type="xs:string" minOccurs="0"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+    // A private registry per test: the default one is process-global,
+    // so parallel tests would see each other's counters.
+    fn log_db() -> Database {
+        let mut db = Database::with_metrics_registry(Arc::new(xsobs::Registry::new()));
+        db.register_schema_text("log", LOG).unwrap();
+        db.insert("d", "log", "<log><entry>first</entry><entry>second</entry></log>").unwrap();
+        db
+    }
+
+    fn lib_db() -> Database {
+        let mut db = Database::with_metrics_registry(Arc::new(xsobs::Registry::new()));
+        db.register_schema_text("lib", LIB).unwrap();
+        db.insert("d", "lib", "<library><book><title>t</title></book></library>").unwrap();
+        db
+    }
+
+    #[test]
+    fn accept_applies_without_any_revalidation() {
+        let mut db = log_db();
+        let out = db.execute_update("d", "insert node <entry>third</entry> into /log").unwrap();
+        assert_eq!(out.verdict, UpdateVerdict::Accept);
+        assert_eq!(out.nodes, 1);
+        assert_eq!(out.revalidated, 0);
+        assert_eq!(db.query("d", "/log/entry").unwrap(), ["first", "second", "third"]);
+        let m = db.metrics();
+        assert_eq!(m.counter(xsobs::CounterId::UpdateChecks), 1);
+        assert_eq!(m.counter(xsobs::CounterId::UpdateAccepted), 1);
+        assert_eq!(m.counter(xsobs::CounterId::UpdateRevalidateNodes), 0);
+    }
+
+    /// `form` holds `note*` where `note` is a *nillable* `xs:string`
+    /// leaf — content-installing updates depend on the run-time nilled
+    /// state, which only the local recheck can observe.
+    const NIL: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="form">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="note" type="xs:string" nillable="true"
+                    minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+    fn nil_db() -> Database {
+        let mut db = Database::with_metrics_registry(Arc::new(xsobs::Registry::new()));
+        db.register_schema_text("nil", NIL).unwrap();
+        db.insert("d", "nil", r#"<form><note xsi:nil="true"/><note>kept</note></form>"#).unwrap();
+        db
+    }
+
+    #[test]
+    fn replace_value_on_a_nilled_occurrence_is_rechecked_and_rolled_back() {
+        let mut db = nil_db();
+        let before = db.serialize("d").unwrap();
+        // §6.2 R6Nil: a nilled element admits no content, so this is
+        // Recheck (not Accept), and applying it to the nilled first
+        // <note> must fail the local recheck and roll back.
+        let err = db.execute_update("d", r#"replace value of node /form/note with "x""#);
+        assert!(matches!(err, Err(DbError::Invalid(_))), "{err:?}");
+        assert_eq!(db.serialize("d").unwrap(), before);
+        assert_eq!(db.metrics().counter(xsobs::CounterId::UpdateRechecked), 1);
+    }
+
+    #[test]
+    fn replace_value_beside_a_nilled_occurrence_commits_after_recheck() {
+        let mut db = nil_db();
+        // Targeting only the non-nilled second <note> is fine — but the
+        // analyzer cannot know which occurrence the path selects, so
+        // the verdict stays Recheck and the run-time check decides.
+        let out =
+            db.execute_update("d", r#"replace value of node /form/note[2] with "x""#).unwrap();
+        assert_eq!(out.verdict, UpdateVerdict::Recheck);
+        assert!(db.revalidate("d").unwrap().is_empty());
+        assert!(db.serialize("d").unwrap().contains("<note>x</note>"));
+        assert!(db.serialize("d").unwrap().contains("xsi:nil"));
+    }
+
+    #[test]
+    fn reject_refuses_before_touching_the_tree() {
+        let mut db = log_db();
+        let before = db.serialize("d").unwrap();
+        let err = db.execute_update("d", "insert node <rogue/> into /log").unwrap_err();
+        let DbError::UpdateStaticallyInvalid(diags) = err else {
+            panic!("expected static rejection, got {err}");
+        };
+        assert!(diags.iter().any(|d| d.code == "XSA501"), "{diags:?}");
+        assert!(diags.iter().any(|d| d.witness.is_some()), "{diags:?}");
+        assert_eq!(db.serialize("d").unwrap(), before);
+        assert_eq!(db.metrics().counter(xsobs::CounterId::UpdateRejected), 1);
+    }
+
+    #[test]
+    fn recheck_revalidates_exactly_the_affected_nodes() {
+        let mut db = lib_db();
+        let out =
+            db.execute_update("d", "insert node <author>Codd</author> into /library/book").unwrap();
+        assert_eq!(out.verdict, UpdateVerdict::Recheck);
+        // Two local checks, independent of document size: the host
+        // <book>'s content model and the new <author>'s own state.
+        assert_eq!(out.revalidated, 2);
+        assert_eq!(db.query("d", "/library/book/author").unwrap(), ["Codd"]);
+        assert!(db.revalidate("d").unwrap().is_empty());
+        let m = db.metrics();
+        assert_eq!(m.counter(xsobs::CounterId::UpdateRechecked), 1);
+        assert_eq!(m.counter(xsobs::CounterId::UpdateRevalidateNodes), 2);
+    }
+
+    #[test]
+    fn recheck_failure_rolls_the_document_back() {
+        let mut db = lib_db();
+        db.execute_update("d", "insert node <author>Codd</author> into /library/book").unwrap();
+        let before = db.serialize("d").unwrap();
+        // A second author can never fit `(title, author?)`; the analysis
+        // alone cannot see the existing one, so this applies and the
+        // local recheck must catch it and roll back.
+        let err = db
+            .execute_update("d", "insert node <author>Date</author> into /library/book")
+            .unwrap_err();
+        assert!(matches!(err, DbError::Invalid(_)), "{err}");
+        assert_eq!(db.serialize("d").unwrap(), before);
+        assert_eq!(db.query("d", "/library/book/author").unwrap(), ["Codd"]);
+        assert!(db.revalidate("d").unwrap().is_empty());
+    }
+
+    #[test]
+    fn guarded_sibling_inserts_and_replacement() {
+        let mut db = log_db();
+        let out = db.update_insert_before("d", "/log/entry[2]", "entry", Some("mid")).unwrap();
+        assert_eq!(out.verdict, UpdateVerdict::Accept);
+        assert_eq!(db.query("d", "/log/entry").unwrap(), ["first", "mid", "second"]);
+        let out = db.update_insert_after("d", "/log/entry[3]", "entry", Some("last")).unwrap();
+        assert_eq!(out.verdict, UpdateVerdict::Accept);
+        assert_eq!(db.query("d", "/log/entry").unwrap(), ["first", "mid", "second", "last"]);
+        let out = db.update_replace_node("d", "/log/entry[1]", "entry", Some("zero")).unwrap();
+        assert_eq!(out.verdict, UpdateVerdict::Accept);
+        assert_eq!(db.query("d", "/log/entry").unwrap(), ["zero", "mid", "second", "last"]);
+        let storage = db.document("d").unwrap().storage().unwrap();
+        assert_eq!(storage.check_invariants(), None);
+        assert_eq!(storage.relabel_count(), 0);
+    }
+
+    #[test]
+    fn deleting_an_optional_child_is_statically_accepted() {
+        let mut db = lib_db();
+        db.execute_update("d", "insert node <author>Codd</author> into /library/book").unwrap();
+        let out = db.execute_update("d", "delete node /library/book/author").unwrap();
+        assert_eq!(out.verdict, UpdateVerdict::Accept);
+        assert_eq!(out.revalidated, 0);
+        assert!(db.query("d", "/library/book/author").unwrap().is_empty());
+    }
+
+    #[test]
+    fn deleting_a_required_child_is_statically_rejected() {
+        let mut db = lib_db();
+        let err = db.execute_update("d", "delete node /library/book/title").unwrap_err();
+        assert!(matches!(err, DbError::UpdateStaticallyInvalid(_)), "{err}");
+        assert_eq!(db.query("d", "/library/book/title").unwrap(), ["t"]);
+    }
+
+    #[test]
+    fn replace_value_of_a_leaf_is_statically_accepted() {
+        let mut db = log_db();
+        let out = db
+            .execute_update("d", r#"replace value of node /log/entry[1] with "rewritten""#)
+            .unwrap();
+        assert_eq!(out.verdict, UpdateVerdict::Accept);
+        assert_eq!(db.query("d", "/log/entry").unwrap(), ["rewritten", "second"]);
+    }
+
+    #[test]
+    fn replacing_the_root_with_an_empty_tree_is_rejected() {
+        let mut db = lib_db();
+        // `library` requires at least one `book`.
+        let err = db.execute_update("d", "replace node /library with <library/>").unwrap_err();
+        assert!(matches!(err, DbError::UpdateStaticallyInvalid(_)), "{err}");
+        assert!(db.revalidate("d").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_errors_surface_as_xquery_errors() {
+        let mut db = log_db();
+        let err = db.execute_update("d", "insert node garbage").unwrap_err();
+        assert!(matches!(err, DbError::XQuery(_)), "{err}");
     }
 }

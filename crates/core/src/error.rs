@@ -41,6 +41,11 @@ pub enum DbError {
     UnknownDocument(String),
     /// The document failed §6.2 validation.
     Invalid(Vec<ValidationError>),
+    /// Static update type-checking proved the update invalid: it was
+    /// refused without touching the document. The diagnostics carry the
+    /// `XSA5xx` findings; a content-model rejection includes the
+    /// shortest witness word that reproduces the violation.
+    UpdateStaticallyInvalid(Vec<xsanalyze::Diagnostic>),
     /// An XPath expression failed to parse.
     XPath(xpath::XPathError),
     /// An XQuery expression failed to parse or evaluate.
@@ -135,6 +140,16 @@ impl fmt::Display for DbError {
                 write!(f, "document is not schema-valid ({} violations): ", errs.len())?;
                 if let Some(first) = errs.first() {
                     first.fmt(f)?;
+                }
+                Ok(())
+            }
+            DbError::UpdateStaticallyInvalid(diags) => {
+                write!(f, "update is statically invalid: ")?;
+                for (i, d) in diags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    d.fmt(f)?;
                 }
                 Ok(())
             }

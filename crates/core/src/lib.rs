@@ -152,7 +152,7 @@ mod shared;
 pub use storage::checksum;
 pub use storage::vfs;
 
-pub use database::{Database, StoredDocument};
+pub use database::{Database, StoredDocument, UpdateOutcome};
 pub use error::DbError;
 pub use mutation::{ApplyOutcome, Mutation};
 pub use persist::{LoadPolicy, LoadReport, Quarantine, QuarantineKind};

@@ -86,6 +86,51 @@ pub enum Mutation {
         /// The replacement text.
         value: String,
     },
+    /// Insert a sibling element immediately before every element
+    /// selected by an XPath (statically type-checked before it runs).
+    UpdateInsertBefore {
+        /// Document name.
+        doc: String,
+        /// XPath selecting the anchor elements.
+        target: String,
+        /// Name of the new element.
+        name: String,
+        /// Optional text content of the new element.
+        text: Option<String>,
+    },
+    /// Insert a sibling element immediately after every element
+    /// selected by an XPath (statically type-checked before it runs).
+    UpdateInsertAfter {
+        /// Document name.
+        doc: String,
+        /// XPath selecting the anchor elements.
+        target: String,
+        /// Name of the new element.
+        name: String,
+        /// Optional text content of the new element.
+        text: Option<String>,
+    },
+    /// Replace every element selected by an XPath with a fresh leaf
+    /// element, in place (statically type-checked before it runs).
+    UpdateReplaceNode {
+        /// Document name.
+        doc: String,
+        /// XPath selecting the victims.
+        target: String,
+        /// Name of the replacement element.
+        name: String,
+        /// Optional text content of the replacement.
+        text: Option<String>,
+    },
+    /// Parse and run one XQuery-Update-lite expression (`insert node …
+    /// into …`, `delete node …`, `replace value of node … with …`, …)
+    /// under the static type-check.
+    Update {
+        /// Document name.
+        doc: String,
+        /// The update expression text.
+        update: String,
+    },
 }
 
 /// What applying a [`Mutation`] did, for reporting back to a client.
@@ -101,6 +146,9 @@ pub enum ApplyOutcome {
     Deleted(bool),
     /// A node-level update touched this many nodes.
     Updated(usize),
+    /// A statically type-checked update ran; the outcome carries the
+    /// verdict it ran under and how much revalidation it cost.
+    UpdatedChecked(crate::database::UpdateOutcome),
 }
 
 const TAG_REGISTER_SCHEMA: u8 = 1;
@@ -111,6 +159,10 @@ const TAG_UPDATE_INSERT: u8 = 5;
 const TAG_UPDATE_DELETE: u8 = 6;
 const TAG_UPDATE_SET_ATTR: u8 = 7;
 const TAG_UPDATE_SET_TEXT: u8 = 8;
+const TAG_UPDATE_INSERT_BEFORE: u8 = 9;
+const TAG_UPDATE_INSERT_AFTER: u8 = 10;
+const TAG_UPDATE_REPLACE_NODE: u8 = 11;
+const TAG_UPDATE: u8 = 12;
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
@@ -221,6 +273,32 @@ impl Mutation {
                 put_str(&mut out, xpath);
                 put_str(&mut out, value);
             }
+            Mutation::UpdateInsertBefore { doc, target, name, text } => {
+                out.push(TAG_UPDATE_INSERT_BEFORE);
+                put_str(&mut out, doc);
+                put_str(&mut out, target);
+                put_str(&mut out, name);
+                put_opt(&mut out, text.as_deref());
+            }
+            Mutation::UpdateInsertAfter { doc, target, name, text } => {
+                out.push(TAG_UPDATE_INSERT_AFTER);
+                put_str(&mut out, doc);
+                put_str(&mut out, target);
+                put_str(&mut out, name);
+                put_opt(&mut out, text.as_deref());
+            }
+            Mutation::UpdateReplaceNode { doc, target, name, text } => {
+                out.push(TAG_UPDATE_REPLACE_NODE);
+                put_str(&mut out, doc);
+                put_str(&mut out, target);
+                put_str(&mut out, name);
+                put_opt(&mut out, text.as_deref());
+            }
+            Mutation::Update { doc, update } => {
+                out.push(TAG_UPDATE);
+                put_str(&mut out, doc);
+                put_str(&mut out, update);
+            }
         }
         out
     }
@@ -251,6 +329,25 @@ impl Mutation {
             TAG_UPDATE_SET_TEXT => {
                 Mutation::UpdateSetText { doc: c.str()?, xpath: c.str()?, value: c.str()? }
             }
+            TAG_UPDATE_INSERT_BEFORE => Mutation::UpdateInsertBefore {
+                doc: c.str()?,
+                target: c.str()?,
+                name: c.str()?,
+                text: c.opt()?,
+            },
+            TAG_UPDATE_INSERT_AFTER => Mutation::UpdateInsertAfter {
+                doc: c.str()?,
+                target: c.str()?,
+                name: c.str()?,
+                text: c.opt()?,
+            },
+            TAG_UPDATE_REPLACE_NODE => Mutation::UpdateReplaceNode {
+                doc: c.str()?,
+                target: c.str()?,
+                name: c.str()?,
+                text: c.opt()?,
+            },
+            TAG_UPDATE => Mutation::Update { doc: c.str()?, update: c.str()? },
             tag => {
                 return Err(DbError::Corrupt(format!("unknown mutation tag {tag}")));
             }
@@ -270,7 +367,11 @@ impl Mutation {
             Mutation::UpdateInsert { doc, .. }
             | Mutation::UpdateDelete { doc, .. }
             | Mutation::UpdateSetAttr { doc, .. }
-            | Mutation::UpdateSetText { doc, .. } => Some(doc),
+            | Mutation::UpdateSetText { doc, .. }
+            | Mutation::UpdateInsertBefore { doc, .. }
+            | Mutation::UpdateInsertAfter { doc, .. }
+            | Mutation::UpdateReplaceNode { doc, .. }
+            | Mutation::Update { doc, .. } => Some(doc),
             _ => None,
         }
     }
@@ -317,6 +418,36 @@ impl Mutation {
             Mutation::UpdateSetText { doc, xpath, value } => {
                 Ok(ApplyOutcome::Updated(db.update_set_text(doc, xpath, value)?))
             }
+            // The guarded operations run the static type-check inside
+            // the database call; a static rejection is a deterministic
+            // no-op, so replay skips it like any other rejection.
+            Mutation::UpdateInsertBefore { doc, target, name, text } => {
+                Ok(ApplyOutcome::UpdatedChecked(db.update_insert_before(
+                    doc,
+                    target,
+                    name,
+                    text.as_deref(),
+                )?))
+            }
+            Mutation::UpdateInsertAfter { doc, target, name, text } => {
+                Ok(ApplyOutcome::UpdatedChecked(db.update_insert_after(
+                    doc,
+                    target,
+                    name,
+                    text.as_deref(),
+                )?))
+            }
+            Mutation::UpdateReplaceNode { doc, target, name, text } => {
+                Ok(ApplyOutcome::UpdatedChecked(db.update_replace_node(
+                    doc,
+                    target,
+                    name,
+                    text.as_deref(),
+                )?))
+            }
+            Mutation::Update { doc, update } => {
+                Ok(ApplyOutcome::UpdatedChecked(db.execute_update(doc, update)?))
+            }
         }
     }
 }
@@ -360,6 +491,25 @@ mod tests {
             Mutation::UpdateSetText {
                 doc: "☂ doc".into(), xpath: "/r".into(), value: "ü".into()
             },
+            Mutation::UpdateInsertBefore {
+                doc: "d".into(),
+                target: "/r/x".into(),
+                name: "y".into(),
+                text: Some("t".into()),
+            },
+            Mutation::UpdateInsertAfter {
+                doc: "d".into(),
+                target: "/r/x".into(),
+                name: "y".into(),
+                text: None,
+            },
+            Mutation::UpdateReplaceNode {
+                doc: "d".into(),
+                target: "/r/x".into(),
+                name: "x".into(),
+                text: Some("v".into()),
+            },
+            Mutation::Update { doc: "d".into(), update: "insert node <x>t</x> into /r".into() },
         ]
     }
 
@@ -405,6 +555,9 @@ mod tests {
     fn rejection_classification() {
         assert!(is_deterministic_rejection(&DbError::DuplicateDocument("d".into())));
         assert!(is_deterministic_rejection(&DbError::UnknownSchema("s".into())));
+        // A statically rejected update never took effect; replay must
+        // skip it rather than abort recovery.
+        assert!(is_deterministic_rejection(&DbError::UpdateStaticallyInvalid(Vec::new())));
         assert!(!is_deterministic_rejection(&DbError::Corrupt("x".into())));
         assert!(!is_deterministic_rejection(&DbError::io("/p", std::io::Error::other("boom"))));
     }

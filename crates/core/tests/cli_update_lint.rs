@@ -1,0 +1,72 @@
+//! End-to-end tests for `xsd-lint --update`: the exit code *is* the
+//! verdict. `0` = Accept (provably safe), `1` = Recheck (applies, but
+//! must be revalidated at run time), `2` = Reject (provably invalid) —
+//! including an update that does not even parse (`XSA000`).
+
+use std::process::Command;
+
+fn lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xsd-lint")).args(args).output().expect("spawn xsd-lint")
+}
+
+fn clean_xsd() -> String {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    dir.join("../../fixtures/lint/clean.xsd").display().to_string()
+}
+
+fn stdout(out: &std::process::Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+#[test]
+fn accepted_update_exits_zero_with_no_diagnostics() {
+    // isbn is optional — deleting it is provably safe.
+    let out = lint(&["--codes", "--update", "delete node /library/book/isbn", &clean_xsd()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(stdout(&out).is_empty(), "accept must print nothing: {out:?}");
+}
+
+#[test]
+fn recheck_update_exits_one_with_a_warning() {
+    // author is one-or-more — deleting one is safe only if another remains.
+    let out = lint(&["--codes", "--update", "delete node /library/book/author", &clean_xsd()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(stdout(&out).contains("XSA505"), "{out:?}");
+}
+
+#[test]
+fn rejected_update_exits_two_with_an_error() {
+    // title is required — deleting it can never leave a valid book.
+    let out = lint(&["--codes", "--update", "delete node /library/book/title", &clean_xsd()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(stdout(&out).contains("XSA501"), "{out:?}");
+}
+
+#[test]
+fn unparseable_update_is_xsa000_and_exits_two() {
+    let out = lint(&["--codes", "--update", "insert garbage", &clean_xsd()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(stdout(&out).contains("XSA000"), "{out:?}");
+}
+
+#[test]
+fn statically_empty_target_is_xsa500_and_exits_two() {
+    let out = lint(&["--codes", "--update", "delete node /library/magazine", &clean_xsd()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(stdout(&out).contains("XSA500"), "{out:?}");
+}
+
+#[test]
+fn multiple_updates_report_the_worst_verdict() {
+    let out = lint(&[
+        "--codes",
+        "--update",
+        "delete node /library/book/isbn",
+        "--update",
+        "delete node /library/book/author",
+        &clean_xsd(),
+    ]);
+    // Accept contributes nothing; the recheck warning decides the exit.
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert_eq!(stdout(&out).trim(), "XSA505", "{out:?}");
+}

@@ -220,8 +220,8 @@ impl<'a> Parser<'a> {
         // Number → position.
         if matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
             let mut digits = String::new();
-            while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
-                digits.push(self.chars.next().unwrap());
+            while let Some(c) = self.chars.next_if(|c| c.is_ascii_digit()) {
+                digits.push(c);
             }
             let n: u32 = digits.parse().map_err(|_| self.err("position out of range"))?;
             if n == 0 {

@@ -40,12 +40,14 @@
 pub mod ast;
 mod eval;
 mod parser;
+pub mod update;
 
 pub use ast::{
     Condition, Constructor, Content, Flwor, Item, OrderBy, Query, TemplatePart, VarPath,
 };
 pub use eval::{evaluate, nodes_to_string};
 pub use parser::{parse_query, XQueryError};
+pub use update::{parse_update, UpdateExpr};
 
 #[cfg(test)]
 mod tests {

@@ -116,6 +116,37 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// The full registry of diagnostic codes this toolchain can emit, with
+/// the severity each code always carries. Codes are append-only and
+/// never reused; tests assert this list matches the crate-docs table.
+/// `XSA000` (input not parseable) is emitted by `xsd-lint` itself but
+/// registered here so there is one authoritative list.
+pub fn registered_codes() -> &'static [(&'static str, Severity)] {
+    &[
+        ("XSA000", Severity::Error),
+        ("XSA001", Severity::Error),
+        ("XSA002", Severity::Error),
+        ("XSA003", Severity::Error),
+        ("XSA004", Severity::Error),
+        ("XSA005", Severity::Error),
+        ("XSA006", Severity::Error),
+        ("XSA101", Severity::Error),
+        ("XSA103", Severity::Warning),
+        ("XSA201", Severity::Error),
+        ("XSA202", Severity::Error),
+        ("XSA301", Severity::Warning),
+        ("XSA302", Severity::Warning),
+        ("XSA401", Severity::Error),
+        ("XSA500", Severity::Error),
+        ("XSA501", Severity::Error),
+        ("XSA502", Severity::Error),
+        ("XSA503", Severity::Error),
+        ("XSA504", Severity::Error),
+        ("XSA505", Severity::Warning),
+        ("XSA506", Severity::Warning),
+    ]
+}
+
 /// The highest severity among the diagnostics (`None` when clean).
 pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
     diags.iter().map(|d| d.severity).max()
@@ -168,6 +199,31 @@ mod tests {
         assert!(json.contains("\"witness\":[\"head\",\"A\"]"));
         let arr = render_json(&[d.clone(), d]);
         assert!(arr.starts_with('[') && arr.ends_with(']'));
+    }
+
+    #[test]
+    fn registry_codes_are_unique_sorted_and_documented() {
+        let codes = registered_codes();
+        let mut seen = std::collections::BTreeSet::new();
+        for (code, _) in codes {
+            assert!(code.starts_with("XSA") && code.len() == 6, "malformed code {code}");
+            assert!(seen.insert(*code), "duplicate code {code}");
+        }
+        let sorted: Vec<&str> = seen.into_iter().collect();
+        let listed: Vec<&str> = codes.iter().map(|(c, _)| *c).collect();
+        assert_eq!(listed, sorted, "registry must stay in ascending (append-only) order");
+        // Every registered code must be documented in the crate-docs
+        // table, and no documented code may be missing from the registry.
+        let docs = include_str!("lib.rs");
+        for (code, _) in codes {
+            assert!(docs.contains(code), "{code} is not documented in the crate docs");
+        }
+        for line in docs.lines() {
+            if let Some(rest) = line.strip_prefix("//! | `XSA") {
+                let code = format!("XSA{}", &rest[..3]);
+                assert!(listed.contains(&code.as_str()), "{code} is documented but not registered");
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!    the schema (or against a [`storage::descriptive`] DataGuide via
 //!    [`analyze_xpath_in_guide`]), flagging statically-empty steps before
 //!    evaluation.
+//! 5. **Static update type-checking** ([`analyze_update`]) — resolves an
+//!    XQuery-Update-lite expression's target with pass 4's symbolic
+//!    evaluation, then decides edit feasibility over the enclosing
+//!    content model's automaton, yielding the accept / recheck / reject
+//!    trichotomy ([`UpdateVerdict`]) the execution layer acts on.
 //!
 //! # Diagnostic codes
 //!
@@ -40,10 +45,19 @@
 //! | `XSA301` | warning | complexType unreachable from the global element |
 //! | `XSA302` | warning | named simpleType never used by a reachable declaration |
 //! | `XSA401` | error | query step is statically empty; step-word witness attached |
+//! | `XSA500` | error | update target is statically empty — the update can never apply |
+//! | `XSA501` | error | edit provably violates a content model; witness word attached |
+//! | `XSA502` | error | inserted or replacement element is invalid for its own type |
+//! | `XSA503` | error | replacement value violates the target's simple type |
+//! | `XSA504` | error | attribute undeclared on the target type, or its value invalid |
+//! | `XSA505` | warning | verdict depends on run-time state or load options — recheck |
+//! | `XSA506` | warning | target or type not statically resolvable — recheck |
 //!
 //! `XSA001`–`XSA006` are the findings of [`xsmodel::check`] lifted onto
 //! the shared [`Diagnostic`] type (the legacy `SchemaIssue` API remains
-//! as a compatibility shim).
+//! as a compatibility shim). `XSA000` (reserved for unparseable input,
+//! reported by `xsd-lint` itself) completes the registry returned by
+//! [`registered_codes`].
 //!
 //! # Example
 //!
@@ -73,13 +87,18 @@ mod paths;
 mod reach;
 mod satisfy;
 mod upa;
+mod updates;
 mod walk;
 
-pub use diag::{max_severity, render_json, Diagnostic, Severity};
-pub use paths::{analyze_xpath, analyze_xpath_in_guide, analyze_xquery};
+pub use diag::{max_severity, registered_codes, render_json, Diagnostic, Severity};
+pub use paths::{
+    analyze_xpath, analyze_xpath_in_guide, analyze_xquery, resolve_content, resolve_update_parent,
+    resolve_update_target, ParentResolution, ResolvedContent, ResolvedElem, TargetResolution,
+};
 pub use reach::check_reachability;
 pub use satisfy::check_satisfiability;
 pub use upa::check_upa;
+pub use updates::{analyze_update, schema_involves_identity, UpdateAnalysis, UpdateVerdict};
 
 use xsmodel::DocumentSchema;
 

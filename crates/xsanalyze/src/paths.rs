@@ -141,13 +141,132 @@ fn eval_varpath<'a>(
     result
 }
 
+/// A statically-resolved element context: declared name and type.
+#[derive(Clone, Copy)]
+pub struct ResolvedElem<'a> {
+    /// The element's declared name.
+    pub name: &'a str,
+    /// The element's declared type.
+    pub ty: &'a Type,
+    /// Whether the declaration is nillable: a nilled occurrence admits
+    /// no content (§6.2), so content-installing edits on it must be
+    /// rechecked at run time.
+    pub nillable: bool,
+}
+
+/// Outcome of statically resolving an update's target path to the set
+/// of element declarations it can select.
+pub enum TargetResolution<'a> {
+    /// The path can only select elements with these declarations.
+    Elements(Vec<ResolvedElem<'a>>),
+    /// The path provably selects nothing in any valid document.
+    Empty,
+    /// The analysis bailed out (unsupported axis, unknown type, or a
+    /// path landing on text/attribute leaves).
+    Unknown,
+}
+
+/// Outcome of statically resolving the *parent* contexts of an
+/// update's target path — the element whose content model absorbs a
+/// sibling-level edit. Only paths whose last step is `child::name`
+/// resolve; everything else is [`ParentResolution::Unknown`].
+pub enum ParentResolution<'a> {
+    /// `(parent, target name)` pairs; a `None` parent is the document
+    /// node (the target is the root element).
+    Pairs(Vec<(Option<ResolvedElem<'a>>, String)>),
+    /// The path prefix provably selects nothing.
+    Empty,
+    /// The analysis bailed out.
+    Unknown,
+}
+
+/// Resolve an update path to the element declarations it can select.
+pub fn resolve_update_target<'a>(schema: &'a DocumentSchema, path: &Path) -> TargetResolution<'a> {
+    let backend = SchemaBackend { schema };
+    let (result, _) = eval_path(&backend, path, vec![Ctx::Doc], "update target");
+    let Some(result) = result else { return TargetResolution::Unknown };
+    if result.definitely_empty() {
+        return TargetResolution::Empty;
+    }
+    if result.elems.is_empty() {
+        return TargetResolution::Unknown; // leaves only: not element targets
+    }
+    TargetResolution::Elements(
+        result
+            .elems
+            .into_iter()
+            .filter_map(|c| match c {
+                Ctx::Doc => None,
+                Ctx::Elem { name, ty, nillable } => Some(ResolvedElem { name, ty, nillable }),
+            })
+            .collect(),
+    )
+}
+
+/// Resolve the parent contexts of an update path (see
+/// [`ParentResolution`]). Predicates on the last step only narrow the
+/// selected occurrences, so ignoring them here keeps both the Always
+/// and the Never verdicts sound.
+pub fn resolve_update_parent<'a>(schema: &'a DocumentSchema, path: &Path) -> ParentResolution<'a> {
+    let Some((last, prefix)) = path.steps.split_last() else {
+        return ParentResolution::Unknown;
+    };
+    let (Axis::Child, NodeTest::Name(target)) = (last.axis, &last.test) else {
+        return ParentResolution::Unknown;
+    };
+    let backend = SchemaBackend { schema };
+    let prefix = Path { steps: prefix.to_vec() };
+    let (result, _) = eval_path(&backend, &prefix, vec![Ctx::Doc], "update parent");
+    let Some(result) = result else { return ParentResolution::Unknown };
+    if result.definitely_empty() {
+        return ParentResolution::Empty;
+    }
+    ParentResolution::Pairs(
+        result
+            .elems
+            .into_iter()
+            .map(|c| match c {
+                Ctx::Doc => (None, target.clone()),
+                Ctx::Elem { name, ty, nillable } => {
+                    (Some(ResolvedElem { name, ty, nillable }), target.clone())
+                }
+            })
+            .collect(),
+    )
+}
+
+/// What an element type contains, for update checking.
+pub enum ResolvedContent<'a> {
+    /// Complex content: element children governed by this group
+    /// (`mixed` allows interleaved text).
+    Group(&'a xsmodel::GroupDefinition, bool),
+    /// Simple type or simple content: text only, no element children.
+    Text,
+    /// The type is not defined in the schema.
+    Unknown,
+}
+
+/// Resolve what kind of content an element type admits.
+pub fn resolve_content<'a>(schema: &'a DocumentSchema, ty: &'a Type) -> ResolvedContent<'a> {
+    let backend = SchemaBackend { schema };
+    match backend.resolve(ty) {
+        Resolved::Complex(ComplexTypeDefinition::ComplexContent { content, mixed, .. }) => {
+            ResolvedContent::Group(content, *mixed)
+        }
+        Resolved::Complex(ComplexTypeDefinition::SimpleContent { .. }) | Resolved::Simple => {
+            ResolvedContent::Text
+        }
+        Resolved::Unknown => ResolvedContent::Unknown,
+    }
+}
+
 /// A symbolic context node on the schema backend.
 #[derive(Clone, Copy)]
 enum Ctx<'a> {
     /// The document node.
     Doc,
-    /// An element with the given declared name and type.
-    Elem { name: &'a str, ty: &'a Type },
+    /// An element with the given declared name, type, and nillability.
+    Elem { name: &'a str, ty: &'a Type, nillable: bool },
 }
 
 /// What a path prefix can reach on the schema backend.
@@ -213,21 +332,23 @@ impl<'a> PathBackend for SchemaBackend<'a> {
     fn key(&self, ctx: &Ctx<'a>) -> (usize, String) {
         match ctx {
             Ctx::Doc => (0, String::new()),
-            Ctx::Elem { name, ty } => (*ty as *const Type as usize, name.to_string()),
+            Ctx::Elem { name, ty, .. } => (*ty as *const Type as usize, name.to_string()),
         }
     }
 
     fn children(&self, ctx: &Ctx<'a>) -> Option<Vec<Ctx<'a>>> {
         match ctx {
-            Ctx::Doc => {
-                Some(vec![Ctx::Elem { name: &self.schema.root.name, ty: &self.schema.root.ty }])
-            }
+            Ctx::Doc => Some(vec![Ctx::Elem {
+                name: &self.schema.root.name,
+                ty: &self.schema.root.ty,
+                nillable: self.schema.root.nillable,
+            }]),
             Ctx::Elem { ty, .. } => match self.resolve(ty) {
                 Resolved::Complex(ComplexTypeDefinition::ComplexContent { content, .. }) => Some(
                     content
                         .element_declarations()
                         .into_iter()
-                        .map(|d| Ctx::Elem { name: &d.name, ty: &d.ty })
+                        .map(|d| Ctx::Elem { name: &d.name, ty: &d.ty, nillable: d.nillable })
                         .collect(),
                 ),
                 Resolved::Complex(ComplexTypeDefinition::SimpleContent { .. })

@@ -1,0 +1,1031 @@
+//! Pass 5: static update type-checking (`XSA500`–`XSA506`).
+//!
+//! Every XQuery-Update-lite expression is checked against the document
+//! schema *before it runs*. The check composes two static analyses:
+//! the pass-4 symbolic path evaluation resolves the update's target to
+//! the element declarations it can select (and, for sibling-anchored
+//! operations, the parent whose content model absorbs the edit), and
+//! [`ContentModel::edit_feasibility`] decides — over the *language* of
+//! the enclosing content model — whether the edit preserves validity
+//! for every word, for no word, or only for some words.
+//!
+//! The outcome is a trichotomy:
+//!
+//! * [`UpdateVerdict::Accept`] — the update is **provably valid** in
+//!   every reachable state: execution may skip revalidation entirely.
+//! * [`UpdateVerdict::Reject`] — the update is **provably invalid**:
+//!   execution must refuse it without touching the tree. Where the
+//!   defect is a content-model violation the diagnostic carries a
+//!   shortest witness word that reproduces it.
+//! * [`UpdateVerdict::Recheck`] — statically undecidable (the verdict
+//!   depends on the current children, on load options, or the analysis
+//!   bailed out): execution revalidates the affected content model.
+//!
+//! Soundness notes. Accept is relative to §6.2 *structural* validity
+//! plus the value checks the analysis can discharge; anything
+//! option-dependent (required attributes, ignorable whitespace) or
+//! document-global (`xs:ID` uniqueness, `xs:IDREF` resolution)
+//! downgrades to Recheck, never to Accept. Reject claims are absolute:
+//! a rejected update cannot produce a valid document under *any* load
+//! options. A target that is statically empty is rejected (`XSA500`):
+//! an update that provably does nothing is a bug in the update.
+
+use xquery::UpdateExpr;
+use xsmodel::{
+    ComplexTypeDefinition, ContentModel, DocumentSchema, EditFeasibility, EditOp, GroupDefinition,
+    Type,
+};
+use xstypes::{AtomicValue, Builtin, SimpleType, Variety};
+
+use crate::diag::Diagnostic;
+use crate::paths::{
+    resolve_content, resolve_update_parent, resolve_update_target, ParentResolution,
+    ResolvedContent, ResolvedElem, TargetResolution,
+};
+
+/// The trichotomy a static update check produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateVerdict {
+    /// Provably valid: execute without revalidation.
+    Accept,
+    /// Statically undecidable: execute, then revalidate the affected
+    /// content model.
+    Recheck,
+    /// Provably invalid: refuse without touching the tree.
+    Reject,
+}
+
+impl std::fmt::Display for UpdateVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            UpdateVerdict::Accept => "accept",
+            UpdateVerdict::Recheck => "recheck",
+            UpdateVerdict::Reject => "reject",
+        })
+    }
+}
+
+/// The result of statically checking one update expression.
+#[derive(Debug, Clone)]
+pub struct UpdateAnalysis {
+    /// The aggregated verdict over every target context.
+    pub verdict: UpdateVerdict,
+    /// The findings (`XSA500`–`XSA506`) behind the verdict. Accept
+    /// produces none; Reject produces at least one error; Recheck
+    /// produces at least one warning.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// How one resolved target context classifies.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Ctxv {
+    Accept,
+    Recheck,
+    Reject,
+}
+
+/// Statically type-check an update expression against the schema.
+pub fn analyze_update(schema: &DocumentSchema, upd: &UpdateExpr) -> UpdateAnalysis {
+    let mut chk = Checker { schema, label: format!("update {}", upd.target()), out: Vec::new() };
+    let verdicts = chk.check(upd);
+    let verdict = aggregate(&verdicts);
+    if verdict == UpdateVerdict::Recheck
+        && !chk.out.iter().any(|d| d.severity == crate::Severity::Warning)
+    {
+        // Mixed Accept/Reject across contexts with only errors emitted:
+        // make the downgrade visible.
+        chk.warn("XSA505", "target contexts disagree; the update must be rechecked at run time");
+    }
+    let diagnostics = match verdict {
+        // Accept must not ship stale findings from contexts that were
+        // ultimately fine; by construction none are emitted.
+        UpdateVerdict::Accept => Vec::new(),
+        _ => chk.out,
+    };
+    UpdateAnalysis { verdict, diagnostics }
+}
+
+/// Fold per-context verdicts: every context must agree for the decided
+/// outcomes; disagreement (or any undecidable context) means Recheck.
+/// No contexts at all means the target is statically empty — the caller
+/// has already emitted `XSA500` — which rejects.
+fn aggregate(verdicts: &[Ctxv]) -> UpdateVerdict {
+    if verdicts.is_empty() || verdicts.iter().all(|v| *v == Ctxv::Reject) {
+        return UpdateVerdict::Reject;
+    }
+    if verdicts.iter().all(|v| *v == Ctxv::Accept) {
+        return UpdateVerdict::Accept;
+    }
+    UpdateVerdict::Recheck
+}
+
+struct Checker<'a> {
+    schema: &'a DocumentSchema,
+    /// Diagnostic anchor, e.g. `update /library/book`.
+    label: String,
+    out: Vec<Diagnostic>,
+}
+
+impl<'a> Checker<'a> {
+    fn err(&mut self, code: &'static str, msg: impl Into<String>) {
+        self.out.push(Diagnostic::error(code, self.label.clone(), msg));
+    }
+
+    fn err_witness(&mut self, code: &'static str, msg: impl Into<String>, witness: Vec<String>) {
+        self.out.push(Diagnostic::error(code, self.label.clone(), msg).with_witness(witness));
+    }
+
+    fn warn(&mut self, code: &'static str, msg: impl Into<String>) {
+        self.out.push(Diagnostic::warning(code, self.label.clone(), msg));
+    }
+
+    fn check(&mut self, upd: &UpdateExpr) -> Vec<Ctxv> {
+        // Shared gate: a statically-empty target path is always XSA500.
+        match resolve_update_target(self.schema, upd.target()) {
+            TargetResolution::Empty => {
+                self.err("XSA500", "the target path selects nothing in any valid document");
+                return Vec::new();
+            }
+            TargetResolution::Elements(_) | TargetResolution::Unknown => {}
+        }
+        match upd {
+            UpdateExpr::InsertInto { name, text, target } => {
+                self.each_target(target, |chk, elem| {
+                    let v = chk.container_insert(elem, name, text.as_deref());
+                    chk.nil_guard(elem, v)
+                })
+            }
+            UpdateExpr::InsertBefore { name, text, target } => {
+                self.each_parent(target, |chk, parent, tname| match parent {
+                    None => Some(chk.reject_root_sibling()),
+                    Some(p) => chk.sibling_edit(
+                        p,
+                        EditOp::InsertBefore { target: tname.to_string(), name: name.clone() },
+                        Some((name.as_str(), text.as_deref())),
+                    ),
+                })
+            }
+            UpdateExpr::InsertAfter { name, text, target } => {
+                self.each_parent(target, |chk, parent, tname| match parent {
+                    None => Some(chk.reject_root_sibling()),
+                    Some(p) => chk.sibling_edit(
+                        p,
+                        EditOp::InsertAfter { target: tname.to_string(), name: name.clone() },
+                        Some((name.as_str(), text.as_deref())),
+                    ),
+                })
+            }
+            UpdateExpr::InsertAttribute { attr, value, target } => {
+                self.each_target(target, |chk, elem| chk.attribute_insert(elem, attr, value))
+            }
+            UpdateExpr::Delete { target } => {
+                self.each_parent(target, |chk, parent, tname| match parent {
+                    None => {
+                        chk.err(
+                            "XSA501",
+                            "deleting the root element leaves an empty document, \
+                             which no schema admits",
+                        );
+                        Some(Ctxv::Reject)
+                    }
+                    Some(p) => {
+                        chk.sibling_edit(p, EditOp::Delete { target: tname.to_string() }, None)
+                    }
+                })
+            }
+            UpdateExpr::ReplaceNode { target, name, text } => {
+                self.each_parent(target, |chk, parent, _tname| match parent {
+                    None => Some(chk.replace_root(name, text.as_deref())),
+                    Some(p) => chk.sibling_edit(
+                        p,
+                        EditOp::Replace { target: _tname.to_string(), name: name.clone() },
+                        Some((name.as_str(), text.as_deref())),
+                    ),
+                })
+            }
+            UpdateExpr::ReplaceValue { target, value } => self.each_target(target, |chk, elem| {
+                let v = chk.replace_value(elem, value);
+                chk.nil_guard(elem, v)
+            }),
+        }
+    }
+
+    /// Run a per-element check over every declaration the target path
+    /// can select (container-style operations).
+    fn each_target(
+        &mut self,
+        target: &xpath::Path,
+        mut f: impl FnMut(&mut Self, &ResolvedElem<'a>) -> Ctxv,
+    ) -> Vec<Ctxv> {
+        match resolve_update_target(self.schema, target) {
+            TargetResolution::Empty => {
+                self.err("XSA500", "the target path selects nothing in any valid document");
+                Vec::new()
+            }
+            TargetResolution::Unknown => {
+                self.warn("XSA506", "the target path is not statically resolvable");
+                vec![Ctxv::Recheck]
+            }
+            TargetResolution::Elements(elems) => {
+                let verdicts: Vec<Ctxv> = elems.iter().map(|e| f(self, e)).collect();
+                if verdicts.is_empty() {
+                    self.err("XSA500", "the target path selects nothing in any valid document");
+                }
+                verdicts
+            }
+        }
+    }
+
+    /// Run a per-parent check over every `(parent, target name)` pair
+    /// the target path resolves to (sibling-anchored operations). The
+    /// callback returns `None` to skip a context that provably cannot
+    /// host the target (it contributes nothing at run time).
+    fn each_parent(
+        &mut self,
+        target: &xpath::Path,
+        mut f: impl FnMut(&mut Self, Option<&ResolvedElem<'a>>, &str) -> Option<Ctxv>,
+    ) -> Vec<Ctxv> {
+        match resolve_update_parent(self.schema, target) {
+            ParentResolution::Empty => {
+                self.err("XSA500", "the target path selects nothing in any valid document");
+                Vec::new()
+            }
+            ParentResolution::Unknown => {
+                self.warn("XSA506", "the target path is not statically resolvable");
+                vec![Ctxv::Recheck]
+            }
+            ParentResolution::Pairs(pairs) => {
+                let verdicts: Vec<Ctxv> =
+                    pairs.iter().filter_map(|(p, t)| f(self, p.as_ref(), t)).collect();
+                if verdicts.is_empty() {
+                    self.err("XSA500", "the target path selects nothing in any valid document");
+                }
+                verdicts
+            }
+        }
+    }
+
+    fn reject_root_sibling(&mut self) -> Ctxv {
+        self.err("XSA501", "the document node admits exactly one root element");
+        Ctxv::Reject
+    }
+
+    /// `insert node <name>text?</name> into elem`.
+    fn container_insert(
+        &mut self,
+        elem: &ResolvedElem<'a>,
+        name: &str,
+        text: Option<&str>,
+    ) -> Ctxv {
+        match resolve_content(self.schema, elem.ty) {
+            ResolvedContent::Text => {
+                self.err(
+                    "XSA501",
+                    format!(
+                        "cannot insert an element into <{}>: its type admits text only",
+                        elem.name
+                    ),
+                );
+                Ctxv::Reject
+            }
+            ResolvedContent::Unknown => {
+                self.warn("XSA506", format!("the type of <{}> is not defined", elem.name));
+                Ctxv::Recheck
+            }
+            ResolvedContent::Group(group, _mixed) => self.group_edit(
+                elem.name,
+                group,
+                EditOp::InsertInto { name: name.to_string() },
+                Some((name, text)),
+            ),
+        }
+    }
+
+    /// A sibling-anchored edit in `parent`'s content model; `leaf` is
+    /// the inserted/replacement element when the operation has one.
+    fn sibling_edit(
+        &mut self,
+        parent: &ResolvedElem<'a>,
+        op: EditOp,
+        leaf: Option<(&str, Option<&str>)>,
+    ) -> Option<Ctxv> {
+        match resolve_content(self.schema, parent.ty) {
+            // The anchor child cannot exist under a text-only parent:
+            // this context is statically empty and contributes nothing.
+            ResolvedContent::Text => None,
+            ResolvedContent::Unknown => {
+                self.warn("XSA506", format!("the type of <{}> is not defined", parent.name));
+                Some(Ctxv::Recheck)
+            }
+            ResolvedContent::Group(group, _mixed) => {
+                Some(self.group_edit(parent.name, group, op, leaf))
+            }
+        }
+    }
+
+    /// Decide an [`EditOp`] over a compiled content model, then (for
+    /// inserting operations) check the new leaf's own static validity.
+    fn group_edit(
+        &mut self,
+        parent_name: &str,
+        group: &GroupDefinition,
+        op: EditOp,
+        leaf: Option<(&str, Option<&str>)>,
+    ) -> Ctxv {
+        let cm = match ContentModel::compile(group) {
+            Ok(cm) => cm,
+            Err(e) => {
+                self.warn(
+                    "XSA506",
+                    format!("content model of <{parent_name}> did not compile: {e}"),
+                );
+                return Ctxv::Recheck;
+            }
+        };
+        match cm.edit_feasibility(&op) {
+            EditFeasibility::Never { witness } => {
+                self.err_witness(
+                    "XSA501",
+                    format!("the edit provably violates the content model of <{parent_name}>"),
+                    witness,
+                );
+                Ctxv::Reject
+            }
+            EditFeasibility::Sometimes => {
+                self.warn(
+                    "XSA505",
+                    format!(
+                        "whether the edit preserves the content model of <{parent_name}> \
+                         depends on the current children"
+                    ),
+                );
+                Ctxv::Recheck
+            }
+            EditFeasibility::Always => match leaf {
+                None => {
+                    self.decided_valid(matches!(op, EditOp::Delete { .. } | EditOp::Replace { .. }))
+                }
+                Some((name, text)) => {
+                    let v = self.leaf_in_model(&cm, name, text);
+                    match v {
+                        Ctxv::Accept => self.decided_valid(matches!(op, EditOp::Replace { .. })),
+                        other => other,
+                    }
+                }
+            },
+        }
+    }
+
+    /// A nillable target admits a *nilled* occurrence, which §6.2
+    /// (`R6Nil`) requires to stay contentless: installing text or a
+    /// child element is only valid when the occurrence is not nilled —
+    /// a run-time property, so a would-be Accept downgrades. Sibling-
+    /// anchored edits are exempt: their anchor child's existence already
+    /// proves the parent is not nilled. Attribute inserts are exempt
+    /// too: a nilled element keeps its attributes (§6.2 items 6.2/6.3).
+    fn nil_guard(&mut self, elem: &ResolvedElem<'a>, v: Ctxv) -> Ctxv {
+        if v == Ctxv::Accept && elem.nillable {
+            self.warn(
+                "XSA505",
+                format!(
+                    "<{}> is declared nillable; a nilled occurrence admits no content",
+                    elem.name
+                ),
+            );
+            return Ctxv::Recheck;
+        }
+        v
+    }
+
+    /// An edit proved structurally valid still destroys or adds typed
+    /// values; when the schema declares `xs:IDREF` anywhere, a
+    /// destructive edit can break reference resolution — a
+    /// document-global property this pass cannot decide.
+    fn decided_valid(&mut self, destructive: bool) -> Ctxv {
+        if destructive && schema_declares_idref(self.schema) {
+            self.warn(
+                "XSA505",
+                "the schema declares xs:IDREF values; removing nodes may break references",
+            );
+            return Ctxv::Recheck;
+        }
+        Ctxv::Accept
+    }
+
+    /// Static validity of the inserted leaf `<name>text?</name>` under
+    /// every declaration of `name` in the content model. Every matching
+    /// declaration must agree for a decided verdict: validation assigns
+    /// the declaration via the automaton match, which this pass does
+    /// not replay.
+    fn leaf_in_model(&mut self, cm: &ContentModel, name: &str, text: Option<&str>) -> Ctxv {
+        let matching: Vec<_> = cm.declarations().iter().filter(|d| d.name == name).collect();
+        if matching.is_empty() {
+            // Feasible yet undeclared can only mean the analysis and the
+            // automaton disagree (e.g. a vacuous Always); stay safe.
+            self.warn("XSA506", format!("<{name}> is not declared in the content model"));
+            return Ctxv::Recheck;
+        }
+        let verdicts: Vec<Ctxv> =
+            matching.iter().map(|d| self.leaf_validity(name, &d.ty, text)).collect();
+        if verdicts.iter().all(|v| *v == Ctxv::Accept) {
+            Ctxv::Accept
+        } else if verdicts.iter().all(|v| *v == Ctxv::Reject) {
+            Ctxv::Reject
+        } else {
+            Ctxv::Recheck
+        }
+    }
+
+    /// Is the leaf element `<name>text?</name>` — no attributes, no
+    /// children — valid for `ty`? Emits `XSA502`/`XSA505`/`XSA506`.
+    fn leaf_validity(&mut self, name: &str, ty: &Type, text: Option<&str>) -> Ctxv {
+        if let Some(st) = self.schema.simple_of(ty) {
+            return self.leaf_text_validity(name, &st, text);
+        }
+        let Some(ctd) = self.schema.complex_of(ty) else {
+            self.warn("XSA506", format!("the type of <{name}> is not defined"));
+            return Ctxv::Recheck;
+        };
+        if !ctd.attributes().is_empty() {
+            // Whether declared attributes are required depends on the
+            // load options; the constructed leaf carries none.
+            self.warn(
+                "XSA505",
+                format!(
+                    "the type of <{name}> declares attributes; whether they are \
+                     required depends on load options"
+                ),
+            );
+            return Ctxv::Recheck;
+        }
+        match ctd {
+            ComplexTypeDefinition::SimpleContent { base, .. } => {
+                let Some(st) = self.schema.simple_types.get(base) else {
+                    self.warn("XSA506", format!("simple type {base:?} is not defined"));
+                    return Ctxv::Recheck;
+                };
+                self.leaf_text_validity(name, &st, text)
+            }
+            ComplexTypeDefinition::ComplexContent { mixed, content, .. } => {
+                if !content.is_empty_content() {
+                    match ContentModel::compile(content) {
+                        Ok(inner) if inner.accepts(&[]) => {}
+                        Ok(_) => {
+                            self.err(
+                                "XSA502",
+                                format!(
+                                    "<{name}> is inserted empty but its type requires \
+                                     child elements"
+                                ),
+                            );
+                            return Ctxv::Reject;
+                        }
+                        Err(e) => {
+                            self.warn(
+                                "XSA506",
+                                format!("content model of <{name}> did not compile: {e}"),
+                            );
+                            return Ctxv::Recheck;
+                        }
+                    }
+                }
+                match text {
+                    None => Ctxv::Accept,
+                    Some(_) if *mixed => Ctxv::Accept,
+                    Some(t) if is_whitespace(t) => {
+                        // Ignorable under the default load options only.
+                        self.warn(
+                            "XSA505",
+                            format!(
+                                "whitespace text in the non-mixed <{name}> is only \
+                                 ignorable under lenient load options"
+                            ),
+                        );
+                        Ctxv::Recheck
+                    }
+                    Some(t) => {
+                        self.err(
+                            "XSA502",
+                            format!("text {t:?} in <{name}>, whose type is not mixed"),
+                        );
+                        Ctxv::Reject
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validate leaf text against a simple type; `None` text means the
+    /// empty string (§6.2 reads absent content as the empty value).
+    fn leaf_text_validity(&mut self, name: &str, st: &SimpleType, text: Option<&str>) -> Ctxv {
+        match st.validate(text.unwrap_or("")) {
+            Err(e) => {
+                self.err("XSA502", format!("<{name}>: {e}"));
+                Ctxv::Reject
+            }
+            Ok(values) if has_identity_values(&values) => {
+                self.warn(
+                    "XSA505",
+                    format!(
+                        "<{name}> carries xs:ID/xs:IDREF values, whose constraints \
+                         are document-global"
+                    ),
+                );
+                Ctxv::Recheck
+            }
+            Ok(_) => Ctxv::Accept,
+        }
+    }
+
+    /// `insert attribute attr="value" into elem` (`XSA504`).
+    fn attribute_insert(&mut self, elem: &ResolvedElem<'a>, attr: &str, value: &str) -> Ctxv {
+        if self.schema.simple_of(elem.ty).is_some() {
+            self.err(
+                "XSA504",
+                format!("<{}> has a simple type, which admits no attributes", elem.name),
+            );
+            return Ctxv::Reject;
+        }
+        let Some(ctd) = self.schema.complex_of(elem.ty) else {
+            self.warn("XSA506", format!("the type of <{}> is not defined", elem.name));
+            return Ctxv::Recheck;
+        };
+        let Some(type_name) = ctd.attributes().get(attr) else {
+            self.err(
+                "XSA504",
+                format!("attribute {attr:?} is not declared on the type of <{}>", elem.name),
+            );
+            return Ctxv::Reject;
+        };
+        let Some(st) = self.schema.simple_types.get(type_name) else {
+            self.warn("XSA506", format!("attribute type {type_name:?} is not defined"));
+            return Ctxv::Recheck;
+        };
+        match st.validate(value) {
+            Err(e) => {
+                self.err("XSA504", format!("attribute {attr:?}: {e}"));
+                Ctxv::Reject
+            }
+            Ok(values) if has_identity_values(&values) => {
+                self.warn(
+                    "XSA505",
+                    format!(
+                        "attribute {attr:?} carries xs:ID/xs:IDREF values, whose \
+                         constraints are document-global"
+                    ),
+                );
+                Ctxv::Recheck
+            }
+            // Overwriting a previous value destroys it: reference-
+            // sensitive schemas must recheck.
+            Ok(_) => self.decided_valid(true),
+        }
+    }
+
+    /// `replace node /root with <name>text?</name>`: the root element's
+    /// name is fixed by the schema's global declaration.
+    fn replace_root(&mut self, name: &str, text: Option<&str>) -> Ctxv {
+        if name != self.schema.root.name {
+            self.err(
+                "XSA501",
+                format!("the root element must be named <{}>, not <{name}>", self.schema.root.name),
+            );
+            return Ctxv::Reject;
+        }
+        let root_ty = self.schema.root.ty.clone();
+        match self.leaf_validity(name, &root_ty, text) {
+            Ctxv::Accept => self.decided_valid(true),
+            other => other,
+        }
+    }
+
+    /// `replace value of node elem with "value"` (`XSA503`). The
+    /// runtime operation removes *all* children and installs a single
+    /// text node, so complex content must also admit zero children.
+    fn replace_value(&mut self, elem: &ResolvedElem<'a>, value: &str) -> Ctxv {
+        match resolve_content(self.schema, elem.ty) {
+            ResolvedContent::Unknown => {
+                self.warn("XSA506", format!("the type of <{}> is not defined", elem.name));
+                Ctxv::Recheck
+            }
+            ResolvedContent::Text => {
+                let st = self.schema.simple_of(elem.ty).or_else(|| {
+                    match self.schema.complex_of(elem.ty) {
+                        Some(ComplexTypeDefinition::SimpleContent { base, .. }) => {
+                            self.schema.simple_types.get(base)
+                        }
+                        _ => None,
+                    }
+                });
+                let Some(st) = st else {
+                    self.warn(
+                        "XSA506",
+                        format!("the simple type of <{}> is not defined", elem.name),
+                    );
+                    return Ctxv::Recheck;
+                };
+                match st.validate(value) {
+                    Err(e) => {
+                        self.err("XSA503", format!("<{}>: {e}", elem.name));
+                        Ctxv::Reject
+                    }
+                    Ok(values) if has_identity_values(&values) => {
+                        self.warn(
+                            "XSA505",
+                            format!(
+                                "<{}> carries xs:ID/xs:IDREF values, whose constraints \
+                                 are document-global",
+                                elem.name
+                            ),
+                        );
+                        Ctxv::Recheck
+                    }
+                    Ok(_) => self.decided_valid(true),
+                }
+            }
+            ResolvedContent::Group(group, mixed) => {
+                if !group.is_empty_content() {
+                    match ContentModel::compile(group) {
+                        Ok(cm) if cm.accepts(&[]) => {}
+                        Ok(_) => {
+                            self.err_witness(
+                                "XSA501",
+                                format!(
+                                    "replacing the content of <{}> with text leaves \
+                                     required child elements missing",
+                                    elem.name
+                                ),
+                                Vec::new(),
+                            );
+                            return Ctxv::Reject;
+                        }
+                        Err(e) => {
+                            self.warn(
+                                "XSA506",
+                                format!("content model of <{}> did not compile: {e}", elem.name),
+                            );
+                            return Ctxv::Recheck;
+                        }
+                    }
+                }
+                if value.is_empty() || mixed {
+                    return self.decided_valid(true);
+                }
+                if is_whitespace(value) {
+                    self.warn(
+                        "XSA505",
+                        format!(
+                            "whitespace text in the non-mixed <{}> is only ignorable \
+                             under lenient load options",
+                            elem.name
+                        ),
+                    );
+                    return Ctxv::Recheck;
+                }
+                self.err(
+                    "XSA503",
+                    format!("text {value:?} in <{}>, whose type is not mixed", elem.name),
+                );
+                Ctxv::Reject
+            }
+        }
+    }
+}
+
+fn is_whitespace(text: &str) -> bool {
+    text.chars().all(|c| matches!(c, ' ' | '\t' | '\n' | '\r'))
+}
+
+/// Do the validated atomic values include `xs:ID` or `xs:IDREF`?
+fn has_identity_values(values: &[AtomicValue]) -> bool {
+    values.iter().any(|v| matches!(v, AtomicValue::String(_, Builtin::Id | Builtin::IdRef)))
+}
+
+/// Can any declaration in the schema produce `xs:IDREF`-typed values?
+/// When none can, destroying nodes cannot break reference resolution.
+fn schema_declares_idref(schema: &DocumentSchema) -> bool {
+    schema_declares(schema, |b| b == Builtin::IdRef)
+}
+
+/// Can any declaration in the schema produce `xs:ID` or `xs:IDREF`
+/// values? Identity constraints (§6.2 ID uniqueness / IDREF resolution)
+/// are document-global, so any update under such a schema must be
+/// followed by a whole-document identity pass — local content-model
+/// rechecking cannot observe a duplicate ID two subtrees away.
+pub fn schema_involves_identity(schema: &DocumentSchema) -> bool {
+    schema_declares(schema, |b| matches!(b, Builtin::Id | Builtin::IdRef))
+}
+
+/// Walk every simple type reachable from the schema's declarations and
+/// report whether any bottoms out in a builtin satisfying `want`.
+fn schema_declares(schema: &DocumentSchema, want: impl Fn(Builtin) -> bool + Copy) -> bool {
+    fn st_has(st: &SimpleType, want: impl Fn(Builtin) -> bool + Copy) -> bool {
+        match &st.variety {
+            Variety::Builtin(b) => want(*b),
+            Variety::Restriction { base, .. } => st_has(base, want),
+            Variety::List { item, .. } => st_has(item, want),
+            Variety::Union { members } => members.iter().any(|m| st_has(m, want)),
+        }
+    }
+    fn name_has(
+        schema: &DocumentSchema,
+        name: &str,
+        want: impl Fn(Builtin) -> bool + Copy,
+    ) -> bool {
+        schema.simple_types.get(name).is_some_and(|st| st_has(&st, want))
+    }
+    fn ty_has(schema: &DocumentSchema, ty: &Type, want: impl Fn(Builtin) -> bool + Copy) -> bool {
+        match ty {
+            Type::Named(n) => match schema.complex_types.get(n.as_str()) {
+                Some(ctd) => ctd_has(schema, ctd, want),
+                None => name_has(schema, n, want),
+            },
+            Type::AnonymousSimple(st) => st_has(st, want),
+            Type::AnonymousComplex(ctd) => ctd_has(schema, ctd, want),
+        }
+    }
+    fn ctd_has(
+        schema: &DocumentSchema,
+        ctd: &ComplexTypeDefinition,
+        want: impl Fn(Builtin) -> bool + Copy,
+    ) -> bool {
+        if ctd.attributes().values().any(|t| name_has(schema, t, want)) {
+            return true;
+        }
+        match ctd {
+            ComplexTypeDefinition::SimpleContent { base, .. } => name_has(schema, base, want),
+            ComplexTypeDefinition::ComplexContent { content, .. } => content
+                .element_declarations()
+                .iter()
+                // Named element types recurse only one level into the
+                // named-type map below, which covers every named type
+                // once; anonymous types are walked here.
+                .any(|d| match &d.ty {
+                    Type::Named(n) if schema.complex_types.contains_key(n.as_str()) => false,
+                    ty => ty_has(schema, ty, want),
+                }),
+        }
+    }
+    // Every named complex type, plus the root declaration's own type.
+    schema.complex_types.values().any(|ctd| ctd_has(schema, ctd, want))
+        || ty_has(schema, &schema.root.ty, want)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsmodel::{AttributeDeclarations, ElementDeclaration, RepetitionFactor};
+
+    /// `library` holds `book+`; a `book` is `(title, author?, year{0,3})`.
+    fn library_schema() -> DocumentSchema {
+        let book = ComplexTypeDefinition::ComplexContent {
+            mixed: false,
+            content: GroupDefinition::sequence(vec![
+                ElementDeclaration::new("title", "xs:string"),
+                ElementDeclaration::new("author", "xs:string")
+                    .with_repetition(RepetitionFactor::OPTIONAL),
+                ElementDeclaration::new("year", "xs:integer")
+                    .with_repetition(RepetitionFactor::new(0, 3)),
+            ]),
+            attributes: AttributeDeclarations::new(),
+        };
+        let library = ComplexTypeDefinition::ComplexContent {
+            mixed: false,
+            content: GroupDefinition::sequence(vec![ElementDeclaration::new("book", "BookT")
+                .with_repetition(RepetitionFactor::at_least(1))]),
+            attributes: AttributeDeclarations::new(),
+        };
+        DocumentSchema::new(ElementDeclaration::new("library", "LibraryT"))
+            .with_complex_type("LibraryT", library)
+            .with_complex_type("BookT", book)
+    }
+
+    fn run(schema: &DocumentSchema, update: &str) -> UpdateAnalysis {
+        let upd = xquery::parse_update(update).unwrap();
+        analyze_update(schema, &upd)
+    }
+
+    fn codes(a: &UpdateAnalysis) -> Vec<&'static str> {
+        a.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn append_book_rechecks_because_leaf_needs_children() {
+        let s = library_schema();
+        // Appending <book/> to library is Always feasible (book+), but
+        // the empty book violates BookT (title is required): Reject.
+        let a = run(&s, "insert node <book/> into /library");
+        assert_eq!(a.verdict, UpdateVerdict::Reject);
+        assert!(codes(&a).contains(&"XSA502"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn append_year_to_book_is_sometimes() {
+        let s = library_schema();
+        // year is 0..3: a fourth append breaks it — depends on state.
+        let a = run(&s, "insert node <year>1999</year> into /library/book");
+        assert_eq!(a.verdict, UpdateVerdict::Recheck);
+        assert!(codes(&a).contains(&"XSA505"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn append_undeclared_child_is_rejected_with_witness() {
+        let s = library_schema();
+        let a = run(&s, "insert node <isbn>x</isbn> into /library/book");
+        assert_eq!(a.verdict, UpdateVerdict::Reject);
+        let d = a.diagnostics.iter().find(|d| d.code == "XSA501").expect("XSA501");
+        assert!(d.witness.is_some());
+    }
+
+    #[test]
+    fn delete_required_title_is_rejected() {
+        let s = library_schema();
+        let a = run(&s, "delete node /library/book/title");
+        assert_eq!(a.verdict, UpdateVerdict::Reject);
+        assert!(codes(&a).contains(&"XSA501"));
+    }
+
+    #[test]
+    fn delete_optional_author_is_accepted() {
+        let s = library_schema();
+        let a = run(&s, "delete node /library/book/author");
+        assert_eq!(a.verdict, UpdateVerdict::Accept);
+        assert!(a.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn delete_book_is_sometimes() {
+        let s = library_schema();
+        // book+ — deleting the last book breaks it.
+        let a = run(&s, "delete node /library/book");
+        assert_eq!(a.verdict, UpdateVerdict::Recheck);
+    }
+
+    #[test]
+    fn delete_root_is_rejected() {
+        let s = library_schema();
+        let a = run(&s, "delete node /library");
+        assert_eq!(a.verdict, UpdateVerdict::Reject);
+    }
+
+    #[test]
+    fn statically_empty_target_is_xsa500() {
+        let s = library_schema();
+        let a = run(&s, "delete node /library/magazine");
+        assert_eq!(a.verdict, UpdateVerdict::Reject);
+        assert_eq!(codes(&a), vec!["XSA500"]);
+    }
+
+    #[test]
+    fn insert_before_required_title_is_rejected() {
+        let s = library_schema();
+        let a = run(&s, "insert node <author>a</author> before /library/book/title");
+        assert_eq!(a.verdict, UpdateVerdict::Reject);
+        assert!(codes(&a).contains(&"XSA501"));
+    }
+
+    #[test]
+    fn insert_author_after_title_is_sometimes() {
+        let s = library_schema();
+        // author? — inserting one is fine only if none exists yet.
+        let a = run(&s, "insert node <author>a</author> after /library/book/title");
+        assert_eq!(a.verdict, UpdateVerdict::Recheck);
+    }
+
+    #[test]
+    fn insert_sibling_of_root_is_rejected() {
+        let s = library_schema();
+        let a = run(&s, "insert node <library/> after /library");
+        assert_eq!(a.verdict, UpdateVerdict::Reject);
+        assert!(codes(&a).contains(&"XSA501"));
+    }
+
+    #[test]
+    fn replace_value_with_invalid_lexical_is_rejected() {
+        let s = library_schema();
+        let a = run(&s, r#"replace value of node /library/book/year with "MCMXCIX""#);
+        assert_eq!(a.verdict, UpdateVerdict::Reject);
+        assert!(codes(&a).contains(&"XSA503"));
+    }
+
+    #[test]
+    fn replace_value_with_valid_lexical_is_accepted() {
+        let s = library_schema();
+        let a = run(&s, r#"replace value of node /library/book/year with "1999""#);
+        assert_eq!(a.verdict, UpdateVerdict::Accept);
+    }
+
+    #[test]
+    fn replace_title_with_author_is_rejected() {
+        let s = library_schema();
+        let a = run(&s, r#"replace node /library/book/title with <author>a</author>"#);
+        assert_eq!(a.verdict, UpdateVerdict::Reject);
+    }
+
+    #[test]
+    fn replace_root_with_wrong_name_is_rejected() {
+        let s = library_schema();
+        let a = run(&s, r#"replace node /library with <shelf/>"#);
+        assert_eq!(a.verdict, UpdateVerdict::Reject);
+        assert!(codes(&a).contains(&"XSA501"));
+    }
+
+    #[test]
+    fn undeclared_attribute_is_rejected() {
+        let s = library_schema();
+        let a = run(&s, r#"insert attribute isbn="123" into /library/book"#);
+        assert_eq!(a.verdict, UpdateVerdict::Reject);
+        assert!(codes(&a).contains(&"XSA504"));
+    }
+
+    #[test]
+    fn declared_attribute_with_valid_value_is_accepted() {
+        let mut s = library_schema();
+        let Some(ComplexTypeDefinition::ComplexContent { attributes, .. }) =
+            s.complex_types.get_mut("BookT")
+        else {
+            unreachable!()
+        };
+        attributes.insert("stock".to_string(), "xs:integer".to_string());
+        let a = run(&s, r#"insert attribute stock="7" into /library/book"#);
+        assert_eq!(a.verdict, UpdateVerdict::Accept);
+        let a = run(&s, r#"insert attribute stock="many" into /library/book"#);
+        assert_eq!(a.verdict, UpdateVerdict::Reject);
+        assert!(codes(&a).contains(&"XSA504"));
+    }
+
+    #[test]
+    fn id_typed_attribute_downgrades_to_recheck() {
+        let mut s = library_schema();
+        let Some(ComplexTypeDefinition::ComplexContent { attributes, .. }) =
+            s.complex_types.get_mut("BookT")
+        else {
+            unreachable!()
+        };
+        attributes.insert("id".to_string(), "xs:ID".to_string());
+        let a = run(&s, r#"insert attribute id="b1" into /library/book"#);
+        assert_eq!(a.verdict, UpdateVerdict::Recheck);
+        assert!(codes(&a).contains(&"XSA505"));
+    }
+
+    #[test]
+    fn idref_schema_downgrades_destructive_accepts() {
+        let mut s = library_schema();
+        let Some(ComplexTypeDefinition::ComplexContent { content, .. }) =
+            s.complex_types.get_mut("BookT")
+        else {
+            unreachable!()
+        };
+        *content = GroupDefinition::sequence(vec![
+            ElementDeclaration::new("title", "xs:string"),
+            ElementDeclaration::new("author", "xs:string")
+                .with_repetition(RepetitionFactor::OPTIONAL),
+            ElementDeclaration::new("see", "xs:IDREF").with_repetition(RepetitionFactor::OPTIONAL),
+        ]);
+        assert!(schema_declares_idref(&s));
+        let a = run(&s, "delete node /library/book/author");
+        assert_eq!(a.verdict, UpdateVerdict::Recheck);
+        assert!(codes(&a).contains(&"XSA505"));
+    }
+
+    #[test]
+    fn nillable_target_downgrades_content_installing_accepts() {
+        let mut s = library_schema();
+        let Some(ComplexTypeDefinition::ComplexContent { content, .. }) =
+            s.complex_types.get_mut("BookT")
+        else {
+            unreachable!()
+        };
+        *content = GroupDefinition::sequence(vec![
+            ElementDeclaration::new("title", "xs:string"),
+            ElementDeclaration::new("year", "xs:integer")
+                .with_repetition(RepetitionFactor::new(0, 3))
+                .nillable(),
+        ]);
+        // A nilled <year/> admits no content: replacing its value is
+        // only valid when the selected occurrence is not nilled.
+        let a = run(&s, r#"replace value of node /library/book/year with "1999""#);
+        assert_eq!(a.verdict, UpdateVerdict::Recheck);
+        assert!(codes(&a).contains(&"XSA505"), "{:?}", a.diagnostics);
+        // Sibling-anchored edits stay decided: the anchor child's
+        // existence proves the parent is not nilled.
+        let a = run(&s, "delete node /library/book/year");
+        assert_eq!(a.verdict, UpdateVerdict::Accept);
+    }
+
+    #[test]
+    fn unresolvable_target_is_recheck() {
+        let s = library_schema();
+        let a = run(&s, "delete node /library/book/title/..");
+        assert_eq!(a.verdict, UpdateVerdict::Recheck);
+        assert!(codes(&a).contains(&"XSA506"));
+    }
+
+    #[test]
+    fn accept_reports_no_diagnostics() {
+        let s = library_schema();
+        let a = run(&s, "delete node /library/book/author");
+        assert!(a.diagnostics.is_empty());
+        assert_eq!(a.verdict, UpdateVerdict::Accept);
+    }
+}

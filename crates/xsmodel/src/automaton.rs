@@ -26,27 +26,27 @@ use crate::ast::{ElementDeclaration, GroupDefinition, Maximum, Particle};
 /// A compiled content model.
 #[derive(Debug, Clone)]
 pub struct ContentModel {
-    program: Vec<Inst>,
+    pub(crate) program: Vec<Inst>,
     decls: Vec<ElementDeclaration>,
     /// For an `xsd:all` content model (footnote 2): per-member
     /// `(name, decl index, min, max)` matched by counting, since the NFA
     /// encoding of all permutations would be factorial.
-    all_members: Option<Vec<AllMember>>,
+    pub(crate) all_members: Option<Vec<AllMember>>,
     /// `minOccurs="0"` on the all-group itself: the empty child sequence
     /// is accepted even when members have non-zero minimums.
-    all_optional: bool,
+    pub(crate) all_optional: bool,
 }
 
 #[derive(Debug, Clone)]
-struct AllMember {
-    name: String,
-    decl: usize,
-    min: u32,
-    max: crate::ast::Maximum,
+pub(crate) struct AllMember {
+    pub(crate) name: String,
+    pub(crate) decl: usize,
+    pub(crate) min: u32,
+    pub(crate) max: crate::ast::Maximum,
 }
 
 #[derive(Debug, Clone)]
-enum Inst {
+pub(crate) enum Inst {
     /// Consume one child element with this name; `decl` indexes
     /// [`ContentModel::decls`]. Falls through to `pc + 1`.
     Elem {
@@ -337,11 +337,9 @@ impl ContentModel {
                         position,
                         expected: members
                             .iter()
-                            .filter(|m| {
-                                let i = members.iter().position(|x| x.name == m.name).unwrap();
-                                m.max.admits(counts[i] + 1)
-                            })
-                            .map(|m| m.name.clone())
+                            .enumerate()
+                            .filter(|(i, m)| m.max.admits(counts[*i] + 1))
+                            .map(|(_, m)| m.name.clone())
                             .collect(),
                     }
                 }
@@ -535,7 +533,7 @@ impl ContentModel {
 
     /// The ε-closure of `seeds` as a sorted, deduplicated set of
     /// non-ε program counters (`Elem` and `Match` instructions).
-    fn closure_of(&self, seeds: &[usize]) -> Vec<usize> {
+    pub(crate) fn closure_of(&self, seeds: &[usize]) -> Vec<usize> {
         let mut out = Vec::new();
         let mut seen = vec![false; self.program.len()];
         fn add(program: &[Inst], list: &mut Vec<usize>, seen: &mut [bool], pc: usize) {

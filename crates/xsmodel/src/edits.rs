@@ -1,0 +1,968 @@
+//! Edit feasibility on compiled content models — the automaton-level
+//! core of static update type-checking.
+//!
+//! An update that inserts, deletes, or replaces a child element turns
+//! the parent's child word `w` into an edited word `w'`. Because the
+//! database only holds schema-valid documents, `w` is known to lie in
+//! the content model's language `L`; the static question is how `w'`
+//! relates to `L` over *every* valid `w` and *every* applicable edit
+//! position:
+//!
+//! * [`EditFeasibility::Always`] — every edited word is still in `L`:
+//!   the update can commit without revalidating the content model.
+//! * [`EditFeasibility::Never`] — no edited word is in `L`: the update
+//!   is provably invalid, and carries a shortest witness (an edited
+//!   child word, derived from a valid one, that
+//!   [`ContentModel::match_children`] rejects).
+//! * [`EditFeasibility::Sometimes`] — validity depends on the actual
+//!   word: revalidate the one affected content model at commit time.
+//!
+//! The decision procedure determinizes the compiled automaton (subset
+//! construction, as in UPA checking) and runs a shortest-path product
+//! search over pairs *(state continuing the original word, state
+//! continuing the edited word)*: both runs consume the same suffix
+//! after the edit point, so reaching a pair whose base half accepts
+//! while the edit half rejects kills *Always*, and the symmetric
+//! observation kills *Never*. `xsd:all` content models are decided
+//! arithmetically on member occurrence bounds. State explosion beyond
+//! [`MAX_EDIT_STATES`] degrades soundly to *Sometimes*.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+
+use crate::ast::Maximum;
+use crate::automaton::{AllMember, ContentModel, Inst};
+
+/// Bound on determinized states (and on product pairs, times four)
+/// explored by [`ContentModel::edit_feasibility`]; larger models get
+/// the sound [`EditFeasibility::Sometimes`] answer instead.
+pub const MAX_EDIT_STATES: usize = 16_384;
+
+/// One edit to a child-element word, abstracted to element names.
+///
+/// Position-relative variants quantify over every occurrence of
+/// `target` in every valid word; `InsertInto` appends at the end of
+/// the word (the engine's defined position for "insert into").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditOp {
+    /// Append an element named `name` as the last child.
+    InsertInto {
+        /// Name of the inserted element.
+        name: String,
+    },
+    /// Insert an element named `name` immediately before a child
+    /// named `target`.
+    InsertBefore {
+        /// Name of the existing sibling.
+        target: String,
+        /// Name of the inserted element.
+        name: String,
+    },
+    /// Insert an element named `name` immediately after a child named
+    /// `target`.
+    InsertAfter {
+        /// Name of the existing sibling.
+        target: String,
+        /// Name of the inserted element.
+        name: String,
+    },
+    /// Delete a child named `target`.
+    Delete {
+        /// Name of the deleted element.
+        target: String,
+    },
+    /// Replace a child named `target` with an element named `name`.
+    Replace {
+        /// Name of the replaced element.
+        target: String,
+        /// Name of the replacement element.
+        name: String,
+    },
+}
+
+impl EditOp {
+    /// The name of the element being inserted, if any.
+    pub fn inserted(&self) -> Option<&str> {
+        match self {
+            EditOp::InsertInto { name }
+            | EditOp::InsertBefore { name, .. }
+            | EditOp::InsertAfter { name, .. }
+            | EditOp::Replace { name, .. } => Some(name),
+            EditOp::Delete { .. } => None,
+        }
+    }
+
+    /// The name of the existing child the edit is anchored to, if any.
+    pub fn target(&self) -> Option<&str> {
+        match self {
+            EditOp::InsertInto { .. } => None,
+            EditOp::InsertBefore { target, .. }
+            | EditOp::InsertAfter { target, .. }
+            | EditOp::Delete { target }
+            | EditOp::Replace { target, .. } => Some(target),
+        }
+    }
+}
+
+/// The three-way answer of [`ContentModel::edit_feasibility`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditFeasibility {
+    /// Every valid word survives the edit at every applicable
+    /// position (vacuously so when no valid word has an applicable
+    /// position — the runtime then finds no target node).
+    Always,
+    /// No valid word survives the edit anywhere.
+    Never {
+        /// A shortest edited child word — derived by applying the
+        /// edit to a valid word — that the content model rejects.
+        witness: Vec<String>,
+    },
+    /// Some valid words survive and some do not; the affected content
+    /// model must be rechecked against the actual document.
+    Sometimes,
+}
+
+/// Determinized view of a compiled content model. States are in BFS
+/// discovery order, so ids are nondecreasing in shortest-word length.
+struct Dfa {
+    states: Vec<DfaState>,
+}
+
+struct DfaState {
+    accepting: bool,
+    trans: BTreeMap<String, usize>,
+    /// Predecessor on a shortest word from the start state.
+    parent: Option<(usize, String)>,
+}
+
+impl Dfa {
+    /// Subset construction; `None` when the model exceeds
+    /// [`MAX_EDIT_STATES`] determinized states.
+    fn build(cm: &ContentModel) -> Option<Dfa> {
+        let start = cm.closure_of(&[0]);
+        let mut ids: HashMap<Vec<usize>, usize> = HashMap::new();
+        let mut states: Vec<DfaState> = Vec::new();
+        let mut queue: Vec<Vec<usize>> = Vec::new();
+        ids.insert(start.clone(), 0);
+        states.push(DfaState {
+            accepting: start.iter().any(|&pc| matches!(cm.program[pc], Inst::Match)),
+            trans: BTreeMap::new(),
+            parent: None,
+        });
+        queue.push(start);
+        let mut head = 0;
+        while head < queue.len() {
+            let set = std::mem::take(&mut queue[head]);
+            let id = head;
+            head += 1;
+            let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+            for &pc in &set {
+                if let Inst::Elem { name, .. } = &cm.program[pc] {
+                    by_name.entry(name).or_default().push(pc + 1);
+                }
+            }
+            for (name, seeds) in by_name {
+                let next = cm.closure_of(&seeds);
+                let next_id = match ids.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        if states.len() >= MAX_EDIT_STATES {
+                            return None;
+                        }
+                        let i = states.len();
+                        ids.insert(next.clone(), i);
+                        states.push(DfaState {
+                            accepting: next.iter().any(|&pc| matches!(cm.program[pc], Inst::Match)),
+                            trans: BTreeMap::new(),
+                            parent: Some((id, name.to_string())),
+                        });
+                        queue.push(next);
+                        i
+                    }
+                };
+                states[id].trans.insert(name.to_string(), next_id);
+            }
+        }
+        Some(Dfa { states })
+    }
+
+    fn step(&self, s: usize, sym: &str) -> Option<usize> {
+        self.states[s].trans.get(sym).copied()
+    }
+
+    /// A shortest word from the start state to `s`.
+    fn word_to(&self, mut s: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some((p, sym)) = &self.states[s].parent {
+            out.push(sym.clone());
+            s = *p;
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// A node of the product search: `base` continues the original word,
+/// `edit` continues the edited word (`None` once the edited run has
+/// died). `parent`/`sym` reconstruct the common suffix; `prefix`
+/// indexes the seed's edited-word prefix.
+struct ProdNode {
+    base: usize,
+    edit: Option<usize>,
+    parent: Option<usize>,
+    sym: Option<String>,
+    prefix: usize,
+}
+
+impl ContentModel {
+    /// Decide whether `op`, applied to an arbitrary valid child word
+    /// of this content model, always / never / sometimes yields
+    /// another valid word. See the module docs for the construction.
+    pub fn edit_feasibility(&self, op: &EditOp) -> EditFeasibility {
+        if let Some(members) = &self.all_members {
+            return all_feasibility(members, self.all_optional, op);
+        }
+        let Some(dfa) = Dfa::build(self) else {
+            return EditFeasibility::Sometimes;
+        };
+        match op {
+            EditOp::InsertInto { name } => append_feasibility(&dfa, name),
+            _ => product_feasibility(&dfa, op),
+        }
+    }
+}
+
+/// Appending `name`: the suffix after the edit point is always ε, so
+/// only accepting states matter — no product needed.
+fn append_feasibility(dfa: &Dfa, name: &str) -> EditFeasibility {
+    let mut first_fail: Option<usize> = None;
+    let mut can_succeed = false;
+    for (i, st) in dfa.states.iter().enumerate() {
+        if !st.accepting {
+            continue;
+        }
+        match st.trans.get(name) {
+            Some(&n) if dfa.states[n].accepting => can_succeed = true,
+            _ => {
+                if first_fail.is_none() {
+                    first_fail = Some(i);
+                }
+            }
+        }
+    }
+    match (first_fail, can_succeed) {
+        (Some(_), true) => EditFeasibility::Sometimes,
+        (Some(s), false) => {
+            let mut witness = dfa.word_to(s);
+            witness.push(name.to_string());
+            EditFeasibility::Never { witness }
+        }
+        (None, _) => EditFeasibility::Always,
+    }
+}
+
+/// Position-relative edits: Dijkstra (unit edges, per-seed offsets)
+/// over `(base, edit)` pairs seeded at every occurrence point of the
+/// target symbol.
+fn product_feasibility(dfa: &Dfa, op: &EditOp) -> EditFeasibility {
+    let Some(target) = op.target() else {
+        return EditFeasibility::Sometimes;
+    };
+    let mut nodes: Vec<ProdNode> = Vec::new();
+    let mut prefixes: Vec<Vec<String>> = Vec::new();
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+    for p in 0..dfa.states.len() {
+        let Some(qt) = dfa.step(p, target) else {
+            continue;
+        };
+        let u = dfa.word_to(p);
+        let (edit, prefix) = match op {
+            EditOp::Delete { .. } => (Some(p), u),
+            EditOp::InsertBefore { name, .. } => {
+                let e = dfa.step(p, name).and_then(|x| dfa.step(x, target));
+                let mut w = u;
+                w.push(name.clone());
+                w.push(target.to_string());
+                (e, w)
+            }
+            EditOp::InsertAfter { name, .. } => {
+                let mut w = u;
+                w.push(target.to_string());
+                w.push(name.clone());
+                (dfa.step(qt, name), w)
+            }
+            EditOp::Replace { name, .. } => {
+                let mut w = u;
+                w.push(name.clone());
+                (dfa.step(p, name), w)
+            }
+            EditOp::InsertInto { .. } => return EditFeasibility::Sometimes,
+        };
+        let dist = prefix.len();
+        let pi = prefixes.len();
+        prefixes.push(prefix);
+        let ni = nodes.len();
+        nodes.push(ProdNode { base: qt, edit, parent: None, sym: None, prefix: pi });
+        heap.push(Reverse((dist, ni)));
+    }
+    let mut settled: HashSet<(usize, Option<usize>)> = HashSet::new();
+    let mut first_fail: Option<usize> = None;
+    let mut can_succeed = false;
+    while let Some(Reverse((dist, ni))) = heap.pop() {
+        let (base, edit) = (nodes[ni].base, nodes[ni].edit);
+        if !settled.insert((base, edit)) {
+            continue;
+        }
+        if dfa.states[base].accepting {
+            if edit.is_some_and(|e| dfa.states[e].accepting) {
+                can_succeed = true;
+            } else if first_fail.is_none() {
+                first_fail = Some(ni);
+            }
+            if can_succeed && first_fail.is_some() {
+                return EditFeasibility::Sometimes;
+            }
+        }
+        if settled.len() > MAX_EDIT_STATES.saturating_mul(4) {
+            return EditFeasibility::Sometimes;
+        }
+        for (sym, &nb) in &dfa.states[base].trans {
+            let ne = edit.and_then(|e| dfa.step(e, sym));
+            if settled.contains(&(nb, ne)) {
+                continue;
+            }
+            let nn = nodes.len();
+            nodes.push(ProdNode {
+                base: nb,
+                edit: ne,
+                parent: Some(ni),
+                sym: Some(sym.clone()),
+                prefix: nodes[ni].prefix,
+            });
+            heap.push(Reverse((dist + 1, nn)));
+        }
+    }
+    match (first_fail, can_succeed) {
+        (Some(_), true) => EditFeasibility::Sometimes,
+        (Some(ni), false) => {
+            let mut suffix = Vec::new();
+            let mut cursor = Some(ni);
+            while let Some(i) = cursor {
+                if let Some(sym) = &nodes[i].sym {
+                    suffix.push(sym.clone());
+                }
+                cursor = nodes[i].parent;
+            }
+            suffix.reverse();
+            let mut witness = prefixes[nodes[ni].prefix].clone();
+            witness.extend(suffix);
+            EditFeasibility::Never { witness }
+        }
+        (None, _) => EditFeasibility::Always,
+    }
+}
+
+/// `xsd:all` content models: any order, per-member occurrence counts,
+/// so feasibility is arithmetic on the member bounds. Valid words are
+/// exactly those with every member count within `[min, max]` — plus
+/// the empty word when the group is optional.
+fn all_feasibility(members: &[AllMember], all_optional: bool, op: &EditOp) -> EditFeasibility {
+    let find = |name: &str| members.iter().find(|m| m.name == name);
+    // A word with each member at `counts(member)` occurrences.
+    let word = |counts: &dyn Fn(&AllMember) -> u32| -> Vec<String> {
+        members
+            .iter()
+            .flat_map(|m| std::iter::repeat_n(m.name.clone(), counts(m) as usize))
+            .collect()
+    };
+    let min_word_plus = |bump: &AllMember, count: u32, extra: Option<&str>| {
+        let mut w = word(&|m| if m.decl == bump.decl { count } else { m.min });
+        if let Some(extra) = extra {
+            w.push(extra.to_string());
+        }
+        w
+    };
+    // Is the empty word in the language?
+    let empty_in_l = all_optional || members.iter().all(|m| m.min == 0);
+
+    // Anchored ops are vacuously Always when no valid word contains
+    // the target at all.
+    if let Some(target) = op.target() {
+        match find(target) {
+            None => return EditFeasibility::Always,
+            Some(t) if !t.max.admits(1) => return EditFeasibility::Always,
+            Some(_) => {}
+        }
+    }
+
+    match op {
+        EditOp::InsertInto { name } => {
+            let Some(m) = find(name) else {
+                return EditFeasibility::Never {
+                    witness: min_word_plus(&members[0], members[0].min, Some(name)),
+                };
+            };
+            // Inserting into the empty word yields the singleton
+            // `[name]`, valid only under these conditions.
+            let empty_insert_ok = members.iter().all(|o| o.decl == m.decl || o.min == 0)
+                && m.min <= 1
+                && m.max.admits(1);
+            let can_fail = matches!(m.max, Maximum::Bounded(_)) || (empty_in_l && !empty_insert_ok);
+            let can_succeed = m.max.admits(m.min + 1) || (empty_in_l && empty_insert_ok);
+            match (can_fail, can_succeed) {
+                (true, true) => EditFeasibility::Sometimes,
+                (false, _) => EditFeasibility::Always,
+                (true, false) => {
+                    // Never with an unbounded max is impossible, so
+                    // the witness overfills the bounded member.
+                    let at_max = match m.max {
+                        Maximum::Bounded(mx) => mx,
+                        Maximum::Unbounded => m.min,
+                    };
+                    EditFeasibility::Never { witness: min_word_plus(m, at_max, Some(name)) }
+                }
+            }
+        }
+        EditOp::Delete { target } => {
+            let m = find(target).unwrap_or(&members[0]); // presence checked above
+            if m.min == 0 {
+                // Counts only drop to a still-admissible value, and a
+                // word emptied this way had all other minimums at 0.
+                return EditFeasibility::Always;
+            }
+            let others_occur =
+                members.iter().any(|o| o.decl != m.decl && (o.min >= 1 || o.max.admits(1)));
+            let can_fail = m.min >= 2 || !all_optional || others_occur;
+            let can_succeed = m.max.admits(m.min + 1)
+                || (m.min == 1
+                    && all_optional
+                    && members.iter().all(|o| o.decl == m.decl || o.min == 0));
+            match (can_fail, can_succeed) {
+                (true, true) => EditFeasibility::Sometimes,
+                (false, _) => EditFeasibility::Always,
+                (true, false) => {
+                    // An underfilled witness: the target one below its
+                    // minimum; force some other member to appear when
+                    // that is what makes the result non-empty.
+                    let witness = if m.min >= 2 || !all_optional {
+                        min_word_plus(m, m.min - 1, None)
+                    } else {
+                        let other = members
+                            .iter()
+                            .find(|o| o.decl != m.decl && o.max.admits(1))
+                            .unwrap_or(m);
+                        word(&|o| {
+                            if o.decl == m.decl {
+                                m.min - 1
+                            } else if o.decl == other.decl {
+                                o.min.max(1)
+                            } else {
+                                o.min
+                            }
+                        })
+                    };
+                    EditFeasibility::Never { witness }
+                }
+            }
+        }
+        EditOp::InsertBefore { target, name } | EditOp::InsertAfter { target, name } => {
+            let t = find(target).unwrap_or(&members[0]); // presence checked above
+            let Some(m) = find(name) else {
+                return EditFeasibility::Never {
+                    witness: min_word_plus(t, t.min.max(1), Some(name)),
+                };
+            };
+            // The target's presence makes the word non-empty; only
+            // the inserted member's upper bound can be violated.
+            let floor = if m.decl == t.decl { m.min.max(1) } else { m.min };
+            let can_fail = matches!(m.max, Maximum::Bounded(_));
+            let can_succeed = m.max.admits(floor + 1);
+            match (can_fail, can_succeed) {
+                (true, true) => EditFeasibility::Sometimes,
+                (false, _) => EditFeasibility::Always,
+                (true, false) => {
+                    let at_max = match m.max {
+                        Maximum::Bounded(mx) => mx,
+                        Maximum::Unbounded => floor,
+                    };
+                    let witness = word(&|o| {
+                        if o.decl == m.decl {
+                            at_max
+                        } else if o.decl == t.decl {
+                            o.min.max(1)
+                        } else {
+                            o.min
+                        }
+                    });
+                    let mut witness = witness;
+                    witness.push(name.clone());
+                    EditFeasibility::Never { witness }
+                }
+            }
+        }
+        EditOp::Replace { target, name } => {
+            if target == name {
+                return EditFeasibility::Always; // the word is unchanged
+            }
+            let t = find(target).unwrap_or(&members[0]); // presence checked above
+            let Some(m) = find(name) else {
+                let mut witness =
+                    word(&|o| if o.decl == t.decl { t.min.max(1) - 1 } else { o.min });
+                witness.push(name.clone());
+                return EditFeasibility::Never { witness };
+            };
+            let can_fail = t.min >= 1 || matches!(m.max, Maximum::Bounded(_));
+            let needed_t = if t.min == 0 { 1 } else { t.min + 1 };
+            let can_succeed = t.max.admits(needed_t) && m.max.admits(m.min + 1);
+            match (can_fail, can_succeed) {
+                (true, true) => EditFeasibility::Sometimes,
+                (false, _) => EditFeasibility::Always,
+                (true, false) => {
+                    // Apply the replacement to a minimal valid word
+                    // containing the target: the result underflows the
+                    // target or overflows the replacement (or both).
+                    let witness = word(&|o| {
+                        if o.decl == t.decl {
+                            t.min.max(1) - 1
+                        } else if o.decl == m.decl {
+                            o.min + 1
+                        } else {
+                            o.min
+                        }
+                    });
+                    EditFeasibility::Never { witness }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{
+        CombinationFactor, ElementDeclaration, GroupDefinition, Particle, RepetitionFactor,
+    };
+
+    fn eld(name: &str) -> ElementDeclaration {
+        ElementDeclaration::new(name, "xs:string")
+    }
+
+    fn compile(g: &GroupDefinition) -> ContentModel {
+        ContentModel::compile(g).unwrap()
+    }
+
+    fn names(w: &[String]) -> Vec<&str> {
+        w.iter().map(String::as_str).collect()
+    }
+
+    /// Every `Never` witness must actually be rejected by the model.
+    fn check_never_witness(cm: &ContentModel, feas: &EditFeasibility) {
+        if let EditFeasibility::Never { witness } = feas {
+            assert!(!cm.accepts(&names(witness)), "witness {witness:?} unexpectedly valid");
+        }
+    }
+
+    #[test]
+    fn append_into_unbounded_tail_is_always() {
+        // A, B* — appending B at the end always stays valid.
+        let g = GroupDefinition::sequence(vec![
+            eld("A"),
+            eld("B").with_repetition(RepetitionFactor::at_least(0)),
+        ]);
+        let cm = compile(&g);
+        assert_eq!(
+            cm.edit_feasibility(&EditOp::InsertInto { name: "B".into() }),
+            EditFeasibility::Always
+        );
+    }
+
+    #[test]
+    fn append_into_fixed_sequence_is_never_with_witness() {
+        let cm = compile(&GroupDefinition::sequence(vec![eld("B"), eld("C")]));
+        let feas = cm.edit_feasibility(&EditOp::InsertInto { name: "C".into() });
+        match &feas {
+            EditFeasibility::Never { witness } => {
+                assert_eq!(witness, &["B", "C", "C"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        check_never_witness(&cm, &feas);
+    }
+
+    #[test]
+    fn append_undeclared_name_is_never() {
+        let cm = compile(&GroupDefinition::sequence(vec![eld("B"), eld("C")]));
+        let feas = cm.edit_feasibility(&EditOp::InsertInto { name: "X".into() });
+        assert!(matches!(feas, EditFeasibility::Never { .. }));
+        check_never_witness(&cm, &feas);
+    }
+
+    #[test]
+    fn append_into_bounded_repetition_is_sometimes() {
+        // A{2,4}: appending A is fine at 2–3 copies, invalid at 4.
+        let g =
+            GroupDefinition::sequence(vec![eld("A").with_repetition(RepetitionFactor::new(2, 4))]);
+        let cm = compile(&g);
+        assert_eq!(
+            cm.edit_feasibility(&EditOp::InsertInto { name: "A".into() }),
+            EditFeasibility::Sometimes
+        );
+    }
+
+    #[test]
+    fn delete_optional_element_is_always() {
+        let g = GroupDefinition::sequence(vec![
+            eld("A"),
+            eld("B").with_repetition(RepetitionFactor::OPTIONAL),
+        ]);
+        let cm = compile(&g);
+        assert_eq!(
+            cm.edit_feasibility(&EditOp::Delete { target: "B".into() }),
+            EditFeasibility::Always
+        );
+    }
+
+    #[test]
+    fn delete_required_element_is_never_with_witness() {
+        let cm = compile(&GroupDefinition::sequence(vec![eld("B"), eld("C")]));
+        let feas = cm.edit_feasibility(&EditOp::Delete { target: "B".into() });
+        match &feas {
+            EditFeasibility::Never { witness } => assert_eq!(witness, &["C"]),
+            other => panic!("unexpected {other:?}"),
+        }
+        check_never_witness(&cm, &feas);
+    }
+
+    #[test]
+    fn delete_from_bounded_repetition_is_sometimes() {
+        // A{2,4}: deleting an A is fine at 3–4 copies, invalid at 2.
+        let g =
+            GroupDefinition::sequence(vec![eld("A").with_repetition(RepetitionFactor::new(2, 4))]);
+        let cm = compile(&g);
+        assert_eq!(
+            cm.edit_feasibility(&EditOp::Delete { target: "A".into() }),
+            EditFeasibility::Sometimes
+        );
+    }
+
+    #[test]
+    fn delete_unreachable_target_is_vacuously_always() {
+        let cm = compile(&GroupDefinition::sequence(vec![eld("B"), eld("C")]));
+        assert_eq!(
+            cm.edit_feasibility(&EditOp::Delete { target: "Z".into() }),
+            EditFeasibility::Always
+        );
+    }
+
+    #[test]
+    fn insert_before_in_star_is_always() {
+        // (zero | one)*: inserting zero before any one is fine.
+        let g = GroupDefinition::choice(vec![eld("zero"), eld("one")])
+            .with_repetition(RepetitionFactor::at_least(0));
+        let cm = compile(&g);
+        assert_eq!(
+            cm.edit_feasibility(&EditOp::InsertBefore {
+                target: "one".into(),
+                name: "zero".into()
+            }),
+            EditFeasibility::Always
+        );
+    }
+
+    #[test]
+    fn insert_before_in_fixed_sequence_is_never() {
+        let cm = compile(&GroupDefinition::sequence(vec![eld("B"), eld("C")]));
+        let feas =
+            cm.edit_feasibility(&EditOp::InsertBefore { target: "C".into(), name: "B".into() });
+        match &feas {
+            EditFeasibility::Never { witness } => assert_eq!(witness, &["B", "B", "C"]),
+            other => panic!("unexpected {other:?}"),
+        }
+        check_never_witness(&cm, &feas);
+    }
+
+    #[test]
+    fn insert_after_respects_position() {
+        // B C? D: inserting C after B is fine iff no C follows.
+        let g = GroupDefinition::sequence(vec![
+            eld("B"),
+            eld("C").with_repetition(RepetitionFactor::OPTIONAL),
+            eld("D"),
+        ]);
+        let cm = compile(&g);
+        assert_eq!(
+            cm.edit_feasibility(&EditOp::InsertAfter { target: "B".into(), name: "C".into() }),
+            EditFeasibility::Sometimes
+        );
+        // Inserting D after D can never be valid (exactly one D).
+        let feas =
+            cm.edit_feasibility(&EditOp::InsertAfter { target: "D".into(), name: "D".into() });
+        assert!(matches!(feas, EditFeasibility::Never { .. }));
+        check_never_witness(&cm, &feas);
+    }
+
+    #[test]
+    fn replace_across_choice_arms_is_always() {
+        // (A B) | (A C): replacing B with C flips the arm — valid.
+        let g = GroupDefinition {
+            particles: vec![
+                Particle::Group(GroupDefinition::sequence(vec![eld("A"), eld("B")])),
+                Particle::Group(GroupDefinition::sequence(vec![eld("A"), eld("C")])),
+            ],
+            combination: CombinationFactor::Choice,
+            repetition: RepetitionFactor::ONCE,
+        };
+        let cm = compile(&g);
+        assert_eq!(
+            cm.edit_feasibility(&EditOp::Replace { target: "B".into(), name: "C".into() }),
+            EditFeasibility::Always
+        );
+    }
+
+    #[test]
+    fn replace_with_undeclared_name_is_never() {
+        let cm = compile(&GroupDefinition::sequence(vec![eld("B"), eld("C")]));
+        let feas = cm.edit_feasibility(&EditOp::Replace { target: "C".into(), name: "X".into() });
+        assert!(matches!(feas, EditFeasibility::Never { .. }));
+        check_never_witness(&cm, &feas);
+    }
+
+    #[test]
+    fn replace_same_name_is_always() {
+        let cm = compile(&GroupDefinition::sequence(vec![eld("B"), eld("C")]));
+        assert_eq!(
+            cm.edit_feasibility(&EditOp::Replace { target: "B".into(), name: "B".into() }),
+            EditFeasibility::Always
+        );
+    }
+
+    #[test]
+    fn empty_content_rejects_all_insertions() {
+        let cm = compile(&GroupDefinition::empty());
+        let feas = cm.edit_feasibility(&EditOp::InsertInto { name: "X".into() });
+        match &feas {
+            EditFeasibility::Never { witness } => assert_eq!(witness, &["X"]),
+            other => panic!("unexpected {other:?}"),
+        }
+        check_never_witness(&cm, &feas);
+    }
+
+    #[test]
+    fn all_group_insert_optional_member_is_sometimes_at_bound() {
+        // all(a, b?): inserting b is valid when absent, invalid when
+        // present (maxOccurs 1).
+        let g = GroupDefinition::all(vec![
+            eld("a"),
+            eld("b").with_repetition(RepetitionFactor::OPTIONAL),
+        ]);
+        let cm = compile(&g);
+        assert_eq!(
+            cm.edit_feasibility(&EditOp::InsertInto { name: "b".into() }),
+            EditFeasibility::Sometimes
+        );
+    }
+
+    #[test]
+    fn all_group_insert_required_member_is_never() {
+        // all(a, b): both exactly once — a second a can never fit.
+        let g = GroupDefinition::all(vec![eld("a"), eld("b")]);
+        let cm = compile(&g);
+        let feas = cm.edit_feasibility(&EditOp::InsertInto { name: "a".into() });
+        assert!(matches!(feas, EditFeasibility::Never { .. }));
+        check_never_witness(&cm, &feas);
+    }
+
+    #[test]
+    fn all_group_insert_unknown_name_is_never() {
+        let g = GroupDefinition::all(vec![eld("a"), eld("b")]);
+        let cm = compile(&g);
+        let feas = cm.edit_feasibility(&EditOp::InsertInto { name: "x".into() });
+        assert!(matches!(feas, EditFeasibility::Never { .. }));
+        check_never_witness(&cm, &feas);
+    }
+
+    #[test]
+    fn all_group_delete_optional_member_is_always() {
+        let g = GroupDefinition::all(vec![
+            eld("a"),
+            eld("b").with_repetition(RepetitionFactor::OPTIONAL),
+        ]);
+        let cm = compile(&g);
+        assert_eq!(
+            cm.edit_feasibility(&EditOp::Delete { target: "b".into() }),
+            EditFeasibility::Always
+        );
+    }
+
+    #[test]
+    fn all_group_delete_required_member_is_never() {
+        let g = GroupDefinition::all(vec![eld("a"), eld("b")]);
+        let cm = compile(&g);
+        let feas = cm.edit_feasibility(&EditOp::Delete { target: "a".into() });
+        match &feas {
+            EditFeasibility::Never { witness } => assert_eq!(witness, &["b"]),
+            other => panic!("unexpected {other:?}"),
+        }
+        check_never_witness(&cm, &feas);
+    }
+
+    #[test]
+    fn all_group_replace_required_with_optional_is_never() {
+        // all(a, b?): replacing the only a with b underflows a.
+        let g = GroupDefinition::all(vec![
+            eld("a"),
+            eld("b").with_repetition(RepetitionFactor::OPTIONAL),
+        ]);
+        let cm = compile(&g);
+        let feas = cm.edit_feasibility(&EditOp::Replace { target: "a".into(), name: "b".into() });
+        assert!(matches!(feas, EditFeasibility::Never { .. }));
+        check_never_witness(&cm, &feas);
+    }
+
+    #[test]
+    fn all_group_optional_group_delete_sole_required_member_is_always() {
+        // all(a) with minOccurs=0 on the group: [a] -> [] stays valid.
+        let g = GroupDefinition::all(vec![eld("a")]).with_repetition(RepetitionFactor::OPTIONAL);
+        let cm = compile(&g);
+        assert_eq!(
+            cm.edit_feasibility(&EditOp::Delete { target: "a".into() }),
+            EditFeasibility::Always
+        );
+    }
+
+    #[test]
+    fn feasibility_agrees_with_brute_force_on_small_models() {
+        // Enumerate all words up to length 5 over {A, B, C}; compare
+        // the symbolic verdict against literally editing every valid
+        // word at every applicable position.
+        let models = [
+            GroupDefinition::sequence(vec![
+                eld("A"),
+                eld("B").with_repetition(RepetitionFactor::OPTIONAL),
+                eld("C").with_repetition(RepetitionFactor::at_least(0)),
+            ]),
+            GroupDefinition::choice(vec![eld("A"), eld("B")])
+                .with_repetition(RepetitionFactor::new(1, 3)),
+            GroupDefinition {
+                particles: vec![
+                    Particle::Group(GroupDefinition::sequence(vec![eld("A"), eld("B")])),
+                    Particle::Group(GroupDefinition::sequence(vec![eld("A"), eld("C")])),
+                ],
+                combination: CombinationFactor::Choice,
+                repetition: RepetitionFactor::new(1, 2),
+            },
+        ];
+        let alphabet = ["A", "B", "C"];
+        let mut words: Vec<Vec<&str>> = vec![Vec::new()];
+        for _ in 0..5 {
+            let mut next = Vec::new();
+            for w in &words {
+                for s in alphabet {
+                    let mut w2 = w.clone();
+                    w2.push(s);
+                    next.push(w2);
+                }
+            }
+            words.extend(next.clone());
+            words = words.into_iter().collect();
+        }
+        // Deduplicate (extend above double-adds shorter words).
+        words.sort();
+        words.dedup();
+        for g in &models {
+            let cm = compile(g);
+            for target in alphabet {
+                for name in alphabet {
+                    for op in [
+                        EditOp::InsertInto { name: name.into() },
+                        EditOp::InsertBefore { target: target.into(), name: name.into() },
+                        EditOp::InsertAfter { target: target.into(), name: name.into() },
+                        EditOp::Delete { target: target.into() },
+                        EditOp::Replace { target: target.into(), name: name.into() },
+                    ] {
+                        let mut saw_ok = false;
+                        let mut saw_bad = false;
+                        for w in &words {
+                            if !cm.accepts(w) {
+                                continue;
+                            }
+                            for (i, edited) in apply_everywhere(&op, w) {
+                                let _ = i;
+                                if cm.accepts(&edited) {
+                                    saw_ok = true;
+                                } else {
+                                    saw_bad = true;
+                                }
+                            }
+                        }
+                        let feas = cm.edit_feasibility(&op);
+                        // The brute force only sees words up to length
+                        // 5, so it may miss behaviours the symbolic
+                        // answer accounts for; check one-sided
+                        // soundness instead of equality.
+                        match &feas {
+                            EditFeasibility::Always => {
+                                assert!(!saw_bad, "{g:?} {op:?}: Always but brute force failed")
+                            }
+                            EditFeasibility::Never { witness } => {
+                                assert!(!saw_ok, "{g:?} {op:?}: Never but brute force succeeded");
+                                assert!(!cm.accepts(&names(witness)));
+                            }
+                            EditFeasibility::Sometimes => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Apply `op` at every applicable position of `w`.
+    fn apply_everywhere<'a>(op: &'a EditOp, w: &[&'a str]) -> Vec<(usize, Vec<&'a str>)> {
+        let mut out = Vec::new();
+        match op {
+            EditOp::InsertInto { name } => {
+                let mut w2: Vec<&str> = w.to_vec();
+                w2.push(name);
+                out.push((w.len(), w2));
+            }
+            EditOp::InsertBefore { target, name } => {
+                for (i, s) in w.iter().enumerate() {
+                    if s == target {
+                        let mut w2 = w.to_vec();
+                        w2.insert(i, name);
+                        out.push((i, w2));
+                    }
+                }
+            }
+            EditOp::InsertAfter { target, name } => {
+                for (i, s) in w.iter().enumerate() {
+                    if s == target {
+                        let mut w2 = w.to_vec();
+                        w2.insert(i + 1, name);
+                        out.push((i, w2));
+                    }
+                }
+            }
+            EditOp::Delete { target } => {
+                for (i, s) in w.iter().enumerate() {
+                    if s == target {
+                        let mut w2 = w.to_vec();
+                        w2.remove(i);
+                        out.push((i, w2));
+                    }
+                }
+            }
+            EditOp::Replace { target, name } => {
+                for (i, s) in w.iter().enumerate() {
+                    if s == target {
+                        let mut w2 = w.to_vec();
+                        w2[i] = name;
+                        out.push((i, w2));
+                    }
+                }
+            }
+        }
+        out
+    }
+}

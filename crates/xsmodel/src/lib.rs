@@ -45,6 +45,7 @@
 pub mod ast;
 pub mod automaton;
 pub mod canonical;
+pub mod edits;
 pub mod wellformed;
 pub mod writer;
 pub mod xsd;
@@ -55,6 +56,7 @@ pub use ast::{
 };
 pub use automaton::{ContentModel, ContentModelError, MatchOutcome, UpaConflict};
 pub use canonical::{canonicalize_group, group_size};
+pub use edits::{EditFeasibility, EditOp};
 pub use wellformed::{check, SchemaIssue};
 pub use writer::{schema_document, write_schema};
 pub use xsd::{parse_schema, parse_schema_text, XsdError};

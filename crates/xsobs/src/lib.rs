@@ -160,11 +160,30 @@ pub enum CounterId {
     WalCheckpoints,
     /// Pages written by checkpoints into the paged store.
     WalCheckpointPages,
+    /// Static update checks run (every guarded update, any verdict).
+    UpdateChecks,
+    /// Update checks that proved the update valid (revalidation skipped).
+    UpdateAccepted,
+    /// Update checks that were statically undecidable (local recheck ran).
+    UpdateRechecked,
+    /// Update checks that proved the update invalid (refused untouched).
+    UpdateRejected,
+    /// Nodes revalidated by post-update rechecks (one per affected
+    /// content model).
+    UpdateRevalidateNodes,
+    /// `UPDATE_INSERT_BEFORE` requests served.
+    SrvOpUpdateInsertBefore,
+    /// `UPDATE_INSERT_AFTER` requests served.
+    SrvOpUpdateInsertAfter,
+    /// `UPDATE_REPLACE_NODE` requests served.
+    SrvOpUpdateReplaceNode,
+    /// `UPDATE` (textual XQuery-Update-lite) requests served.
+    SrvOpUpdate,
 }
 
 impl CounterId {
     /// Every counter, in stable export order.
-    pub const ALL: [CounterId; 51] = [
+    pub const ALL: [CounterId; 60] = [
         CounterId::ParseDocuments,
         CounterId::ParseBytes,
         CounterId::ParseEntityExpansions,
@@ -216,6 +235,15 @@ impl CounterId {
         CounterId::WalReplaySkipped,
         CounterId::WalCheckpoints,
         CounterId::WalCheckpointPages,
+        CounterId::UpdateChecks,
+        CounterId::UpdateAccepted,
+        CounterId::UpdateRechecked,
+        CounterId::UpdateRejected,
+        CounterId::UpdateRevalidateNodes,
+        CounterId::SrvOpUpdateInsertBefore,
+        CounterId::SrvOpUpdateInsertAfter,
+        CounterId::SrvOpUpdateReplaceNode,
+        CounterId::SrvOpUpdate,
     ];
 
     /// Number of counters.
@@ -275,6 +303,15 @@ impl CounterId {
             CounterId::WalReplaySkipped => "wal.replay_skipped_total",
             CounterId::WalCheckpoints => "wal.checkpoints_total",
             CounterId::WalCheckpointPages => "wal.checkpoint_pages_total",
+            CounterId::UpdateChecks => "analysis.update_checks_total",
+            CounterId::UpdateAccepted => "analysis.update_accept_total",
+            CounterId::UpdateRechecked => "analysis.update_recheck_total",
+            CounterId::UpdateRejected => "analysis.update_reject_total",
+            CounterId::UpdateRevalidateNodes => "analysis.update_revalidate_nodes_total",
+            CounterId::SrvOpUpdateInsertBefore => "server.op.update_insert_before_total",
+            CounterId::SrvOpUpdateInsertAfter => "server.op.update_insert_after_total",
+            CounterId::SrvOpUpdateReplaceNode => "server.op.update_replace_node_total",
+            CounterId::SrvOpUpdate => "server.op.update_total",
         }
     }
 }

@@ -317,6 +317,71 @@ impl Client {
         parse_count(&out)
     }
 
+    /// Insert a sibling element immediately before every element
+    /// `target_xpath` selects, under the static type-check
+    /// ([`Database::update_insert_before`](xsdb::Database::update_insert_before)).
+    pub fn update_insert_before(
+        &mut self,
+        doc: &str,
+        target_xpath: &str,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<UpdateReport, ClientError> {
+        self.checked_update(Opcode::UpdateInsertBefore, doc, target_xpath, name, text)
+    }
+
+    /// Insert a sibling element immediately after every element
+    /// `target_xpath` selects, under the static type-check
+    /// ([`Database::update_insert_after`](xsdb::Database::update_insert_after)).
+    pub fn update_insert_after(
+        &mut self,
+        doc: &str,
+        target_xpath: &str,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<UpdateReport, ClientError> {
+        self.checked_update(Opcode::UpdateInsertAfter, doc, target_xpath, name, text)
+    }
+
+    /// Replace every element `target_xpath` selects with a fresh leaf
+    /// element, under the static type-check
+    /// ([`Database::update_replace_node`](xsdb::Database::update_replace_node)).
+    pub fn update_replace_node(
+        &mut self,
+        doc: &str,
+        target_xpath: &str,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<UpdateReport, ClientError> {
+        self.checked_update(Opcode::UpdateReplaceNode, doc, target_xpath, name, text)
+    }
+
+    /// Parse and run one XQuery-Update-lite expression under the static
+    /// type-check ([`Database::execute_update`](xsdb::Database::execute_update)).
+    /// A statically rejected update fails with
+    /// [`Status::UpdateStaticallyInvalid`] without touching the
+    /// document.
+    pub fn update(&mut self, doc: &str, update: &str) -> Result<UpdateReport, ClientError> {
+        let out = self.request(Opcode::Update, &[doc, update])?;
+        parse_update_report(&out)
+    }
+
+    fn checked_update(
+        &mut self,
+        op: Opcode,
+        doc: &str,
+        target_xpath: &str,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<UpdateReport, ClientError> {
+        let mut fields = vec![doc, target_xpath, name];
+        if let Some(t) = text {
+            fields.push(t);
+        }
+        let out = self.request(op, &fields)?;
+        parse_update_report(&out)
+    }
+
     /// The catalog: `schema:<name>` and `doc:<name>` entries.
     pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
         self.request(Opcode::List, &[])
@@ -343,6 +408,38 @@ fn parse_count(fields: &[String]) -> Result<usize, ClientError> {
     first
         .parse()
         .map_err(|_| ClientError::Protocol(format!("count response was not a number: {first:?}")))
+}
+
+/// What a statically checked update reported back: the verdict it ran
+/// under (`"accept"` or `"recheck"` — a `"reject"` surfaces as
+/// [`Status::UpdateStaticallyInvalid`] instead), the number of nodes
+/// touched, and how many content models were revalidated afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// `"accept"` or `"recheck"`.
+    pub verdict: String,
+    /// Nodes the update touched.
+    pub nodes: usize,
+    /// Content models revalidated after the edit (0 under accept).
+    pub revalidated: usize,
+}
+
+fn parse_update_report(fields: &[String]) -> Result<UpdateReport, ClientError> {
+    let [verdict, nodes, revalidated] = fields else {
+        return Err(ClientError::Protocol(format!(
+            "update response must carry [verdict, nodes, revalidated], got {} field(s)",
+            fields.len()
+        )));
+    };
+    let parse = |s: &String| {
+        s.parse::<usize>()
+            .map_err(|_| ClientError::Protocol(format!("update count was not a number: {s:?}")))
+    };
+    Ok(UpdateReport {
+        verdict: verdict.clone(),
+        nodes: parse(nodes)?,
+        revalidated: parse(revalidated)?,
+    })
 }
 
 #[cfg(test)]

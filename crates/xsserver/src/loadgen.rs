@@ -165,9 +165,22 @@ pub fn run(addr: &str, config: &LoadConfig, obs: &xsobs::Registry) -> LoadSummar
                     let write = (n * 100 + i * 37) % 100 < config.write_percent as usize;
                     let at = Instant::now();
                     let outcome = if write {
-                        client
-                            .update_set_text(&doc, "/bench/item[1]", &format!("w{i}-{n}"))
-                            .map(|_| ())
+                        // Alternate raw writes with statically checked
+                        // ones so load runs exercise the analyze-first
+                        // path (every insert below is provably valid,
+                        // so the server applies it without revalidating).
+                        if n % 2 == 0 {
+                            client
+                                .update_set_text(&doc, "/bench/item[1]", &format!("w{i}-{n}"))
+                                .map(|_| ())
+                        } else {
+                            client
+                                .update(
+                                    &doc,
+                                    &format!("insert node <item>c{i}-{n}</item> into /bench"),
+                                )
+                                .map(|_| ())
+                        }
                     } else {
                         client.query(&doc, "/bench/item").map(|_| ())
                     };

@@ -112,11 +112,27 @@ pub enum Opcode {
     Stats = 0x0E,
     /// `[]` — persist the database to the server's `--dir` now.
     Save = 0x0F,
+    /// `[doc, target_xpath, name]` or `[doc, target_xpath, name, text]`
+    /// — statically type-checked sibling insert before every selected
+    /// element.
+    UpdateInsertBefore = 0x10,
+    /// `[doc, target_xpath, name]` or `[doc, target_xpath, name, text]`
+    /// — statically type-checked sibling insert after every selected
+    /// element.
+    UpdateInsertAfter = 0x11,
+    /// `[doc, target_xpath, name]` or `[doc, target_xpath, name, text]`
+    /// — statically type-checked in-place replacement of every selected
+    /// element with a fresh leaf.
+    UpdateReplaceNode = 0x12,
+    /// `[doc, update_text]` — parse and run one XQuery-Update-lite
+    /// expression under the static type-check; returns
+    /// `[verdict, nodes, revalidated]`.
+    Update = 0x13,
 }
 
 impl Opcode {
     /// Every opcode, in wire-byte order.
-    pub const ALL: [Opcode; 15] = [
+    pub const ALL: [Opcode; 19] = [
         Opcode::Ping,
         Opcode::PutSchema,
         Opcode::DelSchema,
@@ -132,6 +148,10 @@ impl Opcode {
         Opcode::List,
         Opcode::Stats,
         Opcode::Save,
+        Opcode::UpdateInsertBefore,
+        Opcode::UpdateInsertAfter,
+        Opcode::UpdateReplaceNode,
+        Opcode::Update,
     ];
 
     /// Decode a wire byte.
@@ -157,12 +177,16 @@ impl Opcode {
             Opcode::List => "LIST",
             Opcode::Stats => "STATS",
             Opcode::Save => "SAVE",
+            Opcode::UpdateInsertBefore => "UPDATE_INSERT_BEFORE",
+            Opcode::UpdateInsertAfter => "UPDATE_INSERT_AFTER",
+            Opcode::UpdateReplaceNode => "UPDATE_REPLACE_NODE",
+            Opcode::Update => "UPDATE",
         }
     }
 }
 
 /// Response status codes. The discriminants are the wire bytes and
-/// never change. `1..=17` mirror [`DbError`] variants one-to-one
+/// never change. `1..=18` mirror [`DbError`] variants one-to-one
 /// ([`Status::of`]); `30..` are protocol-level failures the database
 /// never sees.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -206,6 +230,9 @@ pub enum Status {
     SchemaInUse = 16,
     /// A database error this protocol revision has no code for.
     Internal = 17,
+    /// Static update type-checking proved the update invalid; it was
+    /// refused before touching the document.
+    UpdateStaticallyInvalid = 18,
     /// The frame was malformed (bad version, bad payload structure,
     /// wrong arity, non-UTF-8 field).
     BadFrame = 30,
@@ -223,7 +250,7 @@ pub enum Status {
 
 impl Status {
     /// Every status, in wire-byte order.
-    pub const ALL: [Status; 24] = [
+    pub const ALL: [Status; 25] = [
         Status::Ok,
         Status::Xml,
         Status::SchemaParse,
@@ -242,6 +269,7 @@ impl Status {
         Status::Corrupt,
         Status::SchemaInUse,
         Status::Internal,
+        Status::UpdateStaticallyInvalid,
         Status::BadFrame,
         Status::UnknownOpcode,
         Status::FrameTooLarge,
@@ -281,6 +309,7 @@ impl Status {
             Status::Corrupt => "ERR_CORRUPT",
             Status::SchemaInUse => "ERR_SCHEMA_IN_USE",
             Status::Internal => "ERR_INTERNAL",
+            Status::UpdateStaticallyInvalid => "ERR_UPDATE_STATICALLY_INVALID",
             Status::BadFrame => "ERR_BAD_FRAME",
             Status::UnknownOpcode => "ERR_UNKNOWN_OPCODE",
             Status::FrameTooLarge => "ERR_FRAME_TOO_LARGE",
@@ -306,6 +335,7 @@ impl Status {
             DbError::DuplicateDocument(_) => Status::DuplicateDocument,
             DbError::UnknownDocument(_) => Status::UnknownDocument,
             DbError::Invalid(_) => Status::Invalid,
+            DbError::UpdateStaticallyInvalid(_) => Status::UpdateStaticallyInvalid,
             DbError::XPath(_) => Status::XPath,
             DbError::XQuery(_) => Status::XQuery,
             DbError::Io { .. } => Status::Io,
@@ -602,9 +632,12 @@ mod tests {
         // must fail here, not in production.
         assert_eq!(Opcode::Ping as u8, 0x01);
         assert_eq!(Opcode::Save as u8, 0x0F);
+        assert_eq!(Opcode::UpdateInsertBefore as u8, 0x10);
+        assert_eq!(Opcode::Update as u8, 0x13);
         assert_eq!(Status::Ok as u8, 0);
         assert_eq!(Status::QueryStaticallyEmpty as u8, 5);
         assert_eq!(Status::SchemaInUse as u8, 16);
+        assert_eq!(Status::UpdateStaticallyInvalid as u8, 18);
         assert_eq!(Status::BadFrame as u8, 30);
         assert_eq!(Status::Unsupported as u8, 35);
         for op in Opcode::ALL {
@@ -633,6 +666,7 @@ mod tests {
             DbError::SchemaNotWellFormed(Vec::new()),
             DbError::SchemaRejected(Vec::new()),
             DbError::QueryStaticallyEmpty(Vec::new()),
+            DbError::UpdateStaticallyInvalid(Vec::new()),
         ];
         let codes: Vec<u8> = samples.iter().map(|e| Status::of(e) as u8).collect();
         let mut unique = codes.clone();

@@ -446,6 +446,10 @@ fn op_counter(op: Opcode) -> CounterId {
         Opcode::List => CounterId::SrvOpList,
         Opcode::Stats => CounterId::SrvOpStats,
         Opcode::Save => CounterId::SrvOpSave,
+        Opcode::UpdateInsertBefore => CounterId::SrvOpUpdateInsertBefore,
+        Opcode::UpdateInsertAfter => CounterId::SrvOpUpdateInsertAfter,
+        Opcode::UpdateReplaceNode => CounterId::SrvOpUpdateReplaceNode,
+        Opcode::Update => CounterId::SrvOpUpdate,
     }
 }
 
@@ -484,6 +488,10 @@ pub fn checkpoint(shared: &SharedDatabase, dir: &Path) -> Result<(), DbError> {
 fn apply_mutation(state: &ServerState, m: &Mutation) -> (Status, Vec<String>) {
     match state.shared.apply(m) {
         Ok(ApplyOutcome::Updated(n)) => ok_count(n),
+        Ok(ApplyOutcome::UpdatedChecked(o)) => (
+            Status::Ok,
+            vec![o.verdict.to_string(), o.nodes.to_string(), o.revalidated.to_string()],
+        ),
         Ok(ApplyOutcome::Deleted(false)) => match m {
             Mutation::Delete { doc } => err_response(&DbError::UnknownDocument(doc.clone())),
             _ => (Status::Ok, Vec::new()),
@@ -615,6 +623,37 @@ fn dispatch(state: &ServerState, op: Opcode, fields: &[String]) -> (Status, Vec<
                     xpath: fields[1].clone(),
                     value: fields[2].clone(),
                 },
+            )
+        }
+        Opcode::UpdateInsertBefore | Opcode::UpdateInsertAfter | Opcode::UpdateReplaceNode => {
+            if fields.len() != 3 && fields.len() != 4 {
+                return (
+                    Status::BadFrame,
+                    vec![format!("{} expects 3 or 4 field(s), got {}", op.name(), fields.len())],
+                );
+            }
+            let doc = fields[0].clone();
+            let target = fields[1].clone();
+            let name = fields[2].clone();
+            let text = fields.get(3).cloned();
+            let m = match op {
+                Opcode::UpdateInsertBefore => {
+                    Mutation::UpdateInsertBefore { doc, target, name, text }
+                }
+                Opcode::UpdateInsertAfter => {
+                    Mutation::UpdateInsertAfter { doc, target, name, text }
+                }
+                _ => Mutation::UpdateReplaceNode { doc, target, name, text },
+            };
+            apply_mutation(state, &m)
+        }
+        Opcode::Update => {
+            if let Err(e) = check(2) {
+                return e;
+            }
+            apply_mutation(
+                state,
+                &Mutation::Update { doc: fields[0].clone(), update: fields[1].clone() },
             )
         }
         Opcode::List => {

@@ -86,6 +86,63 @@ fn every_opcode_round_trips() {
     handle.shutdown().expect("shutdown");
 }
 
+#[test]
+fn guarded_update_opcodes_round_trip() {
+    let (handle, addr) = start_default();
+    let mut c = Client::connect(&addr).expect("connect");
+    c.put_schema("s", SCHEMA).expect("put_schema");
+    c.put_doc("d", "s", DOC).expect("put_doc");
+
+    // Textual UPDATE under an accept verdict: applied with zero
+    // revalidation — the static check already proved it safe.
+    let r = c.update("d", "insert node <item>gamma</item> into /list").expect("update");
+    assert_eq!((r.verdict.as_str(), r.nodes, r.revalidated), ("accept", 1, 0));
+    assert_eq!(c.query("d", "/list/item").expect("query"), ["alpha", "beta", "gamma"]);
+
+    // The structured statically-checked opcodes.
+    let r = c.update_insert_before("d", "/list/item[1]", "item", Some("zero")).expect("before");
+    assert_eq!((r.verdict.as_str(), r.nodes), ("accept", 1));
+    let r = c.update_insert_after("d", "/list/item[4]", "item", Some("delta")).expect("after");
+    assert_eq!((r.verdict.as_str(), r.nodes), ("accept", 1));
+    let r = c.update_replace_node("d", "/list/item[2]", "item", Some("ALPHA")).expect("replace");
+    assert_eq!((r.verdict.as_str(), r.nodes), ("accept", 1));
+    assert_eq!(
+        c.query("d", "/list/item").expect("query"),
+        ["zero", "ALPHA", "beta", "gamma", "delta"]
+    );
+
+    // A statically invalid update has its own wire status and never
+    // touches the document.
+    expect_status(
+        c.update("d", "insert node <rogue/> into /list"),
+        Status::UpdateStaticallyInvalid,
+    );
+    expect_status(
+        c.update_replace_node("d", "/list/item[1]", "rogue", None),
+        Status::UpdateStaticallyInvalid,
+    );
+    assert_eq!(
+        c.query("d", "/list/item").expect("query"),
+        ["zero", "ALPHA", "beta", "gamma", "delta"]
+    );
+
+    // The new per-opcode and analysis counters are published.
+    let stats = c.stats_json().expect("stats");
+    for key in [
+        "server.op.update_total",
+        "server.op.update_insert_before_total",
+        "server.op.update_insert_after_total",
+        "server.op.update_replace_node_total",
+        "analysis.update_checks_total",
+        "analysis.update_accept_total",
+        "analysis.update_reject_total",
+    ] {
+        assert!(stats.contains(key), "{key} missing from {stats}");
+    }
+
+    handle.shutdown().expect("shutdown");
+}
+
 /// The server must return exactly what the in-process calls return —
 /// same strings, same order, byte for byte.
 #[test]

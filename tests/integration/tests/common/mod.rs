@@ -1,0 +1,313 @@
+//! The shared generative harness: random well-formed `DocumentSchema`s
+//! (bounded depth, fanout, and occurrence ranges over sequence/choice/
+//! all groups, attributes, mixed and simple content, nillable
+//! declarations) plus documents that are valid by construction.
+//!
+//! `generative_roundtrip.rs` drives the paper's load/serialize theorems
+//! over it; `update_soundness.rs` drives the static update checker.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use std::collections::BTreeMap;
+use xsdb::xsmodel::ast::{
+    AttributeDeclarations, CombinationFactor, ComplexTypeDefinition, ElementDeclaration,
+    GroupDefinition, Maximum, Particle, RepetitionFactor,
+};
+use xsdb::DocumentSchema;
+
+/// Maximum element-tree depth of generated *types* (document depth
+/// follows the type tree, so it is bounded by this too).
+const MAX_DEPTH: u32 = 3;
+/// Soft cap on emitted elements per document; once exceeded, every
+/// remaining occurrence pick collapses to its minimum.
+const NODE_BUDGET: u32 = 200;
+
+/// One generated case: a schema plus a document valid against it.
+#[derive(Debug, Clone)]
+pub struct Case {
+    pub schema: DocumentSchema,
+    pub xml: String,
+}
+
+struct Gen<'r> {
+    rng: &'r mut TestRng,
+    /// Monotone counter making every element/type/attribute name unique.
+    n: u64,
+    /// Named complex types, mirrored into the schema at the end.
+    types: BTreeMap<String, ComplexTypeDefinition>,
+    emitted: u32,
+}
+
+impl<'r> Gen<'r> {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.n += 1;
+        format!("{prefix}{}", self.n)
+    }
+
+    fn coin(&mut self, num: u64, den: u64) -> bool {
+        self.rng.below(den) < num
+    }
+
+    // ---- schema side -------------------------------------------------
+
+    fn gen_schema(&mut self) -> DocumentSchema {
+        let root_ty = self.gen_complex_type(0);
+        let root = ElementDeclaration::new(self.fresh("e"), root_ty);
+        let mut schema = DocumentSchema::new(root);
+        for (name, def) in std::mem::take(&mut self.types) {
+            schema = schema.with_complex_type(name, def);
+        }
+        schema
+    }
+
+    /// Generate a named complex type and return its name.
+    fn gen_complex_type(&mut self, depth: u32) -> String {
+        let name = self.fresh("T");
+        let attributes = self.gen_attributes();
+        let def = if self.coin(3, 20) {
+            // Simple content: text of a builtin type plus attributes.
+            ComplexTypeDefinition::SimpleContent {
+                base: self.pick_builtin().to_string(),
+                attributes,
+            }
+        } else {
+            let content =
+                if self.coin(1, 10) { GroupDefinition::empty() } else { self.gen_group(depth, 0) };
+            ComplexTypeDefinition::ComplexContent { mixed: self.coin(1, 4), content, attributes }
+        };
+        self.types.insert(name.clone(), def);
+        name
+    }
+
+    fn gen_attributes(&mut self) -> AttributeDeclarations {
+        let mut attrs = AttributeDeclarations::new();
+        for _ in 0..self.rng.below(3) {
+            let name = self.fresh("a");
+            let ty = self.pick_builtin();
+            attrs.insert(name, ty.to_string());
+        }
+        attrs
+    }
+
+    fn pick_builtin(&mut self) -> &'static str {
+        match self.rng.below(3) {
+            0 => "xs:string",
+            1 => "xs:int",
+            _ => "xs:boolean",
+        }
+    }
+
+    /// A content group. `nesting` counts group-in-group levels; all-groups
+    /// only appear at the top (XSD 1.0: the all-group is the whole model).
+    fn gen_group(&mut self, depth: u32, nesting: u32) -> GroupDefinition {
+        let combination = if nesting == 0 && self.coin(1, 5) {
+            CombinationFactor::All
+        } else if self.coin(3, 10) {
+            CombinationFactor::Choice
+        } else {
+            CombinationFactor::Sequence
+        };
+        let count = 1 + self.rng.below(3) as usize;
+        let mut particles = Vec::new();
+        for _ in 0..count {
+            if combination != CombinationFactor::All && nesting < 1 && self.coin(1, 5) {
+                let sub = self.gen_group(depth, nesting + 1);
+                particles.push(Particle::Group(sub));
+            } else {
+                let rep = if combination == CombinationFactor::All {
+                    // XSD 1.0: all-group members occur at most once.
+                    RepetitionFactor::new(self.rng.below(2) as u32, 1)
+                } else {
+                    self.gen_repetition()
+                };
+                particles.push(Particle::Element(self.gen_element(depth, rep)));
+            }
+        }
+        let repetition = if combination == CombinationFactor::All {
+            // XSD 1.0: the group itself occurs at most once.
+            RepetitionFactor::new(self.rng.below(2) as u32, 1)
+        } else {
+            self.gen_repetition()
+        };
+        GroupDefinition { particles, combination, repetition }
+    }
+
+    fn gen_element(&mut self, depth: u32, rep: RepetitionFactor) -> ElementDeclaration {
+        let leaf = depth + 1 >= MAX_DEPTH || self.coin(11, 20);
+        let (ty, nillable) = if leaf {
+            (self.pick_builtin().to_string(), self.coin(1, 5))
+        } else {
+            (self.gen_complex_type(depth + 1), false)
+        };
+        let mut decl = ElementDeclaration::new(self.fresh("e"), ty).with_repetition(rep);
+        if nillable {
+            decl = decl.nillable();
+        }
+        decl
+    }
+
+    fn gen_repetition(&mut self) -> RepetitionFactor {
+        let min = self.rng.below(3) as u32;
+        if self.coin(1, 10) {
+            RepetitionFactor::at_least(min)
+        } else {
+            RepetitionFactor::new(min, min.max(1) + self.rng.below(2) as u32)
+        }
+    }
+
+    // ---- document side ----------------------------------------------
+
+    fn gen_document(&mut self, schema: &DocumentSchema) -> String {
+        let mut out = String::new();
+        let types = schema.complex_types.clone();
+        self.emit_element(&schema.root, &types, &mut out);
+        out
+    }
+
+    fn pick_count(&mut self, rep: RepetitionFactor) -> u32 {
+        if self.emitted >= NODE_BUDGET {
+            return rep.min;
+        }
+        let cap = match rep.max {
+            Maximum::Bounded(m) => m.min(rep.min + 2),
+            Maximum::Unbounded => rep.min + 2,
+        };
+        rep.min + self.rng.below(u64::from(cap - rep.min) + 1) as u32
+    }
+
+    fn simple_value(&mut self, ty: &str) -> String {
+        match ty {
+            "xs:int" => (self.rng.below(2001) as i64 - 1000).to_string(),
+            "xs:boolean" => {
+                if self.coin(1, 2) {
+                    "true".to_string()
+                } else {
+                    "false".to_string()
+                }
+            }
+            _ => format!("s{}", self.rng.below(100)),
+        }
+    }
+
+    /// Emit exactly one occurrence of `decl`.
+    fn emit_element(
+        &mut self,
+        decl: &ElementDeclaration,
+        types: &BTreeMap<String, ComplexTypeDefinition>,
+        out: &mut String,
+    ) {
+        self.emitted += 1;
+        let name = decl.name.clone();
+        let ty_name = decl.ty.name().unwrap_or_default().to_string();
+        match types.get(&ty_name) {
+            None => {
+                // Builtin simple type: text content (or nil).
+                if decl.nillable && self.coin(1, 4) {
+                    out.push_str(&format!("<{name} xsi:nil=\"true\"/>"));
+                } else {
+                    let v = self.simple_value(&ty_name);
+                    out.push_str(&format!("<{name}>{v}</{name}>"));
+                }
+            }
+            Some(def) => {
+                let def = def.clone();
+                let mut attrs = String::new();
+                for (a, aty) in def.attributes() {
+                    let v = self.simple_value(aty);
+                    attrs.push_str(&format!(" {a}=\"{v}\""));
+                }
+                match def {
+                    ComplexTypeDefinition::SimpleContent { base, .. } => {
+                        let v = self.simple_value(&base);
+                        out.push_str(&format!("<{name}{attrs}>{v}</{name}>"));
+                    }
+                    ComplexTypeDefinition::ComplexContent { mixed, content, .. } => {
+                        let mut body = String::new();
+                        self.emit_group(&content, types, mixed, &mut body);
+                        if mixed && self.coin(1, 2) {
+                            body.push_str("tail");
+                        }
+                        if body.is_empty() {
+                            out.push_str(&format!("<{name}{attrs}/>"));
+                        } else {
+                            out.push_str(&format!("<{name}{attrs}>{body}</{name}>"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emit one *repetition-respecting* expansion of `group`.
+    fn emit_group(
+        &mut self,
+        group: &GroupDefinition,
+        types: &BTreeMap<String, ComplexTypeDefinition>,
+        mixed: bool,
+        out: &mut String,
+    ) {
+        if group.is_empty_content() {
+            return;
+        }
+        let reps = self.pick_count(group.repetition);
+        for _ in 0..reps {
+            match group.combination {
+                CombinationFactor::Sequence => {
+                    for p in &group.particles {
+                        self.emit_particle(p, types, mixed, out);
+                    }
+                }
+                CombinationFactor::Choice => {
+                    let i = self.rng.below(group.particles.len() as u64) as usize;
+                    let p = group.particles[i].clone();
+                    self.emit_particle(&p, types, mixed, out);
+                }
+                CombinationFactor::All => {
+                    // Any order: a deterministic shuffle via repeated picks.
+                    let mut members: Vec<Particle> = group.particles.clone();
+                    while !members.is_empty() {
+                        let i = self.rng.below(members.len() as u64) as usize;
+                        let p = members.swap_remove(i);
+                        self.emit_particle(&p, types, mixed, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_particle(
+        &mut self,
+        particle: &Particle,
+        types: &BTreeMap<String, ComplexTypeDefinition>,
+        mixed: bool,
+        out: &mut String,
+    ) {
+        match particle {
+            Particle::Element(decl) => {
+                let n = self.pick_count(decl.repetition);
+                for _ in 0..n {
+                    if mixed && self.coin(1, 3) {
+                        out.push_str("mx");
+                    }
+                    self.emit_element(decl, types, out);
+                }
+            }
+            Particle::Group(sub) => self.emit_group(sub, types, mixed, out),
+        }
+    }
+}
+
+/// The case strategy: a random schema, then a random valid document.
+#[derive(Debug, Clone)]
+pub struct CaseGen;
+
+impl Strategy for CaseGen {
+    type Value = Case;
+
+    fn generate(&self, rng: &mut TestRng) -> Case {
+        let mut g = Gen { rng, n: 0, types: BTreeMap::new(), emitted: 0 };
+        let schema = g.gen_schema();
+        let xml = g.gen_document(&schema);
+        Case { schema, xml }
+    }
+}

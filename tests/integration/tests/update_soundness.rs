@@ -1,0 +1,213 @@
+//! Soundness of the static update checker (xsanalyze pass 5) over the
+//! shared generative harness: for every random schema + valid document,
+//! a battery of derived XQuery-Update-lite expressions must honour the
+//! verdict contract end to end.
+//!
+//! * **Reject** — execution refuses with `UpdateStaticallyInvalid` and
+//!   the document is byte-identical afterwards; every attached witness
+//!   word is genuinely rejected by the content model it indicts.
+//! * **Accept** — execution succeeds with *zero* revalidated content
+//!   models, and a full §6.2 revalidation afterwards confirms the
+//!   analyzer's proof.
+//! * **Recheck** — execution either commits (and full revalidation is
+//!   clean) or rolls back to the byte-identical pre-state.
+//!
+//! After every committed update the storage invariants hold and no
+//! descriptor was ever relabeled (Proposition 1).
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::sync::Arc;
+use xsdb::xsanalyze::{analyze_update, UpdateVerdict};
+use xsdb::xsmodel::ast::{ComplexTypeDefinition, GroupDefinition, Type};
+use xsdb::xsmodel::ContentModel;
+use xsdb::{Database, DbError, DocumentSchema};
+
+mod common;
+use common::CaseGen;
+
+/// Every name-path from the root to an element declaration, as
+/// `(xpath, names)`. Generated names are unique, so a name-path
+/// identifies exactly one declaration.
+fn element_paths(schema: &DocumentSchema) -> Vec<(String, Vec<String>)> {
+    fn walk(
+        schema: &DocumentSchema,
+        names: &mut Vec<String>,
+        ty: &Type,
+        out: &mut Vec<(String, Vec<String>)>,
+    ) {
+        out.push((format!("/{}", names.join("/")), names.clone()));
+        if let Some(ComplexTypeDefinition::ComplexContent { content, .. }) = schema.complex_of(ty) {
+            for d in content.element_declarations() {
+                names.push(d.name.clone());
+                walk(schema, names, &d.ty, out);
+                names.pop();
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut names = vec![schema.root.name.clone()];
+    walk(schema, &mut names, &schema.root.ty, &mut out);
+    out
+}
+
+/// The complex-content group of the element a name-path leads to, if
+/// its type has one.
+fn content_group<'a>(schema: &'a DocumentSchema, names: &[String]) -> Option<&'a GroupDefinition> {
+    let mut ty = &schema.root.ty;
+    if names.first() != Some(&schema.root.name) {
+        return None;
+    }
+    for n in &names[1..] {
+        let ComplexTypeDefinition::ComplexContent { content, .. } = schema.complex_of(ty)? else {
+            return None;
+        };
+        let d = content.element_declarations().into_iter().find(|d| &d.name == n)?;
+        ty = &d.ty;
+    }
+    match schema.complex_of(ty)? {
+        ComplexTypeDefinition::ComplexContent { content, .. } => Some(content),
+        ComplexTypeDefinition::SimpleContent { .. } => None,
+    }
+}
+
+/// One derived update: its text, the name-path of its target, and
+/// whether it edits the target's *own* content (container-style) or
+/// its parent's (sibling-anchored).
+struct Derived {
+    text: String,
+    target: Vec<String>,
+    container: bool,
+}
+
+/// A deterministic battery of updates for the schema: per element
+/// path, deletes, value replacements (valid-ish and hostile), child
+/// inserts (declared and rogue), sibling inserts, and node
+/// replacements. Every verdict class shows up across the battery.
+fn update_battery(schema: &DocumentSchema, paths: &[(String, Vec<String>)]) -> Vec<Derived> {
+    let mut out: Vec<Derived> = Vec::new();
+    fn push(out: &mut Vec<Derived>, text: String, names: &[String], container: bool) {
+        out.push(Derived { text, target: names.to_vec(), container });
+    }
+    for (p, names) in paths {
+        push(&mut out, format!("delete node {p}"), names, false);
+        // "1" is lexically valid for all three generated builtins;
+        // "zz" is hostile to xs:int and xs:boolean.
+        push(&mut out, format!(r#"replace value of node {p} with "1""#), names, true);
+        push(&mut out, format!(r#"replace value of node {p} with "zz""#), names, true);
+        if let Some(group) = content_group(schema, names) {
+            for d in group.element_declarations().into_iter().take(2) {
+                let n = &d.name;
+                push(&mut out, format!("insert node <{n}>1</{n}> into {p}"), names, true);
+                push(&mut out, format!("insert node <{n}/> into {p}"), names, true);
+            }
+        }
+        push(&mut out, format!("insert node <zz0/> into {p}"), names, true);
+        if names.len() >= 2 {
+            let last = names.last().expect("non-root path");
+            push(&mut out, format!("insert node <{last}/> before {p}"), names, false);
+            push(&mut out, format!("insert node <{last}>1</{last}> after {p}"), names, false);
+            push(&mut out, format!("replace node {p} with <{last}>1</{last}>"), names, false);
+        }
+        if out.len() >= 32 {
+            break;
+        }
+    }
+    out.truncate(32);
+    out
+}
+
+/// Which content model a diagnostic's witness word indicts: the target
+/// element's own model for container-style operations, the parent's
+/// model for sibling-anchored ones.
+fn indicted_group<'a>(schema: &'a DocumentSchema, d: &Derived) -> Option<&'a GroupDefinition> {
+    if d.container {
+        content_group(schema, &d.target)
+    } else {
+        content_group(schema, &d.target[..d.target.len().saturating_sub(1)])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The verdict contract, end to end, per generated case.
+    #[test]
+    fn update_verdicts_are_sound(case in CaseGen) {
+        let mut db = Database::with_metrics_registry(Arc::new(xsdb::xsobs::Registry::new()));
+        db.register_schema("s", case.schema.clone()).expect("generated schema is well-formed");
+        db.insert("d", "s", &case.xml).expect("generated document is valid");
+
+        let paths = element_paths(&case.schema);
+        for derived in update_battery(&case.schema, &paths) {
+            let upd_text = derived.text.as_str();
+            let upd = match xsdb::xquery::parse_update(upd_text) {
+                Ok(u) => u,
+                Err(e) => return Err(TestCaseError::fail(
+                    format!("derived update failed to parse: {upd_text:?}: {e}"))),
+            };
+            let analysis = analyze_update(&case.schema, &upd);
+
+            // Witness property: a shortest-witness word attached to a
+            // rejection is genuinely rejected by the model it indicts.
+            for d in &analysis.diagnostics {
+                let Some(w) = &d.witness else { continue };
+                let Some(group) = indicted_group(&case.schema, &derived) else {
+                    continue;
+                };
+                if let Ok(cm) = ContentModel::compile(group) {
+                    let word: Vec<&str> = w.iter().map(String::as_str).collect();
+                    prop_assert!(
+                        !cm.accepts(&word),
+                        "witness {word:?} for {upd_text:?} is accepted by the indicted model"
+                    );
+                }
+            }
+
+            let before = db.serialize("d").expect("document serializes");
+            match db.execute_update_expr("d", &upd) {
+                Ok(out) => {
+                    prop_assert_eq!(out.verdict, analysis.verdict, "verdict drift: {}", upd_text);
+                    if out.verdict == UpdateVerdict::Accept {
+                        prop_assert_eq!(
+                            out.revalidated, 0,
+                            "Accept must skip revalidation: {}", upd_text
+                        );
+                    }
+                    let errs = db.revalidate("d").expect("revalidate runs");
+                    prop_assert!(
+                        errs.is_empty(),
+                        "{} ({:?}) committed an invalid document: {errs:?}\nbefore: {before}",
+                        upd_text, out.verdict
+                    );
+                    let storage = db.document("d").expect("doc").storage().expect("storage");
+                    prop_assert!(storage.check_invariants().is_none());
+                    prop_assert_eq!(storage.relabel_count(), 0, "Proposition 1 violated");
+                }
+                Err(DbError::UpdateStaticallyInvalid(diags)) => {
+                    prop_assert_eq!(
+                        analysis.verdict, UpdateVerdict::Reject,
+                        "refusal without a Reject verdict: {}", upd_text
+                    );
+                    prop_assert!(!diags.is_empty());
+                    prop_assert_eq!(
+                        db.serialize("d").expect("document serializes"), before,
+                        "a rejected update touched the tree: {}", upd_text
+                    );
+                }
+                Err(DbError::Invalid(_)) => {
+                    prop_assert_eq!(
+                        analysis.verdict, UpdateVerdict::Recheck,
+                        "rollback outside Recheck: {}", upd_text
+                    );
+                    prop_assert_eq!(
+                        db.serialize("d").expect("document serializes"), before,
+                        "a rolled-back update left changes behind: {}", upd_text
+                    );
+                }
+                Err(e) => return Err(TestCaseError::fail(
+                    format!("unexpected failure for {upd_text:?}: {e}"))),
+            }
+        }
+    }
+}
