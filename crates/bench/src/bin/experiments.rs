@@ -6,9 +6,12 @@
 //! `e11 --guard` turns E11 into a CI gate: it exits non-zero when the
 //! enabled-metrics overhead exceeds its budget. `e13 --guard` does the
 //! same for the paged-storage O(1)-pages-per-update bound,
-//! `e14 --guard` for the snapshot-read/WAL-commit latency bounds, and
+//! `e14 --guard` for the snapshot-read/WAL-commit latency bounds,
 //! `e15 --guard` for the static-update-checking revalidation bounds
-//! (Accept revalidates nothing; Recheck revalidates one content model).
+//! (Accept revalidates nothing; Recheck revalidates one content model),
+//! and `e16 --guard` for the query-planner bound (the cost-based choice
+//! spends at most 1.1× the work of the best forced strategy, and
+//! statically-empty paths execute zero operators).
 
 use std::time::Instant;
 
@@ -69,6 +72,9 @@ fn main() {
     }
     if want("e15") {
         e15_static_updates(guard);
+    }
+    if want("e16") {
+        e16_query_planner(guard);
     }
 }
 
@@ -1156,6 +1162,136 @@ fn e15_static_updates(guard: bool) {
     println!(
         "(gates: accept revalidates 0 nodes; recheck exactly 2 — host model + new leaf; \
          reject leaves the tree untouched; guard {})",
+        if guard { "on" } else { "off" }
+    );
+}
+
+/// E16: cost-based query planning. Each XPath runs once per forced
+/// physical strategy (guided descent, Dewey-range scan, postings
+/// probe) and once with the planner free to choose per step; the table
+/// reports work units — the deterministic operator-cost currency shared
+/// by the cost model and the executor — so the rows are exactly
+/// reproducible. With `guard` set, the run fails (exit 1) when the
+/// chosen plan spends more than 1.1× the best forced strategy, when
+/// any strategy disagrees on the result node-set, or when a
+/// statically-empty path executes any operator at all.
+fn e16_query_planner(guard: bool) {
+    use xsdb::xdm::NodeStore;
+    use xsdb::xquery::{plan_and_execute, PlanOptions, Strategy};
+
+    // Uniform corpus: every book looks alike, so no element name is
+    // selective — guided descent should win most steps.
+    fn uniform(books: usize) -> XmlStorage {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let lib = s.new_element(doc, "library");
+        for i in 0..books {
+            let book = s.new_element(lib, "book");
+            s.new_attribute(book, "id", format!("b{i}"));
+            let t = s.new_element(book, "title");
+            s.new_text(t, format!("title {i}"));
+            let y = s.new_element(book, "year");
+            s.new_text(y, format!("{}", 1900 + (i % 120)));
+        }
+        XmlStorage::from_tree(&s, doc)
+    }
+
+    // Skewed corpus: one element name (`errata`) appears on 1 book in
+    // 64, so `//errata` is highly selective — the postings index should
+    // beat walking the whole tree.
+    fn skewed(books: usize) -> XmlStorage {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let lib = s.new_element(doc, "library");
+        for i in 0..books {
+            let book = s.new_element(lib, "book");
+            let t = s.new_element(book, "title");
+            s.new_text(t, format!("title {i}"));
+            for c in 0..3 {
+                let ch = s.new_element(book, "chapter");
+                s.new_text(ch, format!("chapter {c} of book {i}"));
+            }
+            if i % 64 == 0 {
+                let e = s.new_element(book, "errata");
+                s.new_text(e, format!("errata for {i}"));
+            }
+        }
+        XmlStorage::from_tree(&s, doc)
+    }
+
+    println!("\n== E16: query planner — chosen plan vs. each forced strategy (work units) ==");
+    println!(
+        "{:<8} {:<28} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "corpus", "query", "guided", "dewey", "postings", "chosen", "ratio"
+    );
+    let mut ok = true;
+    let mut fail = |msg: String| {
+        eprintln!("E16 guard: {msg}");
+        ok = false;
+    };
+    const BOOKS: usize = 2_048;
+    let corpora: [(&str, XmlStorage, &[&str]); 2] = [
+        (
+            "uniform",
+            uniform(BOOKS),
+            &["/library/book/title", "//year", "//book/@id", "/library/book[year>\"2010\"]/title"],
+        ),
+        ("skewed", skewed(BOOKS), &["//errata", "/library/book/errata", "//title", "//chapter"]),
+    ];
+    for (name, storage, queries) in &corpora {
+        for q in *queries {
+            let path = parse(q).unwrap();
+            let mut forced = Vec::new();
+            for s in Strategy::ALL {
+                let opts = PlanOptions { force: Some(s), ..PlanOptions::default() };
+                forced.push(plan_and_execute(storage, &path, &opts));
+            }
+            let (plan, chosen) = plan_and_execute(storage, &path, &PlanOptions::default());
+            for (s, (_, exec)) in Strategy::ALL.iter().zip(&forced) {
+                if exec.nodes != chosen.nodes {
+                    fail(format!("{name} {q}: forced {} disagrees with the chosen plan", s.name()));
+                }
+            }
+            let best = forced.iter().map(|(_, e)| e.work).min().unwrap();
+            let ratio = chosen.work as f64 / best.max(1) as f64;
+            if ratio > 1.1 {
+                fail(format!(
+                    "{name} {q}: chosen plan spent {} work, best forced strategy {} \
+                     (ratio {ratio:.3} > 1.1)",
+                    chosen.work, best
+                ));
+            }
+            println!(
+                "{:<8} {:<28} {:>9} {:>9} {:>9} {:>9} {:>7.3}",
+                name, q, forced[0].1.work, forced[1].1.work, forced[2].1.work, chosen.work, ratio
+            );
+            let _ = plan; // per-step strategies appear in EXPLAIN output
+        }
+    }
+    // Statically-empty paths must not run any operator: the analyzer's
+    // verdict prunes the whole pipeline before the first step.
+    let (name, storage, _) = &corpora[0];
+    let path = parse("/library/dvd/title").unwrap();
+    let opts = PlanOptions { statically_empty: true, ..PlanOptions::default() };
+    let (plan, exec) = plan_and_execute(storage, &path, &opts);
+    if plan.pruned_from() != Some(0) || exec.work != 0 || !exec.nodes.is_empty() {
+        fail(format!(
+            "{name} /library/dvd/title: statically empty yet executed \
+             {} work over {} nodes",
+            exec.work,
+            exec.nodes.len()
+        ));
+    }
+    println!(
+        "{:<8} {:<28} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        name, "/library/dvd/title (pruned)", "-", "-", "-", 0, "-"
+    );
+    if guard && !ok {
+        std::process::exit(1);
+    }
+    println!(
+        "(gates: all strategies agree on every node-set; chosen ≤ 1.1× best forced; \
+         statically-empty paths do zero work; guard {})",
         if guard { "on" } else { "off" }
     );
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! xsd-lint [--json|--codes] [--stats|--stats-json] [--xpath EXPR]... \
-//!          [--xquery EXPR]... [--update EXPR]... <schema.xsd>
+//!          [--xquery EXPR]... [--update EXPR]... \
+//!          [--doc FILE] [--explain EXPR]... <schema.xsd>
 //! ```
 //!
 //! Runs every `xsanalyze` pass over the schema (well-formedness, UPA,
@@ -18,6 +19,12 @@
 //! snapshot (parse totals, UPA subset states, per-pass timings — see
 //! the `xsobs` crate) to **stderr** after the run, so stdout stays
 //! parseable by `--json`/`--codes` consumers.
+//!
+//! `--explain EXPR` (repeatable, requires `--doc FILE`) validates the
+//! document against the schema, plans each XPath with the cost-based
+//! planner, executes the plan, and prints the chosen per-step
+//! strategies with estimated vs. actual cardinalities to stdout —
+//! the `EXPLAIN` surface, golden-tested like the `--codes` corpus.
 //!
 //! A schema (or `--update` expression) that fails to parse is itself
 //! reported as diagnostic `XSA000` (error). Exit code: `0` when clean,
@@ -39,10 +46,13 @@ struct Args {
     xpaths: Vec<String>,
     xqueries: Vec<String>,
     updates: Vec<String>,
+    doc: Option<String>,
+    explains: Vec<String>,
 }
 
 const USAGE: &str = "usage: xsd-lint [--json|--codes] [--stats|--stats-json] \
-     [--xpath EXPR]... [--xquery EXPR]... [--update EXPR]... <schema.xsd>";
+     [--xpath EXPR]... [--xquery EXPR]... [--update EXPR]... \
+     [--doc FILE] [--explain EXPR]... <schema.xsd>";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
@@ -54,6 +64,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         xpaths: Vec::new(),
         xqueries: Vec::new(),
         updates: Vec::new(),
+        doc: None,
+        explains: Vec::new(),
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -69,6 +81,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--update" => {
                 args.updates.push(it.next().ok_or("--update needs an expression")?.clone())
             }
+            "--doc" => args.doc = Some(it.next().ok_or("--doc needs a file")?.clone()),
+            "--explain" => {
+                args.explains.push(it.next().ok_or("--explain needs an expression")?.clone())
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}\n{USAGE}")),
             path if args.schema_path.is_empty() => args.schema_path = path.to_string(),
@@ -78,7 +94,28 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.schema_path.is_empty() {
         return Err(USAGE.to_string());
     }
+    if !args.explains.is_empty() && args.doc.is_none() {
+        return Err(format!("--explain requires --doc FILE\n{USAGE}"));
+    }
     Ok(args)
+}
+
+/// Plan + execute each `--explain` expression over `--doc` and render
+/// the plans (estimated vs. actual cardinalities per step).
+fn run_explains(args: &Args) -> Result<Vec<String>, String> {
+    let Some(doc_path) = &args.doc else { return Ok(Vec::new()) };
+    let xml =
+        std::fs::read_to_string(doc_path).map_err(|e| format!("cannot read {doc_path}: {e}"))?;
+    let xsd = std::fs::read_to_string(&args.schema_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.schema_path))?;
+    let mut db = xsdb::Database::new();
+    db.register_schema_text("schema", &xsd)
+        .map_err(|e| format!("schema {:?}: {e}", args.schema_path))?;
+    db.insert("doc", "schema", &xml).map_err(|e| format!("document {doc_path:?}: {e}"))?;
+    args.explains
+        .iter()
+        .map(|expr| db.explain_query("doc", expr).map_err(|e| format!("--explain {expr:?}: {e}")))
+        .collect()
 }
 
 fn lint(args: &Args) -> Result<Vec<Diagnostic>, String> {
@@ -149,6 +186,20 @@ fn main() -> ExitCode {
         }
         if diags.is_empty() {
             eprintln!("clean: no diagnostics");
+        }
+    }
+    if !args.explains.is_empty() {
+        match run_explains(&args) {
+            Ok(plans) => {
+                for plan in plans {
+                    // `explain` output ends with a newline of its own.
+                    print!("{plan}");
+                }
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if args.stats_json {

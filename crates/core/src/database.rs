@@ -1039,8 +1039,11 @@ impl Database {
     // --------------------------------------------------------- queries
 
     /// Evaluate an XPath over a stored document, returning the string
-    /// values of the selected nodes. Uses the schema-guided engine when
-    /// the document is materialized, the naive engine otherwise.
+    /// values of the selected nodes. Materialized documents route
+    /// through the cost-based planner (statistics-driven operator
+    /// choice per step, DataGuide pruning of provably-empty paths);
+    /// unmaterialized ones fall back to the naive engine. The result is
+    /// identical either way — the plan-equivalence harness proves it.
     pub fn query(&self, doc_name: &str, xpath: &str) -> Result<Vec<String>, DbError> {
         let doc = self
             .documents
@@ -1052,7 +1055,8 @@ impl Database {
         span.set_detail(xpath);
         Ok(match &doc.storage {
             Some(storage) => {
-                eval_guided(storage, &path).into_iter().map(|p| storage.string_value(p)).collect()
+                let plan = self.plan_for(storage, &path, None);
+                plan.execute(storage).nodes.into_iter().map(|p| storage.string_value(p)).collect()
             }
             None => {
                 let tree = XdmTree { store: &doc.loaded.store, doc: doc.loaded.doc };
@@ -1062,6 +1066,70 @@ impl Database {
                     .collect()
             }
         })
+    }
+
+    /// Plan an XPath over a materialized document's block storage:
+    /// static pruning against the DataGuide
+    /// ([`xsanalyze::analyze_xpath_in_guide`]), then cost-based operator
+    /// choice from the catalog statistics. Records the `plan.*` metrics
+    /// family.
+    fn plan_for(
+        &self,
+        storage: &XmlStorage,
+        path: &xpath::Path,
+        force: Option<xquery::Strategy>,
+    ) -> xquery::QueryPlan {
+        let plan = {
+            let _span = self.obs.span(xsobs::HistogramId::PlanBuild);
+            let statically_empty =
+                !xsanalyze::analyze_xpath_in_guide(storage.schema(), path).is_empty();
+            xquery::plan(storage, path, &xquery::PlanOptions { force, statically_empty })
+        };
+        self.obs.incr(xsobs::CounterId::PlanQueries);
+        if plan.pruned_from().is_some() {
+            self.obs.incr(xsobs::CounterId::PlanPruned);
+        } else {
+            for sp in plan.steps() {
+                self.obs.incr(match sp.strategy {
+                    xquery::Strategy::Guided => xsobs::CounterId::PlanStepsGuided,
+                    xquery::Strategy::Dewey => xsobs::CounterId::PlanStepsDewey,
+                    xquery::Strategy::Postings => xsobs::CounterId::PlanStepsPostings,
+                });
+            }
+        }
+        plan
+    }
+
+    /// `EXPLAIN`: plan an XPath over a stored document, execute the
+    /// plan, and render the chosen strategy per step with estimated vs.
+    /// actual cardinalities and work.
+    pub fn explain_query(&self, doc_name: &str, xpath: &str) -> Result<String, DbError> {
+        self.explain_query_forced(doc_name, xpath, None)
+    }
+
+    /// [`Database::explain_query`] with every step pinned to one
+    /// strategy (how the benchmarks compare the planner's choice
+    /// against each forced alternative).
+    pub fn explain_query_forced(
+        &self,
+        doc_name: &str,
+        xpath: &str,
+        force: Option<xquery::Strategy>,
+    ) -> Result<String, DbError> {
+        let doc = self
+            .documents
+            .get(doc_name)
+            .ok_or_else(|| DbError::UnknownDocument(doc_name.to_string()))?;
+        let path = xpath::parse(xpath)?;
+        self.preflight_xpath(doc, &path)?;
+        let Some(storage) = doc.storage() else {
+            return Err(DbError::Corrupt(
+                "explain requires a materialized document (inserts materialize eagerly)".into(),
+            ));
+        };
+        let plan = self.plan_for(storage, &path, force);
+        let exec = plan.execute(storage);
+        Ok(plan.explain(Some(&exec)))
     }
 
     /// Evaluate a FLWOR query (see the `xquery` crate) over a stored

@@ -28,10 +28,10 @@ pub fn storage_to_document(xs: &XmlStorage) -> Document {
 }
 
 fn element_of(xs: &XmlStorage, p: DescPtr) -> Element {
-    let mut elem = Element::new(QName::parse(xs.node_name(p).expect("elements are named")));
+    let mut elem = Element::new(QName::parse(xs.node_name(p).unwrap_or("")));
     for a in xs.attributes(p) {
         elem.attributes.push(Attribute {
-            name: QName::parse(xs.node_name(a).expect("attributes are named")),
+            name: QName::parse(xs.node_name(a).unwrap_or("")),
             value: xs.string_value(a),
         });
     }
@@ -64,14 +64,13 @@ pub fn storage_to_tree(xs: &XmlStorage) -> (NodeStore, NodeId) {
 fn rebuild(xs: &XmlStorage, p: DescPtr, store: &mut NodeStore, parent: NodeId) {
     match xs.kind(p) {
         NodeKind::Element => {
-            let e = store.new_element(parent, xs.node_name(p).expect("named"));
+            let e = store.new_element(parent, xs.node_name(p).unwrap_or(""));
             if let Some(t) = xs.type_name(p) {
                 store.set_type(e, t.to_string());
             }
             store.set_nilled(e, xs.nilled(p) == Some(true));
             for a in xs.attributes(p) {
-                let an =
-                    store.new_attribute(e, xs.node_name(a).expect("named"), xs.string_value(a));
+                let an = store.new_attribute(e, xs.node_name(a).unwrap_or(""), xs.string_value(a));
                 if let Some(t) = xs.type_name(a) {
                     store.set_type(an, t.to_string());
                 }

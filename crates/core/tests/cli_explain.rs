@@ -1,0 +1,106 @@
+//! End-to-end tests for `xsd-lint --explain`: plan an XPath against a
+//! real document (`--doc`), execute it, and print the physical plan
+//! with estimated vs. actual cardinalities. The golden corpus under
+//! `fixtures/lint/plan_*.{xpath,plan}` is diffed by `scripts/check.sh`;
+//! these tests pin the CLI contract itself — argument validation, exit
+//! codes, and the plan text reaching stdout byte-for-byte.
+
+use std::path::Path;
+use std::process::Command;
+
+fn lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xsd-lint")).args(args).output().expect("spawn xsd-lint")
+}
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../fixtures/lint")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+fn stdout(out: &std::process::Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+#[test]
+fn explain_prints_the_pinned_plan_for_every_golden_query() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/lint");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("fixtures/lint") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !name.starts_with("plan_") || !name.ends_with(".xpath") {
+            continue;
+        }
+        seen += 1;
+        let query = std::fs::read_to_string(&path).expect("query fixture");
+        let want = std::fs::read_to_string(path.with_extension("plan")).expect("golden plan");
+        let out = lint(&[
+            "--doc",
+            &fixture("plan_doc.xml"),
+            "--explain",
+            query.trim(),
+            &fixture("clean.xsd"),
+        ]);
+        assert_eq!(out.status.code(), Some(0), "{name}: {out:?}");
+        assert_eq!(stdout(&out), want, "plan text drifted for {name}");
+    }
+    assert!(seen >= 4, "expected the plan_*.xpath corpus, found {seen} queries");
+}
+
+#[test]
+fn explain_reports_estimates_and_actuals_per_step() {
+    let out = lint(&[
+        "--doc",
+        &fixture("plan_doc.xml"),
+        "--explain",
+        "/library/book/title",
+        &fixture("clean.xsd"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.starts_with("plan /library/book/title @ stats generation "), "{text}");
+    assert!(text.contains("est_rows=") && text.contains("actual_rows="), "{text}");
+    assert!(text.trim_end().ends_with("total: rows=8 work=340"), "{text}");
+}
+
+#[test]
+fn statically_empty_query_prints_a_pruned_plan() {
+    let out = lint(&[
+        "--doc",
+        &fixture("plan_doc.xml"),
+        "--explain",
+        "/library/dvd/title",
+        &fixture("clean.xsd"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("statically empty, zero operators execute"), "{text}");
+    assert!(text.trim_end().ends_with("total: rows=0 work=0"), "{text}");
+}
+
+#[test]
+fn explain_without_doc_is_a_usage_error() {
+    let out = lint(&["--explain", "/library/book", &fixture("clean.xsd")]);
+    assert_ne!(out.status.code(), Some(0), "{out:?}");
+    let err = String::from_utf8(out.stderr.clone()).expect("utf-8 stderr");
+    assert!(err.contains("--explain requires --doc"), "{err}");
+}
+
+#[test]
+fn explain_against_an_invalid_document_fails_with_the_violation() {
+    // plan_doc.xml is a library document; lint it against itself as the
+    // "schema" so registration fails — the error must reach stderr and
+    // the exit code must be the generic failure, not a plan.
+    let out = lint(&[
+        "--doc",
+        &fixture("plan_doc.xml"),
+        "--explain",
+        "/library/book",
+        &fixture("plan_doc.xml"),
+    ]);
+    assert_ne!(out.status.code(), Some(0), "{out:?}");
+    assert!(stdout(&out).is_empty() || !stdout(&out).contains("plan /"), "{out:?}");
+}

@@ -35,6 +35,7 @@ use crate::descriptive::{DescriptiveSchema, SchemaNode, SchemaNodeId};
 use crate::error::StorageError;
 use crate::nid::Nid;
 use crate::pages::PageStore;
+use crate::stats::CatalogStats;
 use crate::storage::XmlStorage;
 use crate::vfs::Vfs;
 
@@ -45,9 +46,13 @@ pub(crate) const LOC_SEG: u32 = 512;
 /// On-page catalog format version. Version 2 appends the commit
 /// *epoch* — the highest write-ahead-log sequence whose effects are
 /// durable in these pages — so WAL replay can skip already-applied
-/// records. Version 1 catalogs (no epoch field) still load, at
-/// epoch 0.
-const CATALOG_VERSION: u8 = 2;
+/// records. Version 3 appends the statistics catalog
+/// ([`crate::stats::CatalogStats`]: per-schema-node cardinalities,
+/// fanouts, and leaf-value histograms) so the query planner costs plans
+/// without a full scan on open. Version 1 catalogs (no epoch field)
+/// still load, at epoch 0; version 1 and 2 catalogs (no statistics)
+/// rebuild their statistics from the loaded blocks.
+const CATALOG_VERSION: u8 = 3;
 
 /// Logical block number of the catalog.
 const CATALOG_LOGICAL: u64 = 0;
@@ -119,6 +124,7 @@ fn encode_catalog(xs: &XmlStorage, epoch: u64) -> Vec<u8> {
     w.u32(table.blocks.len() as u32);
     w.u32(table.locations.len() as u32);
     w.u64(epoch);
+    xs.stats().encode(&mut w);
     w.into_bytes()
 }
 
@@ -217,8 +223,9 @@ pub fn save_full_epoch(
 
 /// Write only what changed after `watermark` (a [`XmlStorage::tick`]
 /// value from the last save): dirtied data blocks, dirtied location
-/// segments, and — when schema/list/size state moved — the catalog.
-/// The caller commits the store afterwards.
+/// segments, and — whenever anything moved at all — the catalog, whose
+/// statistics section reflects every mutation. The caller commits the
+/// store afterwards.
 ///
 /// # Errors
 /// I/O failures from the underlying [`Vfs`].
@@ -252,7 +259,10 @@ pub fn save_dirty_epoch(
     force_catalog: bool,
 ) -> Result<(), StorageError> {
     let table = xs.table();
-    if table.meta_tick > watermark || force_catalog {
+    // Any mutation (not just schema/list/size movement) rewrites the
+    // catalog: the v3 statistics live there, and a reload would reject
+    // pages whose statistics disagree with the blocks.
+    if table.tick > watermark || force_catalog {
         store.write_block(vfs, data_path, CATALOG_LOGICAL, &encode_catalog(xs, epoch))?;
     }
     for (&b, &t) in &table.dirty_blocks {
@@ -295,6 +305,9 @@ struct Catalog {
     /// Highest WAL sequence applied to these pages (0 for version-1
     /// catalogs, which predate the log).
     epoch: u64,
+    /// The persisted statistics catalog (`None` for pre-v3 files, which
+    /// predate the planner — rebuilt from the blocks on load).
+    stats: Option<CatalogStats>,
 }
 
 fn read_catalog(
@@ -359,7 +372,16 @@ fn decode_catalog(bytes: &[u8]) -> Result<Catalog, StorageError> {
     let block_count = r.u32()?;
     let loc_len = r.u32()?;
     let epoch = if version >= 2 { r.u64()? } else { 0 };
+    let stats = if version >= 3 { Some(CatalogStats::decode(&mut r)?) } else { None };
     r.finish()?;
+    if let Some(s) = &stats {
+        if s.len() != nschema as usize {
+            return Err(StorageError::corrupt(format!(
+                "catalog: statistics cover {} schema nodes of {nschema}",
+                s.len()
+            )));
+        }
+    }
     for (sn, l) in lists.iter().enumerate() {
         if let Some((first, last)) = l {
             if *first >= block_count || *last >= block_count {
@@ -384,6 +406,7 @@ fn decode_catalog(bytes: &[u8]) -> Result<Catalog, StorageError> {
         block_count,
         loc_len,
         epoch,
+        stats,
     })
 }
 
@@ -615,9 +638,9 @@ pub fn load_with_epoch(
     }
     let locations = read_locations(store, vfs, data_path, &cat)?;
     validate(&cat, &blocks, &locations)?;
-    let Catalog { capacity, root, relabels, base_uri, schema, lists, epoch, .. } = cat;
+    let Catalog { capacity, root, relabels, base_uri, schema, lists, epoch, stats, .. } = cat;
     let table = BlockTable { blocks, lists, locations, ..Default::default() };
-    let xs = XmlStorage::from_parts(schema, table, root, capacity, base_uri, relabels);
+    let xs = XmlStorage::from_parts(schema, table, root, capacity, base_uri, relabels, stats);
     if let Some(violation) = xs.check_invariants() {
         return Err(StorageError::Corrupt(violation));
     }
@@ -814,9 +837,10 @@ mod tests {
             assert_eq!(loaded.string_value(loaded.scan(title_sn)[0]), "updated");
         }
         // O(1): the 100× larger document writes exactly as much as the
-        // small one (one block + map commit, no catalog, no locations).
+        // small one (one block + the schema-sized catalog + map commit,
+        // no locations).
         assert_eq!(pages_written[0], pages_written[2], "pages per update grew: {pages_written:?}");
-        assert!(pages_written[2] <= 8, "update wrote {} ops", pages_written[2]);
+        assert!(pages_written[2] <= 10, "update wrote {} ops", pages_written[2]);
     }
 
     #[test]
@@ -911,15 +935,37 @@ mod tests {
         let reopened = PageStore::open(&vfs, &map).unwrap();
         assert_eq!(load_with_epoch(&reopened, &vfs, &data).unwrap().1, 43);
 
-        // A hand-built version-1 catalog (no epoch field) still loads.
+        // Hand-built version-1 and version-2 catalogs (no statistics,
+        // v1 also without the epoch) still load, rebuilding their
+        // statistics from the blocks.
         let mut store = PageStore::open(&vfs, &map).unwrap();
-        let v2 = store.read_block(&vfs, &data, CATALOG_LOGICAL).unwrap();
+        let v3 = store.read_block(&vfs, &data, CATALOG_LOGICAL).unwrap();
+        let stats_len = {
+            let mut w = Writer::new();
+            xs.stats().encode(&mut w);
+            w.into_bytes().len()
+        };
+        let v2 = {
+            let mut bytes = v3.clone();
+            bytes[0] = 2;
+            bytes.truncate(bytes.len() - stats_len);
+            bytes
+        };
+        store.write_block(&vfs, &data, CATALOG_LOGICAL, &v2).unwrap();
+        store.commit(&vfs, &map).unwrap();
+        let reopened = PageStore::open(&vfs, &map).unwrap();
+        let (migrated, epoch) = load_with_epoch(&reopened, &vfs, &data).unwrap();
+        assert_same(&xs, &migrated);
+        assert_eq!(epoch, 43, "version-2 catalogs keep their epoch");
+        assert_eq!(*migrated.stats(), migrated.rebuild_stats());
+
         let v1 = {
             let mut bytes = v2.clone();
             bytes[0] = 1;
             bytes.truncate(bytes.len() - 8);
             bytes
         };
+        let mut store = PageStore::open(&vfs, &map).unwrap();
         store.write_block(&vfs, &data, CATALOG_LOGICAL, &v1).unwrap();
         store.commit(&vfs, &map).unwrap();
         let reopened = PageStore::open(&vfs, &map).unwrap();

@@ -1,0 +1,483 @@
+//! The statistics catalog: per-DataGuide-node cardinalities, child
+//! fanouts, and small equi-width value histograms for typed leaves.
+//!
+//! SNIPPETS' "query executor reads statistics from the catalog for
+//! cost-based planning" names the shape: the catalog is the natural
+//! companion of the descriptive schema (§9.1) — one [`NodeStats`] per
+//! schema node, maintained *incrementally* by every [`crate::XmlStorage`]
+//! mutator and persisted alongside the schema in the paged store's
+//! logical catalog block ([`crate::paged`], format v3).
+//!
+//! Two invariants make the numbers trustworthy:
+//!
+//! * **Replayability** — after any mutation sequence the incrementally
+//!   maintained catalog is *identical* (exact cardinalities, bucket-
+//!   identical histograms) to a from-scratch [`CatalogStats::rebuild`].
+//!   Histogram maintenance falls back to a single-schema-node rescan
+//!   whenever an insert or delete would move the value bounds, so the
+//!   equi-width bucket boundaries always match what a rebuild derives.
+//! * **Freshness** — the catalog carries the storage's mutation tick
+//!   (the same generation-stamp discipline as
+//!   `xdm::DocumentOrderIndex`), so a query plan costed against one
+//!   tick refuses, loudly, to execute against another.
+
+use crate::codec::{Reader, Writer};
+use crate::descriptive::SchemaNodeId;
+use crate::error::StorageError;
+
+/// Number of equi-width buckets per leaf histogram.
+pub const HIST_BUCKETS: usize = 8;
+
+/// An equi-width histogram over the numeric values of one typed leaf
+/// (text or attribute) schema node. Values that do not parse as
+/// integers are counted but not bucketed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LeafHistogram {
+    /// Smallest numeric value (0 when `numeric == 0`).
+    lo: i64,
+    /// Largest numeric value (0 when `numeric == 0`).
+    hi: i64,
+    /// Equi-width bucket counts over `lo..=hi`.
+    buckets: [u64; HIST_BUCKETS],
+    /// Number of numeric values.
+    numeric: u64,
+    /// Number of non-numeric values.
+    non_numeric: u64,
+}
+
+/// Parse a leaf value the way the histogram buckets it.
+fn numeric_value(v: &str) -> Option<i64> {
+    v.trim().parse::<i64>().ok()
+}
+
+impl LeafHistogram {
+    /// The bucket a value in `lo..=hi` falls into.
+    fn bucket_of(&self, v: i64) -> usize {
+        debug_assert!(self.lo <= v && v <= self.hi);
+        let span = self.hi as i128 - self.lo as i128 + 1;
+        ((v as i128 - self.lo as i128) * HIST_BUCKETS as i128 / span) as usize
+    }
+
+    /// Build from scratch over the leaf's current values.
+    pub fn build<'a>(values: impl Iterator<Item = &'a str> + Clone) -> LeafHistogram {
+        let mut h = LeafHistogram::default();
+        let mut bounds: Option<(i64, i64)> = None;
+        for v in values.clone() {
+            match numeric_value(v) {
+                Some(n) => {
+                    let (lo, hi) = bounds.get_or_insert((n, n));
+                    *lo = (*lo).min(n);
+                    *hi = (*hi).max(n);
+                }
+                None => h.non_numeric += 1,
+            }
+        }
+        let Some((lo, hi)) = bounds else { return h };
+        h.lo = lo;
+        h.hi = hi;
+        for v in values {
+            if let Some(n) = numeric_value(v) {
+                h.buckets[h.bucket_of(n)] += 1;
+                h.numeric += 1;
+            }
+        }
+        h
+    }
+
+    /// Record one inserted value. Returns `false` when the insert moves
+    /// the bounds and the caller must rescan (bucket boundaries shift).
+    #[must_use]
+    fn add(&mut self, v: &str) -> bool {
+        match numeric_value(v) {
+            None => {
+                self.non_numeric += 1;
+                true
+            }
+            Some(n) if self.numeric == 0 => {
+                self.lo = n;
+                self.hi = n;
+                self.buckets[self.bucket_of(n)] += 1;
+                self.numeric = 1;
+                true
+            }
+            Some(n) if self.lo <= n && n <= self.hi => {
+                self.buckets[self.bucket_of(n)] += 1;
+                self.numeric += 1;
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Record one removed value. Returns `false` when the removal may
+    /// move a bound (the value sat on `lo` or `hi`) — rescan then.
+    #[must_use]
+    fn remove(&mut self, v: &str) -> bool {
+        match numeric_value(v) {
+            None => {
+                self.non_numeric = self.non_numeric.saturating_sub(1);
+                true
+            }
+            Some(n) if self.lo < n && n < self.hi => {
+                let b = self.bucket_of(n);
+                self.buckets[b] = self.buckets[b].saturating_sub(1);
+                self.numeric = self.numeric.saturating_sub(1);
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Total observed values.
+    pub fn total(&self) -> u64 {
+        self.numeric + self.non_numeric
+    }
+
+    /// Estimated fraction of values that are numeric and `<= v`
+    /// (uniform spread assumed inside the boundary bucket).
+    pub fn fraction_le(&self, v: i64) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        if self.numeric == 0 || v < self.lo {
+            return 0.0;
+        }
+        if v >= self.hi {
+            return self.numeric as f64 / self.total() as f64;
+        }
+        let span = self.hi as i128 - self.lo as i128 + 1;
+        let b = self.bucket_of(v);
+        let mut below = 0.0;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            if i < b {
+                below += count as f64;
+            }
+        }
+        // Within bucket `b`: values `bucket_lo..=v` out of its width.
+        let bucket_lo = self.lo as i128 + (b as i128 * span).div_euclid(HIST_BUCKETS as i128);
+        let bucket_hi =
+            self.lo as i128 + ((b as i128 + 1) * span).div_euclid(HIST_BUCKETS as i128) - 1;
+        let width = (bucket_hi - bucket_lo + 1).max(1) as f64;
+        let inside = (v as i128 - bucket_lo + 1).max(0) as f64;
+        below += self.buckets[b] as f64 * (inside / width).min(1.0);
+        below / self.total() as f64
+    }
+
+    /// Estimated fraction of values numerically equal to `v`.
+    pub fn fraction_eq(&self, v: i64) -> f64 {
+        if self.total() == 0 || self.numeric == 0 || v < self.lo || v > self.hi {
+            return 0.0;
+        }
+        let span = (self.hi as i128 - self.lo as i128 + 1) as f64;
+        let distinct_per_bucket = (span / HIST_BUCKETS as f64).max(1.0);
+        (self.buckets[self.bucket_of(v)] as f64 / distinct_per_bucket) / self.total() as f64
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.lo as u64);
+        w.u64(self.hi as u64);
+        for b in &self.buckets {
+            w.u64(*b);
+        }
+        w.u64(self.numeric);
+        w.u64(self.non_numeric);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<LeafHistogram, StorageError> {
+        let lo = r.u64()? as i64;
+        let hi = r.u64()? as i64;
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for b in &mut buckets {
+            *b = r.u64()?;
+        }
+        let numeric = r.u64()?;
+        let non_numeric = r.u64()?;
+        if numeric > 0 && lo > hi {
+            return Err(StorageError::corrupt(format!("stats: histogram bounds {lo} > {hi}")));
+        }
+        Ok(LeafHistogram { lo, hi, buckets, numeric, non_numeric })
+    }
+}
+
+/// Statistics for one schema node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeStats {
+    /// Number of descriptors of this schema node (its list length).
+    pub card: u64,
+    /// Total children + attributes across all instances of this node —
+    /// `fanout / card` is the average per-instance fanout.
+    pub fanout: u64,
+    /// Value histogram, kept for text and attribute schema nodes.
+    pub hist: Option<LeafHistogram>,
+}
+
+/// The per-document statistics catalog: one [`NodeStats`] entry per
+/// descriptive-schema node, plus the storage tick it is current at.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CatalogStats {
+    nodes: Vec<NodeStats>,
+    /// The [`crate::XmlStorage`] mutation tick this catalog reflects.
+    generation: u64,
+}
+
+static EMPTY_NODE: NodeStats = NodeStats { card: 0, fanout: 0, hist: None };
+
+impl CatalogStats {
+    /// Stats for one schema node (zeros for ids the catalog has not
+    /// seen — possible only for schema nodes with no instances).
+    pub fn node(&self, sn: SchemaNodeId) -> &NodeStats {
+        self.nodes.get(sn.index()).unwrap_or(&EMPTY_NODE)
+    }
+
+    /// Cardinality of one schema node.
+    pub fn cardinality(&self, sn: SchemaNodeId) -> u64 {
+        self.node(sn).card
+    }
+
+    /// Total descriptors across all schema nodes.
+    pub fn total_nodes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.card).sum()
+    }
+
+    /// The storage mutation tick the catalog was last maintained at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Is the catalog current for a storage at `tick`?
+    pub fn is_current(&self, tick: u64) -> bool {
+        self.generation == tick
+    }
+
+    /// Panic unless current — same loud-staleness discipline as
+    /// `xdm::DocumentOrderIndex::assert_current`.
+    pub fn assert_current(&self, tick: u64) {
+        assert!(
+            self.is_current(tick),
+            "stale catalog statistics: maintained at storage tick {} but the store is now at \
+             tick {tick}; re-plan after mutating",
+            self.generation,
+        );
+    }
+
+    pub(crate) fn stamp(&mut self, tick: u64) {
+        self.generation = tick;
+    }
+
+    /// Grow the per-node vec to cover `len` schema nodes (new entries
+    /// all-zero, matching what a rebuild derives for instance-less
+    /// schema nodes).
+    pub(crate) fn ensure_len(&mut self, len: usize) {
+        if self.nodes.len() < len {
+            self.nodes.resize(len, NodeStats::default());
+        }
+    }
+
+    fn entry(&mut self, sn: SchemaNodeId) -> &mut NodeStats {
+        if self.nodes.len() <= sn.index() {
+            self.nodes.resize(sn.index() + 1, NodeStats::default());
+        }
+        &mut self.nodes[sn.index()]
+    }
+
+    /// One descriptor added. `value` is the leaf text for text/attribute
+    /// nodes. Returns `false` when the node's histogram needs a rescan.
+    #[must_use]
+    pub(crate) fn on_add(
+        &mut self,
+        sn: SchemaNodeId,
+        parent_sn: Option<SchemaNodeId>,
+        value: Option<&str>,
+    ) -> bool {
+        if let Some(p) = parent_sn {
+            self.entry(p).fanout += 1;
+        }
+        let e = self.entry(sn);
+        e.card += 1;
+        match value {
+            Some(v) => e.hist.get_or_insert_with(LeafHistogram::default).add(v),
+            None => true,
+        }
+    }
+
+    /// One descriptor removed (inverse of [`CatalogStats::on_add`]).
+    #[must_use]
+    pub(crate) fn on_remove(
+        &mut self,
+        sn: SchemaNodeId,
+        parent_sn: Option<SchemaNodeId>,
+        value: Option<&str>,
+    ) -> bool {
+        if let Some(p) = parent_sn {
+            let e = self.entry(p);
+            e.fanout = e.fanout.saturating_sub(1);
+        }
+        let e = self.entry(sn);
+        e.card = e.card.saturating_sub(1);
+        match (value, &mut e.hist) {
+            (Some(v), Some(h)) => h.remove(v),
+            (Some(_), None) => false,
+            (None, _) => true,
+        }
+    }
+
+    /// One leaf value rewritten in place. Returns `false` on rescan.
+    #[must_use]
+    pub(crate) fn on_set_value(&mut self, sn: SchemaNodeId, old: &str, new: &str) -> bool {
+        let e = self.entry(sn);
+        let h = e.hist.get_or_insert_with(LeafHistogram::default);
+        let removed = h.remove(old);
+        removed && h.add(new)
+    }
+
+    /// Replace one node's histogram with a from-scratch build over the
+    /// leaf's current values (the rescan fallback).
+    pub(crate) fn rescan_hist<'a>(
+        &mut self,
+        sn: SchemaNodeId,
+        values: impl Iterator<Item = &'a str> + Clone,
+    ) {
+        self.entry(sn).hist = Some(LeafHistogram::build(values));
+    }
+
+    /// Construct from per-node entries (rebuild path).
+    pub(crate) fn from_nodes(nodes: Vec<NodeStats>, generation: u64) -> CatalogStats {
+        CatalogStats { nodes, generation }
+    }
+
+    /// Number of per-node entries (equals the schema length for any
+    /// catalog maintained or rebuilt against it).
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Serialize into the paged store's catalog block (format v3).
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.u32(self.nodes.len() as u32);
+        for n in &self.nodes {
+            w.u64(n.card);
+            w.u64(n.fanout);
+            match &n.hist {
+                Some(h) => {
+                    w.u8(1);
+                    h.encode(w);
+                }
+                None => w.u8(0),
+            }
+        }
+    }
+
+    /// Decode a v3 catalog's statistics section. The generation is not
+    /// persisted — the loader stamps the fresh storage's tick.
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<CatalogStats, StorageError> {
+        let n = r.u32()? as usize;
+        let mut nodes = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let card = r.u64()?;
+            let fanout = r.u64()?;
+            let hist = if r.flag()? { Some(LeafHistogram::decode(r)?) } else { None };
+            nodes.push(NodeStats { card, fanout, hist });
+        }
+        Ok(CatalogStats { nodes, generation: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_of(values: &[&str]) -> LeafHistogram {
+        LeafHistogram::build(values.iter().copied())
+    }
+
+    #[test]
+    fn build_counts_numeric_and_non_numeric() {
+        let h = hist_of(&["1", "2", "x", "100"]);
+        assert_eq!(h.numeric, 3);
+        assert_eq!(h.non_numeric, 1);
+        assert_eq!((h.lo, h.hi), (1, 100));
+        assert_eq!(h.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn incremental_add_inside_bounds_matches_rebuild() {
+        let mut h = hist_of(&["0", "100"]);
+        assert!(h.add("37"));
+        assert_eq!(h, hist_of(&["0", "100", "37"]));
+    }
+
+    #[test]
+    fn add_outside_bounds_demands_rescan() {
+        let mut h = hist_of(&["10", "20"]);
+        assert!(!h.add("5"));
+        assert!(!h.clone().add("25"));
+    }
+
+    #[test]
+    fn remove_interior_matches_rebuild_and_boundary_demands_rescan() {
+        let mut h = hist_of(&["0", "50", "100"]);
+        assert!(h.remove("50"));
+        assert_eq!(h, hist_of(&["0", "100"]));
+        let mut h = hist_of(&["0", "50", "100"]);
+        assert!(!h.remove("0"));
+        assert!(!h.remove("100"));
+    }
+
+    #[test]
+    fn single_value_histogram_is_exact() {
+        let h = hist_of(&["7"]);
+        assert_eq!((h.lo, h.hi, h.numeric), (7, 7, 1));
+        assert_eq!(h.buckets[0], 1);
+    }
+
+    #[test]
+    fn fraction_estimates_are_sane() {
+        let values: Vec<String> = (0..80).map(|i| i.to_string()).collect();
+        let h = LeafHistogram::build(values.iter().map(String::as_str));
+        assert!((h.fraction_le(79) - 1.0).abs() < 1e-9);
+        let half = h.fraction_le(39);
+        assert!((half - 0.5).abs() < 0.1, "fraction_le(39) = {half}");
+        assert!(h.fraction_eq(40) > 0.0);
+        assert_eq!(h.fraction_eq(200), 0.0);
+        assert_eq!(h.fraction_le(-1), 0.0);
+    }
+
+    #[test]
+    fn negative_values_bucket_consistently() {
+        let h = hist_of(&["-100", "-50", "0", "50", "100"]);
+        assert_eq!((h.lo, h.hi), (-100, 100));
+        assert_eq!(h.buckets.iter().sum::<u64>(), 5);
+        let mut inc = hist_of(&["-100", "100"]);
+        assert!(inc.add("-50"));
+        assert!(inc.add("0"));
+        assert!(inc.add("50"));
+        assert_eq!(inc, h);
+    }
+
+    #[test]
+    fn stats_encode_decode_round_trip() {
+        let mut s = CatalogStats::default();
+        assert!(s.on_add(SchemaNodeId(0), None, None));
+        assert!(s.on_add(SchemaNodeId(1), Some(SchemaNodeId(0)), None));
+        assert!(s.on_add(SchemaNodeId(2), Some(SchemaNodeId(1)), Some("42")));
+        s.stamp(9);
+        let mut w = Writer::new();
+        s.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "stats");
+        let mut d = CatalogStats::decode(&mut r).expect("decodes");
+        r.finish().expect("no trailing bytes");
+        d.stamp(9);
+        assert_eq!(d, s);
+    }
+
+    #[test]
+    fn stale_stats_panic_matches_doc_order_discipline() {
+        let mut s = CatalogStats::default();
+        s.stamp(3);
+        s.assert_current(3);
+        let err = std::panic::catch_unwind(|| s.assert_current(4)).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("stale catalog statistics"), "panic message: {msg}");
+    }
+}

@@ -10,6 +10,7 @@ use crate::blocks::{BlockTable, DescPtr, NodeDescriptor};
 use crate::descriptive::{DescriptiveSchema, SchemaNodeId};
 use crate::error::StorageError;
 use crate::nid::{between_components, ComponentAllocator, Nid};
+use crate::stats::{CatalogStats, LeafHistogram, NodeStats};
 
 /// The physical representation of one XML document, per §9: descriptive
 /// schema as entry point, per-schema-node block lists of node
@@ -25,6 +26,9 @@ pub struct XmlStorage {
     /// update. Proposition 1 says this stays zero; the counter exists so
     /// tests and benches can assert it.
     relabels: u64,
+    /// The statistics catalog, maintained incrementally by every
+    /// mutator and stamped with the mutation tick (see [`crate::stats`]).
+    stats: CatalogStats,
 }
 
 /// Default block capacity (descriptors per block).
@@ -58,6 +62,7 @@ impl XmlStorage {
             capacity,
             base_uri: store.base_uri(doc).map(str::to_string),
             relabels: 0,
+            stats: CatalogStats::default(),
         };
         let doc_sn = mapping[doc.index()].expect("doc mapped");
         let root_id = storage.table.mint_ptr();
@@ -78,10 +83,13 @@ impl XmlStorage {
         )?;
         storage.root = root_ptr;
         storage.build_children(store, doc, root_ptr, &mapping)?;
+        storage.stats = storage.rebuild_stats();
         Ok(storage)
     }
 
     /// Reassemble a storage from decoded parts ([`crate::paged`] load).
+    /// A `None` statistics catalog (pre-v3 files) is rebuilt from
+    /// scratch; a decoded one is re-stamped to the fresh table's tick.
     pub(crate) fn from_parts(
         schema: DescriptiveSchema,
         table: BlockTable,
@@ -89,8 +97,25 @@ impl XmlStorage {
         capacity: u16,
         base_uri: Option<String>,
         relabels: u64,
+        stats: Option<CatalogStats>,
     ) -> XmlStorage {
-        XmlStorage { schema, table, root, capacity, base_uri, relabels }
+        let mut xs = XmlStorage {
+            schema,
+            table,
+            root,
+            capacity,
+            base_uri,
+            relabels,
+            stats: CatalogStats::default(),
+        };
+        xs.stats = match stats {
+            Some(mut s) => {
+                s.stamp(xs.table.tick);
+                s
+            }
+            None => xs.rebuild_stats(),
+        };
+        xs
     }
 
     fn fresh_child_array(&self, sn: SchemaNodeId) -> Box<[Option<DescPtr>]> {
@@ -258,6 +283,86 @@ impl XmlStorage {
     /// it persisted at and later writes only the state dirtied past it.
     pub fn tick(&self) -> u64 {
         self.table.tick
+    }
+
+    /// The statistics catalog (always current: every mutator maintains
+    /// it and stamps it with the post-mutation tick).
+    pub fn stats(&self) -> &CatalogStats {
+        &self.stats
+    }
+
+    /// Build the statistics catalog from scratch by scanning every
+    /// descriptor list — the ground truth the incrementally maintained
+    /// catalog must equal after any mutation sequence.
+    pub fn rebuild_stats(&self) -> CatalogStats {
+        let mut nodes = vec![NodeStats::default(); self.schema.len()];
+        for sn in self.schema.ids() {
+            let list = self.scan(sn);
+            nodes[sn.index()].card = list.len() as u64;
+            if matches!(self.schema.node(sn).kind, NodeKind::Text | NodeKind::Attribute) {
+                let values: Vec<&str> = list.iter().map(|&p| self.leaf_value(p)).collect();
+                nodes[sn.index()].hist = Some(LeafHistogram::build(values.iter().copied()));
+            }
+            for &p in &list {
+                if let Some(parent) = self.table.desc(p).parent {
+                    nodes[self.schema_node_of(parent).index()].fanout += 1;
+                }
+            }
+        }
+        CatalogStats::from_nodes(nodes, self.tick())
+    }
+
+    /// The raw stored value of a leaf descriptor (what the histograms
+    /// bucket): its `text` field, or `""` when absent.
+    fn leaf_value(&self, p: DescPtr) -> &str {
+        self.table.desc(p).text.as_deref().unwrap_or("")
+    }
+
+    /// Record a freshly placed descriptor in the statistics catalog,
+    /// falling back to a one-node histogram rescan when the insert
+    /// moved the value bounds.
+    fn stats_on_add(&mut self, p: DescPtr) {
+        self.stats.ensure_len(self.schema.len());
+        let sn = self.schema_node_of(p);
+        let parent_sn = self.table.desc(p).parent.map(|q| self.schema_node_of(q));
+        let value = match self.kind(p) {
+            NodeKind::Text | NodeKind::Attribute => Some(self.leaf_value(p).to_string()),
+            _ => None,
+        };
+        if !self.stats.on_add(sn, parent_sn, value.as_deref()) {
+            self.stats_rescan_hist(sn);
+        }
+    }
+
+    /// Record an about-to-be-freed descriptor. Returns the schema node
+    /// whose histogram must be rescanned *after* the slot is freed (a
+    /// rescan before would still see the doomed value).
+    #[must_use]
+    fn stats_on_remove(&mut self, p: DescPtr) -> Option<SchemaNodeId> {
+        let sn = self.schema_node_of(p);
+        let parent_sn = self.table.desc(p).parent.map(|q| self.schema_node_of(q));
+        let value = match self.kind(p) {
+            NodeKind::Text | NodeKind::Attribute => Some(self.leaf_value(p).to_string()),
+            _ => None,
+        };
+        if self.stats.on_remove(sn, parent_sn, value.as_deref()) {
+            None
+        } else {
+            Some(sn)
+        }
+    }
+
+    /// Rebuild one schema node's histogram over its current values.
+    fn stats_rescan_hist(&mut self, sn: SchemaNodeId) {
+        let values: Vec<String> =
+            self.scan(sn).iter().map(|&q| self.leaf_value(q).to_string()).collect();
+        self.stats.rescan_hist(sn, values.iter().map(String::as_str));
+    }
+
+    /// Stamp the catalog with the current mutation tick — the last line
+    /// of every public mutator.
+    fn stats_stamp(&mut self) {
+        self.stats.stamp(self.table.tick);
     }
 
     pub(crate) fn table(&self) -> &BlockTable {
@@ -540,6 +645,8 @@ impl XmlStorage {
         }
         // Maintain the parent's first-child pointer for this schema child.
         self.refresh_first_child(parent, sn, ptr)?;
+        self.stats_on_add(ptr);
+        self.stats_stamp();
         Ok(ptr)
     }
 
@@ -556,7 +663,12 @@ impl XmlStorage {
         let parent_sn = self.schema_node_of(parent);
         let sn = self.ensure_schema_child(parent_sn, Some(name.to_string()), NodeKind::Attribute);
         if let Some(existing) = self.attribute_named(parent, name) {
+            let old = self.leaf_value(existing).to_string();
             self.table.desc_mut(existing).text = Some(value.to_string());
+            if !self.stats.on_set_value(sn, &old, value) {
+                self.stats_rescan_hist(sn);
+            }
+            self.stats_stamp();
             return Ok(existing);
         }
         // Attributes precede children: label below the first child, after
@@ -582,6 +694,8 @@ impl XmlStorage {
         };
         let ptr = self.place_ordered(sn, desc)?;
         self.refresh_first_child(parent, sn, ptr)?;
+        self.stats_on_add(ptr);
+        self.stats_stamp();
         Ok(ptr)
     }
 
@@ -599,7 +713,14 @@ impl XmlStorage {
         if !matches!(self.kind(p), NodeKind::Text | NodeKind::Attribute) {
             return Err(StorageError::corrupt(format!("{p}: set_text on a non-text node")));
         }
-        self.table.desc_mut(p).text = Some(value.into());
+        let sn = self.schema_node_of(p);
+        let old = self.leaf_value(p).to_string();
+        let new = value.into();
+        self.table.desc_mut(p).text = Some(new.clone());
+        if !self.stats.on_set_value(sn, &old, &new) {
+            self.stats_rescan_hist(sn);
+        }
+        self.stats_stamp();
         Ok(())
     }
 
@@ -633,7 +754,13 @@ impl XmlStorage {
             let replacement = desc.right_sibling.filter(|&r| self.schema_node_of(r) == sn);
             self.set_first_child_entry(parent, sn, p, replacement);
         }
-        self.free_slot(p)
+        let rescan = self.stats_on_remove(p);
+        self.free_slot(p)?;
+        if let Some(sn) = rescan {
+            self.stats_rescan_hist(sn);
+        }
+        self.stats_stamp();
+        Ok(())
     }
 
     /// Delete a leaf (attribute or already-childless node).
@@ -643,7 +770,13 @@ impl XmlStorage {
             let sn = self.schema_node_of(p);
             self.set_first_child_entry(parent, sn, p, None);
         }
-        self.free_slot(p)
+        let rescan = self.stats_on_remove(p);
+        self.free_slot(p)?;
+        if let Some(sn) = rescan {
+            self.stats_rescan_hist(sn);
+        }
+        self.stats_stamp();
+        Ok(())
     }
 
     fn set_first_child_entry(
@@ -930,6 +1063,19 @@ impl XmlStorage {
                     return Some(format!("sibling chain broken at {}", w[0]));
                 }
             }
+        }
+        // The incrementally maintained statistics equal a from-scratch
+        // rebuild (the planner's cost model depends on this).
+        let rebuilt = self.rebuild_stats();
+        if self.stats != rebuilt {
+            return Some("catalog statistics diverge from a from-scratch rebuild".to_string());
+        }
+        if !self.stats.is_current(self.table.tick) {
+            return Some(format!(
+                "catalog statistics stamped at tick {} but the store is at tick {}",
+                self.stats.generation(),
+                self.table.tick
+            ));
         }
         None
     }

@@ -95,7 +95,10 @@ impl TreeAccess for &XmlStorage {
     }
 }
 
-fn test_matches<T: TreeAccess>(tree: &T, n: T::Node, axis: Axis, test: &NodeTest) -> bool {
+/// Does node `n` pass `test` when reached over `axis`? (The axis
+/// matters: the principal node kind of `attribute` is attributes, of
+/// everything else elements.)
+pub fn test_matches<T: TreeAccess>(tree: &T, n: T::Node, axis: Axis, test: &NodeTest) -> bool {
     let kind = tree.kind(n);
     match test {
         NodeTest::Node => true,
@@ -114,7 +117,9 @@ fn test_matches<T: TreeAccess>(tree: &T, n: T::Node, axis: Axis, test: &NodeTest
     }
 }
 
-fn axis_candidates<T: TreeAccess>(tree: &T, n: T::Node, axis: Axis) -> Vec<T::Node> {
+/// All nodes reachable from `n` over `axis`, in document order (the
+/// untested, unpredicated candidate set a step filters).
+pub fn axis_candidates<T: TreeAccess>(tree: &T, n: T::Node, axis: Axis) -> Vec<T::Node> {
     fn walk<T: TreeAccess>(tree: &T, n: T::Node, out: &mut Vec<T::Node>) {
         out.push(n);
         for c in tree.children(n) {
@@ -186,7 +191,7 @@ fn axis_candidates<T: TreeAccess>(tree: &T, n: T::Node, axis: Axis) -> Vec<T::No
 /// Evaluate one step from one context node (before predicates the
 /// candidates are in document order, which positional predicates rely
 /// on).
-fn eval_step<T: TreeAccess>(tree: &T, n: T::Node, step: &Step) -> Vec<T::Node> {
+pub fn eval_step<T: TreeAccess>(tree: &T, n: T::Node, step: &Step) -> Vec<T::Node> {
     let mut out: Vec<T::Node> = axis_candidates(tree, n, step.axis)
         .into_iter()
         .filter(|&c| test_matches(tree, c, step.axis, &step.test))
@@ -197,7 +202,13 @@ fn eval_step<T: TreeAccess>(tree: &T, n: T::Node, step: &Step) -> Vec<T::Node> {
     out
 }
 
-fn apply_predicate<T: TreeAccess>(tree: &T, nodes: Vec<T::Node>, pred: &Predicate) -> Vec<T::Node> {
+/// Filter a per-context candidate list (already in document order)
+/// through one predicate — positional predicates index that order.
+pub fn apply_predicate<T: TreeAccess>(
+    tree: &T,
+    nodes: Vec<T::Node>,
+    pred: &Predicate,
+) -> Vec<T::Node> {
     match pred {
         Predicate::Position(k) => {
             let k = *k as usize;

@@ -37,5 +37,8 @@ mod eval;
 mod parser;
 
 pub use ast::{Axis, CompareOp, NodeTest, Path, Predicate, Step};
-pub use eval::{eval_guided, eval_naive, TreeAccess, XdmTree};
+pub use eval::{
+    apply_predicate, axis_candidates, eval_guided, eval_naive, eval_step, test_matches, TreeAccess,
+    XdmTree,
+};
 pub use parser::{parse, XPathError};

@@ -40,6 +40,7 @@
 pub mod ast;
 mod eval;
 mod parser;
+pub mod plan;
 pub mod update;
 
 pub use ast::{
@@ -47,6 +48,7 @@ pub use ast::{
 };
 pub use eval::{evaluate, nodes_to_string};
 pub use parser::{parse_query, XQueryError};
+pub use plan::{plan, plan_and_execute, PlanExecution, PlanOptions, QueryPlan, StepPlan, Strategy};
 pub use update::{parse_update, UpdateExpr};
 
 #[cfg(test)]

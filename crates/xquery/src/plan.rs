@@ -1,0 +1,941 @@
+//! Cost-based query planning over the DataGuide + catalog statistics.
+//!
+//! Every XPath step can be executed by (at least) one of three physical
+//! operators, and they are *language-equivalent* — the same step
+//! returns the same node set whichever operator runs (Fletcher et al.'s
+//! expressiveness results ground why this must hold, and the
+//! differential plan-equivalence harness proves it on this
+//! implementation):
+//!
+//! * **guided descent** ([`Strategy::Guided`]) — navigate from each
+//!   context node through the §5 accessors (today's evaluator path);
+//!   always applicable;
+//! * **Dewey-range scan** ([`Strategy::Dewey`]) — for `descendant` /
+//!   `descendant-or-self`: binary-search the document-order index for
+//!   the context node, then scan forward while the §9.3 label says
+//!   "still inside the subtree" (subtrees are contiguous in document
+//!   order);
+//! * **postings probe** ([`Strategy::Postings`]) — for selective name
+//!   tests: the element-name → descriptor-block postings index (merged
+//!   descriptor scans of the name's schema nodes) filtered per context
+//!   by an O(label) parent/ancestor check.
+//!
+//! The planner picks per step using estimates from the storage's
+//! [`CatalogStats`] — cardinalities, fanouts, and leaf-value histograms
+//! — and the same work-unit constants the executor counts with, so an
+//! estimated cost and an actual cost are in one currency and `EXPLAIN`
+//! can print them side by side. A plan carries the statistics
+//! generation it was costed against and refuses (loudly) to execute
+//! against a mutated store — the same staleness discipline as
+//! `xdm::DocumentOrderIndex`.
+
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fmt::Write as _;
+
+use storage::{CatalogStats, DescPtr, DescriptiveSchema, SchemaNodeId, XmlStorage};
+use xdm::NodeKind;
+use xpath::{
+    apply_predicate, axis_candidates, test_matches, Axis, CompareOp, NodeTest, Path, Predicate,
+    Step,
+};
+
+/// Work units charged per node visited by pointer navigation (block
+/// hops through parent/child/sibling pointers).
+pub const W_NAV: u64 = 10;
+/// Work units charged per node touched by a sequential document-order
+/// scan (the Dewey-range run).
+pub const W_SCAN: u64 = 4;
+/// Work units charged per postings entry checked with an O(label)
+/// parent/ancestor test.
+pub const W_CHECK: u64 = 6;
+/// Work units charged per binary-search probe step.
+pub const W_PROBE: u64 = 2;
+/// Work units charged per node emitted into a step's result.
+pub const W_OUT: u64 = 1;
+/// Work units charged per node when building a shared structure (the
+/// document-order array, a name's postings list); charged once per
+/// execution per structure.
+pub const W_BUILD: u64 = 1;
+
+/// A physical operator for one XPath step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Navigate from each context node through the accessors.
+    Guided,
+    /// Binary-search + range-scan the document-order index.
+    Dewey,
+    /// Probe the element-name postings index.
+    Postings,
+}
+
+impl Strategy {
+    /// All strategies, in display order.
+    pub const ALL: [Strategy; 3] = [Strategy::Guided, Strategy::Dewey, Strategy::Postings];
+
+    /// Stable lower-case name (used by `EXPLAIN` and the CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Guided => "guided",
+            Strategy::Dewey => "dewey-range",
+            Strategy::Postings => "postings",
+        }
+    }
+
+    /// Parse a [`Strategy::name`] back (CLI / server surface).
+    pub fn from_name(s: &str) -> Option<Strategy> {
+        Strategy::ALL.into_iter().find(|st| st.name() == s)
+    }
+
+    /// Can this operator execute `step` at all? Inapplicable forced
+    /// strategies fall back to [`Strategy::Guided`], the universal one.
+    pub fn applicable(self, step: &Step) -> bool {
+        match self {
+            Strategy::Guided => true,
+            Strategy::Dewey => {
+                matches!(step.axis, Axis::Descendant | Axis::DescendantOrSelf)
+            }
+            Strategy::Postings => {
+                matches!(step.test, NodeTest::Name(_))
+                    && matches!(
+                        step.axis,
+                        Axis::Child | Axis::Attribute | Axis::Descendant | Axis::DescendantOrSelf
+                    )
+            }
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Knobs for [`plan`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanOptions {
+    /// Force every step onto one strategy (benchmarks, the differential
+    /// harness); steps the strategy cannot execute fall back to guided.
+    pub force: Option<Strategy>,
+    /// The caller's static analysis (xsanalyze's `PathBackend`) proved
+    /// the whole path selects nothing — the plan prunes every step and
+    /// executes zero operators.
+    pub statically_empty: bool,
+}
+
+/// The planned execution of one step.
+#[derive(Debug, Clone)]
+pub struct StepPlan {
+    /// The step in XPath syntax.
+    pub display: String,
+    /// The chosen physical operator.
+    pub strategy: Strategy,
+    /// Estimated result cardinality (after predicates).
+    pub est_rows: f64,
+    /// Estimated cost in work units.
+    pub est_cost: f64,
+}
+
+/// A costed physical plan for one XPath path over one storage.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    path: Path,
+    steps: Vec<StepPlan>,
+    /// First step index proven empty (statically by the caller, or
+    /// schema-impossible by the DataGuide); everything from it on
+    /// executes zero operators.
+    pruned_from: Option<usize>,
+    /// The statistics generation (= storage tick) this plan was costed
+    /// against.
+    generation: u64,
+    est_total: f64,
+}
+
+/// What actually happened when a plan ran.
+#[derive(Debug, Clone)]
+pub struct PlanExecution {
+    /// The result node set (identical to the naive evaluator's).
+    pub nodes: Vec<DescPtr>,
+    /// Total work units spent.
+    pub work: u64,
+    /// Actual rows out of each step.
+    pub step_rows: Vec<u64>,
+    /// Actual work units spent in each step.
+    pub step_work: Vec<u64>,
+}
+
+impl QueryPlan {
+    /// The per-step plans.
+    pub fn steps(&self) -> &[StepPlan] {
+        &self.steps
+    }
+
+    /// The statistics generation (storage tick) the plan is valid for.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// First pruned step index, if the plan is provably empty.
+    pub fn pruned_from(&self) -> Option<usize> {
+        self.pruned_from
+    }
+
+    /// Total estimated cost in work units.
+    pub fn est_total(&self) -> f64 {
+        self.est_total
+    }
+
+    /// Render the plan — with estimated vs. actual cardinalities when an
+    /// execution is supplied.
+    pub fn explain(&self, exec: Option<&PlanExecution>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan {} @ stats generation {} (est cost {:.0})",
+            self.path, self.generation, self.est_total
+        );
+        if let Some(i) = self.pruned_from {
+            let _ = writeln!(
+                out,
+                "  pruned from step {}: statically empty, zero operators execute",
+                i + 1
+            );
+        }
+        for (i, sp) in self.steps.iter().enumerate() {
+            let pruned = self.pruned_from.is_some_and(|p| i >= p);
+            let _ = write!(
+                out,
+                "  step {}: {:<24} strategy={:<11} est_rows={:<8.1}",
+                i + 1,
+                sp.display,
+                if pruned { "pruned" } else { sp.strategy.name() },
+                sp.est_rows,
+            );
+            match exec {
+                Some(e) => {
+                    let _ = writeln!(
+                        out,
+                        " est_cost={:<8.0} actual_rows={:<8} actual_work={}",
+                        sp.est_cost,
+                        e.step_rows.get(i).copied().unwrap_or(0),
+                        e.step_work.get(i).copied().unwrap_or(0),
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, " est_cost={:.0}", sp.est_cost);
+                }
+            }
+        }
+        if let Some(e) = exec {
+            let _ = writeln!(out, "  total: rows={} work={}", e.nodes.len(), e.work);
+        }
+        out
+    }
+
+    /// Run the plan. The result node set is identical to
+    /// [`xpath::eval_naive`] over the same storage (the differential
+    /// harness proves it per strategy).
+    ///
+    /// # Panics
+    /// When the storage has been mutated since the plan was costed —
+    /// stale cardinalities must never drive an execution silently.
+    pub fn execute(&self, storage: &XmlStorage) -> PlanExecution {
+        assert!(
+            self.generation == storage.tick(),
+            "stale query plan: planned against catalog statistics at tick {} but the store is \
+             now at tick {}; re-plan after mutating",
+            self.generation,
+            storage.tick(),
+        );
+        let mut exec = PlanExecution {
+            nodes: Vec::new(),
+            work: 0,
+            step_rows: vec![0; self.steps.len()],
+            step_work: vec![0; self.steps.len()],
+        };
+        if self.pruned_from.is_some() {
+            return exec; // provably empty: zero operators execute
+        }
+        let mut state = ExecState { storage, doc_order: None, postings: HashMap::new(), work: 0 };
+        let tree = &storage;
+        let mut current: Vec<DescPtr> = vec![storage.root()];
+        for (i, (step, sp)) in self.path.steps.iter().zip(&self.steps).enumerate() {
+            let before = state.work;
+            let mut next: Vec<DescPtr> = Vec::new();
+            for &ctx in &current {
+                let mut cands = match sp.strategy {
+                    Strategy::Guided => state.guided(ctx, step),
+                    Strategy::Dewey => state.dewey(ctx, step),
+                    Strategy::Postings => state.postings(ctx, step),
+                };
+                for pred in &step.predicates {
+                    cands = apply_predicate(tree, cands, pred);
+                }
+                // Output is charged after predicate filtering, matching
+                // the estimate's post-predicate `est_rows`.
+                state.work += W_OUT * cands.len() as u64;
+                for m in cands {
+                    if !next.contains(&m) {
+                        next.push(m);
+                    }
+                }
+            }
+            exec.step_rows[i] = next.len() as u64;
+            exec.step_work[i] = state.work - before;
+            current = next;
+        }
+        exec.work = state.work;
+        exec.nodes = current;
+        exec
+    }
+}
+
+// ------------------------------------------------------------- executor
+
+struct ExecState<'a> {
+    storage: &'a XmlStorage,
+    /// Every descriptor in global document order (built lazily on the
+    /// first Dewey-range step; charged [`W_BUILD`] per node once).
+    doc_order: Option<Vec<DescPtr>>,
+    /// name → merged doc-ordered descriptor list (lazily per name; the
+    /// key's flag distinguishes attribute from element postings).
+    postings: HashMap<(String, bool), Vec<DescPtr>>,
+    work: u64,
+}
+
+impl ExecState<'_> {
+    /// Guided descent: the naive evaluator's candidates, charged per
+    /// navigated node.
+    fn guided(&mut self, ctx: DescPtr, step: &Step) -> Vec<DescPtr> {
+        let tree = &self.storage;
+        let cands = axis_candidates(tree, ctx, step.axis);
+        self.work += W_NAV * cands.len() as u64;
+        cands.into_iter().filter(|&c| test_matches(tree, c, step.axis, &step.test)).collect()
+    }
+
+    fn ensure_doc_order(&mut self) {
+        if self.doc_order.is_none() {
+            let st = self.storage;
+            let mut all: Vec<DescPtr> = st.schema().ids().flat_map(|sn| st.scan(sn)).collect();
+            all.sort_by(|a, b| st.cmp_doc_order(*a, *b));
+            self.work += W_BUILD * all.len() as u64;
+            self.doc_order = Some(all);
+        }
+    }
+
+    /// Dewey-range scan: binary-search the document-order array for the
+    /// context node, then scan forward while the label says "inside the
+    /// subtree" (§9.3: subtrees are contiguous in document order).
+    fn dewey(&mut self, ctx: DescPtr, step: &Step) -> Vec<DescPtr> {
+        self.ensure_doc_order();
+        let st = self.storage;
+        let Some(arr) = &self.doc_order else { return Vec::new() };
+        let idx = arr.partition_point(|&x| st.cmp_doc_order(x, ctx) == Ordering::Less);
+        self.work += W_PROBE * u64::from(usize::BITS - arr.len().leading_zeros());
+        let mut out = Vec::new();
+        let mut scanned = 0u64;
+        for &x in &arr[idx..] {
+            if x != ctx && !st.is_ancestor(ctx, x) {
+                break;
+            }
+            scanned += 1;
+            if x == ctx && step.axis == Axis::Descendant {
+                continue; // descendant excludes self
+            }
+            if st.kind(x) == NodeKind::Attribute {
+                continue; // attributes are not on the descendant axes
+            }
+            if test_matches(&st, x, step.axis, &step.test) {
+                out.push(x);
+            }
+        }
+        self.work += W_SCAN * scanned;
+        out
+    }
+
+    /// Postings probe: the name's merged descriptor list filtered per
+    /// context node by an O(label) parent/ancestor check.
+    fn postings(&mut self, ctx: DescPtr, step: &Step) -> Vec<DescPtr> {
+        let NodeTest::Name(name) = &step.test else {
+            return self.guided(ctx, step); // unreachable for applicable steps
+        };
+        let want_attr = step.axis == Axis::Attribute;
+        let key = (name.clone(), want_attr);
+        if !self.postings.contains_key(&key) {
+            let st = self.storage;
+            let want_kind = if want_attr { NodeKind::Attribute } else { NodeKind::Element };
+            let mut list: Vec<DescPtr> = st
+                .schema()
+                .ids()
+                .filter(|&sn| {
+                    let n = st.schema().node(sn);
+                    n.kind == want_kind && n.name.as_deref() == Some(name.as_str())
+                })
+                .flat_map(|sn| st.scan(sn))
+                .collect();
+            list.sort_by(|a, b| st.cmp_doc_order(*a, *b));
+            self.work += W_BUILD * list.len() as u64;
+            self.postings.insert(key.clone(), list);
+        }
+        let st = self.storage;
+        let (out, checked) = match self.postings.get(&key) {
+            None => (Vec::new(), 0),
+            Some(list) => {
+                let out: Vec<DescPtr> = list
+                    .iter()
+                    .copied()
+                    .filter(|&x| match step.axis {
+                        Axis::Child | Axis::Attribute => st.is_parent(ctx, x),
+                        Axis::Descendant => st.is_ancestor(ctx, x),
+                        Axis::DescendantOrSelf => x == ctx || st.is_ancestor(ctx, x),
+                        _ => false,
+                    })
+                    .collect();
+                (out, list.len() as u64)
+            }
+        };
+        self.work += W_CHECK * checked;
+        out
+    }
+}
+
+// -------------------------------------------------------------- planner
+
+/// Cost a path over a storage: choose a physical operator per step from
+/// the catalog statistics. `opts.statically_empty` (from xsanalyze's
+/// `PathBackend`) prunes the whole plan before costing; steps whose
+/// schema frontier comes up empty are pruned by the DataGuide itself.
+pub fn plan(storage: &XmlStorage, path: &Path, opts: &PlanOptions) -> QueryPlan {
+    let schema = storage.schema();
+    let stats = storage.stats();
+    stats.assert_current(storage.tick());
+    let mut pruned_from = if opts.statically_empty { Some(0) } else { None };
+    let mut steps = Vec::new();
+    let mut est_total = 0.0f64;
+    let mut frontier: Vec<SchemaNodeId> = vec![schema.root()];
+    let mut est_in = 1.0f64;
+    let mut dewey_built = false;
+    let mut postings_built: HashSet<(String, bool)> = HashSet::new();
+    for (i, step) in path.steps.iter().enumerate() {
+        let targets = step_targets(schema, &frontier, step);
+        if targets.is_empty() && pruned_from.is_none() {
+            pruned_from = Some(i);
+        }
+        let ctx_card = card_sum(stats, &frontier).max(1.0);
+        let sel_in = (est_in / ctx_card).min(1.0);
+        let mut est_rows = card_sum(stats, &targets) * sel_in;
+        for pred in &step.predicates {
+            est_rows = match predicate_selectivity(schema, stats, &targets, pred) {
+                PredSel::Fraction(f) => est_rows * f,
+                PredSel::OnePerContext => est_rows.min(est_in),
+            };
+        }
+        let ctx = CostCtx {
+            schema,
+            stats,
+            frontier: &frontier,
+            est_in,
+            sel_in,
+            est_rows,
+            dewey_built,
+            postings_built: &postings_built,
+        };
+        let mut best: Option<(Strategy, f64)> = None;
+        for s in Strategy::ALL {
+            if !s.applicable(step) {
+                continue;
+            }
+            let c = est_cost(s, step, &ctx);
+            if best.is_none_or(|(_, bc)| c < bc) {
+                best = Some((s, c));
+            }
+        }
+        let chosen = match opts.force {
+            Some(f) if f.applicable(step) => f,
+            Some(_) => Strategy::Guided,
+            None => best.map_or(Strategy::Guided, |(s, _)| s),
+        };
+        let est_cost = est_cost(chosen, step, &ctx);
+        if pruned_from.is_none() {
+            // Shared structures are only built by steps that run.
+            if chosen == Strategy::Dewey {
+                dewey_built = true;
+            }
+            if chosen == Strategy::Postings {
+                if let NodeTest::Name(n) = &step.test {
+                    postings_built.insert((n.clone(), step.axis == Axis::Attribute));
+                }
+            }
+            est_total += est_cost;
+        }
+        steps.push(StepPlan {
+            display: step.to_string(),
+            strategy: chosen,
+            // `+ 0.0` normalizes IEEE negative zero out of the display.
+            est_rows: est_rows + 0.0,
+            est_cost: est_cost + 0.0,
+        });
+        frontier = targets;
+        est_in = est_rows;
+    }
+    QueryPlan { path: path.clone(), steps, pruned_from, generation: storage.tick(), est_total }
+}
+
+/// Plan and execute in one call (the common path in `Database::query`).
+pub fn plan_and_execute(
+    storage: &XmlStorage,
+    path: &Path,
+    opts: &PlanOptions,
+) -> (QueryPlan, PlanExecution) {
+    let p = plan(storage, path, opts);
+    let e = p.execute(storage);
+    (p, e)
+}
+
+struct CostCtx<'a> {
+    schema: &'a DescriptiveSchema,
+    stats: &'a CatalogStats,
+    frontier: &'a [SchemaNodeId],
+    est_in: f64,
+    sel_in: f64,
+    est_rows: f64,
+    dewey_built: bool,
+    postings_built: &'a HashSet<(String, bool)>,
+}
+
+fn card_sum(stats: &CatalogStats, sns: &[SchemaNodeId]) -> f64 {
+    sns.iter().map(|&sn| stats.cardinality(sn) as f64).sum()
+}
+
+fn fanout_sum(stats: &CatalogStats, sns: &[SchemaNodeId]) -> f64 {
+    sns.iter().map(|&sn| stats.node(sn).fanout as f64).sum()
+}
+
+/// Estimated cost of running `step` with `strategy`, in the same work
+/// units the executor counts.
+fn est_cost(strategy: Strategy, step: &Step, ctx: &CostCtx<'_>) -> f64 {
+    let n_ctx = ctx.est_in;
+    let out_cost = ctx.est_rows * W_OUT as f64;
+    match strategy {
+        Strategy::Guided => {
+            let visited = match step.axis {
+                Axis::Child | Axis::Attribute => ctx.sel_in * fanout_sum(ctx.stats, ctx.frontier),
+                Axis::SelfAxis | Axis::Parent => n_ctx,
+                Axis::Descendant | Axis::DescendantOrSelf => {
+                    let desc = schema_descendants(ctx.schema, ctx.frontier, true, false);
+                    ctx.sel_in * card_sum(ctx.stats, &desc)
+                }
+                Axis::Ancestor | Axis::AncestorOrSelf => {
+                    n_ctx * avg_depth(ctx.schema, ctx.frontier)
+                }
+                Axis::FollowingSibling | Axis::PrecedingSibling => {
+                    let parents = parent_set(ctx.schema, ctx.frontier);
+                    ctx.sel_in * fanout_sum(ctx.stats, &parents)
+                }
+            };
+            visited * W_NAV as f64 + out_cost
+        }
+        Strategy::Dewey => {
+            let n_total = ctx.stats.total_nodes() as f64;
+            let build = if ctx.dewey_built { 0.0 } else { n_total * W_BUILD as f64 };
+            let lg = n_total.max(2.0).log2().ceil();
+            let run = schema_descendants(ctx.schema, ctx.frontier, true, true);
+            let run_card = ctx.sel_in * card_sum(ctx.stats, &run);
+            build + n_ctx * lg * W_PROBE as f64 + run_card * W_SCAN as f64 + out_cost
+        }
+        Strategy::Postings => {
+            let NodeTest::Name(name) = &step.test else {
+                return f64::INFINITY; // inapplicable
+            };
+            let want_attr = step.axis == Axis::Attribute;
+            let want_kind = if want_attr { NodeKind::Attribute } else { NodeKind::Element };
+            let matching: Vec<SchemaNodeId> = ctx
+                .schema
+                .ids()
+                .filter(|&sn| {
+                    let n = ctx.schema.node(sn);
+                    n.kind == want_kind && n.name.as_deref() == Some(name.as_str())
+                })
+                .collect();
+            let plen = card_sum(ctx.stats, &matching);
+            let build = if ctx.postings_built.contains(&(name.clone(), want_attr)) {
+                0.0
+            } else {
+                plen * W_BUILD as f64
+            };
+            build + n_ctx * plen * W_CHECK as f64 + out_cost
+        }
+    }
+}
+
+// ------------------------------------------------- schema-level targets
+
+/// Does a schema node pass a step's node test (the schema-level mirror
+/// of [`xpath::test_matches`])?
+fn schema_test_matches(
+    schema: &DescriptiveSchema,
+    sn: SchemaNodeId,
+    axis: Axis,
+    test: &NodeTest,
+) -> bool {
+    let n = schema.node(sn);
+    let principal = if axis == Axis::Attribute { NodeKind::Attribute } else { NodeKind::Element };
+    match test {
+        NodeTest::Node => true,
+        NodeTest::Text => n.kind == NodeKind::Text,
+        NodeTest::Any => n.kind == principal,
+        NodeTest::Name(want) => n.kind == principal && n.name.as_deref() == Some(want.as_str()),
+    }
+}
+
+/// The schema nodes a step can possibly land on from `frontier` — a
+/// superset of the actual result's schema nodes, so an empty answer
+/// proves the step empty (the DataGuide's §9.1 path-equivalence).
+fn step_targets(
+    schema: &DescriptiveSchema,
+    frontier: &[SchemaNodeId],
+    step: &Step,
+) -> Vec<SchemaNodeId> {
+    let filtered = |sns: Vec<SchemaNodeId>| -> Vec<SchemaNodeId> {
+        sns.into_iter()
+            .filter(|&sn| schema_test_matches(schema, sn, step.axis, &step.test))
+            .collect()
+    };
+    match step.axis {
+        Axis::Child => filtered(children_of(schema, frontier, false)),
+        Axis::Attribute => filtered(children_of(schema, frontier, true)),
+        Axis::SelfAxis => filtered(frontier.to_vec()),
+        Axis::Parent => filtered(parent_set(schema, frontier)),
+        Axis::Descendant => filtered(schema_descendants(schema, frontier, false, false)),
+        Axis::DescendantOrSelf => filtered(schema_descendants(schema, frontier, true, false)),
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            let mut seen = vec![false; schema.len()];
+            let mut out = Vec::new();
+            for &sn in frontier {
+                let mut cur = if step.axis == Axis::AncestorOrSelf {
+                    Some(sn)
+                } else {
+                    schema.node(sn).parent
+                };
+                while let Some(a) = cur {
+                    if !seen[a.index()] {
+                        seen[a.index()] = true;
+                        out.push(a);
+                    }
+                    cur = schema.node(a).parent;
+                }
+            }
+            filtered(out)
+        }
+        Axis::FollowingSibling | Axis::PrecedingSibling => {
+            filtered(children_of(schema, &parent_set(schema, frontier), false))
+        }
+    }
+}
+
+/// Distinct children of the frontier (attributes only when asked).
+fn children_of(
+    schema: &DescriptiveSchema,
+    frontier: &[SchemaNodeId],
+    attrs: bool,
+) -> Vec<SchemaNodeId> {
+    let mut seen = vec![false; schema.len()];
+    let mut out = Vec::new();
+    for &sn in frontier {
+        for &c in &schema.node(sn).children {
+            let is_attr = schema.node(c).kind == NodeKind::Attribute;
+            if is_attr == attrs && !seen[c.index()] {
+                seen[c.index()] = true;
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Distinct parents of the frontier.
+fn parent_set(schema: &DescriptiveSchema, frontier: &[SchemaNodeId]) -> Vec<SchemaNodeId> {
+    let mut seen = vec![false; schema.len()];
+    let mut out = Vec::new();
+    for &sn in frontier {
+        if let Some(p) = schema.node(sn).parent {
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+/// Distinct schema descendants of the frontier (`include_self` adds the
+/// frontier itself; `include_attrs` keeps attribute schema nodes, which
+/// the descendant axes exclude but a document-order run touches).
+fn schema_descendants(
+    schema: &DescriptiveSchema,
+    frontier: &[SchemaNodeId],
+    include_self: bool,
+    include_attrs: bool,
+) -> Vec<SchemaNodeId> {
+    let mut seen = vec![false; schema.len()];
+    let mut out = Vec::new();
+    let mut stack: Vec<(SchemaNodeId, bool)> =
+        frontier.iter().map(|&sn| (sn, include_self)).collect();
+    while let Some((sn, emit)) = stack.pop() {
+        if seen[sn.index()] {
+            continue;
+        }
+        seen[sn.index()] = true;
+        let is_attr = schema.node(sn).kind == NodeKind::Attribute;
+        if emit && (include_attrs || !is_attr) {
+            out.push(sn);
+        }
+        for &c in &schema.node(sn).children {
+            if !seen[c.index()] {
+                stack.push((c, true));
+            }
+        }
+    }
+    out
+}
+
+/// Average schema depth of the frontier (ancestor-axis cost proxy).
+fn avg_depth(schema: &DescriptiveSchema, frontier: &[SchemaNodeId]) -> f64 {
+    if frontier.is_empty() {
+        return 0.0;
+    }
+    let total: usize = frontier
+        .iter()
+        .map(|&sn| {
+            let mut d = 0;
+            let mut cur = schema.node(sn).parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = schema.node(p).parent;
+            }
+            d
+        })
+        .sum();
+    total as f64 / frontier.len() as f64
+}
+
+// -------------------------------------------------------- selectivities
+
+enum PredSel {
+    /// Keep this fraction of the rows.
+    Fraction(f64),
+    /// Positional: at most one row per context node.
+    OnePerContext,
+}
+
+/// Estimated selectivity of one predicate against the step's target
+/// schema nodes, using leaf-value histograms where the predicate's path
+/// resolves to one.
+fn predicate_selectivity(
+    schema: &DescriptiveSchema,
+    stats: &CatalogStats,
+    targets: &[SchemaNodeId],
+    pred: &Predicate,
+) -> PredSel {
+    match pred {
+        Predicate::Position(_) | Predicate::Last => PredSel::OnePerContext,
+        Predicate::Exists(_) => PredSel::Fraction(0.5),
+        Predicate::Compare { path, op, literal } => {
+            let Ok(v) = literal.trim().parse::<i64>() else {
+                return PredSel::Fraction(0.3);
+            };
+            let mut weighted = 0.0f64;
+            let mut weight = 0.0f64;
+            for &sn in targets {
+                for leaf in resolve_value_leaves(schema, sn, path) {
+                    if let Some(h) = &stats.node(leaf).hist {
+                        let total = h.total() as f64;
+                        if total > 0.0 {
+                            weighted += histogram_selectivity(h, *op, v) * total;
+                            weight += total;
+                        }
+                    }
+                }
+            }
+            if weight > 0.0 {
+                PredSel::Fraction((weighted / weight).clamp(0.0, 1.0))
+            } else {
+                PredSel::Fraction(0.3)
+            }
+        }
+    }
+}
+
+fn histogram_selectivity(h: &storage::LeafHistogram, op: CompareOp, v: i64) -> f64 {
+    let le = h.fraction_le(v);
+    let eq = h.fraction_eq(v);
+    let numeric = h.fraction_le(i64::MAX); // fraction of values that are numeric at all
+    match op {
+        CompareOp::Eq => eq,
+        CompareOp::Ne => (1.0 - eq).max(0.0),
+        CompareOp::Lt => (le - eq).max(0.0),
+        CompareOp::Le => le,
+        CompareOp::Gt => (numeric - le).max(0.0),
+        CompareOp::Ge => (numeric - le + eq).max(0.0),
+    }
+}
+
+/// Resolve a predicate's relative path from a schema node to the
+/// value-bearing leaf schema nodes (the text child of a final element,
+/// or the attribute/text node itself).
+fn resolve_value_leaves(
+    schema: &DescriptiveSchema,
+    from: SchemaNodeId,
+    path: &Path,
+) -> Vec<SchemaNodeId> {
+    let mut frontier = vec![from];
+    for step in &path.steps {
+        if !step.predicates.is_empty() || !matches!(step.axis, Axis::Child | Axis::Attribute) {
+            return Vec::new(); // too clever for an estimate — fall back
+        }
+        frontier = step_targets(schema, &frontier, step);
+        if frontier.is_empty() {
+            return Vec::new();
+        }
+    }
+    // An element compares by its string value — bucketed on its text
+    // child's histogram.
+    let mut out = Vec::new();
+    for sn in frontier {
+        match schema.node(sn).kind {
+            NodeKind::Text | NodeKind::Attribute => out.push(sn),
+            _ => {
+                for &c in &schema.node(sn).children {
+                    if schema.node(c).kind == NodeKind::Text {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdm::NodeStore;
+    use xpath::{eval_naive, parse};
+
+    fn library() -> XmlStorage {
+        let mut s = NodeStore::new();
+        let doc = s.new_document(None);
+        let lib = s.new_element(doc, "library");
+        for i in 0..6 {
+            let book = s.new_element(lib, "book");
+            s.new_attribute(book, "id", format!("b{i}"));
+            let t = s.new_element(book, "title");
+            s.new_text(t, format!("title {i}"));
+            let y = s.new_element(book, "year");
+            s.new_text(y, format!("{}", 1990 + i));
+        }
+        for i in 0..2 {
+            let paper = s.new_element(lib, "paper");
+            let t = s.new_element(paper, "title");
+            s.new_text(t, format!("paper {i}"));
+        }
+        XmlStorage::from_tree(&s, doc)
+    }
+
+    const QUERIES: [&str; 10] = [
+        "/library/book/title",
+        "//title",
+        "//book/@id",
+        "/library/book[2]/title",
+        "/library/book[year>\"1992\"]/title",
+        "/library/*/title/text()",
+        "/library/descendant::title",
+        "/library/book/title/..",
+        "/library/paper/ancestor::library",
+        "/library/book[1]/following-sibling::book",
+    ];
+
+    #[test]
+    fn every_strategy_agrees_with_naive() {
+        let xs = library();
+        for q in QUERIES {
+            let path = parse(q).expect("parses");
+            let naive = eval_naive(&&xs, &path);
+            for force in
+                [None, Some(Strategy::Guided), Some(Strategy::Dewey), Some(Strategy::Postings)]
+            {
+                let opts = PlanOptions { force, statically_empty: false };
+                let (_, exec) = plan_and_execute(&xs, &path, &opts);
+                assert_eq!(exec.nodes, naive, "{q} forced {force:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn statically_empty_executes_zero_operators() {
+        let xs = library();
+        let path = parse("/library/dvd/title").expect("parses");
+        let (p, exec) =
+            plan_and_execute(&xs, &path, &PlanOptions { force: None, statically_empty: true });
+        assert_eq!(p.pruned_from(), Some(0));
+        assert!(exec.nodes.is_empty());
+        assert_eq!(exec.work, 0, "pruned plans must execute zero operators");
+        // Schema-impossible paths prune themselves even without the
+        // caller's static analysis.
+        let (p, exec) = plan_and_execute(&xs, &path, &PlanOptions::default());
+        assert_eq!(p.pruned_from(), Some(1), "dvd is not a schema child of library");
+        assert_eq!(exec.work, 0);
+    }
+
+    #[test]
+    fn chosen_plan_work_is_at_most_best_forced() {
+        let xs = library();
+        for q in QUERIES {
+            let path = parse(q).expect("parses");
+            let chosen = plan_and_execute(&xs, &path, &PlanOptions::default()).1.work;
+            let best = Strategy::ALL
+                .into_iter()
+                .map(|s| {
+                    plan_and_execute(
+                        &xs,
+                        &path,
+                        &PlanOptions { force: Some(s), statically_empty: false },
+                    )
+                    .1
+                    .work
+                })
+                .min()
+                .unwrap_or(0);
+            assert!(
+                chosen as f64 <= best as f64 * 1.1,
+                "{q}: chosen {chosen} > 1.1 × best forced {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_prints_estimates_and_actuals() {
+        let xs = library();
+        let path = parse("/library/book/title").expect("parses");
+        let (p, exec) = plan_and_execute(&xs, &path, &PlanOptions::default());
+        let text = p.explain(Some(&exec));
+        assert!(text.contains("strategy="), "{text}");
+        assert!(text.contains("actual_rows="), "{text}");
+        assert!(text.contains("est_rows="), "{text}");
+    }
+
+    #[test]
+    fn stale_plan_refuses_to_execute() {
+        let mut xs = library();
+        let path = parse("/library/book/title").expect("parses");
+        let p = plan(&xs, &path, &PlanOptions::default());
+        let lib = xs.children(xs.root())[0];
+        xs.insert_element(lib, None, "book").expect("insert");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.execute(&xs)))
+            .expect_err("stale plan must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("stale query plan"), "panic message: {msg}");
+    }
+}

@@ -179,11 +179,25 @@ pub enum CounterId {
     SrvOpUpdateReplaceNode,
     /// `UPDATE` (textual XQuery-Update-lite) requests served.
     SrvOpUpdate,
+    /// Queries routed through the cost-based planner.
+    PlanQueries,
+    /// Steps executed by guided descent (the planner's choice or a
+    /// forced strategy).
+    PlanStepsGuided,
+    /// Steps executed by a Dewey-range scan of the document-order index.
+    PlanStepsDewey,
+    /// Steps executed by an element-name postings probe.
+    PlanStepsPostings,
+    /// Plans pruned as provably empty (statically or by the DataGuide)
+    /// before executing a single operator.
+    PlanPruned,
+    /// `EXPLAIN` requests served.
+    SrvOpExplain,
 }
 
 impl CounterId {
     /// Every counter, in stable export order.
-    pub const ALL: [CounterId; 60] = [
+    pub const ALL: [CounterId; 66] = [
         CounterId::ParseDocuments,
         CounterId::ParseBytes,
         CounterId::ParseEntityExpansions,
@@ -244,6 +258,12 @@ impl CounterId {
         CounterId::SrvOpUpdateInsertAfter,
         CounterId::SrvOpUpdateReplaceNode,
         CounterId::SrvOpUpdate,
+        CounterId::PlanQueries,
+        CounterId::PlanStepsGuided,
+        CounterId::PlanStepsDewey,
+        CounterId::PlanStepsPostings,
+        CounterId::PlanPruned,
+        CounterId::SrvOpExplain,
     ];
 
     /// Number of counters.
@@ -312,6 +332,12 @@ impl CounterId {
             CounterId::SrvOpUpdateInsertAfter => "server.op.update_insert_after_total",
             CounterId::SrvOpUpdateReplaceNode => "server.op.update_replace_node_total",
             CounterId::SrvOpUpdate => "server.op.update_total",
+            CounterId::PlanQueries => "plan.queries_total",
+            CounterId::PlanStepsGuided => "plan.steps_guided_total",
+            CounterId::PlanStepsDewey => "plan.steps_dewey_total",
+            CounterId::PlanStepsPostings => "plan.steps_postings_total",
+            CounterId::PlanPruned => "plan.pruned_total",
+            CounterId::SrvOpExplain => "server.op.explain_total",
         }
     }
 }
@@ -388,11 +414,14 @@ pub enum HistogramId {
     WalBatchRecords,
     /// One durable commit: WAL append through fsync acknowledgement.
     WalCommit,
+    /// Cost-based planning of one query (statistics lookups + operator
+    /// choice, execution excluded).
+    PlanBuild,
 }
 
 impl HistogramId {
     /// Every histogram, in stable export order.
-    pub const ALL: [HistogramId; 17] = [
+    pub const ALL: [HistogramId; 18] = [
         HistogramId::DbInsert,
         HistogramId::DbValidate,
         HistogramId::DbQuery,
@@ -410,6 +439,7 @@ impl HistogramId {
         HistogramId::ClientRequest,
         HistogramId::WalBatchRecords,
         HistogramId::WalCommit,
+        HistogramId::PlanBuild,
     ];
 
     /// Number of histograms.
@@ -435,6 +465,7 @@ impl HistogramId {
             HistogramId::ClientRequest => "client.request_ns",
             HistogramId::WalBatchRecords => "wal.batch_records",
             HistogramId::WalCommit => "wal.commit_ns",
+            HistogramId::PlanBuild => "plan.build_ns",
         }
     }
 }

@@ -265,6 +265,14 @@ impl Client {
             .map(|f| f.into_iter().next().unwrap_or_default())
     }
 
+    /// Plan, execute, and explain an XPath over `doc`, returning the
+    /// plan text with estimated vs. actual cardinalities
+    /// ([`Database::explain_query`](xsdb::Database::explain_query)).
+    pub fn explain(&mut self, doc: &str, xpath: &str) -> Result<String, ClientError> {
+        self.request(Opcode::Explain, &[doc, xpath])
+            .map(|f| f.into_iter().next().unwrap_or_default())
+    }
+
     /// Insert an element under every node `parent_xpath` selects;
     /// returns the insertion count
     /// ([`Database::update_insert_element`](xsdb::Database::update_insert_element)).

@@ -128,11 +128,15 @@ pub enum Opcode {
     /// expression under the static type-check; returns
     /// `[verdict, nodes, revalidated]`.
     Update = 0x13,
+    /// `[doc, xpath]` — plan, execute, and explain an XPath: one field
+    /// holding the chosen per-step strategies with estimated vs. actual
+    /// cardinalities and work.
+    Explain = 0x14,
 }
 
 impl Opcode {
     /// Every opcode, in wire-byte order.
-    pub const ALL: [Opcode; 19] = [
+    pub const ALL: [Opcode; 20] = [
         Opcode::Ping,
         Opcode::PutSchema,
         Opcode::DelSchema,
@@ -152,6 +156,7 @@ impl Opcode {
         Opcode::UpdateInsertAfter,
         Opcode::UpdateReplaceNode,
         Opcode::Update,
+        Opcode::Explain,
     ];
 
     /// Decode a wire byte.
@@ -181,6 +186,7 @@ impl Opcode {
             Opcode::UpdateInsertAfter => "UPDATE_INSERT_AFTER",
             Opcode::UpdateReplaceNode => "UPDATE_REPLACE_NODE",
             Opcode::Update => "UPDATE",
+            Opcode::Explain => "EXPLAIN",
         }
     }
 }

@@ -450,6 +450,7 @@ fn op_counter(op: Opcode) -> CounterId {
         Opcode::UpdateInsertAfter => CounterId::SrvOpUpdateInsertAfter,
         Opcode::UpdateReplaceNode => CounterId::SrvOpUpdateReplaceNode,
         Opcode::Update => CounterId::SrvOpUpdate,
+        Opcode::Explain => CounterId::SrvOpExplain,
     }
 }
 
@@ -569,6 +570,15 @@ fn dispatch(state: &ServerState, op: Opcode, fields: &[String]) -> (Status, Vec<
             }
             match state.shared.read().xquery(&fields[0], &fields[1]) {
                 Ok(result) => (Status::Ok, vec![result]),
+                Err(e) => err_response(&e),
+            }
+        }
+        Opcode::Explain => {
+            if let Err(e) = check(2) {
+                return e;
+            }
+            match state.shared.read().explain_query(&fields[0], &fields[1]) {
+                Ok(plan) => (Status::Ok, vec![plan]),
                 Err(e) => err_response(&e),
             }
         }

@@ -59,6 +59,9 @@ fn every_opcode_round_trips() {
     assert_eq!(c.query("d", "/list/item").expect("query"), ["alpha", "beta"]);
     let xq = c.xquery("d", "for $i in /list/item return $i").expect("xquery");
     assert!(xq.contains("alpha") && xq.contains("beta"), "{xq}");
+    let plan = c.explain("d", "/list/item").expect("explain");
+    assert!(plan.starts_with("plan /list/item @ stats generation "), "{plan}");
+    assert!(plan.contains("strategy=") && plan.contains("actual_rows="), "{plan}");
 
     assert_eq!(c.update_insert("d", "/list", "item", Some("gamma")).expect("insert"), 1);
     assert_eq!(c.update_set_attr("d", "/list", "state", "new").expect("set_attr"), 1);
@@ -160,6 +163,9 @@ fn results_are_byte_identical_to_in_process_calls() {
         let local = db.query("d", xpath).unwrap();
         let remote = c.query("d", xpath).unwrap();
         assert_eq!(local, remote, "query {xpath:?} diverged");
+        let local_plan = db.explain_query("d", xpath).unwrap();
+        let remote_plan = c.explain("d", xpath).unwrap();
+        assert_eq!(local_plan, remote_plan, "explain {xpath:?} diverged");
     }
     for q in ["for $i in /list/item return $i", "for $i in /list/item where $i = 'beta' return $i"]
     {
