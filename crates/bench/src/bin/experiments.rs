@@ -11,7 +11,10 @@
 //! (Accept revalidates nothing; Recheck revalidates one content model),
 //! and `e16 --guard` for the query-planner bound (the cost-based choice
 //! spends at most 1.1× the work of the best forced strategy, and
-//! statically-empty paths execute zero operators).
+//! statically-empty paths execute zero operators), and `e17 --guard`
+//! for the event-driven server bounds (thousands of parked idle
+//! connections burn no measurable CPU; p99 stays bounded at mid
+//! offered load; pipelining depth >1 is observed at the parser).
 
 use std::time::Instant;
 
@@ -75,6 +78,9 @@ fn main() {
     }
     if want("e16") {
         e16_query_planner(guard);
+    }
+    if want("e17") {
+        e17_event_loop(guard);
     }
 }
 
@@ -1292,6 +1298,223 @@ fn e16_query_planner(guard: bool) {
     println!(
         "(gates: all strategies agree on every node-set; chosen ≤ 1.1× best forced; \
          statically-empty paths do zero work; guard {})",
+        if guard { "on" } else { "off" }
+    );
+}
+
+/// Process CPU time in clock ticks (utime + stime from
+/// `/proc/self/stat`); 0 when the file is unavailable (non-Linux).
+/// One tick is 10 ms at the kernel's usual `CLK_TCK=100`.
+fn cpu_ticks() -> u64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap_or_default();
+    // comm may contain spaces; the parseable fields start after ')'.
+    let after = stat.rsplit_once(')').map(|(_, rest)| rest).unwrap_or("");
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    // 1-indexed /proc fields: utime=14, stime=15; after ')' the first
+    // field is #3 (state), so utime/stime sit at offsets 11/12.
+    let utime: u64 = fields.get(11).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let stime: u64 = fields.get(12).and_then(|s| s.parse().ok()).unwrap_or(0);
+    utime + stime
+}
+
+/// E17: the event-driven server under many connections. Phase A parks
+/// 2 000 idle connections and shows they cost no measurable CPU (the
+/// loop blocks in `epoll_wait` with no timeout; idle connections hold
+/// a file descriptor, not a thread or a tick). Phase B offers a fixed
+/// open-loop rate sweep and reports the p50/p99-vs-offered-RPS curve,
+/// with latency measured from the schedule (coordinated omission
+/// safe). Phase C drives pipelined bursts and reads the pipelining
+/// depth the server's parser actually observed. Phase D runs ≥1k
+/// *active* connections at a fixed offered rate. With `guard`, the run
+/// fails if idle connections burn CPU, if p99 at the mid rate exceeds
+/// its bound, or if pipelining depth >1 was never observed.
+fn e17_event_loop(guard: bool) {
+    use std::net::TcpStream;
+    use xsdb::xsobs::{CounterId, HistogramId, MaxId};
+    use xsserver::client::Client;
+    use xsserver::loadgen::{self, ArrivalMode, LoadConfig};
+    use xsserver::{Server, ServerConfig};
+
+    println!("\n== E17: event-driven server — idle cost, offered load, pipelining ==");
+    let mut ok = true;
+    let mut fail = |what: String| {
+        println!("E17 GUARD FAIL: {what}");
+        ok = false;
+    };
+
+    // ---- Phase A: 2 000 idle connections, CPU over a quiet window ----
+    const IDLE_CONNS: usize = 2_000;
+    const IDLE_WINDOW_MS: u64 = 1_500;
+    const IDLE_TICK_BUDGET: u64 = 15; // 150 ms of CPU over the window, with slack
+    {
+        let shared = xsdb::SharedDatabase::new(xsdb::Database::new());
+        let config = ServerConfig { max_conns: 4_096, threads: 8, ..Default::default() };
+        let handle = Server::start("127.0.0.1:0", config, shared).expect("bind");
+        let addr = handle.local_addr().to_string();
+        let mut idle = Vec::with_capacity(IDLE_CONNS);
+        for i in 0..IDLE_CONNS {
+            match TcpStream::connect(&addr) {
+                Ok(s) => idle.push(s),
+                Err(e) => panic!("idle connection {i} failed: {e}"),
+            }
+            if i % 500 == 499 {
+                // Let the accept queue drain before the next wave.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+        // Prove the fleet is admitted and the server still answers.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let mut probe = Client::connect(&addr).expect("probe connect");
+        probe.ping().expect("probe ping");
+        let high_water = handle.shared().metrics_registry().snapshot().max(MaxId::SrvConnHighWater);
+        let before = cpu_ticks();
+        std::thread::sleep(std::time::Duration::from_millis(IDLE_WINDOW_MS));
+        let ticks = cpu_ticks() - before;
+        println!(
+            "idle: {IDLE_CONNS} parked connections (high water {high_water}), \
+             {ticks} CPU ticks (~{} ms) over a {IDLE_WINDOW_MS} ms quiet window",
+            ticks * 10
+        );
+        if high_water < IDLE_CONNS as u64 {
+            fail(format!("only {high_water} concurrent connections reached"));
+        }
+        if ticks > IDLE_TICK_BUDGET {
+            fail(format!(
+                "idle connections burned {ticks} ticks (> {IDLE_TICK_BUDGET}) — \
+                 the loop is ticking, not parking"
+            ));
+        }
+        drop(idle);
+        handle.shutdown().expect("shutdown");
+    }
+
+    // ---- Phase B: open-loop offered-rate sweep ----
+    const SWEEP_CONNS: usize = 256;
+    const SWEEP_SECS: u64 = 3;
+    const MID_RPS: u64 = 1_000;
+    const MID_P99_BUDGET_MS: f64 = 250.0;
+    {
+        let shared = xsdb::SharedDatabase::new(xsdb::Database::new());
+        let config = ServerConfig { max_conns: 2_048, ..Default::default() };
+        let handle = Server::start("127.0.0.1:0", config, shared).expect("bind");
+        let addr = handle.local_addr().to_string();
+        println!(
+            "{:<12} {:>9} {:>7} {:>12} {:>10} {:>10}",
+            "offered rps", "requests", "errors", "achieved rps", "p50 ms", "p99 ms"
+        );
+        for &rps in &[500u64, 1_000, 2_000, 4_000] {
+            let config = LoadConfig {
+                connections: SWEEP_CONNS,
+                requests_per_conn: ((rps * SWEEP_SECS) as usize / SWEEP_CONNS).max(4),
+                write_percent: 10,
+                doc_items: 64,
+                arrival: ArrivalMode::Open { rps },
+                ..LoadConfig::default()
+            };
+            loadgen::setup(&addr, &config).expect("setup");
+            let obs = xsdb::xsobs::Registry::new();
+            let summary = loadgen::run(&addr, &config, &obs);
+            println!(
+                "{:<12} {:>9} {:>7} {:>12.0} {:>10.3} {:>10.3}",
+                rps,
+                summary.requests,
+                summary.errors,
+                summary.throughput_rps,
+                summary.p50_ns as f64 / 1e6,
+                summary.p99_ns as f64 / 1e6
+            );
+            if summary.errors != 0 {
+                fail(format!("{} errors at offered rate {rps}", summary.errors));
+            }
+            if rps == MID_RPS {
+                let p99_ms = summary.p99_ns as f64 / 1e6;
+                if p99_ms > MID_P99_BUDGET_MS {
+                    fail(format!(
+                        "p99 {p99_ms:.1} ms at {MID_RPS} offered rps \
+                         (budget {MID_P99_BUDGET_MS} ms)"
+                    ));
+                }
+            }
+        }
+        handle.shutdown().expect("shutdown");
+    }
+
+    // ---- Phase C: pipelined bursts, depth observed server-side ----
+    {
+        let shared = xsdb::SharedDatabase::new(xsdb::Database::new());
+        let handle = Server::start("127.0.0.1:0", ServerConfig::default(), shared).expect("bind");
+        let addr = handle.local_addr().to_string();
+        let config = LoadConfig {
+            connections: 8,
+            requests_per_conn: 64,
+            write_percent: 10,
+            doc_items: 64,
+            pipeline: 8,
+            ..LoadConfig::default()
+        };
+        loadgen::setup(&addr, &config).expect("setup");
+        let obs = xsdb::xsobs::Registry::new();
+        let summary = loadgen::run(&addr, &config, &obs);
+        let snap = handle.shared().metrics_registry().snapshot();
+        let depth = snap.histogram(HistogramId::NetPipelineDepth);
+        println!(
+            "pipeline: depth-8 bursts over 8 conns: {} — parser saw depth \
+             p50 {} max {} over {} bursts; {} epoll waits, {} events, {} wakeups",
+            summary.to_line(),
+            depth.quantile(0.50),
+            depth.max,
+            depth.count,
+            snap.counter(CounterId::NetEpollWaits),
+            snap.counter(CounterId::NetEventsDispatched),
+            snap.counter(CounterId::NetWakeups),
+        );
+        if summary.errors != 0 {
+            fail(format!("{} errors in the pipelined run", summary.errors));
+        }
+        if depth.max <= 1 {
+            fail("parser never observed pipeline depth > 1".to_string());
+        }
+        handle.shutdown().expect("shutdown");
+    }
+
+    // ---- Phase D: ≥1k active connections at a fixed offered rate ----
+    {
+        let shared = xsdb::SharedDatabase::new(xsdb::Database::new());
+        let config = ServerConfig { max_conns: 2_048, ..Default::default() };
+        let handle = Server::start("127.0.0.1:0", config, shared).expect("bind");
+        let addr = handle.local_addr().to_string();
+        let config = LoadConfig {
+            connections: 1_024,
+            requests_per_conn: 3,
+            write_percent: 10,
+            doc_items: 32,
+            arrival: ArrivalMode::Open { rps: 500 },
+            ..LoadConfig::default()
+        };
+        loadgen::setup(&addr, &config).expect("setup");
+        let obs = xsdb::xsobs::Registry::new();
+        let summary = loadgen::run(&addr, &config, &obs);
+        let high_water = handle.shared().metrics_registry().snapshot().max(MaxId::SrvConnHighWater);
+        println!(
+            "scale: 1024 conns @ 500 offered rps: {} (connection high water {high_water})",
+            summary.to_line()
+        );
+        if summary.errors != 0 {
+            fail(format!("{} errors at 1024 connections", summary.errors));
+        }
+        if high_water < 1_000 {
+            fail(format!("connection high water {high_water} < 1000"));
+        }
+        handle.shutdown().expect("shutdown");
+    }
+
+    if guard && !ok {
+        std::process::exit(1);
+    }
+    println!(
+        "(gates: ≥2000 idle conns under {IDLE_TICK_BUDGET} CPU ticks; zero errors; \
+         p99 ≤ {MID_P99_BUDGET_MS} ms at {MID_RPS} offered rps; parser-observed \
+         pipeline depth > 1; ≥1000 concurrent active conns; guard {})",
         if guard { "on" } else { "off" }
     );
 }

@@ -454,7 +454,11 @@ fn decode_block(bytes: &[u8], i: u32, cat: &Catalog) -> Result<Block, StorageErr
             continue;
         }
         live += 1;
-        let id = check_ptr(Some(r.u32()?))?.expect("checked Some");
+        let Some(id) = check_ptr(Some(r.u32()?))? else {
+            return Err(StorageError::corrupt(format!(
+                "{what}: live slot carries no descriptor id"
+            )));
+        };
         let nid = Nid::from_bytes(r.bytes()?)?;
         let parent = check_ptr(r.opt_u32()?)?;
         let left_sibling = check_ptr(r.opt_u32()?)?;

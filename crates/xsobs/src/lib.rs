@@ -193,11 +193,23 @@ pub enum CounterId {
     PlanPruned,
     /// `EXPLAIN` requests served.
     SrvOpExplain,
+    /// Times the reactor's event loop blocked in `epoll_wait`/`poll`.
+    NetEpollWaits,
+    /// Readiness events the reactor dispatched to connection state
+    /// machines (listener and wakeup-fd events included).
+    NetEventsDispatched,
+    /// Cross-thread wakeups delivered over the reactor's wakeup fd
+    /// (worker completions, shutdown requests, signals).
+    NetWakeups,
+    /// Times a connection exceeded a backpressure budget (in-flight
+    /// requests or pending-write bytes) and had its read interest
+    /// parked until the budget drained.
+    NetBackpressureStalls,
 }
 
 impl CounterId {
     /// Every counter, in stable export order.
-    pub const ALL: [CounterId; 66] = [
+    pub const ALL: [CounterId; 70] = [
         CounterId::ParseDocuments,
         CounterId::ParseBytes,
         CounterId::ParseEntityExpansions,
@@ -264,6 +276,10 @@ impl CounterId {
         CounterId::PlanStepsPostings,
         CounterId::PlanPruned,
         CounterId::SrvOpExplain,
+        CounterId::NetEpollWaits,
+        CounterId::NetEventsDispatched,
+        CounterId::NetWakeups,
+        CounterId::NetBackpressureStalls,
     ];
 
     /// Number of counters.
@@ -338,6 +354,10 @@ impl CounterId {
             CounterId::PlanStepsPostings => "plan.steps_postings_total",
             CounterId::PlanPruned => "plan.pruned_total",
             CounterId::SrvOpExplain => "server.op.explain_total",
+            CounterId::NetEpollWaits => "net.epoll_waits_total",
+            CounterId::NetEventsDispatched => "net.events_dispatched_total",
+            CounterId::NetWakeups => "net.wakeups_total",
+            CounterId::NetBackpressureStalls => "net.backpressure_stalls_total",
         }
     }
 }
@@ -354,12 +374,20 @@ pub enum MaxId {
     /// Longest any caller waited to acquire the shared-database lock
     /// (read or write), in nanoseconds.
     SrvLockWaitHighWater,
+    /// Most response bytes any one connection had queued but unwritten
+    /// at once — the reactor's pending-write backpressure budget caps
+    /// how high this can climb.
+    NetPendingWriteBytesHighWater,
 }
 
 impl MaxId {
     /// Every gauge, in stable export order.
-    pub const ALL: [MaxId; 3] =
-        [MaxId::ParseDepthHighWater, MaxId::SrvConnHighWater, MaxId::SrvLockWaitHighWater];
+    pub const ALL: [MaxId; 4] = [
+        MaxId::ParseDepthHighWater,
+        MaxId::SrvConnHighWater,
+        MaxId::SrvLockWaitHighWater,
+        MaxId::NetPendingWriteBytesHighWater,
+    ];
 
     /// Number of gauges.
     pub const COUNT: usize = MaxId::ALL.len();
@@ -370,6 +398,7 @@ impl MaxId {
             MaxId::ParseDepthHighWater => "parse.depth_high_water",
             MaxId::SrvConnHighWater => "server.connections_high_water",
             MaxId::SrvLockWaitHighWater => "server.lock_wait_high_water_ns",
+            MaxId::NetPendingWriteBytesHighWater => "net.pending_write_bytes_high_water",
         }
     }
 }
@@ -417,11 +446,15 @@ pub enum HistogramId {
     /// Cost-based planning of one query (statistics lookups + operator
     /// choice, execution excluded).
     PlanBuild,
+    /// Complete frames parsed per readable drain of one connection (a
+    /// *count*, not nanoseconds — recorded via
+    /// [`Registry::observe_value`]); values above 1 are pipelining.
+    NetPipelineDepth,
 }
 
 impl HistogramId {
     /// Every histogram, in stable export order.
-    pub const ALL: [HistogramId; 18] = [
+    pub const ALL: [HistogramId; 19] = [
         HistogramId::DbInsert,
         HistogramId::DbValidate,
         HistogramId::DbQuery,
@@ -440,6 +473,7 @@ impl HistogramId {
         HistogramId::WalBatchRecords,
         HistogramId::WalCommit,
         HistogramId::PlanBuild,
+        HistogramId::NetPipelineDepth,
     ];
 
     /// Number of histograms.
@@ -466,6 +500,7 @@ impl HistogramId {
             HistogramId::WalBatchRecords => "wal.batch_records",
             HistogramId::WalCommit => "wal.commit_ns",
             HistogramId::PlanBuild => "plan.build_ns",
+            HistogramId::NetPipelineDepth => "net.pipeline_depth",
         }
     }
 }

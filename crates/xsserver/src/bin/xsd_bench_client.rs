@@ -1,20 +1,27 @@
-//! `xsd-bench-client` — closed-loop load generator for `xsd-serve`.
+//! `xsd-bench-client` — closed- and open-loop load generator for
+//! `xsd-serve`.
 //!
 //! ```text
 //! xsd-bench-client --addr HOST:PORT [--connections N] [--requests N]
-//!                  [--write-percent P] [--doc-items N]
-//!                  [--retries N] [--backoff-ms MS] [--stats-json]
+//!                  [--write-percent P] [--doc-items N] [--pipeline N]
+//!                  [--rps N] [--retries N] [--backoff-ms MS] [--stats-json]
 //! ```
 //!
 //! Registers the bench schema and one document per connection, then
 //! runs `--connections` threads each issuing `--requests` requests
-//! back-to-back (`--write-percent` of them through the commit path) and
-//! prints one summary line: requests, errors, wall time, throughput,
-//! and p50/p90/p99 latency. `--retries`/`--backoff-ms` retry `BUSY`
-//! rejections and transient connect failures with linear backoff
-//! instead of counting them as errors (default: fail fast).
-//! `--stats-json` additionally prints the client-side metrics snapshot
-//! (`client.request_ns`) to stderr.
+//! (`--write-percent` of them through the commit path) and prints one
+//! summary line: requests, errors, wall time, throughput, and
+//! p50/p90/p99 latency. By default the loop is closed (the next burst
+//! starts when the previous responses land); `--rps N` switches to an
+//! open loop offering N requests per second in aggregate on a fixed
+//! schedule, with latency measured from each request's *scheduled*
+//! send time so a stalling server cannot hide queueing delay behind a
+//! slowed-down generator (coordinated omission). `--pipeline N` writes
+//! N frames back-to-back before reading responses (default 1).
+//! `--retries`/`--backoff-ms` retry `BUSY` rejections and transient
+//! connect failures with linear backoff instead of counting them as
+//! errors (default: fail fast). `--stats-json` additionally prints the
+//! client-side metrics snapshot (`client.request_ns`) to stderr.
 //!
 //! Exit code: 0 when every request succeeded, 1 otherwise — so scripts
 //! can assert "N concurrent connections with zero protocol errors".
@@ -22,7 +29,7 @@
 use std::process::ExitCode;
 
 use xsdb::cli::out_line;
-use xsserver::loadgen::{self, LoadConfig};
+use xsserver::loadgen::{self, ArrivalMode, LoadConfig};
 
 struct Args {
     addr: String,
@@ -31,8 +38,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: xsd-bench-client --addr HOST:PORT [--connections N] \
-     [--requests N] [--write-percent P] [--doc-items N] [--retries N] \
-     [--backoff-ms MS] [--stats-json]";
+     [--requests N] [--write-percent P] [--doc-items N] [--pipeline N] [--rps N] \
+     [--retries N] [--backoff-ms MS] [--stats-json]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args { addr: String::new(), config: LoadConfig::default(), stats_json: false };
@@ -60,6 +67,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.config.write_percent = p as u8;
             }
             "--doc-items" => args.config.doc_items = num("--doc-items", value("--doc-items")?)?,
+            "--pipeline" => {
+                let depth = num("--pipeline", value("--pipeline")?)?;
+                if depth == 0 {
+                    return Err(format!("--pipeline must be at least 1\n{USAGE}"));
+                }
+                args.config.pipeline = depth;
+            }
+            "--rps" => {
+                let rps = num("--rps", value("--rps")?)?;
+                if rps == 0 {
+                    return Err(format!("--rps must be at least 1\n{USAGE}"));
+                }
+                args.config.arrival = ArrivalMode::Open { rps: rps as u64 };
+            }
             "--retries" => {
                 args.config.retry.retries = num("--retries", value("--retries")?)? as u32
             }
@@ -95,11 +116,17 @@ fn main() -> ExitCode {
     }
     let obs = xsobs::Registry::new();
     let summary = loadgen::run(&args.addr, &args.config, &obs);
+    let pacing = match args.config.arrival {
+        ArrivalMode::Closed => "closed loop".to_string(),
+        ArrivalMode::Open { rps } => format!("open loop @ {rps} rps"),
+    };
     out_line(format_args!(
-        "xsd-bench-client: {} conns x {} reqs ({}% writes): {}",
+        "xsd-bench-client: {} conns x {} reqs ({}% writes, pipeline {}, {}): {}",
         args.config.connections,
         args.config.requests_per_conn,
         args.config.write_percent,
+        args.config.pipeline,
+        pacing,
         summary.to_line()
     ));
     if args.stats_json {

@@ -17,11 +17,15 @@
 //!   not acked), `group` (apply immediately, ack after a shared group
 //!   fsync), or `async` (no per-commit fsync; an acknowledged write
 //!   can be lost in a crash). Only meaningful with `--dir`.
-//! * `--threads` — worker threads = connections served concurrently
-//!   (default 64).
-//! * `--max-conns` — connections in flight before new ones are refused
-//!   with `BUSY` (default 256).
-//! * `--timeout-ms` — per-connection idle/IO timeout (default 30000).
+//! * `--threads` — worker threads executing database work
+//!   (default 64). Connections are not bounded by this: the event
+//!   loop parks idle connections in the reactor, so they hold no
+//!   thread.
+//! * `--max-conns` — connections served concurrently before new ones
+//!   are refused with `BUSY` (default 256).
+//! * `--timeout-ms` — mid-frame arrival budget per connection
+//!   (default 30000): a started request frame must arrive in full
+//!   within it. Idle connections never time out.
 //! * `--strict-analysis` — reject schemas with static-analysis errors
 //!   at `PUT_SCHEMA` time (`Database::set_strict_analysis`).
 //! * `--stats-json` — print the final metrics snapshot to stdout after
@@ -31,15 +35,20 @@
 //! `xsd-serve listening on <addr>` — scripts (and `check.sh`) parse it
 //! to learn the ephemeral port. It exits 0 after a graceful shutdown
 //! (SIGTERM or SIGINT), having flushed a final save when `--dir` is
-//! set.
+//! set. Signals are routed through the server's reactor wakeup fd:
+//! the handler performs one atomic store and one `write(2)` on the
+//! wakeup pipe, so shutdown latency is bounded by a single
+//! `epoll_wait` return — there is no polling tick anywhere on the
+//! path.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use xsdb::cli::out_line;
 use xsdb::{Database, Durability, SharedDatabase};
-use xsserver::{Server, ServerConfig};
+use xsserver::{Server, ServerConfig, ShutdownRequester};
 
 struct Args {
     addr: String,
@@ -103,11 +112,23 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-/// Set when SIGTERM or SIGINT arrives; the main loop polls it.
-static STOP: AtomicBool = AtomicBool::new(false);
+/// The running server's shutdown requester, stored once the server is
+/// up so the signal handler can reach its wakeup fd.
+static REQUESTER: OnceLock<ShutdownRequester> = OnceLock::new();
+
+/// Covers the window between handler installation and the server
+/// coming up: a signal landing there is honored right after
+/// [`REQUESTER`] is set.
+static EARLY_STOP: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_signal(_signum: i32) {
-    STOP.store(true, Ordering::SeqCst);
+    // Async-signal-safe: OnceLock::get is an atomic load, and
+    // ShutdownRequester::request is one atomic store plus one raw
+    // write(2) on the reactor's wakeup fd. No locks, no allocation.
+    match REQUESTER.get() {
+        Some(requester) => requester.request(),
+        None => EARLY_STOP.store(true, Ordering::SeqCst),
+    }
 }
 
 #[cfg(unix)]
@@ -149,14 +170,21 @@ fn run(args: &Args) -> Result<(), String> {
         max_conns: args.max_conns,
         io_timeout: Duration::from_millis(args.timeout_ms.max(1)),
         dir: args.dir.as_ref().map(Into::into),
+        ..ServerConfig::default()
     };
     install_signal_handlers();
     let handle = Server::start(&args.addr, config, shared.clone())
         .map_err(|e| format!("cannot bind {}: {e}", args.addr))?;
-    out_line(format_args!("xsd-serve listening on {}", handle.local_addr()));
-    while !STOP.load(Ordering::SeqCst) {
-        std::thread::sleep(Duration::from_millis(50));
+    // Route signals through the reactor wakeup fd from here on; honor
+    // any signal that raced in before the server existed.
+    let _ = REQUESTER.set(handle.shutdown_requester());
+    if EARLY_STOP.load(Ordering::SeqCst) {
+        if let Some(requester) = REQUESTER.get() {
+            requester.request();
+        }
     }
+    out_line(format_args!("xsd-serve listening on {}", handle.local_addr()));
+    handle.wait();
     eprintln!("xsd-serve: shutting down");
     handle.shutdown().map_err(|e| format!("final save failed: {e}"))?;
     if args.stats_json {

@@ -23,7 +23,9 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{read_frame, write_frame, FrameError, Opcode, Status, NO_FIELD_CAP};
+use crate::protocol::{
+    encode_frame, read_frame, write_frame, FrameError, Opcode, Status, NO_FIELD_CAP,
+};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -215,6 +217,49 @@ impl Client {
             Some(status) => Err(ClientError::Status { status, message: fields.join("; ") }),
             None => Err(ClientError::Protocol(format!("unknown status code 0x{tag:02x}"))),
         }
+    }
+
+    /// Give up the protocol wrapper and return the raw TCP stream —
+    /// for tests and tools that need to watch the wire directly (e.g.
+    /// waiting for the server's shutdown goodbye frame on an otherwise
+    /// idle connection).
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+
+    /// Issue a pipelined batch: encode every request, write them all
+    /// back-to-back in one burst, then read the responses, which the
+    /// server returns strictly in request order however many it works
+    /// on concurrently.
+    ///
+    /// Per-request failures (a non-OK status) come back in the
+    /// corresponding slot of the result vector; a transport or framing
+    /// failure aborts the whole batch, because once the stream is torn
+    /// the remaining responses can never arrive.
+    pub fn pipeline(
+        &mut self,
+        requests: &[(Opcode, Vec<String>)],
+    ) -> Result<Vec<Result<Vec<String>, ClientError>>, ClientError> {
+        use std::io::Write;
+        let mut burst = Vec::new();
+        for (op, fields) in requests {
+            let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+            let (header, payload) = encode_frame(*op as u8, &refs)?;
+            burst.extend_from_slice(&header);
+            burst.extend_from_slice(&payload);
+        }
+        self.stream.write_all(&burst)?;
+        self.stream.flush()?;
+        let mut out = Vec::with_capacity(requests.len());
+        for _ in requests {
+            let (tag, fields, _) = read_frame(&mut self.stream, self.max_payload, NO_FIELD_CAP)?;
+            out.push(match Status::from_u8(tag) {
+                Some(status) if status.is_ok() => Ok(fields),
+                Some(status) => Err(ClientError::Status { status, message: fields.join("; ") }),
+                None => Err(ClientError::Protocol(format!("unknown status code 0x{tag:02x}"))),
+            });
+        }
+        Ok(out)
     }
 
     /// Liveness check; the server answers `pong`.

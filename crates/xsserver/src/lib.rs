@@ -1,20 +1,28 @@
 //! **xsserver** — the concurrent network front-end for [`xsdb`]: a
-//! versioned wire protocol, a multi-threaded TCP server, a blocking
-//! client library, and a closed-loop load generator. Everything is
-//! `std`-only; there is no async runtime and no serialization crate —
-//! the protocol is a hand-rolled length-prefixed frame format
-//! ([`protocol`]).
+//! versioned wire protocol, an event-driven TCP server on a hand-rolled
+//! readiness reactor, a blocking client library, and a closed- and
+//! open-loop load generator. Everything is `std`-only; there is no
+//! async runtime and no serialization crate — the protocol is a
+//! hand-rolled length-prefixed frame format ([`protocol`]) and the
+//! event loop multiplexes with four lines of `epoll(7)` FFI
+//! ([`reactor`]).
 //!
 //! §9 of the paper grounds the formal model in Sedna, a client/server
 //! XML DBMS; this crate supplies the client/server part. The server
 //! ([`server::Server`]) puts a [`SharedDatabase`](xsdb::SharedDatabase)
-//! behind TCP: read operations (validate, query, XQuery, catalog,
-//! stats) run concurrently against immutable epoch snapshots and never
-//! block on writers, while state transitions (inserts, updates,
-//! deletes, schema registration and removal) commit one at a time
-//! through [`SharedDatabase::apply`](xsdb::SharedDatabase::apply) —
-//! appended to a write-ahead log before they are acknowledged when the
-//! daemon runs with a persistence directory. The observable behavior
+//! behind TCP with one event-loop thread and a bounded worker pool:
+//! the loop owns every socket (nonblocking, parked in the reactor when
+//! idle — an idle connection costs a file descriptor, not a thread),
+//! parses pipelined request frames as bytes arrive, and hands complete
+//! requests to workers; read operations (validate, query, XQuery,
+//! catalog, stats) run concurrently against immutable epoch snapshots
+//! and never block on writers, while state transitions (inserts,
+//! updates, deletes, schema registration and removal) commit one at a
+//! time through [`SharedDatabase::apply`](xsdb::SharedDatabase::apply)
+//! — appended to a write-ahead log before they are acknowledged when
+//! the daemon runs with a persistence directory. Responses return to
+//! the loop over a wakeup fd and are written back in request order,
+//! however many are in flight per connection. The observable behavior
 //! of every opcode is *identical* to calling the corresponding
 //! [`Database`](xsdb::Database) method in process, which the
 //! integration suite asserts byte-for-byte.
@@ -24,26 +32,32 @@
 //! * `xsd-serve` — the daemon: bind an address, optionally open a
 //!   persistence directory (recovering the write-ahead-log tail),
 //!   serve under a chosen durability mode (`--durability
-//!   fsync|group|async`) until SIGTERM/SIGINT, then checkpoint.
+//!   fsync|group|async`) until SIGTERM/SIGINT — delivered to the event
+//!   loop over the reactor's wakeup fd, so shutdown latency is one
+//!   `epoll_wait`, not a polling tick — then checkpoint.
 //! * `xsd-bench-client` — the load generator: N connections issuing a
-//!   configurable read/write mix in a closed loop, reporting
-//!   throughput and latency percentiles, with bounded retry-with-
-//!   backoff (`--retries`, `--backoff-ms`) for `BUSY` rejections and
-//!   transient connect failures.
+//!   configurable read/write mix, closed-loop by default or open-loop
+//!   at a fixed offered rate (`--rps`, latencies measured from the
+//!   schedule so coordinated omission cannot flatter the tail), with
+//!   optional pipelined bursts (`--pipeline`) and bounded
+//!   retry-with-backoff (`--retries`, `--backoff-ms`) for `BUSY`
+//!   rejections and transient connect failures.
 //!
-//! Traffic is observable through the pinned `server.*` metric family
-//! (connection counts, per-opcode request counters, byte counters,
-//! request-latency and lock-wait histograms) in the same
-//! [`xsobs`] registry the database itself records into, exported via
-//! the `STATS` opcode or `xsd-serve --stats-json`.
+//! Traffic is observable through the pinned `server.*` and `net.*`
+//! metric families (connection counts, per-opcode request counters,
+//! byte counters, request-latency histograms, epoll waits, dispatched
+//! events, wakeups, pipeline-depth histogram, backpressure stalls) in
+//! the same [`xsobs`] registry the database itself records into,
+//! exported via the `STATS` opcode or `xsd-serve --stats-json`.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod loadgen;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
 pub use client::{Client, ClientError, RetryPolicy};
 pub use protocol::{Opcode, Status, WIRE_VERSION};
-pub use server::{checkpoint, Server, ServerConfig, ServerHandle};
+pub use server::{checkpoint, Server, ServerConfig, ServerHandle, ShutdownRequester};

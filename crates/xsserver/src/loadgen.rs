@@ -1,6 +1,21 @@
-//! A closed-loop load generator for `xsd-serve`: N connections, each a
-//! thread issuing requests back-to-back (the next request starts when
-//! the previous response lands), with a configurable read/write mix.
+//! A load generator for `xsd-serve`: N connections, each a thread
+//! issuing requests with a configurable read/write mix, in one of two
+//! arrival modes:
+//!
+//! * **Closed loop** (default): each connection issues requests
+//!   back-to-back — the next burst starts when the previous responses
+//!   land. Throughput is whatever the server sustains.
+//! * **Open loop** ([`ArrivalMode::Open`]): requests are emitted on a
+//!   fixed schedule at an offered aggregate rate, regardless of how
+//!   fast responses return, and **latency is measured from the
+//!   scheduled send time**, not the actual one. A server that stalls
+//!   therefore cannot flatter its own tail by slowing the generator
+//!   down — the stall shows up in every delayed request's latency
+//!   (this is the standard defense against coordinated omission).
+//!
+//! Requests go out in pipelined bursts of [`LoadConfig::pipeline`]
+//! frames written back-to-back before any response is read (depth 1 =
+//! classic lockstep), exercising the server's request-pipelining path.
 //!
 //! Each connection works against its **own** document (`bench-<i>`),
 //! so write requests exercise the global write lock without the runs
@@ -18,6 +33,7 @@ use std::time::{Duration, Instant};
 use xsobs::HistogramId;
 
 use crate::client::{Client, RetryPolicy};
+use crate::protocol::Opcode;
 
 /// The schema every load-generator document validates against.
 pub const BENCH_SCHEMA_NAME: &str = "bench";
@@ -48,18 +64,42 @@ pub fn bench_doc(items: usize) -> String {
     xml
 }
 
+/// How requests arrive at the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrivalMode {
+    /// Back-to-back: send the next burst when the previous one's
+    /// responses arrive. Measures sustainable throughput.
+    #[default]
+    Closed,
+    /// Fixed schedule: the fleet offers `rps` requests per second in
+    /// aggregate, evenly spaced, with each connection's schedule
+    /// phase-shifted so arrivals spread across the interval instead of
+    /// bunching. Measures latency at a controlled offered load;
+    /// latencies are taken from the schedule, so queueing delay when
+    /// the generator falls behind is charged to the server.
+    Open {
+        /// Offered aggregate requests per second across the fleet.
+        rps: u64,
+    },
+}
+
 /// Load shape for [`run`].
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
     /// Concurrent connections (one thread each).
     pub connections: usize,
-    /// Requests each connection issues, back-to-back.
+    /// Requests each connection issues.
     pub requests_per_conn: usize,
     /// Percentage of requests that are writes (`update_set_text`
     /// through the commit path); the rest are reads (`query`).
     pub write_percent: u8,
     /// `<item>` elements per benchmark document.
     pub doc_items: usize,
+    /// Frames written back-to-back before reading any response
+    /// (pipelining depth; 1 = lockstep, the default).
+    pub pipeline: usize,
+    /// Closed-loop (default) or open-loop arrivals.
+    pub arrival: ArrivalMode,
     /// Retry budget for `BUSY` rejections and transient connect
     /// failures while establishing connections (default: none).
     pub retry: RetryPolicy,
@@ -72,6 +112,8 @@ impl Default for LoadConfig {
             requests_per_conn: 200,
             write_percent: 10,
             doc_items: 64,
+            pipeline: 1,
+            arrival: ArrivalMode::Closed,
             retry: RetryPolicy::default(),
         }
     }
@@ -136,13 +178,52 @@ pub fn setup(addr: &str, config: &LoadConfig) -> Result<(), crate::client::Clien
     Ok(())
 }
 
-/// Run the closed loop: `connections` threads, each issuing
-/// `requests_per_conn` requests against its own document. Latencies
-/// are recorded into `obs` (histogram `client.request_ns`) and
-/// aggregated into the returned [`LoadSummary`].
+/// The request connection `conn` issues at sequence `n`: a
+/// deterministic interleave spreading writes evenly through the run
+/// instead of front-loading them, alternating raw writes with
+/// statically checked ones so load runs exercise the analyze-first
+/// path (every insert below is provably valid, so the server applies
+/// it without revalidating).
+fn build_request(conn: usize, n: usize, doc: &str, write_percent: u8) -> (Opcode, Vec<String>) {
+    let write = (n * 100 + conn * 37) % 100 < write_percent as usize;
+    if write {
+        if n.is_multiple_of(2) {
+            (
+                Opcode::UpdateSetText,
+                vec![doc.to_string(), "/bench/item[1]".to_string(), format!("w{conn}-{n}")],
+            )
+        } else {
+            (
+                Opcode::Update,
+                vec![doc.to_string(), format!("insert node <item>c{conn}-{n}</item> into /bench")],
+            )
+        }
+    } else {
+        (Opcode::Query, vec![doc.to_string(), "/bench/item".to_string()])
+    }
+}
+
+/// Run the load: `connections` threads, each issuing
+/// `requests_per_conn` requests against its own document in bursts of
+/// `pipeline`, paced by `arrival`. Latencies are recorded into `obs`
+/// (histogram `client.request_ns`) and aggregated into the returned
+/// [`LoadSummary`].
 pub fn run(addr: &str, config: &LoadConfig, obs: &xsobs::Registry) -> LoadSummary {
     let errors = AtomicU64::new(0);
     let started = Instant::now();
+    // Open loop: each request k (global sequence within a connection)
+    // is due at `started + phase + k*interval`, where interval is the
+    // per-connection spacing (connections/rps seconds) and phase
+    // staggers connection i by i/rps so aggregate arrivals are evenly
+    // spaced at the offered rate.
+    let schedule: Option<(Duration, f64)> = match config.arrival {
+        ArrivalMode::Closed => None,
+        ArrivalMode::Open { rps } => {
+            let rps = rps.max(1) as f64;
+            let interval = config.connections as f64 / rps;
+            Some((Duration::from_secs_f64(1.0 / rps), interval))
+        }
+    };
     let mut latencies: Vec<u64> = Vec::new();
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(config.connections);
@@ -159,42 +240,62 @@ pub fn run(addr: &str, config: &LoadConfig, obs: &xsobs::Registry) -> LoadSummar
                         return local;
                     }
                 };
-                for n in 0..config.requests_per_conn {
-                    // Deterministic interleave: spread writes evenly
-                    // through the run instead of front-loading them.
-                    let write = (n * 100 + i * 37) % 100 < config.write_percent as usize;
-                    let at = Instant::now();
-                    let outcome = if write {
-                        // Alternate raw writes with statically checked
-                        // ones so load runs exercise the analyze-first
-                        // path (every insert below is provably valid,
-                        // so the server applies it without revalidating).
-                        if n % 2 == 0 {
-                            client
-                                .update_set_text(&doc, "/bench/item[1]", &format!("w{i}-{n}"))
-                                .map(|_| ())
-                        } else {
-                            client
-                                .update(
-                                    &doc,
-                                    &format!("insert node <item>c{i}-{n}</item> into /bench"),
-                                )
-                                .map(|_| ())
-                        }
+                let pipeline = config.pipeline.max(1);
+                let due = |k: usize| -> Option<Instant> {
+                    schedule.map(|(unit, interval)| {
+                        let offset = unit.mul_f64(i as f64) // phase
+                            + Duration::from_secs_f64(interval * k as f64);
+                        started + offset
+                    })
+                };
+                let mut n = 0;
+                while n < config.requests_per_conn {
+                    let burst = pipeline.min(config.requests_per_conn - n);
+                    // Latency anchors: the schedule in open-loop mode
+                    // (even when we're running late), the actual send
+                    // time in closed-loop mode.
+                    let anchors: Vec<Instant> = if schedule.is_some() {
+                        (0..burst).map(|k| due(n + k).unwrap_or_else(Instant::now)).collect()
                     } else {
-                        client.query(&doc, "/bench/item").map(|_| ())
+                        let now = Instant::now();
+                        vec![now; burst]
                     };
-                    let elapsed = at.elapsed();
-                    match outcome {
-                        Ok(()) => {
-                            let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-                            obs.observe(HistogramId::ClientRequest, elapsed);
-                            local.push(ns);
-                        }
-                        Err(_) => {
-                            errors.fetch_add(1, Ordering::Relaxed);
+                    if let Some(first) = due(n) {
+                        let now = Instant::now();
+                        if first > now {
+                            std::thread::sleep(first - now);
                         }
                     }
+                    let requests: Vec<(Opcode, Vec<String>)> = (0..burst)
+                        .map(|k| build_request(i, n + k, &doc, config.write_percent))
+                        .collect();
+                    match client.pipeline(&requests) {
+                        Ok(results) => {
+                            let done = Instant::now();
+                            for (k, outcome) in results.iter().enumerate() {
+                                match outcome {
+                                    Ok(_) => {
+                                        let lat = done.saturating_duration_since(anchors[k]);
+                                        let ns = u64::try_from(lat.as_nanos()).unwrap_or(u64::MAX);
+                                        obs.observe(HistogramId::ClientRequest, lat);
+                                        local.push(ns);
+                                    }
+                                    Err(_) => {
+                                        errors.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            // The stream is torn: everything still
+                            // unsent or unanswered on this connection
+                            // is lost.
+                            let remaining = (config.requests_per_conn - n) as u64;
+                            errors.fetch_add(remaining, Ordering::Relaxed);
+                            return local;
+                        }
+                    }
+                    n += burst;
                 }
                 local
             }));
@@ -264,5 +365,18 @@ mod tests {
         let s = summarize(Vec::new(), 0, Duration::from_millis(1));
         assert_eq!(s.requests, 0);
         assert_eq!(s.p99_ns, 0);
+    }
+
+    #[test]
+    fn request_mix_is_deterministic() {
+        // The interleave assigns the write role per connection
+        // (`i*37 % 100 < write_percent`): at 10% writes connection 0
+        // writes on every request — alternating the raw and the
+        // statically checked update — while connection 1 only reads.
+        assert!(matches!(build_request(0, 0, "bench-0", 10), (Opcode::UpdateSetText, _)));
+        assert!(matches!(build_request(0, 1, "bench-0", 10), (Opcode::Update, _)));
+        assert!(matches!(build_request(1, 0, "bench-1", 10), (Opcode::Query, _)));
+        // 0% writes means every request is a query.
+        assert!(matches!(build_request(0, 42, "d", 0), (Opcode::Query, _)));
     }
 }

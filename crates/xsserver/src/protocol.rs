@@ -450,12 +450,63 @@ pub fn decode_payload(bytes: &[u8], max_fields: u32) -> Result<Vec<String>, Fram
     Ok(fields)
 }
 
-/// Write one frame; returns the payload length in bytes (what the
-/// byte counters record — headers excluded). Fails with
-/// [`io::ErrorKind::InvalidData`] — before writing a single byte, so
-/// framing stays intact — when the encoded payload exceeds the
-/// format's `u32` length field.
-pub fn write_frame(w: &mut impl Write, tag: u8, fields: &[&str]) -> io::Result<usize> {
+/// One frame decoded from an in-memory byte stream by
+/// [`try_decode_frame`].
+#[derive(Debug)]
+pub struct DecodedFrame {
+    /// The tag byte (opcode or status).
+    pub tag: u8,
+    /// The decoded payload fields.
+    pub fields: Vec<String>,
+    /// Total bytes the frame occupied (header + payload) — what the
+    /// caller must drain from its buffer.
+    pub consumed: usize,
+    /// Payload bytes (what the wire byte counters record).
+    pub payload_len: usize,
+}
+
+/// Incrementally decode one frame from the front of `buf` — the shape
+/// a nonblocking read loop needs: bytes accumulate in a buffer and are
+/// parsed once a whole frame is present.
+///
+/// Returns `Ok(None)` when `buf` holds only a frame prefix (read more
+/// and retry), `Ok(Some(frame))` when a whole frame was decoded (drain
+/// `frame.consumed` bytes and retry for pipelined successors), and
+/// `Err` when the prefix already proves the stream is bad — oversized
+/// declaration, wrong version, malformed payload. Errors are stable
+/// against rereads: the same buffer yields the same error.
+pub fn try_decode_frame(
+    buf: &[u8],
+    max_payload: usize,
+    max_fields: u32,
+) -> Result<Option<DecodedFrame>, FrameError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf[0] != WIRE_VERSION {
+        return Err(FrameError::BadVersion(buf[0]));
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let tag = buf[1];
+    let len = u32::from_be_bytes([buf[2], buf[3], buf[4], buf[5]]) as usize;
+    if len > max_payload {
+        return Err(FrameError::TooLarge { declared: len, max: max_payload });
+    }
+    let total = HEADER_LEN + len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let fields = decode_payload(&buf[HEADER_LEN..total], max_fields)?;
+    Ok(Some(DecodedFrame { tag, fields, consumed: total, payload_len: len }))
+}
+
+/// Encode one frame as `(header, payload)` — separate buffers so the
+/// caller can hand both to one vectored write without concatenating.
+/// Fails with [`io::ErrorKind::InvalidData`] when the payload exceeds
+/// the format's `u32` length field.
+pub fn encode_frame(tag: u8, fields: &[&str]) -> io::Result<([u8; HEADER_LEN], Vec<u8>)> {
     let payload = encode_payload(fields);
     if payload.len() > u32::MAX as usize {
         return Err(io::Error::new(
@@ -467,6 +518,16 @@ pub fn write_frame(w: &mut impl Write, tag: u8, fields: &[&str]) -> io::Result<u
     header[0] = WIRE_VERSION;
     header[1] = tag;
     header[2..6].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    Ok((header, payload))
+}
+
+/// Write one frame; returns the payload length in bytes (what the
+/// byte counters record — headers excluded). Fails with
+/// [`io::ErrorKind::InvalidData`] — before writing a single byte, so
+/// framing stays intact — when the encoded payload exceeds the
+/// format's `u32` length field.
+pub fn write_frame(w: &mut impl Write, tag: u8, fields: &[&str]) -> io::Result<usize> {
+    let (header, payload) = encode_frame(tag, fields)?;
     w.write_all(&header)?;
     w.write_all(&payload)?;
     w.flush()?;
@@ -619,6 +680,79 @@ mod tests {
             decode_payload(&nonutf, MAX_REQUEST_FIELDS),
             Err(FrameError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn incremental_decode_matches_blocking_reads_at_every_prefix() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Opcode::Query as u8, &["doc", "/a/b"]).unwrap();
+        // Every strict prefix is Incomplete (except the version byte,
+        // which is valid), never an error.
+        for cut in 0..buf.len() {
+            match try_decode_frame(&buf[..cut], 1 << 20, MAX_REQUEST_FIELDS) {
+                Ok(None) => {}
+                other => panic!("prefix of {cut} bytes decoded to {other:?}"),
+            }
+        }
+        let frame = try_decode_frame(&buf, 1 << 20, MAX_REQUEST_FIELDS).unwrap().unwrap();
+        assert_eq!(frame.tag, Opcode::Query as u8);
+        assert_eq!(frame.fields, ["doc", "/a/b"]);
+        assert_eq!(frame.consumed, buf.len());
+        assert_eq!(frame.payload_len, buf.len() - HEADER_LEN);
+    }
+
+    #[test]
+    fn incremental_decode_leaves_pipelined_successors_in_place() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Opcode::Ping as u8, &[]).unwrap();
+        let first_len = buf.len();
+        write_frame(&mut buf, Opcode::List as u8, &[]).unwrap();
+        let frame = try_decode_frame(&buf, 1 << 20, MAX_REQUEST_FIELDS).unwrap().unwrap();
+        assert_eq!(frame.tag, Opcode::Ping as u8);
+        assert_eq!(frame.consumed, first_len);
+        let rest = &buf[frame.consumed..];
+        let second = try_decode_frame(rest, 1 << 20, MAX_REQUEST_FIELDS).unwrap().unwrap();
+        assert_eq!(second.tag, Opcode::List as u8);
+        assert_eq!(second.consumed, rest.len());
+    }
+
+    #[test]
+    fn incremental_decode_rejects_from_the_earliest_provable_byte() {
+        // Bad version: provable from byte 0.
+        assert!(matches!(
+            try_decode_frame(&[9], 1024, MAX_REQUEST_FIELDS),
+            Err(FrameError::BadVersion(9))
+        ));
+        // Oversized declaration: provable from the full header, before
+        // any payload arrives.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x01, &[]).unwrap();
+        buf[2..6].copy_from_slice(&u32::MAX.to_be_bytes());
+        match try_decode_frame(&buf[..HEADER_LEN], 1024, MAX_REQUEST_FIELDS) {
+            Err(FrameError::TooLarge { declared, max }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Malformed payload: only provable once the whole frame is in.
+        let mut lie = Vec::new();
+        write_frame(&mut lie, Opcode::Ping as u8, &["abc"]).unwrap();
+        lie[HEADER_LEN + 4..HEADER_LEN + 8].copy_from_slice(&100u32.to_be_bytes());
+        assert!(matches!(
+            try_decode_frame(&lie, 1 << 20, MAX_REQUEST_FIELDS),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn encode_frame_agrees_with_write_frame() {
+        let (header, payload) = encode_frame(Opcode::Query as u8, &["doc", "/a"]).unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Opcode::Query as u8, &["doc", "/a"]).unwrap();
+        let mut joined = header.to_vec();
+        joined.extend_from_slice(&payload);
+        assert_eq!(joined, buf);
     }
 
     #[test]

@@ -49,10 +49,11 @@ fn hex_val(b: u8) -> Option<u8> {
 
 /// Encode to the canonical (uppercase) `xs:hexBinary` form.
 pub fn encode_hex(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789ABCDEF";
     let mut out = String::with_capacity(bytes.len() * 2);
     for b in bytes {
-        out.push(char::from_digit((b >> 4) as u32, 16).unwrap().to_ascii_uppercase());
-        out.push(char::from_digit((b & 0xF) as u32, 16).unwrap().to_ascii_uppercase());
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xF) as usize] as char);
     }
     out
 }

@@ -28,7 +28,8 @@ cargo test -q -p xsdb-integration --test plan_equivalence
 cargo test -q -p xsdb-integration --test stats_invariants
 # Server, concurrency, and CLI-robustness suites (same rationale).
 cargo test -q -p xsserver --test server_integration
-cargo test -q -p xsserver --lib   # protocol + retry-policy regression tests
+cargo test -q -p xsserver --test server_reactor   # hostile-client torture + SIGTERM path
+cargo test -q -p xsserver --lib   # protocol + reactor + retry-policy regression tests
 cargo test -q -p xsdb-integration --test shared_stress
 cargo test -q -p xsdb --test broken_pipe
 cargo clippy --workspace --all-targets -- -D warnings
@@ -80,7 +81,7 @@ done
 # No new unwrap()/expect() in non-test library code (bins, benches,
 # tests, doc comments, and vendor shims excluded). Lower the baseline
 # when you remove some; never raise it.
-UNWRAP_BASELINE=41
+UNWRAP_BASELINE=38
 unwraps=$(find crates -path '*/src/*' -name '*.rs' ! -path '*/src/bin/*' | sort | xargs awk '
   FNR == 1 { intest = 0 }
   /#\[cfg\(test\)\]/ { intest = 1 }
@@ -122,9 +123,17 @@ cargo run --release -q -p bench --bin experiments -- e15 --guard
 # node-set, and statically-empty paths execute zero operators.
 cargo run --release -q -p bench --bin experiments -- e16 --guard
 
+# E17 event-loop guard: 2000 parked idle connections burn no
+# measurable CPU, p99 stays bounded at the mid offered rate, the
+# parser observes pipelining depth > 1, and >=1000 active connections
+# complete with zero errors. Needs headroom for 2000+ sockets.
+ulimit -n 20000 2>/dev/null || true
+cargo run --release -q -p bench --bin experiments -- e17 --guard
+
 # Server smoke: boot xsd-serve on an ephemeral port with a persistence
-# directory, fire a 32-connection bench burst (zero errors required —
-# the client exits non-zero otherwise), shut down with SIGTERM, and
+# directory, fire a 32-connection *pipelined* bench burst through the
+# event loop (zero errors required — the client exits non-zero
+# otherwise), shut down with SIGTERM via the reactor wakeup fd, and
 # verify the final save committed.
 SMOKE_DIR=$(mktemp -d)
 target/release/xsd-serve --addr 127.0.0.1:0 --dir "$SMOKE_DIR/db" \
@@ -143,8 +152,8 @@ if [ -z "$ADDR" ]; then
   kill "$SERVE_PID" 2>/dev/null || true
   exit 1
 fi
-target/release/xsd-bench-client --addr "$ADDR" --connections 32 --requests 25 \
-  --write-percent 10 --retries 3 --backoff-ms 20
+target/release/xsd-bench-client --addr "$ADDR" --connections 32 --requests 24 \
+  --write-percent 10 --pipeline 4 --retries 3 --backoff-ms 20
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 if [ ! -f "$SMOKE_DIR/db/CURRENT" ]; then
